@@ -1,0 +1,447 @@
+//! Surface AST of the GOM language.
+//!
+//! Covers the paper's §3.1 type definition frames (attributes, operations,
+//! refinement, implementations), §4.1 `fashion` declarations, §4.2 `sort`
+//! enums, and appendix A schema definition frames (`public` / `interface` /
+//! `implementation` sections, `subschema` entries with renaming, `import`
+//! with schema paths).
+
+/// A top-level item of a GOM source file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A schema definition frame.
+    Schema(SchemaDef),
+    /// A `fashion A as B where … end fashion;` declaration (§4.1).
+    Fashion(FashionDef),
+}
+
+/// A reference to a type: a plain name resolved against the current name
+/// space, or the at-notation `Name@Schema` pinning a schema (type version).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TypeRef {
+    /// Type name.
+    pub name: String,
+    /// Schema qualifier from at-notation, if present.
+    pub schema: Option<String>,
+}
+
+impl TypeRef {
+    /// Plain reference.
+    pub fn plain(name: impl Into<String>) -> Self {
+        TypeRef {
+            name: name.into(),
+            schema: None,
+        }
+    }
+
+    /// `Name@Schema` reference.
+    pub fn at(name: impl Into<String>, schema: impl Into<String>) -> Self {
+        TypeRef {
+            name: name.into(),
+            schema: Some(schema.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.schema {
+            Some(s) => write!(f, "{}@{s}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A schema definition frame (appendix A.2–A.5).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SchemaDef {
+    /// Schema name.
+    pub name: String,
+    /// Names listed in the `public` clause; `None` means no clause, in
+    /// which case every component is public (the paper's §3.1 style).
+    pub publics: Option<Vec<String>>,
+    /// Components of the `interface` section (or of the whole frame when no
+    /// sections are used).
+    pub interface: Vec<Component>,
+    /// Components of the `implementation` section.
+    pub implementation: Vec<Component>,
+}
+
+impl SchemaDef {
+    /// All components, interface first.
+    pub fn components(&self) -> impl Iterator<Item = &Component> {
+        self.interface.iter().chain(self.implementation.iter())
+    }
+
+    /// Is `name` visible outside this schema?
+    pub fn is_public(&self, name: &str) -> bool {
+        match &self.publics {
+            None => true,
+            Some(p) => p.iter().any(|n| n == name),
+        }
+    }
+}
+
+/// One component of a schema frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Component {
+    /// A type definition.
+    Type(TypeDef),
+    /// An enum sort definition (§4.2 `sort Fuel is enum (leaded, unleaded)`).
+    Sort(SortDef),
+    /// A schema-level variable.
+    Var(VarDef),
+    /// A `subschema Name [with renames];` entry.
+    Subschema(SubschemaDecl),
+    /// An `import <path> [with renames];` entry.
+    Import(ImportDecl),
+}
+
+/// `subschema CAD;` or `subschema CSG with type Cuboid as CSGCuboid; end subschema CSG;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubschemaDecl {
+    /// Subschema name.
+    pub name: String,
+    /// Renamings applied when the subschema's publics enter this name space.
+    pub renames: Vec<Rename>,
+}
+
+/// `import /Company/CAD/Geometry/CSG with … end schema CSG;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImportDecl {
+    /// The schema path.
+    pub path: SchemaPath,
+    /// Renamings applied on import.
+    pub renames: Vec<Rename>,
+}
+
+/// A schema path (appendix A.5): absolute (`/Company/CAD`), relative from
+/// the enclosing schema (`Geometry/CSG`), or upward (`../CSG`, `../../X`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SchemaPath {
+    /// Starts at the root?
+    pub absolute: bool,
+    /// Number of leading `..` steps.
+    pub ups: usize,
+    /// Remaining name steps.
+    pub steps: Vec<String>,
+}
+
+impl std::fmt::Display for SchemaPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for i in 0..self.ups {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "..")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 || self.ups > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What kind of schema component a rename applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RenameKind {
+    /// `type Old as New`
+    Type,
+    /// `var Old as New`
+    Var,
+    /// `operation Old as New`
+    Operation,
+}
+
+/// One `kind Old as New` entry of a `with` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rename {
+    /// Component kind.
+    pub kind: RenameKind,
+    /// Name in the source schema.
+    pub old: String,
+    /// Name in the importing schema.
+    pub new: String,
+}
+
+/// A schema-level variable declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarDef {
+    /// Variable name.
+    pub name: String,
+    /// Its type.
+    pub ty: TypeRef,
+}
+
+/// An enum sort (modelled as a type whose instances are its literal values).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortDef {
+    /// Sort name.
+    pub name: String,
+    /// Enumeration literals, in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// A type definition frame (§3.1).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Declared supertypes (`supertype Location`, possibly several).
+    pub supertypes: Vec<TypeRef>,
+    /// Tuple-structured body attributes.
+    pub attrs: Vec<AttrDef>,
+    /// Operation declarations from the `operations` section.
+    pub ops: Vec<OpSig>,
+    /// Operation declarations from the `refine` section.
+    pub refines: Vec<OpSig>,
+    /// Implementations from the `implementation` section.
+    pub impls: Vec<OpImpl>,
+}
+
+/// One attribute `name : type;`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: String,
+    /// Domain type.
+    pub ty: TypeRef,
+}
+
+/// An operation signature `name : T1, T2 -> R;` (an optional leading `||`
+/// is accepted for fidelity with the paper's notation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSig {
+    /// Operation name.
+    pub name: String,
+    /// Argument types, left to right.
+    pub args: Vec<TypeRef>,
+    /// Result type.
+    pub result: TypeRef,
+}
+
+/// An operation implementation
+/// `define name(p1, p2) is begin … end define name;`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpImpl {
+    /// Operation name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Parsed body.
+    pub body: Block,
+    /// Raw body source (stored in the `Code` predicate and re-parsed by the
+    /// interpreting Runtime System).
+    pub raw: String,
+}
+
+/// A `fashion From as To where … end fashion;` declaration (§4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FashionDef {
+    /// The type whose instances become substitutable…
+    pub from: TypeRef,
+    /// …for instances of this type.
+    pub to: TypeRef,
+    /// Imitated attributes and operations.
+    pub members: Vec<FashionMember>,
+}
+
+/// One member of a fashion body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FashionMember {
+    /// `attr : -> T is <expr>;` — read access redirection.
+    AttrRead {
+        /// Attribute name (of the `to` type).
+        name: String,
+        /// Attribute type.
+        ty: TypeRef,
+        /// Expression over `self` (the `from`-typed object).
+        body: Block,
+        /// Raw source.
+        raw: String,
+    },
+    /// `attr : <- T is <stmts>;` — write access redirection; the incoming
+    /// value is bound to `value`.
+    AttrWrite {
+        /// Attribute name.
+        name: String,
+        /// Attribute type.
+        ty: TypeRef,
+        /// Statements over `self` and `value`.
+        body: Block,
+        /// Raw source.
+        raw: String,
+    },
+    /// `attr : T is <expr>;` — shorthand installing the expression as read
+    /// access and (when the expression is a single attribute path) the
+    /// inverse assignment as write access.
+    AttrBoth {
+        /// Attribute name.
+        name: String,
+        /// Attribute type.
+        ty: TypeRef,
+        /// Read expression.
+        body: Block,
+        /// Raw source.
+        raw: String,
+    },
+    /// `operation name is <stmts>;` — operation imitation.
+    Op {
+        /// Operation name (of the `to` type).
+        name: String,
+        /// Body.
+        body: Block,
+        /// Raw source.
+        raw: String,
+    },
+}
+
+// ----- method bodies -----------------------------------------------------------
+
+/// A statement block.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Block(pub Vec<Stmt>);
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `path := expr;`
+    Assign {
+        /// Assignment target (an attribute path).
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) <stmt|block> [else <stmt|block>]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Block,
+        /// Else branch (empty when absent).
+        els: Block,
+    },
+    /// `return expr;`
+    Return(Expr),
+    /// An expression evaluated for its effect (a call).
+    Expr(Expr),
+}
+
+/// Binary operators of the body language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Identifier: parameter, schema variable, or enum literal.
+    Ident(String),
+    /// `self`
+    SelfRef,
+    /// `super` — only valid as the receiver of a call; dispatches to the
+    /// refined declaration.
+    Super,
+    /// `recv.name` attribute access.
+    Attr {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Attribute name.
+        name: String,
+    },
+    /// `recv.name(args…)` operation call.
+    Call {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Operation name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typeref_display() {
+        assert_eq!(TypeRef::plain("Car").to_string(), "Car");
+        assert_eq!(TypeRef::at("Person", "CarSchema").to_string(), "Person@CarSchema");
+    }
+
+    #[test]
+    fn schema_path_display() {
+        let abs = SchemaPath {
+            absolute: true,
+            ups: 0,
+            steps: vec!["Company".into(), "CAD".into()],
+        };
+        assert_eq!(abs.to_string(), "/Company/CAD");
+        let rel = SchemaPath {
+            absolute: false,
+            ups: 1,
+            steps: vec!["CSG".into()],
+        };
+        assert_eq!(rel.to_string(), "../CSG");
+    }
+
+    #[test]
+    fn publics_default_to_everything() {
+        let s = SchemaDef {
+            name: "S".into(),
+            ..Default::default()
+        };
+        assert!(s.is_public("anything"));
+        let s2 = SchemaDef {
+            name: "S".into(),
+            publics: Some(vec!["Cuboid".into()]),
+            ..Default::default()
+        };
+        assert!(s2.is_public("Cuboid"));
+        assert!(!s2.is_public("Edge"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Statement and expression parser for GOM method bodies.
+//!
+//! The body language is exactly what the paper's `changeLocation` example
+//! exercises: blocks (`begin … end`), assignment (`:=`), `if`/`else`,
+//! `return`, attribute paths (`self.location`), operation calls
+//! (`self.location.distance(newLocation)`), `super` calls, arithmetic, and
+//! comparisons.
+
+use crate::ast::{BinOp, Block, Expr, Stmt};
+use crate::parse::{PResult, Parser};
+use crate::lex::Tok;
+
+impl Parser<'_> {
+    /// `begin stmts` — stops at (and does not consume) the matching `end`.
+    /// Used for implementation bodies whose `end <name>;` closes both the
+    /// block and the frame (the paper's style).
+    pub(crate) fn open_block(&mut self) -> PResult<Block> {
+        self.expect_kw("begin")?;
+        let mut stmts = Vec::new();
+        while !self.at_kw("end") {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated `begin` block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block(stmts))
+    }
+
+    /// `begin stmts end` — consumes the `end`.
+    pub(crate) fn closed_block(&mut self) -> PResult<Block> {
+        let b = self.open_block()?;
+        self.expect_kw("end")?;
+        Ok(b)
+    }
+
+    /// Either a closed block or a bare expression (wrapped as `return`),
+    /// used for fashion member bodies.
+    pub(crate) fn block_or_expr(&mut self) -> PResult<Block> {
+        if self.at_kw("begin") {
+            self.closed_block()
+        } else {
+            let e = self.expr()?;
+            Ok(Block(vec![Stmt::Return(e)]))
+        }
+    }
+
+    fn block_or_stmt(&mut self) -> PResult<Block> {
+        if self.at_kw("begin") {
+            self.closed_block()
+        } else {
+            Ok(Block(vec![self.stmt()?]))
+        }
+    }
+
+    pub(crate) fn stmt(&mut self) -> PResult<Stmt> {
+        if self.eat_kw("return") {
+            let e = self.expr()?;
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_kw("if") {
+            self.expect_tok(&Tok::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect_tok(&Tok::RParen, "`)`")?;
+            let then = self.block_or_stmt()?;
+            let els = if self.eat_kw("else") {
+                self.block_or_stmt()?
+            } else {
+                Block::default()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then,
+                els,
+            });
+        }
+        let e = self.expr()?;
+        if self.peek() == Some(&Tok::Assign) {
+            self.bump();
+            let value = self.expr()?;
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            if !matches!(e, Expr::Attr { .. } | Expr::Ident(_)) {
+                return Err(self.err("assignment target must be an attribute path or variable"));
+            }
+            return Ok(Stmt::Assign {
+                target: e,
+                value,
+            });
+        }
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    pub(crate) fn expr(&mut self) -> PResult<Expr> {
+        let l = self.additive()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::NotEq) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            });
+        }
+        Ok(l)
+    }
+
+    fn additive(&mut self) -> PResult<Expr> {
+        let mut l = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.multiplicative()?;
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn multiplicative(&mut self) -> PResult<Expr> {
+        let mut l = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            l = Expr::Binary {
+                op,
+                l: Box::new(l),
+                r: Box::new(r),
+            };
+        }
+        Ok(l)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(&Tok::Dot) {
+            self.bump();
+            let name = self.expect_ident("attribute or operation name")?;
+            if self.peek() == Some(&Tok::LParen) {
+                self.bump();
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            other => {
+                                return Err(
+                                    self.err(format!("expected `,` or `)`, found {other:?}"))
+                                )
+                            }
+                        }
+                    }
+                } else {
+                    self.bump();
+                }
+                e = Expr::Call {
+                    recv: Box::new(e),
+                    name,
+                    args,
+                };
+            } else {
+                e = Expr::Attr {
+                    recv: Box::new(e),
+                    name,
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Expr::Int(n)),
+            Some(Tok::Float(x)) => Ok(Expr::Float(x)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect_tok(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(s)) if s == "self" => Ok(Expr::SelfRef),
+            Some(Tok::Ident(s)) if s == "super" => Ok(Expr::Super),
+            Some(Tok::Ident(s)) => Ok(Expr::Ident(s)),
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a stored code fragment (a full `begin … end` block or a bare
+/// expression). This is how the interpreting Runtime System turns `Code`
+/// facts back into executable bodies.
+pub fn parse_code_text(src: &str) -> PResult<Block> {
+    let mut p = Parser::new(src)?;
+    let block = if p.at_kw("begin") {
+        // The stored raw text may be an open block (the frame's `end` closed
+        // it) or a closed one; accept both.
+        let b = p.open_block()?;
+        let _ = p.eat_kw("end");
+        b
+    } else if p.at_kw("return") || p.at_kw("if") {
+        // Bare statement sequence (e.g. `return leaded;`).
+        let mut stmts = Vec::new();
+        while p.peek().is_some() {
+            stmts.push(p.stmt()?);
+        }
+        Block(stmts)
+    } else {
+        // Expression — but an assignment statement also starts like one;
+        // retry as statements when the expression doesn't consume all input.
+        let start = p.save();
+        match p.block_or_expr() {
+            Ok(b) if p.peek().is_none() => b,
+            _ => {
+                p.restore(start);
+                let mut stmts = Vec::new();
+                while p.peek().is_some() {
+                    stmts.push(p.stmt()?);
+                }
+                Block(stmts)
+            }
+        }
+    };
+    if p.peek().is_some() {
+        return Err(p.err("trailing tokens after code body"));
+    }
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_location_body_parses() {
+        let src = "\
+begin
+  if (self.owner == driver)
+  begin
+    self.milage := self.milage + self.location.distance(newLocation);
+    self.location := newLocation;
+    return self.milage;
+  end
+  else return -1.0;
+end";
+        let b = parse_code_text(src).unwrap();
+        assert_eq!(b.0.len(), 1);
+        let Stmt::If { cond, then, els } = &b.0[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(cond, Expr::Binary { op: BinOp::Eq, .. }));
+        assert_eq!(then.0.len(), 3);
+        assert_eq!(els.0.len(), 1);
+        assert!(matches!(&els.0[0], Stmt::Return(Expr::Neg(_))));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let b = parse_code_text("1 + 2 * 3").unwrap();
+        let Stmt::Return(Expr::Binary { op: BinOp::Add, r, .. }) = &b.0[0] else {
+            panic!("expected return of +");
+        };
+        assert!(matches!(r.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn call_chain_parses() {
+        let b = parse_code_text("self.location.distance(newLocation)").unwrap();
+        let Stmt::Return(Expr::Call { recv, name, args }) = &b.0[0] else {
+            panic!("expected call");
+        };
+        assert_eq!(name, "distance");
+        assert_eq!(args.len(), 1);
+        assert!(matches!(recv.as_ref(), Expr::Attr { .. }));
+    }
+
+    #[test]
+    fn super_call_parses() {
+        let b = parse_code_text("super.distance(other)").unwrap();
+        let Stmt::Return(Expr::Call { recv, .. }) = &b.0[0] else {
+            panic!();
+        };
+        assert!(matches!(recv.as_ref(), Expr::Super));
+    }
+
+    #[test]
+    fn bad_assignment_target_rejected() {
+        assert!(parse_code_text("begin 1 + 2 := 3; end").is_err());
+    }
+
+    #[test]
+    fn ident_assignment_allowed() {
+        let b = parse_code_text("begin x := 1; end").unwrap();
+        assert!(matches!(&b.0[0], Stmt::Assign { .. }));
+    }
+}

@@ -1,0 +1,200 @@
+//! Canonical source texts from the paper, used by tests, examples, and the
+//! experiment harness.
+
+/// The paper's §3.1 `CarSchema` (leaded/unleaded cars example, after Skarra
+/// & Zdonik). Method bodies are filled in so that the code analysis derives
+/// exactly the `CodeReqAttr` rows of the paper's second extension table:
+/// `distance` uses `longi`/`lati`, the refined `distance` additionally uses
+/// the city `name` and calls the original via `super`, and
+/// `changeLocation` is verbatim from the paper.
+pub const CAR_SCHEMA_SRC: &str = "\
+schema CarSchema is
+
+  type Person is
+    [ name : string;
+      age  : int; ]
+  end type Person;
+
+  type Location is
+    [ longi : float;
+      lati  : float; ]
+  operations
+    declare distance : || Location -> float;
+  implementation
+    define distance(other) is
+    begin
+      return (self.longi - other.longi) * (self.longi - other.longi)
+           + (self.lati  - other.lati)  * (self.lati  - other.lati);
+    end define distance;
+  end type Location;
+
+  type City supertype Location is
+    [ name            : string;
+      noOfInhabitants : int; ]
+  refine
+    declare distance : || Location -> float;
+  implementation
+    define distance(other) is
+    begin
+      !! uses longi and lati as well as city name.
+      if (self.name == \"nowhere\") return super.distance(other);
+      return (self.longi - other.longi) * (self.longi - other.longi)
+           + (self.lati  - other.lati)  * (self.lati  - other.lati);
+    end define distance;
+  end type City;
+
+  type Car is
+    [ owner    : Person;
+      maxspeed : float;
+      milage   : float;
+      location : City; ]
+  operations
+    declare changeLocation : || Person, City -> float;
+  implementation
+    define changeLocation(driver, newLocation) is
+    begin
+      if (self.owner == driver)
+      begin
+        self.milage   := self.milage + self.location.distance(newLocation);
+        self.location := newLocation;
+        return self.milage;
+      end
+      else return -1.0;
+    end define changeLocation;
+  end type Car;
+
+end schema CarSchema;
+";
+
+/// The §4.2 evolved schema: `Car` plus the `PolluterCar`/`CatalystCar`
+/// subtypes with a `fuel` operation each, and the `Fuel` enum sort.
+pub const NEW_CAR_SCHEMA_TYPES_SRC: &str = "\
+schema NewCarSchema is
+
+  sort Fuel is enum (leaded, unleaded);
+
+  type PolluterCar is
+  operations
+    declare fuel : || -> Fuel;
+  implementation
+    define fuel is
+    begin
+      return leaded;
+    end define fuel;
+  end type PolluterCar;
+
+  type CatalystCar is
+  operations
+    declare fuel : || -> Fuel;
+  implementation
+    define fuel is
+    begin
+      return unleaded;
+    end define fuel;
+  end type CatalystCar;
+
+end schema NewCarSchema;
+";
+
+/// Appendix A (Figure 3): the company's schema hierarchy with information
+/// hiding, name spaces, renaming, and imports.
+pub const COMPANY_SCHEMA_SRC: &str = "\
+schema Company is
+  subschema CAD;
+  subschema CAPP;
+  subschema CAM;
+  subschema Marketing;
+end schema Company;
+
+schema CAD is
+  subschema Geometry;
+  subschema FEM;
+  subschema Function;
+  subschema Technology;
+end schema CAD;
+
+schema Geometry is
+  public CSGCuboid, BRepCuboid;
+  interface
+    subschema CSG with
+      type Cuboid as CSGCuboid;
+    end subschema CSG;
+    subschema BoundaryRep with
+      type Cuboid as BRepCuboid;
+    end subschema BoundaryRep;
+  implementation
+    subschema CSG2BoundRep;
+end schema Geometry;
+
+schema CSG is
+  public Cuboid;
+  interface
+    type Cuboid is
+      [ xlen : float;
+        ylen : float;
+        zlen : float; ]
+    end type Cuboid;
+  implementation
+end schema CSG;
+
+schema BoundaryRep is
+  public Cuboid;
+  interface
+    type Cuboid is
+      [ surfaceCount : int; ]
+    end type Cuboid;
+  implementation
+    type Surface is
+      [ edgeCount : int; ]
+    end type Surface;
+    type Edge is
+      [ length : float; ]
+    end type Edge;
+    type Vertex is
+      [ x : float;
+        y : float;
+        z : float; ]
+    end type Vertex;
+    var exampleCuboid : Cuboid;
+end schema BoundaryRep;
+
+schema CSG2BoundRep is
+  public Converter;
+  interface
+    import /Company/CAD/Geometry/CSG with
+      type Cuboid as CSGCuboid;
+    end schema CSG;
+    import ../BoundaryRep with
+      type Cuboid as BRepCuboid;
+    end schema BoundaryRep;
+    type Converter is
+      [ input  : CSGCuboid;
+        output : BRepCuboid; ]
+    end type Converter;
+  implementation
+end schema CSG2BoundRep;
+
+schema FEM is
+end schema FEM;
+
+schema Function is
+end schema Function;
+
+schema Technology is
+end schema Technology;
+
+schema CAPP is
+  public Schedule;
+  interface
+    type Schedule is
+      [ steps : int; ]
+    end type Schedule;
+  implementation
+end schema CAPP;
+
+schema CAM is
+end schema CAM;
+
+schema Marketing is
+end schema Marketing;
+";

@@ -1,0 +1,342 @@
+//! Static analysis of method bodies: deriving `CodeReqDecl` and
+//! `CodeReqAttr` (paper §3.2, second group of base predicates).
+//!
+//! The Consistency Control must not inspect code, but it needs to know
+//! which operations a code fragment calls and which attributes it accesses.
+//! This module performs the light type inference necessary to resolve
+//! attribute paths and dynamic dispatch statically: `self` has the receiver
+//! type, parameters have their declared types, and `x.attr` resolves
+//! against the *declaring* type of `attr` (walking up the subtype
+//! hierarchy), which is why the paper's table records `(cid2, tid2, longi)`
+//! — `longi` is declared on `Location` even when accessed through a `City`.
+
+use crate::ast::{Block, Expr, Stmt};
+use gom_model::{DeclId, MetaModel, TypeId};
+
+/// The dependencies extracted from one code fragment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CodeAnalysis {
+    /// `(declaring type, attribute name)` pairs accessed (read or write).
+    pub attr_reqs: Vec<(TypeId, String)>,
+    /// Declarations called.
+    pub decl_reqs: Vec<DeclId>,
+}
+
+/// Analysis error (unresolvable names are reported, not guessed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisError(pub String);
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "code analysis: {}", self.0)
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Find the type (in `t` or its supertypes, nearest first) that declares
+/// attribute `name`.
+pub fn declaring_type_of_attr(m: &MetaModel, t: TypeId, name: &str) -> Option<TypeId> {
+    if m.attrs_of(t).iter().any(|(n, _)| n == name) {
+        return Some(t);
+    }
+    m.supertypes_transitive(t)
+        .into_iter()
+        .find(|&sup| m.attrs_of(sup).iter().any(|(n, _)| n == name))
+}
+
+/// Resolve an operation call on static type `t`: the declaration on `t`
+/// itself or on the nearest supertype (static counterpart of dynamic
+/// binding).
+pub fn resolve_op(m: &MetaModel, t: TypeId, name: &str) -> Option<DeclId> {
+    if let Some((d, _, _)) = m.decls_of(t).into_iter().find(|(_, n, _)| n == name) {
+        return Some(d);
+    }
+    m.supertypes_transitive(t).into_iter().find_map(|sup| {
+        m.decls_of(sup)
+            .into_iter()
+            .find(|(_, n, _)| n == name)
+            .map(|(d, _, _)| d)
+    })
+}
+
+struct Cx<'a> {
+    m: &'a MetaModel,
+    receiver: TypeId,
+    decl: DeclId,
+    params: &'a [(String, TypeId)],
+    out: CodeAnalysis,
+}
+
+impl Cx<'_> {
+    fn record_attr(&mut self, t: TypeId, name: &str) {
+        let pair = (t, name.to_string());
+        if !self.out.attr_reqs.contains(&pair) {
+            self.out.attr_reqs.push(pair);
+        }
+    }
+
+    fn record_decl(&mut self, d: DeclId) {
+        if !self.out.decl_reqs.contains(&d) {
+            self.out.decl_reqs.push(d);
+        }
+    }
+
+    /// Infer the static type of an expression, recording dependencies.
+    /// `None` for expressions whose type cannot be resolved (e.g. enum
+    /// literals of sorts) — dependencies inside are still collected.
+    fn infer(&mut self, e: &Expr) -> Result<Option<TypeId>, AnalysisError> {
+        let b = &self.m.builtins;
+        Ok(match e {
+            Expr::Int(_) => Some(b.int),
+            Expr::Float(_) => Some(b.float),
+            Expr::Str(_) => Some(b.string),
+            Expr::SelfRef => Some(self.receiver),
+            Expr::Super => {
+                return Err(AnalysisError(
+                    "`super` may only appear as the receiver of a call".into(),
+                ))
+            }
+            Expr::Ident(name) => {
+                if let Some((_, t)) = self.params.iter().find(|(n, _)| n == name) {
+                    Some(*t)
+                } else {
+                    // Enum literal or schema variable: type unknown here.
+                    None
+                }
+            }
+            Expr::Attr { recv, name } => {
+                let rt = self.infer(recv)?;
+                match rt {
+                    Some(t) => match declaring_type_of_attr(self.m, t, name) {
+                        Some(decl_t) => {
+                            self.record_attr(decl_t, name);
+                            self.m
+                                .attrs_of(decl_t)
+                                .into_iter()
+                                .find(|(n, _)| n == name)
+                                .map(|(_, d)| d)
+                        }
+                        None => {
+                            return Err(AnalysisError(format!(
+                                "type `{}` has no attribute `{name}`",
+                                self.m.type_name(t).unwrap_or_default()
+                            )))
+                        }
+                    },
+                    None => None,
+                }
+            }
+            Expr::Call { recv, name, args } => {
+                for a in args {
+                    self.infer(a)?;
+                }
+                if matches!(recv.as_ref(), Expr::Super) {
+                    // `super.op(...)`: the declaration this method refines.
+                    let refined = self.m.refined_by(self.decl);
+                    let target = refined
+                        .into_iter()
+                        .find(|d| {
+                            self.m
+                                .decl_info(*d)
+                                .is_some_and(|(_, n, _)| n == *name)
+                        })
+                        .or_else(|| {
+                            self.m
+                                .supertypes_transitive(self.receiver)
+                                .into_iter()
+                                .find_map(|sup| {
+                                    self.m
+                                        .decls_of(sup)
+                                        .into_iter()
+                                        .find(|(_, n, _)| n == name)
+                                        .map(|(d, _, _)| d)
+                                })
+                        });
+                    match target {
+                        Some(d) => {
+                            self.record_decl(d);
+                            Some(self.m.decl_info(d).expect("decl exists").2)
+                        }
+                        None => {
+                            return Err(AnalysisError(format!(
+                                "`super.{name}` does not resolve to a refined declaration"
+                            )))
+                        }
+                    }
+                } else {
+                    let rt = self.infer(recv)?;
+                    match rt {
+                        Some(t) => match resolve_op(self.m, t, name) {
+                            Some(d) => {
+                                self.record_decl(d);
+                                Some(self.m.decl_info(d).expect("decl exists").2)
+                            }
+                            None => {
+                                return Err(AnalysisError(format!(
+                                    "type `{}` has no operation `{name}`",
+                                    self.m.type_name(t).unwrap_or_default()
+                                )))
+                            }
+                        },
+                        None => None,
+                    }
+                }
+            }
+            Expr::Binary { op, l, r } => {
+                let lt = self.infer(l)?;
+                let rt = self.infer(r)?;
+                use crate::ast::BinOp::*;
+                match op {
+                    Eq | Ne | Lt | Le | Gt | Ge => Some(b.bool_),
+                    Add | Sub | Mul | Div => {
+                        if lt == Some(b.float) || rt == Some(b.float) {
+                            Some(b.float)
+                        } else if lt == Some(b.int) && rt == Some(b.int) {
+                            Some(b.int)
+                        } else {
+                            lt.or(rt)
+                        }
+                    }
+                }
+            }
+            Expr::Neg(e) => self.infer(e)?,
+        })
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), AnalysisError> {
+        match s {
+            Stmt::Assign { target, value } => {
+                self.infer(target)?;
+                self.infer(value)?;
+            }
+            Stmt::If { cond, then, els } => {
+                self.infer(cond)?;
+                self.block(then)?;
+                self.block(els)?;
+            }
+            Stmt::Return(e) | Stmt::Expr(e) => {
+                self.infer(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), AnalysisError> {
+        for s in &b.0 {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze the body of `decl` (receiver `receiver`, formal parameters
+/// `params`), returning its attribute and declaration dependencies.
+pub fn analyze(
+    m: &MetaModel,
+    receiver: TypeId,
+    decl: DeclId,
+    params: &[(String, TypeId)],
+    body: &Block,
+) -> Result<CodeAnalysis, AnalysisError> {
+    let mut cx = Cx {
+        m,
+        receiver,
+        decl,
+        params,
+        out: CodeAnalysis::default(),
+    };
+    cx.block(body)?;
+    Ok(cx.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::parse_code_text;
+
+    fn setup() -> (MetaModel, TypeId, TypeId) {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("S").unwrap();
+        let loc = m.new_type(s, "Location").unwrap();
+        m.add_subtype(loc, m.builtins.any).unwrap();
+        m.add_attr(loc, "longi", m.builtins.float).unwrap();
+        m.add_attr(loc, "lati", m.builtins.float).unwrap();
+        let city = m.new_type(s, "City").unwrap();
+        m.add_subtype(city, loc).unwrap();
+        m.add_attr(city, "name", m.builtins.string).unwrap();
+        (m, loc, city)
+    }
+
+    #[test]
+    fn attr_records_declaring_type() {
+        let (mut m, loc, city) = setup();
+        let d = m.new_decl(city, "f", m.builtins.float).unwrap();
+        let body = parse_code_text("self.longi + self.lati").unwrap();
+        let a = analyze(&m, city, d, &[], &body).unwrap();
+        // longi/lati are declared on Location, even though accessed via City.
+        assert_eq!(
+            a.attr_reqs,
+            vec![(loc, "longi".to_string()), (loc, "lati".to_string())]
+        );
+    }
+
+    #[test]
+    fn param_types_resolve_attrs() {
+        let (mut m, loc, city) = setup();
+        let d = m.new_decl(city, "f", m.builtins.float).unwrap();
+        let body = parse_code_text("other.longi").unwrap();
+        let a = analyze(&m, city, d, &[("other".into(), loc)], &body).unwrap();
+        assert_eq!(a.attr_reqs, vec![(loc, "longi".to_string())]);
+    }
+
+    #[test]
+    fn call_resolves_to_most_specific_decl() {
+        let (mut m, loc, city) = setup();
+        let d_loc = m.new_decl(loc, "distance", m.builtins.float).unwrap();
+        let d_city = m.new_decl(city, "distance", m.builtins.float).unwrap();
+        m.add_refinement(d_city, d_loc).unwrap();
+        let caller = m.new_decl(city, "go", m.builtins.float).unwrap();
+        let body = parse_code_text("self.distance(self)").unwrap();
+        let a = analyze(&m, city, caller, &[], &body).unwrap();
+        assert_eq!(a.decl_reqs, vec![d_city]);
+    }
+
+    #[test]
+    fn super_call_resolves_to_refined_decl() {
+        let (mut m, loc, city) = setup();
+        let d_loc = m.new_decl(loc, "distance", m.builtins.float).unwrap();
+        let d_city = m.new_decl(city, "distance", m.builtins.float).unwrap();
+        m.add_refinement(d_city, d_loc).unwrap();
+        let body = parse_code_text("super.distance(other)").unwrap();
+        let a = analyze(&m, city, d_city, &[("other".into(), loc)], &body).unwrap();
+        assert_eq!(a.decl_reqs, vec![d_loc]);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (mut m, _loc, city) = setup();
+        let d = m.new_decl(city, "f", m.builtins.float).unwrap();
+        let body = parse_code_text("self.nonexistent").unwrap();
+        assert!(analyze(&m, city, d, &[], &body).is_err());
+    }
+
+    #[test]
+    fn comparisons_type_as_bool_and_collect_both_sides() {
+        let (mut m, loc, city) = setup();
+        let d = m.new_decl(city, "f", m.builtins.bool_).unwrap();
+        let body = parse_code_text("self.longi == self.lati").unwrap();
+        let a = analyze(&m, city, d, &[], &body).unwrap();
+        assert_eq!(a.attr_reqs.len(), 2);
+        let _ = loc;
+    }
+
+    #[test]
+    fn duplicates_are_not_recorded_twice() {
+        let (mut m, loc, city) = setup();
+        let d = m.new_decl(city, "f", m.builtins.float).unwrap();
+        let body = parse_code_text("self.longi + self.longi").unwrap();
+        let a = analyze(&m, city, d, &[], &body).unwrap();
+        assert_eq!(a.attr_reqs, vec![(loc, "longi".to_string())]);
+    }
+}

@@ -1,0 +1,485 @@
+//! Lexer for the GOM surface language (paper §3.1, §4.1, appendix A).
+
+use std::fmt;
+
+/// A token of the GOM language.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are contextual).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (double quotes).
+    Str(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..` (relative schema path step)
+    DotDot,
+    /// `/` (schema path separator or division)
+    Slash,
+    /// `->`
+    Arrow,
+    /// `<-`
+    BackArrow,
+    /// `:=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `||` (empty receiver-argument marker in paper signatures)
+    PipePipe,
+    /// `@` (type-version notation `Person@CarSchema`)
+    At,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            other => {
+                let s = match other {
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::DotDot => "..",
+                    Tok::Slash => "/",
+                    Tok::Arrow => "->",
+                    Tok::BackArrow => "<-",
+                    Tok::Assign => ":=",
+                    Tok::EqEq => "==",
+                    Tok::NotEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::PipePipe => "||",
+                    Tok::At => "@",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with source position.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize GOM source. `!! …` comments run to end of line (the paper's
+/// comment syntax); `//` works too.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut out = Vec::new();
+    macro_rules! bump {
+        () => {{
+            let c = b[pos];
+            pos += 1;
+            if c == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        }};
+    }
+    while pos < b.len() {
+        let c = b[pos];
+        // whitespace
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // comments: `!!` or `//` to end of line
+        if (c == b'!' && b.get(pos + 1) == Some(&b'!'))
+            || (c == b'/' && b.get(pos + 1) == Some(&b'/'))
+        {
+            while pos < b.len() && b[pos] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        let (tl, tc) = (line, col);
+        let tstart = pos;
+        let tok = match c {
+            b'[' => {
+                bump!();
+                Tok::LBracket
+            }
+            b']' => {
+                bump!();
+                Tok::RBracket
+            }
+            b'(' => {
+                bump!();
+                Tok::LParen
+            }
+            b')' => {
+                bump!();
+                Tok::RParen
+            }
+            b';' => {
+                bump!();
+                Tok::Semi
+            }
+            b',' => {
+                bump!();
+                Tok::Comma
+            }
+            b'@' => {
+                bump!();
+                Tok::At
+            }
+            b'+' => {
+                bump!();
+                Tok::Plus
+            }
+            b'*' => {
+                bump!();
+                Tok::Star
+            }
+            b'/' => {
+                bump!();
+                Tok::Slash
+            }
+            b':' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'=' {
+                    bump!();
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            b'.' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'.' {
+                    bump!();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
+            }
+            b'-' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'>' {
+                    bump!();
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'<' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'-' {
+                    bump!();
+                    Tok::BackArrow
+                } else if pos < b.len() && b[pos] == b'=' {
+                    bump!();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'=' {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'=' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'=' {
+                    bump!();
+                    Tok::EqEq
+                } else {
+                    return Err(LexError {
+                        line: tl,
+                        col: tc,
+                        msg: "single `=` is not a GOM operator (use `==` or `:=`)".into(),
+                    });
+                }
+            }
+            b'!' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'=' {
+                    bump!();
+                    Tok::NotEq
+                } else {
+                    return Err(LexError {
+                        line: tl,
+                        col: tc,
+                        msg: "stray `!` (comments are `!!`)".into(),
+                    });
+                }
+            }
+            b'|' => {
+                bump!();
+                if pos < b.len() && b[pos] == b'|' {
+                    bump!();
+                    Tok::PipePipe
+                } else {
+                    return Err(LexError {
+                        line: tl,
+                        col: tc,
+                        msg: "stray `|` (signatures use `||`)".into(),
+                    });
+                }
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if pos >= b.len() {
+                        return Err(LexError {
+                            line: tl,
+                            col: tc,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    let c = bump!();
+                    if c == b'"' {
+                        break;
+                    }
+                    s.push(c as char);
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let start = pos;
+                while pos < b.len() && b[pos].is_ascii_digit() {
+                    bump!();
+                }
+                if pos + 1 < b.len() && b[pos] == b'.' && b[pos + 1].is_ascii_digit() {
+                    bump!();
+                    while pos < b.len() && b[pos].is_ascii_digit() {
+                        bump!();
+                    }
+                    let text = std::str::from_utf8(&b[start..pos]).expect("ascii");
+                    Tok::Float(text.parse().map_err(|_| LexError {
+                        line: tl,
+                        col: tc,
+                        msg: "bad float literal".into(),
+                    })?)
+                } else {
+                    let text = std::str::from_utf8(&b[start..pos]).expect("ascii");
+                    Tok::Int(text.parse().map_err(|_| LexError {
+                        line: tl,
+                        col: tc,
+                        msg: "integer literal out of range".into(),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < b.len() && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_') {
+                    bump!();
+                }
+                Tok::Ident(
+                    std::str::from_utf8(&b[start..pos])
+                        .expect("ascii")
+                        .to_string(),
+                )
+            }
+            other => {
+                return Err(LexError {
+                    line: tl,
+                    col: tc,
+                    msg: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        out.push(Spanned {
+            tok,
+            line: tl,
+            col: tc,
+            start: tstart,
+            end: pos,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        assert_eq!(
+            toks("type Person is [ name : string; ]"),
+            vec![
+                Tok::Ident("type".into()),
+                Tok::Ident("Person".into()),
+                Tok::Ident("is".into()),
+                Tok::LBracket,
+                Tok::Ident("name".into()),
+                Tok::Colon,
+                Tok::Ident("string".into()),
+                Tok::Semi,
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn signature_tokens() {
+        assert_eq!(
+            toks("distance : || Location -> float;"),
+            vec![
+                Tok::Ident("distance".into()),
+                Tok::Colon,
+                Tok::PipePipe,
+                Tok::Ident("Location".into()),
+                Tok::Arrow,
+                Tok::Ident("float".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_comment_syntax() {
+        assert_eq!(
+            toks("x !! uses longi and lati.\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into())]
+        );
+    }
+
+    #[test]
+    fn assignment_and_comparison() {
+        assert_eq!(
+            toks("self.milage := self.milage + 1.5; a == b"),
+            vec![
+                Tok::Ident("self".into()),
+                Tok::Dot,
+                Tok::Ident("milage".into()),
+                Tok::Assign,
+                Tok::Ident("self".into()),
+                Tok::Dot,
+                Tok::Ident("milage".into()),
+                Tok::Plus,
+                Tok::Float(1.5),
+                Tok::Semi,
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn schema_paths_and_at_notation() {
+        assert_eq!(
+            toks("/Company/CAD ../CSG Person@CarSchema <- ->"),
+            vec![
+                Tok::Slash,
+                Tok::Ident("Company".into()),
+                Tok::Slash,
+                Tok::Ident("CAD".into()),
+                Tok::DotDot,
+                Tok::Slash,
+                Tok::Ident("CSG".into()),
+                Tok::Ident("Person".into()),
+                Tok::At,
+                Tok::Ident("CarSchema".into()),
+                Tok::BackArrow,
+                Tok::Arrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_number_is_minus_then_int() {
+        assert_eq!(toks("-1.0"), vec![Tok::Minus, Tok::Float(1.0)]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("abc\n  ?").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+}

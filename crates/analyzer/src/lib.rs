@@ -1,0 +1,22 @@
+//! # gom-analyzer — the GOM language front end
+//!
+//! The *Analyzer* of the paper's generic architecture (§2.2): it parses the
+//! GOM surface language and maps schema definitions to modifications of the
+//! base-predicate extensions in the Database Model. Schema changes never
+//! touch the database directly — the lowering produces typed facts that the
+//! consistency-control layer applies inside evolution sessions.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod body;
+pub mod car_schema;
+pub mod codereq;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod paths;
+pub mod print;
+
+pub use parse::{parse_source, ParseError, Parser};
+pub use body::parse_code_text;

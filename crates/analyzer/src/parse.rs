@@ -1,0 +1,764 @@
+//! Recursive-descent parser for GOM schema definition frames.
+//!
+//! The grammar covers everything the paper exercises: type frames with
+//! attribute bodies, `operations`/`refine`/`implementation` sections, enum
+//! sorts, `fashion` declarations, and the appendix-A schema frames with
+//! `public`/`interface`/`implementation` sections, `subschema` entries, and
+//! `import` clauses with schema paths and renaming.
+
+use crate::ast::*;
+use crate::lex::{tokenize, Spanned, Tok};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing.
+pub type PResult<T> = Result<T, ParseError>;
+
+/// Parser state over the token stream. Body-statement parsing lives in
+/// [`crate::body`].
+pub struct Parser<'a> {
+    pub(crate) toks: Vec<Spanned>,
+    pub(crate) pos: usize,
+    pub(crate) src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser for `src`.
+    pub fn new(src: &'a str) -> PResult<Self> {
+        let toks = tokenize(src).map_err(|e| ParseError {
+            line: e.line,
+            col: e.col,
+            msg: e.msg,
+        })?;
+        Ok(Parser {
+            toks,
+            pos: 0,
+            src,
+        })
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((0, 0), |s| (s.line, s.col));
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    pub(crate) fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    pub(crate) fn expect_tok(&mut self, t: &Tok, what: &str) -> PResult<()> {
+        match self.peek() {
+            Some(x) if x == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    pub(crate) fn expect_ident(&mut self, what: &str) -> PResult<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Snapshot of the cursor, for backtracking.
+    pub(crate) fn save(&self) -> usize {
+        self.pos
+    }
+
+    /// Restore a cursor snapshot.
+    pub(crate) fn restore(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Byte offset of the current token (for raw-source capture).
+    pub(crate) fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map_or_else(|| self.src.len(), |s| s.start)
+    }
+
+    /// Byte offset just past the previous token.
+    pub(crate) fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.toks[self.pos - 1].end
+        }
+    }
+
+    // ----- top level -------------------------------------------------------------
+
+    /// Parse a whole source file: a sequence of schema and fashion frames.
+    pub fn items(&mut self) -> PResult<Vec<Item>> {
+        let mut out = Vec::new();
+        while self.peek().is_some() {
+            if self.at_kw("schema") {
+                out.push(Item::Schema(self.schema_frame()?));
+            } else if self.at_kw("fashion") {
+                out.push(Item::Fashion(self.fashion_frame()?));
+            } else {
+                return Err(self.err("expected `schema` or `fashion`"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `schema Name is … end schema Name;`
+    pub fn schema_frame(&mut self) -> PResult<SchemaDef> {
+        self.expect_kw("schema")?;
+        let name = self.expect_ident("schema name")?;
+        self.expect_kw("is")?;
+        let mut def = SchemaDef {
+            name: name.clone(),
+            ..Default::default()
+        };
+        // optional `public A, B, …;`
+        if self.eat_kw("public") {
+            let mut publics = Vec::new();
+            loop {
+                publics.push(self.expect_ident("public component name")?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            def.publics = Some(publics);
+        }
+        // sections
+        let mut in_interface = true;
+        let mut sectioned = false;
+        loop {
+            if self.at_kw("interface") {
+                self.bump();
+                in_interface = true;
+                sectioned = true;
+                continue;
+            }
+            if self.at_kw("implementation") {
+                self.bump();
+                in_interface = false;
+                sectioned = true;
+                continue;
+            }
+            if self.at_kw("end") {
+                break;
+            }
+            let comp = self.component()?;
+            if in_interface {
+                def.interface.push(comp);
+            } else {
+                def.implementation.push(comp);
+            }
+        }
+        // When no explicit sections were used, everything is "interface".
+        let _ = sectioned;
+        self.expect_kw("end")?;
+        self.expect_kw("schema")?;
+        let end_name = self.expect_ident("schema name")?;
+        if end_name != name {
+            return Err(self.err(format!(
+                "schema frame `{name}` closed with `end schema {end_name}`"
+            )));
+        }
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(def)
+    }
+
+    fn component(&mut self) -> PResult<Component> {
+        if self.at_kw("type") {
+            Ok(Component::Type(self.type_frame()?))
+        } else if self.at_kw("sort") {
+            Ok(Component::Sort(self.sort_frame()?))
+        } else if self.at_kw("var") {
+            self.bump();
+            let name = self.expect_ident("variable name")?;
+            self.expect_tok(&Tok::Colon, "`:`")?;
+            let ty = self.type_ref()?;
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            Ok(Component::Var(VarDef {
+                name,
+                ty,
+            }))
+        } else if self.at_kw("subschema") {
+            self.bump();
+            let name = self.expect_ident("subschema name")?;
+            let mut renames = Vec::new();
+            if self.eat_kw("with") {
+                renames = self.renames()?;
+                self.expect_kw("end")?;
+                self.expect_kw("subschema")?;
+                let n2 = self.expect_ident("subschema name")?;
+                if n2 != name {
+                    return Err(self.err("mismatched `end subschema` name"));
+                }
+            }
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            Ok(Component::Subschema(SubschemaDecl {
+                name,
+                renames,
+            }))
+        } else if self.at_kw("import") {
+            self.bump();
+            let path = self.schema_path()?;
+            let mut renames = Vec::new();
+            if self.eat_kw("with") {
+                renames = self.renames()?;
+                self.expect_kw("end")?;
+                self.expect_kw("schema")?;
+                let _ = self.expect_ident("schema name")?;
+            }
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            Ok(Component::Import(ImportDecl {
+                path,
+                renames,
+            }))
+        } else {
+            Err(self.err("expected `type`, `sort`, `var`, `subschema`, or `import`"))
+        }
+    }
+
+    fn renames(&mut self) -> PResult<Vec<Rename>> {
+        let mut out = Vec::new();
+        loop {
+            let kind = if self.eat_kw("type") {
+                RenameKind::Type
+            } else if self.eat_kw("var") {
+                RenameKind::Var
+            } else if self.eat_kw("operation") {
+                RenameKind::Operation
+            } else {
+                break;
+            };
+            let old = self.expect_ident("old name")?;
+            self.expect_kw("as")?;
+            let new = self.expect_ident("new name")?;
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            out.push(Rename {
+                kind,
+                old,
+                new,
+            });
+        }
+        Ok(out)
+    }
+
+    fn schema_path(&mut self) -> PResult<SchemaPath> {
+        let mut absolute = false;
+        let mut ups = 0usize;
+        let mut steps = Vec::new();
+        if self.peek() == Some(&Tok::Slash) {
+            absolute = true;
+            self.bump();
+        }
+        while self.peek() == Some(&Tok::DotDot) {
+            self.bump();
+            ups += 1;
+            if self.peek() == Some(&Tok::Slash) {
+                self.bump();
+            }
+        }
+        while let Some(Tok::Ident(_)) = self.peek() {
+            steps.push(self.expect_ident("schema path step")?);
+            if self.peek() == Some(&Tok::Slash) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !absolute && ups == 0 && steps.is_empty() {
+            return Err(self.err("empty schema path"));
+        }
+        Ok(SchemaPath {
+            absolute,
+            ups,
+            steps,
+        })
+    }
+
+    /// `sort Fuel is enum (leaded, unleaded);`
+    fn sort_frame(&mut self) -> PResult<SortDef> {
+        self.expect_kw("sort")?;
+        let name = self.expect_ident("sort name")?;
+        self.expect_kw("is")?;
+        self.expect_kw("enum")?;
+        self.expect_tok(&Tok::LParen, "`(`")?;
+        let mut variants = Vec::new();
+        loop {
+            variants.push(self.expect_ident("enum literal")?);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => return Err(self.err(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(SortDef {
+            name,
+            variants,
+        })
+    }
+
+    /// A type reference: `Name` or `Name@Schema`.
+    pub(crate) fn type_ref(&mut self) -> PResult<TypeRef> {
+        let name = self.expect_ident("type name")?;
+        if self.peek() == Some(&Tok::At) {
+            self.bump();
+            let schema = self.expect_ident("schema name")?;
+            Ok(TypeRef::at(name, schema))
+        } else {
+            Ok(TypeRef::plain(name))
+        }
+    }
+
+    /// `type Name [supertype S1, S2] is … end type Name;`
+    pub fn type_frame(&mut self) -> PResult<TypeDef> {
+        self.expect_kw("type")?;
+        let name = self.expect_ident("type name")?;
+        let mut def = TypeDef {
+            name: name.clone(),
+            ..Default::default()
+        };
+        if self.eat_kw("supertype") {
+            loop {
+                def.supertypes.push(self.type_ref()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("is")?;
+        // attribute body `[ a : T; b : T; ]`
+        if self.peek() == Some(&Tok::LBracket) {
+            self.bump();
+            while self.peek() != Some(&Tok::RBracket) {
+                let aname = self.expect_ident("attribute name")?;
+                self.expect_tok(&Tok::Colon, "`:`")?;
+                let ty = self.type_ref()?;
+                self.expect_tok(&Tok::Semi, "`;`")?;
+                def.attrs.push(AttrDef {
+                    name: aname,
+                    ty,
+                });
+            }
+            self.bump(); // `]`
+        }
+        // sections: operations / refine / implementation (any order, repeatable)
+        loop {
+            if self.eat_kw("operations") {
+                while self.at_op_sig() {
+                    let sig = self.op_sig()?;
+                    def.ops.push(sig);
+                }
+            } else if self.eat_kw("refine") {
+                while self.at_op_sig() {
+                    let sig = self.op_sig()?;
+                    def.refines.push(sig);
+                }
+            } else if self.eat_kw("implementation") {
+                while self.at_kw("define") || self.at_impl_header() {
+                    def.impls.push(self.op_impl()?);
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("type")?;
+        let end_name = self.expect_ident("type name")?;
+        if end_name != name {
+            return Err(self.err(format!(
+                "type frame `{name}` closed with `end type {end_name}`"
+            )));
+        }
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(def)
+    }
+
+    /// Are we looking at `name :` (an operation signature)?
+    fn at_op_sig(&self) -> bool {
+        if self.at_kw("declare") {
+            return true;
+        }
+        matches!(
+            (self.peek(), self.peek2()),
+            (Some(Tok::Ident(n)), Some(Tok::Colon))
+                if n != "end" && n != "implementation" && n != "refine" && n != "operations"
+        )
+    }
+
+    /// `[declare] name : [||] [T1, T2] -> R;`
+    fn op_sig(&mut self) -> PResult<OpSig> {
+        let _ = self.eat_kw("declare");
+        let name = self.expect_ident("operation name")?;
+        self.expect_tok(&Tok::Colon, "`:`")?;
+        let _ = self.peek() == Some(&Tok::PipePipe) && self.bump().is_some();
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::Arrow) {
+            loop {
+                args.push(self.type_ref()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_tok(&Tok::Arrow, "`->`")?;
+        let result = self.type_ref()?;
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(OpSig {
+            name,
+            args,
+            result,
+        })
+    }
+
+    /// Is the next token sequence `name ( … ) is` (paper-style
+    /// implementation header without `define`)?
+    fn at_impl_header(&self) -> bool {
+        matches!(
+            (self.peek(), self.peek2()),
+            (Some(Tok::Ident(n)), Some(Tok::LParen)) if n != "end"
+        ) || matches!(
+            (self.peek(), self.peek2()),
+            (Some(Tok::Ident(n)), Some(Tok::Ident(is))) if n != "end" && is == "is"
+        )
+    }
+
+    /// `define name(params) is begin … end [define] name;`
+    /// or paper style `name(params) is begin … end name;`
+    fn op_impl(&mut self) -> PResult<OpImpl> {
+        let _ = self.eat_kw("define");
+        let name = self.expect_ident("operation name")?;
+        let mut params = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    params.push(self.expect_ident("parameter name")?);
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RParen) => break,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected `,` or `)`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.expect_kw("is")?;
+        let raw_start = self.offset();
+        let body = self.open_block()?;
+        // `end [define] name;` — the `end` closes the body block too.
+        self.expect_kw("end")?;
+        let raw = self.src[raw_start..self.prev_end()].to_string();
+        let _ = self.eat_kw("define");
+        let end_name = self.expect_ident("operation name")?;
+        if end_name != name {
+            return Err(self.err(format!(
+                "implementation of `{name}` closed with `end {end_name}`"
+            )));
+        }
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(OpImpl {
+            name,
+            params,
+            body,
+            raw,
+        })
+    }
+
+    /// `fashion From as To where … end fashion;`
+    pub fn fashion_frame(&mut self) -> PResult<FashionDef> {
+        self.expect_kw("fashion")?;
+        let from = self.type_ref()?;
+        self.expect_kw("as")?;
+        let to = self.type_ref()?;
+        self.expect_kw("where")?;
+        let mut members = Vec::new();
+        while !self.at_kw("end") {
+            members.push(self.fashion_member()?);
+        }
+        self.expect_kw("end")?;
+        self.expect_kw("fashion")?;
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(FashionDef {
+            from,
+            to,
+            members,
+        })
+    }
+
+    fn fashion_member(&mut self) -> PResult<FashionMember> {
+        if self.eat_kw("operation") {
+            let name = self.expect_ident("operation name")?;
+            self.expect_kw("is")?;
+            let raw_start = self.offset();
+            let body = self.closed_block()?;
+            let raw = self.src[raw_start..self.prev_end()].to_string();
+            self.expect_tok(&Tok::Semi, "`;`")?;
+            return Ok(FashionMember::Op {
+                name,
+                body,
+                raw,
+            });
+        }
+        let name = self.expect_ident("attribute name")?;
+        self.expect_tok(&Tok::Colon, "`:`")?;
+        enum Dir {
+            Read,
+            Write,
+            Both,
+        }
+        let dir = if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            Dir::Read
+        } else if self.peek() == Some(&Tok::BackArrow) {
+            self.bump();
+            Dir::Write
+        } else {
+            Dir::Both
+        };
+        let ty = self.type_ref()?;
+        self.expect_kw("is")?;
+        let raw_start = self.offset();
+        let body = self.block_or_expr()?;
+        let raw = self.src[raw_start..self.prev_end()].to_string();
+        self.expect_tok(&Tok::Semi, "`;`")?;
+        Ok(match dir {
+            Dir::Read => FashionMember::AttrRead {
+                name,
+                ty,
+                body,
+                raw,
+            },
+            Dir::Write => FashionMember::AttrWrite {
+                name,
+                ty,
+                body,
+                raw,
+            },
+            Dir::Both => FashionMember::AttrBoth {
+                name,
+                ty,
+                body,
+                raw,
+            },
+        })
+    }
+}
+
+/// Parse a full source file into items.
+pub fn parse_source(src: &str) -> PResult<Vec<Item>> {
+    let mut p = Parser::new(src)?;
+    p.items()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::car_schema::CAR_SCHEMA_SRC;
+
+    #[test]
+    fn parses_the_paper_car_schema() {
+        let items = parse_source(CAR_SCHEMA_SRC).unwrap();
+        assert_eq!(items.len(), 1);
+        let Item::Schema(s) = &items[0] else {
+            panic!("expected schema");
+        };
+        assert_eq!(s.name, "CarSchema");
+        let types: Vec<&TypeDef> = s
+            .components()
+            .filter_map(|c| match c {
+                Component::Type(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let names: Vec<&str> = types.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["Person", "Location", "City", "Car"]);
+        let city = types[2];
+        assert_eq!(city.supertypes, vec![TypeRef::plain("Location")]);
+        assert_eq!(city.refines.len(), 1);
+        assert_eq!(city.refines[0].name, "distance");
+        let car = types[3];
+        assert_eq!(car.attrs.len(), 4);
+        assert_eq!(car.ops[0].name, "changeLocation");
+        assert_eq!(car.ops[0].args.len(), 2);
+        assert_eq!(car.impls.len(), 1);
+        assert!(car.impls[0].raw.contains("self.owner"));
+    }
+
+    #[test]
+    fn sort_enum_parses() {
+        let src = "schema S is sort Fuel is enum (leaded, unleaded); end schema S;";
+        let items = parse_source(src).unwrap();
+        let Item::Schema(s) = &items[0] else {
+            panic!()
+        };
+        let Component::Sort(f) = &s.interface[0] else {
+            panic!("expected sort")
+        };
+        assert_eq!(f.variants, vec!["leaded", "unleaded"]);
+    }
+
+    #[test]
+    fn fashion_frame_parses() {
+        let src = "\
+fashion Person@CarSchema as Person@NewCarSchema where
+  birthday : -> date is self.age;
+  birthday : <- date is begin self.age := value; end;
+  name : string is self.name;
+end fashion;";
+        let items = parse_source(src).unwrap();
+        let Item::Fashion(f) = &items[0] else {
+            panic!("expected fashion")
+        };
+        assert_eq!(f.from, TypeRef::at("Person", "CarSchema"));
+        assert_eq!(f.to, TypeRef::at("Person", "NewCarSchema"));
+        assert_eq!(f.members.len(), 3);
+        assert!(matches!(f.members[0], FashionMember::AttrRead { .. }));
+        assert!(matches!(f.members[1], FashionMember::AttrWrite { .. }));
+        assert!(matches!(f.members[2], FashionMember::AttrBoth { .. }));
+    }
+
+    #[test]
+    fn appendix_schema_frames_parse() {
+        let src = "\
+schema Geometry is
+  public CSGCuboid, BRepCuboid;
+  interface
+    subschema CSG with
+      type Cuboid as CSGCuboid;
+    end subschema CSG;
+    subschema BoundaryRep with
+      type Cuboid as BRepCuboid;
+    end subschema BoundaryRep;
+end schema Geometry;
+
+schema CSG2BoundRep is
+  public convert;
+  interface
+    import /Company/CAD/Geometry/CSG with
+      type Cuboid as CSGCuboid;
+    end schema CSG;
+    import ../BoundaryRep;
+end schema CSG2BoundRep;";
+        let items = parse_source(src).unwrap();
+        assert_eq!(items.len(), 2);
+        let Item::Schema(geo) = &items[0] else {
+            panic!()
+        };
+        assert_eq!(geo.publics.as_ref().unwrap().len(), 2);
+        let Component::Subschema(csg) = &geo.interface[0] else {
+            panic!("expected subschema")
+        };
+        assert_eq!(csg.renames[0].new, "CSGCuboid");
+        let Item::Schema(conv) = &items[1] else {
+            panic!()
+        };
+        let Component::Import(imp) = &conv.interface[0] else {
+            panic!("expected import")
+        };
+        assert!(imp.path.absolute);
+        assert_eq!(imp.path.steps.len(), 4);
+        let Component::Import(imp2) = &conv.interface[1] else {
+            panic!("expected import")
+        };
+        assert_eq!(imp2.path.ups, 1);
+        assert_eq!(imp2.path.steps, vec!["BoundaryRep".to_string()]);
+    }
+
+    #[test]
+    fn mismatched_end_name_is_an_error() {
+        let src = "schema A is end schema B;";
+        assert!(parse_source(src).is_err());
+    }
+
+    #[test]
+    fn multiple_supertypes_parse() {
+        let src = "\
+schema S is
+  type A is end type A;
+  type B is end type B;
+  type C supertype A, B is end type C;
+end schema S;";
+        let items = parse_source(src).unwrap();
+        let Item::Schema(s) = &items[0] else {
+            panic!()
+        };
+        let Component::Type(c) = &s.interface[2] else {
+            panic!()
+        };
+        assert_eq!(c.supertypes.len(), 2);
+    }
+}

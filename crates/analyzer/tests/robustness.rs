@@ -1,0 +1,72 @@
+//! Parser robustness: arbitrary input never panics, mutated valid sources
+//! fail gracefully with positioned errors, and valid sources round-trip
+//! through the token stream.
+
+use gom_analyzer::car_schema::{CAR_SCHEMA_SRC, COMPANY_SCHEMA_SRC};
+use gom_analyzer::lex::tokenize;
+use gom_analyzer::parse_source;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser must never panic, whatever the input.
+    #[test]
+    fn parser_never_panics_on_arbitrary_ascii(src in "[ -~\n]{0,300}") {
+        let _ = parse_source(&src); // Ok or Err — both fine
+    }
+
+    /// Random single-character corruption of a valid source either still
+    /// parses (the change hit a comment or irrelevant spot) or produces a
+    /// positioned error — never a panic, never a bogus success with a
+    /// mangled schema name.
+    #[test]
+    fn mutated_car_schema_fails_gracefully(
+        pos in 0usize..CAR_SCHEMA_SRC.len(),
+        replacement in "[ -~]",
+    ) {
+        let mut src = CAR_SCHEMA_SRC.to_string();
+        let c = replacement.chars().next().unwrap();
+        // splice at a char boundary
+        if src.is_char_boundary(pos) && pos + 1 <= src.len() && src.is_char_boundary(pos + 1) {
+            src.replace_range(pos..pos + 1, &c.to_string());
+        }
+        match parse_source(&src) {
+            Ok(items) => prop_assert!(!items.is_empty()),
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.msg.is_empty());
+            }
+        }
+    }
+
+    /// Token truncation at any prefix length never panics.
+    #[test]
+    fn truncated_sources_never_panic(len in 0usize..COMPANY_SCHEMA_SRC.len()) {
+        if COMPANY_SCHEMA_SRC.is_char_boundary(len) {
+            let _ = parse_source(&COMPANY_SCHEMA_SRC[..len]);
+        }
+    }
+}
+
+#[test]
+fn canonical_sources_tokenize_exactly_once() {
+    for src in [CAR_SCHEMA_SRC, COMPANY_SCHEMA_SRC] {
+        let toks = tokenize(src).unwrap();
+        assert!(!toks.is_empty());
+        // Spans are monotonically increasing and within bounds.
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlapping spans");
+            assert!(t.end <= src.len());
+            prev_end = t.start;
+        }
+    }
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let src = "schema S is\n  type T is\n    [ x : ; ]\n  end type T;\nend schema S;";
+    let err = parse_source(src).unwrap_err();
+    assert_eq!(err.line, 3, "{err}");
+}

@@ -1,0 +1,53 @@
+//! B6 — Analyzer throughput: parse + lower cost vs source size, and the
+//! parser alone. Expected shape: linear in source length; lowering
+//! dominates parsing because of code analysis and fact insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gom_analyzer::parse_source;
+use gom_bench::synth_source;
+use gom_core::SchemaManager;
+use std::hint::black_box;
+
+fn b6_analyzer_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_analyzer_throughput");
+    group.sample_size(10);
+    for &types in &[10usize, 50, 200] {
+        let src = synth_source(types);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse_only", types), &src, |b, src| {
+            b.iter(|| black_box(parse_source(src).unwrap().len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_lower", types),
+            &src,
+            |b, src| {
+                b.iter_with_setup(
+                    || SchemaManager::new().unwrap(),
+                    |mut mgr| {
+                        mgr.begin_evolution().unwrap();
+                        let lowered = mgr
+                            .analyzer
+                            .lower_source(&mut mgr.meta, src)
+                            .unwrap();
+                        mgr.rollback_evolution().unwrap();
+                        black_box(lowered.len())
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_define_with_check", types),
+            &src,
+            |b, src| {
+                b.iter_with_setup(
+                    || SchemaManager::new().unwrap(),
+                    |mut mgr| black_box(mgr.define_schema(src).unwrap().len()),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, b6_analyzer_throughput);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! B4 — the cure crossover: immediate conversion (O2/Zicari) vs masking
+//! (ENCORE/Skarra-Zdonik).
+//!
+//! Conversion pays once — proportional to the number of instances; masking
+//! pays per access — each redirected read re-enters the interpreter.
+//! Expected shape: masking wins when accesses are few relative to
+//! instances; conversion wins past a crossover. `crossover_total_cost`
+//! measures the end-to-end cost (cure + k accesses) for both policies so
+//! the crossover is visible directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gom_core::SchemaManager;
+use gom_evolution::{cure_add_attr, CurePolicy};
+use gom_model::{Oid, TypeId};
+use gom_runtime::Value;
+use std::hint::black_box;
+
+fn fresh_world(objects: usize) -> (SchemaManager, TypeId, Vec<Oid>) {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(
+        "schema S is type Car is [ milage : float; ] end type Car; end schema S;",
+    )
+    .unwrap();
+    let s = mgr.meta.schema_by_name("S").unwrap();
+    let car = mgr.meta.type_by_name(s, "Car").unwrap();
+    let oids: Vec<Oid> = (0..objects).map(|_| mgr.create_object(car).unwrap()).collect();
+    (mgr, car, oids)
+}
+
+fn b4_cure_once(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_cure_once");
+    group.sample_size(10);
+    for &objects in &[10usize, 1000, 20000] {
+        group.bench_with_input(
+            BenchmarkId::new("immediate_conversion", objects),
+            &objects,
+            |b, &n| {
+                b.iter_with_setup(
+                    || fresh_world(n),
+                    |(mut mgr, car, _)| {
+                        let string = mgr.meta.builtins.string;
+                        let t = cure_add_attr(
+                            &mut mgr,
+                            car,
+                            "fuelType",
+                            string,
+                            Value::Str("unleaded".into()),
+                            CurePolicy::ImmediateConversion,
+                        )
+                        .unwrap();
+                        black_box(t)
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("masking_setup", objects),
+            &objects,
+            |b, &n| {
+                b.iter_with_setup(
+                    || fresh_world(n),
+                    |(mut mgr, car, _)| {
+                        let string = mgr.meta.builtins.string;
+                        let t = cure_add_attr(
+                            &mut mgr,
+                            car,
+                            "fuelType",
+                            string,
+                            Value::Str("unleaded".into()),
+                            CurePolicy::Masking,
+                        )
+                        .unwrap();
+                        black_box(t)
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn b4_access_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_access_overhead");
+    group.sample_size(10);
+    // One world per policy, 100 objects, then measure attribute reads.
+    for policy in [CurePolicy::ImmediateConversion, CurePolicy::Masking] {
+        let (mut mgr, car, oids) = fresh_world(100);
+        let string = mgr.meta.builtins.string;
+        cure_add_attr(
+            &mut mgr,
+            car,
+            "fuelType",
+            string,
+            Value::Str("unleaded".into()),
+            policy,
+        )
+        .unwrap();
+        let name = match policy {
+            CurePolicy::ImmediateConversion => "converted_slot_read",
+            CurePolicy::Masking => "masked_read",
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut n = 0;
+                for &oid in &oids {
+                    let v = mgr.get_attr(oid, "fuelType").unwrap();
+                    if matches!(v, Value::Str(_)) {
+                        n += 1;
+                    }
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn b4_crossover_total_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_crossover_total_cost");
+    group.sample_size(10);
+    const OBJECTS: usize = 200;
+    for &accesses in &[1usize, 50, 2000] {
+        for policy in [CurePolicy::ImmediateConversion, CurePolicy::Masking] {
+            let name = match policy {
+                CurePolicy::ImmediateConversion => "conversion",
+                CurePolicy::Masking => "masking",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, accesses),
+                &accesses,
+                |b, &k| {
+                    b.iter_with_setup(
+                        || fresh_world(OBJECTS),
+                        |(mut mgr, car, oids)| {
+                            let string = mgr.meta.builtins.string;
+                            cure_add_attr(
+                                &mut mgr,
+                                car,
+                                "fuelType",
+                                string,
+                                Value::Str("unleaded".into()),
+                                policy,
+                            )
+                            .unwrap();
+                            let mut n = 0usize;
+                            for i in 0..k {
+                                let oid = oids[i % oids.len()];
+                                let v = mgr.get_attr(oid, "fuelType").unwrap();
+                                if matches!(v, Value::Str(_)) {
+                                    n += 1;
+                                }
+                            }
+                            black_box(n)
+                        },
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, b4_cure_once, b4_access_overhead, b4_crossover_total_cost);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! B7 — deductive-engine internals: semi-naive vs naive fixpoint on deep
+//! hierarchies, and the cost of the compiled constraint machinery.
+//!
+//! Expected shapes: semi-naive ≪ naive, with the gap widening as the chain
+//! deepens (naive re-derives the full closure every round); constraint
+//! compilation is a one-time cost proportional to the constraint count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gom_deductive::Database;
+use std::hint::black_box;
+
+fn chain_db(depth: usize) -> Database {
+    let mut db = Database::new();
+    db.load(
+        "base Edge(a, b).
+         derived Path(a, b).
+         Path(X, Y) :- Edge(X, Y).
+         Path(X, Z) :- Edge(X, Y), Path(Y, Z).",
+    )
+    .unwrap();
+    let e = db.pred_id("Edge").unwrap();
+    for i in 0..depth {
+        let a = db.constant(&format!("n{i}"));
+        let b = db.constant(&format!("n{}", i + 1));
+        db.insert(e, vec![a, b]).unwrap();
+    }
+    db
+}
+
+fn b7_seminaive_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_seminaive_vs_naive");
+    group.sample_size(10);
+    for &depth in &[16usize, 64, 128] {
+        let mut db = chain_db(depth);
+        let path = db.pred_id("Path").unwrap();
+        group.bench_with_input(BenchmarkId::new("seminaive", depth), &depth, |b, _| {
+            b.iter(|| {
+                db.invalidate_caches();
+                black_box(db.derived_facts(path).unwrap().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, _| {
+            b.iter(|| black_box(db.evaluate_naive_for_bench().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn b7_constraint_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_constraint_compilation");
+    group.sample_size(10);
+    // Compilation cost of the full GOM catalog (guarded Lloyd–Topor).
+    group.bench_function("compile_gom_catalog", |b| {
+        b.iter_with_setup(
+            || {
+                let mut m = gom_model::MetaModel::new().unwrap();
+                gom_core::install(&mut m).unwrap();
+                m
+            },
+            |mut m| {
+                // `check` forces compilation + evaluation of the empty base.
+                black_box(m.db.check().unwrap().len())
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, b7_seminaive_vs_naive, b7_constraint_compilation);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! B3 — repair-generation cost.
+//!
+//! Violations are induced by adding `k` attributes to instantiated types
+//! without slots (the §3.5 situation, k-fold). We measure (a) generating
+//! repairs for a single violation and (b) for all violations, as violation
+//! count grows. Expected shape: near-linear in the number of violations;
+//! per-violation cost bounded by the derivation-tree depth and the
+//! conclusion-completion search (both capped).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gom_bench::{populate_objects, synth_manager, SynthParams};
+use gom_core::SchemaManager;
+use std::hint::black_box;
+
+/// A manager with `k` slot_for_every_attr violations.
+fn violated_manager(k: usize) -> SchemaManager {
+    let (mut mgr, types) = synth_manager(SynthParams {
+        types: k.max(8) * 2,
+        subtype_pct: 0, // flat hierarchy: one violation per added attr
+        ..Default::default()
+    });
+    let with_objects: Vec<_> = types[..k].to_vec();
+    populate_objects(&mut mgr, &with_objects, 1);
+    assert!(mgr.check().unwrap().is_empty());
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    for (i, &t) in with_objects.iter().enumerate() {
+        mgr.meta.add_attr(t, &format!("gap{i}"), string).unwrap();
+    }
+    mgr
+}
+
+fn b3_repair_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_repair_generation");
+    group.sample_size(10);
+    for &k in &[1usize, 4, 16] {
+        let mut mgr = violated_manager(k);
+        let violations = mgr.meta.db.check().unwrap();
+        assert_eq!(violations.len(), k, "expected {k} violations");
+        group.bench_with_input(BenchmarkId::new("single_violation", k), &k, |b, _| {
+            b.iter(|| {
+                let r = mgr.meta.db.repairs(&violations[0]).unwrap();
+                black_box(r.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("all_violations", k), &k, |b, _| {
+            b.iter(|| {
+                let mut n = 0;
+                for v in &violations {
+                    n += mgr.meta.db.repairs(v).unwrap().len();
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, b3_repair_generation);
+criterion_main!(benches);

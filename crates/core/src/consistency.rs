@@ -1,0 +1,399 @@
+//! The declarative consistency definition for the core of GOM.
+//!
+//! This module *is* the implementation of the Consistency Control in the
+//! sense of the paper's §2.2: "Deciding to rely on deductive database
+//! technology cuts the implementational efforts for this component down to
+//! zero". The entire consistency definition is the two text documents below
+//! — derived-predicate rules ([`GOM_RULES`], §3.3) and constraints
+//! ([`GOM_CONSTRAINTS`], §3.3–§3.4) — fed verbatim into the deductive
+//! database. Changing the notion of consistency (paper §2.1, e.g.
+//! restraining to single inheritance) is editing this text or calling
+//! `add_constraint`/`remove_constraint`, never touching module code.
+
+use gom_deductive::Result;
+use gom_model::MetaModel;
+
+/// Derived predicates of §3.3: transitive closures, inherited attributes
+/// (`Attr^i`), refinement screening (`Refined`), and inherited operations
+/// (`Decl^i`).
+pub const GOM_RULES: &str = "\
+derived SubTypRelT(sub, super).
+SubTypRelT(X, Y) :- SubTypRel(X, Y).
+SubTypRelT(X, Z) :- SubTypRel(X, Y), SubTypRelT(Y, Z).
+
+derived DeclRefinementT(refining, refined).
+DeclRefinementT(X, Y) :- DeclRefinement(X, Y).
+DeclRefinementT(X, Z) :- DeclRefinement(X, Y), DeclRefinementT(Y, Z).
+
+% Attr^i — attributes including inherited ones.
+derived AttrI(tid, attr, domain).
+AttrI(T, A, D) :- Attr(T, A, D).
+AttrI(T1, A, D) :- SubTypRelT(T1, T2), Attr(T2, A, D).
+
+% Refined(X, Y): declaration X has a refinement associated to type Y or one
+% of Y's subtypes on the path — the paper's screening predicate.
+derived Refined(did, tid).
+Refined(X1, Y21) :- Decl(X1, Y11, Z1, Y12), DeclRefinementT(X2, X1),
+                    Decl(X2, Y21, Z2, Y22).
+Refined(X1, Y)   :- Decl(X1, Y11, Z1, Y12), DeclRefinementT(X2, X1),
+                    Decl(X2, Y21, Z2, Y22), SubTypRelT(Y, Y21).
+
+% Decl^i — operations including inherited ones, hiding refined originals.
+derived DeclI(did, tid, op, result).
+DeclI(X, Y11, Z, Y12) :- Decl(X, Y11, Z, Y12).
+DeclI(X, Y11, Z, Y12) :- SubTypRelT(Y11, Y21), Decl(X, Y21, Z, Y12),
+                         not Refined(X, Y11).
+";
+
+/// The constraint catalog: §3.3 (schema consistency) and §3.4
+/// (schema/object consistency). Key constraints are declared on the base
+/// predicates themselves (`!` columns in the catalog) and therefore do not
+/// appear here — exactly as the paper "does not state \[keys\] explicitly due
+/// to their simplicity".
+pub const GOM_CONSTRAINTS: &str = "\
+% ===== uniqueness (§3.3) =====================================================
+constraint type_name_unique \"every type name can be used at most once within one schema\":
+  forall X1, X2, Y1, Y2, Z:
+    Type(X1, Y1, Z) & Type(X2, Y2, Z) & Y1 = Y2 -> X1 = X2.
+
+constraint code_unique_per_decl \"a declaration has exactly one implementation (1:1 implements)\":
+  forall C1, X1, C2, X2, D: Code(C1, X1, D) & Code(C2, X2, D) -> C1 = C2.
+
+% ===== referential integrity (§3.3, 'always the same pattern') ==============
+constraint type_schema_ref \"the schema of a type must exist\":
+  forall T, N, S: Type(T, N, S) -> exists SN: Schema(S, SN).
+
+constraint attr_type_ref \"attributes belong to existing types\":
+  forall T, A, D: Attr(T, A, D) -> exists N, S: Type(T, N, S).
+
+constraint attr_domain_ref \"the domain of every attribute must be defined\":
+  forall T, A, D: Attr(T, A, D) -> exists N, S: Type(D, N, S).
+
+constraint decl_receiver_ref \"declarations belong to existing types\":
+  forall D, Tc, O, Tt: Decl(D, Tc, O, Tt) -> exists N, S: Type(Tc, N, S).
+
+constraint decl_result_ref \"result types of declarations must be defined\":
+  forall D, Tc, O, Tt: Decl(D, Tc, O, Tt) -> exists N, S: Type(Tt, N, S).
+
+constraint argdecl_decl_ref \"argument declarations belong to existing declarations\":
+  forall D, I, T: ArgDecl(D, I, T) -> exists Tc, O, Tt: Decl(D, Tc, O, Tt).
+
+constraint argdecl_type_ref \"argument types must be defined\":
+  forall D, I, T: ArgDecl(D, I, T) -> exists N, S: Type(T, N, S).
+
+constraint code_decl_ref \"code implements an existing declaration\":
+  forall C, X, D: Code(C, X, D) -> exists Tc, O, Tt: Decl(D, Tc, O, Tt).
+
+constraint subtyp_sub_ref \"subtype edges reference existing types (sub)\":
+  forall X, Y: SubTypRel(X, Y) -> exists N, S: Type(X, N, S).
+
+constraint subtyp_super_ref \"subtype edges reference existing types (super)\":
+  forall X, Y: SubTypRel(X, Y) -> exists N, S: Type(Y, N, S).
+
+constraint refine_refs \"refinement edges reference existing declarations\":
+  forall X, Y: DeclRefinement(X, Y) ->
+    (exists T1, O1, R1: Decl(X, T1, O1, R1)) & (exists T2, O2, R2: Decl(Y, T2, O2, R2)).
+
+constraint codereq_decl_refs \"all invoked operations must be present\":
+  forall C, D: CodeReqDecl(C, D) ->
+    (exists X, D2: Code(C, X, D2)) & (exists Tc, O, Tt: Decl(D, Tc, O, Tt)).
+
+constraint codereq_attr_refs \"all accessed attributes must be present (inherited ones count)\":
+  forall C, T, A: CodeReqAttr(C, T, A) ->
+    (exists X, D: Code(C, X, D)) & (exists TD: AttrI(T, A, TD)).
+
+% ===== existence (§3.3) ======================================================
+constraint decl_has_code \"for any declaration a piece of code implementing it must be present\":
+  forall D, Tc, O, Tt: Decl(D, Tc, O, Tt) -> exists C1, C2: Code(C1, C2, D).
+
+% ===== SubTypRel / DeclRefinement structure (§3.3) ===========================
+constraint subtype_acyclic \"the subtype relationship must be acyclic\":
+  forall X: !SubTypRelT(X, X).
+
+constraint any_is_root \"there must exist a unique root called ANY\":
+  forall X, Y, Z: Type(X, Y, Z) -> X = 'tid_any' | SubTypRelT(X, 'tid_any').
+
+constraint refinement_acyclic \"the refinement relationship must be acyclic\":
+  forall X: !DeclRefinementT(X, X).
+
+% ===== multiple inheritance (§3.3) ===========================================
+constraint inherited_attr_unique \"inherited attributes with the same name must have the same domain\":
+  forall T, A, D1, D2: AttrI(T, A, D1) & AttrI(T, A, D2) -> D1 = D2.
+
+constraint inherited_op_needs_refinement \"commonly inherited operations need a common refinement\":
+  forall T, T1, T2, O, Tt1, Tt2, D1, D2:
+    SubTypRel(T, T1) & SubTypRel(T, T2) &
+    DeclI(D1, T1, O, Tt1) & DeclI(D2, T2, O, Tt2) & D1 != D2
+  -> exists D: DeclRefinement(D, D1) & DeclRefinement(D, D2).
+
+% ===== refinement / contravariance (§3.3) ====================================
+constraint refinement_contravariance \"refinements must obey contravariance\":
+  forall D1, D2, Tc1, Tc2, O1, O2, Tt1, Tt2:
+    DeclRefinement(D2, D1) & Decl(D1, Tc1, O1, Tt1) & Decl(D2, Tc2, O2, Tt2)
+  ->
+    O1 = O2
+    & (Tc1 = Tc2 | SubTypRelT(Tc2, Tc1))
+    & (Tt1 = Tt2 | SubTypRelT(Tt2, Tt1))
+    & (forall N, TA1, TA2:
+         ArgDecl(D1, N, TA1) & ArgDecl(D2, N, TA2) -> TA1 = TA2 | SubTypRelT(TA1, TA2))
+    & (forall N1, TA1b: ArgDecl(D1, N1, TA1b) -> exists TA2b: ArgDecl(D2, N1, TA2b))
+    & (forall N2, TA2c: ArgDecl(D2, N2, TA2c) -> exists TA1c: ArgDecl(D1, N2, TA1c)).
+
+% ===== schema/object consistency (§3.4) ======================================
+constraint phrep_type_ref \"physical representations belong to existing types\":
+  forall C, T: PhRep(C, T) -> exists N, S: Type(T, N, S).
+
+constraint phrep_unique_per_type \"only one physical representation per type\":
+  forall C1, T, C2: PhRep(C1, T) & PhRep(C2, T) -> C1 = C2.
+
+constraint slot_phrep_ref \"slots belong to existing physical representations\":
+  forall C, A, CA: Slot(C, A, CA) -> exists T: PhRep(C, T).
+
+constraint slot_value_ref \"slot values are existing physical representations\":
+  forall C, A, CA: Slot(C, A, CA) -> exists T: PhRep(CA, T).
+
+constraint slot_for_every_attr \"(*) every attribute (inherited ones included) needs a slot in every representation\":
+  forall T, A, TA, C:
+    AttrI(T, A, TA) & PhRep(C, T) -> exists CA: Slot(C, A, CA) & PhRep(CA, TA).
+
+constraint slot_matches_attr \"every slot corresponds to an attribute of its type\":
+  forall C, A, CA, T: Slot(C, A, CA) & PhRep(C, T) -> exists TA: AttrI(T, A, TA).
+";
+
+/// Install the GOM consistency definition (rules + constraints) into the
+/// meta model's deductive database. Idempotent.
+pub fn install(m: &mut MetaModel) -> Result<()> {
+    if m.db.pred_id("SubTypRelT").is_none() {
+        m.db.load(GOM_RULES)?;
+    }
+    if m.db.constraint("type_name_unique").is_none() {
+        m.db.load(GOM_CONSTRAINTS)?;
+    }
+    Ok(())
+}
+
+/// The §2.1 example of a changed consistency definition: a project decides
+/// to restrain inheritance to single inheritance. Adding this constraint is
+/// the *entire* change.
+pub const SINGLE_INHERITANCE_CONSTRAINT: &str = "\
+constraint single_inheritance \"project policy: multiple inheritance is forbidden\":
+  forall T, S1, S2: SubTypRel(T, S1) & SubTypRel(T, S2) -> S1 = S2.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_checks_builtins_clean() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        install(&mut m).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.is_empty(), "{:?}", v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dangling_attr_domain_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let t = m.new_type(s, "T").unwrap();
+        m.add_subtype(t, m.builtins.any).unwrap();
+        // Domain that is not a type:
+        let ghost = gom_model::TypeId(m.db.intern("ghost"));
+        m.add_attr(t, "x", ghost).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "attr_domain_ref"));
+    }
+
+    #[test]
+    fn rootless_type_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let _t = m.new_type(s, "Orphan").unwrap(); // no subtype edge to ANY
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "any_is_root"), "{v:?}");
+    }
+
+    #[test]
+    fn duplicate_type_name_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let a = m.new_type(s, "Dup").unwrap();
+        let b = m.new_type(s, "Dup").unwrap();
+        m.add_subtype(a, m.builtins.any).unwrap();
+        m.add_subtype(b, m.builtins.any).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "type_name_unique"));
+        // Same name in DIFFERENT schemas is fine (local name spaces).
+        let mut m2 = MetaModel::new().unwrap();
+        install(&mut m2).unwrap();
+        let s1 = m2.new_schema("A").unwrap();
+        let s2 = m2.new_schema("B").unwrap();
+        let t1 = m2.new_type(s1, "Dup").unwrap();
+        let t2 = m2.new_type(s2, "Dup").unwrap();
+        m2.add_subtype(t1, m2.builtins.any).unwrap();
+        m2.add_subtype(t2, m2.builtins.any).unwrap();
+        assert!(m2.db.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn decl_without_code_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let t = m.new_type(s, "T").unwrap();
+        m.add_subtype(t, m.builtins.any).unwrap();
+        let d = m.new_decl(t, "op", m.builtins.int).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "decl_has_code"), "{v:?}");
+        m.new_code(d, "return 1;").unwrap();
+        assert!(m.db.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn subtype_cycle_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let a = m.new_type(s, "A").unwrap();
+        let b = m.new_type(s, "B").unwrap();
+        m.add_subtype(a, m.builtins.any).unwrap();
+        m.add_subtype(b, m.builtins.any).unwrap();
+        m.add_subtype(a, b).unwrap();
+        m.add_subtype(b, a).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "subtype_acyclic"));
+    }
+
+    #[test]
+    fn inherited_attr_conflict_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let a = m.new_type(s, "A").unwrap();
+        let b = m.new_type(s, "B").unwrap();
+        let c = m.new_type(s, "C").unwrap();
+        for t in [a, b, c] {
+            m.add_subtype(t, m.builtins.any).unwrap();
+        }
+        m.add_attr(a, "x", m.builtins.int).unwrap();
+        m.add_attr(b, "x", m.builtins.float).unwrap(); // different domain!
+        m.add_subtype(c, a).unwrap();
+        m.add_subtype(c, b).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(
+            v.iter().any(|x| x.constraint == "inherited_attr_unique"),
+            "{:?}",
+            v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn contravariance_violation_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let sup = m.new_type(s, "Sup").unwrap();
+        let sub = m.new_type(s, "Sub").unwrap();
+        m.add_subtype(sup, m.builtins.any).unwrap();
+        m.add_subtype(sub, sup).unwrap();
+        let d1 = m.new_decl(sup, "op", m.builtins.float).unwrap();
+        m.add_argdecl(d1, 1, sup).unwrap();
+        m.new_code(d1, "return 0.0;").unwrap();
+        // Refinement narrows the parameter type — contravariance violation.
+        let d2 = m.new_decl(sub, "op", m.builtins.float).unwrap();
+        m.add_argdecl(d2, 1, sub).unwrap();
+        m.new_code(d2, "return 1.0;").unwrap();
+        m.add_refinement(d2, d1).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(
+            v.iter().any(|x| x.constraint == "refinement_contravariance"),
+            "{:?}",
+            v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>()
+        );
+        // Widening (or equal) parameter types are fine.
+        let mut m2 = MetaModel::new().unwrap();
+        install(&mut m2).unwrap();
+        let s = m2.new_schema("S").unwrap();
+        let sup = m2.new_type(s, "Sup").unwrap();
+        let sub = m2.new_type(s, "Sub").unwrap();
+        m2.add_subtype(sup, m2.builtins.any).unwrap();
+        m2.add_subtype(sub, sup).unwrap();
+        let d1 = m2.new_decl(sup, "op", m2.builtins.float).unwrap();
+        m2.add_argdecl(d1, 1, sub).unwrap();
+        m2.new_code(d1, "return 0.0;").unwrap();
+        let d2 = m2.new_decl(sub, "op", m2.builtins.float).unwrap();
+        m2.add_argdecl(d2, 1, sup).unwrap(); // wider: OK
+        m2.new_code(d2, "return 1.0;").unwrap();
+        m2.add_refinement(d2, d1).unwrap();
+        assert!(m2.db.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_in_refinement_detected() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let sup = m.new_type(s, "Sup").unwrap();
+        let sub = m.new_type(s, "Sub").unwrap();
+        m.add_subtype(sup, m.builtins.any).unwrap();
+        m.add_subtype(sub, sup).unwrap();
+        let d1 = m.new_decl(sup, "op", m.builtins.float).unwrap();
+        m.add_argdecl(d1, 1, sup).unwrap();
+        m.new_code(d1, "return 0.0;").unwrap();
+        let d2 = m.new_decl(sub, "op", m.builtins.float).unwrap();
+        // No arguments declared for the refinement: arity mismatch.
+        m.new_code(d2, "return 1.0;").unwrap();
+        m.add_refinement(d2, d1).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "refinement_contravariance"));
+    }
+
+    #[test]
+    fn single_inheritance_policy_change() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let a = m.new_type(s, "A").unwrap();
+        let b = m.new_type(s, "B").unwrap();
+        let c = m.new_type(s, "C").unwrap();
+        for t in [a, b, c] {
+            m.add_subtype(t, m.builtins.any).unwrap();
+        }
+        m.add_subtype(c, a).unwrap();
+        m.add_subtype(c, b).unwrap();
+        // Base definition allows multiple inheritance…
+        assert!(m.db.check().unwrap().is_empty());
+        // …until the project leader adds the policy (paper §2.1).
+        m.db.load(SINGLE_INHERITANCE_CONSTRAINT).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "single_inheritance"));
+        // Dropping the policy restores the old notion of consistency.
+        assert!(m.db.remove_constraint("single_inheritance"));
+        assert!(m.db.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn slot_constraints_detect_both_directions() {
+        let mut m = MetaModel::new().unwrap();
+        install(&mut m).unwrap();
+        let s = m.new_schema("S").unwrap();
+        let t = m.new_type(s, "T").unwrap();
+        m.add_subtype(t, m.builtins.any).unwrap();
+        m.add_attr(t, "x", m.builtins.int).unwrap();
+        let clid = m.new_phrep(t).unwrap();
+        // Missing slot for x → (*) violated.
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "slot_for_every_attr"));
+        m.add_slot(clid, "x", m.builtins.phrep_int).unwrap();
+        assert!(m.db.check().unwrap().is_empty());
+        // A stray slot without an attribute → converse violated.
+        m.add_slot(clid, "ghost", m.builtins.phrep_int).unwrap();
+        let v = m.db.check().unwrap();
+        assert!(v.iter().any(|x| x.constraint == "slot_matches_attr"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Repair explanations (paper §3.5, "readability of repairs").
+//!
+//! "Since the Consistency Control is not aware of the actual changes in the
+//! Object Base necessary to derive the proposed changes in the Database
+//! Model, we assume that for each change to a base predicate's extension
+//! either the Analyzer or the Runtime System can explain the changes to be
+//! performed." This module is that explanation service: it maps raw
+//! `+P(…)`/`−P(…)` operations to user-facing sentences, including the two
+//! famous ones — deleting a `PhRep` fact "results in deleting all cars",
+//! and inserting a `Slot` fact "can be achieved by executing the conversion
+//! routines".
+
+use gom_deductive::{Op, Repair};
+use gom_model::{MetaModel, PhRepId, TypeId};
+use gom_runtime::Runtime;
+
+/// A repair together with its per-operation explanations.
+#[derive(Clone, Debug)]
+pub struct ExplainedRepair {
+    /// The executable repair.
+    pub repair: Repair,
+    /// One sentence per operation, in order.
+    pub explanations: Vec<String>,
+}
+
+impl ExplainedRepair {
+    /// Render for display: kind, raw ops, explanations.
+    pub fn render(&self, m: &MetaModel) -> String {
+        let mut s = self.repair.render(&m.db);
+        for e in &self.explanations {
+            s.push_str("\n      → ");
+            s.push_str(e);
+        }
+        s
+    }
+}
+
+fn type_label(m: &MetaModel, t: TypeId) -> String {
+    match (m.type_name(t), m.schema_of(t).and_then(|s| schema_label(m, s))) {
+        (Some(n), Some(s)) => format!("{n}@{s}"),
+        (Some(n), None) => n,
+        _ => format!("<{}>", m.db.resolve(t.sym())),
+    }
+}
+
+fn schema_label(m: &MetaModel, s: gom_model::SchemaId) -> Option<String> {
+    let rel = m.db.relation(m.cat.schema).select(&[(0, s.constant())]);
+    rel.first()
+        .and_then(|t| t.get(1).as_sym())
+        .map(|sym| m.db.resolve(sym).to_string())
+}
+
+fn sym_str(m: &MetaModel, c: gom_deductive::Const) -> String {
+    match c {
+        gom_deductive::Const::Sym(s) => m.db.resolve(s).to_string(),
+        gom_deductive::Const::Int(n) => n.to_string(),
+    }
+}
+
+/// Explain one base-predicate operation in Analyzer/Runtime-System terms.
+pub fn explain_op(m: &MetaModel, rt: &Runtime, op: &Op) -> String {
+    let pred_name = m.db.pred_name(op.pred()).to_string();
+    let t = op.tuple();
+    let ins = matches!(op, Op::Insert(..));
+    let tid = |i: usize| TypeId(t.get(i).as_sym().expect("type column"));
+    match pred_name.as_str() {
+        "Schema" => format!(
+            "{} schema `{}`",
+            if ins { "create" } else { "drop" },
+            sym_str(m, t.get(1))
+        ),
+        "Type" => format!(
+            "{} type `{}` in schema `{}`",
+            if ins { "introduce" } else { "delete" },
+            sym_str(m, t.get(1)),
+            m.schema_of(tid(0))
+                .and_then(|s| schema_label(m, s))
+                .unwrap_or_else(|| sym_str(m, t.get(2)))
+        ),
+        "Attr" => format!(
+            "{} attribute `{} : {}` {} type `{}`",
+            if ins { "add" } else { "remove" },
+            sym_str(m, t.get(1)),
+            type_label(m, tid(2)),
+            if ins { "to" } else { "from" },
+            type_label(m, tid(0))
+        ),
+        "Decl" => format!(
+            "{} operation `{}` on type `{}`",
+            if ins { "declare" } else { "drop" },
+            sym_str(m, t.get(2)),
+            type_label(m, tid(1))
+        ),
+        "ArgDecl" => format!(
+            "{} argument {} of declaration `{}`",
+            if ins { "add" } else { "remove" },
+            sym_str(m, t.get(1)),
+            sym_str(m, t.get(0))
+        ),
+        "Code" => format!(
+            "{} the implementation of declaration `{}`",
+            if ins { "supply" } else { "remove" },
+            sym_str(m, t.get(2))
+        ),
+        "SubTypRel" => format!(
+            "{} the subtype edge `{} <: {}`",
+            if ins { "add" } else { "remove" },
+            type_label(m, tid(0)),
+            type_label(m, tid(1))
+        ),
+        "DeclRefinement" => format!(
+            "{} the refinement `{}` of `{}`",
+            if ins { "record" } else { "drop" },
+            sym_str(m, t.get(0)),
+            sym_str(m, t.get(1))
+        ),
+        "CodeReqDecl" | "CodeReqAttr" => format!(
+            "adjust the code dependency `{pred_name}{}` (re-analyze or edit the method body)",
+            t.display(m.db.interner())
+        ),
+        "PhRep" => {
+            let ty = tid(1);
+            let count = rt.objects.extent(ty).len();
+            if ins {
+                format!(
+                    "materialise a physical representation for type `{}`",
+                    type_label(m, ty)
+                )
+            } else {
+                format!(
+                    "DELETE ALL {count} instance(s) of type `{}` (drop its physical representation)",
+                    type_label(m, ty)
+                )
+            }
+        }
+        "Slot" => {
+            let clid = PhRepId(t.get(0).as_sym().expect("phrep column"));
+            let ty = m
+                .db
+                .relation(m.cat.phrep)
+                .select(&[(0, clid.constant())])
+                .first()
+                .and_then(|r| r.get(1).as_sym())
+                .map(TypeId);
+            let tyname = ty.map_or_else(|| "?".to_string(), |ty| type_label(m, ty));
+            if ins {
+                format!(
+                    "execute a CONVERSION routine adding slot `{}` to every instance of `{tyname}` \
+                     (value from a default, per-instance input, or a user-supplied operation)",
+                    sym_str(m, t.get(1))
+                )
+            } else {
+                format!(
+                    "execute a conversion routine dropping slot `{}` from every instance of `{tyname}`",
+                    sym_str(m, t.get(1))
+                )
+            }
+        }
+        "evolves_to_S" => format!(
+            "{} the schema-version edge {}",
+            if ins { "record" } else { "remove" },
+            t.display(m.db.interner())
+        ),
+        "evolves_to_T" => format!(
+            "{} the type-version edge {}",
+            if ins { "record" } else { "remove" },
+            t.display(m.db.interner())
+        ),
+        "FashionType" => format!(
+            "{} substitutability of `{}` for `{}` (fashion)",
+            if ins { "declare" } else { "revoke" },
+            type_label(m, tid(0)),
+            type_label(m, tid(1))
+        ),
+        "FashionDecl" => format!(
+            "{} a fashion imitation of operation `{}`",
+            if ins { "supply" } else { "remove" },
+            sym_str(m, t.get(0))
+        ),
+        "FashionAttr" => format!(
+            "{} fashion read/write redirection for attribute `{}`",
+            if ins { "supply" } else { "remove" },
+            sym_str(m, t.get(1))
+        ),
+        _ => format!(
+            "{}{}{}",
+            if ins { "+" } else { "-" },
+            pred_name,
+            t.display(m.db.interner())
+        ),
+    }
+}
+
+/// Attach explanations to a repair.
+pub fn explain_repair(m: &MetaModel, rt: &Runtime, repair: Repair) -> ExplainedRepair {
+    let explanations = repair
+        .changes
+        .ops
+        .iter()
+        .map(|op| explain_op(m, rt, op))
+        .collect();
+    ExplainedRepair {
+        repair,
+        explanations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gom_deductive::{ChangeSet, Tuple};
+
+    #[test]
+    fn phrep_delete_mentions_instance_count() {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("CarSchema").unwrap();
+        let car = m.new_type(s, "Car").unwrap();
+        m.add_subtype(car, m.builtins.any).unwrap();
+        let mut rt = Runtime::new();
+        rt.create(&mut m, car).unwrap();
+        rt.create(&mut m, car).unwrap();
+        let clid = m.phrep_of(car).unwrap();
+        let op = Op::Delete(
+            m.cat.phrep,
+            Tuple::from(vec![clid.constant(), car.constant()]),
+        );
+        let text = explain_op(&m, &rt, &op);
+        assert!(text.contains("DELETE ALL 2 instance(s)"), "{text}");
+        assert!(text.contains("Car@CarSchema"), "{text}");
+    }
+
+    #[test]
+    fn slot_insert_mentions_conversion() {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("CarSchema").unwrap();
+        let car = m.new_type(s, "Car").unwrap();
+        m.add_subtype(car, m.builtins.any).unwrap();
+        let rt = Runtime::new();
+        let clid = m.new_phrep(car).unwrap();
+        let fuel = m.db.constant("fuelType");
+        let op = Op::Insert(
+            m.cat.slot,
+            Tuple::from(vec![clid.constant(), fuel, m.builtins.phrep_string.constant()]),
+        );
+        let text = explain_op(&m, &rt, &op);
+        assert!(text.contains("CONVERSION"), "{text}");
+        assert!(text.contains("fuelType"), "{text}");
+    }
+
+    #[test]
+    fn attr_ops_name_type_and_domain() {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("S").unwrap();
+        let t = m.new_type(s, "T").unwrap();
+        let rt = Runtime::new();
+        let a = m.db.constant("x");
+        let op = Op::Insert(
+            m.cat.attr,
+            Tuple::from(vec![t.constant(), a, m.builtins.int.constant()]),
+        );
+        let text = explain_op(&m, &rt, &op);
+        assert!(text.contains("add attribute `x : int@__builtin` to type `T@S`"), "{text}");
+    }
+
+    #[test]
+    fn explained_repair_renders_all_ops() {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("S").unwrap();
+        let t = m.new_type(s, "T").unwrap();
+        let rt = Runtime::new();
+        let a = m.db.constant("x");
+        let mut cs = ChangeSet::new();
+        cs.delete(
+            m.cat.attr,
+            Tuple::from(vec![t.constant(), a, m.builtins.int.constant()]),
+        );
+        let er = explain_repair(
+            &m,
+            &rt,
+            Repair {
+                changes: cs,
+                kind: gom_deductive::RepairKind::InvalidatePremise,
+            },
+        );
+        assert_eq!(er.explanations.len(), 1);
+        assert!(er.render(&m).contains("remove attribute"));
+    }
+}

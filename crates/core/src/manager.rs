@@ -1,0 +1,474 @@
+//! The schema manager: evolution sessions and the §3.5 protocol.
+//!
+//! > 1. The user starts a schema evolution session. 2. The user proposes
+//! > change(s) and suggests to end the session. 3. The Analyzer extracts
+//! > the necessary changes to the extensions of the base predicates. 4. The
+//! > Consistency Control performs a consistency check. 5. If no violation
+//! > was detected, the session ends successfully. 6. Otherwise repairs are
+//! > derived upon user request … 8. …undoing the evolution session is
+//! > always among the repairs. 9. The chosen repair is executed and the
+//! > session ends successfully.
+//!
+//! [`SchemaManager`] wires the Analyzer, the Runtime System, and the
+//! Consistency Control around the shared Database Model and exposes exactly
+//! this protocol.
+
+use crate::consistency;
+use crate::explain::{explain_repair, ExplainedRepair};
+use gom_analyzer::lower::{Analyzer, AnalyzeError, LoweredSchema};
+use gom_deductive::{ChangeSet, Error as DbError, Repair, Result as DbResult, Violation};
+use gom_model::{MetaModel, Oid, TypeId};
+use gom_runtime::{RtResult, Runtime, Value};
+
+/// Outcome of ending an evolution session (EES).
+#[derive(Debug)]
+pub enum EvolutionOutcome {
+    /// The session committed; the net change set is returned.
+    Consistent(ChangeSet),
+    /// Violations were detected; the session stays open so the user can
+    /// request repairs, apply one, or roll back.
+    Inconsistent(Vec<Violation>),
+}
+
+impl EvolutionOutcome {
+    /// True when the session committed.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, EvolutionOutcome::Consistent(_))
+    }
+
+    /// The violations, when inconsistent.
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            EvolutionOutcome::Consistent(_) => &[],
+            EvolutionOutcome::Inconsistent(v) => v,
+        }
+    }
+}
+
+/// The schema manager of Figure 1: Analyzer + Runtime System + Consistency
+/// Control around the Database Model.
+pub struct SchemaManager {
+    /// The Database Model (schema base + object base model) with the
+    /// consistency definition loaded.
+    pub meta: MetaModel,
+    /// The Analyzer front end.
+    pub analyzer: Analyzer,
+    /// The Runtime System.
+    pub runtime: Runtime,
+}
+
+impl SchemaManager {
+    /// Create a schema manager with the full GOM consistency definition
+    /// installed.
+    pub fn new() -> DbResult<Self> {
+        let mut meta = MetaModel::new()?;
+        Analyzer::install_extensions(&mut meta)
+            .map_err(|e| DbError::SessionProtocol(e.to_string()))?;
+        consistency::install(&mut meta)?;
+        Ok(SchemaManager {
+            meta,
+            analyzer: Analyzer::new(),
+            runtime: Runtime::new(),
+        })
+    }
+
+    // ----- session protocol ------------------------------------------------------
+
+    /// Step 1 — BES: begin an evolution session.
+    pub fn begin_evolution(&mut self) -> DbResult<()> {
+        self.meta.db.begin_session()
+    }
+
+    /// Is a session active?
+    pub fn in_evolution(&self) -> bool {
+        self.meta.db.in_session()
+    }
+
+    /// Steps 4–5 — EES: check consistency incrementally against the
+    /// session's delta. On success the session commits; on violations it
+    /// stays open.
+    pub fn end_evolution(&mut self) -> DbResult<EvolutionOutcome> {
+        let delta = self.meta.db.session_delta()?;
+        let violations = self.meta.db.check_delta(&delta)?;
+        if violations.is_empty() {
+            let delta = self.meta.db.commit_session()?;
+            Ok(EvolutionOutcome::Consistent(delta))
+        } else {
+            Ok(EvolutionOutcome::Inconsistent(violations))
+        }
+    }
+
+    /// Like [`Self::end_evolution`] but with a *full* (non-incremental)
+    /// check — used when the pre-session state may already be inconsistent.
+    pub fn end_evolution_full_check(&mut self) -> DbResult<EvolutionOutcome> {
+        let violations = self.meta.db.check()?;
+        if violations.is_empty() {
+            let delta = self.meta.db.commit_session()?;
+            Ok(EvolutionOutcome::Consistent(delta))
+        } else {
+            Ok(EvolutionOutcome::Inconsistent(violations))
+        }
+    }
+
+    /// Steps 6–7: generate repairs for a violation, each explained in
+    /// Analyzer / Runtime-System vocabulary. "Undoing the evolution session
+    /// is always among the repairs" — callers additionally have
+    /// [`Self::rollback_evolution`].
+    pub fn repairs_for(&mut self, v: &Violation) -> DbResult<Vec<ExplainedRepair>> {
+        let repairs = self.meta.db.repairs(v)?;
+        Ok(repairs
+            .into_iter()
+            .map(|r| explain_repair(&self.meta, &self.runtime, r))
+            .collect())
+    }
+
+    /// Step 9: execute a chosen repair (its changes join the session) and
+    /// re-check. Returns the new outcome.
+    ///
+    /// This applies the base-fact changes verbatim. Repairs whose ops have
+    /// physical consequences (`−PhRep`, `±Slot`) should go through
+    /// [`Self::execute_repair`], which routes them to the Runtime System
+    /// first — the paper's "the Consistency Control initiates the execution
+    /// of the chosen repair by the Analyzer and/or Runtime System".
+    pub fn apply_repair(&mut self, repair: &Repair) -> DbResult<EvolutionOutcome> {
+        self.meta.db.apply(&repair.changes)?;
+        self.end_evolution()
+    }
+
+    /// Step 9, architecturally: execute a repair by routing each operation
+    /// to the component that owns it. `−PhRep(c, t)` means the Runtime
+    /// System deletes every instance of `t` (retracting the slots too);
+    /// `+Slot(c, a, v)` runs a conversion routine filling the new slot of
+    /// every instance with `default`; `−Slot` runs the dropping conversion.
+    /// All remaining operations are plain schema-base changes. Ends with a
+    /// re-check.
+    pub fn execute_repair(
+        &mut self,
+        repair: &Repair,
+        default: gom_runtime::Value,
+    ) -> DbResult<EvolutionOutcome> {
+        use gom_deductive::Op;
+        for op in &repair.changes.ops {
+            let pred_name = self.meta.db.pred_name(op.pred()).to_string();
+            match (pred_name.as_str(), op) {
+                ("PhRep", Op::Delete(_, t)) => {
+                    let ty = gom_model::TypeId(
+                        t.get(1).as_sym().expect("PhRep type column"),
+                    );
+                    let oids = self.runtime.objects.oids();
+                    for oid in oids {
+                        if self.runtime.objects.get(oid).map(|o| o.ty) == Some(ty) {
+                            self.runtime
+                                .delete(&mut self.meta, oid)
+                                .map_err(|e| DbError::SessionProtocol(e.to_string()))?;
+                        }
+                    }
+                    // Deleting the last instance already retracted the
+                    // facts; remove explicitly in case there were none.
+                    if self.meta.db.contains(op.pred(), t) {
+                        if let Some(clid) = self.meta.phrep_of(ty) {
+                            for (attr, _) in self.meta.slots_of(clid) {
+                                self.meta.remove_slot(clid, &attr)?;
+                            }
+                        }
+                        self.meta.db.remove(op.pred(), t)?;
+                    }
+                }
+                ("Slot", Op::Insert(_, t)) => {
+                    let clid = gom_model::PhRepId(
+                        t.get(0).as_sym().expect("Slot phrep column"),
+                    );
+                    let attr = self
+                        .meta
+                        .db
+                        .resolve(t.get(1).as_sym().expect("Slot attr column"))
+                        .to_string();
+                    // Resolve the type behind the representation and the
+                    // attribute's domain, then run the conversion.
+                    let ty = {
+                        let rows = self
+                            .meta
+                            .db
+                            .relation(self.meta.cat.phrep)
+                            .select(&[(0, clid.constant())]);
+                        rows.first()
+                            .and_then(|r| r.get(1).as_sym())
+                            .map(gom_model::TypeId)
+                    };
+                    if let Some(ty) = ty {
+                        let domain = self
+                            .meta
+                            .attrs_inherited(ty)
+                            .into_iter()
+                            .find(|(n, _)| *n == attr)
+                            .map(|(_, d)| d)
+                            .unwrap_or(self.meta.builtins.any);
+                        self.runtime
+                            .convert_add_slot(
+                                &mut self.meta,
+                                ty,
+                                &attr,
+                                domain,
+                                gom_runtime::ValueSource::Default(default.clone()),
+                            )
+                            .map_err(|e| DbError::SessionProtocol(e.to_string()))?;
+                    }
+                    // Ensure the exact fact is present even when the
+                    // conversion path differed.
+                    if !self.meta.db.contains(op.pred(), t) {
+                        self.meta.db.insert(op.pred(), t.clone())?;
+                    }
+                }
+                ("Slot", Op::Delete(_, t)) => {
+                    let clid = gom_model::PhRepId(
+                        t.get(0).as_sym().expect("Slot phrep column"),
+                    );
+                    let attr = self
+                        .meta
+                        .db
+                        .resolve(t.get(1).as_sym().expect("Slot attr column"))
+                        .to_string();
+                    let ty = {
+                        let rows = self
+                            .meta
+                            .db
+                            .relation(self.meta.cat.phrep)
+                            .select(&[(0, clid.constant())]);
+                        rows.first()
+                            .and_then(|r| r.get(1).as_sym())
+                            .map(gom_model::TypeId)
+                    };
+                    if let Some(ty) = ty {
+                        self.runtime
+                            .convert_remove_slot(&mut self.meta, ty, &attr)
+                            .map_err(|e| DbError::SessionProtocol(e.to_string()))?;
+                    }
+                    if self.meta.db.contains(op.pred(), t) {
+                        self.meta.db.remove(op.pred(), t)?;
+                    }
+                }
+                (_, Op::Insert(p, t)) => {
+                    self.meta.db.insert(*p, t.clone())?;
+                }
+                (_, Op::Delete(p, t)) => {
+                    self.meta.db.remove(*p, t)?;
+                }
+            }
+        }
+        self.end_evolution()
+    }
+
+    /// Roll the whole session back (always-available repair).
+    pub fn rollback_evolution(&mut self) -> DbResult<()> {
+        self.meta.db.rollback_session()
+    }
+
+    /// Full consistency check outside any session.
+    pub fn check(&mut self) -> DbResult<Vec<Violation>> {
+        self.meta.db.check()
+    }
+
+    // ----- convenience front ends ---------------------------------------------------
+
+    /// Define schemas from GOM source inside one evolution session: parse,
+    /// lower, check. On violations the session is rolled back and the
+    /// violations returned in the error; use the step-wise API to repair
+    /// interactively instead.
+    pub fn define_schema(&mut self, src: &str) -> Result<Vec<LoweredSchema>, DefineError> {
+        self.begin_evolution().map_err(DefineError::Db)?;
+        let lowered = match self.analyzer.lower_source(&mut self.meta, src) {
+            Ok(l) => l,
+            Err(e) => {
+                self.rollback_evolution().map_err(DefineError::Db)?;
+                return Err(DefineError::Analyze(e));
+            }
+        };
+        match self.end_evolution().map_err(DefineError::Db)? {
+            EvolutionOutcome::Consistent(_) => Ok(lowered),
+            EvolutionOutcome::Inconsistent(violations) => {
+                let rendered = violations
+                    .iter()
+                    .map(|v| v.render(&self.meta.db))
+                    .collect();
+                self.rollback_evolution().map_err(DefineError::Db)?;
+                Err(DefineError::Inconsistent(rendered))
+            }
+        }
+    }
+
+    /// Create an object (delegates to the Runtime System; `PhRep`/`Slot`
+    /// facts are reported automatically).
+    pub fn create_object(&mut self, t: TypeId) -> RtResult<Oid> {
+        self.runtime.create(&mut self.meta, t)
+    }
+
+    /// Read an attribute of an object (with masking).
+    pub fn get_attr(&mut self, oid: Oid, attr: &str) -> RtResult<Value> {
+        self.runtime.get_attr(&mut self.meta, oid, attr)
+    }
+
+    /// Write an attribute of an object (with masking).
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, v: Value) -> RtResult<()> {
+        self.runtime.set_attr(&mut self.meta, oid, attr, v)
+    }
+
+    /// Call an operation on an object (dynamic binding, interpretation).
+    pub fn call(&mut self, oid: Oid, op: &str, args: &[Value]) -> RtResult<Value> {
+        self.runtime.call(&mut self.meta, oid, op, args)
+    }
+
+    /// Add consistency definitions (rules and/or constraints) from text —
+    /// the paper's "feeding some additional definitions into the
+    /// consistency control component".
+    pub fn add_consistency(&mut self, text: &str) -> DbResult<()> {
+        self.meta.db.load(text)
+    }
+
+    /// Drop a constraint by name (changing the definition of consistency).
+    pub fn drop_constraint(&mut self, name: &str) -> bool {
+        self.meta.db.remove_constraint(name)
+    }
+}
+
+/// Error from the one-shot [`SchemaManager::define_schema`] front end.
+#[derive(Debug)]
+pub enum DefineError {
+    /// Parse/lowering failure (session rolled back).
+    Analyze(AnalyzeError),
+    /// Consistency violations (rendered; session rolled back).
+    Inconsistent(Vec<String>),
+    /// Database error.
+    Db(DbError),
+}
+
+impl std::fmt::Display for DefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefineError::Analyze(e) => write!(f, "{e}"),
+            DefineError::Inconsistent(v) => {
+                write!(f, "schema is inconsistent: {}", v.join("; "))
+            }
+            DefineError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DefineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gom_analyzer::car_schema::CAR_SCHEMA_SRC;
+    use gom_deductive::RepairKind;
+
+    #[test]
+    fn car_schema_defines_consistently() {
+        let mut mgr = SchemaManager::new().unwrap();
+        let lowered = mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+        assert_eq!(lowered.len(), 1);
+        assert!(mgr.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_schema_is_rolled_back() {
+        let mut mgr = SchemaManager::new().unwrap();
+        // An operation without implementation violates decl_has_code.
+        let src = "\
+schema S is
+  type T is
+  operations
+    declare op : || -> int;
+  end type T;
+end schema S;";
+        let err = mgr.define_schema(src).unwrap_err();
+        let DefineError::Inconsistent(v) = err else {
+            panic!("expected Inconsistent, got different error");
+        };
+        assert!(v.iter().any(|s| s.contains("decl_has_code")), "{v:?}");
+        // Rollback left no trace.
+        assert!(mgr.meta.schema_by_name("S").is_none());
+        assert!(mgr.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_fueltype_session_with_repairs() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+        let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
+        let car = mgr.meta.type_by_name(sid, "Car").unwrap();
+        // Cars exist (so PhRep/Slot facts exist).
+        mgr.create_object(car).unwrap();
+        assert!(mgr.check().unwrap().is_empty());
+        // §3.5: add fuelType to Car in a session.
+        mgr.begin_evolution().unwrap();
+        let string = mgr.meta.builtins.string;
+        mgr.meta.add_attr(car, "fuelType", string).unwrap();
+        let outcome = mgr.end_evolution().unwrap();
+        let EvolutionOutcome::Inconsistent(violations) = outcome else {
+            panic!("expected inconsistency");
+        };
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].constraint, "slot_for_every_attr");
+        // Repairs, explained.
+        let repairs = mgr.repairs_for(&violations[0]).unwrap();
+        assert_eq!(repairs.len(), 3, "{:?}", repairs.iter().map(|r| r.render(&mgr.meta)).collect::<Vec<_>>());
+        let all = repairs
+            .iter()
+            .map(|r| r.render(&mgr.meta))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(all.contains("remove attribute `fuelType"), "{all}");
+        assert!(all.contains("DELETE ALL 1 instance(s)"), "{all}");
+        assert!(all.contains("CONVERSION"), "{all}");
+        // Choose the conversion repair (insert the slot) and execute the
+        // actual conversion in the Runtime System, then apply.
+        let conv = repairs
+            .iter()
+            .find(|r| r.repair.kind == RepairKind::CompleteConclusion)
+            .unwrap()
+            .repair
+            .clone();
+        let outcome = mgr.apply_repair(&conv).unwrap();
+        assert!(outcome.is_consistent(), "{:?}", outcome.violations());
+        assert!(mgr.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_is_always_available() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+        let facts_before = mgr.meta.db.fact_count();
+        let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
+        let car = mgr.meta.type_by_name(sid, "Car").unwrap();
+        mgr.begin_evolution().unwrap();
+        let string = mgr.meta.builtins.string;
+        mgr.meta.add_attr(car, "fuelType", string).unwrap();
+        let car2 = mgr.meta.new_type(sid, "Truck").unwrap();
+        mgr.meta.add_subtype(car2, car).unwrap();
+        mgr.rollback_evolution().unwrap();
+        assert_eq!(mgr.meta.db.fact_count(), facts_before);
+        assert!(mgr.meta.type_by_name(sid, "Truck").is_none());
+    }
+
+    #[test]
+    fn runtime_calls_work_through_manager() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+        let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
+        let person = mgr.meta.type_by_name(sid, "Person").unwrap();
+        let p = mgr.create_object(person).unwrap();
+        mgr.set_attr(p, "age", Value::Int(30)).unwrap();
+        assert_eq!(mgr.get_attr(p, "age").unwrap(), Value::Int(30));
+        // Consistency still holds with objects around.
+        assert!(mgr.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_sessions_rejected_by_protocol() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.begin_evolution().unwrap();
+        assert!(mgr.begin_evolution().is_err());
+        mgr.rollback_evolution().unwrap();
+        assert!(!mgr.in_evolution());
+    }
+}

@@ -1,0 +1,307 @@
+//! Rule language: terms, atoms, literals, rules.
+
+use crate::pred::PredId;
+use crate::symbol::FxHashSet;
+use crate::value::Const;
+use std::fmt;
+
+/// A rule-local variable. Variables are numbered densely within each rule or
+/// constraint; the number carries no meaning across rules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: variable or constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Const),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+/// An atom `p(t1, …, tn)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: PredId,
+    /// Argument terms; length must equal the predicate's arity.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+}
+
+/// Comparison operators usable in rule bodies and constraints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (integers only)
+    Lt,
+    /// `<=` (integers only)
+    Le,
+    /// `>` (integers only)
+    Gt,
+    /// `>=` (integers only)
+    Ge,
+}
+
+impl CmpOp {
+    /// The logical negation of the operator.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Apply the operator to two constants. Ordering comparisons between a
+    /// symbol and an integer, or between two symbols, compare by the raw
+    /// encoding — callers should only order integers.
+    pub fn eval(self, a: Const, b: Const) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// Positive atom.
+    Pos(Atom),
+    /// Negated atom (`not p(..)`, stratified).
+    Neg(Atom),
+    /// Comparison between two terms.
+    Cmp(CmpOp, Term, Term),
+}
+
+impl Literal {
+    /// Variables occurring in the literal.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars().collect(),
+            Literal::Cmp(_, l, r) => [l.as_var(), r.as_var()].into_iter().flatten().collect(),
+        }
+    }
+
+    /// True for positive atoms.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Literal::Pos(_))
+    }
+}
+
+/// A rule `head :- body`. An empty body makes the head a fact schema, which
+/// the engine rejects unless the head is ground.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom; its predicate must be [`crate::pred::PredKind::Derived`].
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Number of distinct variables (assumes dense numbering; returns
+    /// max index + 1).
+    pub fn var_count(&self) -> usize {
+        let mut max: Option<u32> = None;
+        let mut consider = |v: Var| {
+            max = Some(max.map_or(v.0, |m: u32| m.max(v.0)));
+        };
+        for v in self.head.vars() {
+            consider(v);
+        }
+        for lit in &self.body {
+            for v in lit.vars() {
+                consider(v);
+            }
+        }
+        max.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Range-restriction (safety) check: every variable in the head, in a
+    /// negative literal, or in a comparison must occur in some positive body
+    /// literal.
+    pub fn check_safety(&self) -> Result<(), Var> {
+        let mut positive: FxHashSet<Var> = FxHashSet::default();
+        for lit in &self.body {
+            if let Literal::Pos(a) = lit {
+                positive.extend(a.vars());
+            }
+        }
+        for v in self.head.vars() {
+            if !positive.contains(&v) {
+                return Err(v);
+            }
+        }
+        for lit in &self.body {
+            match lit {
+                Literal::Pos(_) => {}
+                Literal::Neg(a) => {
+                    for v in a.vars() {
+                        if !positive.contains(&v) {
+                            return Err(v);
+                        }
+                    }
+                }
+                Literal::Cmp(_, l, r) => {
+                    for v in [l.as_var(), r.as_var()].into_iter().flatten() {
+                        if !positive.contains(&v) {
+                            return Err(v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredId;
+
+    fn pid(n: u32) -> PredId {
+        PredId(n)
+    }
+
+    #[test]
+    fn cmp_negate_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_eval_on_ints() {
+        assert!(CmpOp::Lt.eval(Const::Int(1), Const::Int(2)));
+        assert!(!CmpOp::Ge.eval(Const::Int(1), Const::Int(2)));
+        assert!(CmpOp::Eq.eval(Const::Int(3), Const::Int(3)));
+    }
+
+    #[test]
+    fn safety_accepts_bound_rule() {
+        // p(X) :- q(X, Y), not r(Y).
+        let r = Rule::new(
+            Atom::new(pid(0), vec![Term::Var(Var(0))]),
+            vec![
+                Literal::Pos(Atom::new(pid(1), vec![Term::Var(Var(0)), Term::Var(Var(1))])),
+                Literal::Neg(Atom::new(pid(2), vec![Term::Var(Var(1))])),
+            ],
+        );
+        assert!(r.check_safety().is_ok());
+    }
+
+    #[test]
+    fn safety_rejects_unbound_head_var() {
+        // p(X) :- q(Y).
+        let r = Rule::new(
+            Atom::new(pid(0), vec![Term::Var(Var(0))]),
+            vec![Literal::Pos(Atom::new(pid(1), vec![Term::Var(Var(1))]))],
+        );
+        assert_eq!(r.check_safety(), Err(Var(0)));
+    }
+
+    #[test]
+    fn safety_rejects_unbound_negation() {
+        // p(X) :- q(X), not r(Z).
+        let r = Rule::new(
+            Atom::new(pid(0), vec![Term::Var(Var(0))]),
+            vec![
+                Literal::Pos(Atom::new(pid(1), vec![Term::Var(Var(0))])),
+                Literal::Neg(Atom::new(pid(2), vec![Term::Var(Var(2))])),
+            ],
+        );
+        assert!(r.check_safety().is_err());
+    }
+
+    #[test]
+    fn var_count_counts_dense_max() {
+        let r = Rule::new(
+            Atom::new(pid(0), vec![Term::Var(Var(0))]),
+            vec![Literal::Pos(Atom::new(
+                pid(1),
+                vec![Term::Var(Var(0)), Term::Var(Var(3))],
+            ))],
+        );
+        assert_eq!(r.var_count(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Change sets: the unit of communication between the Analyzer / Runtime
+//! System and the Consistency Control.
+//!
+//! The paper's interface to the database model "consists of the operations —
+//! add (+) and delete (−) — for modifying the extensions of the base
+//! predicates" (§2.2). [`Op`] is exactly that.
+
+use crate::pred::PredId;
+use crate::tuple::Tuple;
+use crate::Database;
+use std::fmt;
+
+/// One base-predicate update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `+P(t)` — add a fact.
+    Insert(PredId, Tuple),
+    /// `−P(t)` — delete a fact.
+    Delete(PredId, Tuple),
+}
+
+impl Op {
+    /// The predicate the operation touches.
+    pub fn pred(&self) -> PredId {
+        match self {
+            Op::Insert(p, _) | Op::Delete(p, _) => *p,
+        }
+    }
+
+    /// The fact tuple.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            Op::Insert(_, t) | Op::Delete(_, t) => t,
+        }
+    }
+
+    /// The inverse operation (used for session rollback).
+    pub fn inverse(&self) -> Op {
+        match self {
+            Op::Insert(p, t) => Op::Delete(*p, t.clone()),
+            Op::Delete(p, t) => Op::Insert(*p, t.clone()),
+        }
+    }
+
+    /// Render against a database, e.g. `+Slot(clid4, fuelType, clid_string)`.
+    pub fn display<'a>(&'a self, db: &'a Database) -> OpDisplay<'a> {
+        OpDisplay {
+            op: self,
+            db,
+        }
+    }
+}
+
+/// Helper for rendering an [`Op`].
+pub struct OpDisplay<'a> {
+    op: &'a Op,
+    db: &'a Database,
+}
+
+impl fmt::Display for OpDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (sign, pred, tuple) = match self.op {
+            Op::Insert(p, t) => ("+", p, t),
+            Op::Delete(p, t) => ("-", p, t),
+        };
+        write!(
+            f,
+            "{sign}{}{}",
+            self.db.pred_name(*pred),
+            tuple.display(self.db.interner())
+        )
+    }
+}
+
+/// An ordered list of base-predicate updates.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ChangeSet {
+    /// The operations in application order.
+    pub ops: Vec<Op>,
+}
+
+impl ChangeSet {
+    /// Empty change set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an insertion.
+    pub fn insert(&mut self, pred: PredId, tuple: Tuple) -> &mut Self {
+        self.ops.push(Op::Insert(pred, tuple));
+        self
+    }
+
+    /// Add a deletion.
+    pub fn delete(&mut self, pred: PredId, tuple: Tuple) -> &mut Self {
+        self.ops.push(Op::Delete(pred, tuple));
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Distinct predicates touched.
+    pub fn touched_preds(&self) -> Vec<PredId> {
+        let mut v: Vec<PredId> = self.ops.iter().map(|o| o.pred()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Append all operations of another change set.
+    pub fn extend(&mut self, other: ChangeSet) {
+        self.ops.extend(other.ops);
+    }
+}
+
+impl fmt::Display for ChangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} op(s)", self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Const;
+
+    #[test]
+    fn inverse_roundtrips() {
+        let op = Op::Insert(PredId(0), Tuple::from(vec![Const::Int(1)]));
+        assert_eq!(op.inverse().inverse(), op);
+        assert!(matches!(op.inverse(), Op::Delete(..)));
+    }
+
+    #[test]
+    fn touched_preds_dedups() {
+        let mut cs = ChangeSet::new();
+        cs.insert(PredId(1), Tuple::from(vec![Const::Int(1)]));
+        cs.delete(PredId(1), Tuple::from(vec![Const::Int(2)]));
+        cs.insert(PredId(0), Tuple::from(vec![Const::Int(3)]));
+        assert_eq!(cs.touched_preds(), vec![PredId(0), PredId(1)]);
+        assert_eq!(cs.len(), 3);
+    }
+}

@@ -1,0 +1,469 @@
+//! Consistency checking: full and dependency-pruned incremental.
+//!
+//! Full checking materialises the IDB and scans every violation predicate
+//! plus every key. Incremental checking (the stand-in for the paper's
+//! efficient-consistency-check citation [20]) first intersects the change
+//! set's predicates with each constraint's base-dependency cone and then
+//! evaluates only the rules feeding the affected constraints.
+
+use crate::changes::ChangeSet;
+use crate::db::Database;
+use crate::error::Result;
+
+use crate::pred::PredId;
+use crate::relation::Relation;
+use crate::symbol::FxHashSet;
+use crate::tuple::Tuple;
+use crate::value::Const;
+
+/// Where a violation came from (used internally by repair generation).
+#[derive(Clone, Debug)]
+pub(crate) enum ViolationSource {
+    /// A declarative constraint, with its compiled index and witness tuple.
+    Constraint {
+        idx: usize,
+        tuple: Tuple,
+    },
+    /// A key (uniqueness) constraint on a base predicate: two facts agree on
+    /// the key columns but differ elsewhere.
+    Key {
+        pred: PredId,
+        a: Tuple,
+        b: Tuple,
+    },
+}
+
+/// A detected inconsistency.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub(crate) source: ViolationSource,
+    /// Name of the violated constraint (key violations use
+    /// `key(<PredName>)`).
+    pub constraint: String,
+    /// Optional description from the constraint definition.
+    pub message: Option<String>,
+    /// Witness: variable name / value pairs falsifying the constraint.
+    pub witness: Vec<(String, Const)>,
+}
+
+impl Violation {
+    /// Render the violation as one line, e.g.
+    /// `slot-for-every-attr: T=tid4, A=fuelType, TA=tid_string, C=clid4`.
+    pub fn render(&self, db: &Database) -> String {
+        let mut s = self.constraint.clone();
+        if !self.witness.is_empty() {
+            s.push_str(": ");
+            for (i, (name, val)) in self.witness.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(name);
+                s.push('=');
+                s.push_str(&val.display(db.interner()).to_string());
+            }
+        }
+        if let Some(m) = &self.message {
+            s.push_str(" — ");
+            s.push_str(m);
+        }
+        s
+    }
+}
+
+fn key_violations_for(
+    db: &Database,
+    pred: PredId,
+    only_tuples: Option<&[Tuple]>,
+) -> Vec<Violation> {
+    let Some(key) = db.pred_decl(pred).key.clone() else {
+        return Vec::new();
+    };
+    let rel = db.relation(pred);
+    let mut out = Vec::new();
+    let mut report = |a: Tuple, b: Tuple| {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        out.push(Violation {
+            constraint: format!("key({})", db.pred_name(pred)),
+            message: Some(format!(
+                "two facts agree on key columns {:?} but differ elsewhere",
+                &key[..]
+            )),
+            witness: Vec::new(),
+            source: ViolationSource::Key {
+                pred,
+                a,
+                b,
+            },
+        });
+    };
+    match only_tuples {
+        Some(tuples) => {
+            for t in tuples {
+                if !rel.contains(t) {
+                    continue;
+                }
+                let bound: Vec<(usize, Const)> = key.iter().map(|&c| (c, t.get(c))).collect();
+                for other in rel.select(&bound) {
+                    if &other != t {
+                        report(t.clone(), other);
+                    }
+                }
+            }
+        }
+        None => {
+            let mut groups: crate::symbol::FxHashMap<Tuple, Vec<Tuple>> =
+                crate::symbol::FxHashMap::default();
+            for t in rel.iter() {
+                groups
+                    .entry(t.project(&key))
+                    .or_default()
+                    .push(t.clone());
+            }
+            for (_, mut g) in groups {
+                if g.len() > 1 {
+                    g.sort();
+                    for pair in g.windows(2) {
+                        report(pair[0].clone(), pair[1].clone());
+                    }
+                }
+            }
+        }
+    }
+    // Deduplicate (a pair can be reported twice when iterating tuples).
+    out.sort_by(|x, y| {
+        let kx = match &x.source {
+            ViolationSource::Key { a, b, .. } => (a.clone(), b.clone()),
+            _ => unreachable!(),
+        };
+        let ky = match &y.source {
+            ViolationSource::Key { a, b, .. } => (a.clone(), b.clone()),
+            _ => unreachable!(),
+        };
+        kx.cmp(&ky)
+    });
+    out.dedup_by(|x, y| match (&x.source, &y.source) {
+        (
+            ViolationSource::Key { a, b, .. },
+            ViolationSource::Key { a: a2, b: b2, .. },
+        ) => a == a2 && b == b2,
+        _ => false,
+    });
+    out
+}
+
+impl Database {
+    /// Crate-internal: collect constraint violations from an external IDB
+    /// slice (used by incremental maintenance).
+    pub(crate) fn collect_violations_public(
+        &self,
+        idb: &[Relation],
+        indices: &[usize],
+    ) -> Vec<Violation> {
+        self.collect_constraint_violations(idb, indices)
+    }
+
+    /// Crate-internal: full key checks over the stored extensions.
+    pub(crate) fn key_violations_public(&self) -> Vec<Violation> {
+        let keyed: Vec<PredId> = self
+            .base_preds()
+            .filter(|&p| self.pred_decl(p).key.is_some())
+            .collect();
+        let mut out = Vec::new();
+        for p in keyed {
+            out.extend(key_violations_for(self, p, None));
+        }
+        out
+    }
+
+    fn collect_constraint_violations(
+        &self,
+        idb: &[Relation],
+        indices: &[usize],
+    ) -> Vec<Violation> {
+        let compiled = self.compiled.as_ref().expect("compiled");
+        let mut out = Vec::new();
+        for &ci in indices {
+            let cc = &compiled.constraints[ci];
+            let src = &self.constraints[cc.source_idx];
+            for tuple in idb[cc.viol.index()].sorted() {
+                let witness = cc
+                    .outer_vars
+                    .iter()
+                    .zip(tuple.iter())
+                    .map(|(v, c)| (src.var_name(*v).to_string(), c))
+                    .collect();
+                out.push(Violation {
+                    constraint: src.name.clone(),
+                    message: src.message.clone(),
+                    witness,
+                    source: ViolationSource::Constraint {
+                        idx: ci,
+                        tuple,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Full consistency check: every constraint, every key.
+    pub fn check(&mut self) -> Result<Vec<Violation>> {
+        self.evaluate()?;
+        let idb_rels: Vec<Relation> = {
+            let idb = self.idb.as_ref().expect("evaluated");
+            idb.rels.clone()
+        };
+        let all: Vec<usize> =
+            (0..self.compiled.as_ref().expect("compiled").constraints.len()).collect();
+        let mut out = self.collect_constraint_violations(&idb_rels, &all);
+        let keyed: Vec<PredId> = self
+            .base_preds()
+            .filter(|&p| self.pred_decl(p).key.is_some())
+            .collect();
+        for p in keyed {
+            out.extend(key_violations_for(self, p, None));
+        }
+        sort_violations(&mut out);
+        Ok(out)
+    }
+
+    /// Names of constraints whose dependency cone intersects the change
+    /// set's predicates.
+    pub fn affected_constraints(&mut self, delta: &ChangeSet) -> Result<Vec<String>> {
+        self.ensure_compiled()?;
+        let touched: FxHashSet<PredId> = delta.touched_preds().into_iter().collect();
+        let compiled = self.compiled.as_ref().expect("compiled");
+        let mut names = Vec::new();
+        for cc in &compiled.constraints {
+            if cc.deps.iter().any(|p| touched.contains(p)) {
+                names.push(self.constraints[cc.source_idx].name.clone());
+            }
+        }
+        Ok(names)
+    }
+
+    /// Incremental consistency check after `delta`, assuming the database
+    /// was consistent before: evaluates only the rule cones of affected
+    /// constraints and re-checks only keys of touched predicates (and only
+    /// around inserted tuples).
+    pub fn check_delta(&mut self, delta: &ChangeSet) -> Result<Vec<Violation>> {
+        self.ensure_compiled()?;
+        let touched: FxHashSet<PredId> = delta.touched_preds().into_iter().collect();
+        // Affected constraints and the derived predicates they need.
+        let (affected, needed): (Vec<usize>, FxHashSet<PredId>) = {
+            let compiled = self.compiled.as_ref().expect("compiled");
+            let mut affected = Vec::new();
+            let mut frontier: Vec<PredId> = Vec::new();
+            for (i, cc) in compiled.constraints.iter().enumerate() {
+                if cc.deps.iter().any(|p| touched.contains(p)) {
+                    affected.push(i);
+                    frontier.push(cc.viol);
+                }
+            }
+            let mut needed: FxHashSet<PredId> = FxHashSet::default();
+            while let Some(p) = frontier.pop() {
+                if !needed.insert(p) {
+                    continue;
+                }
+                if let Some(ixs) = compiled.rules_by_head.get(&p) {
+                    for &i in ixs {
+                        for lit in &compiled.rules[i].body {
+                            match lit {
+                                crate::ast::Literal::Pos(a) | crate::ast::Literal::Neg(a) => {
+                                    if !self.pred_decl(a.pred).is_base() {
+                                        frontier.push(a.pred);
+                                    }
+                                }
+                                crate::ast::Literal::Cmp(..) => {}
+                            }
+                        }
+                    }
+                }
+            }
+            (affected, needed)
+        };
+
+        let mut out = if affected.is_empty() {
+            Vec::new()
+        } else {
+            let compiled = self.compiled.take().expect("compiled");
+            // Restrict each stratum to rules whose head is needed.
+            let restricted: Vec<Vec<usize>> = compiled
+                .strat
+                .rule_strata
+                .iter()
+                .map(|s| {
+                    s.iter()
+                        .copied()
+                        .filter(|&i| needed.contains(&compiled.rules[i].head.pred))
+                        .collect()
+                })
+                .collect();
+            let mut rels: Vec<Relation> = vec![Relation::new(); self.pred_count()];
+            for stratum in &restricted {
+                crate::eval::eval_stratum_public(self, &mut rels, &compiled.rules, stratum);
+            }
+            
+            {
+                self.compiled = Some(compiled);
+                self.collect_constraint_violations(&rels, &affected)
+            }
+        };
+
+        for &p in touched.iter().collect::<std::collections::BTreeSet<_>>() {
+            if self.pred_decl(p).key.is_none() {
+                continue;
+            }
+            let inserted: Vec<Tuple> = delta
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    crate::changes::Op::Insert(pp, t) if *pp == p => Some(t.clone()),
+                    _ => None,
+                })
+                .collect();
+            out.extend(key_violations_for(self, p, Some(&inserted)));
+        }
+        sort_violations(&mut out);
+        Ok(out)
+    }
+}
+
+fn sort_violations(v: &mut [Violation]) {
+    v.sort_by(|a, b| {
+        a.constraint
+            .cmp(&b.constraint)
+            .then_with(|| format!("{:?}", a.source).cmp(&format!("{:?}", b.source)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn db_with(text: &str) -> Database {
+        let mut db = Database::new();
+        parse_program(&mut db, text).expect("program parses");
+        db
+    }
+
+    fn c(db: &mut Database, s: &str) -> Const {
+        db.constant(s)
+    }
+
+    #[test]
+    fn simple_referential_integrity() {
+        let mut db = db_with(
+            "base Type(tid, name, sid).\n\
+             base Schema(sid, name).\n\
+             constraint type_schema_ref \"schema of a type must exist\":\n\
+               forall X, Y, Z: Type(X, Y, Z) -> exists N: Schema(Z, N).\n",
+        );
+        let ty = db.pred_id("Type").unwrap();
+        let sc = db.pred_id("Schema").unwrap();
+        let (t1, n1, s1) = (c(&mut db, "t1"), c(&mut db, "Person"), c(&mut db, "s1"));
+        db.insert(ty, vec![t1, n1, s1]).unwrap();
+        let v = db.check().unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "type_schema_ref");
+        let nm = c(&mut db, "CarSchema");
+        db.insert(sc, vec![s1, nm]).unwrap();
+        assert!(db.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let mut db = Database::new();
+        let p = db.declare_base_keyed("P", 2, &[0]).unwrap();
+        db.insert(p, vec![Const::Int(1), Const::Int(10)]).unwrap();
+        db.insert(p, vec![Const::Int(1), Const::Int(20)]).unwrap();
+        db.insert(p, vec![Const::Int(2), Const::Int(10)]).unwrap();
+        let v = db.check().unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].constraint.starts_with("key("));
+    }
+
+    #[test]
+    fn acyclicity_constraint() {
+        let mut db = db_with(
+            "base Sub(a, b).\n\
+             derived SubT(a, b).\n\
+             SubT(X, Y) :- Sub(X, Y).\n\
+             SubT(X, Z) :- Sub(X, Y), SubT(Y, Z).\n\
+             constraint acyclic: forall X: !SubT(X, X).\n",
+        );
+        let sub = db.pred_id("Sub").unwrap();
+        let (a, b) = (c(&mut db, "a"), c(&mut db, "b"));
+        db.insert(sub, vec![a, b]).unwrap();
+        assert!(db.check().unwrap().is_empty());
+        db.insert(sub, vec![b, a]).unwrap();
+        let v = db.check().unwrap();
+        assert_eq!(v.len(), 2); // witnesses: X=a and X=b
+        assert_eq!(v[0].constraint, "acyclic");
+    }
+
+    #[test]
+    fn incremental_skips_unaffected_constraints() {
+        let mut db = db_with(
+            "base P(x).\n\
+             base Q(x).\n\
+             constraint p_nonneg: forall X: P(X) -> X >= 0.\n\
+             constraint q_nonneg: forall X: Q(X) -> X >= 0.\n",
+        );
+        let p = db.pred_id("P").unwrap();
+        let q = db.pred_id("Q").unwrap();
+        db.insert(q, vec![Const::Int(-5)]).unwrap(); // pre-existing violation
+        let mut delta = ChangeSet::new();
+        delta.insert(p, Tuple::from(vec![Const::Int(3)]));
+        db.apply(&delta).unwrap();
+        let names = db.affected_constraints(&delta).unwrap();
+        assert_eq!(names, vec!["p_nonneg".to_string()]);
+        // Incremental check only sees p_nonneg — and P(3) is fine.
+        assert!(db.check_delta(&delta).unwrap().is_empty());
+        // Full check still reports the stale Q violation.
+        assert_eq!(db.check().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn incremental_finds_new_violation() {
+        let mut db = db_with(
+            "base P(x).\n\
+             constraint p_nonneg: forall X: P(X) -> X >= 0.\n",
+        );
+        let p = db.pred_id("P").unwrap();
+        let mut delta = ChangeSet::new();
+        delta.insert(p, Tuple::from(vec![Const::Int(-1)]));
+        db.apply(&delta).unwrap();
+        let v = db.check_delta(&delta).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "p_nonneg");
+    }
+
+    #[test]
+    fn incremental_key_check_only_looks_at_inserts() {
+        let mut db = Database::new();
+        let p = db.declare_base_keyed("P", 2, &[0]).unwrap();
+        db.insert(p, vec![Const::Int(1), Const::Int(10)]).unwrap();
+        let mut delta = ChangeSet::new();
+        delta.insert(p, Tuple::from(vec![Const::Int(1), Const::Int(20)]));
+        db.apply(&delta).unwrap();
+        let v = db.check_delta(&delta).unwrap();
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn violation_render_includes_witness() {
+        let mut db = db_with(
+            "base P(x).\n\
+             constraint p_nonneg \"P must be non-negative\": forall X: P(X) -> X >= 0.\n",
+        );
+        let p = db.pred_id("P").unwrap();
+        db.insert(p, vec![Const::Int(-2)]).unwrap();
+        let v = db.check().unwrap();
+        let line = v[0].render(&db);
+        assert!(line.contains("p_nonneg"), "{line}");
+        assert!(line.contains("X=-2"), "{line}");
+        assert!(line.contains("non-negative"), "{line}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Declarative consistency constraints.
+//!
+//! Constraints are closed, range-restricted first-order formulas over the
+//! base and derived predicates — exactly the formalism of paper §3.3. A
+//! constraint *holds* when the formula is true in the (perfect) model of the
+//! deductive database; a *violation* is a binding of the outermost
+//! universally quantified variables witnessing falsity.
+
+use crate::ast::{Atom, CmpOp, Term, Var};
+use crate::symbol::FxHashSet;
+
+/// A first-order formula.
+///
+/// Variables are numbered densely per constraint; quantifier var lists bind
+/// them. The text DSL (see [`crate::parse`]) guarantees unique numbering per
+/// quantifier (no shadowing survives parsing).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A predicate atom.
+    Atom(Atom),
+    /// Comparison between two terms.
+    Cmp(CmpOp, Term, Term),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Var>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction smart constructor (flattens, drops `True`).
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction smart constructor (flattens, drops `False`).
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> FxHashSet<Var> {
+        let mut acc = FxHashSet::default();
+        self.collect_free(&mut Vec::new(), &mut acc);
+        acc
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Var>, acc: &mut FxHashSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                for v in a.vars() {
+                    if !bound.contains(&v) {
+                        acc.insert(v);
+                    }
+                }
+            }
+            Formula::Cmp(_, l, r) => {
+                for v in [l.as_var(), r.as_var()].into_iter().flatten() {
+                    if !bound.contains(&v) {
+                        acc.insert(v);
+                    }
+                }
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, acc);
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, acc),
+            Formula::Implies(p, c) => {
+                p.collect_free(bound, acc);
+                c.collect_free(bound, acc);
+            }
+            Formula::Forall(vs, f) | Formula::Exists(vs, f) => {
+                let n = bound.len();
+                bound.extend(vs.iter().copied());
+                f.collect_free(bound, acc);
+                bound.truncate(n);
+            }
+        }
+    }
+
+    /// Push existential quantifiers through disjunctions so that each `Or`
+    /// branch carries its own existentials:
+    /// `∃ȳ (A ∨ B)  ⇒  (∃ȳ A) ∨ (∃ȳ B)`.
+    ///
+    /// This normalisation lets the compiler translate every `Or` branch into
+    /// a separate rule without leaking local variables across branches.
+    pub fn push_exists(self) -> Formula {
+        match self {
+            Formula::Exists(vs, f) => match f.push_exists() {
+                Formula::Or(branches) => Formula::or(
+                    branches
+                        .into_iter()
+                        .map(|b| Formula::Exists(vs.clone(), Box::new(b)).push_exists())
+                        .collect(),
+                ),
+                other => Formula::Exists(vs, Box::new(other)),
+            },
+            Formula::And(fs) => Formula::and(fs.into_iter().map(Formula::push_exists).collect()),
+            Formula::Or(fs) => Formula::or(fs.into_iter().map(Formula::push_exists).collect()),
+            Formula::Not(f) => Formula::Not(Box::new(f.push_exists())),
+            Formula::Implies(p, c) => {
+                Formula::Implies(Box::new(p.push_exists()), Box::new(c.push_exists()))
+            }
+            Formula::Forall(vs, f) => Formula::Forall(vs, Box::new(f.push_exists())),
+            other => other,
+        }
+    }
+
+    /// Number of distinct variables mentioned (max index + 1), for
+    /// fresh-variable allocation during compilation.
+    pub fn var_count(&self) -> usize {
+        fn walk(f: &Formula, max: &mut Option<u32>) {
+            let mut consider = |v: Var| {
+                *max = Some(max.map_or(v.0, |m| m.max(v.0)));
+            };
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom(a) => a.vars().for_each(&mut consider),
+                Formula::Cmp(_, l, r) => {
+                    [l.as_var(), r.as_var()]
+                        .into_iter()
+                        .flatten()
+                        .for_each(consider);
+                }
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| walk(g, max)),
+                Formula::Not(g) => walk(g, max),
+                Formula::Implies(p, c) => {
+                    walk(p, max);
+                    walk(c, max);
+                }
+                Formula::Forall(vs, g) | Formula::Exists(vs, g) => {
+                    vs.iter().copied().for_each(&mut consider);
+                    walk(g, max);
+                }
+            }
+        }
+        let mut max = None;
+        walk(self, &mut max);
+        max.map_or(0, |m| m as usize + 1)
+    }
+}
+
+/// A named consistency constraint.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Unique constraint name (used in violation reports).
+    pub name: String,
+    /// Optional human-readable description shown with violations.
+    pub message: Option<String>,
+    /// Variable names by [`Var`] index (for witness rendering).
+    pub var_names: Vec<String>,
+    /// The closed formula.
+    pub formula: Formula,
+}
+
+impl Constraint {
+    /// Build a constraint; the formula must be closed.
+    pub fn new(name: impl Into<String>, var_names: Vec<String>, formula: Formula) -> Self {
+        Constraint {
+            name: name.into(),
+            message: None,
+            var_names,
+            formula,
+        }
+    }
+
+    /// Attach a description.
+    pub fn with_message(mut self, msg: impl Into<String>) -> Self {
+        self.message = Some(msg.into());
+        self
+    }
+
+    /// Name of a variable for witness rendering.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.var_names
+            .get(v.index())
+            .map(String::as_str)
+            .unwrap_or("_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredId;
+
+    fn atom(p: u32, vars: &[u32]) -> Formula {
+        Formula::Atom(Atom::new(
+            PredId(p),
+            vars.iter().map(|&v| Term::Var(Var(v))).collect(),
+        ))
+    }
+
+    #[test]
+    fn and_flattens_and_drops_true() {
+        let f = Formula::and(vec![
+            Formula::True,
+            Formula::and(vec![atom(0, &[0]), atom(1, &[1])]),
+        ]);
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_of_one_collapses() {
+        let f = Formula::or(vec![Formula::False, atom(0, &[0])]);
+        assert!(matches!(f, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        // forall 0: p(0, 1)  -- 1 free
+        let f = Formula::Forall(vec![Var(0)], Box::new(atom(0, &[0, 1])));
+        let free = f.free_vars();
+        assert!(free.contains(&Var(1)));
+        assert!(!free.contains(&Var(0)));
+    }
+
+    #[test]
+    fn push_exists_distributes_over_or() {
+        // exists 0: (p(0) | q(0))
+        let f = Formula::Exists(
+            vec![Var(0)],
+            Box::new(Formula::Or(vec![atom(0, &[0]), atom(1, &[0])])),
+        );
+        match f.push_exists() {
+            Formula::Or(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert!(branches.iter().all(|b| matches!(b, Formula::Exists(..))));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn var_count_sees_quantified_vars() {
+        let f = Formula::Forall(vec![Var(4)], Box::new(atom(0, &[0])));
+        assert_eq!(f.var_count(), 5);
+    }
+}

@@ -1,0 +1,518 @@
+//! The deductive database: predicate registry, extensional store, rules,
+//! constraints, and the evolution-session journal.
+
+use crate::ast::Rule;
+use crate::changes::{ChangeSet, Op};
+use crate::constraint::Constraint;
+use crate::error::{Error, Result};
+use crate::pred::{PredDecl, PredId, PredKind};
+use crate::relation::Relation;
+use crate::symbol::{FxHashMap, Interner, Symbol};
+use crate::tuple::Tuple;
+use crate::value::Const;
+
+/// A deductive database.
+///
+/// Holds the predicate registry, the extensions of all base predicates, the
+/// rule set (IDB definitions), and the declarative constraints (CDB). The
+/// The crate-internal modules `compile`, `eval`, `check` and `repair`
+/// extend this type with consistency checking and repair
+/// generation.
+#[derive(Default)]
+pub struct Database {
+    pub(crate) interner: Interner,
+    pub(crate) preds: Vec<PredDecl>,
+    pub(crate) by_name: FxHashMap<Symbol, PredId>,
+    pub(crate) rels: Vec<Relation>,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) constraints: Vec<Constraint>,
+    /// Index into `preds` where compiler-generated auxiliary predicates
+    /// start; `None` when not compiled.
+    pub(crate) aux_start: Option<usize>,
+    pub(crate) compiled: Option<crate::compile::Compiled>,
+    pub(crate) idb: Option<crate::eval::Idb>,
+    journal: Option<Vec<Op>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- interning ------------------------------------------------------
+
+    /// Intern a string.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Look up an interned string.
+    pub fn sym(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
+    }
+
+    /// Resolve a symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Intern a string and wrap it as a constant.
+    pub fn constant(&mut self, s: &str) -> Const {
+        Const::Sym(self.interner.intern(s))
+    }
+
+    /// Access the interner (for rendering).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (for fresh-symbol generation).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    // ----- predicate registry ---------------------------------------------
+
+    fn declare(
+        &mut self,
+        name: &str,
+        arity: usize,
+        kind: PredKind,
+        key: Option<Box<[usize]>>,
+    ) -> Result<PredId> {
+        self.decompile();
+        let sym = self.interner.intern(name);
+        if let Some(&existing) = self.by_name.get(&sym) {
+            let d = &self.preds[existing.index()];
+            if d.arity == arity && d.kind == kind {
+                return Ok(existing);
+            }
+            return Err(Error::PredicateRedeclared(name.to_string()));
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(PredDecl {
+            name: sym,
+            arity,
+            kind,
+            key,
+            cols: None,
+        });
+        self.rels.push(Relation::new());
+        self.by_name.insert(sym, id);
+        Ok(id)
+    }
+
+    /// Declare a base (extensional) predicate. Idempotent for identical
+    /// shape.
+    pub fn declare_base(&mut self, name: &str, arity: usize) -> Result<PredId> {
+        self.declare(name, arity, PredKind::Base, None)
+    }
+
+    /// Declare a base predicate with a key over the given column positions.
+    pub fn declare_base_keyed(&mut self, name: &str, arity: usize, key: &[usize]) -> Result<PredId> {
+        let id = self.declare(name, arity, PredKind::Base, Some(key.into()))?;
+        self.preds[id.index()].key = Some(key.into());
+        Ok(id)
+    }
+
+    /// Declare a derived (intentional) predicate.
+    pub fn declare_derived(&mut self, name: &str, arity: usize) -> Result<PredId> {
+        self.declare(name, arity, PredKind::Derived, None)
+    }
+
+    /// Set human-readable column names for a predicate.
+    pub fn set_cols(&mut self, pred: PredId, cols: &[&str]) {
+        self.preds[pred.index()].cols = Some(cols.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Look up a predicate by name.
+    pub fn pred_id(&self, name: &str) -> Option<PredId> {
+        self.interner.get(name).and_then(|s| self.by_name.get(&s).copied())
+    }
+
+    /// Look up a predicate by name, erroring when missing.
+    pub fn pred_id_req(&self, name: &str) -> Result<PredId> {
+        self.pred_id(name)
+            .ok_or_else(|| Error::UnknownPredicate(name.to_string()))
+    }
+
+    /// Predicate name.
+    pub fn pred_name(&self, pred: PredId) -> &str {
+        self.interner.resolve(self.preds[pred.index()].name)
+    }
+
+    /// Predicate declaration.
+    pub fn pred_decl(&self, pred: PredId) -> &PredDecl {
+        &self.preds[pred.index()]
+    }
+
+    /// Number of declared predicates (including compiler auxiliaries when
+    /// compiled).
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterate over all base predicates.
+    pub fn base_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_base())
+            .map(|(i, _)| PredId(i as u32))
+    }
+
+    // ----- facts -----------------------------------------------------------
+
+    fn check_base_use(&self, pred: PredId, tuple: &Tuple) -> Result<()> {
+        let d = &self.preds[pred.index()];
+        if d.kind != PredKind::Base {
+            return Err(Error::MutatingDerived(self.pred_name(pred).to_string()));
+        }
+        if d.arity != tuple.arity() {
+            return Err(Error::ArityMismatch {
+                pred: self.pred_name(pred).to_string(),
+                declared: d.arity,
+                used: tuple.arity(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Insert a fact into a base predicate. Returns `true` when new.
+    pub fn insert(&mut self, pred: PredId, tuple: impl Into<Tuple>) -> Result<bool> {
+        let tuple = tuple.into();
+        self.check_base_use(pred, &tuple)?;
+        let added = self.rels[pred.index()].insert(tuple.clone());
+        if added {
+            self.idb = None;
+            if let Some(j) = &mut self.journal {
+                j.push(Op::Insert(pred, tuple));
+            }
+        }
+        Ok(added)
+    }
+
+    /// Remove a fact from a base predicate. Returns `true` when present.
+    pub fn remove(&mut self, pred: PredId, tuple: &Tuple) -> Result<bool> {
+        self.check_base_use(pred, tuple)?;
+        let removed = self.rels[pred.index()].remove(tuple);
+        if removed {
+            self.idb = None;
+            if let Some(j) = &mut self.journal {
+                j.push(Op::Delete(pred, tuple.clone()));
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Membership test on a base predicate's stored extension.
+    pub fn contains(&self, pred: PredId, tuple: &Tuple) -> bool {
+        self.rels[pred.index()].contains(tuple)
+    }
+
+    /// The stored extension of a base predicate.
+    pub fn relation(&self, pred: PredId) -> &Relation {
+        &self.rels[pred.index()]
+    }
+
+    /// Sorted facts of a base predicate (deterministic dumps).
+    pub fn facts_sorted(&self, pred: PredId) -> Vec<Tuple> {
+        self.rels[pred.index()].sorted()
+    }
+
+    /// Apply a change set; returns the *effective* changes (ops that actually
+    /// altered the store).
+    pub fn apply(&mut self, changes: &ChangeSet) -> Result<ChangeSet> {
+        let mut effective = ChangeSet::new();
+        for op in &changes.ops {
+            match op {
+                Op::Insert(p, t) => {
+                    if self.insert(*p, t.clone())? {
+                        effective.insert(*p, t.clone());
+                    }
+                }
+                Op::Delete(p, t) => {
+                    if self.remove(*p, t)? {
+                        effective.delete(*p, t.clone());
+                    }
+                }
+            }
+        }
+        Ok(effective)
+    }
+
+    // ----- rules & constraints ---------------------------------------------
+
+    /// Add a rule after validating arities, head kind, and range
+    /// restriction.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        self.decompile();
+        self.validate_rule(&rule)?;
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    pub(crate) fn validate_rule(&self, rule: &Rule) -> Result<()> {
+        let head_decl = &self.preds[rule.head.pred.index()];
+        if head_decl.kind != PredKind::Derived {
+            return Err(Error::HeadIsBase(self.pred_name(rule.head.pred).to_string()));
+        }
+        let check_atom = |a: &crate::ast::Atom| -> Result<()> {
+            let d = &self.preds[a.pred.index()];
+            if d.arity != a.args.len() {
+                return Err(Error::ArityMismatch {
+                    pred: self.pred_name(a.pred).to_string(),
+                    declared: d.arity,
+                    used: a.args.len(),
+                });
+            }
+            Ok(())
+        };
+        check_atom(&rule.head)?;
+        for lit in &rule.body {
+            match lit {
+                crate::ast::Literal::Pos(a) | crate::ast::Literal::Neg(a) => check_atom(a)?,
+                crate::ast::Literal::Cmp(..) => {}
+            }
+        }
+        if let Err(v) = rule.check_safety() {
+            return Err(Error::UnsafeRule {
+                rule: format!("{}(..) :- ...", self.pred_name(rule.head.pred)),
+                var: format!("#{}", v.0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Add a declarative constraint. Compilation (and thus full validation)
+    /// happens lazily at the next check.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.decompile();
+        self.constraints.push(c);
+    }
+
+    /// Remove a constraint by name. Returns `true` if one was removed.
+    ///
+    /// This is the "changing the definition of consistency" operation of
+    /// paper §2.1: project-specific policies (e.g. forbidding multiple
+    /// inheritance) are added or dropped without touching any module code.
+    pub fn remove_constraint(&mut self, name: &str) -> bool {
+        let before = self.constraints.len();
+        self.constraints.retain(|c| c.name != name);
+        if self.constraints.len() != before {
+            self.decompile();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The rules currently defined (user rules only, not compiler
+    /// auxiliaries).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The constraints currently defined.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Look up a constraint by name.
+    pub fn constraint(&self, name: &str) -> Option<&Constraint> {
+        self.constraints.iter().find(|c| c.name == name)
+    }
+
+    // ----- compilation state -----------------------------------------------
+
+    /// Drop compiler-generated auxiliary predicates and cached state. Called
+    /// automatically by every definition-level mutation.
+    pub(crate) fn decompile(&mut self) {
+        self.idb = None;
+        self.compiled = None;
+        if let Some(n) = self.aux_start.take() {
+            for d in self.preds.drain(n..) {
+                self.by_name.remove(&d.name);
+            }
+            self.rels.truncate(n);
+        }
+    }
+
+    // ----- evolution sessions ----------------------------------------------
+
+    /// Begin an evolution session (the paper's BES). All subsequent fact
+    /// changes are journalled and can be rolled back.
+    pub fn begin_session(&mut self) -> Result<()> {
+        if self.journal.is_some() {
+            return Err(Error::SessionProtocol("session already active".into()));
+        }
+        self.journal = Some(Vec::new());
+        Ok(())
+    }
+
+    /// True while a session is active.
+    pub fn in_session(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The net changes journalled so far in the active session.
+    pub fn session_delta(&self) -> Result<ChangeSet> {
+        match &self.journal {
+            Some(j) => Ok(ChangeSet {
+                ops: j.clone(),
+            }),
+            None => Err(Error::SessionProtocol("no active session".into())),
+        }
+    }
+
+    /// Commit the session (the paper's successful EES), returning the
+    /// session's effective change set.
+    pub fn commit_session(&mut self) -> Result<ChangeSet> {
+        match self.journal.take() {
+            Some(j) => Ok(ChangeSet {
+                ops: j,
+            }),
+            None => Err(Error::SessionProtocol("no active session".into())),
+        }
+    }
+
+    /// Roll back the session: undo all journalled changes in reverse order.
+    pub fn rollback_session(&mut self) -> Result<()> {
+        let journal = self
+            .journal
+            .take()
+            .ok_or_else(|| Error::SessionProtocol("no active session".into()))?;
+        for op in journal.iter().rev() {
+            match op.inverse() {
+                Op::Insert(p, t) => {
+                    self.rels[p.index()].insert(t);
+                }
+                Op::Delete(p, t) => {
+                    self.rels[p.index()].remove(&t);
+                }
+            }
+        }
+        self.idb = None;
+        Ok(())
+    }
+
+    /// Drop the cached IDB materialisation so the next check/evaluation
+    /// starts cold. Benchmarks use this to measure steady-state cost;
+    /// normal code never needs it (fact mutations invalidate
+    /// automatically).
+    pub fn invalidate_caches(&mut self) {
+        self.idb = None;
+    }
+
+    /// Total number of stored base facts.
+    pub fn fact_count(&self) -> usize {
+        self.preds
+            .iter()
+            .zip(&self.rels)
+            .filter(|(d, _)| d.is_base())
+            .map(|(_, r)| r.len())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("preds", &self.preds.len())
+            .field("rules", &self.rules.len())
+            .field("constraints", &self.constraints.len())
+            .field("facts", &self.fact_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(xs: &[i64]) -> Tuple {
+        Tuple::from(xs.iter().map(|&x| Const::Int(x)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn declare_is_idempotent_for_same_shape() {
+        let mut db = Database::new();
+        let a = db.declare_base("P", 2).unwrap();
+        let b = db.declare_base("P", 2).unwrap();
+        assert_eq!(a, b);
+        assert!(db.declare_base("P", 3).is_err());
+        assert!(db.declare_derived("P", 2).is_err());
+    }
+
+    #[test]
+    fn insert_checks_arity_and_kind() {
+        let mut db = Database::new();
+        let p = db.declare_base("P", 2).unwrap();
+        let q = db.declare_derived("Q", 1).unwrap();
+        assert!(db.insert(p, tup(&[1])).is_err());
+        assert!(db.insert(q, tup(&[1])).is_err());
+        assert!(db.insert(p, tup(&[1, 2])).unwrap());
+        assert!(!db.insert(p, tup(&[1, 2])).unwrap());
+    }
+
+    #[test]
+    fn apply_reports_effective_ops_only() {
+        let mut db = Database::new();
+        let p = db.declare_base("P", 1).unwrap();
+        db.insert(p, tup(&[1])).unwrap();
+        let mut cs = ChangeSet::new();
+        cs.insert(p, tup(&[1])); // no-op
+        cs.insert(p, tup(&[2])); // effective
+        cs.delete(p, tup(&[9])); // no-op
+        let eff = db.apply(&cs).unwrap();
+        assert_eq!(eff.len(), 1);
+    }
+
+    #[test]
+    fn session_rollback_restores_state() {
+        let mut db = Database::new();
+        let p = db.declare_base("P", 1).unwrap();
+        db.insert(p, tup(&[1])).unwrap();
+        db.begin_session().unwrap();
+        db.insert(p, tup(&[2])).unwrap();
+        db.remove(p, &tup(&[1])).unwrap();
+        db.rollback_session().unwrap();
+        assert!(db.contains(p, &tup(&[1])));
+        assert!(!db.contains(p, &tup(&[2])));
+    }
+
+    #[test]
+    fn session_commit_returns_delta() {
+        let mut db = Database::new();
+        let p = db.declare_base("P", 1).unwrap();
+        db.begin_session().unwrap();
+        db.insert(p, tup(&[2])).unwrap();
+        db.insert(p, tup(&[2])).unwrap(); // duplicate: not journalled
+        let delta = db.commit_session().unwrap();
+        assert_eq!(delta.len(), 1);
+        assert!(!db.in_session());
+    }
+
+    #[test]
+    fn nested_sessions_rejected() {
+        let mut db = Database::new();
+        db.begin_session().unwrap();
+        assert!(db.begin_session().is_err());
+        db.commit_session().unwrap();
+        assert!(db.commit_session().is_err());
+        assert!(db.rollback_session().is_err());
+    }
+
+    #[test]
+    fn remove_constraint_by_name() {
+        let mut db = Database::new();
+        db.add_constraint(Constraint::new(
+            "c1",
+            vec![],
+            crate::constraint::Formula::True,
+        ));
+        assert!(db.remove_constraint("c1"));
+        assert!(!db.remove_constraint("c1"));
+    }
+}

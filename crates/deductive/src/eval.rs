@@ -1,0 +1,687 @@
+//! Bottom-up evaluation: semi-naive fixpoint per stratum, plus ad-hoc
+//! conjunctive queries.
+
+use crate::ast::{Atom, Literal, Rule, Term, Var};
+use crate::compile::Compiled;
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::pred::PredId;
+use crate::relation::Relation;
+use crate::symbol::FxHashSet;
+use crate::tuple::Tuple;
+use crate::value::Const;
+
+/// Materialised extensions of derived predicates (indexed by `PredId`).
+pub(crate) struct Idb {
+    pub rels: Vec<Relation>,
+}
+
+/// A variable binding environment for one rule activation.
+pub(crate) type Binding = Vec<Option<Const>>;
+
+fn resolve(t: Term, binding: &Binding) -> Option<Const> {
+    match t {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => binding[v.index()],
+    }
+}
+
+/// Order body literals for left-to-right evaluation: cheap fully-bound
+/// filters (comparisons, negations) as early as possible, positive atoms by
+/// descending boundness. `first`, when given, pins a literal to the front
+/// (the semi-naive delta literal).
+pub(crate) fn order_body(body: &[Literal], var_count: usize, first: Option<usize>) -> Vec<usize> {
+    let mut order = Vec::with_capacity(body.len());
+    let mut bound = vec![false; var_count];
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let bind_lit = |lit: &Literal, bound: &mut Vec<bool>| {
+        for v in lit.vars() {
+            bound[v.index()] = true;
+        }
+    };
+    if let Some(f) = first {
+        order.push(f);
+        bind_lit(&body[f], &mut bound);
+        remaining.retain(|&i| i != f);
+    }
+    while !remaining.is_empty() {
+        // 1. any comparison or negation whose vars are all bound
+        if let Some(pos) = remaining.iter().position(|&i| match &body[i] {
+            Literal::Pos(_) => false,
+            lit => lit.vars().iter().all(|v| bound[v.index()]),
+        }) {
+            let i = remaining.remove(pos);
+            order.push(i);
+            continue;
+        }
+        // 2. the positive atom binding the most already-bound variables
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| body[i].is_positive())
+            .max_by_key(|(_, &i)| {
+                body[i]
+                    .vars()
+                    .iter()
+                    .filter(|v| bound[v.index()])
+                    .count()
+            })
+            .map(|(pos, _)| pos);
+        match best {
+            Some(pos) => {
+                let i = remaining.remove(pos);
+                bind_lit(&body[i], &mut bound);
+                order.push(i);
+            }
+            None => {
+                // Only unbound negations/comparisons left; safe rules never
+                // reach here, but take them in order to terminate.
+                order.append(&mut remaining);
+            }
+        }
+    }
+    order
+}
+
+/// Evaluation context giving access to base and derived relations. When
+/// `base_override` is set, base predicates are read from it instead of the
+/// live EDB (used by incremental maintenance to join against the old
+/// state).
+pub(crate) struct Store<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) idb: &'a [Relation],
+    pub(crate) base_override: Option<&'a [Relation]>,
+}
+
+impl Store<'_> {
+    pub(crate) fn rel(&self, p: PredId) -> &Relation {
+        if self.db.pred_decl(p).is_base() {
+            match self.base_override {
+                Some(base) => &base[p.index()],
+                None => self.db.relation(p),
+            }
+        } else {
+            &self.idb[p.index()]
+        }
+    }
+}
+
+/// Match one rule body (already ordered) against the store, calling `sink`
+/// for every complete binding. `delta` substitutes the relation used for the
+/// literal at body index `delta.0`. The sink returns `false` to abort the
+/// search; `match_body` propagates that as its own return value.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn match_body(
+    store: &Store<'_>,
+    body: &[Literal],
+    order: &[usize],
+    depth: usize,
+    binding: &mut Binding,
+    delta: Option<(usize, &Relation)>,
+    sink: &mut dyn FnMut(&Binding) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return sink(binding);
+    }
+    let li = order[depth];
+    match &body[li] {
+        Literal::Pos(atom) => {
+            let rel = match delta {
+                Some((di, d)) if di == li => d,
+                _ => store.rel(atom.pred),
+            };
+            let mut bound_cols: Vec<(usize, Const)> = Vec::new();
+            for (j, &t) in atom.args.iter().enumerate() {
+                if let Some(c) = resolve(t, binding) {
+                    bound_cols.push((j, c));
+                }
+            }
+            'tuples: for tuple in rel.select(&bound_cols) {
+                let mut newly: Vec<Var> = Vec::new();
+                for (j, &t) in atom.args.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            if tuple.get(j) != c {
+                                for v in newly.drain(..) {
+                                    binding[v.index()] = None;
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => match binding[v.index()] {
+                            Some(c) => {
+                                if tuple.get(j) != c {
+                                    for v in newly.drain(..) {
+                                        binding[v.index()] = None;
+                                    }
+                                    continue 'tuples;
+                                }
+                            }
+                            None => {
+                                binding[v.index()] = Some(tuple.get(j));
+                                newly.push(v);
+                            }
+                        },
+                    }
+                }
+                let keep_going = match_body(store, body, order, depth + 1, binding, delta, sink);
+                for v in newly {
+                    binding[v.index()] = None;
+                }
+                if !keep_going {
+                    return false;
+                }
+            }
+            true
+        }
+        Literal::Neg(atom) => {
+            let ground: Vec<Const> = atom
+                .args
+                .iter()
+                .map(|&t| resolve(t, binding).expect("safe rule: negation fully bound"))
+                .collect();
+            if !store.rel(atom.pred).contains(&Tuple::from(ground)) {
+                match_body(store, body, order, depth + 1, binding, delta, sink)
+            } else {
+                true
+            }
+        }
+        Literal::Cmp(op, l, r) => {
+            let a = resolve(*l, binding).expect("safe rule: comparison fully bound");
+            let b = resolve(*r, binding).expect("safe rule: comparison fully bound");
+            if op.eval(a, b) {
+                match_body(store, body, order, depth + 1, binding, delta, sink)
+            } else {
+                true
+            }
+        }
+    }
+}
+
+/// Evaluate one stratum into `idb` (crate-internal entry point used by the
+/// incremental checker).
+pub(crate) fn eval_stratum_public(
+    db: &Database,
+    idb: &mut Vec<Relation>,
+    rules: &[Rule],
+    rule_ixs: &[usize],
+) {
+    eval_stratum(db, idb, rules, rule_ixs);
+}
+
+/// Solve a body against the current EDB + a given IDB, with some variables
+/// preset, returning up to `limit` full bindings. Crate-internal helper for
+/// repair generation.
+pub(crate) fn solve_body(
+    db: &Database,
+    idb: &[Relation],
+    body: &[Literal],
+    var_count: usize,
+    preset: &[(Var, Const)],
+    limit: usize,
+) -> Vec<Binding> {
+    let mut binding: Binding = vec![None; var_count];
+    for &(v, c) in preset {
+        binding[v.index()] = Some(c);
+    }
+    // Ordering: treat preset vars as already bound by pretending the body has
+    // a virtual first literal; easiest is to order with boundness seeded.
+    let order = order_body_seeded(body, var_count, preset);
+    let store = Store {
+        db,
+        idb,
+        base_override: None,
+    };
+    let mut out: Vec<Binding> = Vec::new();
+    match_body(&store, body, &order, 0, &mut binding, None, &mut |b| {
+        out.push(b.clone());
+        out.len() < limit
+    });
+    out
+}
+
+/// Like [`order_body`] but with an initial set of bound variables.
+fn order_body_seeded(body: &[Literal], var_count: usize, preset: &[(Var, Const)]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(body.len());
+    let mut bound = vec![false; var_count];
+    for &(v, _) in preset {
+        bound[v.index()] = true;
+    }
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    while !remaining.is_empty() {
+        if let Some(pos) = remaining.iter().position(|&i| match &body[i] {
+            Literal::Pos(_) => false,
+            lit => lit.vars().iter().all(|v| bound[v.index()]),
+        }) {
+            let i = remaining.remove(pos);
+            order.push(i);
+            continue;
+        }
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| body[i].is_positive())
+            .max_by_key(|(_, &i)| {
+                body[i]
+                    .vars()
+                    .iter()
+                    .filter(|v| bound[v.index()])
+                    .count()
+            })
+            .map(|(pos, _)| pos);
+        match best {
+            Some(pos) => {
+                let i = remaining.remove(pos);
+                for v in body[i].vars() {
+                    bound[v.index()] = true;
+                }
+                order.push(i);
+            }
+            None => {
+                order.append(&mut remaining);
+            }
+        }
+    }
+    order
+}
+
+pub(crate) fn instantiate(head: &Atom, binding: &Binding) -> Tuple {
+    Tuple::from(
+        head.args
+            .iter()
+            .map(|&t| resolve(t, binding).expect("safe rule: head fully bound"))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Evaluate one stratum to fixpoint, semi-naively.
+fn eval_stratum(db: &Database, idb: &mut Vec<Relation>, rules: &[Rule], rule_ixs: &[usize]) {
+    let stratum_preds: FxHashSet<PredId> =
+        rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
+    // Round 0: full evaluation of every rule.
+    let mut delta: Vec<Relation> = vec![Relation::new(); idb.len()];
+    for &ri in rule_ixs {
+        let rule = &rules[ri];
+        let order = order_body(&rule.body, rule.var_count(), None);
+        let mut binding: Binding = vec![None; rule.var_count()];
+        let mut new_facts: Vec<Tuple> = Vec::new();
+        {
+            let store = Store {
+                db,
+                idb,
+                base_override: None,
+            };
+            match_body(&store, &rule.body, &order, 0, &mut binding, None, &mut |b| {
+                new_facts.push(instantiate(&rule.head, b));
+                true
+            });
+        }
+        let h = rule.head.pred.index();
+        for t in new_facts {
+            if idb[h].insert(t.clone()) {
+                delta[h].insert(t);
+            }
+        }
+    }
+    // Semi-naive iteration.
+    loop {
+        let has_delta = stratum_preds.iter().any(|p| !delta[p.index()].is_empty());
+        if !has_delta {
+            break;
+        }
+        let mut next_delta: Vec<(PredId, Tuple)> = Vec::new();
+        for &ri in rule_ixs {
+            let rule = &rules[ri];
+            for (li, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(atom) = lit else {
+                    continue;
+                };
+                if !stratum_preds.contains(&atom.pred) || delta[atom.pred.index()].is_empty() {
+                    continue;
+                }
+                let order = order_body(&rule.body, rule.var_count(), Some(li));
+                let mut binding: Binding = vec![None; rule.var_count()];
+                let store = Store {
+                    db,
+                    idb,
+                    base_override: None,
+                };
+                let d = &delta[atom.pred.index()];
+                match_body(
+                    &store,
+                    &rule.body,
+                    &order,
+                    0,
+                    &mut binding,
+                    Some((li, d)),
+                    &mut |b| {
+                        next_delta.push((rule.head.pred, instantiate(&rule.head, b)));
+                        true
+                    },
+                );
+            }
+        }
+        for p in &stratum_preds {
+            delta[p.index()].clear();
+        }
+        for (p, t) in next_delta {
+            if idb[p.index()].insert(t.clone()) {
+                delta[p.index()].insert(t);
+            }
+        }
+    }
+}
+
+/// Evaluate one stratum naively (re-deriving everything each round). Used
+/// only by the `datalog_eval` benchmark as the ablation baseline.
+fn eval_stratum_naive(
+    db: &Database,
+    idb: &mut Vec<Relation>,
+    rules: &[Rule],
+    rule_ixs: &[usize],
+) -> usize {
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut new_facts: Vec<(PredId, Tuple)> = Vec::new();
+        for &ri in rule_ixs {
+            let rule = &rules[ri];
+            let order = order_body(&rule.body, rule.var_count(), None);
+            let mut binding: Binding = vec![None; rule.var_count()];
+            let store = Store {
+                db,
+                idb,
+                base_override: None,
+            };
+            match_body(&store, &rule.body, &order, 0, &mut binding, None, &mut |b| {
+                new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
+                true
+            });
+        }
+        let mut changed = false;
+        for (p, t) in new_facts {
+            if idb[p.index()].insert(t) {
+                changed = true;
+            }
+        }
+        if !changed {
+            return rounds;
+        }
+    }
+}
+
+pub(crate) fn eval_program(db: &Database, compiled: &Compiled) -> Idb {
+    let mut rels: Vec<Relation> = vec![Relation::new(); db.pred_count()];
+    for stratum in &compiled.strat.rule_strata {
+        eval_stratum(db, &mut rels, &compiled.rules, stratum);
+    }
+    Idb {
+        rels,
+    }
+}
+
+impl Database {
+    /// Ensure rules/constraints are compiled and the IDB is materialised.
+    pub fn evaluate(&mut self) -> Result<()> {
+        self.ensure_compiled()?;
+        if self.idb.is_some() {
+            return Ok(());
+        }
+        let compiled = self.compiled.take().expect("just compiled");
+        let idb = eval_program(self, &compiled);
+        self.compiled = Some(compiled);
+        self.idb = Some(idb);
+        Ok(())
+    }
+
+    /// Evaluate the whole program with the naive (non-semi-naive) strategy,
+    /// returning the number of fixpoint rounds. Benchmark ablation only; the
+    /// result is not cached.
+    pub fn evaluate_naive_for_bench(&mut self) -> Result<usize> {
+        self.ensure_compiled()?;
+        let compiled = self.compiled.take().expect("just compiled");
+        let mut rels: Vec<Relation> = vec![Relation::new(); self.pred_count()];
+        let mut rounds = 0;
+        for stratum in &compiled.strat.rule_strata {
+            rounds += eval_stratum_naive(self, &mut rels, &compiled.rules, stratum);
+        }
+        self.compiled = Some(compiled);
+        Ok(rounds)
+    }
+
+    /// Sorted facts of a derived predicate (materialising if necessary).
+    pub fn derived_facts(&mut self, pred: PredId) -> Result<Vec<Tuple>> {
+        self.evaluate()?;
+        Ok(self.idb.as_ref().expect("evaluated").rels[pred.index()].sorted())
+    }
+
+    /// Does the (possibly derived) predicate contain this fact?
+    pub fn holds(&mut self, pred: PredId, tuple: &Tuple) -> Result<bool> {
+        if self.pred_decl(pred).is_base() {
+            return Ok(self.contains(pred, tuple));
+        }
+        self.evaluate()?;
+        Ok(self.idb.as_ref().expect("evaluated").rels[pred.index()].contains(tuple))
+    }
+
+    /// Evaluate an ad-hoc conjunctive query: return every binding of `out`
+    /// that satisfies all `body` literals, deduplicated, sorted.
+    ///
+    /// The body must be range-restricted: every variable in `out`, in a
+    /// negation, or in a comparison must occur in a positive literal.
+    pub fn query(&mut self, body: &[Literal], out: &[Var]) -> Result<Vec<Tuple>> {
+        // Safety check.
+        let mut positive: FxHashSet<Var> = FxHashSet::default();
+        for lit in body {
+            if let Literal::Pos(a) = lit {
+                positive.extend(a.vars());
+            }
+        }
+        let check = |v: Var| -> Result<()> {
+            if positive.contains(&v) {
+                Ok(())
+            } else {
+                Err(Error::UnsafeRule {
+                    rule: "<query>".into(),
+                    var: format!("#{}", v.0),
+                })
+            }
+        };
+        for &v in out {
+            check(v)?;
+        }
+        for lit in body {
+            match lit {
+                Literal::Pos(_) => {}
+                Literal::Neg(a) => {
+                    for v in a.vars() {
+                        check(v)?;
+                    }
+                }
+                Literal::Cmp(_, l, r) => {
+                    for v in [l.as_var(), r.as_var()].into_iter().flatten() {
+                        check(v)?;
+                    }
+                }
+            }
+        }
+        self.evaluate()?;
+        let var_count = body
+            .iter()
+            .flat_map(|l| l.vars())
+            .chain(out.iter().copied())
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let order = order_body(body, var_count, None);
+        let mut binding: Binding = vec![None; var_count];
+        let idb = self.idb.as_ref().expect("evaluated");
+        let store = Store {
+            db: self,
+            idb: &idb.rels,
+            base_override: None,
+        };
+        let mut results: FxHashSet<Tuple> = FxHashSet::default();
+        match_body(&store, body, &order, 0, &mut binding, None, &mut |b| {
+            results.insert(Tuple::from(
+                out.iter()
+                    .map(|v| b[v.index()].expect("out var bound"))
+                    .collect::<Vec<_>>(),
+            ));
+            true
+        });
+        let mut v: Vec<Tuple> = results.into_iter().collect();
+        v.sort();
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    fn setup_path() -> (Database, PredId, PredId) {
+        let mut db = Database::new();
+        let edge = db.declare_base("Edge", 2).unwrap();
+        let path = db.declare_derived("Path", 2).unwrap();
+        let v = |n: u32| Term::Var(Var(n));
+        db.add_rule(Rule::new(
+            Atom::new(path, vec![v(0), v(1)]),
+            vec![Literal::Pos(Atom::new(edge, vec![v(0), v(1)]))],
+        ))
+        .unwrap();
+        db.add_rule(Rule::new(
+            Atom::new(path, vec![v(0), v(2)]),
+            vec![
+                Literal::Pos(Atom::new(edge, vec![v(0), v(1)])),
+                Literal::Pos(Atom::new(path, vec![v(1), v(2)])),
+            ],
+        ))
+        .unwrap();
+        (db, edge, path)
+    }
+
+    fn t2(a: i64, b: i64) -> Tuple {
+        Tuple::from(vec![Const::Int(a), Const::Int(b)])
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let (mut db, edge, path) = setup_path();
+        for i in 0..5 {
+            db.insert(edge, t2(i, i + 1)).unwrap();
+        }
+        let facts = db.derived_facts(path).unwrap();
+        // chain of 6 nodes: 5+4+3+2+1 = 15 paths
+        assert_eq!(facts.len(), 15);
+        assert!(facts.contains(&t2(0, 5)));
+        assert!(!facts.contains(&t2(5, 0)));
+    }
+
+    #[test]
+    fn cycle_closure_terminates() {
+        let (mut db, edge, path) = setup_path();
+        db.insert(edge, t2(0, 1)).unwrap();
+        db.insert(edge, t2(1, 2)).unwrap();
+        db.insert(edge, t2(2, 0)).unwrap();
+        let facts = db.derived_facts(path).unwrap();
+        assert_eq!(facts.len(), 9); // complete on 3 nodes
+        assert!(facts.contains(&t2(0, 0)));
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let (mut db, edge, path) = setup_path();
+        for i in 0..8 {
+            db.insert(edge, t2(i, i + 1)).unwrap();
+        }
+        db.insert(edge, t2(3, 0)).unwrap();
+        let semi = db.derived_facts(path).unwrap();
+        let rounds = db.evaluate_naive_for_bench().unwrap();
+        assert!(rounds > 1);
+        assert_eq!(semi.len(), db.derived_facts(path).unwrap().len());
+    }
+
+    #[test]
+    fn negation_across_strata() {
+        let mut db = Database::new();
+        let node = db.declare_base("Node", 1).unwrap();
+        let edge = db.declare_base("Edge", 2).unwrap();
+        let covered = db.declare_derived("Covered", 1).unwrap();
+        let isolated = db.declare_derived("Isolated", 1).unwrap();
+        let v = |n: u32| Term::Var(Var(n));
+        db.add_rule(Rule::new(
+            Atom::new(covered, vec![v(0)]),
+            vec![Literal::Pos(Atom::new(edge, vec![v(0), v(1)]))],
+        ))
+        .unwrap();
+        db.add_rule(Rule::new(
+            Atom::new(isolated, vec![v(0)]),
+            vec![
+                Literal::Pos(Atom::new(node, vec![v(0)])),
+                Literal::Neg(Atom::new(covered, vec![v(0)])),
+            ],
+        ))
+        .unwrap();
+        let one = Tuple::from(vec![Const::Int(1)]);
+        let two = Tuple::from(vec![Const::Int(2)]);
+        db.insert(node, one.clone()).unwrap();
+        db.insert(node, two.clone()).unwrap();
+        db.insert(edge, t2(1, 9)).unwrap();
+        let iso = db.derived_facts(isolated).unwrap();
+        assert_eq!(iso, vec![two]);
+    }
+
+    #[test]
+    fn query_with_comparison() {
+        let (mut db, edge, path) = setup_path();
+        for i in 0..4 {
+            db.insert(edge, t2(i, i + 1)).unwrap();
+        }
+        // ?- Path(X, Y), X >= 2.
+        let v = |n: u32| Term::Var(Var(n));
+        let body = vec![
+            Literal::Pos(Atom::new(path, vec![v(0), v(1)])),
+            Literal::Cmp(CmpOp::Ge, v(0), Term::Const(Const::Int(2))),
+        ];
+        let res = db.query(&body, &[Var(0), Var(1)]).unwrap();
+        assert_eq!(res, vec![t2(2, 3), t2(2, 4), t2(3, 4)]);
+    }
+
+    #[test]
+    fn query_rejects_unsafe_out_var() {
+        let (mut db, _, path) = setup_path();
+        let v = |n: u32| Term::Var(Var(n));
+        let body = vec![Literal::Pos(Atom::new(path, vec![v(0), v(1)]))];
+        assert!(db.query(&body, &[Var(5)]).is_err());
+    }
+
+    #[test]
+    fn idb_invalidated_by_fact_change() {
+        let (mut db, edge, path) = setup_path();
+        db.insert(edge, t2(0, 1)).unwrap();
+        assert_eq!(db.derived_facts(path).unwrap().len(), 1);
+        db.insert(edge, t2(1, 2)).unwrap();
+        assert_eq!(db.derived_facts(path).unwrap().len(), 3);
+        db.remove(edge, &t2(1, 2)).unwrap();
+        assert_eq!(db.derived_facts(path).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_unifies() {
+        let mut db = Database::new();
+        let p = db.declare_base("P", 2).unwrap();
+        let diag = db.declare_derived("Diag", 1).unwrap();
+        let v = |n: u32| Term::Var(Var(n));
+        db.add_rule(Rule::new(
+            Atom::new(diag, vec![v(0)]),
+            vec![Literal::Pos(Atom::new(p, vec![v(0), v(0)]))],
+        ))
+        .unwrap();
+        db.insert(p, t2(1, 1)).unwrap();
+        db.insert(p, t2(1, 2)).unwrap();
+        let facts = db.derived_facts(diag).unwrap();
+        assert_eq!(facts, vec![Tuple::from(vec![Const::Int(1)])]);
+    }
+}

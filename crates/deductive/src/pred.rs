@@ -1,0 +1,72 @@
+//! Predicate registry: names, arities, kinds, and key declarations.
+
+use crate::symbol::Symbol;
+
+/// Identifies a predicate within one [`crate::Database`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PredId(pub(crate) u32);
+
+impl PredId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether facts of a predicate are stored (extensional) or derived by rules
+/// (intentional).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredKind {
+    /// Extensional (base) predicate: facts are stored in the EDB and may be
+    /// the target of updates and repairs.
+    Base,
+    /// Intentional (derived) predicate: facts are computed by rules.
+    Derived,
+}
+
+/// Declaration of one predicate.
+#[derive(Clone, Debug)]
+pub struct PredDecl {
+    /// Interned predicate name.
+    pub name: Symbol,
+    /// Number of columns.
+    pub arity: usize,
+    /// Base or derived.
+    pub kind: PredKind,
+    /// Key columns (positions) for base predicates, if a key constraint was
+    /// declared. The checker enforces that no two facts agree on all key
+    /// columns while differing elsewhere.
+    pub key: Option<Box<[usize]>>,
+    /// Optional human-readable column names (for explanations and dumps).
+    pub cols: Option<Box<[String]>>,
+}
+
+impl PredDecl {
+    /// True for extensional predicates.
+    pub fn is_base(&self) -> bool {
+        self.kind == PredKind::Base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_base_matches_kind() {
+        let d = PredDecl {
+            name: Symbol::from_index(0),
+            arity: 2,
+            kind: PredKind::Base,
+            key: None,
+            cols: None,
+        };
+        assert!(d.is_base());
+        let d2 = PredDecl {
+            kind: PredKind::Derived,
+            ..d
+        };
+        assert!(!d2.is_base());
+    }
+}

@@ -1,0 +1,320 @@
+//! Provenance: derivation trees for derived facts.
+//!
+//! The paper computes repairs "by building a derivation tree for each
+//! consistency violation and subsequent combination of its leaves into a
+//! repair" (\[19\]). The repair generator uses this machinery internally;
+//! this module exposes it as a user-facing *why* facility: for any derived
+//! fact, obtain one derivation tree down to the extensional leaves.
+
+use crate::ast::{Literal, Term, Var};
+use crate::db::Database;
+use crate::error::Result;
+use crate::eval::solve_body;
+use crate::pred::PredId;
+use crate::tuple::Tuple;
+use crate::value::Const;
+
+/// One derivation of a fact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Derivation {
+    /// An extensional (stored) fact.
+    Fact {
+        /// Predicate.
+        pred: PredId,
+        /// The fact.
+        tuple: Tuple,
+    },
+    /// A rule application.
+    Rule {
+        /// Head predicate.
+        pred: PredId,
+        /// The derived fact.
+        tuple: Tuple,
+        /// Index of the applied rule in the compiled rule set.
+        rule_index: usize,
+        /// Derivations of the positive body atoms, in body order.
+        children: Vec<Derivation>,
+        /// Negative body atoms that hold by absence (ground instances).
+        absent: Vec<(PredId, Tuple)>,
+    },
+}
+
+impl Derivation {
+    /// The derived fact at the root.
+    pub fn fact(&self) -> (&PredId, &Tuple) {
+        match self {
+            Derivation::Fact { pred, tuple } | Derivation::Rule { pred, tuple, .. } => {
+                (pred, tuple)
+            }
+        }
+    }
+
+    /// All extensional leaves of the tree (deduplicated, in discovery
+    /// order) — the candidate deletions of a premise-invalidating repair.
+    pub fn leaves(&self) -> Vec<(PredId, Tuple)> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<(PredId, Tuple)>) {
+        match self {
+            Derivation::Fact { pred, tuple } => {
+                let entry = (*pred, tuple.clone());
+                if !out.contains(&entry) {
+                    out.push(entry);
+                }
+            }
+            Derivation::Rule { children, .. } => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Render the tree with indentation.
+    pub fn render(&self, db: &Database) -> String {
+        let mut s = String::new();
+        self.render_into(db, 0, &mut s);
+        s
+    }
+
+    fn render_into(&self, db: &Database, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Derivation::Fact { pred, tuple } => {
+                out.push_str(&format!(
+                    "{pad}{}{} [fact]\n",
+                    db.pred_name(*pred),
+                    tuple.display(db.interner())
+                ));
+            }
+            Derivation::Rule {
+                pred,
+                tuple,
+                rule_index,
+                children,
+                absent,
+            } => {
+                out.push_str(&format!(
+                    "{pad}{}{} [rule #{rule_index}]\n",
+                    db.pred_name(*pred),
+                    tuple.display(db.interner())
+                ));
+                for c in children {
+                    c.render_into(db, depth + 1, out);
+                }
+                for (p, t) in absent {
+                    out.push_str(&format!(
+                        "{}not {}{} [absent]\n",
+                        "  ".repeat(depth + 1),
+                        db.pred_name(*p),
+                        t.display(db.interner())
+                    ));
+                }
+            }
+        }
+    }
+}
+
+const WHY_DEPTH: usize = 32;
+
+impl Database {
+    /// Build one derivation tree for a fact of a (possibly derived)
+    /// predicate. Returns `None` when the fact does not hold.
+    pub fn why(&mut self, pred: PredId, tuple: &Tuple) -> Result<Option<Derivation>> {
+        if self.pred_decl(pred).is_base() {
+            return Ok(if self.contains(pred, tuple) {
+                Some(Derivation::Fact {
+                    pred,
+                    tuple: tuple.clone(),
+                })
+            } else {
+                None
+            });
+        }
+        self.evaluate()?;
+        let idb = self.idb.take().expect("evaluated");
+        let result = derive(self, &idb.rels, pred, tuple, WHY_DEPTH);
+        self.idb = Some(idb);
+        Ok(result)
+    }
+}
+
+fn derive(
+    db: &Database,
+    idb: &[crate::relation::Relation],
+    pred: PredId,
+    tuple: &Tuple,
+    depth: usize,
+) -> Option<Derivation> {
+    if db.pred_decl(pred).is_base() {
+        return if db.relation(pred).contains(tuple) {
+            Some(Derivation::Fact {
+                pred,
+                tuple: tuple.clone(),
+            })
+        } else {
+            None
+        };
+    }
+    if depth == 0 || !idb[pred.index()].contains(tuple) {
+        return None;
+    }
+    let compiled = db.compiled.as_ref().expect("compiled");
+    let rule_ixs = compiled.rules_by_head.get(&pred)?;
+    for &ri in rule_ixs {
+        let rule = &compiled.rules[ri];
+        // Unify the head with the fact.
+        let mut preset: Vec<(Var, Const)> = Vec::new();
+        let mut ok = true;
+        for (j, &t) in rule.head.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    if tuple.get(j) != c {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(&(_, prev)) = preset.iter().find(|&&(pv, _)| pv == v) {
+                        if prev != tuple.get(j) {
+                            ok = false;
+                            break;
+                        }
+                    } else {
+                        preset.push((v, tuple.get(j)));
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let bindings = solve_body(db, idb, &rule.body, rule.var_count(), &preset, 1);
+        let Some(binding) = bindings.into_iter().next() else {
+            continue;
+        };
+        let ground = |args: &[Term]| -> Tuple {
+            Tuple::from(
+                args.iter()
+                    .map(|&t| match t {
+                        Term::Const(c) => c,
+                        Term::Var(v) => binding[v.index()].expect("full binding"),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut children = Vec::new();
+        let mut absent = Vec::new();
+        let mut complete = true;
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) => {
+                    let g = ground(&a.args);
+                    match derive(db, idb, a.pred, &g, depth - 1) {
+                        Some(d) => children.push(d),
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                Literal::Neg(a) => {
+                    absent.push((a.pred, ground(&a.args)));
+                }
+                Literal::Cmp(..) => {}
+            }
+        }
+        if complete {
+            return Some(Derivation::Rule {
+                pred,
+                tuple: tuple.clone(),
+                rule_index: ri,
+                children,
+                absent,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc_db() -> (Database, PredId, PredId) {
+        let mut db = Database::new();
+        db.load(
+            "base Edge(a, b).
+             derived Path(a, b).
+             Path(X, Y) :- Edge(X, Y).
+             Path(X, Z) :- Edge(X, Y), Path(Y, Z).",
+        )
+        .unwrap();
+        let e = db.pred_id("Edge").unwrap();
+        let p = db.pred_id("Path").unwrap();
+        (db, e, p)
+    }
+
+    #[test]
+    fn base_fact_derivation_is_a_leaf() {
+        let (mut db, e, _) = tc_db();
+        let (a, b) = (db.constant("a"), db.constant("b"));
+        db.insert(e, vec![a, b]).unwrap();
+        let t = Tuple::from(vec![a, b]);
+        let d = db.why(e, &t).unwrap().unwrap();
+        assert!(matches!(d, Derivation::Fact { .. }));
+        assert_eq!(d.leaves(), vec![(e, t)]);
+    }
+
+    #[test]
+    fn transitive_fact_traces_to_all_edges() {
+        let (mut db, e, p) = tc_db();
+        let (a, b, c) = (db.constant("a"), db.constant("b"), db.constant("c"));
+        db.insert(e, vec![a, b]).unwrap();
+        db.insert(e, vec![b, c]).unwrap();
+        let goal = Tuple::from(vec![a, c]);
+        let d = db.why(p, &goal).unwrap().unwrap();
+        let leaves = d.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert!(leaves.contains(&(e, Tuple::from(vec![a, b]))));
+        assert!(leaves.contains(&(e, Tuple::from(vec![b, c]))));
+        let text = d.render(&db);
+        assert!(text.contains("[rule #"), "{text}");
+        assert!(text.contains("[fact]"), "{text}");
+    }
+
+    #[test]
+    fn non_fact_has_no_derivation() {
+        let (mut db, e, p) = tc_db();
+        let (a, b) = (db.constant("a"), db.constant("b"));
+        db.insert(e, vec![a, b]).unwrap();
+        let bogus = Tuple::from(vec![b, a]);
+        assert!(db.why(p, &bogus).unwrap().is_none());
+        assert!(db.why(e, &bogus).unwrap().is_none());
+    }
+
+    #[test]
+    fn negation_recorded_as_absent() {
+        let mut db = Database::new();
+        db.load(
+            "base Node(x).
+             base Broken(x).
+             derived Healthy(x).
+             Healthy(X) :- Node(X), not Broken(X).",
+        )
+        .unwrap();
+        let n = db.pred_id("Node").unwrap();
+        let h = db.pred_id("Healthy").unwrap();
+        let a = db.constant("a");
+        db.insert(n, vec![a]).unwrap();
+        let d = db.why(h, &Tuple::from(vec![a])).unwrap().unwrap();
+        let Derivation::Rule { absent, .. } = &d else {
+            panic!("expected rule derivation");
+        };
+        assert_eq!(absent.len(), 1);
+        assert!(d.render(&db).contains("not Broken(a) [absent]"));
+    }
+}

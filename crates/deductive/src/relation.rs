@@ -1,0 +1,191 @@
+//! Fact storage for one predicate, with on-demand hash indexes.
+
+use crate::symbol::{FxHashMap, FxHashSet};
+use crate::tuple::Tuple;
+use crate::value::Const;
+use std::cell::RefCell;
+
+/// Lazily built index: bound column positions → (build generation, map from
+/// key constants to matching tuples).
+type IndexCache = FxHashMap<Box<[usize]>, (u64, FxHashMap<Box<[Const]>, Vec<Tuple>>)>;
+
+/// The set of facts currently stored (or derived) for one predicate.
+///
+/// Lookup under a partial binding is served by hash indexes keyed on the
+/// bound column positions; indexes are built lazily on first use and
+/// invalidated by any mutation (a generation counter makes staleness cheap to
+/// detect).
+#[derive(Default, Debug)]
+pub struct Relation {
+    facts: FxHashSet<Tuple>,
+    generation: u64,
+    indexes: RefCell<IndexCache>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            facts: self.facts.clone(),
+            generation: self.generation,
+            indexes: RefCell::new(IndexCache::default()),
+        }
+    }
+}
+
+impl Relation {
+    /// Empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.facts.contains(t)
+    }
+
+    /// Insert a fact. Returns `true` when the fact was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let added = self.facts.insert(t);
+        if added {
+            self.generation += 1;
+        }
+        added
+    }
+
+    /// Remove a fact. Returns `true` when the fact was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let removed = self.facts.remove(t);
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Iterate over all facts (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.facts.iter()
+    }
+
+    /// All facts, sorted, for deterministic output.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.facts.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// All facts matching the given bound columns.
+    ///
+    /// `bound` pairs column positions with required constants. With an empty
+    /// binding this is a full scan; otherwise an index on those positions is
+    /// (re)used.
+    pub fn select(&self, bound: &[(usize, Const)]) -> Vec<Tuple> {
+        if bound.is_empty() {
+            return self.facts.iter().cloned().collect();
+        }
+        let mut cols: Vec<usize> = bound.iter().map(|&(c, _)| c).collect();
+        cols.sort_unstable();
+        let key: Box<[Const]> = {
+            let mut pairs = bound.to_vec();
+            pairs.sort_unstable_by_key(|&(c, _)| c);
+            pairs.iter().map(|&(_, v)| v).collect()
+        };
+        let cols_box: Box<[usize]> = cols.into();
+        let mut indexes = self.indexes.borrow_mut();
+        let entry = indexes.get(&cols_box);
+        let stale = match entry {
+            Some((gen, _)) => *gen != self.generation,
+            None => true,
+        };
+        if stale {
+            let mut map: FxHashMap<Box<[Const]>, Vec<Tuple>> = FxHashMap::default();
+            for t in &self.facts {
+                let k: Box<[Const]> = cols_box.iter().map(|&c| t.get(c)).collect();
+                map.entry(k).or_default().push(t.clone());
+            }
+            indexes.insert(cols_box.clone(), (self.generation, map));
+        }
+        indexes
+            .get(&cols_box)
+            .and_then(|(_, m)| m.get(&key))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Drop all facts.
+    pub fn clear(&mut self) {
+        if !self.facts.is_empty() {
+            self.generation += 1;
+        }
+        self.facts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(xs: &[i64]) -> Tuple {
+        Tuple::from(xs.iter().map(|&x| Const::Int(x)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::new();
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(r.remove(&t(&[1, 2])));
+        assert!(!r.remove(&t(&[1, 2])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn select_with_empty_binding_scans_all() {
+        let mut r = Relation::new();
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[3, 4]));
+        assert_eq!(r.select(&[]).len(), 2);
+    }
+
+    #[test]
+    fn select_uses_bound_columns() {
+        let mut r = Relation::new();
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[2, 3]));
+        let hits = r.select(&[(0, Const::Int(1))]);
+        assert_eq!(hits.len(), 2);
+        let hits = r.select(&[(0, Const::Int(1)), (1, Const::Int(3))]);
+        assert_eq!(hits, vec![t(&[1, 3])]);
+    }
+
+    #[test]
+    fn index_invalidated_after_mutation() {
+        let mut r = Relation::new();
+        r.insert(t(&[1, 2]));
+        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 1);
+        r.insert(t(&[1, 9]));
+        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 2);
+        r.remove(&t(&[1, 2]));
+        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 1);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new();
+        r.insert(t(&[3]));
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        assert_eq!(r.sorted(), vec![t(&[1]), t(&[2]), t(&[3])]);
+    }
+}

@@ -1,0 +1,787 @@
+//! Repair generation for detected inconsistencies.
+//!
+//! This reproduces the reactive-consistency-control mechanism the paper
+//! relies on (ref [19]): a violated constraint `∀x̄ (B ⟹ H)` with witness θ
+//! can be repaired by
+//!
+//! 1. **invalidating the premise** — deleting a base fact from the
+//!    derivation tree supporting `B θ` (derived premise atoms are traced
+//!    down to their extensional leaves, which is how `−Attr^i(…)` in the
+//!    paper's §3.5 example becomes a deletable base `Attr` fact), or
+//! 2. **validating the conclusion** — inserting the base facts missing to
+//!    make `H θ` true, binding existential variables against the current
+//!    database where possible (the paper's `+Slot(clid4, fuelType,
+//!    clid_string)`), and inventing fresh constants only as a last resort.
+//!
+//! Candidates are deduplicated, pruned to minimal ones, and returned in a
+//! deterministic order. Rolling back the evolution session is always
+//! available as an additional repair at the session layer.
+
+use crate::ast::{Atom, Literal, Term, Var};
+use crate::changes::{ChangeSet, Op};
+use crate::check::{Violation, ViolationSource};
+use crate::constraint::Formula;
+use crate::db::Database;
+use crate::error::Result;
+use crate::eval::solve_body;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Const;
+use std::fmt;
+
+/// How many alternative bindings to explore per search step.
+const MAX_BINDINGS: usize = 8;
+/// Hard cap on generated repair candidates per violation.
+const MAX_CANDIDATES: usize = 64;
+/// Recursion depth when tracing derived predicates.
+const MAX_DEPTH: usize = 6;
+
+/// Classification of a repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RepairKind {
+    /// Invalidate the constraint's premise by deleting supporting base
+    /// facts.
+    InvalidatePremise,
+    /// Validate the constraint's conclusion by inserting missing base facts.
+    CompleteConclusion,
+    /// Resolve a key conflict by deleting one of the clashing facts.
+    ResolveKey,
+}
+
+impl fmt::Display for RepairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RepairKind::InvalidatePremise => "invalidate premise",
+            RepairKind::CompleteConclusion => "complete conclusion",
+            RepairKind::ResolveKey => "resolve key conflict",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One executable repair: a set of base-predicate changes whose application
+/// removes the violation it was generated for.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Repair {
+    /// The base-fact changes to apply.
+    pub changes: ChangeSet,
+    /// What the repair does, structurally.
+    pub kind: RepairKind,
+}
+
+impl Repair {
+    /// Render the repair, e.g. `+Slot(clid4, fuelType, clid_string)`.
+    pub fn render(&self, db: &Database) -> String {
+        let ops: Vec<String> = self
+            .changes
+            .ops
+            .iter()
+            .map(|op| op.display(db).to_string())
+            .collect();
+        format!("[{}] {}", self.kind, ops.join(", "))
+    }
+}
+
+/// Internal search state shared across repair-generation steps.
+struct Gen<'a> {
+    db: &'a Database,
+    idb: &'a [Relation],
+    /// Pre-interned constants handed out for unbound existential variables.
+    fresh_pool: &'a [Const],
+    fresh_next: std::cell::Cell<usize>,
+}
+
+impl Gen<'_> {
+    fn next_fresh(&self) -> Option<Const> {
+        let i = self.fresh_next.get();
+        let c = self.fresh_pool.get(i).copied();
+        if c.is_some() {
+            self.fresh_next.set(i + 1);
+        }
+        c
+    }
+}
+
+impl Gen<'_> {
+    fn atom_holds(&self, pred: crate::pred::PredId, tuple: &Tuple) -> bool {
+        if self.db.pred_decl(pred).is_base() {
+            self.db.relation(pred).contains(tuple)
+        } else {
+            self.idb[pred.index()].contains(tuple)
+        }
+    }
+
+    /// Trace a fact of a (possibly derived) predicate to the base facts of
+    /// one supporting derivation. Returns `None` when the fact does not hold
+    /// or no derivation is found within the depth budget.
+    fn edb_support(
+        &self,
+        pred: crate::pred::PredId,
+        tuple: &Tuple,
+        depth: usize,
+    ) -> Option<Vec<(crate::pred::PredId, Tuple)>> {
+        if self.db.pred_decl(pred).is_base() {
+            return if self.db.relation(pred).contains(tuple) {
+                Some(vec![(pred, tuple.clone())])
+            } else {
+                None
+            };
+        }
+        if depth == 0 || !self.idb[pred.index()].contains(tuple) {
+            return None;
+        }
+        let compiled = self.db.compiled.as_ref().expect("compiled");
+        let rule_ixs = compiled.rules_by_head.get(&pred)?;
+        for &ri in rule_ixs {
+            let rule = &compiled.rules[ri];
+            // Unify head with the fact.
+            let mut preset: Vec<(Var, Const)> = Vec::new();
+            let mut ok = true;
+            for (j, &t) in rule.head.args.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        if tuple.get(j) != c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if let Some(&(_, prev)) = preset.iter().find(|&&(pv, _)| pv == v) {
+                            if prev != tuple.get(j) {
+                                ok = false;
+                                break;
+                            }
+                        } else {
+                            preset.push((v, tuple.get(j)));
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let bindings = solve_body(
+                self.db,
+                self.idb,
+                &rule.body,
+                rule.var_count(),
+                &preset,
+                1,
+            );
+            let Some(binding) = bindings.into_iter().next() else {
+                continue;
+            };
+            // Collect support from the positive body atoms.
+            let mut support = Vec::new();
+            let mut all_traced = true;
+            for lit in &rule.body {
+                let Literal::Pos(a) = lit else {
+                    continue;
+                };
+                let ground = ground_atom(a, &binding);
+                match self.edb_support(a.pred, &ground, depth - 1) {
+                    Some(mut s) => support.append(&mut s),
+                    None => {
+                        all_traced = false;
+                        break;
+                    }
+                }
+            }
+            if all_traced {
+                support.sort();
+                support.dedup();
+                return Some(support);
+            }
+        }
+        None
+    }
+}
+
+fn ground_atom(a: &Atom, binding: &[Option<Const>]) -> Tuple {
+    Tuple::from(
+        a.args
+            .iter()
+            .map(|&t| match t {
+                Term::Const(c) => c,
+                Term::Var(v) => binding[v.index()].expect("full binding"),
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A partial assignment for conclusion completion: outer witness plus
+/// existential bindings discovered along the way.
+type Assign = Vec<(Var, Const)>;
+
+fn assigned(assign: &Assign, v: Var) -> Option<Const> {
+    assign.iter().find(|&&(av, _)| av == v).map(|&(_, c)| c)
+}
+
+impl Gen<'_> {
+    /// All ways to make `f` true under `assign` by inserting base facts
+    /// (deleting for negated base atoms). Returns change sets; an empty
+    /// change set means `f` already holds.
+    fn completions(&self, f: &Formula, assign: &Assign, depth: usize) -> Vec<ChangeSet> {
+        if depth == 0 {
+            return Vec::new();
+        }
+        match f {
+            Formula::True => vec![ChangeSet::new()],
+            Formula::False => Vec::new(),
+            Formula::Cmp(op, l, r) => {
+                let lv = resolve_term(*l, assign);
+                let rv = resolve_term(*r, assign);
+                match (lv, rv) {
+                    (Some(a), Some(b)) if op.eval(a, b) => vec![ChangeSet::new()],
+                    _ => Vec::new(),
+                }
+            }
+            Formula::Atom(_) | Formula::And(_) | Formula::Exists(..) => {
+                self.complete_conjunction(&flatten_conj(f), assign, depth)
+            }
+            Formula::Or(fs) => {
+                let mut out = Vec::new();
+                for branch in fs {
+                    out.extend(self.completions(branch, assign, depth));
+                    if out.len() > MAX_CANDIDATES {
+                        break;
+                    }
+                }
+                out
+            }
+            Formula::Implies(p, q) => {
+                // Make `p -> q` true: either p already fails, or make q true.
+                let not_p = Formula::Not(p.clone());
+                let mut out = self.completions(&not_p, assign, depth.saturating_sub(1));
+                out.extend(self.completions(q, assign, depth));
+                out
+            }
+            Formula::Not(g) => match g.as_ref() {
+                Formula::Atom(a) if self.db.pred_decl(a.pred).is_base() => {
+                    match try_ground(a, assign) {
+                        Some(t) => {
+                            if self.db.relation(a.pred).contains(&t) {
+                                let mut cs = ChangeSet::new();
+                                cs.delete(a.pred, t);
+                                vec![cs]
+                            } else {
+                                vec![ChangeSet::new()]
+                            }
+                        }
+                        None => Vec::new(),
+                    }
+                }
+                Formula::Cmp(op, l, r) => self.completions(
+                    &Formula::Cmp(op.negate(), *l, *r),
+                    assign,
+                    depth,
+                ),
+                // Making a derived atom or complex sub-formula false requires
+                // derivation-tree deletion, which we only do for premises.
+                _ => Vec::new(),
+            },
+            // Making a universally quantified sub-formula true would require
+            // repairing each of its instantiations; out of scope — the user
+            // can re-run the check after applying other repairs.
+            Formula::Forall(..) => Vec::new(),
+        }
+    }
+
+    /// Complete a conjunction of atoms/comparisons: choose a subset of atoms
+    /// to *look up* (binding remaining existential variables against the
+    /// database) and insert the rest.
+    fn complete_conjunction(
+        &self,
+        conj: &[Formula],
+        assign: &Assign,
+        depth: usize,
+    ) -> Vec<ChangeSet> {
+        // Separate atoms from other conjuncts; non-atoms must simply hold.
+        let mut atoms: Vec<&Atom> = Vec::new();
+        let mut rest: Vec<&Formula> = Vec::new();
+        for c in conj {
+            match c {
+                Formula::Atom(a) => atoms.push(a),
+                other => rest.push(other),
+            }
+        }
+        if atoms.len() > 6 {
+            return Vec::new(); // subset search would explode
+        }
+        let mut out: Vec<ChangeSet> = Vec::new();
+        // Iterate lookup-subsets from largest to smallest so that candidates
+        // needing fewer insertions are generated first.
+        let n = atoms.len();
+        let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+        masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+        for mask in masks {
+            if out.len() >= MAX_CANDIDATES {
+                break;
+            }
+            let lookup: Vec<&Atom> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| atoms[i]).collect();
+            let insert: Vec<&Atom> = (0..n).filter(|i| mask & (1 << i) == 0).map(|i| atoms[i]).collect();
+            // Solve the lookup conjunction for existential bindings.
+            let body: Vec<Literal> = lookup.iter().map(|a| Literal::Pos((*a).clone())).collect();
+            let var_count = conj_var_count(conj).max(
+                assign.iter().map(|&(v, _)| v.index() + 1).max().unwrap_or(0),
+            );
+            let bindings: Vec<Assign> = if lookup.is_empty() {
+                vec![assign.clone()]
+            } else {
+                solve_body(self.db, self.idb, &body, var_count, assign, MAX_BINDINGS)
+                    .into_iter()
+                    .map(|b| {
+                        b.iter()
+                            .enumerate()
+                            .filter_map(|(i, c)| c.map(|c| (Var(i as u32), c)))
+                            .collect()
+                    })
+                    .collect()
+            };
+            for binding in bindings {
+                let mut cs = ChangeSet::new();
+                let mut viable = true;
+                // Fresh constants are shared across all atoms of one
+                // candidate so a variable used twice grounds consistently.
+                let mut local = binding.clone();
+                for a in &insert {
+                    if !self.db.pred_decl(a.pred).is_base() {
+                        viable = false; // cannot insert into derived predicates
+                        break;
+                    }
+                    let mut consts = Vec::with_capacity(a.args.len());
+                    for &t in &a.args {
+                        let c = match t {
+                            Term::Const(c) => Some(c),
+                            Term::Var(v) => assigned(&local, v).or_else(|| {
+                                let c = self.next_fresh()?;
+                                local.push((v, c));
+                                Some(c)
+                            }),
+                        };
+                        match c {
+                            Some(c) => consts.push(c),
+                            None => {
+                                viable = false; // fresh pool exhausted
+                                break;
+                            }
+                        }
+                    }
+                    if !viable {
+                        break;
+                    }
+                    let t = Tuple::from(consts);
+                    if !self.atom_holds(a.pred, &t) {
+                        cs.insert(a.pred, t);
+                    }
+                }
+                if !viable {
+                    continue;
+                }
+                // Non-atom conjuncts must already hold under this binding.
+                for r in &rest {
+                    let subs = self.completions(r, &local, depth - 1);
+                    if let Some(extra) = subs.into_iter().min_by_key(ChangeSet::len) {
+                        cs.extend(extra);
+                    } else {
+                        viable = false;
+                        break;
+                    }
+                }
+                if viable && !cs.is_empty() {
+                    out.push(cs);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn resolve_term(t: Term, assign: &Assign) -> Option<Const> {
+    match t {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => assigned(assign, v),
+    }
+}
+
+fn try_ground(a: &Atom, assign: &Assign) -> Option<Tuple> {
+    let mut consts = Vec::with_capacity(a.args.len());
+    for &t in &a.args {
+        consts.push(resolve_term(t, assign)?);
+    }
+    Some(Tuple::from(consts))
+}
+
+fn flatten_conj(f: &Formula) -> Vec<Formula> {
+    match f {
+        Formula::And(fs) => fs.iter().flat_map(flatten_conj).collect(),
+        Formula::Exists(_, g) => flatten_conj(g),
+        other => vec![other.clone()],
+    }
+}
+
+fn conj_var_count(conj: &[Formula]) -> usize {
+    conj.iter().map(Formula::var_count).max().unwrap_or(0)
+}
+
+/// Canonicalise, deduplicate, and minimise a set of candidate change sets.
+fn minimise(mut candidates: Vec<(ChangeSet, RepairKind)>) -> Vec<Repair> {
+    for (cs, _) in &mut candidates {
+        cs.ops.sort_by_key(|op| {
+            (
+                op.pred(),
+                op.tuple().clone(),
+                matches!(op, Op::Insert(..)),
+            )
+        });
+        cs.ops.dedup();
+    }
+    candidates.sort_by(|a, b| {
+        a.0.ops
+            .len()
+            .cmp(&b.0.ops.len())
+            .then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+    });
+    candidates.dedup_by(|a, b| a.0 == b.0);
+    // Drop strict supersets of earlier (smaller) candidates.
+    let mut kept: Vec<(ChangeSet, RepairKind)> = Vec::new();
+    'outer: for (cs, kind) in candidates {
+        for (prev, _) in &kept {
+            if prev.ops.iter().all(|op| cs.ops.contains(op)) && prev.ops.len() < cs.ops.len() {
+                continue 'outer;
+            }
+        }
+        kept.push((cs, kind));
+        if kept.len() >= MAX_CANDIDATES {
+            break;
+        }
+    }
+    kept.into_iter()
+        .map(|(changes, kind)| Repair {
+            changes,
+            kind,
+        })
+        .collect()
+}
+
+impl Database {
+    /// Generate repairs for a violation: premise invalidations (base-fact
+    /// deletions traced through derivation trees) and conclusion completions
+    /// (base-fact insertions with existentials bound against the database).
+    ///
+    /// The returned list is deterministic, deduplicated, and minimal (no
+    /// repair is a superset of another). Rolling back the whole session is
+    /// intentionally *not* in the list — the session layer always offers it.
+    pub fn repairs(&mut self, violation: &Violation) -> Result<Vec<Repair>> {
+        match &violation.source {
+            ViolationSource::Key { pred, a, b } => {
+                let mut out = Vec::new();
+                for t in [a, b] {
+                    let mut cs = ChangeSet::new();
+                    cs.delete(*pred, t.clone());
+                    out.push(Repair {
+                        changes: cs,
+                        kind: RepairKind::ResolveKey,
+                    });
+                }
+                Ok(out)
+            }
+            ViolationSource::Constraint { idx, tuple } => {
+                self.evaluate()?;
+                let (premise, conclusion, outer_vars, premise_var_count) = {
+                    let compiled = self.compiled.as_ref().expect("compiled");
+                    let cc = &compiled.constraints[*idx];
+                    let vc = premise_var_count_of(&cc.premise, &cc.conclusion);
+                    (
+                        cc.premise.clone(),
+                        cc.conclusion.clone(),
+                        cc.outer_vars.clone(),
+                        vc,
+                    )
+                };
+                // Pre-intern a pool of fresh constants for unbound
+                // existentials (interning later would invalidate borrows).
+                let fresh_pool: Vec<Const> = (0..16)
+                    .map(|i| self.constant(&format!("fresh_{i}")))
+                    .collect();
+                let idb = self.idb.take().expect("evaluated");
+                let gen = Gen {
+                    db: self,
+                    idb: &idb.rels,
+                    fresh_pool: &fresh_pool,
+                    fresh_next: std::cell::Cell::new(0),
+                };
+                let witness: Assign = outer_vars
+                    .iter()
+                    .copied()
+                    .zip(tuple.iter())
+                    .collect();
+                let mut candidates: Vec<(ChangeSet, RepairKind)> = Vec::new();
+
+                // 1. Premise invalidation.
+                let full_bindings = solve_body(
+                    gen.db,
+                    gen.idb,
+                    &premise,
+                    premise_var_count,
+                    &witness,
+                    MAX_BINDINGS,
+                );
+                for binding in &full_bindings {
+                    for lit in &premise {
+                        match lit {
+                            Literal::Pos(a) => {
+                                let ground = ground_atom(a, binding);
+                                if let Some(support) =
+                                    gen.edb_support(a.pred, &ground, MAX_DEPTH)
+                                {
+                                    for (p, t) in support {
+                                        let mut cs = ChangeSet::new();
+                                        cs.delete(p, t);
+                                        candidates.push((cs, RepairKind::InvalidatePremise));
+                                    }
+                                }
+                            }
+                            Literal::Neg(a) if gen.db.pred_decl(a.pred).is_base() => {
+                                // Invalidate the premise by making the
+                                // negated base atom true.
+                                let ground = ground_atom(a, binding);
+                                let mut cs = ChangeSet::new();
+                                cs.insert(a.pred, ground);
+                                candidates.push((cs, RepairKind::InvalidatePremise));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+
+                // 2. Conclusion completion. Fresh constants are a last
+                // resort: completions inventing new values are dropped when
+                // at least one completion grounds entirely in existing ones
+                // (the paper's §3.5 example binds `C_A` to the existing
+                // `clid_string` rather than inventing a representation).
+                let completions = gen.completions(&conclusion, &witness, MAX_DEPTH);
+                let uses_fresh = |cs: &ChangeSet| {
+                    cs.ops
+                        .iter()
+                        .any(|op| op.tuple().iter().any(|c| fresh_pool.contains(&c)))
+                };
+                let any_grounded = completions.iter().any(|cs| !uses_fresh(cs));
+                for cs in completions {
+                    if any_grounded && uses_fresh(&cs) {
+                        continue;
+                    }
+                    candidates.push((cs, RepairKind::CompleteConclusion));
+                }
+
+                let _ = gen;
+                self.idb = Some(idb);
+                Ok(minimise(candidates))
+            }
+        }
+    }
+}
+
+fn premise_var_count_of(premise: &[Literal], conclusion: &Formula) -> usize {
+    let from_premise = premise
+        .iter()
+        .flat_map(|l| l.vars())
+        .map(|v| v.index() + 1)
+        .max()
+        .unwrap_or(0);
+    from_premise.max(conclusion.var_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §3.5 scenario in miniature: AttrI is derived, and the
+    /// (*) constraint demands a Slot for every inherited attribute.
+    fn star_db() -> Database {
+        let mut db = Database::new();
+        db.load(
+            "base Attr(t, a, d).\n\
+             base Sub(t1, t2).\n\
+             base PhRep(c, t).\n\
+             base Slot(c, a, ca).\n\
+             derived SubT(t1, t2).\n\
+             derived AttrI(t, a, d).\n\
+             SubT(X, Y) :- Sub(X, Y).\n\
+             SubT(X, Z) :- Sub(X, Y), SubT(Y, Z).\n\
+             AttrI(T, A, D) :- Attr(T, A, D).\n\
+             AttrI(T1, A, D) :- SubT(T1, T2), Attr(T2, A, D).\n\
+             constraint slot_for_every_attr:\n\
+               forall T, A, TA, C: AttrI(T, A, TA) & PhRep(C, T)\n\
+                 -> exists CA: Slot(C, A, CA) & PhRep(CA, TA).\n",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_fueltype_repairs() {
+        let mut db = star_db();
+        let attr = db.pred_id("Attr").unwrap();
+        let phrep = db.pred_id("PhRep").unwrap();
+        let slot = db.pred_id("Slot").unwrap();
+        let (tid4, fuel, tstr) = (
+            db.constant("tid4"),
+            db.constant("fuelType"),
+            db.constant("tid_string"),
+        );
+        let (clid4, clstr) = (db.constant("clid4"), db.constant("clid_string"));
+        db.insert(phrep, vec![clid4, tid4]).unwrap();
+        db.insert(phrep, vec![clstr, tstr]).unwrap();
+        // The schema change: add fuelType to Car.
+        db.insert(attr, vec![tid4, fuel, tstr]).unwrap();
+        let violations = db.check().unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        let repairs = db.repairs(&violations[0]).unwrap();
+        let rendered: Vec<String> = repairs.iter().map(|r| r.render(&db)).collect();
+        // Exactly the paper's three repairs.
+        assert_eq!(repairs.len(), 3, "{rendered:?}");
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("-Attr(tid4, fuelType, tid_string)")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|r| r.contains("-PhRep(clid4, tid4)")),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("+Slot(clid4, fuelType, clid_string)")),
+            "{rendered:?}"
+        );
+        // Each repair actually removes the violation.
+        for r in &repairs {
+            let mut db2 = star_db();
+            let attr = db2.pred_id("Attr").unwrap();
+            let phrep = db2.pred_id("PhRep").unwrap();
+            let _ = slot;
+            let (tid4, fuel, tstr) = (
+                db2.constant("tid4"),
+                db2.constant("fuelType"),
+                db2.constant("tid_string"),
+            );
+            let (clid4, clstr) = (db2.constant("clid4"), db2.constant("clid_string"));
+            db2.insert(phrep, vec![clid4, tid4]).unwrap();
+            db2.insert(phrep, vec![clstr, tstr]).unwrap();
+            db2.insert(attr, vec![tid4, fuel, tstr]).unwrap();
+            db2.apply(&r.changes).unwrap();
+            assert!(
+                db2.check().unwrap().is_empty(),
+                "repair {} did not fix the violation",
+                r.render(&db2)
+            );
+        }
+    }
+
+    #[test]
+    fn inherited_attr_traces_to_supertype_fact() {
+        let mut db = star_db();
+        let attr = db.pred_id("Attr").unwrap();
+        let sub = db.pred_id("Sub").unwrap();
+        let phrep = db.pred_id("PhRep").unwrap();
+        let (base_t, sub_t) = (db.constant("base"), db.constant("subtype"));
+        let (a, dom) = (db.constant("a"), db.constant("dom"));
+        let (c_sub, c_dom) = (db.constant("c_sub"), db.constant("c_dom"));
+        db.insert(sub, vec![sub_t, base_t]).unwrap();
+        db.insert(attr, vec![base_t, a, dom]).unwrap();
+        db.insert(phrep, vec![c_sub, sub_t]).unwrap();
+        db.insert(phrep, vec![c_dom, dom]).unwrap();
+        let violations = db.check().unwrap();
+        assert_eq!(violations.len(), 1);
+        let repairs = db.repairs(&violations[0]).unwrap();
+        let rendered: Vec<String> = repairs.iter().map(|r| r.render(&db)).collect();
+        // Deleting the *supertype's* Attr fact must be among the repairs —
+        // the derivation of AttrI(subtype, a, dom) bottoms out there.
+        assert!(
+            rendered.iter().any(|r| r.contains("-Attr(base, a, dom)")),
+            "{rendered:?}"
+        );
+        // Deleting the Sub edge also invalidates the premise.
+        assert!(
+            rendered.iter().any(|r| r.contains("-Sub(subtype, base)")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn key_violation_repairs_delete_either_fact() {
+        let mut db = Database::new();
+        let p = db.declare_base_keyed("P", 2, &[0]).unwrap();
+        db.insert(p, vec![Const::Int(1), Const::Int(10)]).unwrap();
+        db.insert(p, vec![Const::Int(1), Const::Int(20)]).unwrap();
+        let v = db.check().unwrap();
+        assert_eq!(v.len(), 1);
+        let repairs = db.repairs(&v[0]).unwrap();
+        assert_eq!(repairs.len(), 2);
+        assert!(repairs.iter().all(|r| r.kind == RepairKind::ResolveKey));
+    }
+
+    #[test]
+    fn referential_integrity_completion_inserts_target() {
+        let mut db = Database::new();
+        db.load(
+            "base Type(t, n, s).\n\
+             base Schema(s, n).\n\
+             constraint type_schema_ref:\n\
+               forall T, N, S: Type(T, N, S) -> exists N2: Schema(S, N2).\n",
+        )
+        .unwrap();
+        let ty = db.pred_id("Type").unwrap();
+        let (t1, n1, s1) = (db.constant("t1"), db.constant("Person"), db.constant("s1"));
+        db.insert(ty, vec![t1, n1, s1]).unwrap();
+        let v = db.check().unwrap();
+        let repairs = db.repairs(&v[0]).unwrap();
+        let rendered: Vec<String> = repairs.iter().map(|r| r.render(&db)).collect();
+        assert!(
+            rendered.iter().any(|r| r.contains("-Type(t1, Person, s1)")),
+            "{rendered:?}"
+        );
+        // Completion must insert a Schema fact for s1 with a fresh name.
+        assert!(
+            rendered
+                .iter()
+                .any(|r| r.contains("+Schema(s1,") && r.contains("fresh_")),
+            "{rendered:?}"
+        );
+    }
+
+    #[test]
+    fn repairs_are_minimal_and_deduplicated() {
+        let mut db = star_db();
+        let attr = db.pred_id("Attr").unwrap();
+        let phrep = db.pred_id("PhRep").unwrap();
+        let (t, a, d) = (db.constant("t"), db.constant("a"), db.constant("d"));
+        let (c, cd) = (db.constant("c"), db.constant("cd"));
+        db.insert(phrep, vec![c, t]).unwrap();
+        db.insert(phrep, vec![cd, d]).unwrap();
+        db.insert(attr, vec![t, a, d]).unwrap();
+        let v = db.check().unwrap();
+        let repairs = db.repairs(&v[0]).unwrap();
+        for (i, r1) in repairs.iter().enumerate() {
+            for (j, r2) in repairs.iter().enumerate() {
+                if i != j {
+                    assert_ne!(r1.changes, r2.changes, "duplicate repairs");
+                    let subset = r1
+                        .changes
+                        .ops
+                        .iter()
+                        .all(|op| r2.changes.ops.contains(op));
+                    assert!(
+                        !(subset && r1.changes.len() < r2.changes.len()),
+                        "non-minimal repair kept: {} ⊂ {}",
+                        r1.render(&db),
+                        r2.render(&db)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Stratification of rule sets with negation.
+//!
+//! Assigns each predicate a stratum such that positive dependencies stay
+//! within or below a stratum and negative dependencies come strictly from
+//! below. Programs with negation inside a recursive cycle are rejected.
+
+use crate::ast::{Literal, Rule};
+use crate::error::{Error, Result};
+use crate::pred::PredId;
+
+/// Result of stratification.
+#[derive(Debug)]
+pub struct Stratification {
+    /// Stratum per predicate (indexed by `PredId`); base predicates are
+    /// stratum 0.
+    pub pred_stratum: Vec<usize>,
+    /// Rule indices grouped by stratum, ascending.
+    pub rule_strata: Vec<Vec<usize>>,
+}
+
+/// Compute a stratification for `rules` over `pred_count` predicates.
+///
+/// Uses the classic fixpoint formulation: `s(h) ≥ s(b)` for positive body
+/// atoms, `s(h) ≥ s(b) + 1` for negative ones; failure to converge within
+/// `pred_count` rounds means a predicate depends negatively on itself.
+pub fn stratify(
+    pred_count: usize,
+    rules: &[Rule],
+    pred_name: impl Fn(PredId) -> String,
+) -> Result<Stratification> {
+    let mut stratum = vec![0usize; pred_count];
+    let max_rounds = pred_count + 1;
+    for round in 0..=max_rounds {
+        let mut changed = false;
+        for rule in rules {
+            let h = rule.head.pred.index();
+            for lit in &rule.body {
+                match lit {
+                    Literal::Pos(a) => {
+                        let need = stratum[a.pred.index()];
+                        if stratum[h] < need {
+                            stratum[h] = need;
+                            changed = true;
+                        }
+                    }
+                    Literal::Neg(a) => {
+                        let need = stratum[a.pred.index()] + 1;
+                        if stratum[h] < need {
+                            stratum[h] = need;
+                            changed = true;
+                        }
+                    }
+                    Literal::Cmp(..) => {}
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == max_rounds {
+            // Find a witness: some predicate pushed beyond any possible level.
+            let worst = (0..pred_count)
+                .max_by_key(|&p| stratum[p])
+                .expect("pred_count > 0 when rules exist");
+            return Err(Error::NotStratifiable(pred_name(PredId(worst as u32))));
+        }
+    }
+    let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+    let mut rule_strata: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, rule) in rules.iter().enumerate() {
+        rule_strata[stratum[rule.head.pred.index()]].push(i);
+    }
+    Ok(Stratification {
+        pred_stratum: stratum,
+        rule_strata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Term, Var};
+
+    fn atom(p: u32, vars: &[u32]) -> Atom {
+        Atom::new(
+            PredId(p),
+            vars.iter().map(|&v| Term::Var(Var(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn positive_recursion_stays_in_one_stratum() {
+        // 1 = edge (base), 2 = path: path :- edge; path :- edge, path.
+        let rules = vec![
+            Rule::new(atom(2, &[0, 1]), vec![Literal::Pos(atom(1, &[0, 1]))]),
+            Rule::new(
+                atom(2, &[0, 2]),
+                vec![Literal::Pos(atom(1, &[0, 1])), Literal::Pos(atom(2, &[1, 2]))],
+            ),
+        ];
+        let s = stratify(3, &rules, |p| format!("p{}", p.index())).unwrap();
+        assert_eq!(s.pred_stratum[2], 0);
+        assert_eq!(s.rule_strata.len(), 1);
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        // 2 = unreachable(X) :- node(X), not path(X).
+        let rules = vec![
+            Rule::new(atom(1, &[0]), vec![Literal::Pos(atom(0, &[0]))]),
+            Rule::new(
+                atom(2, &[0]),
+                vec![Literal::Pos(atom(0, &[0])), Literal::Neg(atom(1, &[0]))],
+            ),
+        ];
+        let s = stratify(3, &rules, |p| format!("p{}", p.index())).unwrap();
+        assert!(s.pred_stratum[2] > s.pred_stratum[1]);
+        assert_eq!(s.rule_strata.len(), 2);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        // p :- not q. q :- not p.
+        let rules = vec![
+            Rule::new(
+                atom(1, &[0]),
+                vec![Literal::Pos(atom(0, &[0])), Literal::Neg(atom(2, &[0]))],
+            ),
+            Rule::new(
+                atom(2, &[0]),
+                vec![Literal::Pos(atom(0, &[0])), Literal::Neg(atom(1, &[0]))],
+            ),
+        ];
+        assert!(stratify(3, &rules, |p| format!("p{}", p.index())).is_err());
+    }
+
+    #[test]
+    fn empty_program_is_fine() {
+        let s = stratify(0, &[], |_| String::new()).unwrap();
+        assert!(s.rule_strata.len() <= 1);
+    }
+}

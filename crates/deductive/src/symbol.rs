@@ -1,0 +1,235 @@
+//! String interning.
+//!
+//! Every identifier that enters the deductive database — predicate names,
+//! schema names, type names, attribute names, opaque id constants — is
+//! interned once and afterwards handled as a 4-byte [`Symbol`]. Fact tuples
+//! therefore compare and hash as machine words.
+//!
+//! The hasher is an FxHash-style multiplicative hash (the algorithm used by
+//! rustc). It is implemented locally because the crate set for this project
+//! is deliberately minimal; the algorithm is ~20 lines.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An interned string. `Symbol`s are only meaningful relative to the
+/// [`Interner`] that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a symbol from a raw index previously obtained via
+    /// [`Symbol::index`]. The caller must guarantee the index came from the
+    /// same interner.
+    #[inline]
+    pub fn from_index(ix: usize) -> Symbol {
+        Symbol(ix as u32)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// FxHash: multiplicative word hash, very fast for short keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// A string interner: bijective map between strings and [`Symbol`]s.
+#[derive(Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Intern a fresh symbol guaranteed not to collide with any existing
+    /// string, using `prefix` for readability (e.g. `new_slot_1`).
+    pub fn fresh(&mut self, prefix: &str) -> Symbol {
+        let mut n = self.strings.len();
+        loop {
+            let candidate = format!("{prefix}_{n}");
+            if self.get(&candidate).is_none() {
+                return self.intern(&candidate);
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.strings.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Person");
+        let b = i.intern("Person");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("Person");
+        let b = i.intern("Car");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Person");
+        assert_eq!(i.resolve(b), "Car");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        i.intern("x");
+        assert!(i.get("x").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut i = Interner::new();
+        i.intern("new_slot_0");
+        let f = i.fresh("new_slot");
+        assert_ne!(i.resolve(f), "new_slot_0");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("a");
+        assert!(!i.is_empty());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn fx_hasher_differs_on_inputs() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let h = |s: &str| bh.hash_one(s);
+        assert_ne!(h("a"), h("b"));
+        assert_eq!(h("abc"), h("abc"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Fact tuples.
+
+use crate::symbol::Interner;
+use crate::value::Const;
+use std::fmt;
+
+/// A ground fact tuple: a fixed-arity sequence of constants.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tuple(Box<[Const]>);
+
+impl Tuple {
+    /// Build a tuple from constants.
+    pub fn new(consts: impl Into<Box<[Const]>>) -> Self {
+        Tuple(consts.into())
+    }
+
+    /// The tuple's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Constant at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Const {
+        self.0[i]
+    }
+
+    /// All constants as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Const] {
+        &self.0
+    }
+
+    /// Iterate over the constants.
+    pub fn iter(&self) -> impl Iterator<Item = Const> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Render against an interner, e.g. `(tid4, fuelType, tid_string)`.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> TupleDisplay<'a> {
+        TupleDisplay {
+            t: self,
+            interner,
+        }
+    }
+
+    /// Project the tuple onto the given column positions.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c]).collect())
+    }
+}
+
+impl From<Vec<Const>> for Tuple {
+    fn from(v: Vec<Const>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl<const N: usize> From<[Const; N]> for Tuple {
+    fn from(v: [Const; N]) -> Self {
+        Tuple(Box::new(v))
+    }
+}
+
+/// Helper for rendering a [`Tuple`] with access to the interner.
+pub struct TupleDisplay<'a> {
+    t: &'a Tuple,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for TupleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.t.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.display(self.interner))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_get_slice() {
+        let t = Tuple::from(vec![Const::Int(1), Const::Int(2)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(1), Const::Int(2));
+        assert_eq!(t.as_slice(), &[Const::Int(1), Const::Int(2)]);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = Tuple::from(vec![Const::Int(10), Const::Int(20), Const::Int(30)]);
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::from(vec![Const::Int(30), Const::Int(10)])
+        );
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let mut i = Interner::new();
+        let s = i.intern("tid4");
+        let t = Tuple::from(vec![Const::Sym(s), Const::Int(1)]);
+        assert_eq!(t.display(&i).to_string(), "(tid4, 1)");
+    }
+
+    #[test]
+    fn tuples_compare_by_content() {
+        let a = Tuple::from(vec![Const::Int(1)]);
+        let b = Tuple::from(vec![Const::Int(1)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Constants: the values that may appear in fact tuples.
+
+use crate::symbol::{Interner, Symbol};
+use std::fmt;
+
+/// A constant of the deductive database.
+///
+/// Two kinds suffice for the schema meta level: interned symbols (names and
+/// opaque identifiers) and integers (argument positions, counters). Constants
+/// are totally ordered so relations can be dumped deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Const {
+    /// An interned symbol (identifier or name).
+    Sym(Symbol),
+    /// A 64-bit integer.
+    Int(i64),
+}
+
+impl Const {
+    /// The symbol inside, if this is a symbol constant.
+    pub fn as_sym(self) -> Option<Symbol> {
+        match self {
+            Const::Sym(s) => Some(s),
+            Const::Int(_) => None,
+        }
+    }
+
+    /// The integer inside, if this is an integer constant.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Const::Int(n) => Some(n),
+            Const::Sym(_) => None,
+        }
+    }
+
+    /// Render the constant against an interner.
+    pub fn display(self, interner: &Interner) -> ConstDisplay<'_> {
+        ConstDisplay {
+            c: self,
+            interner,
+        }
+    }
+
+    /// Compare for ordering that is stable across runs when rendered:
+    /// symbols order by their string, integers numerically, ints before syms.
+    pub fn stable_cmp(self, other: Const, interner: &Interner) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a.cmp(&b),
+            (Const::Int(_), Const::Sym(_)) => Ordering::Less,
+            (Const::Sym(_), Const::Int(_)) => Ordering::Greater,
+            (Const::Sym(a), Const::Sym(b)) => interner.resolve(a).cmp(interner.resolve(b)),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(n: i64) -> Self {
+        Const::Int(n)
+    }
+}
+
+impl From<Symbol> for Const {
+    fn from(s: Symbol) -> Self {
+        Const::Sym(s)
+    }
+}
+
+/// Helper for rendering a [`Const`] with access to the interner.
+pub struct ConstDisplay<'a> {
+    c: Const,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for ConstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.c {
+            Const::Sym(s) => write!(f, "{}", self.interner.resolve(s)),
+            Const::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut i = Interner::new();
+        let s = i.intern("x");
+        assert_eq!(Const::Sym(s).as_sym(), Some(s));
+        assert_eq!(Const::Sym(s).as_int(), None);
+        assert_eq!(Const::Int(7).as_int(), Some(7));
+        assert_eq!(Const::Int(7).as_sym(), None);
+    }
+
+    #[test]
+    fn display_renders_via_interner() {
+        let mut i = Interner::new();
+        let s = i.intern("Person");
+        assert_eq!(Const::Sym(s).display(&i).to_string(), "Person");
+        assert_eq!(Const::Int(42).display(&i).to_string(), "42");
+    }
+
+    #[test]
+    fn stable_cmp_orders_by_string() {
+        let mut i = Interner::new();
+        let z = i.intern("zebra");
+        let a = i.intern("aard");
+        assert_eq!(
+            Const::Sym(a).stable_cmp(Const::Sym(z), &i),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            Const::Int(1).stable_cmp(Const::Sym(a), &i),
+            std::cmp::Ordering::Less
+        );
+    }
+}

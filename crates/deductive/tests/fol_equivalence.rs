@@ -1,0 +1,267 @@
+//! Property test: the constraint compiler is equivalent to naive FOL model
+//! checking.
+//!
+//! For random range-restricted constraints of the supported normal form
+//! `forall X̄: premise -> conclusion` and random extensional databases, a
+//! constraint must be *violated* under the compiled violation rules exactly
+//! when the formula evaluates to *false* under naive first-order semantics
+//! over the database's active domain.
+
+use gom_deductive::ast::{Atom, CmpOp, Term, Var};
+use gom_deductive::constraint::{Constraint, Formula};
+use gom_deductive::{Const, Database, PredId, Tuple};
+use proptest::prelude::*;
+
+const DOMAIN: i64 = 4; // constants 0..DOMAIN
+
+/// Predicates: P/1, Q/2, R/2 — all base.
+fn setup_db(
+    p_facts: &[i64],
+    q_facts: &[(i64, i64)],
+    r_facts: &[(i64, i64)],
+) -> (Database, PredId, PredId, PredId) {
+    let mut db = Database::new();
+    let p = db.declare_base("P", 1).unwrap();
+    let q = db.declare_base("Q", 2).unwrap();
+    let r = db.declare_base("R", 2).unwrap();
+    for &a in p_facts {
+        db.insert(p, vec![Const::Int(a)]).unwrap();
+    }
+    for &(a, b) in q_facts {
+        db.insert(q, vec![Const::Int(a), Const::Int(b)]).unwrap();
+    }
+    for &(a, b) in r_facts {
+        db.insert(r, vec![Const::Int(a), Const::Int(b)]).unwrap();
+    }
+    (db, p, q, r)
+}
+
+/// A generated conclusion, using only variables `0..avail` plus fresh
+/// existentials.
+#[derive(Clone, Debug)]
+enum GenF {
+    AtomP(u32),
+    AtomQ(u32, u32),
+    Cmp(CmpOp, u32, u32),
+    And(Vec<GenF>),
+    Or(Vec<GenF>),
+    NotAtomP(u32),
+    /// exists y: R(x, y) — fresh var
+    ExistsR(u32),
+    /// exists y: R(x, y) & P(y)
+    ExistsRP(u32),
+    /// forall y: R(x, y) -> P(y)
+    ForallRP(u32),
+    True,
+    False,
+}
+
+fn genf_strategy(avail: u32, depth: u32) -> BoxedStrategy<GenF> {
+    let leaf = prop_oneof![
+        (0..avail).prop_map(GenF::AtomP),
+        (0..avail, 0..avail).prop_map(|(a, b)| GenF::AtomQ(a, b)),
+        (0..avail, 0..avail).prop_map(|(a, b)| GenF::Cmp(CmpOp::Eq, a, b)),
+        (0..avail, 0..avail).prop_map(|(a, b)| GenF::Cmp(CmpOp::Ne, a, b)),
+        (0..avail).prop_map(GenF::NotAtomP),
+        (0..avail).prop_map(GenF::ExistsR),
+        (0..avail).prop_map(GenF::ExistsRP),
+        (0..avail).prop_map(GenF::ForallRP),
+        Just(GenF::True),
+        Just(GenF::False),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = genf_strategy(avail, depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => proptest::collection::vec(inner.clone(), 1..3).prop_map(GenF::And),
+            1 => proptest::collection::vec(inner, 1..3).prop_map(GenF::Or),
+        ]
+        .boxed()
+    }
+}
+
+/// Turn a generated conclusion into a Formula, allocating fresh variables
+/// for existentials/universals starting at `next`.
+fn to_formula(g: &GenF, p: PredId, q: PredId, r: PredId, next: &mut u32) -> Formula {
+    match g {
+        GenF::AtomP(x) => Formula::Atom(Atom::new(p, vec![Term::Var(Var(*x))])),
+        GenF::AtomQ(x, y) => Formula::Atom(Atom::new(
+            q,
+            vec![Term::Var(Var(*x)), Term::Var(Var(*y))],
+        )),
+        GenF::Cmp(op, x, y) => Formula::Cmp(*op, Term::Var(Var(*x)), Term::Var(Var(*y))),
+        GenF::And(fs) => Formula::and(
+            fs.iter().map(|f| to_formula(f, p, q, r, next)).collect(),
+        ),
+        GenF::Or(fs) => Formula::or(
+            fs.iter().map(|f| to_formula(f, p, q, r, next)).collect(),
+        ),
+        GenF::NotAtomP(x) => Formula::Not(Box::new(Formula::Atom(Atom::new(
+            p,
+            vec![Term::Var(Var(*x))],
+        )))),
+        GenF::ExistsR(x) => {
+            let y = Var(*next);
+            *next += 1;
+            Formula::Exists(
+                vec![y],
+                Box::new(Formula::Atom(Atom::new(
+                    r,
+                    vec![Term::Var(Var(*x)), Term::Var(y)],
+                ))),
+            )
+        }
+        GenF::ExistsRP(x) => {
+            let y = Var(*next);
+            *next += 1;
+            Formula::Exists(
+                vec![y],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(Atom::new(r, vec![Term::Var(Var(*x)), Term::Var(y)])),
+                    Formula::Atom(Atom::new(p, vec![Term::Var(y)])),
+                ])),
+            )
+        }
+        GenF::ForallRP(x) => {
+            let y = Var(*next);
+            *next += 1;
+            Formula::Forall(
+                vec![y],
+                Box::new(Formula::Implies(
+                    Box::new(Formula::Atom(Atom::new(
+                        r,
+                        vec![Term::Var(Var(*x)), Term::Var(y)],
+                    ))),
+                    Box::new(Formula::Atom(Atom::new(p, vec![Term::Var(y)]))),
+                )),
+            )
+        }
+        GenF::True => Formula::True,
+        GenF::False => Formula::False,
+    }
+}
+
+/// Naive FOL evaluation over the finite domain 0..DOMAIN.
+fn naive_eval(
+    f: &Formula,
+    env: &mut Vec<Option<i64>>,
+    db: &Database,
+) -> bool {
+    fn term_val(t: Term, env: &[Option<i64>]) -> i64 {
+        match t {
+            Term::Const(Const::Int(n)) => n,
+            Term::Var(v) => env[v.index()].expect("bound"),
+            Term::Const(Const::Sym(_)) => unreachable!("int-only test"),
+        }
+    }
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => {
+            let tup = Tuple::from(
+                a.args
+                    .iter()
+                    .map(|&t| Const::Int(term_val(t, env)))
+                    .collect::<Vec<_>>(),
+            );
+            db.contains(a.pred, &tup)
+        }
+        Formula::Cmp(op, l, r) => op.eval(
+            Const::Int(term_val(*l, env)),
+            Const::Int(term_val(*r, env)),
+        ),
+        Formula::And(fs) => fs.iter().all(|g| naive_eval(g, env, db)),
+        Formula::Or(fs) => fs.iter().any(|g| naive_eval(g, env, db)),
+        Formula::Not(g) => !naive_eval(g, env, db),
+        Formula::Implies(a, b) => !naive_eval(a, env, db) || naive_eval(b, env, db),
+        Formula::Forall(vs, g) => iterate(vs, g, env, db, true),
+        Formula::Exists(vs, g) => iterate(vs, g, env, db, false),
+    }
+}
+
+fn iterate(
+    vs: &[Var],
+    g: &Formula,
+    env: &mut Vec<Option<i64>>,
+    db: &Database,
+    forall: bool,
+) -> bool {
+    fn go(
+        vs: &[Var],
+        i: usize,
+        g: &Formula,
+        env: &mut Vec<Option<i64>>,
+        db: &Database,
+        forall: bool,
+    ) -> bool {
+        if i == vs.len() {
+            return naive_eval(g, env, db);
+        }
+        let v = vs[i];
+        for x in 0..DOMAIN {
+            if env.len() <= v.index() {
+                env.resize(v.index() + 1, None);
+            }
+            env[v.index()] = Some(x);
+            let sub = go(vs, i + 1, g, env, db, forall);
+            env[v.index()] = None;
+            if forall && !sub {
+                return false;
+            }
+            if !forall && sub {
+                return true;
+            }
+        }
+        forall
+    }
+    go(vs, 0, g, env, db, forall)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn compiled_violations_equal_naive_falsity(
+        p_facts in proptest::collection::vec(0..DOMAIN, 0..5),
+        q_facts in proptest::collection::vec((0..DOMAIN, 0..DOMAIN), 0..8),
+        r_facts in proptest::collection::vec((0..DOMAIN, 0..DOMAIN), 0..8),
+        (n_outer, conclusion) in (1u32..3)
+            .prop_flat_map(|n| (Just(n), genf_strategy(n, 1))),
+    ) {
+        let (mut db, p, q, r) = setup_db(&p_facts, &q_facts, &r_facts);
+        // Premise: bind each outer var: X0 via Q(X0, X1)/P, ensure all
+        // bound positively. Use Q(X0, X1) when n_outer == 2, else P(X0).
+        let outer: Vec<Var> = (0..n_outer).map(Var).collect();
+        let premise = if n_outer == 1 {
+            Formula::Atom(Atom::new(p, vec![Term::Var(Var(0))]))
+        } else {
+            Formula::Atom(Atom::new(q, vec![Term::Var(Var(0)), Term::Var(Var(1))]))
+        };
+        let mut next = n_outer;
+        let conclusion_f = to_formula(&conclusion, p, q, r, &mut next);
+        let formula = Formula::Forall(
+            outer,
+            Box::new(Formula::Implies(Box::new(premise), Box::new(conclusion_f))),
+        );
+        let var_names = (0..next).map(|i| format!("V{i}")).collect();
+        let constraint = Constraint::new("prop", var_names, formula.clone());
+        db.add_constraint(constraint);
+
+        let compiled_violations = db.check().unwrap();
+        let mut env: Vec<Option<i64>> = vec![None; next as usize];
+        let naive_holds = naive_eval(&formula, &mut env, &db);
+
+        prop_assert_eq!(
+            compiled_violations.is_empty(),
+            naive_holds,
+            "formula {:?}\nviolations: {:?}",
+            formula,
+            compiled_violations
+                .iter()
+                .map(|v| v.render(&db))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: DRed incremental maintenance equals from-scratch
+//! evaluation, on a program with recursion *and* stratified negation,
+//! under random batches of insertions and deletions.
+
+use gom_deductive::{ChangeSet, Const, Database, Tuple};
+use proptest::prelude::*;
+
+fn program() -> Database {
+    let mut db = Database::new();
+    db.load(
+        "base Edge(a, b).
+         base Blocked(x).
+         derived Path(a, b).
+         derived Reaches9(x).
+         derived Stuck(x).
+         Path(X, Y) :- Edge(X, Y).
+         Path(X, Z) :- Edge(X, Y), Path(Y, Z).
+         Reaches9(X) :- Path(X, 9).
+         Stuck(X) :- Edge(X, Y), not Reaches9(X), not Blocked(X).",
+    )
+    .unwrap();
+    db
+}
+
+fn t2(a: i64, b: i64) -> Tuple {
+    Tuple::from(vec![Const::Int(a), Const::Int(b)])
+}
+
+fn t1(a: i64) -> Tuple {
+    Tuple::from(vec![Const::Int(a)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_equals_scratch(
+        initial_edges in proptest::collection::vec((0i64..10, 0i64..10), 0..15),
+        initial_blocked in proptest::collection::vec(0i64..10, 0..4),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                // (predicate selector, a, b, insert?)
+                (0u8..2, 0i64..10, 0i64..10, proptest::bool::ANY),
+                1..6,
+            ),
+            1..5,
+        ),
+    ) {
+        let mut db = program();
+        let e = db.pred_id("Edge").unwrap();
+        let bl = db.pred_id("Blocked").unwrap();
+        for &(a, b) in &initial_edges {
+            db.insert(e, t2(a, b)).unwrap();
+        }
+        for &x in &initial_blocked {
+            db.insert(bl, t1(x)).unwrap();
+        }
+        let mut mat = db.materialize().unwrap();
+
+        for batch in &batches {
+            let mut cs = ChangeSet::new();
+            for &(which, a, b, ins) in batch {
+                let (pred, tup) = if which == 0 {
+                    (e, t2(a, b))
+                } else {
+                    (bl, t1(a))
+                };
+                if ins {
+                    cs.insert(pred, tup);
+                } else {
+                    cs.delete(pred, tup);
+                }
+            }
+            db.apply_incremental(&mut mat, &cs).unwrap();
+            // Compare against scratch for every derived predicate.
+            db.invalidate_caches();
+            for pname in ["Path", "Reaches9", "Stuck"] {
+                let p = db.pred_id(pname).unwrap();
+                let scratch = db.derived_facts(p).unwrap();
+                let incremental = mat.facts_sorted(p);
+                prop_assert_eq!(
+                    &scratch, &incremental,
+                    "predicate {} diverged after batch {:?}",
+                    pname, batch
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # gom-evolution — schema evolution operations, versioning, baselines
+//!
+//! Everything "around" the schema manager that the paper uses to
+//! demonstrate flexibility:
+//!
+//! * [`primitive`] — the complete set of primitive evolution operations
+//!   (§2.1: "allow any schema modification"), consistency-unchecked by
+//!   design;
+//! * [`complex`] — user-definable complex operations: argument addition
+//!   with call-site discovery (§4.2), Bocionek's five type-deletion
+//!   semantics (§1), type copying for versioning, renaming, hierarchy
+//!   restructuring;
+//! * [`versioning`] — the §4.1 GOM-V1.0 extension: schema/type version
+//!   DAGs and `fashion` masking, installed purely as consistency-control
+//!   definitions;
+//! * [`baselines`] — comparison systems: an Orion-style fixed procedural
+//!   checker and the O2-conversion vs ENCORE-masking cure policies.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod complex;
+pub mod diff;
+pub mod macros;
+pub mod primitive;
+pub mod versioning;
+
+pub use baselines::{cure_add_attr, fixed_check, CurePolicy};
+pub use complex::{
+    add_argument, add_argument_plan, copy_type_into, delete_type, pull_up_attr, rename_type,
+    replace_code_text, AddArgumentReport, DeleteTypeReport, DeleteTypeSemantics, EvolError,
+};
+pub use diff::{apply_diff, diff_schemas, render_diff, DiffStep};
+pub use macros::{EvolutionMacro, MacroParams, MacroRecorder};
+pub use primitive::{apply, apply_all, Primitive, PrimitiveResult};
+pub use versioning::{
+    install as install_versioning, record_schema_evolution, record_type_evolution,
+    VERSIONING_DEFS,
+};

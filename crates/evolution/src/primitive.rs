@@ -1,0 +1,373 @@
+//! Primitive schema evolution operations.
+//!
+//! "The possibility should exist to compose complex schema evolution
+//! operations from a set of primitive operations which allow any schema
+//! modification" (§2.1). [`Primitive`] is that set: one constructor per
+//! base-predicate mutation, uniformly applicable and recordable (so complex
+//! operations can be scripted, replayed, and logged). None of them checks
+//! consistency — checking is deferred to the end of the evolution session.
+
+use gom_deductive::{Const, Result as DbResult, Tuple};
+use gom_model::{CodeId, DeclId, MetaModel, SchemaId, TypeId};
+
+/// A primitive evolution operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// Create a schema.
+    AddSchema {
+        /// User name.
+        name: String,
+    },
+    /// Create a type in a schema.
+    AddType {
+        /// Owning schema.
+        schema: SchemaId,
+        /// Type name.
+        name: String,
+    },
+    /// Remove a type's `Type` fact (references are *not* touched; the
+    /// consistency control will flag danglers).
+    DeleteType {
+        /// The type.
+        ty: TypeId,
+    },
+    /// Add an attribute.
+    AddAttr {
+        /// Owning type.
+        ty: TypeId,
+        /// Attribute name.
+        name: String,
+        /// Domain type.
+        domain: TypeId,
+    },
+    /// Remove an attribute.
+    DeleteAttr {
+        /// Owning type.
+        ty: TypeId,
+        /// Attribute name.
+        name: String,
+    },
+    /// Add a direct subtype edge.
+    AddSubtype {
+        /// Subtype.
+        sub: TypeId,
+        /// Supertype.
+        sup: TypeId,
+    },
+    /// Remove a direct subtype edge.
+    DeleteSubtype {
+        /// Subtype.
+        sub: TypeId,
+        /// Supertype.
+        sup: TypeId,
+    },
+    /// Declare an operation (with argument types).
+    AddDecl {
+        /// Receiver type.
+        ty: TypeId,
+        /// Operation name.
+        op: String,
+        /// Result type.
+        result: TypeId,
+        /// Argument types, left to right.
+        args: Vec<TypeId>,
+    },
+    /// Remove a declaration's `Decl` fact (arguments/code untouched).
+    DeleteDecl {
+        /// The declaration.
+        decl: DeclId,
+    },
+    /// Add one argument declaration.
+    AddArgDecl {
+        /// The declaration.
+        decl: DeclId,
+        /// 1-based position.
+        pos: i64,
+        /// Argument type.
+        ty: TypeId,
+    },
+    /// Remove one argument declaration.
+    DeleteArgDecl {
+        /// The declaration.
+        decl: DeclId,
+        /// 1-based position.
+        pos: i64,
+    },
+    /// Attach code to a declaration.
+    AddCode {
+        /// The declaration.
+        decl: DeclId,
+        /// Source text.
+        text: String,
+    },
+    /// Remove the code of a declaration.
+    DeleteCode {
+        /// The declaration.
+        decl: DeclId,
+    },
+    /// Record a refinement edge.
+    AddRefinement {
+        /// Refining declaration.
+        refining: DeclId,
+        /// Refined declaration.
+        refined: DeclId,
+    },
+    /// Remove a refinement edge.
+    DeleteRefinement {
+        /// Refining declaration.
+        refining: DeclId,
+        /// Refined declaration.
+        refined: DeclId,
+    },
+}
+
+/// Identifier produced by a primitive, if any.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PrimitiveResult {
+    /// A schema was created.
+    Schema(SchemaId),
+    /// A type was created.
+    Type(TypeId),
+    /// A declaration was created.
+    Decl(DeclId),
+    /// A code fragment was created.
+    Code(CodeId),
+    /// No identifier.
+    Unit,
+}
+
+impl PrimitiveResult {
+    /// The type id, when this result is one.
+    pub fn type_id(self) -> Option<TypeId> {
+        match self {
+            PrimitiveResult::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The declaration id, when this result is one.
+    pub fn decl_id(self) -> Option<DeclId> {
+        match self {
+            PrimitiveResult::Decl(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Apply one primitive to the database model. Consistency is *not*
+/// checked.
+pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
+    Ok(match p {
+        Primitive::AddSchema { name } => PrimitiveResult::Schema(m.new_schema(name)?),
+        Primitive::AddType { schema, name } => {
+            PrimitiveResult::Type(m.new_type(*schema, name)?)
+        }
+        Primitive::DeleteType { ty } => {
+            for t in m.db.relation(m.cat.ty).select(&[(0, ty.constant())]) {
+                m.db.remove(m.cat.ty, &t)?;
+            }
+            PrimitiveResult::Unit
+        }
+        Primitive::AddAttr { ty, name, domain } => {
+            m.add_attr(*ty, name, *domain)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::DeleteAttr { ty, name } => {
+            m.remove_attr(*ty, name)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::AddSubtype { sub, sup } => {
+            m.add_subtype(*sub, *sup)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::DeleteSubtype { sub, sup } => {
+            let t = Tuple::from(vec![sub.constant(), sup.constant()]);
+            m.db.remove(m.cat.subtyp, &t)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::AddDecl {
+            ty,
+            op,
+            result,
+            args,
+        } => {
+            let d = m.new_decl(*ty, op, *result)?;
+            for (i, a) in args.iter().enumerate() {
+                m.add_argdecl(d, (i + 1) as i64, *a)?;
+            }
+            PrimitiveResult::Decl(d)
+        }
+        Primitive::DeleteDecl { decl } => {
+            for t in m.db.relation(m.cat.decl).select(&[(0, decl.constant())]) {
+                m.db.remove(m.cat.decl, &t)?;
+            }
+            PrimitiveResult::Unit
+        }
+        Primitive::AddArgDecl { decl, pos, ty } => {
+            m.add_argdecl(*decl, *pos, *ty)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::DeleteArgDecl { decl, pos } => {
+            for t in m
+                .db
+                .relation(m.cat.argdecl)
+                .select(&[(0, decl.constant()), (1, Const::Int(*pos))])
+            {
+                m.db.remove(m.cat.argdecl, &t)?;
+            }
+            PrimitiveResult::Unit
+        }
+        Primitive::AddCode { decl, text } => PrimitiveResult::Code(m.new_code(*decl, text)?),
+        Primitive::DeleteCode { decl } => {
+            for t in m.db.relation(m.cat.code).select(&[(2, decl.constant())]) {
+                m.db.remove(m.cat.code, &t)?;
+            }
+            PrimitiveResult::Unit
+        }
+        Primitive::AddRefinement { refining, refined } => {
+            m.add_refinement(*refining, *refined)?;
+            PrimitiveResult::Unit
+        }
+        Primitive::DeleteRefinement { refining, refined } => {
+            let t = Tuple::from(vec![refining.constant(), refined.constant()]);
+            m.db.remove(m.cat.declref, &t)?;
+            PrimitiveResult::Unit
+        }
+    })
+}
+
+/// Apply a sequence of primitives, returning the per-step results.
+pub fn apply_all(m: &mut MetaModel, ps: &[Primitive]) -> DbResult<Vec<PrimitiveResult>> {
+    ps.iter().map(|p| apply(m, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gom_core::SchemaManager;
+
+    #[test]
+    fn primitives_compose_a_consistent_schema() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.begin_evolution().unwrap();
+        let any = mgr.meta.builtins.any;
+        let int = mgr.meta.builtins.int;
+        let s = apply(
+            &mut mgr.meta,
+            &Primitive::AddSchema {
+                name: "S".into(),
+            },
+        )
+        .unwrap();
+        let PrimitiveResult::Schema(s) = s else {
+            panic!()
+        };
+        let t = apply(
+            &mut mgr.meta,
+            &Primitive::AddType {
+                schema: s,
+                name: "T".into(),
+            },
+        )
+        .unwrap()
+        .type_id()
+        .unwrap();
+        apply_all(
+            &mut mgr.meta,
+            &[
+                Primitive::AddSubtype {
+                    sub: t,
+                    sup: any,
+                },
+                Primitive::AddAttr {
+                    ty: t,
+                    name: "x".into(),
+                    domain: int,
+                },
+            ],
+        )
+        .unwrap();
+        let d = apply(
+            &mut mgr.meta,
+            &Primitive::AddDecl {
+                ty: t,
+                op: "getX".into(),
+                result: int,
+                args: vec![],
+            },
+        )
+        .unwrap()
+        .decl_id()
+        .unwrap();
+        apply(
+            &mut mgr.meta,
+            &Primitive::AddCode {
+                decl: d,
+                text: "self.x".into(),
+            },
+        )
+        .unwrap();
+        assert!(mgr.end_evolution().unwrap().is_consistent());
+    }
+
+    #[test]
+    fn primitives_do_not_check_consistency() {
+        // Deleting a type that is still referenced is ACCEPTED by the
+        // primitive — the decoupling of §2.1 — and flagged at EES.
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.define_schema(
+            "schema S is
+               type A is [ x : int; ] end type A;
+               type B is [ a : A; ] end type B;
+             end schema S;",
+        )
+        .unwrap();
+        let s = mgr.meta.schema_by_name("S").unwrap();
+        let a = mgr.meta.type_by_name(s, "A").unwrap();
+        mgr.begin_evolution().unwrap();
+        apply(&mut mgr.meta, &Primitive::DeleteType { ty: a }).unwrap();
+        let out = mgr.end_evolution().unwrap();
+        assert!(!out.is_consistent());
+        // attr_domain_ref (B.a dangles) and attr_type_ref (A.x dangles).
+        let names: Vec<&str> = out
+            .violations()
+            .iter()
+            .map(|v| v.constraint.as_str())
+            .collect();
+        assert!(names.contains(&"attr_domain_ref"), "{names:?}");
+        assert!(names.contains(&"attr_type_ref"), "{names:?}");
+        mgr.rollback_evolution().unwrap();
+        assert!(mgr.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_primitives_are_inverses_of_adds() {
+        let mut mgr = SchemaManager::new().unwrap();
+        mgr.define_schema(
+            "schema S is type A is [ x : int; ] end type A; end schema S;",
+        )
+        .unwrap();
+        let s = mgr.meta.schema_by_name("S").unwrap();
+        let a = mgr.meta.type_by_name(s, "A").unwrap();
+        let before = mgr.meta.db.fact_count();
+        mgr.begin_evolution().unwrap();
+        let int = mgr.meta.builtins.int;
+        apply_all(
+            &mut mgr.meta,
+            &[
+                Primitive::AddAttr {
+                    ty: a,
+                    name: "y".into(),
+                    domain: int,
+                },
+                Primitive::DeleteAttr {
+                    ty: a,
+                    name: "y".into(),
+                },
+            ],
+        )
+        .unwrap();
+        assert!(mgr.end_evolution().unwrap().is_consistent());
+        assert_eq!(mgr.meta.db.fact_count(), before);
+    }
+}

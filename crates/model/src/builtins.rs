@@ -1,0 +1,177 @@
+//! Built-in sorts.
+//!
+//! The paper assumes "the existence of types for the built-in sorts — like
+//! integer, float, string and so on" and "the implicit existence of physical
+//! representations of built-in sorts" (§3.2, §3.4). We make both explicit:
+//! a distinguished `__builtin` schema holds the sort types, each a subtype
+//! of the unique root `ANY` (required by GOM's root constraint), each with a
+//! physical representation.
+
+use crate::catalog::Catalog;
+use crate::ids::{PhRepId, SchemaId, TypeId};
+use gom_deductive::{Const, Database, Result};
+
+/// Handles to the built-in sorts.
+#[derive(Clone, Copy, Debug)]
+pub struct Builtins {
+    /// The `__builtin` schema containing the sorts.
+    pub schema: SchemaId,
+    /// The unique root type `ANY` (paper §3.3).
+    pub any: TypeId,
+    /// `int`
+    pub int: TypeId,
+    /// `float`
+    pub float: TypeId,
+    /// `string`
+    pub string: TypeId,
+    /// `bool`
+    pub bool_: TypeId,
+    /// `date` (needed by the §4.1 `birthday` example)
+    pub date: TypeId,
+    /// `void` (result type of operations without one)
+    pub void: TypeId,
+    /// Physical representations, parallel to the sort types.
+    pub phrep_int: PhRepId,
+    /// Physical representation of `float`.
+    pub phrep_float: PhRepId,
+    /// Physical representation of `string`.
+    pub phrep_string: PhRepId,
+    /// Physical representation of `bool`.
+    pub phrep_bool: PhRepId,
+    /// Physical representation of `date`.
+    pub phrep_date: PhRepId,
+}
+
+/// The names of the built-in sorts (excluding `ANY` and `void`).
+pub const SORT_NAMES: [&str; 5] = ["int", "float", "string", "bool", "date"];
+
+impl Builtins {
+    /// Insert the built-in sorts into the schema base. Idempotent.
+    pub fn install(db: &mut Database, cat: &Catalog) -> Result<Builtins> {
+        let schema = SchemaId(db.intern("sid_builtin"));
+        let builtin_name = db.constant("__builtin");
+        db.insert(cat.schema, vec![schema.constant(), builtin_name])?;
+
+        let any = TypeId(db.intern("tid_any"));
+        let any_name = db.constant("ANY");
+        db.insert(cat.ty, vec![any.constant(), any_name, schema.constant()])?;
+
+        let mk = |db: &mut Database, name: &str| -> Result<(TypeId, PhRepId)> {
+            let tid = TypeId(db.intern(&format!("tid_{name}")));
+            let clid = PhRepId(db.intern(&format!("clid_{name}")));
+            let n = db.constant(name);
+            db.insert(cat.ty, vec![tid.constant(), n, schema.constant()])?;
+            db.insert(cat.subtyp, vec![tid.constant(), any.constant()])?;
+            db.insert(cat.phrep, vec![clid.constant(), tid.constant()])?;
+            Ok((tid, clid))
+        };
+        let (int, phrep_int) = mk(db, "int")?;
+        let (float, phrep_float) = mk(db, "float")?;
+        let (string, phrep_string) = mk(db, "string")?;
+        let (bool_, phrep_bool) = mk(db, "bool")?;
+        let (date, phrep_date) = mk(db, "date")?;
+
+        // `void` has no instances, hence no physical representation.
+        let void = TypeId(db.intern("tid_void"));
+        let void_name = db.constant("void");
+        db.insert(cat.ty, vec![void.constant(), void_name, schema.constant()])?;
+        db.insert(cat.subtyp, vec![void.constant(), any.constant()])?;
+
+        Ok(Builtins {
+            schema,
+            any,
+            int,
+            float,
+            string,
+            bool_,
+            date,
+            void,
+            phrep_int,
+            phrep_float,
+            phrep_string,
+            phrep_bool,
+            phrep_date,
+        })
+    }
+
+    /// Look up a built-in sort by its surface name.
+    pub fn by_name(&self, name: &str) -> Option<TypeId> {
+        Some(match name {
+            "int" | "integer" => self.int,
+            "float" => self.float,
+            "string" => self.string,
+            "bool" | "boolean" => self.bool_,
+            "date" => self.date,
+            "void" => self.void,
+            "ANY" => self.any,
+            _ => return None,
+        })
+    }
+
+    /// Is `t` one of the built-in sorts (including `ANY` and `void`)?
+    pub fn is_builtin(&self, t: TypeId) -> bool {
+        [
+            self.any,
+            self.int,
+            self.float,
+            self.string,
+            self.bool_,
+            self.date,
+            self.void,
+        ]
+        .contains(&t)
+    }
+
+    /// Physical representation of a built-in sort, if it has one.
+    pub fn phrep_of(&self, t: TypeId) -> Option<PhRepId> {
+        if t == self.int {
+            Some(self.phrep_int)
+        } else if t == self.float {
+            Some(self.phrep_float)
+        } else if t == self.string {
+            Some(self.phrep_string)
+        } else if t == self.bool_ {
+            Some(self.phrep_bool)
+        } else if t == self.date {
+            Some(self.phrep_date)
+        } else {
+            None
+        }
+    }
+
+    /// The `ANY` type id as a constant (for constraints referring to the
+    /// root).
+    pub fn any_const(&self) -> Const {
+        self.any.constant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_creates_sorts_under_any() {
+        let mut db = Database::new();
+        let cat = Catalog::install(&mut db).unwrap();
+        let b = Builtins::install(&mut db, &cat).unwrap();
+        assert_eq!(db.relation(cat.ty).len(), 7); // ANY + 5 sorts + void
+        assert_eq!(db.relation(cat.subtyp).len(), 6); // all but ANY
+        assert_eq!(db.relation(cat.phrep).len(), 5); // void and ANY have none
+        assert!(b.is_builtin(b.string));
+        assert_eq!(b.by_name("integer"), Some(b.int));
+        assert_eq!(b.by_name("Person"), None);
+        assert_eq!(b.phrep_of(b.void), None);
+        assert_eq!(b.phrep_of(b.int), Some(b.phrep_int));
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut db = Database::new();
+        let cat = Catalog::install(&mut db).unwrap();
+        Builtins::install(&mut db, &cat).unwrap();
+        let n = db.fact_count();
+        Builtins::install(&mut db, &cat).unwrap();
+        assert_eq!(db.fact_count(), n);
+    }
+}

@@ -1,0 +1,108 @@
+//! The base-predicate catalog of the Database Model (paper §3.2, §3.4).
+//!
+//! The *Schema Base* half holds abstract representations of the sources
+//! (`Schema`, `Type`, `Attr`, `Decl`, `ArgDecl`, `Code`, the `SubTypRel` and
+//! `DeclRefinement` relationships, and the code-dependency predicates
+//! `CodeReqDecl`/`CodeReqAttr`). The *Object Base Model* half (`PhRep`,
+//! `Slot`) is the set of assertions the Runtime System maintains about the
+//! physical representation of objects.
+
+use gom_deductive::{Database, PredId, Result};
+
+/// Declarations of the core base predicates, in the paper's order.
+/// `!` marks key columns.
+pub const SCHEMA_BASE_DECLS: &str = "\
+% ----- Schema Base (paper §3.2) --------------------------------------------
+base Schema(sid!, name).
+base Type(tid!, name, sid).
+base Attr(tid!, attr!, domain).
+base Decl(did!, receiver, op, result).
+base ArgDecl(did!, argno!, argtype).
+base Code(cid!, text, did).
+base SubTypRel(sub, super).
+base DeclRefinement(refining, refined).
+base CodeReqDecl(cid, did).
+base CodeReqAttr(cid, tid, attr).
+% ----- Object Base Model (paper §3.4) ---------------------------------------
+base PhRep(clid!, tid).
+base Slot(clid!, attr!, valclid).
+";
+
+/// Resolved predicate ids for the core catalog.
+#[derive(Clone, Copy, Debug)]
+pub struct Catalog {
+    /// `Schema(SchemaId, UserName)`
+    pub schema: PredId,
+    /// `Type(TypeId, TypeName, SchemaId)`
+    pub ty: PredId,
+    /// `Attr(TypeId, AttrName, TypeId)` — type, attribute name, domain
+    pub attr: PredId,
+    /// `Decl(DeclId, TypeId, OpName, TypeId)` — id, receiver, name, result
+    pub decl: PredId,
+    /// `ArgDecl(DeclId, ArgNo, TypeId)`
+    pub argdecl: PredId,
+    /// `Code(CodeId, Code, DeclId)`
+    pub code: PredId,
+    /// `SubTypRel(TypeId, TypeId)` — sub, super (direct edges)
+    pub subtyp: PredId,
+    /// `DeclRefinement(DeclId, DeclId)` — refining, refined
+    pub declref: PredId,
+    /// `CodeReqDecl(CodeId, DeclId)` — operations called by a code fragment
+    pub codereq_decl: PredId,
+    /// `CodeReqAttr(CodeId, TypeId, AttrName)` — attributes accessed
+    pub codereq_attr: PredId,
+    /// `PhRep(PhRepId, TypeId)`
+    pub phrep: PredId,
+    /// `Slot(PhRepId, AttrName, PhRepId)`
+    pub slot: PredId,
+}
+
+impl Catalog {
+    /// Declare the core catalog in `db` (idempotent) and resolve ids.
+    pub fn install(db: &mut Database) -> Result<Catalog> {
+        db.load(SCHEMA_BASE_DECLS)?;
+        Ok(Catalog {
+            schema: db.pred_id_req("Schema")?,
+            ty: db.pred_id_req("Type")?,
+            attr: db.pred_id_req("Attr")?,
+            decl: db.pred_id_req("Decl")?,
+            argdecl: db.pred_id_req("ArgDecl")?,
+            code: db.pred_id_req("Code")?,
+            subtyp: db.pred_id_req("SubTypRel")?,
+            declref: db.pred_id_req("DeclRefinement")?,
+            codereq_decl: db.pred_id_req("CodeReqDecl")?,
+            codereq_attr: db.pred_id_req("CodeReqAttr")?,
+            phrep: db.pred_id_req("PhRep")?,
+            slot: db.pred_id_req("Slot")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_declares_all_predicates_with_keys() {
+        let mut db = Database::new();
+        let cat = Catalog::install(&mut db).unwrap();
+        assert_eq!(db.pred_decl(cat.schema).arity, 2);
+        assert_eq!(db.pred_decl(cat.ty).arity, 3);
+        assert_eq!(db.pred_decl(cat.attr).key.as_deref(), Some(&[0usize, 1][..]));
+        assert_eq!(db.pred_decl(cat.decl).key.as_deref(), Some(&[0usize][..]));
+        assert_eq!(
+            db.pred_decl(cat.argdecl).key.as_deref(),
+            Some(&[0usize, 1][..])
+        );
+        assert_eq!(db.pred_decl(cat.slot).key.as_deref(), Some(&[0usize, 1][..]));
+        assert!(db.pred_decl(cat.subtyp).key.is_none());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut db = Database::new();
+        let a = Catalog::install(&mut db).unwrap();
+        let b = Catalog::install(&mut db).unwrap();
+        assert_eq!(a.ty, b.ty);
+    }
+}

@@ -1,0 +1,164 @@
+//! Typed identifiers for schema-base entities.
+//!
+//! Every entity of the meta level — schemas, types, declarations, code
+//! fragments, physical representations, objects — is identified by an
+//! interned symbol (`sid1`, `tid4`, `did2`, `cid3`, `clid4`, `oid17`, …).
+//! The newtypes below keep the kinds apart at the Rust type level while the
+//! deductive database sees plain symbols.
+
+use gom_deductive::{Const, Interner, Symbol};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub Symbol);
+
+        impl $name {
+            /// The underlying interned symbol.
+            #[inline]
+            pub fn sym(self) -> Symbol {
+                self.0
+            }
+
+            /// As a deductive-database constant.
+            #[inline]
+            pub fn constant(self) -> Const {
+                Const::Sym(self.0)
+            }
+
+            /// Resolve against an interner.
+            pub fn resolve(self, interner: &Interner) -> &str {
+                interner.resolve(self.0)
+            }
+        }
+
+        impl From<$name> for Const {
+            fn from(id: $name) -> Const {
+                Const::Sym(id.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifier of a schema (`sid…`).
+    SchemaId
+}
+define_id! {
+    /// Identifier of a type (`tid…`).
+    TypeId
+}
+define_id! {
+    /// Identifier of an operation declaration (`did…`).
+    DeclId
+}
+define_id! {
+    /// Identifier of a code fragment (`cid…`).
+    CodeId
+}
+define_id! {
+    /// Identifier of a physical representation (`clid…`).
+    PhRepId
+}
+define_id! {
+    /// Identifier of an object instance (`oid…`).
+    Oid
+}
+
+/// Generates fresh, readable identifiers (`sid1`, `tid1`, …) matching the
+/// paper's notation.
+#[derive(Clone, Default, Debug)]
+pub struct IdGen {
+    sid: u32,
+    tid: u32,
+    did: u32,
+    cid: u32,
+    clid: u32,
+    oid: u32,
+}
+
+impl IdGen {
+    /// New generator starting at 1 for every kind.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next(counter: &mut u32, prefix: &str, interner: &mut Interner) -> Symbol {
+        loop {
+            *counter += 1;
+            let name = format!("{prefix}{counter}");
+            // Skip names that were interned as ids before (e.g. after
+            // loading a dump); collisions with non-id symbols are harmless
+            // only if the id is genuinely unused, so always move forward.
+            if interner.get(&name).is_none() {
+                return interner.intern(&name);
+            }
+        }
+    }
+
+    /// Fresh schema id.
+    pub fn schema(&mut self, interner: &mut Interner) -> SchemaId {
+        SchemaId(Self::next(&mut self.sid, "sid", interner))
+    }
+
+    /// Fresh type id.
+    pub fn ty(&mut self, interner: &mut Interner) -> TypeId {
+        TypeId(Self::next(&mut self.tid, "tid", interner))
+    }
+
+    /// Fresh declaration id.
+    pub fn decl(&mut self, interner: &mut Interner) -> DeclId {
+        DeclId(Self::next(&mut self.did, "did", interner))
+    }
+
+    /// Fresh code id.
+    pub fn code(&mut self, interner: &mut Interner) -> CodeId {
+        CodeId(Self::next(&mut self.cid, "cid", interner))
+    }
+
+    /// Fresh physical-representation id.
+    pub fn phrep(&mut self, interner: &mut Interner) -> PhRepId {
+        PhRepId(Self::next(&mut self.clid, "clid", interner))
+    }
+
+    /// Fresh object id.
+    pub fn oid(&mut self, interner: &mut Interner) -> Oid {
+        Oid(Self::next(&mut self.oid, "oid", interner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_readable_and_sequential() {
+        let mut interner = Interner::new();
+        let mut gen = IdGen::new();
+        let s1 = gen.schema(&mut interner);
+        let s2 = gen.schema(&mut interner);
+        assert_eq!(s1.resolve(&interner), "sid1");
+        assert_eq!(s2.resolve(&interner), "sid2");
+        let t1 = gen.ty(&mut interner);
+        assert_eq!(t1.resolve(&interner), "tid1");
+    }
+
+    #[test]
+    fn idgen_skips_taken_names() {
+        let mut interner = Interner::new();
+        interner.intern("tid1");
+        let mut gen = IdGen::new();
+        let t = gen.ty(&mut interner);
+        assert_eq!(t.resolve(&interner), "tid2");
+    }
+
+    #[test]
+    fn id_converts_to_const() {
+        let mut interner = Interner::new();
+        let mut gen = IdGen::new();
+        let t = gen.ty(&mut interner);
+        let c: Const = t.into();
+        assert_eq!(c, Const::Sym(t.sym()));
+    }
+}

@@ -1,0 +1,21 @@
+//! # gom-model — the GOM meta-model
+//!
+//! The *Database Model* of the paper's generic architecture (§2.2): typed
+//! identifiers, the base-predicate catalog for the Schema Base (§3.2) and
+//! the Object Base Model (§3.4), built-in sorts, and a statically typed
+//! facade ([`MetaModel`]) over the deductive database's extensions.
+//!
+//! The consistency definition itself (rules + constraints) lives in
+//! `gom-core`; this crate only knows the *vocabulary*.
+
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod catalog;
+pub mod ids;
+pub mod schema_base;
+
+pub use builtins::Builtins;
+pub use catalog::{Catalog, SCHEMA_BASE_DECLS};
+pub use ids::{CodeId, DeclId, IdGen, Oid, PhRepId, SchemaId, TypeId};
+pub use schema_base::MetaModel;

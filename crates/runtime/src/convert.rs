@@ -1,0 +1,264 @@
+//! Conversion routines (paper §3.5).
+//!
+//! "The implementation of the conversion routines must be present in the
+//! Runtime System. These conversion routines must be able to, e.g., add or
+//! delete slots." Adding a slot needs a value for every existing instance;
+//! the paper lists three sources: a default value, asking the user per
+//! instance, or "providing an operation that — called on the old instances
+//! — provides a value for the new slot". All three are implemented
+//! ([`ValueSource`]); "asking the user" is a callback.
+
+use crate::runtime::{RtError, RtResult, Runtime};
+use crate::value::Value;
+use gom_model::{MetaModel, Oid, TypeId};
+
+/// Where the values for a newly added slot come from.
+pub enum ValueSource<'a> {
+    /// A constant default for every instance.
+    Default(Value),
+    /// Call this (argument-less) operation on each old instance; its result
+    /// becomes the slot value (the paper's choice for `fuelType`).
+    ByOperation(&'a str),
+    /// Ask per instance (simulates user interaction).
+    PerObject(&'a mut dyn FnMut(Oid) -> Value),
+}
+
+/// Types needing conversion when `t` gains or loses an attribute: `t` and
+/// every transitive subtype.
+pub fn affected_types(m: &MetaModel, t: TypeId) -> Vec<TypeId> {
+    let mut out = vec![t];
+    let mut i = 0;
+    while i < out.len() {
+        for sub in m.subtypes(out[i]) {
+            if !out.contains(&sub) {
+                out.push(sub);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+impl Runtime {
+    /// Conversion routine: add a slot named `attr` (domain `domain`) to the
+    /// physical representation of `t` and all its subtypes, filling the new
+    /// slot of every existing instance from `source`. Returns the number of
+    /// converted objects.
+    ///
+    /// The corresponding `+Slot(...)` facts are reported to the Object Base
+    /// Model, which is how executing this routine discharges the repair the
+    /// Consistency Control proposed (§3.5).
+    pub fn convert_add_slot(
+        &mut self,
+        m: &mut MetaModel,
+        t: TypeId,
+        attr: &str,
+        domain: TypeId,
+        mut source: ValueSource<'_>,
+    ) -> RtResult<usize> {
+        let mut converted = 0;
+        for ty in affected_types(m, t) {
+            let Some(clid) = m.phrep_of(ty) else {
+                continue; // no instances, nothing physical to convert
+            };
+            // Make sure the domain has a representation the slot can refer to.
+            let dom_clid = match m.phrep_of(domain) {
+                Some(p) => p,
+                None => self.objects.ensure_phrep(m, domain)?,
+            };
+            if !m.slots_of(clid).iter().any(|(n, _)| n == attr) {
+                m.add_slot(clid, attr, dom_clid)?;
+            }
+            for oid in self.objects.extent(ty).to_vec() {
+                let v = match &mut source {
+                    ValueSource::Default(v) => v.clone(),
+                    ValueSource::ByOperation(op) => self.call(m, oid, op, &[])?,
+                    ValueSource::PerObject(f) => f(oid),
+                };
+                let obj = self
+                    .objects
+                    .get_mut(oid)
+                    .ok_or(RtError::NoSuchObject(oid))?;
+                obj.slots.insert(attr.to_string(), v);
+                converted += 1;
+            }
+        }
+        Ok(converted)
+    }
+
+    /// Conversion routine: delete the slot named `attr` from `t` and all
+    /// subtypes, dropping the stored values. Returns the number of
+    /// converted objects.
+    pub fn convert_remove_slot(
+        &mut self,
+        m: &mut MetaModel,
+        t: TypeId,
+        attr: &str,
+    ) -> RtResult<usize> {
+        let mut converted = 0;
+        for ty in affected_types(m, t) {
+            if let Some(clid) = m.phrep_of(ty) {
+                m.remove_slot(clid, attr)?;
+            }
+            for oid in self.objects.extent(ty).to_vec() {
+                let obj = self
+                    .objects
+                    .get_mut(oid)
+                    .ok_or(RtError::NoSuchObject(oid))?;
+                if obj.slots.remove(attr).is_some() {
+                    converted += 1;
+                }
+            }
+        }
+        Ok(converted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gom_analyzer::lower::Analyzer;
+
+    fn setup() -> (MetaModel, Runtime, TypeId, TypeId) {
+        let mut m = MetaModel::new().unwrap();
+        let mut a = Analyzer::new();
+        let src = "\
+schema S is
+  type Car is
+    [ milage : float; ]
+  operations
+    declare guessFuel : || -> string;
+  implementation
+    define guessFuel is
+    begin
+      if (self.milage > 100000.0) return \"leaded\";
+      return \"unleaded\";
+    end define guessFuel;
+  end type Car;
+  type SportsCar supertype Car is
+    [ topSpeed : float; ]
+  end type SportsCar;
+end schema S;";
+        let lowered = a.lower_source(&mut m, src).unwrap();
+        let sid = lowered[0].id;
+        let car = m.type_by_name(sid, "Car").unwrap();
+        let sports = m.type_by_name(sid, "SportsCar").unwrap();
+        (m, Runtime::new(), car, sports)
+    }
+
+    #[test]
+    fn add_slot_with_default_converts_all_instances() {
+        let (mut m, mut rt, car, sports) = setup();
+        let c1 = rt.create(&mut m, car).unwrap();
+        let s1 = rt.create(&mut m, sports).unwrap();
+        let string = m.builtins.string;
+        let n = rt
+            .convert_add_slot(
+                &mut m,
+                car,
+                "fuelType",
+                string,
+                ValueSource::Default(Value::Str("unleaded".into())),
+            )
+            .unwrap();
+        assert_eq!(n, 2); // subtype instances converted too
+        assert_eq!(
+            rt.get_attr(&mut m, c1, "fuelType").unwrap(),
+            Value::Str("unleaded".into())
+        );
+        assert_eq!(
+            rt.get_attr(&mut m, s1, "fuelType").unwrap(),
+            Value::Str("unleaded".into())
+        );
+        // Slot facts reported for both representations.
+        let clid = m.phrep_of(car).unwrap();
+        assert!(m.slots_of(clid).iter().any(|(n, _)| n == "fuelType"));
+        let clid_s = m.phrep_of(sports).unwrap();
+        assert!(m.slots_of(clid_s).iter().any(|(n, _)| n == "fuelType"));
+    }
+
+    #[test]
+    fn add_slot_by_operation_uses_old_state() {
+        let (mut m, mut rt, car, _) = setup();
+        let old = rt.create(&mut m, car).unwrap();
+        rt.set_attr(&mut m, old, "milage", Value::Float(200000.0))
+            .unwrap();
+        let new = rt.create(&mut m, car).unwrap();
+        let string = m.builtins.string;
+        rt.convert_add_slot(
+            &mut m,
+            car,
+            "fuelType",
+            string,
+            ValueSource::ByOperation("guessFuel"),
+        )
+        .unwrap();
+        assert_eq!(
+            rt.get_attr(&mut m, old, "fuelType").unwrap(),
+            Value::Str("leaded".into())
+        );
+        assert_eq!(
+            rt.get_attr(&mut m, new, "fuelType").unwrap(),
+            Value::Str("unleaded".into())
+        );
+    }
+
+    #[test]
+    fn add_slot_per_object_callback() {
+        let (mut m, mut rt, car, _) = setup();
+        let a = rt.create(&mut m, car).unwrap();
+        let b = rt.create(&mut m, car).unwrap();
+        let mut i = 0;
+        let int = m.builtins.int;
+        rt.convert_add_slot(
+            &mut m,
+            car,
+            "serial",
+            int,
+            ValueSource::PerObject(&mut |_| {
+                i += 1;
+                Value::Int(i)
+            }),
+        )
+        .unwrap();
+        let va = rt.get_attr(&mut m, a, "serial").unwrap();
+        let vb = rt.get_attr(&mut m, b, "serial").unwrap();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn remove_slot_drops_values_and_facts() {
+        let (mut m, mut rt, car, _) = setup();
+        let c = rt.create(&mut m, car).unwrap();
+        let string = m.builtins.string;
+        rt.convert_add_slot(
+            &mut m,
+            car,
+            "fuelType",
+            string,
+            ValueSource::Default(Value::Str("x".into())),
+        )
+        .unwrap();
+        let n = rt.convert_remove_slot(&mut m, car, "fuelType").unwrap();
+        assert_eq!(n, 1);
+        assert!(rt.get_attr(&mut m, c, "fuelType").is_err());
+        let clid = m.phrep_of(car).unwrap();
+        assert!(!m.slots_of(clid).iter().any(|(n, _)| n == "fuelType"));
+    }
+
+    #[test]
+    fn conversion_without_instances_is_a_noop() {
+        let (mut m, mut rt, car, _) = setup();
+        let string = m.builtins.string;
+        let n = rt
+            .convert_add_slot(
+                &mut m,
+                car,
+                "fuelType",
+                string,
+                ValueSource::Default(Value::Null),
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gom-runtime — the GOM Runtime System
+//!
+//! The *Runtime System* of the paper's generic architecture (§2.2): object
+//! management and physical representation. It
+//!
+//! * stores objects and keeps the `PhRep`/`Slot` extensions of the Object
+//!   Base Model faithful to the physical state (the "modify" reporting
+//!   duty),
+//! * interprets method code stored in the `Code` predicate, with dynamic
+//!   binding through the subtype/refinement structure and `super` calls,
+//! * executes conversion routines (§3.5) that add/delete slots with values
+//!   from defaults, per-instance callbacks, or user-supplied operations,
+//! * redirects attribute and operation access through `fashion` masking
+//!   (§4.1) so instances of one type version substitute for another.
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod object;
+pub mod runtime;
+pub mod value;
+
+pub use convert::{affected_types, ValueSource};
+pub use object::{Object, ObjectBase};
+pub use runtime::{RtError, RtResult, Runtime};
+pub use value::Value;

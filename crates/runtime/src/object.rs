@@ -1,0 +1,268 @@
+//! The object base: physical object storage.
+//!
+//! The Runtime System "has to correctly report changes in the object's
+//! representation via the modify operation" (§2.2): whenever the first
+//! instance of a type appears, a `PhRep` fact and one `Slot` fact per
+//! (inherited) attribute are inserted into the Object Base Model; when the
+//! last instance disappears the facts are retracted. The deductive database
+//! therefore always reflects the physical representation, which is exactly
+//! what schema/object consistency (§3.4) is checked against.
+
+use crate::value::Value;
+use gom_deductive::Result;
+use gom_model::{MetaModel, Oid, PhRepId, TypeId};
+use std::collections::BTreeMap;
+
+/// One stored object.
+#[derive(Clone, Debug)]
+pub struct Object {
+    /// The (most specific) type of the object.
+    pub ty: TypeId,
+    /// Slot values by attribute name.
+    pub slots: BTreeMap<String, Value>,
+}
+
+/// The object base.
+#[derive(Default, Debug)]
+pub struct ObjectBase {
+    objects: BTreeMap<Oid, Object>,
+    extents: BTreeMap<TypeId, Vec<Oid>>,
+}
+
+impl ObjectBase {
+    /// Empty object base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the object base empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Access an object.
+    pub fn get(&self, oid: Oid) -> Option<&Object> {
+        self.objects.get(&oid)
+    }
+
+    /// Mutable access to an object.
+    pub fn get_mut(&mut self, oid: Oid) -> Option<&mut Object> {
+        self.objects.get_mut(&oid)
+    }
+
+    /// Direct extent of a type (objects whose most specific type is `t`).
+    pub fn extent(&self, t: TypeId) -> &[Oid] {
+        self.extents.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// All oids, sorted.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Ensure a physical representation (and its slots) exists for `t`,
+    /// recursively ensuring representations for all attribute domains —
+    /// the paper's constraint (*) demands `PhRep(C_A, T_A)` for every slot
+    /// value type.
+    pub fn ensure_phrep(&self, m: &mut MetaModel, t: TypeId) -> Result<PhRepId> {
+        self.ensure_phrep_guarded(m, t, &mut Vec::new())
+    }
+
+    fn ensure_phrep_guarded(
+        &self,
+        m: &mut MetaModel,
+        t: TypeId,
+        visiting: &mut Vec<TypeId>,
+    ) -> Result<PhRepId> {
+        if let Some(p) = m.phrep_of(t) {
+            return Ok(p);
+        }
+        if visiting.contains(&t) {
+            // Recursive type (e.g. Person.spouse: Person): the phrep being
+            // created upstream will serve.
+            // A placeholder is created by the upstream frame.
+            return Ok(m.phrep_of(t).expect("upstream creates first"));
+        }
+        visiting.push(t);
+        let clid = m.new_phrep(t)?;
+        for (attr, domain) in m.attrs_inherited(t) {
+            let dom_clid = if let Some(p) = m.phrep_of(domain) {
+                p
+            } else if visiting.contains(&domain) {
+                // Self-referential domain: its phrep is the one we just made
+                // or will be the one made by an outer frame; for a direct
+                // self-reference it is `clid`.
+                if domain == t {
+                    clid
+                } else {
+                    // Mutual recursion: create the domain's phrep eagerly
+                    // without slots yet — slots follow when the cycle
+                    // unwinds via the explicit call below.
+                    m.new_phrep(domain)?
+                }
+            } else {
+                self.ensure_phrep_guarded(m, domain, visiting)?
+            };
+            m.add_slot(clid, &attr, dom_clid)?;
+        }
+        visiting.pop();
+        Ok(clid)
+    }
+
+    /// Create an object of type `t` with default (null/zero) slot values,
+    /// reporting `PhRep`/`Slot` facts as needed.
+    pub fn create(&mut self, m: &mut MetaModel, t: TypeId) -> Result<Oid> {
+        self.ensure_phrep(m, t)?;
+        let oid = m.ids.oid(m.db.interner_mut());
+        let mut slots = BTreeMap::new();
+        for (attr, domain) in m.attrs_inherited(t) {
+            let v = if domain == m.builtins.int {
+                Value::Int(0)
+            } else if domain == m.builtins.float {
+                Value::Float(0.0)
+            } else if domain == m.builtins.string {
+                Value::Str(String::new())
+            } else if domain == m.builtins.bool_ {
+                Value::Bool(false)
+            } else {
+                Value::Null
+            };
+            slots.insert(attr, v);
+        }
+        self.objects.insert(
+            oid,
+            Object {
+                ty: t,
+                slots,
+            },
+        );
+        self.extents.entry(t).or_default().push(oid);
+        Ok(oid)
+    }
+
+    /// Delete an object; when it was the last instance of its type, retract
+    /// the type's `PhRep` and `Slot` facts.
+    pub fn delete(&mut self, m: &mut MetaModel, oid: Oid) -> Result<bool> {
+        let Some(obj) = self.objects.remove(&oid) else {
+            return Ok(false);
+        };
+        if let Some(e) = self.extents.get_mut(&obj.ty) {
+            e.retain(|&o| o != oid);
+            if e.is_empty() {
+                self.extents.remove(&obj.ty);
+                if !m.builtins.is_builtin(obj.ty) {
+                    if let Some(clid) = m.phrep_of(obj.ty) {
+                        for (attr, _) in m.slots_of(clid) {
+                            m.remove_slot(clid, &attr)?;
+                        }
+                        let tup = gom_deductive::Tuple::from(vec![
+                            clid.constant(),
+                            obj.ty.constant(),
+                        ]);
+                        m.db.remove(m.cat.phrep, &tup)?;
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car_model() -> (MetaModel, TypeId, TypeId, TypeId, TypeId) {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("CarSchema").unwrap();
+        let person = m.new_type(s, "Person").unwrap();
+        m.add_subtype(person, m.builtins.any).unwrap();
+        m.add_attr(person, "name", m.builtins.string).unwrap();
+        m.add_attr(person, "age", m.builtins.int).unwrap();
+        let loc = m.new_type(s, "Location").unwrap();
+        m.add_subtype(loc, m.builtins.any).unwrap();
+        m.add_attr(loc, "longi", m.builtins.float).unwrap();
+        m.add_attr(loc, "lati", m.builtins.float).unwrap();
+        let city = m.new_type(s, "City").unwrap();
+        m.add_subtype(city, loc).unwrap();
+        m.add_attr(city, "name", m.builtins.string).unwrap();
+        let car = m.new_type(s, "Car").unwrap();
+        m.add_subtype(car, m.builtins.any).unwrap();
+        m.add_attr(car, "owner", person).unwrap();
+        m.add_attr(car, "maxspeed", m.builtins.float).unwrap();
+        m.add_attr(car, "milage", m.builtins.float).unwrap();
+        m.add_attr(car, "location", city).unwrap();
+        (m, person, loc, city, car)
+    }
+
+    #[test]
+    fn create_reports_phrep_and_slots() {
+        let (mut m, _p, _l, _c, car) = car_model();
+        let mut ob = ObjectBase::new();
+        let oid = ob.create(&mut m, car).unwrap();
+        assert!(ob.get(oid).is_some());
+        let clid = m.phrep_of(car).unwrap();
+        // 4 slots for Car's 4 attributes.
+        assert_eq!(m.slots_of(clid).len(), 4);
+        // Domains got phreps recursively (Person, City, and City's super
+        // Location attrs live in City's phrep).
+        assert!(m.phrep_of(_p).is_some());
+        assert!(m.phrep_of(_c).is_some());
+    }
+
+    #[test]
+    fn city_phrep_has_inherited_slots() {
+        let (mut m, _p, _l, city, _car) = car_model();
+        let ob = ObjectBase::new();
+        let clid = ob.ensure_phrep(&mut m, city).unwrap();
+        let slots = m.slots_of(clid);
+        // name + noOfInhabitants? (our fixture: name only) + inherited longi/lati
+        let names: Vec<&str> = slots.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"longi"));
+        assert!(names.contains(&"lati"));
+        assert!(names.contains(&"name"));
+    }
+
+    #[test]
+    fn default_slot_values_by_domain() {
+        let (mut m, person, ..) = car_model();
+        let mut ob = ObjectBase::new();
+        let oid = ob.create(&mut m, person).unwrap();
+        let obj = ob.get(oid).unwrap();
+        assert_eq!(obj.slots["name"], Value::Str(String::new()));
+        assert_eq!(obj.slots["age"], Value::Int(0));
+    }
+
+    #[test]
+    fn delete_last_instance_retracts_phrep() {
+        let (mut m, person, ..) = car_model();
+        let mut ob = ObjectBase::new();
+        let a = ob.create(&mut m, person).unwrap();
+        let b = ob.create(&mut m, person).unwrap();
+        assert_eq!(ob.extent(person).len(), 2);
+        ob.delete(&mut m, a).unwrap();
+        assert!(m.phrep_of(person).is_some());
+        ob.delete(&mut m, b).unwrap();
+        assert!(m.phrep_of(person).is_none());
+        assert!(!ob.delete(&mut m, b).unwrap());
+    }
+
+    #[test]
+    fn recursive_type_does_not_loop() {
+        let mut m = MetaModel::new().unwrap();
+        let s = m.new_schema("S").unwrap();
+        let person = m.new_type(s, "Person").unwrap();
+        m.add_subtype(person, m.builtins.any).unwrap();
+        m.add_attr(person, "spouse", person).unwrap();
+        let mut ob = ObjectBase::new();
+        let oid = ob.create(&mut m, person).unwrap();
+        assert!(ob.get(oid).is_some());
+        let clid = m.phrep_of(person).unwrap();
+        assert_eq!(m.slots_of(clid), vec![("spouse".to_string(), clid)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Runtime values.
+
+use gom_model::{Oid, TypeId};
+
+/// A value held in an object's slot or produced by evaluating an
+/// expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer (also used for the `date` sort, counted in days).
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// An enum-sort literal, e.g. `leaded` of sort `Fuel`.
+    Enum {
+        /// The sort type.
+        sort: TypeId,
+        /// The literal name.
+        variant: String,
+    },
+    /// Reference to an object.
+    Obj(Oid),
+    /// Uninitialised slot / missing value.
+    Null,
+}
+
+impl Value {
+    /// Coerce to f64 for arithmetic, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Is this an integer-like value (int)?
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `if` conditions.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(n) => *n != 0,
+            Value::Float(x) => *x != 0.0,
+            Value::Null => false,
+            _ => true,
+        }
+    }
+
+    /// Structural equality as used by `==` in method bodies. Numeric values
+    /// compare across int/float.
+    pub fn value_eq(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Enum { variant, .. } => write!(f, "{variant}"),
+            Value::Obj(o) => write!(f, "<obj {:?}>", o.0),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_eq_across_kinds() {
+        assert!(Value::Int(3).value_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).value_eq(&Value::Float(3.5)));
+        assert!(Value::Str("a".into()).value_eq(&Value::Str("a".into())));
+        assert!(!Value::Str("a".into()).value_eq(&Value::Null));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Null.truthy());
+    }
+}

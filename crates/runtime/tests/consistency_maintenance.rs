@@ -1,0 +1,121 @@
+//! Property tests: the Runtime System keeps the Object Base Model faithful
+//! — after any sequence of object creations, deletions, and conversions,
+//! the §3.4 schema/object constraints hold.
+
+use gom_core::SchemaManager;
+use gom_model::TypeId;
+use gom_runtime::{Value, ValueSource};
+use proptest::prelude::*;
+
+fn hierarchy_manager() -> (SchemaManager, Vec<TypeId>) {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(
+        "schema W is
+           type Vehicle is [ wheels : int; ] end type Vehicle;
+           type Car supertype Vehicle is [ doors : int; ] end type Car;
+           type Truck supertype Vehicle is [ payload : float; ] end type Truck;
+           type Taxi supertype Car is [ fare : float; ] end type Taxi;
+         end schema W;",
+    )
+    .unwrap();
+    let s = mgr.meta.schema_by_name("W").unwrap();
+    let types = ["Vehicle", "Car", "Truck", "Taxi"]
+        .iter()
+        .map(|n| mgr.meta.type_by_name(s, n).unwrap())
+        .collect();
+    (mgr, types)
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    Create(usize),
+    DeleteNth(usize),
+    ConvertAdd(usize, u8),
+    ConvertRemove(usize, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0usize..4).prop_map(Action::Create),
+        2 => (0usize..8).prop_map(Action::DeleteNth),
+        1 => (0usize..4, 0u8..3).prop_map(|(t, a)| Action::ConvertAdd(t, a)),
+        1 => (0usize..4, 0u8..3).prop_map(|(t, a)| Action::ConvertRemove(t, a)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn object_lifecycle_preserves_schema_object_consistency(
+        actions in proptest::collection::vec(action_strategy(), 1..25),
+    ) {
+        let (mut mgr, types) = hierarchy_manager();
+        let mut live: Vec<gom_model::Oid> = Vec::new();
+        for action in &actions {
+            match action {
+                Action::Create(t) => {
+                    let oid = mgr.create_object(types[*t]).unwrap();
+                    live.push(oid);
+                }
+                Action::DeleteNth(n) => {
+                    if !live.is_empty() {
+                        let oid = live.remove(n % live.len());
+                        mgr.runtime.delete(&mut mgr.meta, oid).unwrap();
+                    }
+                }
+                Action::ConvertAdd(t, a) => {
+                    // Conversion must accompany the schema change in one
+                    // session (the §3.5 discipline).
+                    let ty = types[*t];
+                    let attr = format!("extra{a}");
+                    if mgr.meta.attrs_inherited(ty).iter().any(|(n, _)| *n == attr) {
+                        continue; // already there (possibly inherited)
+                    }
+                    // Adding attr to ty may clash with a same-named attr
+                    // already added to a SUBTYPE earlier; skip those too.
+                    let clash = gom_runtime::affected_types(&mgr.meta, ty)
+                        .iter()
+                        .any(|&s| mgr.meta.attrs_inherited(s).iter().any(|(n, _)| *n == attr));
+                    if clash {
+                        continue;
+                    }
+                    mgr.begin_evolution().unwrap();
+                    let int = mgr.meta.builtins.int;
+                    mgr.meta.add_attr(ty, &attr, int).unwrap();
+                    mgr.runtime
+                        .convert_add_slot(&mut mgr.meta, ty, &attr, int,
+                            ValueSource::Default(Value::Int(0)))
+                        .unwrap();
+                    let out = mgr.end_evolution().unwrap();
+                    prop_assert!(out.is_consistent(),
+                        "convert-add left: {:?}",
+                        out.violations().iter().map(|v| v.render(&mgr.meta.db)).collect::<Vec<_>>());
+                }
+                Action::ConvertRemove(t, a) => {
+                    let ty = types[*t];
+                    let attr = format!("extra{a}");
+                    // Only remove attrs we added directly on this type.
+                    if !mgr.meta.attrs_of(ty).iter().any(|(n, _)| *n == attr) {
+                        continue;
+                    }
+                    mgr.begin_evolution().unwrap();
+                    mgr.meta.remove_attr(ty, &attr).unwrap();
+                    mgr.runtime.convert_remove_slot(&mut mgr.meta, ty, &attr).unwrap();
+                    let out = mgr.end_evolution().unwrap();
+                    prop_assert!(out.is_consistent(),
+                        "convert-remove left: {:?}",
+                        out.violations().iter().map(|v| v.render(&mgr.meta.db)).collect::<Vec<_>>());
+                }
+            }
+            // The standing invariant after every action:
+            let violations = mgr.check().unwrap();
+            prop_assert!(
+                violations.is_empty(),
+                "after {:?}: {:?}",
+                action,
+                violations.iter().map(|v| v.render(&mgr.meta.db)).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Runtime integration tests: deep refinement chains, dynamic binding from
+//! every level, masking with operations and arguments, and object-base
+//! lifecycle edge cases.
+
+use gom_analyzer::lower::Analyzer;
+use gom_model::MetaModel;
+use gom_runtime::{RtError, Runtime, Value};
+
+fn three_level_world() -> (MetaModel, Runtime) {
+    let mut m = MetaModel::new().unwrap();
+    let mut a = Analyzer::new();
+    a.lower_source(
+        &mut m,
+        "schema S is
+           type A is
+             [ tag : string; ]
+           operations
+             declare who : || -> string;
+             declare greet : || -> string;
+           implementation
+             define who is begin return \"A\"; end define who;
+             define greet is begin return self.who(); end define greet;
+           end type A;
+           type B supertype A is
+           refine
+             declare who : || -> string;
+           implementation
+             define who is begin return \"B\"; end define who;
+           end type B;
+           type C supertype B is
+           refine
+             declare who : || -> string;
+           implementation
+             define who is
+             begin
+               return super.who();
+             end define who;
+           end type C;
+         end schema S;",
+    )
+    .unwrap();
+    (m, Runtime::new())
+}
+
+#[test]
+fn dynamic_binding_through_three_levels() {
+    let (mut m, mut rt) = three_level_world();
+    let s = m.schema_by_name("S").unwrap();
+    let a = m.type_by_name(s, "A").unwrap();
+    let b = m.type_by_name(s, "B").unwrap();
+    let c = m.type_by_name(s, "C").unwrap();
+    let oa = rt.create(&mut m, a).unwrap();
+    let ob = rt.create(&mut m, b).unwrap();
+    let oc = rt.create(&mut m, c).unwrap();
+    // `greet` is declared only on A; its `self.who()` dispatches on the
+    // RUNTIME type (late binding).
+    assert_eq!(rt.call(&mut m, oa, "greet", &[]).unwrap(), Value::Str("A".into()));
+    assert_eq!(rt.call(&mut m, ob, "greet", &[]).unwrap(), Value::Str("B".into()));
+    // C's `who` delegates via `super` to B's, not to A's.
+    assert_eq!(rt.call(&mut m, oc, "greet", &[]).unwrap(), Value::Str("B".into()));
+    assert_eq!(rt.call(&mut m, oc, "who", &[]).unwrap(), Value::Str("B".into()));
+}
+
+#[test]
+fn inherited_attrs_present_at_every_level() {
+    let (mut m, mut rt) = three_level_world();
+    let s = m.schema_by_name("S").unwrap();
+    let c = m.type_by_name(s, "C").unwrap();
+    let oc = rt.create(&mut m, c).unwrap();
+    rt.set_attr(&mut m, oc, "tag", Value::Str("deep".into())).unwrap();
+    assert_eq!(
+        rt.get_attr(&mut m, oc, "tag").unwrap(),
+        Value::Str("deep".into())
+    );
+}
+
+#[test]
+fn fashion_operation_receives_positional_args() {
+    let mut m = MetaModel::new().unwrap();
+    let mut a = Analyzer::new();
+    a.lower_source(
+        &mut m,
+        "schema Old is
+           type Counter is
+             [ count : int; ]
+           end type Counter;
+         end schema Old;
+         schema New is
+           type Counter is
+             [ count : int; ]
+           operations
+             declare bump : int -> int;
+           implementation
+             define bump(by) is
+             begin
+               self.count := self.count + by;
+               return self.count;
+             end define bump;
+           end type Counter;
+         end schema New;",
+    )
+    .unwrap();
+    // Install fashion predicates manually (the §4.1 extension textless).
+    m.db.load(
+        "base FashionType(from, to).
+         base FashionDecl(did, tid, code).
+         base FashionAttr(tid, attr, from, readcode, writecode).",
+    )
+    .unwrap();
+    a.lower_source(
+        &mut m,
+        "fashion Counter@Old as Counter@New where
+           count : int is self.count;
+           operation bump is
+           begin
+             self.count := self.count + arg1;
+             return self.count;
+           end;
+         end fashion;",
+    )
+    .unwrap();
+    let old_s = m.schema_by_name("Old").unwrap();
+    let old_c = m.type_by_name(old_s, "Counter").unwrap();
+    let mut rt = Runtime::new();
+    let o = rt.create(&mut m, old_c).unwrap();
+    // The OLD object has no `bump` of its own — the fashion imitation runs
+    // with `arg1` bound positionally.
+    assert_eq!(
+        rt.call(&mut m, o, "bump", &[Value::Int(5)]).unwrap(),
+        Value::Int(5)
+    );
+    assert_eq!(
+        rt.call(&mut m, o, "bump", &[Value::Int(3)]).unwrap(),
+        Value::Int(8)
+    );
+}
+
+#[test]
+fn depth_limit_stops_infinite_recursion() {
+    let mut m = MetaModel::new().unwrap();
+    let mut a = Analyzer::new();
+    a.lower_source(
+        &mut m,
+        "schema S is
+           type Loop is
+           operations
+             declare spin : || -> int;
+           implementation
+             define spin is begin return self.spin(); end define spin;
+           end type Loop;
+         end schema S;",
+    )
+    .unwrap();
+    let s = m.schema_by_name("S").unwrap();
+    let t = m.type_by_name(s, "Loop").unwrap();
+    let mut rt = Runtime::new();
+    let o = rt.create(&mut m, t).unwrap();
+    assert!(matches!(
+        rt.call(&mut m, o, "spin", &[]),
+        Err(RtError::DepthLimit)
+    ));
+}
+
+#[test]
+fn phrep_recreated_after_extinction() {
+    let mut m = MetaModel::new().unwrap();
+    let s = m.new_schema("S").unwrap();
+    let t = m.new_type(s, "T").unwrap();
+    m.add_subtype(t, m.builtins.any).unwrap();
+    m.add_attr(t, "x", m.builtins.int).unwrap();
+    let mut rt = Runtime::new();
+    let o1 = rt.create(&mut m, t).unwrap();
+    let clid1 = m.phrep_of(t).unwrap();
+    rt.delete(&mut m, o1).unwrap();
+    assert!(m.phrep_of(t).is_none());
+    // a new instance gets a fresh representation with full slots
+    let _o2 = rt.create(&mut m, t).unwrap();
+    let clid2 = m.phrep_of(t).unwrap();
+    assert_ne!(clid1, clid2);
+    assert_eq!(m.slots_of(clid2).len(), 1);
+}
+
+#[test]
+fn objects_as_values_roundtrip() {
+    let mut m = MetaModel::new().unwrap();
+    let s = m.new_schema("S").unwrap();
+    let person = m.new_type(s, "Person").unwrap();
+    m.add_subtype(person, m.builtins.any).unwrap();
+    m.add_attr(person, "friend", person).unwrap();
+    let mut rt = Runtime::new();
+    let alice = rt.create(&mut m, person).unwrap();
+    let bob = rt.create(&mut m, person).unwrap();
+    rt.set_attr(&mut m, alice, "friend", Value::Obj(bob)).unwrap();
+    rt.set_attr(&mut m, bob, "friend", Value::Obj(alice)).unwrap();
+    assert_eq!(rt.get_attr(&mut m, alice, "friend").unwrap(), Value::Obj(bob));
+    assert_eq!(rt.get_attr(&mut m, bob, "friend").unwrap(), Value::Obj(alice));
+}
+
+#[test]
+fn calling_op_with_wrong_arity_binds_missing_as_unset() {
+    // Missing arguments surface as unbound identifiers during execution.
+    let mut m = MetaModel::new().unwrap();
+    let mut a = Analyzer::new();
+    a.lower_source(
+        &mut m,
+        "schema S is
+           type T is
+           operations
+             declare add : int, int -> int;
+           implementation
+             define add(x, y) is begin return x + y; end define add;
+           end type T;
+         end schema S;",
+    )
+    .unwrap();
+    let s = m.schema_by_name("S").unwrap();
+    let t = m.type_by_name(s, "T").unwrap();
+    let mut rt = Runtime::new();
+    let o = rt.create(&mut m, t).unwrap();
+    assert_eq!(
+        rt.call(&mut m, o, "add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+        Value::Int(5)
+    );
+    assert!(matches!(
+        rt.call(&mut m, o, "add", &[Value::Int(2)]),
+        Err(RtError::Type(_))
+    ));
+}

@@ -1,0 +1,117 @@
+//! The §4.2 user-flexibility scenario: evolving `CarSchema` into
+//! `NewCarSchema` with `PolluterCar` / `CatalystCar` subtypes — executed as
+//! the paper's seven explicit steps inside one evolution session, with
+//! `fashion` making the old `Car` instances substitutable for
+//! `PolluterCar`s.
+//!
+//! Run with: `cargo run --example car_evolution`
+
+use gomflex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mgr = SchemaManager::new()?;
+    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    install_versioning(&mut mgr)?;
+
+    let old_schema = mgr.meta.schema_by_name("CarSchema").unwrap();
+    let old_car = mgr.meta.type_by_name(old_schema, "Car").unwrap();
+
+    // A pre-evolution world: two cars on leaded fuel.
+    let trabi = mgr.create_object(old_car)?;
+    mgr.set_attr(trabi, "milage", Value::Float(120_000.0))?;
+    let beetle = mgr.create_object(old_car)?;
+    mgr.set_attr(beetle, "milage", Value::Float(80_000.0))?;
+    println!("== old world: {} Car instance(s), consistent: {}", 2, mgr.check()?.is_empty());
+
+    // ---- the seven steps of §4.2, one evolution session --------------------------------
+    println!("\n== BES: evolving CarSchema to NewCarSchema ==");
+    mgr.begin_evolution()?;
+
+    // Schema version first (digestibility needs it).
+    let new_schema = mgr.meta.new_schema("NewCarSchema")?;
+    record_schema_evolution(&mut mgr, old_schema, new_schema)?;
+
+    // 1+2: PolluterCar as a new type that is the evolution target of the
+    // old Car — its structure will come from the new Car by inheritance.
+    let polluter = mgr.meta.new_type(new_schema, "PolluterCar")?;
+    record_type_evolution(&mut mgr, old_car, polluter)?;
+    println!("step 1-2: PolluterCar created as evolution of Car@CarSchema");
+
+    // 4: a new Car with the same textual definition as the old one.
+    let new_car = copy_type_into(&mut mgr, old_car, new_schema, "Car")
+        .map_err(|e| e.to_string())?;
+    let any = mgr.meta.builtins.any;
+    mgr.meta.add_subtype(new_car, any)?;
+    println!("step 4:   Car@NewCarSchema copied from Car@CarSchema");
+
+    // 5: CatalystCar.
+    let catalyst = mgr.meta.new_type(new_schema, "CatalystCar")?;
+    println!("step 5:   CatalystCar created");
+
+    // 6: both are subtypes of the new Car.
+    mgr.meta.add_subtype(polluter, new_car)?;
+    mgr.meta.add_subtype(catalyst, new_car)?;
+    println!("step 6:   PolluterCar, CatalystCar <: Car@NewCarSchema");
+
+    // 3 (completed): the Fuel sort and the fuel operations. We express them
+    // in GOM source and let the Analyzer lower the pieces onto the types we
+    // just created: the sort plus one declaration per subtype.
+    let fuel_sort = mgr.meta.new_type(new_schema, "Fuel")?;
+    mgr.meta.add_subtype(fuel_sort, any)?;
+    let sv = mgr.meta.db.pred_id("SortVariant").unwrap();
+    for variant in ["leaded", "unleaded"] {
+        let v = mgr.meta.db.constant(variant);
+        mgr.meta.db.insert(sv, vec![fuel_sort.constant(), v])?;
+    }
+    let d_pol = mgr.meta.new_decl(polluter, "fuel", fuel_sort)?;
+    mgr.meta.new_code(d_pol, "return leaded;")?;
+    let d_cat = mgr.meta.new_decl(catalyst, "fuel", fuel_sort)?;
+    mgr.meta.new_code(d_cat, "return unleaded;")?;
+    println!("step 3:   fuel : -> Fuel declared and defined on both subtypes");
+
+    // 7: the adoption mechanism — old Car instances are PolluterCars.
+    let fashion_src = "\
+fashion Car@CarSchema as PolluterCar@NewCarSchema where
+  owner    : Person is self.owner;
+  maxspeed : float  is self.maxspeed;
+  milage   : float  is self.milage;
+  location : City   is self.location;
+  operation changeLocation is begin return self.changeLocation(arg1, arg2); end;
+  operation fuel is begin return leaded; end;
+end fashion;";
+    mgr.analyzer
+        .lower_source(&mut mgr.meta, fashion_src)
+        .map_err(|e| e.to_string())?;
+    println!("step 7:   fashion Car@CarSchema as PolluterCar@NewCarSchema declared");
+
+    // EES.
+    let outcome = mgr.end_evolution()?;
+    match &outcome {
+        EvolutionOutcome::Consistent(delta) => {
+            println!("\n== EES: consistent — session committed ({} base-fact change(s))", delta.len());
+        }
+        EvolutionOutcome::Inconsistent(violations) => {
+            println!("\n== EES: INCONSISTENT ==");
+            for v in violations {
+                println!("  {}", v.render(&mgr.meta.db));
+            }
+            mgr.rollback_evolution()?;
+            return Err("evolution failed".into());
+        }
+    }
+
+    // ---- old instances now answer the new behaviour -------------------------------------
+    println!("\n== reuse: old Car instances as PolluterCars ==");
+    for (name, oid) in [("trabi", trabi), ("beetle", beetle)] {
+        let fuel = mgr.call(oid, "fuel", &[])?;
+        let milage = mgr.get_attr(oid, "milage")?;
+        println!("  {name}: fuel = {fuel}, milage = {milage}");
+    }
+
+    // And genuinely new CatalystCars:
+    let clean = mgr.create_object(catalyst)?;
+    println!("  new CatalystCar: fuel = {}", mgr.call(clean, "fuel", &[])?);
+
+    println!("\nfinal check: {} violation(s)", mgr.check()?.len());
+    Ok(())
+}

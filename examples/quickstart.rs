@@ -1,0 +1,113 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Defines the §3.1 `CarSchema`, dumps the Figure-2 base-predicate
+//! extensions, instantiates objects, runs the interpreted
+//! `changeLocation` method, and walks one evolution session through the
+//! §3.5 protocol (violation → repairs → choice).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gomflex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. define the schema through the Analyzer --------------------------------
+    let mut mgr = SchemaManager::new()?;
+    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    println!("== CarSchema defined; consistency check: {} violation(s)\n",
+        mgr.check()?.len());
+
+    // ---- 2. the Figure-2 extensions -------------------------------------------------
+    println!("== Schema Base extensions (paper Figure 2) ==");
+    for pred in ["Schema", "Type", "Attr", "Decl", "ArgDecl", "Code"] {
+        let p = mgr.meta.db.pred_id(pred).unwrap();
+        print!("{}", mgr.meta.render_relation(p));
+    }
+    println!("\n== Relationship extensions (paper §3.2, second table) ==");
+    for pred in ["SubTypRel", "DeclRefinement", "CodeReqDecl", "CodeReqAttr"] {
+        let p = mgr.meta.db.pred_id(pred).unwrap();
+        print!("{}", mgr.meta.render_relation(p));
+    }
+
+    // ---- 3. objects + interpreted behaviour -----------------------------------------
+    let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
+    let person = mgr.meta.type_by_name(sid, "Person").unwrap();
+    let city = mgr.meta.type_by_name(sid, "City").unwrap();
+    let car = mgr.meta.type_by_name(sid, "Car").unwrap();
+
+    let alice = mgr.create_object(person)?;
+    mgr.set_attr(alice, "name", Value::Str("Alice".into()))?;
+    let karlsruhe = mgr.create_object(city)?;
+    mgr.set_attr(karlsruhe, "name", Value::Str("Karlsruhe".into()))?;
+    mgr.set_attr(karlsruhe, "longi", Value::Float(8.4))?;
+    mgr.set_attr(karlsruhe, "lati", Value::Float(49.0))?;
+    let munich = mgr.create_object(city)?;
+    mgr.set_attr(munich, "name", Value::Str("Munich".into()))?;
+    mgr.set_attr(munich, "longi", Value::Float(11.6))?;
+    mgr.set_attr(munich, "lati", Value::Float(48.1))?;
+    let beetle = mgr.create_object(car)?;
+    mgr.set_attr(beetle, "owner", Value::Obj(alice))?;
+    mgr.set_attr(beetle, "location", Value::Obj(karlsruhe))?;
+
+    let milage = mgr.call(
+        beetle,
+        "changeLocation",
+        &[Value::Obj(alice), Value::Obj(munich)],
+    )?;
+    println!("\n== changeLocation(alice, munich) returned {milage}");
+    println!("== Object Base Model (paper §3.4 table) ==");
+    for pred in ["PhRep", "Slot"] {
+        let p = mgr.meta.db.pred_id(pred).unwrap();
+        print!("{}", mgr.meta.render_relation(p));
+    }
+
+    // ---- 4. an evolution session needing a repair (§3.5) ------------------------------
+    println!("\n== Evolution session: add `fuelType : string` to Car (BES) ==");
+    mgr.begin_evolution()?;
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string)?;
+    let outcome = mgr.end_evolution()?; // EES
+    match &outcome {
+        EvolutionOutcome::Consistent(_) => println!("session committed"),
+        EvolutionOutcome::Inconsistent(violations) => {
+            for v in violations {
+                println!("violation: {}", v.render(&mgr.meta.db));
+            }
+            println!("\ngenerated repairs (plus: roll back the session):");
+            let repairs = mgr.repairs_for(&violations[0])?;
+            for (i, r) in repairs.iter().enumerate() {
+                println!("  {}. {}", i + 1, r.render(&mgr.meta));
+            }
+            // Choose the conversion repair: insert the missing slot, with
+            // the value physically supplied by the Runtime System.
+            let conversion = repairs
+                .iter()
+                .find(|r| r.repair.kind == RepairKind::CompleteConclusion)
+                .expect("conversion repair exists");
+            let repair = conversion.repair.clone();
+            mgr.runtime.convert_add_slot(
+                &mut mgr.meta,
+                car,
+                "fuelType",
+                string,
+                ValueSource::Default(Value::Str("unleaded".into())),
+            )?;
+            // The conversion already reported +Slot; applying the repair is
+            // then a no-op fact-wise, and the session commits.
+            let outcome = mgr.apply_repair(&repair)?;
+            println!(
+                "\nafter executing the conversion: session {}",
+                if outcome.is_consistent() {
+                    "committed"
+                } else {
+                    "still inconsistent"
+                }
+            );
+        }
+    }
+    println!(
+        "beetle.fuelType = {}",
+        mgr.get_attr(beetle, "fuelType")?
+    );
+    println!("final check: {} violation(s)", mgr.check()?.len());
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Schema migration with the differencing tool: evolve a populated v1
+//! schema to match a v2 target, letting the consistency control drive the
+//! object conversion.
+//!
+//! This is the workflow the paper's introduction motivates — "tools which
+//! automatically check schema consistency … analyze the situation and
+//! generate possible repairs" — composed end to end: diff two versions,
+//! apply the script inside a session, and discharge the schema/object
+//! violations by executing the proposed conversions.
+//!
+//! Run with: `cargo run --example schema_migration`
+
+use gomflex::evolution::{apply_diff, diff_schemas, render_diff};
+use gomflex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mgr = SchemaManager::new()?;
+
+    // v1, in production, with live objects.
+    mgr.define_schema(
+        "schema Fleet is
+           type Driver is
+             [ name : string; ]
+           end type Driver;
+           type Car is
+             [ driver : Driver;
+               milage : float; ]
+           operations
+             declare service : || -> float;
+           implementation
+             define service is begin return self.milage * 0.01; end define service;
+           end type Car;
+         end schema Fleet;",
+    )
+    .map_err(|e| e.to_string())?;
+    let fleet = mgr.meta.schema_by_name("Fleet").unwrap();
+    let car = mgr.meta.type_by_name(fleet, "Car").unwrap();
+    let driver = mgr.meta.type_by_name(fleet, "Driver").unwrap();
+    let alice = mgr.create_object(driver)?;
+    mgr.set_attr(alice, "name", Value::Str("Alice".into()))?;
+    let mut cars = Vec::new();
+    for i in 0..3 {
+        let c = mgr.create_object(car)?;
+        mgr.set_attr(c, "driver", Value::Obj(alice))?;
+        mgr.set_attr(c, "milage", Value::Float(10_000.0 * (i + 1) as f64))?;
+        cars.push(c);
+    }
+    println!("== v1 live: {} cars, consistent: {}", cars.len(), mgr.check()?.is_empty());
+
+    // The v2 target, designed separately.
+    mgr.define_schema(
+        "schema FleetV2 is
+           type Driver is
+             [ name    : string;
+               licence : string; ]
+           end type Driver;
+           type Car is
+             [ driver   : Driver;
+               milage   : float;
+               fuelType : string; ]
+           operations
+             declare service : || -> float;
+           implementation
+             define service is begin return self.milage * 0.02; end define service;
+           end type Car;
+           type ElectricCar supertype Car is
+             [ range : float; ]
+           end type ElectricCar;
+         end schema FleetV2;",
+    )
+    .map_err(|e| e.to_string())?;
+    let v2 = mgr.meta.schema_by_name("FleetV2").unwrap();
+
+    // 1. Compute the edit script.
+    let steps = diff_schemas(&mgr.meta, fleet, v2);
+    println!("\n== migration script (diff Fleet -> FleetV2) ==");
+    for line in render_diff(&steps) {
+        println!("  {line}");
+    }
+
+    // 2. Apply it in one evolution session.
+    println!("\n== BES: applying {} step(s) ==", steps.len());
+    mgr.begin_evolution()?;
+    apply_diff(&mut mgr, fleet, &steps).map_err(|e| e.to_string())?;
+    let mut outcome = mgr.end_evolution()?;
+
+    // 3. Discharge the schema/object gap with generated repairs, preferring
+    //    conversions (the objects survive).
+    let mut rounds = 0;
+    while let EvolutionOutcome::Inconsistent(violations) = &outcome {
+        rounds += 1;
+        if rounds > 16 {
+            mgr.rollback_evolution()?;
+            return Err("repair loop did not converge".into());
+        }
+        println!("\nviolations ({}):", violations.len());
+        for v in violations.iter().take(4) {
+            println!("  {}", v.render(&mgr.meta.db));
+        }
+        let v0 = violations[0].clone();
+        let repairs = mgr.repairs_for(&v0)?;
+        let chosen = repairs
+            .iter()
+            .find(|r| r.repair.kind == RepairKind::CompleteConclusion)
+            .unwrap_or(&repairs[0]);
+        println!("executing repair: {}", chosen.repair.render(&mgr.meta.db));
+        let repair = chosen.repair.clone();
+        outcome = mgr.execute_repair(&repair, Value::Str("unleaded".into()))?;
+    }
+    println!("\n== migration committed ==");
+
+    // 4. Old objects carry the new structure and the new behaviour.
+    for (i, &c) in cars.iter().enumerate() {
+        let fuel = mgr.get_attr(c, "fuelType")?;
+        let service = mgr.call(c, "service", &[])?;
+        println!("car {i}: fuelType = {fuel}, service = {service}");
+    }
+    // New subtype usable immediately.
+    let e_car = mgr.meta.type_by_name(fleet, "ElectricCar").unwrap();
+    let tesla = mgr.create_object(e_car)?;
+    mgr.set_attr(tesla, "range", Value::Float(500.0))?;
+    println!(
+        "new ElectricCar: range = {}, inherited fuelType = {}",
+        mgr.get_attr(tesla, "range")?,
+        mgr.get_attr(tesla, "fuelType")?
+    );
+    println!("\nfinal check: {} violation(s)", mgr.check()?.len());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! The §4.1 developer-flexibility scenario: retrofitting schema versioning
+//! and fashion masking onto the simple schema manager.
+//!
+//! The entire "implementation effort" of the GOM-V1.0 release is visible in
+//! this file: (1) feed the versioning/fashion definitions into the
+//! consistency control, (2) declare the new schema version and the
+//! `fashion`, (3) keep using old `Person` instances where
+//! `Person@NewCarSchema` is expected — `birthday` reads and writes are
+//! redirected to `age`.
+//!
+//! Run with: `cargo run --example versioning_fashion`
+
+use gomflex::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mgr = SchemaManager::new()?;
+    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+
+    // Step 1 of §4.1: "the above base predicates, rules, and constraints
+    // have to be inserted into the system. This simple keyboard exercise
+    // can be performed within an hour."
+    install_versioning(&mut mgr)?;
+    println!("== versioning + fashion definitions installed ==");
+    println!(
+        "constraints now: {}",
+        mgr.meta.db.constraints().len()
+    );
+
+    // Old-world Person with an age.
+    let old_schema = mgr.meta.schema_by_name("CarSchema").unwrap();
+    let old_person = mgr.meta.type_by_name(old_schema, "Person").unwrap();
+    let alice = mgr.create_object(old_person)?;
+    mgr.set_attr(alice, "name", Value::Str("Alice".into()))?;
+    mgr.set_attr(alice, "age", Value::Int(30))?;
+
+    // The new schema version: Person with birthday instead of age.
+    println!("\n== BES: Person@NewCarSchema replaces age by birthday ==");
+    mgr.begin_evolution()?;
+    mgr.analyzer
+        .lower_source(
+            &mut mgr.meta,
+            "schema NewCarSchema is
+               type Person is
+                 [ name     : string;
+                   birthday : date; ]
+               end type Person;
+             end schema NewCarSchema;",
+        )
+        .map_err(|e| e.to_string())?;
+    let new_schema = mgr.meta.schema_by_name("NewCarSchema").unwrap();
+    let new_person = mgr.meta.type_by_name(new_schema, "Person").unwrap();
+    record_schema_evolution(&mut mgr, old_schema, new_schema)?;
+    record_type_evolution(&mut mgr, old_person, new_person)?;
+
+    // The paper's fashion declaration (with concrete derivation code:
+    // birthday in days = age * 365, and back).
+    mgr.analyzer
+        .lower_source(
+            &mut mgr.meta,
+            "fashion Person@CarSchema as Person@NewCarSchema where
+               birthday : -> date is self.age * 365;
+               birthday : <- date is begin self.age := value / 365; end;
+               name : string is self.name;
+             end fashion;",
+        )
+        .map_err(|e| e.to_string())?;
+    let outcome = mgr.end_evolution()?;
+    println!(
+        "EES: {}",
+        if outcome.is_consistent() {
+            "consistent — committed".to_string()
+        } else {
+            format!("{:?}", outcome.violations())
+        }
+    );
+
+    // Old instances are substitutable: birthday reads/writes redirect.
+    println!("\n== masking in action (old Person, new signature) ==");
+    println!("alice.age      = {}", mgr.get_attr(alice, "age")?);
+    println!("alice.birthday = {}  (derived from age)", mgr.get_attr(alice, "birthday")?);
+    mgr.set_attr(alice, "birthday", Value::Int(40 * 365))?;
+    println!("after alice.birthday := 14600:");
+    println!("alice.age      = {}  (derived from birthday)", mgr.get_attr(alice, "age")?);
+
+    // Incomplete fashions are rejected — remove a redirection and watch the
+    // consistency control object.
+    println!("\n== the consistency control rejects incomplete fashions ==");
+    mgr.begin_evolution()?;
+    let fattr = mgr.meta.db.pred_id("FashionAttr").unwrap();
+    let name_sym = mgr.meta.db.constant("name");
+    let rows = mgr
+        .meta
+        .db
+        .relation(fattr)
+        .select(&[(1, name_sym)]);
+    for row in rows {
+        mgr.meta.db.remove(fattr, &row)?;
+    }
+    let outcome = mgr.end_evolution()?;
+    for v in outcome.violations() {
+        println!("violation: {}", v.render(&mgr.meta.db));
+    }
+    mgr.rollback_evolution()?;
+    println!("rolled back; final check: {} violation(s)", mgr.check()?.len());
+    Ok(())
+}

@@ -1,0 +1,14 @@
+# gomsh demo script: the paper's §3.5 story
+load scripts/car_schema.gom
+new Car@CarSchema
+begin
+add-attr Car@CarSchema fuelType string
+end
+repairs 0
+apply 0 2
+check
+get oid1 fuelType
+query Attr(T, A, D), D = 'tid_string'.
+why AttrI tid4 fuelType tid_string
+dump Slot
+quit

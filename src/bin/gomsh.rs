@@ -1,0 +1,451 @@
+//! `gomsh` — an interactive / scriptable shell for the schema manager.
+//!
+//! This is the "interactive schema editor" instantiation of the Analyzer
+//! the paper mentions in §2.2: evolution sessions are driven command by
+//! command, consistency is checked at `end`, violations are listed, and
+//! repairs can be requested and executed by number.
+//!
+//! ```text
+//! cargo run --bin gomsh                # interactive (reads stdin)
+//! cargo run --bin gomsh script.gsh     # script mode
+//! ```
+//!
+//! Commands:
+//! ```text
+//! load <file>                 parse+lower GOM source inside the session
+//! begin | end | rollback      session control (BES / EES / undo)
+//! add-attr T@S <name> <dom>   primitive: add attribute (dom = type name or T@S)
+//! del-attr T@S <name>         primitive: delete attribute
+//! del-type T@S <semantics>    restrict|reconnect|cascade|cascade-objects|orphan
+//! new T@S                     create an object, prints its oid
+//! set <oid> <attr> <value>    write a slot (int/float/"str"/oid)
+//! get <oid> <attr>            read a slot
+//! call <oid> <op> [args…]     invoke an operation
+//! check                       full consistency check
+//! repairs <k>                 repairs for violation #k of the last check
+//! apply <k> <m>               execute repair #m of violation #k
+//! query <body>                datalog query, e.g. query Type(T, N, S)
+//! why <Pred> <arg…>           derivation tree for a fact
+//! dump <Pred>                 print a predicate's extension
+//! consistency <file>          feed extra rules/constraints to the CC
+//! install-versioning          install the §4.1 extension
+//! help | quit
+//! ```
+
+use gomflex::prelude::*;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    mgr: SchemaManager,
+    last_violations: Vec<Violation>,
+    last_repairs: Vec<gomflex::core::ExplainedRepair>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = Shell {
+        mgr: SchemaManager::new().expect("manager"),
+        last_violations: Vec::new(),
+        last_repairs: Vec::new(),
+    };
+    let interactive = args.is_empty();
+    let reader: Box<dyn BufRead> = if let Some(path) = args.first() {
+        Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("gomsh: cannot open {path}: {e}");
+                std::process::exit(1);
+            }),
+        ))
+    } else {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    };
+    if interactive {
+        println!("gomsh — flexible schema management shell (paper: Moerkotte & Zachmann 1993)");
+        println!("type `help` for commands");
+    }
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        if interactive {
+            print!("gom> ");
+            std::io::stdout().flush().ok();
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !interactive {
+            println!("gom> {line}");
+        }
+        match shell.dispatch(line) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+impl Shell {
+    fn dispatch(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        match cmd {
+            "help" => {
+                println!("commands: load begin end rollback add-attr del-attr del-type new set get call");
+                println!("          check repairs apply query why dump consistency install-versioning quit");
+            }
+            "quit" | "exit" => return Ok(false),
+            "load" => {
+                let path = rest.first().ok_or("usage: load <file>")?;
+                let src = std::fs::read_to_string(path)?;
+                let in_session = self.mgr.in_evolution();
+                if in_session {
+                    let lowered = self
+                        .mgr
+                        .analyzer
+                        .lower_source(&mut self.mgr.meta, &src)
+                        .map_err(|e| e.to_string())?;
+                    println!("lowered {} schema(s) into the open session", lowered.len());
+                } else {
+                    let lowered = self.mgr.define_schema(&src).map_err(|e| e.to_string())?;
+                    println!("defined {} schema(s), consistent", lowered.len());
+                }
+            }
+            "begin" => {
+                self.mgr.begin_evolution()?;
+                println!("BES — evolution session open");
+            }
+            "end" => {
+                match self.mgr.end_evolution()? {
+                    EvolutionOutcome::Consistent(delta) => {
+                        println!("EES — consistent, committed ({} change(s))", delta.len());
+                        self.last_violations.clear();
+                    }
+                    EvolutionOutcome::Inconsistent(violations) => {
+                        println!("EES — {} violation(s); session stays open:", violations.len());
+                        for (i, v) in violations.iter().enumerate() {
+                            println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+                        }
+                        println!("use `repairs <k>` / `apply <k> <m>` / `rollback`");
+                        self.last_violations = violations;
+                    }
+                }
+            }
+            "rollback" => {
+                self.mgr.rollback_evolution()?;
+                self.last_violations.clear();
+                println!("session rolled back");
+            }
+            "add-attr" => {
+                let [tref, name, dom] = rest[..] else {
+                    return Err("usage: add-attr T@S <name> <domain>".into());
+                };
+                let t = self.resolve_type(tref)?;
+                let d = self.resolve_type(dom)?;
+                self.mgr.meta.add_attr(t, name, d)?;
+                println!("+Attr({tref}, {name}, {dom})");
+            }
+            "del-attr" => {
+                let [tref, name] = rest[..] else {
+                    return Err("usage: del-attr T@S <name>".into());
+                };
+                let t = self.resolve_type(tref)?;
+                let removed = self.mgr.meta.remove_attr(t, name)?;
+                println!("{}", if removed { "removed" } else { "no such attribute" });
+            }
+            "del-type" => {
+                let [tref, sem] = rest[..] else {
+                    return Err("usage: del-type T@S <semantics>".into());
+                };
+                let t = self.resolve_type(tref)?;
+                let semantics = match sem {
+                    "restrict" => DeleteTypeSemantics::Restrict,
+                    "reconnect" => DeleteTypeSemantics::Reconnect,
+                    "cascade" => DeleteTypeSemantics::Cascade,
+                    "cascade-objects" => DeleteTypeSemantics::CascadeInstances,
+                    "orphan" => DeleteTypeSemantics::Orphan,
+                    other => return Err(format!("unknown semantics `{other}`").into()),
+                };
+                let report = delete_type(&mut self.mgr, t, semantics).map_err(|e| e.to_string())?;
+                println!(
+                    "deleted: {} fact(s) removed, {} edge(s) reconnected, {} instance(s) deleted",
+                    report.facts_removed, report.reconnected, report.instances_deleted
+                );
+            }
+            "new" => {
+                let [tref] = rest[..] else {
+                    return Err("usage: new T@S".into());
+                };
+                let t = self.resolve_type(tref)?;
+                let oid = self.mgr.create_object(t).map_err(|e| e.to_string())?;
+                println!("{}", self.mgr.meta.db.resolve(oid.sym()));
+            }
+            "set" => {
+                if rest.len() < 3 {
+                    return Err("usage: set <oid> <attr> <value>".into());
+                }
+                let oid = self.resolve_oid(rest[0])?;
+                let value = self.parse_value(&rest[2..].join(" "))?;
+                self.mgr
+                    .set_attr(oid, rest[1], value)
+                    .map_err(|e| e.to_string())?;
+                println!("ok");
+            }
+            "get" => {
+                let [o, attr] = rest[..] else {
+                    return Err("usage: get <oid> <attr>".into());
+                };
+                let oid = self.resolve_oid(o)?;
+                let v = self.mgr.get_attr(oid, attr).map_err(|e| e.to_string())?;
+                println!("{v}");
+            }
+            "call" => {
+                if rest.len() < 2 {
+                    return Err("usage: call <oid> <op> [args…]".into());
+                }
+                let oid = self.resolve_oid(rest[0])?;
+                let args: Vec<Value> = rest[2..]
+                    .iter()
+                    .map(|a| self.parse_value(a))
+                    .collect::<Result<_, _>>()?;
+                let v = self
+                    .mgr
+                    .call(oid, rest[1], &args)
+                    .map_err(|e| e.to_string())?;
+                println!("{v}");
+            }
+            "check" => {
+                let violations = self.mgr.check()?;
+                if violations.is_empty() {
+                    println!("consistent");
+                } else {
+                    for (i, v) in violations.iter().enumerate() {
+                        println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+                    }
+                }
+                self.last_violations = violations;
+            }
+            "repairs" => {
+                let k: usize = rest.first().ok_or("usage: repairs <k>")?.parse()?;
+                let v = self
+                    .last_violations
+                    .get(k)
+                    .ok_or("no such violation (run `check` or `end` first)")?
+                    .clone();
+                self.last_repairs = self.mgr.repairs_for(&v)?;
+                for (m, r) in self.last_repairs.iter().enumerate() {
+                    println!("  [{m}] {}", r.render(&self.mgr.meta));
+                }
+                println!("  (rollback is always available)");
+            }
+            "apply" => {
+                let [k, m] = rest[..] else {
+                    return Err("usage: apply <k> <m>".into());
+                };
+                let _k: usize = k.parse()?;
+                let m: usize = m.parse()?;
+                let repair = self
+                    .last_repairs
+                    .get(m)
+                    .ok_or("no such repair (run `repairs <k>` first)")?
+                    .repair
+                    .clone();
+                match self.mgr.execute_repair(&repair, Value::Null)? {
+                    EvolutionOutcome::Consistent(_) => {
+                        println!("repair executed — session committed");
+                        self.last_violations.clear();
+                        self.last_repairs.clear();
+                    }
+                    EvolutionOutcome::Inconsistent(violations) => {
+                        println!("repair executed — {} violation(s) remain", violations.len());
+                        for (i, v) in violations.iter().enumerate() {
+                            println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+                        }
+                        self.last_violations = violations;
+                    }
+                }
+            }
+            "query" => {
+                let body = rest.join(" ");
+                let (names, rows) = self.mgr.meta.db.query_text(&body)?;
+                println!("{}", names.join("\t"));
+                for row in &rows {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|c| c.display(self.mgr.meta.db.interner()).to_string())
+                        .collect();
+                    println!("{}", cells.join("\t"));
+                }
+                println!("({} row(s))", rows.len());
+            }
+            "why" => {
+                if rest.is_empty() {
+                    return Err("usage: why <Pred> <arg…>".into());
+                }
+                let pred = self
+                    .mgr
+                    .meta
+                    .db
+                    .pred_id(rest[0])
+                    .ok_or_else(|| format!("unknown predicate `{}`", rest[0]))?;
+                let consts: Vec<gomflex::deductive::Const> = rest[1..]
+                    .iter()
+                    .map(|a| {
+                        a.parse::<i64>()
+                            .map(gomflex::deductive::Const::Int)
+                            .unwrap_or_else(|_| self.mgr.meta.db.constant(a))
+                    })
+                    .collect();
+                let t = gomflex::deductive::Tuple::from(consts);
+                match self.mgr.meta.db.why(pred, &t)? {
+                    Some(d) => print!("{}", d.render(&self.mgr.meta.db)),
+                    None => println!("fact does not hold"),
+                }
+            }
+            "dump" => {
+                let p = rest.first().ok_or("usage: dump <Pred>")?;
+                let pred = self
+                    .mgr
+                    .meta
+                    .db
+                    .pred_id(p)
+                    .ok_or_else(|| format!("unknown predicate `{p}`"))?;
+                print!("{}", self.mgr.meta.render_relation(pred));
+            }
+            "consistency" => {
+                let path = rest.first().ok_or("usage: consistency <file>")?;
+                let text = std::fs::read_to_string(path)?;
+                self.mgr.add_consistency(&text)?;
+                println!(
+                    "consistency definition extended ({} constraint(s) total)",
+                    self.mgr.meta.db.constraints().len()
+                );
+            }
+            "install-versioning" => {
+                install_versioning(&mut self.mgr)?;
+                println!("versioning + fashion extension installed");
+            }
+            "print-schema" => {
+                let name = rest.first().ok_or("usage: print-schema <Schema>")?;
+                let sid = self
+                    .mgr
+                    .meta
+                    .schema_by_name(name)
+                    .ok_or_else(|| format!("unknown schema `{name}`"))?;
+                print!("{}", gomflex::analyzer::print::print_schema(&self.mgr.meta, sid));
+            }
+            "diff" | "migrate" => {
+                let [from, to] = rest[..] else {
+                    return Err(format!("usage: {cmd} <FromSchema> <ToSchema>").into());
+                };
+                let f = self
+                    .mgr
+                    .meta
+                    .schema_by_name(from)
+                    .ok_or_else(|| format!("unknown schema `{from}`"))?;
+                let t = self
+                    .mgr
+                    .meta
+                    .schema_by_name(to)
+                    .ok_or_else(|| format!("unknown schema `{to}`"))?;
+                let steps = gomflex::evolution::diff_schemas(&self.mgr.meta, f, t);
+                for line in gomflex::evolution::render_diff(&steps) {
+                    println!("  {line}");
+                }
+                println!("({} step(s))", steps.len());
+                if cmd == "migrate" {
+                    if !self.mgr.in_evolution() {
+                        return Err("open a session first (`begin`)".into());
+                    }
+                    let n = gomflex::evolution::apply_diff(&mut self.mgr, f, &steps)
+                        .map_err(|e| e.to_string())?;
+                    println!("applied {n} step(s); `end` to check");
+                }
+            }
+            "save" => {
+                let path = rest.first().ok_or("usage: save <file>")?;
+                let dump = self.mgr.meta.db.dump_facts();
+                std::fs::write(path, &dump)?;
+                println!("saved {} fact line(s) to {path}", dump.lines().count());
+            }
+            "load-facts" => {
+                let path = rest.first().ok_or("usage: load-facts <file>")?;
+                let text = std::fs::read_to_string(path)?;
+                self.mgr.meta.db.load(&text)?;
+                println!("loaded; {} base fact(s) total", self.mgr.meta.db.fact_count());
+            }
+            other => return Err(format!("unknown command `{other}` (try `help`)").into()),
+        }
+        Ok(true)
+    }
+
+    fn resolve_type(&mut self, r: &str) -> Result<TypeId, String> {
+        if let Some(t) = self.mgr.meta.type_at(r) {
+            return Ok(t);
+        }
+        if let Some(t) = self.mgr.meta.builtins.by_name(r) {
+            return Ok(t);
+        }
+        // unique unqualified name across schemas?
+        let mut hits = Vec::new();
+        let rel = self.mgr.meta.db.relation(self.mgr.meta.cat.schema);
+        let sids: Vec<SchemaId> = rel
+            .sorted()
+            .iter()
+            .filter_map(|t| t.get(0).as_sym().map(SchemaId))
+            .collect();
+        for sid in sids {
+            if let Some(t) = self.mgr.meta.type_by_name(sid, r) {
+                hits.push(t);
+            }
+        }
+        match hits.len() {
+            1 => Ok(hits[0]),
+            0 => Err(format!("unknown type `{r}` (use Name@Schema)")),
+            _ => Err(format!("ambiguous type `{r}` (use Name@Schema)")),
+        }
+    }
+
+    fn resolve_oid(&mut self, s: &str) -> Result<Oid, String> {
+        let sym = self
+            .mgr
+            .meta
+            .db
+            .sym(s)
+            .ok_or_else(|| format!("unknown object `{s}`"))?;
+        let oid = Oid(sym);
+        if self.mgr.runtime.objects.get(oid).is_none() {
+            return Err(format!("`{s}` is not a live object"));
+        }
+        Ok(oid)
+    }
+
+    fn parse_value(&mut self, s: &str) -> Result<Value, String> {
+        let s = s.trim();
+        if let Ok(n) = s.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        if let Ok(x) = s.parse::<f64>() {
+            return Ok(Value::Float(x));
+        }
+        if s.starts_with('"') && s.ends_with('"') && s.len() >= 2 {
+            return Ok(Value::Str(s[1..s.len() - 1].to_string()));
+        }
+        if s == "null" {
+            return Ok(Value::Null);
+        }
+        if s == "true" || s == "false" {
+            return Ok(Value::Bool(s == "true"));
+        }
+        // an oid?
+        if let Some(sym) = self.mgr.meta.db.sym(s) {
+            let oid = Oid(sym);
+            if self.mgr.runtime.objects.get(oid).is_some() {
+                return Ok(Value::Obj(oid));
+            }
+        }
+        Err(format!("cannot parse value `{s}`"))
+    }
+}
