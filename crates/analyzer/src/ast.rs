@@ -410,7 +410,10 @@ mod tests {
     #[test]
     fn typeref_display() {
         assert_eq!(TypeRef::plain("Car").to_string(), "Car");
-        assert_eq!(TypeRef::at("Person", "CarSchema").to_string(), "Person@CarSchema");
+        assert_eq!(
+            TypeRef::at("Person", "CarSchema").to_string(),
+            "Person@CarSchema"
+        );
     }
 
     #[test]

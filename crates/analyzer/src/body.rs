@@ -7,8 +7,8 @@
 //! comparisons.
 
 use crate::ast::{BinOp, Block, Expr, Stmt};
-use crate::parse::{PResult, Parser};
 use crate::lex::Tok;
+use crate::parse::{PResult, Parser};
 
 impl Parser<'_> {
     /// `begin stmts` — stops at (and does not consume) the matching `end`.
@@ -68,11 +68,7 @@ impl Parser<'_> {
             } else {
                 Block::default()
             };
-            return Ok(Stmt::If {
-                cond,
-                then,
-                els,
-            });
+            return Ok(Stmt::If { cond, then, els });
         }
         let e = self.expr()?;
         if self.peek() == Some(&Tok::Assign) {
@@ -82,10 +78,7 @@ impl Parser<'_> {
             if !matches!(e, Expr::Attr { .. } | Expr::Ident(_)) {
                 return Err(self.err("assignment target must be an attribute path or variable"));
             }
-            return Ok(Stmt::Assign {
-                target: e,
-                value,
-            });
+            return Ok(Stmt::Assign { target: e, value });
         }
         self.expect_tok(&Tok::Semi, "`;`")?;
         Ok(Stmt::Expr(e))
@@ -288,7 +281,10 @@ end";
     #[test]
     fn precedence_mul_over_add() {
         let b = parse_code_text("1 + 2 * 3").unwrap();
-        let Stmt::Return(Expr::Binary { op: BinOp::Add, r, .. }) = &b.0[0] else {
+        let Stmt::Return(Expr::Binary {
+            op: BinOp::Add, r, ..
+        }) = &b.0[0]
+        else {
             panic!("expected return of +");
         };
         assert!(matches!(r.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));

@@ -136,11 +136,7 @@ impl Cx<'_> {
                     let refined = self.m.refined_by(self.decl);
                     let target = refined
                         .into_iter()
-                        .find(|d| {
-                            self.m
-                                .decl_info(*d)
-                                .is_some_and(|(_, n, _)| n == *name)
-                        })
+                        .find(|d| self.m.decl_info(*d).is_some_and(|(_, n, _)| n == *name))
                         .or_else(|| {
                             self.m
                                 .supertypes_transitive(self.receiver)

@@ -18,5 +18,5 @@ pub mod parse;
 pub mod paths;
 pub mod print;
 
-pub use parse::{parse_source, ParseError, Parser};
 pub use body::parse_code_text;
+pub use parse::{parse_source, ParseError, Parser};

@@ -47,6 +47,8 @@ pub enum AnalyzeError {
     Resolve(String),
     /// Database-level error.
     Db(gom_deductive::Error),
+    /// The lowered schema base tripped the lint gate (rendered report).
+    Lint(String),
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -57,6 +59,7 @@ impl std::fmt::Display for AnalyzeError {
             AnalyzeError::Code(e) => write!(f, "{e}"),
             AnalyzeError::Resolve(m) => write!(f, "resolve error: {m}"),
             AnalyzeError::Db(e) => write!(f, "{e}"),
+            AnalyzeError::Lint(r) => write!(f, "schema lint failed:\n{r}"),
         }
     }
 }
@@ -102,12 +105,25 @@ pub struct LoweredSchema {
 #[derive(Default)]
 pub struct Analyzer {
     items: Vec<Item>,
+    /// When set, every lowering ends with a lint of the schema base and
+    /// fails with [`AnalyzeError::Lint`] if any diagnostic reaches this
+    /// severity.
+    lint_gate: Option<gom_lint::Severity>,
 }
 
 impl Analyzer {
     /// Fresh analyzer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable (or disable, with `None`) linting after every lowering.
+    /// Diagnostics at `level` or worse make the lowering fail; the
+    /// definitions the linter flags stay in the database, so callers
+    /// driving an evolution session should roll it back (the
+    /// `SchemaManager::define_schema` front end does).
+    pub fn set_lint_gate(&mut self, level: Option<gom_lint::Severity>) {
+        self.lint_gate = level;
     }
 
     /// Install the Analyzer's extension predicates (idempotent).
@@ -140,6 +156,9 @@ impl Analyzer {
         items: Vec<Item>,
     ) -> Result<Vec<LoweredSchema>, AnalyzeError> {
         Self::install_extensions(m)?;
+        // System definitions installed so far are exempt from the lint
+        // gate; only the schema-level (fact) lints can fire on lowering.
+        let lint_baseline = gom_lint::Baseline::current(&m.db);
         // Validate the combined hierarchy before touching the database.
         let mut combined = self.items.clone();
         combined.extend(items.iter().cloned());
@@ -183,10 +202,7 @@ impl Analyzer {
                             sub.name, s.name
                         ))
                     })?;
-                    m.db.insert(
-                        subschema_pred,
-                        vec![child.constant(), parent.constant()],
-                    )?;
+                    m.db.insert(subschema_pred, vec![child.constant(), parent.constant()])?;
                 }
             }
         }
@@ -246,10 +262,7 @@ impl Analyzer {
                         let tid = resolve_type_ref(m, &hierarchy, &s.name, &v.ty)?;
                         let sid = ls.id;
                         let name = m.db.constant(&v.name);
-                        m.db.insert(
-                            schemavar_pred,
-                            vec![sid.constant(), name, tid.constant()],
-                        )?;
+                        m.db.insert(schemavar_pred, vec![sid.constant(), name, tid.constant()])?;
                     }
                     _ => {}
                 }
@@ -296,6 +309,21 @@ impl Analyzer {
         for item in &items {
             if let Item::Fashion(f) = item {
                 lower_fashion(m, f)?;
+            }
+        }
+
+        if let Some(level) = self.lint_gate {
+            let cfg = gom_lint::LintConfig {
+                baseline: lint_baseline,
+                ..gom_lint::LintConfig::default()
+            };
+            let report = gom_lint::lint_database(&mut m.db, &cfg);
+            if report.denies(level) {
+                return Err(AnalyzeError::Lint(gom_lint::render_report(
+                    &report,
+                    None,
+                    "<schema base>",
+                )));
             }
         }
 
@@ -415,11 +443,7 @@ fn lower_impl(
         let n = m.db.constant(pname);
         m.db.insert(
             codeparam,
-            vec![
-                cid.constant(),
-                gom_deductive::Const::Int((i + 1) as i64),
-                n,
-            ],
+            vec![cid.constant(), gom_deductive::Const::Int((i + 1) as i64), n],
         )?;
     }
     let analysis = codereq::analyze(m, tid, did, &params, &imp.body)?;
@@ -434,7 +458,14 @@ fn lower_impl(
 
 fn fashion_preds(
     m: &MetaModel,
-) -> Result<(gom_deductive::PredId, gom_deductive::PredId, gom_deductive::PredId), AnalyzeError> {
+) -> Result<
+    (
+        gom_deductive::PredId,
+        gom_deductive::PredId,
+        gom_deductive::PredId,
+    ),
+    AnalyzeError,
+> {
     match (
         m.db.pred_id("FashionType"),
         m.db.pred_id("FashionDecl"),
@@ -467,7 +498,9 @@ fn lower_fashion(m: &mut MetaModel, f: &FashionDef) -> Result<(), AnalyzeError> 
             FashionMember::AttrWrite { name, raw, .. } => {
                 writes.insert(name, raw);
             }
-            FashionMember::AttrBoth { name, raw, body, .. } => {
+            FashionMember::AttrBoth {
+                name, raw, body, ..
+            } => {
                 reads.insert(name, raw);
                 // A plain attribute path is invertible: synthesize the write.
                 if let [Stmt::Return(Expr::Attr { .. })] = body.0.as_slice() {
@@ -484,10 +517,7 @@ fn lower_fashion(m: &mut MetaModel, f: &FashionDef) -> Result<(), AnalyzeError> 
         let n = m.db.constant(name);
         let rc = m.db.constant(read);
         let wc = m.db.constant(write);
-        m.db.insert(
-            p_fattr,
-            vec![to.constant(), n, from.constant(), rc, wc],
-        )?;
+        m.db.insert(p_fattr, vec![to.constant(), n, from.constant(), rc, wc])?;
     }
     for mem in &f.members {
         if let FashionMember::Op { name, raw, .. } = mem {
@@ -532,7 +562,11 @@ mod tests {
         );
         assert_eq!(m.attrs_of(car).len(), 4);
         assert_eq!(
-            m.attrs_of(car).iter().find(|(n, _)| n == "owner").unwrap().1,
+            m.attrs_of(car)
+                .iter()
+                .find(|(n, _)| n == "owner")
+                .unwrap()
+                .1,
             person
         );
         // SubTypRel: City <: Location (plus roots to ANY).
@@ -616,15 +650,12 @@ mod tests {
         let attrs = m.attrs_of(conv);
         assert_eq!(
             attrs,
-            vec![
-                ("input".to_string(), c1),
-                ("output".to_string(), c2),
-            ]
+            vec![("input".to_string(), c1), ("output".to_string(), c2),]
         );
         // Subschema facts recorded.
         let sub = m.db.pred_id("SubSchemaOf").unwrap();
         assert_eq!(m.db.relation(sub).len(), 11); // every schema but Company
-        // Schema variable recorded.
+                                                  // Schema variable recorded.
         let sv = m.db.pred_id("SchemaVar").unwrap();
         assert_eq!(m.db.relation(sv).len(), 1);
     }

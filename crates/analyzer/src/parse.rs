@@ -48,11 +48,7 @@ impl<'a> Parser<'a> {
             col: e.col,
             msg: e.msg,
         })?;
-        Ok(Parser {
-            toks,
-            pos: 0,
-            src,
-        })
+        Ok(Parser { toks, pos: 0, src })
     }
 
     pub(crate) fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -239,10 +235,7 @@ impl<'a> Parser<'a> {
             self.expect_tok(&Tok::Colon, "`:`")?;
             let ty = self.type_ref()?;
             self.expect_tok(&Tok::Semi, "`;`")?;
-            Ok(Component::Var(VarDef {
-                name,
-                ty,
-            }))
+            Ok(Component::Var(VarDef { name, ty }))
         } else if self.at_kw("subschema") {
             self.bump();
             let name = self.expect_ident("subschema name")?;
@@ -257,10 +250,7 @@ impl<'a> Parser<'a> {
                 }
             }
             self.expect_tok(&Tok::Semi, "`;`")?;
-            Ok(Component::Subschema(SubschemaDecl {
-                name,
-                renames,
-            }))
+            Ok(Component::Subschema(SubschemaDecl { name, renames }))
         } else if self.at_kw("import") {
             self.bump();
             let path = self.schema_path()?;
@@ -272,10 +262,7 @@ impl<'a> Parser<'a> {
                 let _ = self.expect_ident("schema name")?;
             }
             self.expect_tok(&Tok::Semi, "`;`")?;
-            Ok(Component::Import(ImportDecl {
-                path,
-                renames,
-            }))
+            Ok(Component::Import(ImportDecl { path, renames }))
         } else {
             Err(self.err("expected `type`, `sort`, `var`, `subschema`, or `import`"))
         }
@@ -297,11 +284,7 @@ impl<'a> Parser<'a> {
             self.expect_kw("as")?;
             let new = self.expect_ident("new name")?;
             self.expect_tok(&Tok::Semi, "`;`")?;
-            out.push(Rename {
-                kind,
-                old,
-                new,
-            });
+            out.push(Rename { kind, old, new });
         }
         Ok(out)
     }
@@ -356,10 +339,7 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect_tok(&Tok::Semi, "`;`")?;
-        Ok(SortDef {
-            name,
-            variants,
-        })
+        Ok(SortDef { name, variants })
     }
 
     /// A type reference: `Name` or `Name@Schema`.
@@ -401,10 +381,7 @@ impl<'a> Parser<'a> {
                 self.expect_tok(&Tok::Colon, "`:`")?;
                 let ty = self.type_ref()?;
                 self.expect_tok(&Tok::Semi, "`;`")?;
-                def.attrs.push(AttrDef {
-                    name: aname,
-                    ty,
-                });
+                def.attrs.push(AttrDef { name: aname, ty });
             }
             self.bump(); // `]`
         }
@@ -472,11 +449,7 @@ impl<'a> Parser<'a> {
         self.expect_tok(&Tok::Arrow, "`->`")?;
         let result = self.type_ref()?;
         self.expect_tok(&Tok::Semi, "`;`")?;
-        Ok(OpSig {
-            name,
-            args,
-            result,
-        })
+        Ok(OpSig { name, args, result })
     }
 
     /// Is the next token sequence `name ( … ) is` (paper-style
@@ -506,9 +479,7 @@ impl<'a> Parser<'a> {
                         Some(Tok::Comma) => continue,
                         Some(Tok::RParen) => break,
                         other => {
-                            return Err(self.err(format!(
-                                "expected `,` or `)`, found {other:?}"
-                            )))
+                            return Err(self.err(format!("expected `,` or `)`, found {other:?}")))
                         }
                     }
                 }
@@ -552,11 +523,7 @@ impl<'a> Parser<'a> {
         self.expect_kw("end")?;
         self.expect_kw("fashion")?;
         self.expect_tok(&Tok::Semi, "`;`")?;
-        Ok(FashionDef {
-            from,
-            to,
-            members,
-        })
+        Ok(FashionDef { from, to, members })
     }
 
     fn fashion_member(&mut self) -> PResult<FashionMember> {
@@ -567,11 +534,7 @@ impl<'a> Parser<'a> {
             let body = self.closed_block()?;
             let raw = self.src[raw_start..self.prev_end()].to_string();
             self.expect_tok(&Tok::Semi, "`;`")?;
-            return Ok(FashionMember::Op {
-                name,
-                body,
-                raw,
-            });
+            return Ok(FashionMember::Op { name, body, raw });
         }
         let name = self.expect_ident("attribute name")?;
         self.expect_tok(&Tok::Colon, "`:`")?;
@@ -662,9 +625,7 @@ mod tests {
     fn sort_enum_parses() {
         let src = "schema S is sort Fuel is enum (leaded, unleaded); end schema S;";
         let items = parse_source(src).unwrap();
-        let Item::Schema(s) = &items[0] else {
-            panic!()
-        };
+        let Item::Schema(s) = &items[0] else { panic!() };
         let Component::Sort(f) = &s.interface[0] else {
             panic!("expected sort")
         };
@@ -753,9 +714,7 @@ schema S is
   type C supertype A, B is end type C;
 end schema S;";
         let items = parse_source(src).unwrap();
-        let Item::Schema(s) = &items[0] else {
-            panic!()
-        };
+        let Item::Schema(s) = &items[0] else { panic!() };
         let Component::Type(c) = &s.interface[2] else {
             panic!()
         };

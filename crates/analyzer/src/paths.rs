@@ -189,9 +189,7 @@ impl Hierarchy {
             // subschema of the enclosing schema.
             let first = steps.next().ok_or_else(|| bad("empty path"))?;
             if !self.children(from).contains(&first.as_str()) {
-                return Err(bad(&format!(
-                    "`{first}` is not a subschema of `{from}`"
-                )));
+                return Err(bad(&format!("`{first}` is not a subschema of `{from}`")));
             }
             cur = first.clone();
         }
@@ -325,7 +323,10 @@ mod tests {
     fn figure3_hierarchy_builds() {
         let h = company();
         assert_eq!(h.roots(), vec!["Company"]);
-        assert_eq!(h.children("Company"), vec!["CAD", "CAPP", "CAM", "Marketing"]);
+        assert_eq!(
+            h.children("Company"),
+            vec!["CAD", "CAPP", "CAM", "Marketing"]
+        );
         assert_eq!(
             h.children("Geometry"),
             vec!["CSG", "BoundaryRep", "CSG2BoundRep"]
@@ -339,7 +340,12 @@ mod tests {
         let abs = SchemaPath {
             absolute: true,
             ups: 0,
-            steps: vec!["Company".into(), "CAD".into(), "Geometry".into(), "CSG".into()],
+            steps: vec![
+                "Company".into(),
+                "CAD".into(),
+                "Geometry".into(),
+                "CSG".into(),
+            ],
         };
         assert_eq!(h.resolve_path("CSG2BoundRep", &abs).unwrap(), "CSG");
         let up = SchemaPath {

@@ -14,8 +14,7 @@ fn codeparams(m: &MetaModel, cid: CodeId) -> Vec<(i64, String)> {
     let Some(cp) = m.db.pred_id("CodeParam") else {
         return Vec::new();
     };
-    m.db
-        .relation(cp)
+    m.db.relation(cp)
         .select(&[(0, cid.constant())])
         .iter()
         .filter_map(|t| {
@@ -54,8 +53,7 @@ pub fn print_schema(m: &MetaModel, schema: SchemaId) -> String {
 }
 
 fn schema_name(m: &MetaModel, s: SchemaId) -> String {
-    m.db
-        .relation(m.cat.schema)
+    m.db.relation(m.cat.schema)
         .select(&[(0, s.constant())])
         .first()
         .and_then(|t| t.get(1).as_sym())
@@ -79,14 +77,13 @@ fn type_ref(m: &MetaModel, from_schema: SchemaId, t: TypeId) -> String {
 fn print_sort(m: &MetaModel, t: TypeId) -> String {
     let name = m.type_name(t).unwrap_or_default();
     let p = m.db.pred_id("SortVariant").expect("caller checked");
-    let mut variants: Vec<String> = m
-        .db
-        .relation(p)
-        .select(&[(0, t.constant())])
-        .iter()
-        .filter_map(|r| r.get(1).as_sym())
-        .map(|s| m.db.resolve(s).to_string())
-        .collect();
+    let mut variants: Vec<String> =
+        m.db.relation(p)
+            .select(&[(0, t.constant())])
+            .iter()
+            .filter_map(|r| r.get(1).as_sym())
+            .map(|s| m.db.resolve(s).to_string())
+            .collect();
     variants.sort();
     format!("  sort {name} is enum ({});\n", variants.join(", "))
 }
@@ -275,7 +272,10 @@ schema S is
 end schema S;";
         let lowered = a.lower_source(&mut m, src).unwrap();
         let printed = print_schema(&m, lowered[0].id);
-        assert!(printed.contains("sort Fuel is enum (leaded, unleaded);"), "{printed}");
+        assert!(
+            printed.contains("sort Fuel is enum (leaded, unleaded);"),
+            "{printed}"
+        );
         assert!(printed.contains("var default : T;"), "{printed}");
         let renamed = printed.replace("schema S", "schema S2");
         let mut m2 = MetaModel::new().unwrap();
@@ -305,13 +305,8 @@ end schema S;";
         pub fn manager_with_car() -> Mgr {
             let mut meta = MetaModel::new().unwrap();
             let mut analyzer = Analyzer::new();
-            analyzer
-                .lower_source(&mut meta, CAR_SCHEMA_SRC)
-                .unwrap();
-            Mgr {
-                meta,
-                analyzer,
-            }
+            analyzer.lower_source(&mut meta, CAR_SCHEMA_SRC).unwrap();
+            Mgr { meta, analyzer }
         }
     }
 }

@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: requires the external `proptest` crate (no offline mirror).
+// See the `proptest-tests` feature note in Cargo.toml.
+
 //! Parser robustness: arbitrary input never panics, mutated valid sources
 //! fail gracefully with positioned errors, and valid sources round-trip
 //! through the token stream.

@@ -25,10 +25,7 @@ fn b6_analyzer_throughput(c: &mut Criterion) {
                     || SchemaManager::new().unwrap(),
                     |mut mgr| {
                         mgr.begin_evolution().unwrap();
-                        let lowered = mgr
-                            .analyzer
-                            .lower_source(&mut mgr.meta, src)
-                            .unwrap();
+                        let lowered = mgr.analyzer.lower_source(&mut mgr.meta, src).unwrap();
                         mgr.rollback_evolution().unwrap();
                         black_box(lowered.len())
                     },

@@ -104,9 +104,11 @@ fn b5_declarative_vs_fixed(c: &mut Criterion) {
                 black_box(mgr.meta.db.check().unwrap().len())
             })
         });
-        group.bench_with_input(BenchmarkId::new("fixed_procedural", types), &types, |b, _| {
-            b.iter(|| black_box(fixed_check(&mgr.meta).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fixed_procedural", types),
+            &types,
+            |b, _| b.iter(|| black_box(fixed_check(&mgr.meta).len())),
+        );
     }
     group.finish();
 }

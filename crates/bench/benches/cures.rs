@@ -17,13 +17,13 @@ use std::hint::black_box;
 
 fn fresh_world(objects: usize) -> (SchemaManager, TypeId, Vec<Oid>) {
     let mut mgr = SchemaManager::new().unwrap();
-    mgr.define_schema(
-        "schema S is type Car is [ milage : float; ] end type Car; end schema S;",
-    )
-    .unwrap();
+    mgr.define_schema("schema S is type Car is [ milage : float; ] end type Car; end schema S;")
+        .unwrap();
     let s = mgr.meta.schema_by_name("S").unwrap();
     let car = mgr.meta.type_by_name(s, "Car").unwrap();
-    let oids: Vec<Oid> = (0..objects).map(|_| mgr.create_object(car).unwrap()).collect();
+    let oids: Vec<Oid> = (0..objects)
+        .map(|_| mgr.create_object(car).unwrap())
+        .collect();
     (mgr, car, oids)
 }
 
@@ -125,40 +125,41 @@ fn b4_crossover_total_cost(c: &mut Criterion) {
                 CurePolicy::ImmediateConversion => "conversion",
                 CurePolicy::Masking => "masking",
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, accesses),
-                &accesses,
-                |b, &k| {
-                    b.iter_with_setup(
-                        || fresh_world(OBJECTS),
-                        |(mut mgr, car, oids)| {
-                            let string = mgr.meta.builtins.string;
-                            cure_add_attr(
-                                &mut mgr,
-                                car,
-                                "fuelType",
-                                string,
-                                Value::Str("unleaded".into()),
-                                policy,
-                            )
-                            .unwrap();
-                            let mut n = 0usize;
-                            for i in 0..k {
-                                let oid = oids[i % oids.len()];
-                                let v = mgr.get_attr(oid, "fuelType").unwrap();
-                                if matches!(v, Value::Str(_)) {
-                                    n += 1;
-                                }
+            group.bench_with_input(BenchmarkId::new(name, accesses), &accesses, |b, &k| {
+                b.iter_with_setup(
+                    || fresh_world(OBJECTS),
+                    |(mut mgr, car, oids)| {
+                        let string = mgr.meta.builtins.string;
+                        cure_add_attr(
+                            &mut mgr,
+                            car,
+                            "fuelType",
+                            string,
+                            Value::Str("unleaded".into()),
+                            policy,
+                        )
+                        .unwrap();
+                        let mut n = 0usize;
+                        for i in 0..k {
+                            let oid = oids[i % oids.len()];
+                            let v = mgr.get_attr(oid, "fuelType").unwrap();
+                            if matches!(v, Value::Str(_)) {
+                                n += 1;
                             }
-                            black_box(n)
-                        },
-                    )
-                },
-            );
+                        }
+                        black_box(n)
+                    },
+                )
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, b4_cure_once, b4_access_overhead, b4_crossover_total_cost);
+criterion_group!(
+    benches,
+    b4_cure_once,
+    b4_access_overhead,
+    b4_crossover_total_cost
+);
 criterion_main!(benches);

@@ -54,33 +54,48 @@ fn header(id: &str, what: &str) {
 fn f1_architecture() -> Result<(), Box<dyn std::error::Error>> {
     header("F1", "generic architecture: one session's component trace");
     let mut mgr = SchemaManager::new()?;
-    println!("[Consistency Control] consistency definition loaded: {} rule(s), {} constraint(s)",
-        mgr.meta.db.rules().len(), mgr.meta.db.constraints().len());
+    println!(
+        "[Consistency Control] consistency definition loaded: {} rule(s), {} constraint(s)",
+        mgr.meta.db.rules().len(),
+        mgr.meta.db.constraints().len()
+    );
     println!("[User]               BES — begin evolution session");
     mgr.begin_evolution()?;
     println!("[Analyzer]           parse + lower `schema CarSchema is …`");
     mgr.analyzer
         .lower_source(&mut mgr.meta, CAR_SCHEMA_SRC)
         .map_err(|e| e.to_string())?;
-    println!("[Analyzer → CC]      modify(+Schema, +Type×4, +Attr×10, +Decl×3, +ArgDecl×4, +Code×3, …)");
+    println!(
+        "[Analyzer → CC]      modify(+Schema, +Type×4, +Attr×10, +Decl×3, +ArgDecl×4, +Code×3, …)"
+    );
     println!("[User]               EES — end evolution session");
     let out = mgr.end_evolution()?;
-    println!("[Consistency Control] check: {} violation(s) → commit", out.violations().len());
+    println!(
+        "[Consistency Control] check: {} violation(s) → commit",
+        out.violations().len()
+    );
     let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
     let car = mgr.meta.type_by_name(sid, "Car").unwrap();
     println!("[Runtime System]     create instance of Car");
     mgr.create_object(car)?;
     println!("[Runtime → CC]       modify(+PhRep, +Slot×4, …)  (physical representation reported)");
-    println!("[Consistency Control] full check: {} violation(s)", mgr.check()?.len());
+    println!(
+        "[Consistency Control] full check: {} violation(s)",
+        mgr.check()?.len()
+    );
     Ok(())
 }
 
 /// F2 — Figure 2: the Schema/Type/Attr/Decl/ArgDecl/Code extensions derived
 /// by the Analyzer from the CarSchema source.
 fn f2_extensions() -> Result<(), Box<dyn std::error::Error>> {
-    header("F2", "Figure 2: extensions for the example (Analyzer output)");
+    header(
+        "F2",
+        "Figure 2: extensions for the example (Analyzer output)",
+    );
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     for pred in ["Schema", "Type", "Attr", "Decl", "ArgDecl", "Code"] {
         let p = mgr.meta.db.pred_id(pred).unwrap();
         print!("{}", mgr.meta.render_relation(p));
@@ -94,7 +109,8 @@ fn f2_extensions() -> Result<(), Box<dyn std::error::Error>> {
 fn t1_relationship_extensions() -> Result<(), Box<dyn std::error::Error>> {
     header("T1", "§3.2 relationship/code-dependency extensions");
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     for pred in ["SubTypRel", "DeclRefinement", "CodeReqDecl", "CodeReqAttr"] {
         let p = mgr.meta.db.pred_id(pred).unwrap();
         print!("{}", mgr.meta.render_relation(p));
@@ -106,9 +122,13 @@ fn t1_relationship_extensions() -> Result<(), Box<dyn std::error::Error>> {
 
 /// T2 — §3.4: consistent PhRep/Slot extensions with one object per type.
 fn t2_object_base_model() -> Result<(), Box<dyn std::error::Error>> {
-    header("T2", "§3.4 Object Base Model extensions (one instance per type)");
+    header(
+        "T2",
+        "§3.4 Object Base Model extensions (one instance per type)",
+    );
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
     for tname in ["Person", "Location", "City", "Car"] {
         let t = mgr.meta.type_by_name(sid, tname).unwrap();
@@ -118,7 +138,10 @@ fn t2_object_base_model() -> Result<(), Box<dyn std::error::Error>> {
         let p = mgr.meta.db.pred_id(pred).unwrap();
         print!("{}", mgr.meta.render_relation(p));
     }
-    println!("schema/object consistency: {} violation(s)", mgr.check()?.len());
+    println!(
+        "schema/object consistency: {} violation(s)",
+        mgr.check()?.len()
+    );
     Ok(())
 }
 
@@ -126,7 +149,8 @@ fn t2_object_base_model() -> Result<(), Box<dyn std::error::Error>> {
 fn t3_fueltype_repairs() -> Result<(), Box<dyn std::error::Error>> {
     header("T3", "§3.5 repairs for adding fuelType to Car");
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
     let car = mgr.meta.type_by_name(sid, "Car").unwrap();
     mgr.create_object(car)?;
@@ -154,7 +178,8 @@ fn t3_fueltype_repairs() -> Result<(), Box<dyn std::error::Error>> {
 fn t4_versioning_fashion() -> Result<(), Box<dyn std::error::Error>> {
     header("T4", "§4.1 versioning + fashion: constraint verdicts");
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     install_versioning(&mut mgr)?;
     mgr.define_schema(
         "schema NewCarSchema is
@@ -247,7 +272,8 @@ fn t5_extension_effort() -> Result<(), Box<dyn std::error::Error>> {
 fn t6_new_car_schema() -> Result<(), Box<dyn std::error::Error>> {
     header("T6", "§4.2 NewCarSchema: seven-step complex evolution");
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     install_versioning(&mut mgr)?;
     let old_schema = mgr.meta.schema_by_name("CarSchema").unwrap();
     let old_car = mgr.meta.type_by_name(old_schema, "Car").unwrap();
@@ -258,7 +284,8 @@ fn t6_new_car_schema() -> Result<(), Box<dyn std::error::Error>> {
     record_schema_evolution(&mut mgr, old_schema, new_schema)?;
     let polluter = mgr.meta.new_type(new_schema, "PolluterCar")?;
     record_type_evolution(&mut mgr, old_car, polluter)?;
-    let new_car = copy_type_into(&mut mgr, old_car, new_schema, "Car").map_err(|e| e.to_string())?;
+    let new_car =
+        copy_type_into(&mut mgr, old_car, new_schema, "Car").map_err(|e| e.to_string())?;
     let any = mgr.meta.builtins.any;
     mgr.meta.add_subtype(new_car, any)?;
     let catalyst = mgr.meta.new_type(new_schema, "CatalystCar")?;
@@ -332,15 +359,18 @@ fn f3_schema_hierarchy() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nname-space demonstration:");
     println!(
         "  Geometry sees CSGCuboid  -> {:?}",
-        h.lookup_type("Geometry", "CSGCuboid").map_err(|e| e.to_string())?
+        h.lookup_type("Geometry", "CSGCuboid")
+            .map_err(|e| e.to_string())?
     );
     println!(
         "  Geometry sees BRepCuboid -> {:?}",
-        h.lookup_type("Geometry", "BRepCuboid").map_err(|e| e.to_string())?
+        h.lookup_type("Geometry", "BRepCuboid")
+            .map_err(|e| e.to_string())?
     );
     println!(
         "  Geometry sees Surface    -> {:?} (hidden by the public clause)",
-        h.lookup_type("Geometry", "Surface").map_err(|e| e.to_string())?
+        h.lookup_type("Geometry", "Surface")
+            .map_err(|e| e.to_string())?
     );
     println!("consistency: {} violation(s)", mgr.check()?.len());
     Ok(())

@@ -8,8 +8,30 @@
 
 use gom_core::SchemaManager;
 use gom_model::TypeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Minimal deterministic PRNG (splitmix64) so workload generation needs no
+/// external crates; benchmark workloads only need reproducible shuffling,
+/// not statistical quality.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
 
 /// Parameters of a synthetic schema.
 #[derive(Clone, Copy, Debug)]
@@ -42,7 +64,7 @@ impl Default for SynthParams {
 /// Build a synthetic, consistent schema directly in the meta model (no
 /// parsing). Returns the created type ids.
 pub fn build_synth_schema(mgr: &mut SchemaManager, p: SynthParams) -> Vec<TypeId> {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::new(p.seed);
     let schema = mgr
         .meta
         .new_schema(&format!("Synth{}_{}", p.types, p.seed))
@@ -56,25 +78,22 @@ pub fn build_synth_schema(mgr: &mut SchemaManager, p: SynthParams) -> Vec<TypeId
     ];
     let mut types: Vec<TypeId> = Vec::with_capacity(p.types);
     for i in 0..p.types {
-        let t = mgr
-            .meta
-            .new_type(schema, &format!("T{i}"))
-            .expect("type");
+        let t = mgr.meta.new_type(schema, &format!("T{i}")).expect("type");
         // hierarchy: subtype a previous type or root at ANY
-        if !types.is_empty() && rng.gen_range(0..100u8) < p.subtype_pct {
-            let sup = types[rng.gen_range(0..types.len())];
+        if !types.is_empty() && rng.below(100) < p.subtype_pct as usize {
+            let sup = types[rng.below(types.len())];
             mgr.meta.add_subtype(t, sup).expect("subtype");
         } else {
             mgr.meta.add_subtype(t, any).expect("subtype");
         }
         for a in 0..p.attrs_per_type {
-            let dom = builtin_domains[rng.gen_range(0..builtin_domains.len())];
+            let dom = builtin_domains[rng.below(builtin_domains.len())];
             mgr.meta
                 .add_attr(t, &format!("a{i}_{a}"), dom)
                 .expect("attr");
         }
         for d in 0..p.decls_per_type {
-            let result = builtin_domains[rng.gen_range(0..builtin_domains.len())];
+            let result = builtin_domains[rng.below(builtin_domains.len())];
             let decl = mgr
                 .meta
                 .new_decl(t, &format!("op{i}_{d}"), result)

@@ -190,7 +190,11 @@ mod tests {
         install(&mut m).unwrap();
         install(&mut m).unwrap();
         let v = m.db.check().unwrap();
-        assert!(v.is_empty(), "{:?}", v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>());
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -311,7 +315,8 @@ mod tests {
         m.add_refinement(d2, d1).unwrap();
         let v = m.db.check().unwrap();
         assert!(
-            v.iter().any(|x| x.constraint == "refinement_contravariance"),
+            v.iter()
+                .any(|x| x.constraint == "refinement_contravariance"),
             "{:?}",
             v.iter().map(|x| x.render(&m.db)).collect::<Vec<_>>()
         );
@@ -350,7 +355,9 @@ mod tests {
         m.new_code(d2, "return 1.0;").unwrap();
         m.add_refinement(d2, d1).unwrap();
         let v = m.db.check().unwrap();
-        assert!(v.iter().any(|x| x.constraint == "refinement_contravariance"));
+        assert!(v
+            .iter()
+            .any(|x| x.constraint == "refinement_contravariance"));
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl ExplainedRepair {
 }
 
 fn type_label(m: &MetaModel, t: TypeId) -> String {
-    match (m.type_name(t), m.schema_of(t).and_then(|s| schema_label(m, s))) {
+    match (
+        m.type_name(t),
+        m.schema_of(t).and_then(|s| schema_label(m, s)),
+    ) {
         (Some(n), Some(s)) => format!("{n}@{s}"),
         (Some(n), None) => n,
         _ => format!("<{}>", m.db.resolve(t.sym())),
@@ -135,13 +138,12 @@ pub fn explain_op(m: &MetaModel, rt: &Runtime, op: &Op) -> String {
         }
         "Slot" => {
             let clid = PhRepId(t.get(0).as_sym().expect("phrep column"));
-            let ty = m
-                .db
-                .relation(m.cat.phrep)
-                .select(&[(0, clid.constant())])
-                .first()
-                .and_then(|r| r.get(1).as_sym())
-                .map(TypeId);
+            let ty =
+                m.db.relation(m.cat.phrep)
+                    .select(&[(0, clid.constant())])
+                    .first()
+                    .and_then(|r| r.get(1).as_sym())
+                    .map(TypeId);
             let tyname = ty.map_or_else(|| "?".to_string(), |ty| type_label(m, ty));
             if ins {
                 format!(
@@ -240,7 +242,11 @@ mod tests {
         let fuel = m.db.constant("fuelType");
         let op = Op::Insert(
             m.cat.slot,
-            Tuple::from(vec![clid.constant(), fuel, m.builtins.phrep_string.constant()]),
+            Tuple::from(vec![
+                clid.constant(),
+                fuel,
+                m.builtins.phrep_string.constant(),
+            ]),
         );
         let text = explain_op(&m, &rt, &op);
         assert!(text.contains("CONVERSION"), "{text}");
@@ -259,7 +265,10 @@ mod tests {
             Tuple::from(vec![t.constant(), a, m.builtins.int.constant()]),
         );
         let text = explain_op(&m, &rt, &op);
-        assert!(text.contains("add attribute `x : int@__builtin` to type `T@S`"), "{text}");
+        assert!(
+            text.contains("add attribute `x : int@__builtin` to type `T@S`"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use crate::consistency;
 use crate::explain::{explain_repair, ExplainedRepair};
-use gom_analyzer::lower::{Analyzer, AnalyzeError, LoweredSchema};
+use gom_analyzer::lower::{AnalyzeError, Analyzer, LoweredSchema};
 use gom_deductive::{ChangeSet, Error as DbError, Repair, Result as DbResult, Violation};
+use gom_lint::{Baseline, LintConfig, LintReport, Severity};
 use gom_model::{MetaModel, Oid, TypeId};
 use gom_runtime::{RtResult, Runtime, Value};
 
@@ -55,6 +56,12 @@ pub struct SchemaManager {
     pub analyzer: Analyzer,
     /// The Runtime System.
     pub runtime: Runtime,
+    /// Definition counts right after system setup; user-facing lints skip
+    /// everything below this baseline.
+    lint_baseline: Baseline,
+    /// When set, [`Self::end_evolution`] refuses to commit a session whose
+    /// schema base lints at this severity or worse.
+    lint_gate: Option<Severity>,
 }
 
 impl SchemaManager {
@@ -65,11 +72,57 @@ impl SchemaManager {
         Analyzer::install_extensions(&mut meta)
             .map_err(|e| DbError::SessionProtocol(e.to_string()))?;
         consistency::install(&mut meta)?;
+        let lint_baseline = Baseline::current(&meta.db);
         Ok(SchemaManager {
             meta,
             analyzer: Analyzer::new(),
             runtime: Runtime::new(),
+            lint_baseline,
+            lint_gate: None,
         })
+    }
+
+    // ----- linting ---------------------------------------------------------
+
+    /// Lint the schema base (system definitions exempt).
+    pub fn lint(&mut self) -> LintReport {
+        let cfg = self.lint_config();
+        gom_lint::lint_database(&mut self.meta.db, &cfg)
+    }
+
+    /// The lint configuration this manager uses (exposes the baseline so
+    /// front ends can lint source text with the same exemptions).
+    pub fn lint_config(&self) -> LintConfig {
+        LintConfig {
+            baseline: self.lint_baseline,
+            ..LintConfig::default()
+        }
+    }
+
+    /// Refuse to commit evolution sessions whose schema base lints at
+    /// `level` or worse (`None` disables the gate).
+    pub fn set_lint_gate(&mut self, level: Option<Severity>) {
+        self.lint_gate = level;
+    }
+
+    /// When the lint gate is armed and trips, return the blocking error;
+    /// the session stays open so the user can repair or roll back.
+    fn check_lint_gate(&mut self) -> DbResult<()> {
+        let Some(level) = self.lint_gate else {
+            return Ok(());
+        };
+        let report = self.lint();
+        if report.denies(level) {
+            return Err(DbError::SessionProtocol(format!(
+                "lint gate ({}): {} error(s), {} warning(s), {} note(s) — \
+                 session left open; fix the schema or roll back",
+                level.name(),
+                report.count(Severity::Error),
+                report.count(Severity::Warn),
+                report.count(Severity::Note),
+            )));
+        }
+        Ok(())
     }
 
     // ----- session protocol ------------------------------------------------------
@@ -91,6 +144,7 @@ impl SchemaManager {
         let delta = self.meta.db.session_delta()?;
         let violations = self.meta.db.check_delta(&delta)?;
         if violations.is_empty() {
+            self.check_lint_gate()?;
             let delta = self.meta.db.commit_session()?;
             Ok(EvolutionOutcome::Consistent(delta))
         } else {
@@ -103,6 +157,7 @@ impl SchemaManager {
     pub fn end_evolution_full_check(&mut self) -> DbResult<EvolutionOutcome> {
         let violations = self.meta.db.check()?;
         if violations.is_empty() {
+            self.check_lint_gate()?;
             let delta = self.meta.db.commit_session()?;
             Ok(EvolutionOutcome::Consistent(delta))
         } else {
@@ -152,9 +207,7 @@ impl SchemaManager {
             let pred_name = self.meta.db.pred_name(op.pred()).to_string();
             match (pred_name.as_str(), op) {
                 ("PhRep", Op::Delete(_, t)) => {
-                    let ty = gom_model::TypeId(
-                        t.get(1).as_sym().expect("PhRep type column"),
-                    );
+                    let ty = gom_model::TypeId(t.get(1).as_sym().expect("PhRep type column"));
                     let oids = self.runtime.objects.oids();
                     for oid in oids {
                         if self.runtime.objects.get(oid).map(|o| o.ty) == Some(ty) {
@@ -175,9 +228,7 @@ impl SchemaManager {
                     }
                 }
                 ("Slot", Op::Insert(_, t)) => {
-                    let clid = gom_model::PhRepId(
-                        t.get(0).as_sym().expect("Slot phrep column"),
-                    );
+                    let clid = gom_model::PhRepId(t.get(0).as_sym().expect("Slot phrep column"));
                     let attr = self
                         .meta
                         .db
@@ -220,9 +271,7 @@ impl SchemaManager {
                     }
                 }
                 ("Slot", Op::Delete(_, t)) => {
-                    let clid = gom_model::PhRepId(
-                        t.get(0).as_sym().expect("Slot phrep column"),
-                    );
+                    let clid = gom_model::PhRepId(t.get(0).as_sym().expect("Slot phrep column"));
                     let attr = self
                         .meta
                         .db
@@ -286,10 +335,7 @@ impl SchemaManager {
         match self.end_evolution().map_err(DefineError::Db)? {
             EvolutionOutcome::Consistent(_) => Ok(lowered),
             EvolutionOutcome::Inconsistent(violations) => {
-                let rendered = violations
-                    .iter()
-                    .map(|v| v.render(&self.meta.db))
-                    .collect();
+                let rendered = violations.iter().map(|v| v.render(&self.meta.db)).collect();
                 self.rollback_evolution().map_err(DefineError::Db)?;
                 Err(DefineError::Inconsistent(rendered))
             }
@@ -411,7 +457,15 @@ end schema S;";
         assert_eq!(violations[0].constraint, "slot_for_every_attr");
         // Repairs, explained.
         let repairs = mgr.repairs_for(&violations[0]).unwrap();
-        assert_eq!(repairs.len(), 3, "{:?}", repairs.iter().map(|r| r.render(&mgr.meta)).collect::<Vec<_>>());
+        assert_eq!(
+            repairs.len(),
+            3,
+            "{:?}",
+            repairs
+                .iter()
+                .map(|r| r.render(&mgr.meta))
+                .collect::<Vec<_>>()
+        );
         let all = repairs
             .iter()
             .map(|r| r.render(&mgr.meta))

@@ -263,7 +263,10 @@ mod tests {
         let r = Rule::new(
             Atom::new(pid(0), vec![Term::Var(Var(0))]),
             vec![
-                Literal::Pos(Atom::new(pid(1), vec![Term::Var(Var(0)), Term::Var(Var(1))])),
+                Literal::Pos(Atom::new(
+                    pid(1),
+                    vec![Term::Var(Var(0)), Term::Var(Var(1))],
+                )),
                 Literal::Neg(Atom::new(pid(2), vec![Term::Var(Var(1))])),
             ],
         );

@@ -44,10 +44,7 @@ impl Op {
 
     /// Render against a database, e.g. `+Slot(clid4, fuelType, clid_string)`.
     pub fn display<'a>(&'a self, db: &'a Database) -> OpDisplay<'a> {
-        OpDisplay {
-            op: self,
-            db,
-        }
+        OpDisplay { op: self, db }
     }
 }
 

@@ -20,17 +20,10 @@ use crate::value::Const;
 #[derive(Clone, Debug)]
 pub(crate) enum ViolationSource {
     /// A declarative constraint, with its compiled index and witness tuple.
-    Constraint {
-        idx: usize,
-        tuple: Tuple,
-    },
+    Constraint { idx: usize, tuple: Tuple },
     /// A key (uniqueness) constraint on a base predicate: two facts agree on
     /// the key columns but differ elsewhere.
-    Key {
-        pred: PredId,
-        a: Tuple,
-        b: Tuple,
-    },
+    Key { pred: PredId, a: Tuple, b: Tuple },
 }
 
 /// A detected inconsistency.
@@ -89,11 +82,7 @@ fn key_violations_for(
                 &key[..]
             )),
             witness: Vec::new(),
-            source: ViolationSource::Key {
-                pred,
-                a,
-                b,
-            },
+            source: ViolationSource::Key { pred, a, b },
         });
     };
     match only_tuples {
@@ -114,10 +103,7 @@ fn key_violations_for(
             let mut groups: crate::symbol::FxHashMap<Tuple, Vec<Tuple>> =
                 crate::symbol::FxHashMap::default();
             for t in rel.iter() {
-                groups
-                    .entry(t.project(&key))
-                    .or_default()
-                    .push(t.clone());
+                groups.entry(t.project(&key)).or_default().push(t.clone());
             }
             for (_, mut g) in groups {
                 if g.len() > 1 {
@@ -142,10 +128,9 @@ fn key_violations_for(
         kx.cmp(&ky)
     });
     out.dedup_by(|x, y| match (&x.source, &y.source) {
-        (
-            ViolationSource::Key { a, b, .. },
-            ViolationSource::Key { a: a2, b: b2, .. },
-        ) => a == a2 && b == b2,
+        (ViolationSource::Key { a, b, .. }, ViolationSource::Key { a: a2, b: b2, .. }) => {
+            a == a2 && b == b2
+        }
         _ => false,
     });
     out
@@ -175,11 +160,7 @@ impl Database {
         out
     }
 
-    fn collect_constraint_violations(
-        &self,
-        idb: &[Relation],
-        indices: &[usize],
-    ) -> Vec<Violation> {
+    fn collect_constraint_violations(&self, idb: &[Relation], indices: &[usize]) -> Vec<Violation> {
         let compiled = self.compiled.as_ref().expect("compiled");
         let mut out = Vec::new();
         for &ci in indices {
@@ -196,10 +177,7 @@ impl Database {
                     constraint: src.name.clone(),
                     message: src.message.clone(),
                     witness,
-                    source: ViolationSource::Constraint {
-                        idx: ci,
-                        tuple,
-                    },
+                    source: ViolationSource::Constraint { idx: ci, tuple },
                 });
             }
         }
@@ -303,7 +281,7 @@ impl Database {
             for stratum in &restricted {
                 crate::eval::eval_stratum_public(self, &mut rels, &compiled.rules, stratum);
             }
-            
+
             {
                 self.compiled = Some(compiled);
                 self.collect_constraint_violations(&rels, &affected)

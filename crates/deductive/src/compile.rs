@@ -56,6 +56,23 @@ pub(crate) struct CompiledConstraint {
     pub deps: FxHashSet<PredId>,
 }
 
+/// A read-only view of the fully compiled program, for static analysis.
+///
+/// Exposes the complete rule set after constraint compilation (user rules
+/// first, then the generated violation/auxiliary rules) together with each
+/// constraint's violation predicate, so analyzers can measure properties of
+/// the rules a constraint actually executes as.
+pub struct ProgramView<'a> {
+    /// All rules: indices `0..user_rule_count` are the user rules, the rest
+    /// are constraint-generated.
+    pub rules: &'a [Rule],
+    /// Number of user rules at the front of `rules`.
+    pub user_rule_count: usize,
+    /// `(source constraint index, violation predicate)` per compiled
+    /// constraint.
+    pub constraint_viols: Vec<(usize, PredId)>,
+}
+
 /// The literal used for `false` in rule bodies: a comparison that never
 /// holds.
 pub(crate) fn false_lit() -> Literal {
@@ -201,10 +218,7 @@ impl<'a> Compiler<'a> {
             Formula::Or(fs) => self.compile_or(f, fs, ctx),
             Formula::Not(g) => self.compile_not(g, ctx),
             Formula::Implies(p, q) => {
-                let rewritten = Formula::or(vec![
-                    Formula::Not(p.clone()),
-                    q.as_ref().clone(),
-                ]);
+                let rewritten = Formula::or(vec![Formula::Not(p.clone()), q.as_ref().clone()]);
                 self.compile_holds(&rewritten, ctx)
             }
             Formula::Exists(_, g) => self.compile_holds(g, ctx),
@@ -254,10 +268,7 @@ impl<'a> Compiler<'a> {
             let mut body = vec![Literal::Pos(ctx.atom.clone())];
             body.extend(inline.iter().cloned());
             self.rules.push(Rule::new(atom.clone(), body));
-            Ctx {
-                atom,
-                vars: ext,
-            }
+            Ctx { atom, vars: ext }
         } else {
             ctx.clone()
         };
@@ -330,9 +341,8 @@ impl<'a> Compiler<'a> {
             Formula::Implies(p, c) => (p.as_ref(), c.as_ref().clone()),
             Formula::Not(g) => (g.as_ref(), Formula::False),
             _ => {
-                return Err(self.bad(
-                    "nested `forall` must have the form `forall vs: premise -> conclusion`",
-                ))
+                return Err(self
+                    .bad("nested `forall` must have the form `forall vs: premise -> conclusion`"))
             }
         };
         let p2lits = self.lower_premise(p2)?;
@@ -375,10 +385,8 @@ impl<'a> Compiler<'a> {
         let vio_pred = self.declare_aux("vio", shared.len());
         let vio_atom = Atom::new(vio_pred, Self::terms(&shared));
         if c2 == Formula::False {
-            self.rules.push(Rule::new(
-                vio_atom.clone(),
-                vec![Literal::Pos(ctx2_atom)],
-            ));
+            self.rules
+                .push(Rule::new(vio_atom.clone(), vec![Literal::Pos(ctx2_atom)]));
         } else {
             let c2n = c2.push_exists();
             let inner_lits = self.compile_holds(&c2n, &ctx2)?;
@@ -435,7 +443,10 @@ fn compile_constraint(
         s.extend(conclusion.free_vars());
         s
     };
-    let outer_vars: Vec<Var> = outer_vars.into_iter().filter(|v| used.contains(v)).collect();
+    let outer_vars: Vec<Var> = outer_vars
+        .into_iter()
+        .filter(|v| used.contains(v))
+        .collect();
     for v in &outer_vars {
         if !bound.contains(v) {
             return Err(compiler.bad(format!(
@@ -460,10 +471,9 @@ fn compile_constraint(
     let viol_pred = compiler.declare_aux("viol", outer_vars.len());
     let viol_atom = Atom::new(viol_pred, Compiler::terms(&outer_vars));
     if conclusion == Formula::False {
-        compiler.rules.push(Rule::new(
-            viol_atom,
-            vec![Literal::Pos(ctx_atom)],
-        ));
+        compiler
+            .rules
+            .push(Rule::new(viol_atom, vec![Literal::Pos(ctx_atom)]));
     } else {
         let c_lits = compiler.compile_holds(&conclusion, &ctx)?;
         let h_pred = compiler.declare_aux("hold", outer_vars.len());
@@ -599,11 +609,29 @@ impl Database {
         });
         Ok(())
     }
+
+    /// Compile (if needed) and expose the full rule program for static
+    /// analysis. Fails when the program does not compile (bad constraint,
+    /// unsafe generated rule, or unstratifiable negation).
+    pub fn program_view(&mut self) -> Result<ProgramView<'_>> {
+        self.ensure_compiled()?;
+        let user_rule_count = self.rules.len();
+        let c = self.compiled.as_ref().expect("just compiled");
+        Ok(ProgramView {
+            rules: &c.rules,
+            user_rule_count,
+            constraint_viols: c
+                .constraints
+                .iter()
+                .map(|cc| (cc.source_idx, cc.viol))
+                .collect(),
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::db::Database;
     use crate::error::Error;
     use crate::value::Const;

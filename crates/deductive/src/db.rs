@@ -11,6 +11,19 @@ use crate::symbol::{FxHashMap, Interner, Symbol};
 use crate::tuple::Tuple;
 use crate::value::Const;
 
+/// Source metadata for a rule or constraint: where (and in which `load`
+/// call) it was defined. API-built items have no position and source 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// 1-based line/column of the defining statement, when parsed from text.
+    pub pos: Option<(usize, usize)>,
+    /// Which `load()` call produced the item (0 = built via the API).
+    pub src: u32,
+    /// Surface variable names indexed by [`crate::ast::Var`] number
+    /// (rules only; empty when unknown).
+    pub var_names: Vec<String>,
+}
+
 /// A deductive database.
 ///
 /// Holds the predicate registry, the extensions of all base predicates, the
@@ -26,6 +39,13 @@ pub struct Database {
     pub(crate) rels: Vec<Relation>,
     pub(crate) rules: Vec<Rule>,
     pub(crate) constraints: Vec<Constraint>,
+    /// Parallel to `rules`.
+    pub(crate) rule_info: Vec<SourceInfo>,
+    /// Parallel to `constraints`.
+    pub(crate) constraint_info: Vec<SourceInfo>,
+    /// Monotonic counter of `load()` calls, for attributing items to
+    /// source documents.
+    pub(crate) load_seq: u32,
     /// Index into `preds` where compiler-generated auxiliary predicates
     /// start; `None` when not compiled.
     pub(crate) aux_start: Option<usize>,
@@ -110,7 +130,12 @@ impl Database {
     }
 
     /// Declare a base predicate with a key over the given column positions.
-    pub fn declare_base_keyed(&mut self, name: &str, arity: usize, key: &[usize]) -> Result<PredId> {
+    pub fn declare_base_keyed(
+        &mut self,
+        name: &str,
+        arity: usize,
+        key: &[usize],
+    ) -> Result<PredId> {
         let id = self.declare(name, arity, PredKind::Base, Some(key.into()))?;
         self.preds[id.index()].key = Some(key.into());
         Ok(id)
@@ -128,7 +153,9 @@ impl Database {
 
     /// Look up a predicate by name.
     pub fn pred_id(&self, name: &str) -> Option<PredId> {
-        self.interner.get(name).and_then(|s| self.by_name.get(&s).copied())
+        self.interner
+            .get(name)
+            .and_then(|s| self.by_name.get(&s).copied())
     }
 
     /// Look up a predicate by name, erroring when missing.
@@ -151,6 +178,12 @@ impl Database {
     /// compiled).
     pub fn pred_count(&self) -> usize {
         self.preds.len()
+    }
+
+    /// Iterate over all declared predicates (including compiler auxiliaries
+    /// when compiled; those have names starting with `__`).
+    pub fn pred_ids(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len()).map(|i| PredId(i as u32))
     }
 
     /// Iterate over all base predicates.
@@ -250,13 +283,19 @@ impl Database {
         self.decompile();
         self.validate_rule(&rule)?;
         self.rules.push(rule);
+        self.rule_info.push(SourceInfo {
+            src: self.load_seq,
+            ..SourceInfo::default()
+        });
         Ok(())
     }
 
     pub(crate) fn validate_rule(&self, rule: &Rule) -> Result<()> {
         let head_decl = &self.preds[rule.head.pred.index()];
         if head_decl.kind != PredKind::Derived {
-            return Err(Error::HeadIsBase(self.pred_name(rule.head.pred).to_string()));
+            return Err(Error::HeadIsBase(
+                self.pred_name(rule.head.pred).to_string(),
+            ));
         }
         let check_atom = |a: &crate::ast::Atom| -> Result<()> {
             let d = &self.preds[a.pred.index()];
@@ -290,6 +329,10 @@ impl Database {
     pub fn add_constraint(&mut self, c: Constraint) {
         self.decompile();
         self.constraints.push(c);
+        self.constraint_info.push(SourceInfo {
+            src: self.load_seq,
+            ..SourceInfo::default()
+        });
     }
 
     /// Remove a constraint by name. Returns `true` if one was removed.
@@ -299,7 +342,11 @@ impl Database {
     /// inheritance) are added or dropped without touching any module code.
     pub fn remove_constraint(&mut self, name: &str) -> bool {
         let before = self.constraints.len();
-        self.constraints.retain(|c| c.name != name);
+        let keep: Vec<bool> = self.constraints.iter().map(|c| c.name != name).collect();
+        let mut it = keep.iter();
+        self.constraints.retain(|_| *it.next().unwrap());
+        let mut it = keep.iter();
+        self.constraint_info.retain(|_| *it.next().unwrap());
         if self.constraints.len() != before {
             self.decompile();
             true
@@ -322,6 +369,43 @@ impl Database {
     /// Look up a constraint by name.
     pub fn constraint(&self, name: &str) -> Option<&Constraint> {
         self.constraints.iter().find(|c| c.name == name)
+    }
+
+    // ----- source metadata ---------------------------------------------------
+
+    /// Source metadata for rule `i` (parallel to [`Self::rules`]).
+    pub fn rule_info(&self, i: usize) -> &SourceInfo {
+        &self.rule_info[i]
+    }
+
+    /// Source metadata for constraint `i` (parallel to
+    /// [`Self::constraints`]).
+    pub fn constraint_info(&self, i: usize) -> &SourceInfo {
+        &self.constraint_info[i]
+    }
+
+    /// The sequence number of the most recent `load()` call (0 before any
+    /// load). Items whose [`SourceInfo::src`] equals this value came from
+    /// that document.
+    pub fn load_seq(&self) -> u32 {
+        self.load_seq
+    }
+
+    pub(crate) fn bump_load_seq(&mut self) {
+        self.load_seq += 1;
+    }
+
+    pub(crate) fn set_last_rule_info(&mut self, pos: (usize, usize), var_names: Vec<String>) {
+        if let Some(info) = self.rule_info.last_mut() {
+            info.pos = Some(pos);
+            info.var_names = var_names;
+        }
+    }
+
+    pub(crate) fn set_last_constraint_info(&mut self, pos: (usize, usize)) {
+        if let Some(info) = self.constraint_info.last_mut() {
+            info.pos = Some(pos);
+        }
     }
 
     // ----- compilation state -----------------------------------------------
@@ -359,9 +443,7 @@ impl Database {
     /// The net changes journalled so far in the active session.
     pub fn session_delta(&self) -> Result<ChangeSet> {
         match &self.journal {
-            Some(j) => Ok(ChangeSet {
-                ops: j.clone(),
-            }),
+            Some(j) => Ok(ChangeSet { ops: j.clone() }),
             None => Err(Error::SessionProtocol("no active session".into())),
         }
     }
@@ -370,9 +452,7 @@ impl Database {
     /// session's effective change set.
     pub fn commit_session(&mut self) -> Result<ChangeSet> {
         match self.journal.take() {
-            Some(j) => Ok(ChangeSet {
-                ops: j,
-            }),
+            Some(j) => Ok(ChangeSet { ops: j }),
             None => Err(Error::SessionProtocol("no active session".into())),
         }
     }

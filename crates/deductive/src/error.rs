@@ -51,6 +51,48 @@ pub enum Error {
     /// An evolution session operation was used out of protocol (e.g. nested
     /// `begin`, or `commit` without `begin`).
     SessionProtocol(String),
+    /// An error with a source position attached (1-based line/column).
+    /// Wraps errors that carry no position of their own, so every load
+    /// error can name where in the source text it happened.
+    At {
+        /// Line number (1-based).
+        line: usize,
+        /// Column number (1-based).
+        col: usize,
+        /// The underlying error.
+        source: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Attach a position unless the error already carries one.
+    pub fn at(self, line: usize, col: usize) -> Error {
+        if self.position().is_some() {
+            self
+        } else {
+            Error::At {
+                line,
+                col,
+                source: Box::new(self),
+            }
+        }
+    }
+
+    /// The source position, when known.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            Error::Parse { line, col, .. } | Error::At { line, col, .. } => Some((*line, *col)),
+            _ => None,
+        }
+    }
+
+    /// The underlying error, stripped of any position wrapper.
+    pub fn root(&self) -> &Error {
+        match self {
+            Error::At { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -73,7 +115,10 @@ impl fmt::Display for Error {
                 write!(f, "cannot insert into/delete from derived predicate `{p}`")
             }
             Error::UnsafeRule { rule, var } => {
-                write!(f, "rule `{rule}` is not range-restricted: variable {var} unbound")
+                write!(
+                    f,
+                    "rule `{rule}` is not range-restricted: variable {var} unbound"
+                )
             }
             Error::NotStratifiable(p) => write!(
                 f,
@@ -86,6 +131,7 @@ impl fmt::Display for Error {
                 write!(f, "constraint `{name}` cannot be compiled: {msg}")
             }
             Error::SessionProtocol(msg) => write!(f, "session protocol violation: {msg}"),
+            Error::At { line, col, source } => write!(f, "at {line}:{col}: {source}"),
         }
     }
 }

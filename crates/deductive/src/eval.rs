@@ -59,13 +59,7 @@ pub(crate) fn order_body(body: &[Literal], var_count: usize, first: Option<usize
             .iter()
             .enumerate()
             .filter(|(_, &i)| body[i].is_positive())
-            .max_by_key(|(_, &i)| {
-                body[i]
-                    .vars()
-                    .iter()
-                    .filter(|v| bound[v.index()])
-                    .count()
-            })
+            .max_by_key(|(_, &i)| body[i].vars().iter().filter(|v| bound[v.index()]).count())
             .map(|(pos, _)| pos);
         match best {
             Some(pos) => {
@@ -261,13 +255,7 @@ fn order_body_seeded(body: &[Literal], var_count: usize, preset: &[(Var, Const)]
             .iter()
             .enumerate()
             .filter(|(_, &i)| body[i].is_positive())
-            .max_by_key(|(_, &i)| {
-                body[i]
-                    .vars()
-                    .iter()
-                    .filter(|v| bound[v.index()])
-                    .count()
-            })
+            .max_by_key(|(_, &i)| body[i].vars().iter().filter(|v| bound[v.index()]).count())
             .map(|(pos, _)| pos);
         match best {
             Some(pos) => {
@@ -296,8 +284,7 @@ pub(crate) fn instantiate(head: &Atom, binding: &Binding) -> Tuple {
 
 /// Evaluate one stratum to fixpoint, semi-naively.
 fn eval_stratum(db: &Database, idb: &mut Vec<Relation>, rules: &[Rule], rule_ixs: &[usize]) {
-    let stratum_preds: FxHashSet<PredId> =
-        rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
+    let stratum_preds: FxHashSet<PredId> = rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
     // Round 0: full evaluation of every rule.
     let mut delta: Vec<Relation> = vec![Relation::new(); idb.len()];
     for &ri in rule_ixs {
@@ -311,10 +298,18 @@ fn eval_stratum(db: &Database, idb: &mut Vec<Relation>, rules: &[Rule], rule_ixs
                 idb,
                 base_override: None,
             };
-            match_body(&store, &rule.body, &order, 0, &mut binding, None, &mut |b| {
-                new_facts.push(instantiate(&rule.head, b));
-                true
-            });
+            match_body(
+                &store,
+                &rule.body,
+                &order,
+                0,
+                &mut binding,
+                None,
+                &mut |b| {
+                    new_facts.push(instantiate(&rule.head, b));
+                    true
+                },
+            );
         }
         let h = rule.head.pred.index();
         for t in new_facts {
@@ -393,10 +388,18 @@ fn eval_stratum_naive(
                 idb,
                 base_override: None,
             };
-            match_body(&store, &rule.body, &order, 0, &mut binding, None, &mut |b| {
-                new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
-                true
-            });
+            match_body(
+                &store,
+                &rule.body,
+                &order,
+                0,
+                &mut binding,
+                None,
+                &mut |b| {
+                    new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
+                    true
+                },
+            );
         }
         let mut changed = false;
         for (p, t) in new_facts {
@@ -415,9 +418,7 @@ pub(crate) fn eval_program(db: &Database, compiled: &Compiled) -> Idb {
     for stratum in &compiled.strat.rule_strata {
         eval_stratum(db, &mut rels, &compiled.rules, stratum);
     }
-    Idb {
-        rels,
-    }
+    Idb { rels }
 }
 
 impl Database {

@@ -161,14 +161,23 @@ impl Database {
                         if a.pred != dp {
                             continue;
                         }
-                        delta_join(self, &old_idb, Some(&old_edb), rule, li, &dr, false, &mut |h| {
-                            if old_idb[rule.head.pred.index()].contains(&h)
-                                && !over_rel[rule.head.pred.index()].contains(&h)
-                            {
-                                over_rel[rule.head.pred.index()].insert(h.clone());
-                                frontier.push((rule.head.pred, h));
-                            }
-                        });
+                        delta_join(
+                            self,
+                            &old_idb,
+                            Some(&old_edb),
+                            rule,
+                            li,
+                            &dr,
+                            false,
+                            &mut |h| {
+                                if old_idb[rule.head.pred.index()].contains(&h)
+                                    && !over_rel[rule.head.pred.index()].contains(&h)
+                                {
+                                    over_rel[rule.head.pred.index()].insert(h.clone());
+                                    frontier.push((rule.head.pred, h));
+                                }
+                            },
+                        );
                     }
                 }
             }
@@ -213,11 +222,20 @@ impl Database {
                     if src_rel[src_pred.index()].is_empty() {
                         continue;
                     }
-                    delta_join(self, &mat.rels, None, rule, li, &src_rel[src_pred.index()], neg, &mut |h| {
-                        if !mat.rels[rule.head.pred.index()].contains(&h) {
-                            frontier.push((rule.head.pred, h));
-                        }
-                    });
+                    delta_join(
+                        self,
+                        &mat.rels,
+                        None,
+                        rule,
+                        li,
+                        &src_rel[src_pred.index()],
+                        neg,
+                        &mut |h| {
+                            if !mat.rels[rule.head.pred.index()].contains(&h) {
+                                frontier.push((rule.head.pred, h));
+                            }
+                        },
+                    );
                 }
             }
             while let Some((ap, at)) = frontier.pop() {
@@ -501,7 +519,7 @@ mod tests {
         db.apply_incremental(&mut mat, &cs).unwrap();
         let v = db.violations_from(&mat).unwrap();
         assert_eq!(v.len(), 2); // X=a, X=b
-        // undo: back to consistent
+                                // undo: back to consistent
         let mut cs = ChangeSet::new();
         cs.delete(sub, Tuple::from(vec![b, a]));
         db.apply_incremental(&mut mat, &cs).unwrap();

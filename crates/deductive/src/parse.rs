@@ -24,11 +24,11 @@
 //! integers. In constraints every variable must be explicitly quantified.
 
 use crate::ast::{Atom, CmpOp, Literal, Rule, Term, Var};
-use crate::tuple::Tuple;
 use crate::constraint::{Constraint, Formula};
 use crate::db::Database;
 use crate::error::{Error, Result};
 use crate::symbol::FxHashMap;
+use crate::tuple::Tuple;
 use crate::value::Const;
 
 #[derive(Clone, PartialEq, Debug)]
@@ -268,11 +268,7 @@ impl<'a> Lexer<'a> {
                 }
                 other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
-            out.push(Spanned {
-                tok,
-                line,
-                col,
-            });
+            out.push(Spanned { tok, line, col });
         }
         Ok(out)
     }
@@ -338,12 +334,24 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
+    /// Position of the current token (falling back to the last token).
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |s| (s.line, s.col))
+    }
+
     fn statement(&mut self) -> Result<()> {
-        match self.peek() {
+        let pos = self.here();
+        let r = match self.peek() {
             Some(Tok::Ident(kw)) if kw == "base" || kw == "derived" => self.declaration(),
-            Some(Tok::Ident(kw)) if kw == "constraint" => self.constraint(),
-            _ => self.rule(),
-        }
+            Some(Tok::Ident(kw)) if kw == "constraint" => self.constraint(pos),
+            _ => self.rule(pos),
+        };
+        // Database-level errors (arity, safety, redeclaration, …) carry no
+        // position of their own; anchor them at the statement start.
+        r.map_err(|e| e.at(pos.0, pos.1))
     }
 
     fn declaration(&mut self) -> Result<()> {
@@ -382,7 +390,7 @@ impl<'a> Parser<'a> {
 
     // ----- rules ------------------------------------------------------------
 
-    fn rule(&mut self) -> Result<()> {
+    fn rule(&mut self, pos: (usize, usize)) -> Result<()> {
         let mut vars: FxHashMap<String, Var> = FxHashMap::default();
         let head = self.atom(&mut |name, p| rule_term(name, p, &mut vars))?;
         // A ground head on a base predicate followed by `.` is a FACT.
@@ -419,13 +427,23 @@ impl<'a> Parser<'a> {
             other => return Err(self.err_at(format!("expected `:-` or `.`, found {other:?}"))),
         }
         self.db.add_rule(Rule::new(head, body))?;
+        let mut names = vec![String::new(); vars.len()];
+        for (name, v) in vars {
+            names[v.index()] = name;
+        }
+        self.db.set_last_rule_info(pos, names);
         Ok(())
     }
 
-    fn atom(&mut self, term_fn: &mut dyn FnMut(String, &mut Parser<'_>) -> Result<Term>) -> Result<Atom> {
+    fn atom(
+        &mut self,
+        term_fn: &mut dyn FnMut(String, &mut Parser<'_>) -> Result<Term>,
+    ) -> Result<Atom> {
         let name = self.expect_ident("predicate name")?;
         let pred = self.db.pred_id_req(&name).map_err(|_| {
-            self.err_at(format!("unknown predicate `{name}` (declare with `base`/`derived`)"))
+            self.err_at(format!(
+                "unknown predicate `{name}` (declare with `base`/`derived`)"
+            ))
         })?;
         self.expect(&Tok::LParen, "`(`")?;
         let mut args = Vec::new();
@@ -445,16 +463,21 @@ impl<'a> Parser<'a> {
         }
         let decl = self.db.pred_decl(pred);
         if decl.arity != args.len() {
+            let (line, col) = self.here();
             return Err(Error::ArityMismatch {
                 pred: name,
                 declared: decl.arity,
                 used: args.len(),
-            });
+            }
+            .at(line, col));
         }
         Ok(Atom::new(pred, args))
     }
 
-    fn term(&mut self, term_fn: &mut dyn FnMut(String, &mut Parser<'_>) -> Result<Term>) -> Result<Term> {
+    fn term(
+        &mut self,
+        term_fn: &mut dyn FnMut(String, &mut Parser<'_>) -> Result<Term>,
+    ) -> Result<Term> {
         match self.bump() {
             Some(Tok::Ident(s)) => term_fn(s, self),
             Some(Tok::Int(n)) => Ok(Term::Const(Const::Int(n))),
@@ -511,7 +534,7 @@ impl<'a> Parser<'a> {
 
     // ----- constraints --------------------------------------------------------
 
-    fn constraint(&mut self) -> Result<()> {
+    fn constraint(&mut self, pos: (usize, usize)) -> Result<()> {
         self.bump(); // `constraint`
         let name = self.expect_ident("constraint name")?;
         let message = match self.peek() {
@@ -540,6 +563,7 @@ impl<'a> Parser<'a> {
             c = c.with_message(m);
         }
         self.db.add_constraint(c);
+        self.db.set_last_constraint_info(pos);
         Ok(())
     }
 
@@ -553,9 +577,8 @@ impl<'a> Parser<'a> {
                 loop {
                     let vname = self.expect_ident("variable name")?;
                     if !Self::is_var_name(&vname) {
-                        return Err(
-                            self.err_at("quantified variables must start with an upper-case letter")
-                        );
+                        return Err(self
+                            .err_at("quantified variables must start with an upper-case letter"));
                     }
                     vs.push(cx.push(vname));
                     if self.peek() == Some(&Tok::Comma) {
@@ -644,9 +667,7 @@ impl<'a> Parser<'a> {
             (Some(Tok::Ident(_)), Some(Tok::LParen))
         );
         if is_atom {
-            let mut lookup = |name: String, p: &mut Parser<'_>|
-
- formula_term(name, p, cx);
+            let mut lookup = |name: String, p: &mut Parser<'_>| formula_term(name, p, cx);
             let a = self.atom_cx(&mut lookup)?;
             return Ok(Formula::Atom(a));
         }
@@ -701,11 +722,7 @@ impl ConstraintCx {
     }
 }
 
-fn rule_term(
-    name: String,
-    p: &mut Parser<'_>,
-    vars: &mut FxHashMap<String, Var>,
-) -> Result<Term> {
+fn rule_term(name: String, p: &mut Parser<'_>, vars: &mut FxHashMap<String, Var>) -> Result<Term> {
     if Parser::is_var_name(&name) {
         let next = Var(vars.len() as u32);
         Ok(Term::Var(*vars.entry(name).or_insert(next)))
@@ -729,13 +746,66 @@ fn formula_term(name: String, p: &mut Parser<'_>, cx: &ConstraintCx) -> Result<T
 
 /// Parse a program (declarations, rules, constraints) into `db`.
 pub fn parse_program(db: &mut Database, text: &str) -> Result<()> {
+    db.bump_load_seq();
     let toks = Lexer::new(text).tokenize()?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        db,
-    };
+    let mut p = Parser { toks, pos: 0, db };
     p.program()
+}
+
+/// Outcome of a lenient parse: how many statements were applied and which
+/// statements failed (each error positioned via [`Error::position`]).
+#[derive(Debug, Default)]
+pub struct LenientReport {
+    /// Errors per failed statement, in source order.
+    pub errors: Vec<Error>,
+    /// Statements successfully applied to the database.
+    pub applied: usize,
+}
+
+/// Parse a program with statement-level error recovery: every valid
+/// statement is applied to `db`; each failing statement is skipped (up to
+/// its terminating `.`) and its error collected. Static analyzers use this
+/// to report *all* problems in a document instead of stopping at the first.
+pub fn parse_program_lenient(db: &mut Database, text: &str) -> LenientReport {
+    db.bump_load_seq();
+    let toks = match Lexer::new(text).tokenize() {
+        Ok(t) => t,
+        Err(e) => {
+            return LenientReport {
+                errors: vec![e],
+                applied: 0,
+            }
+        }
+    };
+    let mut p = Parser { toks, pos: 0, db };
+    let mut report = LenientReport::default();
+    while p.peek().is_some() {
+        let before = p.pos;
+        match p.statement() {
+            Ok(()) => report.applied += 1,
+            Err(e) => {
+                report.errors.push(e);
+                if p.pos == before {
+                    p.pos += 1; // guarantee progress
+                }
+                // Skip to the end of the failed statement — unless it was
+                // already fully consumed (errors raised after its `.`, e.g.
+                // the safety check on a completed rule).
+                let after_dot = p
+                    .toks
+                    .get(p.pos.wrapping_sub(1))
+                    .is_some_and(|s| s.tok == Tok::Dot);
+                if !after_dot {
+                    while let Some(t) = p.bump() {
+                        if t == Tok::Dot {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
 }
 
 /// A parsed query: body literals plus named variables in first-occurrence
@@ -747,11 +817,7 @@ pub type ParsedQuery = (Vec<Literal>, Vec<(String, Var)>);
 /// first-occurrence order.
 pub fn parse_query(db: &mut Database, text: &str) -> Result<ParsedQuery> {
     let toks = Lexer::new(text).tokenize()?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        db,
-    };
+    let mut p = Parser { toks, pos: 0, db };
     // optional `?-`… our lexer has no `?`; accept plain body.
     let mut vars: FxHashMap<String, Var> = FxHashMap::default();
     let mut order: Vec<(String, Var)> = Vec::new();
@@ -764,8 +830,10 @@ pub fn parse_query(db: &mut Database, text: &str) -> Result<ParsedQuery> {
         })?;
         if vars.len() > before {
             // record newly named vars in first-occurrence order
-            let mut newly: Vec<(&String, &Var)> =
-                vars.iter().filter(|(n, _)| !order.iter().any(|(o, _)| o == *n)).collect();
+            let mut newly: Vec<(&String, &Var)> = vars
+                .iter()
+                .filter(|(n, _)| !order.iter().any(|(o, _)| o == *n))
+                .collect();
             newly.sort_by_key(|(_, v)| v.0);
             for (n, v) in newly {
                 order.push((n.clone(), *v));
@@ -809,6 +877,12 @@ impl Database {
         parse_program(self, text)
     }
 
+    /// Like [`Self::load`] but with statement-level error recovery; see
+    /// [`parse_program_lenient`].
+    pub fn load_lenient(&mut self, text: &str) -> LenientReport {
+        parse_program_lenient(self, text)
+    }
+
     /// Dump all stored base facts as re-loadable program text
     /// (`Pred(a, b).` lines, sorted deterministically). Together with the
     /// declarations this makes a database state round-trippable.
@@ -829,10 +903,7 @@ impl Database {
                         Const::Sym(s) => {
                             let text = self.resolve(s);
                             let plain = !text.is_empty()
-                                && text
-                                    .chars()
-                                    .next()
-                                    .is_some_and(|c| c.is_ascii_lowercase())
+                                && text.chars().next().is_some_and(|c| c.is_ascii_lowercase())
                                 && text.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
                             if plain {
                                 out.push_str(text);
@@ -917,12 +988,72 @@ mod tests {
     }
 
     #[test]
-    fn arity_mismatch_is_reported() {
+    fn arity_mismatch_is_reported_with_position() {
         let mut db = Database::new();
         let err = db
             .load("base Q(a, b). derived P(a). P(X) :- Q(X).")
             .unwrap_err();
-        assert!(matches!(err, Error::ArityMismatch { .. }), "{err:?}");
+        assert!(matches!(err.root(), Error::ArityMismatch { .. }), "{err:?}");
+        assert!(err.position().is_some(), "{err:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_is_reported_with_position() {
+        let mut db = Database::new();
+        let err = db
+            .load("base Q(a).\nderived P(a).\nP(X) :- Q(Y).")
+            .unwrap_err();
+        assert!(matches!(err.root(), Error::UnsafeRule { .. }), "{err:?}");
+        assert_eq!(err.position(), Some((3, 1)), "{err:?}");
+    }
+
+    #[test]
+    fn mid_file_syntax_error_names_the_right_line() {
+        let mut db = Database::new();
+        // line 1 and 2 are fine; line 3 has the bad statement, starting at
+        // column 1 with the error detected at the `)`.
+        let err = db
+            .load("base Edge(a, b).\nderived Path(a, b).\nPath(X, ) :- Edge(X, Y).")
+            .unwrap_err();
+        let (line, _) = err.position().expect("positioned");
+        assert_eq!(line, 3, "{err:?}");
+    }
+
+    #[test]
+    fn lenient_parse_recovers_and_collects_all_errors() {
+        let mut db = Database::new();
+        let report = db.load_lenient(
+            "base N(x).\n\
+             derived Ok(x).\n\
+             derived Bad(x).\n\
+             Ok(X) :- N(X).\n\
+             Bad(X) :- N(Y).\n\
+             Nope(X) :- N(X).\n\
+             N(1).",
+        );
+        assert_eq!(report.errors.len(), 2, "{:?}", report.errors);
+        assert!(report.errors.iter().all(|e| e.position().is_some()));
+        assert!(matches!(report.errors[0].root(), Error::UnsafeRule { .. }));
+        // …and the valid statements all went through.
+        assert_eq!(db.rules().len(), 1);
+        let ok = db.pred_id("Ok").unwrap();
+        assert_eq!(db.derived_facts(ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rule_and_constraint_metadata_recorded() {
+        let mut db = Database::new();
+        db.load(
+            "base Edge(a, b).\nderived Path(a, b).\n\
+             Path(X, Y) :- Edge(X, Y).\n\
+             constraint c: forall X: !Path(X, X).",
+        )
+        .unwrap();
+        let info = db.rule_info(0);
+        assert_eq!(info.pos, Some((3, 1)));
+        assert_eq!(info.var_names, vec!["X".to_string(), "Y".to_string()]);
+        assert_eq!(info.src, db.load_seq());
+        assert_eq!(db.constraint_info(0).pos, Some((4, 1)));
     }
 
     #[test]

@@ -160,14 +160,7 @@ impl Gen<'_> {
             if !ok {
                 continue;
             }
-            let bindings = solve_body(
-                self.db,
-                self.idb,
-                &rule.body,
-                rule.var_count(),
-                &preset,
-                1,
-            );
+            let bindings = solve_body(self.db, self.idb, &rule.body, rule.var_count(), &preset, 1);
             let Some(binding) = bindings.into_iter().next() else {
                 continue;
             };
@@ -271,11 +264,9 @@ impl Gen<'_> {
                         None => Vec::new(),
                     }
                 }
-                Formula::Cmp(op, l, r) => self.completions(
-                    &Formula::Cmp(op.negate(), *l, *r),
-                    assign,
-                    depth,
-                ),
+                Formula::Cmp(op, l, r) => {
+                    self.completions(&Formula::Cmp(op.negate(), *l, *r), assign, depth)
+                }
                 // Making a derived atom or complex sub-formula false requires
                 // derivation-tree deletion, which we only do for premises.
                 _ => Vec::new(),
@@ -318,12 +309,22 @@ impl Gen<'_> {
             if out.len() >= MAX_CANDIDATES {
                 break;
             }
-            let lookup: Vec<&Atom> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| atoms[i]).collect();
-            let insert: Vec<&Atom> = (0..n).filter(|i| mask & (1 << i) == 0).map(|i| atoms[i]).collect();
+            let lookup: Vec<&Atom> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| atoms[i])
+                .collect();
+            let insert: Vec<&Atom> = (0..n)
+                .filter(|i| mask & (1 << i) == 0)
+                .map(|i| atoms[i])
+                .collect();
             // Solve the lookup conjunction for existential bindings.
             let body: Vec<Literal> = lookup.iter().map(|a| Literal::Pos((*a).clone())).collect();
             let var_count = conj_var_count(conj).max(
-                assign.iter().map(|&(v, _)| v.index() + 1).max().unwrap_or(0),
+                assign
+                    .iter()
+                    .map(|&(v, _)| v.index() + 1)
+                    .max()
+                    .unwrap_or(0),
             );
             let bindings: Vec<Assign> = if lookup.is_empty() {
                 vec![assign.clone()]
@@ -427,13 +428,8 @@ fn conj_var_count(conj: &[Formula]) -> usize {
 /// Canonicalise, deduplicate, and minimise a set of candidate change sets.
 fn minimise(mut candidates: Vec<(ChangeSet, RepairKind)>) -> Vec<Repair> {
     for (cs, _) in &mut candidates {
-        cs.ops.sort_by_key(|op| {
-            (
-                op.pred(),
-                op.tuple().clone(),
-                matches!(op, Op::Insert(..)),
-            )
-        });
+        cs.ops
+            .sort_by_key(|op| (op.pred(), op.tuple().clone(), matches!(op, Op::Insert(..))));
         cs.ops.dedup();
     }
     candidates.sort_by(|a, b| {
@@ -457,10 +453,7 @@ fn minimise(mut candidates: Vec<(ChangeSet, RepairKind)>) -> Vec<Repair> {
         }
     }
     kept.into_iter()
-        .map(|(changes, kind)| Repair {
-            changes,
-            kind,
-        })
+        .map(|(changes, kind)| Repair { changes, kind })
         .collect()
 }
 
@@ -511,11 +504,7 @@ impl Database {
                     fresh_pool: &fresh_pool,
                     fresh_next: std::cell::Cell::new(0),
                 };
-                let witness: Assign = outer_vars
-                    .iter()
-                    .copied()
-                    .zip(tuple.iter())
-                    .collect();
+                let witness: Assign = outer_vars.iter().copied().zip(tuple.iter()).collect();
                 let mut candidates: Vec<(ChangeSet, RepairKind)> = Vec::new();
 
                 // 1. Premise invalidation.
@@ -532,9 +521,7 @@ impl Database {
                         match lit {
                             Literal::Pos(a) => {
                                 let ground = ground_atom(a, binding);
-                                if let Some(support) =
-                                    gen.edb_support(a.pred, &ground, MAX_DEPTH)
-                                {
+                                if let Some(support) = gen.edb_support(a.pred, &ground, MAX_DEPTH) {
                                     for (p, t) in support {
                                         let mut cs = ChangeSet::new();
                                         cs.delete(p, t);
@@ -769,11 +756,7 @@ mod tests {
             for (j, r2) in repairs.iter().enumerate() {
                 if i != j {
                     assert_ne!(r1.changes, r2.changes, "duplicate repairs");
-                    let subset = r1
-                        .changes
-                        .ops
-                        .iter()
-                        .all(|op| r2.changes.ops.contains(op));
+                    let subset = r1.changes.ops.iter().all(|op| r2.changes.ops.contains(op));
                     assert!(
                         !(subset && r1.changes.len() < r2.changes.len()),
                         "non-minimal repair kept: {} ⊂ {}",

@@ -82,10 +82,7 @@ mod tests {
     use crate::ast::{Atom, Term, Var};
 
     fn atom(p: u32, vars: &[u32]) -> Atom {
-        Atom::new(
-            PredId(p),
-            vars.iter().map(|&v| Term::Var(Var(v))).collect(),
-        )
+        Atom::new(PredId(p), vars.iter().map(|&v| Term::Var(Var(v))).collect())
     }
 
     #[test]
@@ -95,7 +92,10 @@ mod tests {
             Rule::new(atom(2, &[0, 1]), vec![Literal::Pos(atom(1, &[0, 1]))]),
             Rule::new(
                 atom(2, &[0, 2]),
-                vec![Literal::Pos(atom(1, &[0, 1])), Literal::Pos(atom(2, &[1, 2]))],
+                vec![
+                    Literal::Pos(atom(1, &[0, 1])),
+                    Literal::Pos(atom(2, &[1, 2])),
+                ],
             ),
         ];
         let s = stratify(3, &rules, |p| format!("p{}", p.index())).unwrap();

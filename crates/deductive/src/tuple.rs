@@ -39,10 +39,7 @@ impl Tuple {
 
     /// Render against an interner, e.g. `(tid4, fuelType, tid_string)`.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> TupleDisplay<'a> {
-        TupleDisplay {
-            t: self,
-            interner,
-        }
+        TupleDisplay { t: self, interner }
     }
 
     /// Project the tuple onto the given column positions.

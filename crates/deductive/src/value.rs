@@ -35,10 +35,7 @@ impl Const {
 
     /// Render the constant against an interner.
     pub fn display(self, interner: &Interner) -> ConstDisplay<'_> {
-        ConstDisplay {
-            c: self,
-            interner,
-        }
+        ConstDisplay { c: self, interner }
     }
 
     /// Compare for ordering that is stable across runs when rendered:

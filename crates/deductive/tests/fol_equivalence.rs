@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: requires the external `proptest` crate (no offline mirror).
+// See the `proptest-tests` feature note in Cargo.toml.
+
 //! Property test: the constraint compiler is equivalent to naive FOL model
 //! checking.
 //!
@@ -87,17 +91,12 @@ fn genf_strategy(avail: u32, depth: u32) -> BoxedStrategy<GenF> {
 fn to_formula(g: &GenF, p: PredId, q: PredId, r: PredId, next: &mut u32) -> Formula {
     match g {
         GenF::AtomP(x) => Formula::Atom(Atom::new(p, vec![Term::Var(Var(*x))])),
-        GenF::AtomQ(x, y) => Formula::Atom(Atom::new(
-            q,
-            vec![Term::Var(Var(*x)), Term::Var(Var(*y))],
-        )),
+        GenF::AtomQ(x, y) => {
+            Formula::Atom(Atom::new(q, vec![Term::Var(Var(*x)), Term::Var(Var(*y))]))
+        }
         GenF::Cmp(op, x, y) => Formula::Cmp(*op, Term::Var(Var(*x)), Term::Var(Var(*y))),
-        GenF::And(fs) => Formula::and(
-            fs.iter().map(|f| to_formula(f, p, q, r, next)).collect(),
-        ),
-        GenF::Or(fs) => Formula::or(
-            fs.iter().map(|f| to_formula(f, p, q, r, next)).collect(),
-        ),
+        GenF::And(fs) => Formula::and(fs.iter().map(|f| to_formula(f, p, q, r, next)).collect()),
+        GenF::Or(fs) => Formula::or(fs.iter().map(|f| to_formula(f, p, q, r, next)).collect()),
         GenF::NotAtomP(x) => Formula::Not(Box::new(Formula::Atom(Atom::new(
             p,
             vec![Term::Var(Var(*x))],
@@ -144,11 +143,7 @@ fn to_formula(g: &GenF, p: PredId, q: PredId, r: PredId, next: &mut u32) -> Form
 }
 
 /// Naive FOL evaluation over the finite domain 0..DOMAIN.
-fn naive_eval(
-    f: &Formula,
-    env: &mut Vec<Option<i64>>,
-    db: &Database,
-) -> bool {
+fn naive_eval(f: &Formula, env: &mut Vec<Option<i64>>, db: &Database) -> bool {
     fn term_val(t: Term, env: &[Option<i64>]) -> i64 {
         match t {
             Term::Const(Const::Int(n)) => n,
@@ -168,10 +163,9 @@ fn naive_eval(
             );
             db.contains(a.pred, &tup)
         }
-        Formula::Cmp(op, l, r) => op.eval(
-            Const::Int(term_val(*l, env)),
-            Const::Int(term_val(*r, env)),
-        ),
+        Formula::Cmp(op, l, r) => {
+            op.eval(Const::Int(term_val(*l, env)), Const::Int(term_val(*r, env)))
+        }
         Formula::And(fs) => fs.iter().all(|g| naive_eval(g, env, db)),
         Formula::Or(fs) => fs.iter().any(|g| naive_eval(g, env, db)),
         Formula::Not(g) => !naive_eval(g, env, db),

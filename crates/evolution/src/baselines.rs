@@ -46,10 +46,7 @@ pub fn fixed_check(m: &MetaModel) -> Vec<String> {
     {
         let mut seen: std::collections::BTreeMap<(String, String), TypeId> = Default::default();
         for (tid, name, sid) in &types {
-            let key = (
-                name.clone(),
-                format!("{:?}", sid),
-            );
+            let key = (name.clone(), format!("{:?}", sid));
             if let Some(prev) = seen.insert(key, *tid) {
                 if prev != *tid {
                     out.push(format!("duplicate type name `{name}` within one schema"));
@@ -68,7 +65,10 @@ pub fn fixed_check(m: &MetaModel) -> Vec<String> {
         let ty = TypeId(t.get(0).as_sym().expect("tid"));
         let dom = TypeId(t.get(2).as_sym().expect("tid"));
         if !type_ids.contains(&ty) {
-            out.push(format!("attribute {} on missing type", t.display(db.interner())));
+            out.push(format!(
+                "attribute {} on missing type",
+                t.display(db.interner())
+            ));
         }
         if !type_ids.contains(&dom) {
             out.push(format!(
@@ -204,9 +204,8 @@ pub fn fixed_check(m: &MetaModel) -> Vec<String> {
         if rn != on {
             out.push(format!("refinement renames `{on}` to `{rn}`"));
         }
-        let subtype_of = |a: TypeId, b: TypeId| -> bool {
-            a == b || m.supertypes_transitive(a).contains(&b)
-        };
+        let subtype_of =
+            |a: TypeId, b: TypeId| -> bool { a == b || m.supertypes_transitive(a).contains(&b) };
         if !subtype_of(rc, oc) {
             out.push(format!("refinement of `{on}` on a non-subtype receiver"));
         }
@@ -302,9 +301,7 @@ pub struct ImmediateCheckManager {
 impl ImmediateCheckManager {
     /// Wrap a consistent manager.
     pub fn new(inner: SchemaManager) -> Self {
-        ImmediateCheckManager {
-            inner,
-        }
+        ImmediateCheckManager { inner }
     }
 
     /// Apply one primitive; if the result is inconsistent, revert it and
@@ -313,9 +310,7 @@ impl ImmediateCheckManager {
         &mut self,
         p: &crate::primitive::Primitive,
     ) -> Result<crate::primitive::PrimitiveResult, String> {
-        self.inner
-            .begin_evolution()
-            .map_err(|e| e.to_string())?;
+        self.inner.begin_evolution().map_err(|e| e.to_string())?;
         let result = match crate::primitive::apply(&mut self.inner.meta, p) {
             Ok(r) => r,
             Err(e) => {
@@ -330,9 +325,7 @@ impl ImmediateCheckManager {
                     .iter()
                     .map(|v| v.render(&self.inner.meta.db))
                     .collect();
-                self.inner
-                    .rollback_evolution()
-                    .map_err(|e| e.to_string())?;
+                self.inner.rollback_evolution().map_err(|e| e.to_string())?;
                 Err(format!("operation refused: {}", msgs.join("; ")))
             }
         }
@@ -389,10 +382,7 @@ pub fn cure_add_attr(
         }
         CurePolicy::Masking => {
             crate::versioning::install(mgr)?;
-            let old_schema = mgr
-                .meta
-                .schema_of(ty)
-                .ok_or("type has no schema")?;
+            let old_schema = mgr.meta.schema_of(ty).ok_or("type has no schema")?;
             let old_name = mgr.meta.type_name(ty).ok_or("type has no name")?;
             let schema_name = {
                 let rel = mgr
@@ -425,10 +415,13 @@ pub fn cure_add_attr(
                 Value::Str(s) => format!("\"{s}\""),
                 other => return Err(format!("unsupported default {other}").into()),
             };
-            let mut fashion = format!("fashion {old_name}@{schema_name} as {old_name}@{new_schema_name} where\n");
+            let mut fashion =
+                format!("fashion {old_name}@{schema_name} as {old_name}@{new_schema_name} where\n");
             for (a, _) in mgr.meta.attrs_inherited(ty) {
                 fashion.push_str(&format!("  {a} : -> ANY is self.{a};\n"));
-                fashion.push_str(&format!("  {a} : <- ANY is begin self.{a} := value; end;\n"));
+                fashion.push_str(&format!(
+                    "  {a} : <- ANY is begin self.{a} := value; end;\n"
+                ));
             }
             fashion.push_str(&format!("  {attr} : -> ANY is {default_src};\n"));
             fashion.push_str("end fashion;\n");
@@ -477,7 +470,10 @@ mod tests {
         let declarative = mgr.meta.db.check().unwrap();
         let fixed = fixed_check(&mgr.meta);
         assert!(!declarative.is_empty());
-        assert!(fixed.iter().any(|v| v.contains("lacks a slot")), "{fixed:?}");
+        assert!(
+            fixed.iter().any(|v| v.contains("lacks a slot")),
+            "{fixed:?}"
+        );
         mgr.rollback_evolution().unwrap();
     }
 

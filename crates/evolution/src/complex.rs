@@ -76,26 +76,21 @@ pub fn replace_code_text(m: &mut MetaModel, cid: CodeId, new_text: &str) -> Evol
         .ok_or_else(|| EvolError::Blocked(vec!["code's declaration is gone".into()]))?;
     // Remove the old Code fact and dependency facts.
     m.db.remove(m.cat.code, row)?;
-    for t in m
-        .db
-        .relation(m.cat.codereq_attr)
-        .select(&[(0, cid.constant())])
+    for t in
+        m.db.relation(m.cat.codereq_attr)
+            .select(&[(0, cid.constant())])
     {
         m.db.remove(m.cat.codereq_attr, &t)?;
     }
-    for t in m
-        .db
-        .relation(m.cat.codereq_decl)
-        .select(&[(0, cid.constant())])
+    for t in
+        m.db.relation(m.cat.codereq_decl)
+            .select(&[(0, cid.constant())])
     {
         m.db.remove(m.cat.codereq_decl, &t)?;
     }
     // Insert the new text under the same code id.
     let text_c = m.db.constant(new_text);
-    m.db.insert(
-        m.cat.code,
-        vec![cid.constant(), text_c, decl.constant()],
-    )?;
+    m.db.insert(m.cat.code, vec![cid.constant(), text_c, decl.constant()])?;
     // Re-analysis with the recorded parameter names and declared arg types.
     let params = code_params(m, cid);
     let arg_types: Vec<TypeId> = m.args_of(decl).into_iter().map(|(_, t)| t).collect();
@@ -104,8 +99,7 @@ pub fn replace_code_text(m: &mut MetaModel, cid: CodeId, new_text: &str) -> Evol
         .zip(arg_types)
         .map(|((_, n), t)| (n, t))
         .collect();
-    let block =
-        parse_code_text(new_text).map_err(|e| EvolError::Analyze(e.to_string()))?;
+    let block = parse_code_text(new_text).map_err(|e| EvolError::Analyze(e.to_string()))?;
     let analysis = codereq::analyze(m, receiver, decl, &typed, &block)
         .map_err(|e| EvolError::Analyze(e.to_string()))?;
     for (t, a) in analysis.attr_reqs {
@@ -122,18 +116,17 @@ pub fn code_params(m: &MetaModel, cid: CodeId) -> Vec<(i64, String)> {
     let Some(cp) = m.db.pred_id("CodeParam") else {
         return Vec::new();
     };
-    let mut rows: Vec<(i64, String)> = m
-        .db
-        .relation(cp)
-        .select(&[(0, cid.constant())])
-        .iter()
-        .filter_map(|t| {
-            Some((
-                t.get(1).as_int()?,
-                m.db.resolve(t.get(2).as_sym()?).to_string(),
-            ))
-        })
-        .collect();
+    let mut rows: Vec<(i64, String)> =
+        m.db.relation(cp)
+            .select(&[(0, cid.constant())])
+            .iter()
+            .filter_map(|t| {
+                Some((
+                    t.get(1).as_int()?,
+                    m.db.resolve(t.get(2).as_sym()?).to_string(),
+                ))
+            })
+            .collect();
     rows.sort();
     rows
 }
@@ -156,13 +149,12 @@ pub struct AddArgumentReport {
 /// step one of the complex operation: "finds out all relevant locations and
 /// offers them to the user".
 pub fn add_argument_plan(m: &MetaModel, decl: DeclId) -> Vec<CodeId> {
-    let mut out: Vec<CodeId> = m
-        .db
-        .relation(m.cat.codereq_decl)
-        .select(&[(1, decl.constant())])
-        .iter()
-        .filter_map(|t| t.get(0).as_sym().map(CodeId))
-        .collect();
+    let mut out: Vec<CodeId> =
+        m.db.relation(m.cat.codereq_decl)
+            .select(&[(1, decl.constant())])
+            .iter()
+            .filter_map(|t| t.get(0).as_sym().map(CodeId))
+            .collect();
     out.sort();
     out.dedup();
     out
@@ -443,13 +435,12 @@ pub fn delete_type(
                 }
             }
             // Declarations with result or argument of this type.
-            let mut doomed: Vec<DeclId> = m
-                .db
-                .relation(m.cat.decl)
-                .select(&[(3, ty.constant())])
-                .iter()
-                .filter_map(|t| t.get(0).as_sym().map(DeclId))
-                .collect();
+            let mut doomed: Vec<DeclId> =
+                m.db.relation(m.cat.decl)
+                    .select(&[(3, ty.constant())])
+                    .iter()
+                    .filter_map(|t| t.get(0).as_sym().map(DeclId))
+                    .collect();
             doomed.extend(
                 m.db.relation(m.cat.argdecl)
                     .select(&[(2, ty.constant())])
@@ -530,13 +521,9 @@ pub fn copy_type_into(
             }
             // re-analyze against the copy
             let arg_types: Vec<TypeId> = m.args_of(nd).into_iter().map(|(_, t)| t).collect();
-            let typed: Vec<(String, TypeId)> = params
-                .into_iter()
-                .map(|(_, n)| n)
-                .zip(arg_types)
-                .collect();
-            let block =
-                parse_code_text(&text).map_err(|e| EvolError::Analyze(e.to_string()))?;
+            let typed: Vec<(String, TypeId)> =
+                params.into_iter().map(|(_, n)| n).zip(arg_types).collect();
+            let block = parse_code_text(&text).map_err(|e| EvolError::Analyze(e.to_string()))?;
             let analysis = codereq::analyze(m, new_ty, nd, &typed, &block)
                 .map_err(|e| EvolError::Analyze(e.to_string()))?;
             for (t, a) in analysis.attr_reqs {
@@ -625,8 +612,7 @@ mod tests {
         assert_eq!(plan.len(), 1); // City's super call
         mgr.begin_evolution().unwrap();
         let int = mgr.meta.builtins.int;
-        let err =
-            add_argument(&mut mgr, d_loc, int, "precision", &BTreeMap::new()).unwrap_err();
+        let err = add_argument(&mut mgr, d_loc, int, "precision", &BTreeMap::new()).unwrap_err();
         assert!(matches!(err, EvolError::MissingPatches(_)));
         mgr.rollback_evolution().unwrap();
     }
@@ -784,8 +770,7 @@ mod tests {
         // Cascade also removes Car (its owner attr references Person)… no:
         // cascade removes the *attribute*, not the Car type. Instances of
         // Person are deleted.
-        let report =
-            delete_type(&mut mgr, person, DeleteTypeSemantics::CascadeInstances).unwrap();
+        let report = delete_type(&mut mgr, person, DeleteTypeSemantics::CascadeInstances).unwrap();
         assert_eq!(report.instances_deleted, 2);
         assert!(mgr.runtime.objects.get(p1).is_none());
         let out = mgr.end_evolution().unwrap();

@@ -117,7 +117,13 @@ impl fmt::Display for DiffStep {
             DiffStep::ChangeAttrDomain { ty, name, from, to } => {
                 write!(f, "change domain of {ty}.{name}: {from} -> {to}")
             }
-            DiffStep::AddOp { ty, op, result, args, .. } => {
+            DiffStep::AddOp {
+                ty,
+                op,
+                result,
+                args,
+                ..
+            } => {
                 write!(f, "declare {ty}.{op} : {} -> {result}", args.join(", "))
             }
             DiffStep::DeleteOp { ty, op } => write!(f, "drop operation {ty}.{op}"),
@@ -164,11 +170,7 @@ fn signature(m: &MetaModel, t: TypeId) -> TypeSig {
             (op, (type_name_of(m, r), args, code))
         })
         .collect();
-    TypeSig {
-        supers,
-        attrs,
-        ops,
-    }
+    TypeSig { supers, attrs, ops }
 }
 
 /// Compute the edit script transforming `from` into `to` (names matched).
@@ -186,9 +188,7 @@ pub fn diff_schemas(m: &MetaModel, from: SchemaId, to: SchemaId) -> Vec<DiffStep
     // New types first (so later steps can reference them).
     for name in to_types.keys() {
         if !from_types.contains_key(name) {
-            steps.push(DiffStep::AddType {
-                name: name.clone(),
-            });
+            steps.push(DiffStep::AddType { name: name.clone() });
         }
     }
     // Per-type structural diffs.
@@ -289,9 +289,7 @@ pub fn diff_schemas(m: &MetaModel, from: SchemaId, to: SchemaId) -> Vec<DiffStep
     // Dropped types last.
     for name in from_types.keys() {
         if !to_types.contains_key(name) {
-            steps.push(DiffStep::DeleteType {
-                name: name.clone(),
-            });
+            steps.push(DiffStep::DeleteType { name: name.clone() });
         }
     }
     steps
@@ -310,9 +308,7 @@ pub fn apply_diff(
         mgr.meta
             .type_by_name(schema, name)
             .or_else(|| mgr.meta.builtins.by_name(name))
-            .ok_or_else(|| {
-                EvolError::Blocked(vec![format!("cannot resolve type `{name}`")])
-            })
+            .ok_or_else(|| EvolError::Blocked(vec![format!("cannot resolve type `{name}`")]))
     };
     let mut applied = 0;
     for step in steps {
@@ -380,16 +376,14 @@ pub fn apply_diff(
             }
             DiffStep::DeleteOp { ty, op } => {
                 let t = resolve(mgr, ty)?;
-                if let Some((d, _, _)) =
-                    mgr.meta.decls_of(t).into_iter().find(|(_, n, _)| n == op)
+                if let Some((d, _, _)) = mgr.meta.decls_of(t).into_iter().find(|(_, n, _)| n == op)
                 {
                     crate::complex::delete_decl_cascade_public(&mut mgr.meta, d);
                 }
             }
             DiffStep::ChangeCode { ty, op, code } => {
                 let t = resolve(mgr, ty)?;
-                if let Some((d, _, _)) =
-                    mgr.meta.decls_of(t).into_iter().find(|(_, n, _)| n == op)
+                if let Some((d, _, _)) = mgr.meta.decls_of(t).into_iter().find(|(_, n, _)| n == op)
                 {
                     if let Some((cid, _)) = mgr.meta.code_of(d) {
                         crate::complex::replace_code_text(&mut mgr.meta, cid, code)?;
@@ -461,7 +455,10 @@ mod tests {
         assert!(has("add attribute Person.birthday : date"), "{rendered:?}");
         assert!(has("remove attribute Person.age"), "{rendered:?}");
         assert!(has("make ElectricCar a subtype of Car"), "{rendered:?}");
-        assert!(has("add attribute ElectricCar.range : float"), "{rendered:?}");
+        assert!(
+            has("add attribute ElectricCar.range : float"),
+            "{rendered:?}"
+        );
     }
 
     #[test]
@@ -530,9 +527,6 @@ mod tests {
         assert!(mgr.end_evolution().unwrap().is_consistent());
         let t = mgr.meta.type_by_name(a, "T").unwrap();
         let o = mgr.create_object(t).unwrap();
-        assert_eq!(
-            mgr.call(o, "f", &[]).unwrap(),
-            gom_runtime::Value::Int(2)
-        );
+        assert_eq!(mgr.call(o, "f", &[]).unwrap(), gom_runtime::Value::Int(2));
     }
 }

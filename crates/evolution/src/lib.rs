@@ -34,6 +34,5 @@ pub use diff::{apply_diff, diff_schemas, render_diff, DiffStep};
 pub use macros::{EvolutionMacro, MacroParams, MacroRecorder};
 pub use primitive::{apply, apply_all, Primitive, PrimitiveResult};
 pub use versioning::{
-    install as install_versioning, record_schema_evolution, record_type_evolution,
-    VERSIONING_DEFS,
+    install as install_versioning, record_schema_evolution, record_type_evolution, VERSIONING_DEFS,
 };

@@ -137,9 +137,7 @@ impl EvolutionMacro {
                 schema: SchemaId(self.sub_sym(m, schema.sym(), params, rebind)),
                 name: self.sub_string(name, params),
             },
-            Primitive::DeleteType { ty: t } => Primitive::DeleteType {
-                ty: ty(m, *t),
-            },
+            Primitive::DeleteType { ty: t } => Primitive::DeleteType { ty: ty(m, *t) },
             Primitive::AddAttr {
                 ty: t,
                 name,
@@ -172,10 +170,12 @@ impl EvolutionMacro {
                 result: ty(m, *result),
                 args: args.iter().map(|a| ty(m, *a)).collect(),
             },
-            Primitive::DeleteDecl { decl: d } => Primitive::DeleteDecl {
-                decl: decl(m, *d),
-            },
-            Primitive::AddArgDecl { decl: d, pos, ty: t } => Primitive::AddArgDecl {
+            Primitive::DeleteDecl { decl: d } => Primitive::DeleteDecl { decl: decl(m, *d) },
+            Primitive::AddArgDecl {
+                decl: d,
+                pos,
+                ty: t,
+            } => Primitive::AddArgDecl {
                 decl: decl(m, *d),
                 pos: *pos,
                 ty: ty(m, *t),
@@ -188,9 +188,7 @@ impl EvolutionMacro {
                 decl: decl(m, *d),
                 text: self.sub_string(text, params),
             },
-            Primitive::DeleteCode { decl: d } => Primitive::DeleteCode {
-                decl: decl(m, *d),
-            },
+            Primitive::DeleteCode { decl: d } => Primitive::DeleteCode { decl: decl(m, *d) },
             Primitive::AddRefinement { refining, refined } => Primitive::AddRefinement {
                 refining: decl(m, *refining),
                 refined: decl(m, *refined),
@@ -215,9 +213,7 @@ impl EvolutionMacro {
 fn produced_sym(m: &MetaModel, step: &Primitive) -> Option<Symbol> {
     match step {
         Primitive::AddSchema { name } => m.schema_by_name(name).map(|s| s.sym()),
-        Primitive::AddType { schema, name } => {
-            m.type_by_name(*schema, name).map(|t| t.sym())
-        }
+        Primitive::AddType { schema, name } => m.type_by_name(*schema, name).map(|t| t.sym()),
         Primitive::AddDecl { ty, op, .. } => m
             .decls_of(*ty)
             .into_iter()
@@ -309,7 +305,8 @@ mod tests {
         assert_eq!(mgr.meta.decls_of(truck).len(), 1);
         // …and the replayed operation actually runs.
         let t = mgr.create_object(truck).unwrap();
-        mgr.set_attr(t, "serialNo", gom_runtime::Value::Int(7)).unwrap();
+        mgr.set_attr(t, "serialNo", gom_runtime::Value::Int(7))
+            .unwrap();
         assert_eq!(
             mgr.call(t, "serial", &[]).unwrap(),
             gom_runtime::Value::Int(7)
@@ -339,14 +336,8 @@ mod tests {
             .unwrap()
             .type_id()
             .unwrap();
-        rec.apply(
-            &mut mgr.meta,
-            Primitive::AddSubtype {
-                sub: t,
-                sup: any,
-            },
-        )
-        .unwrap();
+        rec.apply(&mut mgr.meta, Primitive::AddSubtype { sub: t, sup: any })
+            .unwrap();
         rec.apply(
             &mut mgr.meta,
             Primitive::AddAttr {

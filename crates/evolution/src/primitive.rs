@@ -159,9 +159,7 @@ impl PrimitiveResult {
 pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
     Ok(match p {
         Primitive::AddSchema { name } => PrimitiveResult::Schema(m.new_schema(name)?),
-        Primitive::AddType { schema, name } => {
-            PrimitiveResult::Type(m.new_type(*schema, name)?)
-        }
+        Primitive::AddType { schema, name } => PrimitiveResult::Type(m.new_type(*schema, name)?),
         Primitive::DeleteType { ty } => {
             for t in m.db.relation(m.cat.ty).select(&[(0, ty.constant())]) {
                 m.db.remove(m.cat.ty, &t)?;
@@ -208,10 +206,9 @@ pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
             PrimitiveResult::Unit
         }
         Primitive::DeleteArgDecl { decl, pos } => {
-            for t in m
-                .db
-                .relation(m.cat.argdecl)
-                .select(&[(0, decl.constant()), (1, Const::Int(*pos))])
+            for t in
+                m.db.relation(m.cat.argdecl)
+                    .select(&[(0, decl.constant()), (1, Const::Int(*pos))])
             {
                 m.db.remove(m.cat.argdecl, &t)?;
             }
@@ -252,13 +249,7 @@ mod tests {
         mgr.begin_evolution().unwrap();
         let any = mgr.meta.builtins.any;
         let int = mgr.meta.builtins.int;
-        let s = apply(
-            &mut mgr.meta,
-            &Primitive::AddSchema {
-                name: "S".into(),
-            },
-        )
-        .unwrap();
+        let s = apply(&mut mgr.meta, &Primitive::AddSchema { name: "S".into() }).unwrap();
         let PrimitiveResult::Schema(s) = s else {
             panic!()
         };
@@ -275,10 +266,7 @@ mod tests {
         apply_all(
             &mut mgr.meta,
             &[
-                Primitive::AddSubtype {
-                    sub: t,
-                    sup: any,
-                },
+                Primitive::AddSubtype { sub: t, sup: any },
                 Primitive::AddAttr {
                     ty: t,
                     name: "x".into(),
@@ -343,10 +331,8 @@ mod tests {
     #[test]
     fn delete_primitives_are_inverses_of_adds() {
         let mut mgr = SchemaManager::new().unwrap();
-        mgr.define_schema(
-            "schema S is type A is [ x : int; ] end type A; end schema S;",
-        )
-        .unwrap();
+        mgr.define_schema("schema S is type A is [ x : int; ] end type A; end schema S;")
+            .unwrap();
         let s = mgr.meta.schema_by_name("S").unwrap();
         let a = mgr.meta.type_by_name(s, "A").unwrap();
         let before = mgr.meta.db.fact_count();

@@ -90,11 +90,7 @@ pub fn record_schema_evolution(
 }
 
 /// Record that type `from` evolves to type `to`.
-pub fn record_type_evolution(
-    mgr: &mut SchemaManager,
-    from: TypeId,
-    to: TypeId,
-) -> DbResult<bool> {
+pub fn record_type_evolution(mgr: &mut SchemaManager, from: TypeId, to: TypeId) -> DbResult<bool> {
     let p = mgr.meta.db.pred_id_req("evolves_to_T")?;
     mgr.meta.db.insert(p, vec![from.constant(), to.constant()])
 }
@@ -115,7 +111,7 @@ pub fn schema_successors(mgr: &mut SchemaManager, s: SchemaId) -> DbResult<Vec<S
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use gom_runtime::Value;
 
     fn two_person_versions(mgr: &mut SchemaManager) -> (SchemaId, SchemaId, TypeId, TypeId) {
@@ -230,7 +226,14 @@ end fashion;";
             .lower_source(&mut mgr.meta, fashion_src)
             .unwrap();
         let out = mgr.end_evolution().unwrap();
-        assert!(out.is_consistent(), "{:?}", out.violations().iter().map(|v| v.render(&mgr.meta.db)).collect::<Vec<_>>());
+        assert!(
+            out.is_consistent(),
+            "{:?}",
+            out.violations()
+                .iter()
+                .map(|v| v.render(&mgr.meta.db))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -255,14 +258,12 @@ end fashion;";
         // An OLD Person (with age) answers birthday reads and writes.
         let old = mgr.create_object(p1).unwrap();
         mgr.set_attr(old, "age", Value::Int(30)).unwrap();
-        assert_eq!(
-            mgr.get_attr(old, "birthday").unwrap(),
-            Value::Int(30 * 365)
-        );
+        assert_eq!(mgr.get_attr(old, "birthday").unwrap(), Value::Int(30 * 365));
         mgr.set_attr(old, "birthday", Value::Int(40 * 365)).unwrap();
         assert_eq!(mgr.get_attr(old, "age").unwrap(), Value::Int(40));
         // name passes straight through.
-        mgr.set_attr(old, "name", Value::Str("Alice".into())).unwrap();
+        mgr.set_attr(old, "name", Value::Str("Alice".into()))
+            .unwrap();
         assert_eq!(
             mgr.get_attr(old, "name").unwrap(),
             Value::Str("Alice".into())

@@ -1,0 +1,196 @@
+//! The structured diagnostic type and the report container.
+//!
+//! Every lint pass emits [`Diagnostic`]s: a stable code (`L0102`), a
+//! severity, an optional source span, a primary message, labelled notes,
+//! and an optional suggested fix. Reports know their worst severity and
+//! whether they trip a deny level.
+
+use std::fmt;
+
+/// Diagnostic severity, ordered `Note < Warn < Error`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational; style or hygiene.
+    Note,
+    /// Probably a mistake; the program still evaluates.
+    Warn,
+    /// The program is ill-formed (will not compile or cannot behave as
+    /// written).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name (`"error"`, `"warn"`, `"note"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse from the names accepted by `--deny`.
+    pub fn parse(s: &str) -> Option<Severity> {
+        Some(match s {
+            "note" => Severity::Note,
+            "warn" | "warning" => Severity::Warn,
+            "error" => Severity::Error,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 1-based source position with an optional highlight length.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Line (1-based).
+    pub line: usize,
+    /// Column (1-based).
+    pub col: usize,
+    /// Characters to highlight (at least 1).
+    pub len: usize,
+}
+
+impl Span {
+    /// A single-character span.
+    pub fn point(line: usize, col: usize) -> Span {
+        Span { line, col, len: 1 }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"L0201"`. Code ranges group the passes:
+    /// `L00xx` syntax, `L01xx` safety, `L02xx` stratification, `L03xx`
+    /// dependency graph, `L04xx` performance, `L05xx` schema.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Primary message (one line, no trailing period).
+    pub message: String,
+    /// Source span, when the finding maps to a position in the linted
+    /// document.
+    pub span: Option<Span>,
+    /// Secondary notes (witness paths, definitions involved, …).
+    pub notes: Vec<String>,
+    /// A suggested fix, when one is mechanical.
+    pub fix: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with no span, notes, or fix.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+            fix: None,
+        }
+    }
+
+    /// Attach a span.
+    pub fn with_span(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Append a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attach a suggested fix.
+    pub fn with_fix(mut self, fix: impl Into<String>) -> Diagnostic {
+        self.fix = Some(fix.into());
+        self
+    }
+}
+
+/// The result of a lint run: all diagnostics, sorted by position then code.
+#[derive(Clone, Default, Debug)]
+pub struct LintReport {
+    /// The findings.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// The worst severity present.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// True when any finding is at `level` or worse — the `--deny` check.
+    pub fn denies(&self, level: Severity) -> bool {
+        self.worst().is_some_and(|w| w >= level)
+    }
+
+    /// Sort by (line, column, code) with span-less findings last.
+    pub fn sort(&mut self) {
+        self.diags.sort_by_key(|d| {
+            (
+                d.span.map_or((usize::MAX, usize::MAX), |s| (s.line, s.col)),
+                d.code,
+            )
+        });
+    }
+
+    /// Extend with another pass's findings.
+    pub fn extend(&mut self, diags: impl IntoIterator<Item = Diagnostic>) {
+        self.diags.extend(diags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Note);
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn deny_level_respects_ordering() {
+        let mut r = LintReport::default();
+        r.diags.push(Diagnostic::new("L0401", Severity::Warn, "x"));
+        assert!(!r.denies(Severity::Error));
+        assert!(r.denies(Severity::Warn));
+        assert!(r.denies(Severity::Note));
+        assert_eq!(r.count(Severity::Warn), 1);
+    }
+
+    #[test]
+    fn sort_puts_spanless_last() {
+        let mut r = LintReport::default();
+        r.diags
+            .push(Diagnostic::new("L0503", Severity::Error, "no span"));
+        r.diags.push(
+            Diagnostic::new("L0101", Severity::Error, "spanned").with_span(Some(Span::point(2, 1))),
+        );
+        r.sort();
+        assert_eq!(r.diags[0].code, "L0101");
+    }
+}

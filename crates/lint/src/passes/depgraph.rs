@@ -1,0 +1,170 @@
+//! Dependency-graph lints — `L03xx`.
+//!
+//! * `L0301` — a derived predicate is referenced but no rule defines it.
+//! * `L0302` — an atom uses a predicate with the wrong arity (API-built
+//!   programs; parsed programs are rejected at load and mapped by
+//!   [`crate::lint_source`]).
+//! * `L0303` — a predicate is never used anywhere (and stores no facts).
+//! * `L0304` — a rule can never fire: a positive body literal reads an
+//!   undefined derived predicate.
+//! * `L0305` — a constraint is vacuously satisfied: its premise reads an
+//!   undefined derived predicate.
+
+use super::{constraint_span, formula_atoms, rule_span};
+use crate::diag::{Diagnostic, LintReport, Severity, Span};
+use crate::LintConfig;
+use gom_deductive::ast::{Atom, Literal};
+use gom_deductive::{Database, Formula, PredKind};
+
+pub(crate) fn run(db: &Database, cfg: &LintConfig, report: &mut LintReport) {
+    let n = db.pred_count();
+    let mut defined = vec![false; n]; // has at least one defining rule
+    let mut referenced = vec![false; n]; // appears in any rule or constraint
+    for rule in db.rules() {
+        defined[rule.head.pred.index()] = true;
+        referenced[rule.head.pred.index()] = true;
+        for lit in &rule.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = lit {
+                referenced[a.pred.index()] = true;
+            }
+        }
+    }
+    let mut catoms = Vec::new();
+    for c in db.constraints() {
+        formula_atoms(&c.formula, &mut catoms);
+    }
+    for a in &catoms {
+        referenced[a.pred.index()] = true;
+    }
+
+    let arity_diag = |a: &Atom, span: Option<Span>, whom: String| -> Option<Diagnostic> {
+        let d = db.pred_decl(a.pred);
+        (d.arity != a.args.len()).then(|| {
+            Diagnostic::new(
+                "L0302",
+                Severity::Error,
+                format!(
+                    "predicate `{}` declared with arity {} but used with arity {}",
+                    db.pred_name(a.pred),
+                    d.arity,
+                    a.args.len()
+                ),
+            )
+            .with_span(span)
+            .with_note(whom)
+        })
+    };
+
+    // Rule-level findings.
+    for (i, rule) in db.rules().iter().enumerate().skip(cfg.baseline.rules) {
+        let span = rule_span(db, i);
+        let head_name = db.pred_name(rule.head.pred);
+        report.extend(arity_diag(
+            &rule.head,
+            span,
+            format!("in the head of a rule for `{head_name}`"),
+        ));
+        for lit in &rule.body {
+            let (Literal::Pos(a) | Literal::Neg(a)) = lit else {
+                continue;
+            };
+            report.extend(arity_diag(
+                a,
+                span,
+                format!("in the body of a rule for `{head_name}`"),
+            ));
+            let undefined =
+                db.pred_decl(a.pred).kind == PredKind::Derived && !defined[a.pred.index()];
+            if undefined && lit.is_positive() {
+                report.diags.push(
+                    Diagnostic::new(
+                        "L0304",
+                        Severity::Warn,
+                        format!("rule for `{head_name}` can never fire"),
+                    )
+                    .with_span(span)
+                    .with_note(format!(
+                        "positive body literal `{}` is a derived predicate with no defining rules",
+                        db.pred_name(a.pred)
+                    ))
+                    .with_fix(format!(
+                        "define `{}` or remove the literal",
+                        db.pred_name(a.pred)
+                    )),
+                );
+            }
+        }
+    }
+
+    // Constraint-level findings.
+    for (i, c) in db
+        .constraints()
+        .iter()
+        .enumerate()
+        .skip(cfg.baseline.constraints)
+    {
+        let span = constraint_span(db, i);
+        let mut atoms = Vec::new();
+        formula_atoms(&c.formula, &mut atoms);
+        for a in &atoms {
+            report.extend(arity_diag(a, span, format!("in constraint `{}`", c.name)));
+        }
+        if let Formula::Forall(_, body) = &c.formula {
+            if let Formula::Implies(premise, _) = body.as_ref() {
+                let mut patoms = Vec::new();
+                formula_atoms(premise, &mut patoms);
+                for a in patoms {
+                    if db.pred_decl(a.pred).kind == PredKind::Derived && !defined[a.pred.index()] {
+                        report.diags.push(
+                            Diagnostic::new(
+                                "L0305",
+                                Severity::Warn,
+                                format!("constraint `{}` can never be violated", c.name),
+                            )
+                            .with_span(span)
+                            .with_note(format!(
+                                "its premise reads `{}`, a derived predicate with no \
+                                 defining rules, so the premise is always empty",
+                                db.pred_name(a.pred)
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Predicate-level findings: undefined-but-referenced and unused.
+    for p in db.pred_ids().skip(cfg.baseline.preds) {
+        let name = db.pred_name(p);
+        if name.starts_with("__") {
+            continue; // compiler-generated auxiliaries
+        }
+        let decl = db.pred_decl(p);
+        let i = p.index();
+        if decl.kind == PredKind::Derived && referenced[i] && !defined[i] {
+            report.diags.push(
+                Diagnostic::new(
+                    "L0301",
+                    Severity::Warn,
+                    format!("derived predicate `{name}` has no defining rules"),
+                )
+                .with_note("its extension is always empty")
+                .with_fix(format!(
+                    "add a rule with head `{name}` or drop the references"
+                )),
+            );
+        }
+        let has_facts = decl.is_base() && !db.relation(p).is_empty();
+        if !referenced[i] && !has_facts {
+            report.diags.push(
+                Diagnostic::new(
+                    "L0303",
+                    Severity::Note,
+                    format!("predicate `{name}` is never used"),
+                )
+                .with_note("it appears in no rule, no constraint, and stores no facts"),
+            );
+        }
+    }
+}

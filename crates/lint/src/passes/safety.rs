@@ -1,0 +1,119 @@
+//! Safety (range-restriction) lints — `L01xx`.
+//!
+//! * `L0101` — a rule is not range-restricted (defense in depth; the engine
+//!   rejects these at load, so this fires mainly for API-built programs).
+//! * `L0102` — a constraint's outer universally quantified variable is not
+//!   bound by a positive premise literal, so the compiled violation rule
+//!   cannot be range-restricted.
+//! * `L0103` — a constraint formula is not closed.
+
+use super::{constraint_span, rule_span};
+use crate::diag::{Diagnostic, LintReport, Severity};
+use crate::LintConfig;
+use gom_deductive::ast::Var;
+use gom_deductive::{Database, Formula, FxHashSet};
+
+pub(crate) fn run(db: &Database, cfg: &LintConfig, report: &mut LintReport) {
+    for (i, rule) in db.rules().iter().enumerate().skip(cfg.baseline.rules) {
+        if let Err(v) = rule.check_safety() {
+            let info = db.rule_info(i);
+            let var = info
+                .var_names
+                .get(v.index())
+                .cloned()
+                .unwrap_or_else(|| format!("#{}", v.0));
+            report.diags.push(
+                Diagnostic::new(
+                    "L0101",
+                    Severity::Error,
+                    format!(
+                        "rule for `{}` is not range-restricted",
+                        db.pred_name(rule.head.pred)
+                    ),
+                )
+                .with_span(rule_span(db, i))
+                .with_note(format!(
+                    "variable `{var}` does not occur in any positive body literal"
+                ))
+                .with_fix(format!(
+                    "bind `{var}` with a positive literal, or drop it from the rule"
+                )),
+            );
+        }
+    }
+
+    for (i, c) in db
+        .constraints()
+        .iter()
+        .enumerate()
+        .skip(cfg.baseline.constraints)
+    {
+        let free = c.formula.free_vars();
+        if !free.is_empty() {
+            let mut vars: Vec<&str> = free.iter().map(|&v| c.var_name(v)).collect();
+            vars.sort_unstable();
+            report.diags.push(
+                Diagnostic::new(
+                    "L0103",
+                    Severity::Error,
+                    format!("constraint `{}` is not a closed formula", c.name),
+                )
+                .with_span(constraint_span(db, i))
+                .with_note(format!("free variable(s): {}", vars.join(", ")))
+                .with_fix("quantify every variable (forall/exists)"),
+            );
+            continue;
+        }
+        if let Formula::Forall(outer, body) = &c.formula {
+            if let Formula::Implies(premise, _) = body.as_ref() {
+                let bound = positive_bound_vars(premise);
+                for &v in outer {
+                    if !bound.contains(&v) {
+                        report.diags.push(
+                            Diagnostic::new(
+                                "L0102",
+                                Severity::Error,
+                                format!("constraint `{}` is not range-restricted", c.name),
+                            )
+                            .with_span(constraint_span(db, i))
+                            .with_note(format!(
+                                "outer variable `{}` is not bound by a positive premise literal",
+                                c.var_name(v)
+                            ))
+                            .with_fix(format!(
+                                "add a positive premise atom mentioning `{}`",
+                                c.var_name(v)
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Variables guaranteed bound by the positive part of a premise: atoms bind
+/// their variables, conjunction unions, disjunction intersects, existential
+/// bodies pass through, everything else (negation, comparisons) binds
+/// nothing.
+fn positive_bound_vars(f: &Formula) -> FxHashSet<Var> {
+    match f {
+        Formula::Atom(a) => a.vars().collect(),
+        Formula::And(fs) => {
+            let mut acc = FxHashSet::default();
+            for g in fs {
+                acc.extend(positive_bound_vars(g));
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let mut it = fs.iter().map(positive_bound_vars);
+            let Some(first) = it.next() else {
+                return FxHashSet::default();
+            };
+            it.fold(first, |acc, s| acc.intersection(&s).copied().collect())
+        }
+        Formula::Exists(_, g) => positive_bound_vars(g),
+        _ => FxHashSet::default(),
+    }
+}

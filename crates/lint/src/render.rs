@@ -1,0 +1,89 @@
+//! Human-readable (rustc-style) rendering of a [`LintReport`]:
+//!
+//! ```text
+//! error[L0201]: program is not stratifiable: negation cycle
+//!  --> schema.cdl:3:1
+//!   |
+//! 3 | Foo(X) :- N(X), not Bar(X).
+//!   | ^
+//!   = note: minimal cycle: Foo -> not Bar -> Foo
+//! ```
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+
+/// Render one diagnostic. `source` (when given) supplies the snippet for
+/// caret spans; `origin` names the document (file path or `<input>`).
+pub fn render_diagnostic(d: &Diagnostic, source: Option<&str>, origin: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    if let Some(span) = d.span {
+        out.push_str(&format!(" --> {origin}:{}:{}\n", span.line, span.col));
+        if let Some(line_text) = source.and_then(|s| s.lines().nth(span.line.saturating_sub(1))) {
+            let lno = span.line.to_string();
+            let gutter = " ".repeat(lno.len());
+            out.push_str(&format!("{gutter} |\n"));
+            out.push_str(&format!("{lno} | {line_text}\n"));
+            let pad = " ".repeat(span.col.saturating_sub(1));
+            let carets = "^".repeat(span.len.max(1));
+            out.push_str(&format!("{gutter} | {pad}{carets}\n"));
+        }
+    }
+    for note in &d.notes {
+        out.push_str(&format!("  = note: {note}\n"));
+    }
+    if let Some(fix) = &d.fix {
+        out.push_str(&format!("  = help: {fix}\n"));
+    }
+    out
+}
+
+/// Render a whole report plus a summary line.
+pub fn render_report(report: &LintReport, source: Option<&str>, origin: &str) -> String {
+    let mut out = String::new();
+    for d in &report.diags {
+        out.push_str(&render_diagnostic(d, source, origin));
+        out.push('\n');
+    }
+    let (e, w, n) = (
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Note),
+    );
+    if report.is_clean() {
+        out.push_str("clean: no diagnostics\n");
+    } else {
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            e, w, n
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Span;
+
+    #[test]
+    fn caret_lands_under_the_offending_column() {
+        let src = "base N(x).\nFoo(X) :- N(Y).\n";
+        let d = Diagnostic::new("L0101", Severity::Error, "rule is not range-restricted")
+            .with_span(Some(Span::point(2, 1)))
+            .with_note("variable `X` is unbound");
+        let r = render_diagnostic(&d, Some(src), "t.cdl");
+        assert!(r.contains("error[L0101]"), "{r}");
+        assert!(r.contains("--> t.cdl:2:1"), "{r}");
+        assert!(r.contains("2 | Foo(X) :- N(Y)."), "{r}");
+        assert!(r.contains("  | ^"), "{r}");
+        assert!(r.contains("= note: variable `X` is unbound"), "{r}");
+    }
+
+    #[test]
+    fn spanless_diagnostic_renders_without_snippet() {
+        let d = Diagnostic::new("L0503", Severity::Error, "version graph has a cycle");
+        let r = render_diagnostic(&d, None, "<db>");
+        assert!(!r.contains("-->"), "{r}");
+        assert!(r.contains("error[L0503]"), "{r}");
+    }
+}

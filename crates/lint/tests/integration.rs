@@ -1,0 +1,95 @@
+//! End-to-end wiring tests: the paper's car schema must lint clean, and
+//! the two lint gates (schema manager commit gate, analyzer load gate)
+//! must block exactly when armed.
+
+use gom_analyzer::car_schema::CAR_SCHEMA_SRC;
+use gom_analyzer::lower::{AnalyzeError, Analyzer};
+use gom_core::SchemaManager;
+use gom_lint::{render_report, Severity};
+use gom_model::MetaModel;
+
+#[test]
+fn car_schema_lints_clean() {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+    let report = mgr.lint();
+    assert!(
+        report.is_clean(),
+        "car schema should lint clean:\n{}",
+        render_report(&report, None, "<schema base>")
+    );
+}
+
+#[test]
+fn manager_gate_blocks_commit_and_leaves_session_open() {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+    mgr.set_lint_gate(Some(Severity::Note));
+
+    mgr.begin_evolution().unwrap();
+    // A predicate nothing references and nothing populates: lints as
+    // L0303 (note), which the gate at `note` must refuse to commit.
+    mgr.meta.db.declare_base("ScratchPad", 1).unwrap();
+    let err = mgr.end_evolution().expect_err("gate should trip");
+    assert!(
+        err.to_string().contains("lint gate (note)"),
+        "unexpected error: {err}"
+    );
+    assert!(mgr.in_evolution(), "session must stay open after gate trip");
+
+    // Disarm the gate: the same session now commits.
+    mgr.set_lint_gate(None);
+    let outcome = mgr.end_evolution().unwrap();
+    assert!(outcome.is_consistent());
+}
+
+#[test]
+fn manager_gate_passes_clean_sessions() {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+    mgr.set_lint_gate(Some(Severity::Warn));
+
+    let sid = mgr.meta.schema_by_name("CarSchema").unwrap();
+    let car = mgr.meta.type_by_name(sid, "Car").unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.begin_evolution().unwrap();
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+    let outcome = mgr.end_evolution().unwrap();
+    assert!(outcome.is_consistent());
+    assert!(!mgr.in_evolution());
+}
+
+#[test]
+fn analyzer_gate_rejects_shadowed_attribute() {
+    // `x` on the subtype shadows `x` on the supertype -> L0502 (warn).
+    let src = "\
+schema ShadowSchema is
+  type A is
+    [ x : string; ]
+  end type A;
+  type B supertype A is
+    [ x : string; ]
+  end type B;
+end schema ShadowSchema;
+";
+    // Without a gate the schema loads (shadowing is legal GOM, just lint-worthy).
+    let mut m = MetaModel::new().unwrap();
+    let mut az = Analyzer::new();
+    az.lower_source(&mut m, src).unwrap();
+
+    // With the gate armed at `warn`, the same source is refused.
+    let mut m2 = MetaModel::new().unwrap();
+    let mut az2 = Analyzer::new();
+    az2.set_lint_gate(Some(Severity::Warn));
+    let err = az2
+        .lower_source(&mut m2, src)
+        .expect_err("gate should trip");
+    assert!(matches!(err, AnalyzeError::Lint(_)), "unexpected: {err}");
+    assert!(err.to_string().contains("L0502"), "unexpected: {err}");
+
+    // The gate at `error` lets the warning-level finding through.
+    let mut m3 = MetaModel::new().unwrap();
+    let mut az3 = Analyzer::new();
+    az3.set_lint_gate(Some(Severity::Error));
+    az3.lower_source(&mut m3, src).unwrap();
+}

@@ -1,0 +1,267 @@
+//! One trigger and one non-trigger fixture per diagnostic code, plus a
+//! snapshot of the rendered output.
+
+use gom_deductive::ast::{Atom, Term, Var};
+use gom_deductive::{Constraint, Database, Formula};
+use gom_lint::{lint_source, render_report, LintConfig, LintReport, Severity};
+
+fn lint(src: &str) -> LintReport {
+    let mut db = Database::new();
+    lint_source(&mut db, src, &LintConfig::default())
+}
+
+fn has(r: &LintReport, code: &str) -> bool {
+    r.diags.iter().any(|d| d.code == code)
+}
+
+#[test]
+fn l0001_syntax_error() {
+    let r = lint("base N(x");
+    assert!(has(&r, "L0001"), "{r:?}");
+    assert!(!has(&lint("base N(x)."), "L0001"));
+}
+
+#[test]
+fn l0002_unknown_predicate() {
+    let r = lint("base N(x). Foo(X) :- N(X).");
+    assert!(has(&r, "L0002"), "{r:?}");
+    assert!(!has(
+        &lint("base N(x). derived Foo(x). Foo(X) :- N(X)."),
+        "L0002"
+    ));
+}
+
+#[test]
+fn l0101_unsafe_rule() {
+    let r = lint("base N(x). derived U(x). U(X) :- N(Y).");
+    assert!(has(&r, "L0101"), "{r:?}");
+    assert!(!has(
+        &lint("base N(x). derived U(x). U(X) :- N(X)."),
+        "L0101"
+    ));
+}
+
+#[test]
+fn l0102_unsafe_constraint_outer_var() {
+    let src = "base N(x). base M(x).\nconstraint c: forall X: !N(X) -> M(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0102"), "{r:?}");
+    let ok = "base N(x). base M(x).\nconstraint c: forall X: N(X) -> M(X).";
+    assert!(!has(&lint(ok), "L0102"));
+}
+
+#[test]
+fn l0103_open_formula_via_api() {
+    let mut db = Database::new();
+    let n = db.declare_base("N", 1).unwrap();
+    // `N(X)` with X unquantified — the parser refuses to build this, but
+    // the API can, and the linter must flag it.
+    db.add_constraint(Constraint::new(
+        "open",
+        vec!["X".into()],
+        Formula::Atom(Atom::new(n, vec![Term::Var(Var(0))])),
+    ));
+    let r = gom_lint::lint_database(&mut db, &LintConfig::default());
+    assert!(has(&r, "L0103"), "{r:?}");
+
+    let mut db2 = Database::new();
+    let n2 = db2.declare_base("N", 1).unwrap();
+    db2.add_constraint(Constraint::new(
+        "closed",
+        vec!["X".into()],
+        Formula::Forall(
+            vec![Var(0)],
+            Box::new(Formula::Not(Box::new(Formula::Atom(Atom::new(
+                n2,
+                vec![Term::Var(Var(0))],
+            ))))),
+        ),
+    ));
+    let r2 = gom_lint::lint_database(&mut db2, &LintConfig::default());
+    assert!(!has(&r2, "L0103"), "{r2:?}");
+}
+
+#[test]
+fn l0201_negation_cycle_with_minimal_witness() {
+    let src = "base N(x). derived Foo(x). derived Bar(x).\n\
+               Foo(X) :- N(X), not Bar(X).\n\
+               Bar(X) :- N(X), not Foo(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0201"), "{r:?}");
+    let witness = r
+        .diags
+        .iter()
+        .find(|d| d.code == "L0201")
+        .and_then(|d| d.notes.iter().find(|n| n.contains("minimal cycle")))
+        .cloned();
+    assert_eq!(
+        witness.as_deref(),
+        Some("minimal cycle: Foo -> not Bar -> Foo")
+    );
+    // Stratified negation is fine.
+    let ok = "base N(x). derived Foo(x). derived Bar(x).\n\
+              Bar(X) :- N(X).\nFoo(X) :- N(X), not Bar(X).";
+    assert!(!has(&lint(ok), "L0201"));
+}
+
+#[test]
+fn l0301_undefined_derived_predicate() {
+    // D is referenced (negatively, so the rule can still fire) but no rule
+    // defines it.
+    let src = "base N(x). derived D(x). derived E(x). E(X) :- N(X), not D(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0301"), "{r:?}");
+    let ok = "base N(x). derived D(x). derived E(x).\n\
+              D(X) :- N(X). E(X) :- N(X), not D(X).";
+    assert!(!has(&lint(ok), "L0301"));
+}
+
+#[test]
+fn l0302_arity_mismatch() {
+    let r = lint("base N(x). derived F(x). F(X) :- N(X, X).");
+    assert!(has(&r, "L0302"), "{r:?}");
+    assert!(!has(
+        &lint("base N(x). derived F(x). F(X) :- N(X)."),
+        "L0302"
+    ));
+}
+
+#[test]
+fn l0303_unused_predicate() {
+    let src = "base Unused(x). base N(x). derived D(x). D(X) :- N(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0303"), "{r:?}");
+    // A base predicate that stores facts is not "unused".
+    let ok = "base Unused(x). base N(x). derived D(x). D(X) :- N(X). Unused('a').";
+    assert!(!has(&lint(ok), "L0303"));
+}
+
+#[test]
+fn l0304_unreachable_rule() {
+    let src = "base N(x). derived D(x). derived E(x). E(X) :- N(X), D(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0304"), "{r:?}");
+    let ok = "base N(x). derived D(x). derived E(x). D(X) :- N(X). E(X) :- N(X), D(X).";
+    assert!(!has(&lint(ok), "L0304"));
+}
+
+#[test]
+fn l0305_never_firing_constraint() {
+    let src = "base N(x). derived D(x).\nconstraint c: forall X: D(X) -> N(X).";
+    let r = lint(src);
+    assert!(has(&r, "L0305"), "{r:?}");
+    let ok = "base N(x). derived D(x). D(X) :- N(X).\n\
+              constraint c: forall X: D(X) -> N(X).";
+    assert!(!has(&lint(ok), "L0305"));
+}
+
+#[test]
+fn l0401_cartesian_product() {
+    let r = lint("base N(x). derived Cart(x, y). Cart(X, Y) :- N(X), N(Y).");
+    assert!(has(&r, "L0401"), "{r:?}");
+    let ok = "base E(x, y). derived J(x, y). J(X, Y) :- E(X, Z), E(Z, Y).";
+    assert!(!has(&lint(ok), "L0401"));
+}
+
+#[test]
+fn l0402_non_linear_recursion() {
+    let src = "base E(x, y). derived P(x, y).\n\
+               P(X, Y) :- E(X, Y).\nP(X, Y) :- P(X, Z), P(Z, Y).";
+    let r = lint(src);
+    assert!(has(&r, "L0402"), "{r:?}");
+    let linear = "base E(x, y). derived P(x, y).\n\
+                  P(X, Y) :- E(X, Y).\nP(X, Y) :- E(X, Z), P(Z, Y).";
+    assert!(!has(&lint(linear), "L0402"));
+}
+
+#[test]
+fn l0403_wide_join() {
+    let src = "base E(x, y). base N(x).\n\
+               constraint c: forall X, Y: E(X, Y) -> N(X).";
+    let mut db = Database::new();
+    let cfg = LintConfig {
+        max_join_width: 0,
+        ..LintConfig::default()
+    };
+    let r = lint_source(&mut db, src, &cfg);
+    assert!(has(&r, "L0403"), "{r:?}");
+    // Same program under the default budget is fine.
+    assert!(!has(&lint(src), "L0403"));
+}
+
+#[test]
+fn l0501_dangling_type_reference() {
+    let src = "base Type(tid, name, sid). base Attr(tid, attr, domain).\n\
+               Type('t1', 'T1', 's1'). Attr('t1', 'x', 't_missing').";
+    let r = lint(src);
+    assert!(has(&r, "L0501"), "{r:?}");
+    let ok = "base Type(tid, name, sid). base Attr(tid, attr, domain).\n\
+              Type('t1', 'T1', 's1'). Type('t2', 'T2', 's1'). Attr('t1', 'x', 't2').";
+    assert!(!has(&lint(ok), "L0501"));
+}
+
+#[test]
+fn l0502_shadowed_inherited_attribute() {
+    let src =
+        "base Type(tid, name, sid). base Attr(tid, attr, domain). base SubTypRel(sub, super).\n\
+               Type('t1', 'A', 's'). Type('t2', 'B', 's'). Type('ts', 'Str', 's').\n\
+               SubTypRel('t2', 't1'). Attr('t1', 'x', 'ts'). Attr('t2', 'x', 'ts').";
+    let r = lint(src);
+    assert!(has(&r, "L0502"), "{r:?}");
+    let ok =
+        "base Type(tid, name, sid). base Attr(tid, attr, domain). base SubTypRel(sub, super).\n\
+              Type('t1', 'A', 's'). Type('t2', 'B', 's'). Type('ts', 'Str', 's').\n\
+              SubTypRel('t2', 't1'). Attr('t1', 'x', 'ts'). Attr('t2', 'y', 'ts').";
+    assert!(!has(&lint(ok), "L0502"));
+}
+
+#[test]
+fn l0503_version_graph_cycle() {
+    let src = "base Schema(sid, name). base evolves_to_S(from, to).\n\
+               Schema('s1', 'A'). Schema('s2', 'B').\n\
+               evolves_to_S('s1', 's2'). evolves_to_S('s2', 's1').";
+    let r = lint(src);
+    assert!(has(&r, "L0503"), "{r:?}");
+    let ok = "base Schema(sid, name). base evolves_to_S(from, to).\n\
+              Schema('s1', 'A'). Schema('s2', 'B').\nevolves_to_S('s1', 's2').";
+    assert!(!has(&lint(ok), "L0503"));
+}
+
+#[test]
+fn clean_program_is_clean() {
+    let src = "base E(x, y). derived Path(x, y).\n\
+               Path(X, Y) :- E(X, Y).\nPath(X, Z) :- E(X, Y), Path(Y, Z).\n\
+               constraint acyclic: forall X: !Path(X, X).\n\
+               E('a', 'b'). E('b', 'c').";
+    let r = lint(src);
+    assert!(r.is_clean(), "{}", render_report(&r, Some(src), "<t>"));
+}
+
+#[test]
+fn severity_ordering_drives_deny_levels() {
+    let r = lint("base Unused(x)."); // a single note
+    assert!(!r.is_clean());
+    assert!(r.denies(Severity::Note));
+    assert!(!r.denies(Severity::Warn));
+    assert!(!r.denies(Severity::Error));
+}
+
+#[test]
+fn rendered_output_snapshot() {
+    let src = "base N(x).\nderived Cart(x, y).\nCart(X, Y) :- N(X), N(Y).\n";
+    let mut db = Database::new();
+    let r = lint_source(&mut db, src, &LintConfig::default());
+    let rendered = render_report(&r, Some(src), "fixture.cdl");
+    let expected = "\
+warn[L0401]: rule for `Cart` computes a cartesian product
+ --> fixture.cdl:3:1
+  |
+3 | Cart(X, Y) :- N(X), N(Y).
+  | ^
+  = note: its positive literals form 2 join-disconnected groups
+  = help: share a variable between the groups, or split the rule
+
+0 error(s), 1 warning(s), 0 note(s)
+";
+    assert_eq!(rendered, expected);
+}

@@ -88,13 +88,19 @@ mod tests {
         let cat = Catalog::install(&mut db).unwrap();
         assert_eq!(db.pred_decl(cat.schema).arity, 2);
         assert_eq!(db.pred_decl(cat.ty).arity, 3);
-        assert_eq!(db.pred_decl(cat.attr).key.as_deref(), Some(&[0usize, 1][..]));
+        assert_eq!(
+            db.pred_decl(cat.attr).key.as_deref(),
+            Some(&[0usize, 1][..])
+        );
         assert_eq!(db.pred_decl(cat.decl).key.as_deref(), Some(&[0usize][..]));
         assert_eq!(
             db.pred_decl(cat.argdecl).key.as_deref(),
             Some(&[0usize, 1][..])
         );
-        assert_eq!(db.pred_decl(cat.slot).key.as_deref(), Some(&[0usize, 1][..]));
+        assert_eq!(
+            db.pred_decl(cat.slot).key.as_deref(),
+            Some(&[0usize, 1][..])
+        );
         assert!(db.pred_decl(cat.subtyp).key.is_none());
     }
 

@@ -71,10 +71,10 @@ impl MetaModel {
         let Some(n) = self.db.sym(name) else {
             return Ok(false);
         };
-        let hits = self.db.relation(self.cat.attr).select(&[
-            (0, ty.constant()),
-            (1, Const::Sym(n)),
-        ]);
+        let hits = self
+            .db
+            .relation(self.cat.attr)
+            .select(&[(0, ty.constant()), (1, Const::Sym(n))]);
         let mut removed = false;
         for t in hits {
             removed |= self.db.remove(self.cat.attr, &t)?;
@@ -165,10 +165,10 @@ impl MetaModel {
         let Some(a) = self.db.sym(attr) else {
             return Ok(false);
         };
-        let hits = self.db.relation(self.cat.slot).select(&[
-            (0, clid.constant()),
-            (1, Const::Sym(a)),
-        ]);
+        let hits = self
+            .db
+            .relation(self.cat.slot)
+            .select(&[(0, clid.constant()), (1, Const::Sym(a))]);
         let mut removed = false;
         for t in hits {
             removed |= self.db.remove(self.cat.slot, &t)?;
@@ -214,11 +214,7 @@ impl MetaModel {
             .relation(self.cat.ty)
             .select(&[(0, ty.constant())])
             .first()
-            .map(|t| {
-                self.db
-                    .resolve(self.sym_of(t.get(1)))
-                    .to_string()
-            })
+            .map(|t| self.db.resolve(self.sym_of(t.get(1))).to_string())
     }
 
     /// Schema a type belongs to.

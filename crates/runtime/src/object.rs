@@ -134,13 +134,7 @@ impl ObjectBase {
             };
             slots.insert(attr, v);
         }
-        self.objects.insert(
-            oid,
-            Object {
-                ty: t,
-                slots,
-            },
-        );
+        self.objects.insert(oid, Object { ty: t, slots });
         self.extents.entry(t).or_default().push(oid);
         Ok(oid)
     }
@@ -160,10 +154,8 @@ impl ObjectBase {
                         for (attr, _) in m.slots_of(clid) {
                             m.remove_slot(clid, &attr)?;
                         }
-                        let tup = gom_deductive::Tuple::from(vec![
-                            clid.constant(),
-                            obj.ty.constant(),
-                        ]);
+                        let tup =
+                            gom_deductive::Tuple::from(vec![clid.constant(), obj.ty.constant()]);
                         m.db.remove(m.cat.phrep, &tup)?;
                     }
                 }

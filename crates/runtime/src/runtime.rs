@@ -200,7 +200,10 @@ impl Runtime {
         if depth > MAX_DEPTH {
             return Err(RtError::DepthLimit);
         }
-        let obj = self.objects.get_mut(oid).ok_or(RtError::NoSuchObject(oid))?;
+        let obj = self
+            .objects
+            .get_mut(oid)
+            .ok_or(RtError::NoSuchObject(oid))?;
         if let Some(slot) = obj.slots.get_mut(attr) {
             *slot = v;
             return Ok(());
@@ -241,10 +244,9 @@ impl Runtime {
     ) -> Option<String> {
         let p = m.db.pred_id("FashionAttr")?;
         let a = m.db.sym(attr)?;
-        let rows = m
-            .db
-            .relation(p)
-            .select(&[(1, Const::Sym(a)), (2, from_ty.constant())]);
+        let rows =
+            m.db.relation(p)
+                .select(&[(1, Const::Sym(a)), (2, from_ty.constant())]);
         let row = rows.first()?;
         let col = if read { 3 } else { 4 };
         let sym = row.get(col).as_sym()?;
@@ -560,8 +562,8 @@ fn binop(op: BinOp, l: Value, r: Value) -> RtResult<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gom_analyzer::lower::Analyzer;
     use gom_analyzer::car_schema::CAR_SCHEMA_SRC;
+    use gom_analyzer::lower::Analyzer;
 
     fn car_world() -> (MetaModel, Runtime, Oid, Oid, Oid, Oid) {
         let mut m = MetaModel::new().unwrap();
@@ -576,17 +578,22 @@ mod tests {
         rt.set_attr(&mut m, alice, "name", Value::Str("Alice".into()))
             .unwrap();
         let karlsruhe = rt.create(&mut m, city).unwrap();
-        rt.set_attr(&mut m, karlsruhe, "longi", Value::Float(8.4)).unwrap();
-        rt.set_attr(&mut m, karlsruhe, "lati", Value::Float(49.0)).unwrap();
+        rt.set_attr(&mut m, karlsruhe, "longi", Value::Float(8.4))
+            .unwrap();
+        rt.set_attr(&mut m, karlsruhe, "lati", Value::Float(49.0))
+            .unwrap();
         rt.set_attr(&mut m, karlsruhe, "name", Value::Str("Karlsruhe".into()))
             .unwrap();
         let munich = rt.create(&mut m, city).unwrap();
-        rt.set_attr(&mut m, munich, "longi", Value::Float(11.6)).unwrap();
-        rt.set_attr(&mut m, munich, "lati", Value::Float(48.1)).unwrap();
+        rt.set_attr(&mut m, munich, "longi", Value::Float(11.6))
+            .unwrap();
+        rt.set_attr(&mut m, munich, "lati", Value::Float(48.1))
+            .unwrap();
         rt.set_attr(&mut m, munich, "name", Value::Str("Munich".into()))
             .unwrap();
         let beetle = rt.create(&mut m, car).unwrap();
-        rt.set_attr(&mut m, beetle, "owner", Value::Obj(alice)).unwrap();
+        rt.set_attr(&mut m, beetle, "owner", Value::Obj(alice))
+            .unwrap();
         rt.set_attr(&mut m, beetle, "location", Value::Obj(karlsruhe))
             .unwrap();
         (m, rt, alice, karlsruhe, munich, beetle)

@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: requires the external `proptest` crate (no offline mirror).
+// See the `proptest-tests` feature note in Cargo.toml.
+
 //! Property tests: the Runtime System keeps the Object Base Model faithful
 //! — after any sequence of object creations, deletions, and conversions,
 //! the §3.4 schema/object constraints hold.

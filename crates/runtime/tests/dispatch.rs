@@ -54,11 +54,23 @@ fn dynamic_binding_through_three_levels() {
     let oc = rt.create(&mut m, c).unwrap();
     // `greet` is declared only on A; its `self.who()` dispatches on the
     // RUNTIME type (late binding).
-    assert_eq!(rt.call(&mut m, oa, "greet", &[]).unwrap(), Value::Str("A".into()));
-    assert_eq!(rt.call(&mut m, ob, "greet", &[]).unwrap(), Value::Str("B".into()));
+    assert_eq!(
+        rt.call(&mut m, oa, "greet", &[]).unwrap(),
+        Value::Str("A".into())
+    );
+    assert_eq!(
+        rt.call(&mut m, ob, "greet", &[]).unwrap(),
+        Value::Str("B".into())
+    );
     // C's `who` delegates via `super` to B's, not to A's.
-    assert_eq!(rt.call(&mut m, oc, "greet", &[]).unwrap(), Value::Str("B".into()));
-    assert_eq!(rt.call(&mut m, oc, "who", &[]).unwrap(), Value::Str("B".into()));
+    assert_eq!(
+        rt.call(&mut m, oc, "greet", &[]).unwrap(),
+        Value::Str("B".into())
+    );
+    assert_eq!(
+        rt.call(&mut m, oc, "who", &[]).unwrap(),
+        Value::Str("B".into())
+    );
 }
 
 #[test]
@@ -67,7 +79,8 @@ fn inherited_attrs_present_at_every_level() {
     let s = m.schema_by_name("S").unwrap();
     let c = m.type_by_name(s, "C").unwrap();
     let oc = rt.create(&mut m, c).unwrap();
-    rt.set_attr(&mut m, oc, "tag", Value::Str("deep".into())).unwrap();
+    rt.set_attr(&mut m, oc, "tag", Value::Str("deep".into()))
+        .unwrap();
     assert_eq!(
         rt.get_attr(&mut m, oc, "tag").unwrap(),
         Value::Str("deep".into())
@@ -190,10 +203,18 @@ fn objects_as_values_roundtrip() {
     let mut rt = Runtime::new();
     let alice = rt.create(&mut m, person).unwrap();
     let bob = rt.create(&mut m, person).unwrap();
-    rt.set_attr(&mut m, alice, "friend", Value::Obj(bob)).unwrap();
-    rt.set_attr(&mut m, bob, "friend", Value::Obj(alice)).unwrap();
-    assert_eq!(rt.get_attr(&mut m, alice, "friend").unwrap(), Value::Obj(bob));
-    assert_eq!(rt.get_attr(&mut m, bob, "friend").unwrap(), Value::Obj(alice));
+    rt.set_attr(&mut m, alice, "friend", Value::Obj(bob))
+        .unwrap();
+    rt.set_attr(&mut m, bob, "friend", Value::Obj(alice))
+        .unwrap();
+    assert_eq!(
+        rt.get_attr(&mut m, alice, "friend").unwrap(),
+        Value::Obj(bob)
+    );
+    assert_eq!(
+        rt.get_attr(&mut m, bob, "friend").unwrap(),
+        Value::Obj(alice)
+    );
 }
 
 #[test]
@@ -218,7 +239,8 @@ fn calling_op_with_wrong_arity_binds_missing_as_unset() {
     let mut rt = Runtime::new();
     let o = rt.create(&mut m, t).unwrap();
     assert_eq!(
-        rt.call(&mut m, o, "add", &[Value::Int(2), Value::Int(3)]).unwrap(),
+        rt.call(&mut m, o, "add", &[Value::Int(2), Value::Int(3)])
+            .unwrap(),
         Value::Int(5)
     );
     assert!(matches!(

@@ -53,8 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "renamed publics in Geometry: CSGCuboid -> {:?}, BRepCuboid -> {:?}",
-        h.lookup_type("Geometry", "CSGCuboid").map_err(|e| e.to_string())?,
-        h.lookup_type("Geometry", "BRepCuboid").map_err(|e| e.to_string())?
+        h.lookup_type("Geometry", "CSGCuboid")
+            .map_err(|e| e.to_string())?,
+        h.lookup_type("Geometry", "BRepCuboid")
+            .map_err(|e| e.to_string())?
     );
 
     // Imports: the converter references both Cuboids through renaming.

@@ -10,7 +10,8 @@ use gomflex::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
     install_versioning(&mut mgr)?;
 
     let old_schema = mgr.meta.schema_by_name("CarSchema").unwrap();
@@ -21,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mgr.set_attr(trabi, "milage", Value::Float(120_000.0))?;
     let beetle = mgr.create_object(old_car)?;
     mgr.set_attr(beetle, "milage", Value::Float(80_000.0))?;
-    println!("== old world: {} Car instance(s), consistent: {}", 2, mgr.check()?.is_empty());
+    println!(
+        "== old world: {} Car instance(s), consistent: {}",
+        2,
+        mgr.check()?.is_empty()
+    );
 
     // ---- the seven steps of §4.2, one evolution session --------------------------------
     println!("\n== BES: evolving CarSchema to NewCarSchema ==");
@@ -38,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("step 1-2: PolluterCar created as evolution of Car@CarSchema");
 
     // 4: a new Car with the same textual definition as the old one.
-    let new_car = copy_type_into(&mut mgr, old_car, new_schema, "Car")
-        .map_err(|e| e.to_string())?;
+    let new_car =
+        copy_type_into(&mut mgr, old_car, new_schema, "Car").map_err(|e| e.to_string())?;
     let any = mgr.meta.builtins.any;
     mgr.meta.add_subtype(new_car, any)?;
     println!("step 4:   Car@NewCarSchema copied from Car@CarSchema");
@@ -88,7 +93,10 @@ end fashion;";
     let outcome = mgr.end_evolution()?;
     match &outcome {
         EvolutionOutcome::Consistent(delta) => {
-            println!("\n== EES: consistent — session committed ({} base-fact change(s))", delta.len());
+            println!(
+                "\n== EES: consistent — session committed ({} base-fact change(s))",
+                delta.len()
+            );
         }
         EvolutionOutcome::Inconsistent(violations) => {
             println!("\n== EES: INCONSISTENT ==");
@@ -110,7 +118,10 @@ end fashion;";
 
     // And genuinely new CatalystCars:
     let clean = mgr.create_object(catalyst)?;
-    println!("  new CatalystCar: fuel = {}", mgr.call(clean, "fuel", &[])?);
+    println!(
+        "  new CatalystCar: fuel = {}",
+        mgr.call(clean, "fuel", &[])?
+    );
 
     println!("\nfinal check: {} violation(s)", mgr.check()?.len());
     Ok(())

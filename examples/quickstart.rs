@@ -12,9 +12,12 @@ use gomflex::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- 1. define the schema through the Analyzer --------------------------------
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
-    println!("== CarSchema defined; consistency check: {} violation(s)\n",
-        mgr.check()?.len());
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "== CarSchema defined; consistency check: {} violation(s)\n",
+        mgr.check()?.len()
+    );
 
     // ---- 2. the Figure-2 extensions -------------------------------------------------
     println!("== Schema Base extensions (paper Figure 2) ==");
@@ -104,10 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "beetle.fuelType = {}",
-        mgr.get_attr(beetle, "fuelType")?
-    );
+    println!("beetle.fuelType = {}", mgr.get_attr(beetle, "fuelType")?);
     println!("final check: {} violation(s)", mgr.check()?.len());
     Ok(())
 }

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mgr.set_attr(c, "milage", Value::Float(10_000.0 * (i + 1) as f64))?;
         cars.push(c);
     }
-    println!("== v1 live: {} cars, consistent: {}", cars.len(), mgr.check()?.is_empty());
+    println!(
+        "== v1 live: {} cars, consistent: {}",
+        cars.len(),
+        mgr.check()?.is_empty()
+    );
 
     // The v2 target, designed separately.
     mgr.define_schema(

@@ -14,17 +14,15 @@ use gomflex::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mgr = SchemaManager::new()?;
-    mgr.define_schema(CAR_SCHEMA_SRC).map_err(|e| e.to_string())?;
+    mgr.define_schema(CAR_SCHEMA_SRC)
+        .map_err(|e| e.to_string())?;
 
     // Step 1 of §4.1: "the above base predicates, rules, and constraints
     // have to be inserted into the system. This simple keyboard exercise
     // can be performed within an hour."
     install_versioning(&mut mgr)?;
     println!("== versioning + fashion definitions installed ==");
-    println!(
-        "constraints now: {}",
-        mgr.meta.db.constraints().len()
-    );
+    println!("constraints now: {}", mgr.meta.db.constraints().len());
 
     // Old-world Person with an age.
     let old_schema = mgr.meta.schema_by_name("CarSchema").unwrap();
@@ -77,10 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Old instances are substitutable: birthday reads/writes redirect.
     println!("\n== masking in action (old Person, new signature) ==");
     println!("alice.age      = {}", mgr.get_attr(alice, "age")?);
-    println!("alice.birthday = {}  (derived from age)", mgr.get_attr(alice, "birthday")?);
+    println!(
+        "alice.birthday = {}  (derived from age)",
+        mgr.get_attr(alice, "birthday")?
+    );
     mgr.set_attr(alice, "birthday", Value::Int(40 * 365))?;
     println!("after alice.birthday := 14600:");
-    println!("alice.age      = {}  (derived from birthday)", mgr.get_attr(alice, "age")?);
+    println!(
+        "alice.age      = {}  (derived from birthday)",
+        mgr.get_attr(alice, "age")?
+    );
 
     // Incomplete fashions are rejected — remove a redirection and watch the
     // consistency control object.
@@ -88,11 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mgr.begin_evolution()?;
     let fattr = mgr.meta.db.pred_id("FashionAttr").unwrap();
     let name_sym = mgr.meta.db.constant("name");
-    let rows = mgr
-        .meta
-        .db
-        .relation(fattr)
-        .select(&[(1, name_sym)]);
+    let rows = mgr.meta.db.relation(fattr).select(&[(1, name_sym)]);
     for row in rows {
         mgr.meta.db.remove(fattr, &row)?;
     }
@@ -101,6 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("violation: {}", v.render(&mgr.meta.db));
     }
     mgr.rollback_evolution()?;
-    println!("rolled back; final check: {} violation(s)", mgr.check()?.len());
+    println!(
+        "rolled back; final check: {} violation(s)",
+        mgr.check()?.len()
+    );
     Ok(())
 }

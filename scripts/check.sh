@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI gate: formatting, release build, tests, lints. Fully offline.
+#
+# Usage: scripts/check.sh
+# Optional components (rustfmt, clippy) are skipped with a notice when the
+# toolchain lacks them, so the script degrades gracefully on minimal images.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if command -v rustfmt >/dev/null 2>&1; then
+  step "cargo fmt --check"
+  cargo fmt --all -- --check
+else
+  step "cargo fmt --check (SKIPPED: rustfmt not installed)"
+fi
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+  step "cargo clippy -D warnings"
+  cargo clippy --all-targets -- -D warnings
+else
+  step "cargo clippy (SKIPPED: clippy not installed)"
+fi
+
+step "OK"

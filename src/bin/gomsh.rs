@@ -8,6 +8,9 @@
 //! ```text
 //! cargo run --bin gomsh                # interactive (reads stdin)
 //! cargo run --bin gomsh script.gsh     # script mode
+//! cargo run --bin gomsh lint <file> [--json] [--deny error|warn|note]
+//!                                      # static analysis of a deductive
+//!                                      # program; nonzero exit on denial
 //! ```
 //!
 //! Commands:
@@ -29,6 +32,8 @@
 //! dump <Pred>                 print a predicate's extension
 //! consistency <file>          feed extra rules/constraints to the CC
 //! install-versioning          install the §4.1 extension
+//! lint [deny <level>]         lint the schema base; optionally arm the
+//!                             commit gate (deny error|warn|note|off)
 //! help | quit
 //! ```
 
@@ -43,6 +48,9 @@ struct Shell {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        std::process::exit(lint_main(&args[1..]));
+    }
     let mut shell = Shell {
         mgr: SchemaManager::new().expect("manager"),
         last_violations: Vec::new(),
@@ -86,6 +94,57 @@ fn main() {
     }
 }
 
+/// `gomsh lint <file> [--json] [--deny error|warn|note]` — batch linting of
+/// a deductive program (rules, constraints, facts) against a fresh
+/// database. Exit codes: 0 = below the deny level, 1 = denied, 2 = usage.
+fn lint_main(args: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut deny = Severity::Error;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny" => {
+                let Some(level) = it.next().and_then(|l| Severity::parse(l)) else {
+                    eprintln!("gomsh lint: --deny takes error|warn|note");
+                    return 2;
+                };
+                deny = level;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("gomsh lint: unknown flag `{flag}`");
+                return 2;
+            }
+            file => {
+                if path.replace(file).is_some() {
+                    eprintln!("gomsh lint: exactly one input file expected");
+                    return 2;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: gomsh lint <file> [--json] [--deny error|warn|note]");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gomsh lint: cannot open {path}: {e}");
+            return 2;
+        }
+    };
+    let mut db = Database::new();
+    let report = lint_source(&mut db, &src, &LintConfig::default());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", render_report(&report, Some(&src), path));
+    }
+    i32::from(report.denies(deny))
+}
+
 impl Shell {
     fn dispatch(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
         let mut parts = line.split_whitespace();
@@ -93,8 +152,10 @@ impl Shell {
         let rest: Vec<&str> = parts.collect();
         match cmd {
             "help" => {
-                println!("commands: load begin end rollback add-attr del-attr del-type new set get call");
-                println!("          check repairs apply query why dump consistency install-versioning quit");
+                println!(
+                    "commands: load begin end rollback add-attr del-attr del-type new set get call"
+                );
+                println!("          check lint repairs apply query why dump consistency install-versioning quit");
             }
             "quit" | "exit" => return Ok(false),
             "load" => {
@@ -117,22 +178,23 @@ impl Shell {
                 self.mgr.begin_evolution()?;
                 println!("BES — evolution session open");
             }
-            "end" => {
-                match self.mgr.end_evolution()? {
-                    EvolutionOutcome::Consistent(delta) => {
-                        println!("EES — consistent, committed ({} change(s))", delta.len());
-                        self.last_violations.clear();
-                    }
-                    EvolutionOutcome::Inconsistent(violations) => {
-                        println!("EES — {} violation(s); session stays open:", violations.len());
-                        for (i, v) in violations.iter().enumerate() {
-                            println!("  [{i}] {}", v.render(&self.mgr.meta.db));
-                        }
-                        println!("use `repairs <k>` / `apply <k> <m>` / `rollback`");
-                        self.last_violations = violations;
-                    }
+            "end" => match self.mgr.end_evolution()? {
+                EvolutionOutcome::Consistent(delta) => {
+                    println!("EES — consistent, committed ({} change(s))", delta.len());
+                    self.last_violations.clear();
                 }
-            }
+                EvolutionOutcome::Inconsistent(violations) => {
+                    println!(
+                        "EES — {} violation(s); session stays open:",
+                        violations.len()
+                    );
+                    for (i, v) in violations.iter().enumerate() {
+                        println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+                    }
+                    println!("use `repairs <k>` / `apply <k> <m>` / `rollback`");
+                    self.last_violations = violations;
+                }
+            },
             "rollback" => {
                 self.mgr.rollback_evolution()?;
                 self.last_violations.clear();
@@ -153,7 +215,14 @@ impl Shell {
                 };
                 let t = self.resolve_type(tref)?;
                 let removed = self.mgr.meta.remove_attr(t, name)?;
-                println!("{}", if removed { "removed" } else { "no such attribute" });
+                println!(
+                    "{}",
+                    if removed {
+                        "removed"
+                    } else {
+                        "no such attribute"
+                    }
+                );
             }
             "del-type" => {
                 let [tref, sem] = rest[..] else {
@@ -226,6 +295,25 @@ impl Shell {
                     }
                 }
                 self.last_violations = violations;
+            }
+            "lint" => {
+                if let ["deny", level] = rest[..] {
+                    let gate = match level {
+                        "off" => None,
+                        l => Some(Severity::parse(l).ok_or("lint deny takes error|warn|note|off")?),
+                    };
+                    self.mgr.set_lint_gate(gate);
+                    println!(
+                        "lint gate {}",
+                        gate.map_or("disarmed".to_string(), |g| format!(
+                            "armed at `{}`",
+                            g.name()
+                        ))
+                    );
+                } else {
+                    let report = self.mgr.lint();
+                    print!("{}", render_report(&report, None, "<schema base>"));
+                }
             }
             "repairs" => {
                 let k: usize = rest.first().ok_or("usage: repairs <k>")?.parse()?;
@@ -334,7 +422,10 @@ impl Shell {
                     .meta
                     .schema_by_name(name)
                     .ok_or_else(|| format!("unknown schema `{name}`"))?;
-                print!("{}", gomflex::analyzer::print::print_schema(&self.mgr.meta, sid));
+                print!(
+                    "{}",
+                    gomflex::analyzer::print::print_schema(&self.mgr.meta, sid)
+                );
             }
             "diff" | "migrate" => {
                 let [from, to] = rest[..] else {
@@ -374,7 +465,10 @@ impl Shell {
                 let path = rest.first().ok_or("usage: load-facts <file>")?;
                 let text = std::fs::read_to_string(path)?;
                 self.mgr.meta.db.load(&text)?;
-                println!("loaded; {} base fact(s) total", self.mgr.meta.db.fact_count());
+                println!(
+                    "loaded; {} base fact(s) total",
+                    self.mgr.meta.db.fact_count()
+                );
             }
             other => return Err(format!("unknown command `{other}` (try `help`)").into()),
         }

@@ -17,6 +17,7 @@
 //! | [`runtime`] | the Runtime System (objects, interpretation, conversion, masking) |
 //! | [`core`] | the Consistency Control + session protocol (the contribution) |
 //! | [`evolution`] | primitive/complex evolution ops, versioning, baselines |
+//! | [`lint`] | gom-lint: multi-pass static analysis with structured diagnostics |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use gom_analyzer as analyzer;
 pub use gom_core as core;
 pub use gom_deductive as deductive;
 pub use gom_evolution as evolution;
+pub use gom_lint as lint;
 pub use gom_model as model;
 pub use gom_runtime as runtime;
 
@@ -57,9 +59,13 @@ pub mod prelude {
     pub use gom_core::{EvolutionOutcome, SchemaManager};
     pub use gom_deductive::{Database, Repair, RepairKind, Violation};
     pub use gom_evolution::{
-        add_argument, add_argument_plan, copy_type_into, cure_add_attr, delete_type,
-        fixed_check, install_versioning, record_schema_evolution, record_type_evolution,
-        CurePolicy, DeleteTypeSemantics, Primitive,
+        add_argument, add_argument_plan, copy_type_into, cure_add_attr, delete_type, fixed_check,
+        install_versioning, record_schema_evolution, record_type_evolution, CurePolicy,
+        DeleteTypeSemantics, Primitive,
+    };
+    pub use gom_lint::{
+        lint_database, lint_source, render_report, Baseline, Diagnostic, LintConfig, LintReport,
+        Severity,
     };
     pub use gom_model::{DeclId, MetaModel, Oid, SchemaId, TypeId};
     pub use gom_runtime::{Runtime, Value, ValueSource};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency_maintenance-d43bd99dc491b437.d: crates/runtime/tests/consistency_maintenance.rs
+
+/root/repo/target/debug/deps/consistency_maintenance-d43bd99dc491b437: crates/runtime/tests/consistency_maintenance.rs
+
+crates/runtime/tests/consistency_maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dispatch-66cc46ddbdad2ddc.d: crates/runtime/tests/dispatch.rs
+
+/root/repo/target/debug/deps/dispatch-66cc46ddbdad2ddc: crates/runtime/tests/dispatch.rs
+
+crates/runtime/tests/dispatch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution_decoupling-320ec0ea66341662.d: tests/evolution_decoupling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution_decoupling-320ec0ea66341662.rmeta: tests/evolution_decoupling.rs Cargo.toml
+
+tests/evolution_decoupling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

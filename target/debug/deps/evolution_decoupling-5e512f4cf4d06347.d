@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution_decoupling-5e512f4cf4d06347.d: tests/evolution_decoupling.rs
+
+/root/repo/target/debug/deps/evolution_decoupling-5e512f4cf4d06347: tests/evolution_decoupling.rs
+
+tests/evolution_decoupling.rs:

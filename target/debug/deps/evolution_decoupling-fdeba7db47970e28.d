@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution_decoupling-fdeba7db47970e28.d: tests/evolution_decoupling.rs
+
+/root/repo/target/debug/deps/evolution_decoupling-fdeba7db47970e28: tests/evolution_decoupling.rs
+
+tests/evolution_decoupling.rs:

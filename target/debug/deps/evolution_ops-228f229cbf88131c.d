@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution_ops-228f229cbf88131c.d: tests/evolution_ops.rs
+
+/root/repo/target/debug/deps/evolution_ops-228f229cbf88131c: tests/evolution_ops.rs
+
+tests/evolution_ops.rs:

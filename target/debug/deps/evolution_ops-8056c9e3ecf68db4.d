@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution_ops-8056c9e3ecf68db4.d: tests/evolution_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution_ops-8056c9e3ecf68db4.rmeta: tests/evolution_ops.rs Cargo.toml
+
+tests/evolution_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

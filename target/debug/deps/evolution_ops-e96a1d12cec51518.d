@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution_ops-e96a1d12cec51518.d: tests/evolution_ops.rs
+
+/root/repo/target/debug/deps/evolution_ops-e96a1d12cec51518: tests/evolution_ops.rs
+
+tests/evolution_ops.rs:

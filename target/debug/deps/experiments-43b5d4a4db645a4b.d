@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-43b5d4a4db645a4b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-43b5d4a4db645a4b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fol_equivalence-50cb4d3b251f73a8.d: crates/deductive/tests/fol_equivalence.rs
+
+/root/repo/target/debug/deps/fol_equivalence-50cb4d3b251f73a8: crates/deductive/tests/fol_equivalence.rs
+
+crates/deductive/tests/fol_equivalence.rs:

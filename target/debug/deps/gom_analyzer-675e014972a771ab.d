@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gom_analyzer-675e014972a771ab.d: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs
+
+/root/repo/target/debug/deps/gom_analyzer-675e014972a771ab: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/ast.rs:
+crates/analyzer/src/body.rs:
+crates/analyzer/src/car_schema.rs:
+crates/analyzer/src/codereq.rs:
+crates/analyzer/src/lex.rs:
+crates/analyzer/src/lower.rs:
+crates/analyzer/src/parse.rs:
+crates/analyzer/src/paths.rs:
+crates/analyzer/src/print.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gom_analyzer-d39e31a3f78dc8a0.d: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_analyzer-d39e31a3f78dc8a0.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/ast.rs:
+crates/analyzer/src/body.rs:
+crates/analyzer/src/car_schema.rs:
+crates/analyzer/src/codereq.rs:
+crates/analyzer/src/lex.rs:
+crates/analyzer/src/lower.rs:
+crates/analyzer/src/parse.rs:
+crates/analyzer/src/paths.rs:
+crates/analyzer/src/print.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gom_bench-12efc3e4a3de1c58.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gom_bench-12efc3e4a3de1c58: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gom_bench-bbc8fdffc5fdcded.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgom_bench-bbc8fdffc5fdcded.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgom_bench-bbc8fdffc5fdcded.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

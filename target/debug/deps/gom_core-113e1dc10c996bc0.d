@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gom_core-113e1dc10c996bc0.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/debug/deps/gom_core-113e1dc10c996bc0: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:

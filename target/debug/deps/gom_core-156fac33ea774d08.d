@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gom_core-156fac33ea774d08.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/debug/deps/libgom_core-156fac33ea774d08.rlib: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/debug/deps/libgom_core-156fac33ea774d08.rmeta: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gom_core-6efa9618da32a0ae.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/debug/deps/libgom_core-6efa9618da32a0ae.rlib: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/debug/deps/libgom_core-6efa9618da32a0ae.rmeta: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:

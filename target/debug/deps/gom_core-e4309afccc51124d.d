@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gom_core-e4309afccc51124d.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_core-e4309afccc51124d.rmeta: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/gom_deductive-542dde672ae7eb0b.d: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs
+
+/root/repo/target/debug/deps/gom_deductive-542dde672ae7eb0b: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs
+
+crates/deductive/src/lib.rs:
+crates/deductive/src/ast.rs:
+crates/deductive/src/changes.rs:
+crates/deductive/src/check.rs:
+crates/deductive/src/compile.rs:
+crates/deductive/src/constraint.rs:
+crates/deductive/src/db.rs:
+crates/deductive/src/error.rs:
+crates/deductive/src/eval.rs:
+crates/deductive/src/incr.rs:
+crates/deductive/src/parse.rs:
+crates/deductive/src/pred.rs:
+crates/deductive/src/provenance.rs:
+crates/deductive/src/relation.rs:
+crates/deductive/src/repair.rs:
+crates/deductive/src/stratify.rs:
+crates/deductive/src/symbol.rs:
+crates/deductive/src/tuple.rs:
+crates/deductive/src/value.rs:

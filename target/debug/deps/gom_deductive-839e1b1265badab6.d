@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/gom_deductive-839e1b1265badab6.d: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_deductive-839e1b1265badab6.rmeta: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs Cargo.toml
+
+crates/deductive/src/lib.rs:
+crates/deductive/src/ast.rs:
+crates/deductive/src/changes.rs:
+crates/deductive/src/check.rs:
+crates/deductive/src/compile.rs:
+crates/deductive/src/constraint.rs:
+crates/deductive/src/db.rs:
+crates/deductive/src/error.rs:
+crates/deductive/src/eval.rs:
+crates/deductive/src/incr.rs:
+crates/deductive/src/parse.rs:
+crates/deductive/src/pred.rs:
+crates/deductive/src/provenance.rs:
+crates/deductive/src/relation.rs:
+crates/deductive/src/repair.rs:
+crates/deductive/src/stratify.rs:
+crates/deductive/src/symbol.rs:
+crates/deductive/src/tuple.rs:
+crates/deductive/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gom_evolution-05bba412bb0e7f3e.d: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/debug/deps/gom_evolution-05bba412bb0e7f3e: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/baselines.rs:
+crates/evolution/src/complex.rs:
+crates/evolution/src/diff.rs:
+crates/evolution/src/macros.rs:
+crates/evolution/src/primitive.rs:
+crates/evolution/src/versioning.rs:

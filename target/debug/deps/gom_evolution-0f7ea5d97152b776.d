@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gom_evolution-0f7ea5d97152b776.d: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_evolution-0f7ea5d97152b776.rmeta: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs Cargo.toml
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/baselines.rs:
+crates/evolution/src/complex.rs:
+crates/evolution/src/diff.rs:
+crates/evolution/src/macros.rs:
+crates/evolution/src/primitive.rs:
+crates/evolution/src/versioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gom_evolution-60e9456bea8e9b21.d: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/debug/deps/libgom_evolution-60e9456bea8e9b21.rlib: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/debug/deps/libgom_evolution-60e9456bea8e9b21.rmeta: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/baselines.rs:
+crates/evolution/src/complex.rs:
+crates/evolution/src/diff.rs:
+crates/evolution/src/macros.rs:
+crates/evolution/src/primitive.rs:
+crates/evolution/src/versioning.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gom_lint-0ed42e7c29f1fff5.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_lint-0ed42e7c29f1fff5.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/depgraph.rs:
+crates/lint/src/passes/perf.rs:
+crates/lint/src/passes/safety.rs:
+crates/lint/src/passes/schema.rs:
+crates/lint/src/passes/strat.rs:
+crates/lint/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gom_lint-d08d01af1fb817e3.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs
+
+/root/repo/target/debug/deps/gom_lint-d08d01af1fb817e3: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/depgraph.rs:
+crates/lint/src/passes/perf.rs:
+crates/lint/src/passes/safety.rs:
+crates/lint/src/passes/schema.rs:
+crates/lint/src/passes/strat.rs:
+crates/lint/src/render.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gom_model-08d5e24f6dbb198d.d: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+/root/repo/target/debug/deps/libgom_model-08d5e24f6dbb198d.rlib: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+/root/repo/target/debug/deps/libgom_model-08d5e24f6dbb198d.rmeta: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builtins.rs:
+crates/model/src/catalog.rs:
+crates/model/src/ids.rs:
+crates/model/src/schema_base.rs:

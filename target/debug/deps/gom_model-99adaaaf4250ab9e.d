@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gom_model-99adaaaf4250ab9e.d: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+/root/repo/target/debug/deps/gom_model-99adaaaf4250ab9e: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builtins.rs:
+crates/model/src/catalog.rs:
+crates/model/src/ids.rs:
+crates/model/src/schema_base.rs:

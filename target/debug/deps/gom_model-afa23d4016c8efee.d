@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gom_model-afa23d4016c8efee.d: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_model-afa23d4016c8efee.rmeta: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/builtins.rs:
+crates/model/src/catalog.rs:
+crates/model/src/ids.rs:
+crates/model/src/schema_base.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

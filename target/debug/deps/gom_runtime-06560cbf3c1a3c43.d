@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gom_runtime-06560cbf3c1a3c43.d: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgom_runtime-06560cbf3c1a3c43.rmeta: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/convert.rs:
+crates/runtime/src/object.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gom_runtime-5f09b495edc82dcf.d: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/debug/deps/gom_runtime-5f09b495edc82dcf: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/convert.rs:
+crates/runtime/src/object.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gom_runtime-a354a29f06ffebd5.d: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/debug/deps/libgom_runtime-a354a29f06ffebd5.rlib: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/debug/deps/libgom_runtime-a354a29f06ffebd5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/convert.rs:
+crates/runtime/src/object.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/value.rs:

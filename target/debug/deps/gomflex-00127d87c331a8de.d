@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gomflex-00127d87c331a8de.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgomflex-00127d87c331a8de.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgomflex-00127d87c331a8de.rmeta: src/lib.rs
+
+src/lib.rs:

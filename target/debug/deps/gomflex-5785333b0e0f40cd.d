@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomflex-5785333b0e0f40cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/gomflex-5785333b0e0f40cd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gomflex-84ccce8987dd95e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgomflex-84ccce8987dd95e5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgomflex-84ccce8987dd95e5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomflex-8e1fb67219fa58c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/gomflex-8e1fb67219fa58c0: src/lib.rs
+
+src/lib.rs:

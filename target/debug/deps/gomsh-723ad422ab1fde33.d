@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomsh-723ad422ab1fde33.d: src/bin/gomsh.rs
+
+/root/repo/target/debug/deps/gomsh-723ad422ab1fde33: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

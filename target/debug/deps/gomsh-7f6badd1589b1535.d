@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomsh-7f6badd1589b1535.d: src/bin/gomsh.rs
+
+/root/repo/target/debug/deps/gomsh-7f6badd1589b1535: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomsh-872444bc4e095791.d: src/bin/gomsh.rs
+
+/root/repo/target/debug/deps/gomsh-872444bc4e095791: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

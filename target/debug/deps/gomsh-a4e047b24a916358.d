@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gomsh-a4e047b24a916358.d: src/bin/gomsh.rs
+
+/root/repo/target/debug/deps/gomsh-a4e047b24a916358: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gomsh-c04a1238540b6377.d: src/bin/gomsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgomsh-c04a1238540b6377.rmeta: src/bin/gomsh.rs Cargo.toml
+
+src/bin/gomsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

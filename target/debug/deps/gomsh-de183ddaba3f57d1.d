@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gomsh-de183ddaba3f57d1.d: src/bin/gomsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgomsh-de183ddaba3f57d1.rmeta: src/bin/gomsh.rs Cargo.toml
+
+src/bin/gomsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gomsh_cli-6f218b7571488e26.d: tests/gomsh_cli.rs
+
+/root/repo/target/debug/deps/gomsh_cli-6f218b7571488e26: tests/gomsh_cli.rs
+
+tests/gomsh_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gomsh=/root/repo/target/debug/gomsh

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gomsh_cli-86c9c25d2a3d72ea.d: tests/gomsh_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgomsh_cli-86c9c25d2a3d72ea.rmeta: tests/gomsh_cli.rs Cargo.toml
+
+tests/gomsh_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_gomsh=placeholder:gomsh
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

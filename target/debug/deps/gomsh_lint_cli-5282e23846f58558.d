@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gomsh_lint_cli-5282e23846f58558.d: tests/gomsh_lint_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgomsh_lint_cli-5282e23846f58558.rmeta: tests/gomsh_lint_cli.rs Cargo.toml
+
+tests/gomsh_lint_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_gomsh=placeholder:gomsh
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

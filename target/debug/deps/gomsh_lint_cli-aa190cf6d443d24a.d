@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gomsh_lint_cli-aa190cf6d443d24a.d: tests/gomsh_lint_cli.rs
+
+/root/repo/target/debug/deps/gomsh_lint_cli-aa190cf6d443d24a: tests/gomsh_lint_cli.rs
+
+tests/gomsh_lint_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_gomsh=/root/repo/target/debug/gomsh

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_equivalence-39e38d84974c4847.d: crates/deductive/tests/incremental_equivalence.rs
+
+/root/repo/target/debug/deps/incremental_equivalence-39e38d84974c4847: crates/deductive/tests/incremental_equivalence.rs
+
+crates/deductive/tests/incremental_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-611be716acda1689.d: crates/lint/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-611be716acda1689: crates/lint/tests/integration.rs
+
+crates/lint/tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scenarios-871223c41d4a4334.d: tests/paper_scenarios.rs
+
+/root/repo/target/debug/deps/paper_scenarios-871223c41d4a4334: tests/paper_scenarios.rs
+
+tests/paper_scenarios.rs:

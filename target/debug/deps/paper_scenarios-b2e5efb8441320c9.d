@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scenarios-b2e5efb8441320c9.d: tests/paper_scenarios.rs
+
+/root/repo/target/debug/deps/paper_scenarios-b2e5efb8441320c9: tests/paper_scenarios.rs
+
+tests/paper_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_scenarios-c7154ca41d19fa2e.d: tests/paper_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_scenarios-c7154ca41d19fa2e.rmeta: tests/paper_scenarios.rs Cargo.toml
+
+tests/paper_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passes-c93fda09599b381a.d: crates/lint/tests/passes.rs
+
+/root/repo/target/debug/deps/passes-c93fda09599b381a: crates/lint/tests/passes.rs
+
+crates/lint/tests/passes.rs:

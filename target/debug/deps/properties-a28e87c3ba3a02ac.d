@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a28e87c3ba3a02ac.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a28e87c3ba3a02ac: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bf91cffb2c91de5c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bf91cffb2c91de5c: tests/properties.rs
+
+tests/properties.rs:

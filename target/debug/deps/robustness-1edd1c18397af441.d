@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-1edd1c18397af441.d: crates/analyzer/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-1edd1c18397af441: crates/analyzer/tests/robustness.rs
+
+crates/analyzer/tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_protocol-24ac943ef355a1c6.d: tests/session_protocol.rs
+
+/root/repo/target/debug/deps/session_protocol-24ac943ef355a1c6: tests/session_protocol.rs
+
+tests/session_protocol.rs:

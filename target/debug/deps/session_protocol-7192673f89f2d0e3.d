@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_protocol-7192673f89f2d0e3.d: tests/session_protocol.rs
+
+/root/repo/target/debug/deps/session_protocol-7192673f89f2d0e3: tests/session_protocol.rs
+
+tests/session_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_protocol-d6d1fab75ecf8597.d: tests/session_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_protocol-d6d1fab75ecf8597.rmeta: tests/session_protocol.rs Cargo.toml
+
+tests/session_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_company-5f37dde768443019.d: examples/cad_company.rs
+
+/root/repo/target/debug/examples/cad_company-5f37dde768443019: examples/cad_company.rs
+
+examples/cad_company.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cad_company-7f013e67ffa39c46.d: examples/cad_company.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcad_company-7f013e67ffa39c46.rmeta: examples/cad_company.rs Cargo.toml
+
+examples/cad_company.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_company-d973a2050345cd40.d: examples/cad_company.rs
+
+/root/repo/target/debug/examples/cad_company-d973a2050345cd40: examples/cad_company.rs
+
+examples/cad_company.rs:

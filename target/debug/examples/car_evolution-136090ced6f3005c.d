@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/car_evolution-136090ced6f3005c.d: examples/car_evolution.rs
+
+/root/repo/target/debug/examples/car_evolution-136090ced6f3005c: examples/car_evolution.rs
+
+examples/car_evolution.rs:

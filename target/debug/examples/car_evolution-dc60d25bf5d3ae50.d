@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/car_evolution-dc60d25bf5d3ae50.d: examples/car_evolution.rs
+
+/root/repo/target/debug/examples/car_evolution-dc60d25bf5d3ae50: examples/car_evolution.rs
+
+examples/car_evolution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/car_evolution-e7b37cdce9cb335d.d: examples/car_evolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcar_evolution-e7b37cdce9cb335d.rmeta: examples/car_evolution.rs Cargo.toml
+
+examples/car_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c4a5a401aa0649c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1c4a5a401aa0649c: examples/quickstart.rs
+
+examples/quickstart.rs:

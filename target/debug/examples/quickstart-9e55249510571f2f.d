@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9e55249510571f2f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9e55249510571f2f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_migration-12ee0529c7bd6f9c.d: examples/schema_migration.rs
+
+/root/repo/target/debug/examples/schema_migration-12ee0529c7bd6f9c: examples/schema_migration.rs
+
+examples/schema_migration.rs:

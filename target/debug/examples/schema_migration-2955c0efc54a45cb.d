@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schema_migration-2955c0efc54a45cb.d: examples/schema_migration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_migration-2955c0efc54a45cb.rmeta: examples/schema_migration.rs Cargo.toml
+
+examples/schema_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

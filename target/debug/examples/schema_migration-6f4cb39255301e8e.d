@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_migration-6f4cb39255301e8e.d: examples/schema_migration.rs
+
+/root/repo/target/debug/examples/schema_migration-6f4cb39255301e8e: examples/schema_migration.rs
+
+examples/schema_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/versioning_fashion-243df12437f46931.d: examples/versioning_fashion.rs
+
+/root/repo/target/debug/examples/versioning_fashion-243df12437f46931: examples/versioning_fashion.rs
+
+examples/versioning_fashion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/versioning_fashion-5344e8670916a4ac.d: examples/versioning_fashion.rs
+
+/root/repo/target/debug/examples/versioning_fashion-5344e8670916a4ac: examples/versioning_fashion.rs
+
+examples/versioning_fashion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/versioning_fashion-98e40d9798d0d8e7.d: examples/versioning_fashion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libversioning_fashion-98e40d9798d0d8e7.rmeta: examples/versioning_fashion.rs Cargo.toml
+
+examples/versioning_fashion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gom_analyzer-8377df8e41ebd264.d: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs
+
+/root/repo/target/release/deps/libgom_analyzer-8377df8e41ebd264.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs
+
+/root/repo/target/release/deps/libgom_analyzer-8377df8e41ebd264.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/ast.rs crates/analyzer/src/body.rs crates/analyzer/src/car_schema.rs crates/analyzer/src/codereq.rs crates/analyzer/src/lex.rs crates/analyzer/src/lower.rs crates/analyzer/src/parse.rs crates/analyzer/src/paths.rs crates/analyzer/src/print.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/ast.rs:
+crates/analyzer/src/body.rs:
+crates/analyzer/src/car_schema.rs:
+crates/analyzer/src/codereq.rs:
+crates/analyzer/src/lex.rs:
+crates/analyzer/src/lower.rs:
+crates/analyzer/src/parse.rs:
+crates/analyzer/src/paths.rs:
+crates/analyzer/src/print.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gom_core-373ae7b753df5ada.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/release/deps/libgom_core-373ae7b753df5ada.rlib: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/release/deps/libgom_core-373ae7b753df5ada.rmeta: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gom_core-96fe9a91448e9235.d: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/release/deps/libgom_core-96fe9a91448e9235.rlib: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+/root/repo/target/release/deps/libgom_core-96fe9a91448e9235.rmeta: crates/core/src/lib.rs crates/core/src/consistency.rs crates/core/src/explain.rs crates/core/src/manager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/consistency.rs:
+crates/core/src/explain.rs:
+crates/core/src/manager.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/gom_deductive-72c594df32fa0134.d: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs
+
+/root/repo/target/release/deps/libgom_deductive-72c594df32fa0134.rlib: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs
+
+/root/repo/target/release/deps/libgom_deductive-72c594df32fa0134.rmeta: crates/deductive/src/lib.rs crates/deductive/src/ast.rs crates/deductive/src/changes.rs crates/deductive/src/check.rs crates/deductive/src/compile.rs crates/deductive/src/constraint.rs crates/deductive/src/db.rs crates/deductive/src/error.rs crates/deductive/src/eval.rs crates/deductive/src/incr.rs crates/deductive/src/parse.rs crates/deductive/src/pred.rs crates/deductive/src/provenance.rs crates/deductive/src/relation.rs crates/deductive/src/repair.rs crates/deductive/src/stratify.rs crates/deductive/src/symbol.rs crates/deductive/src/tuple.rs crates/deductive/src/value.rs
+
+crates/deductive/src/lib.rs:
+crates/deductive/src/ast.rs:
+crates/deductive/src/changes.rs:
+crates/deductive/src/check.rs:
+crates/deductive/src/compile.rs:
+crates/deductive/src/constraint.rs:
+crates/deductive/src/db.rs:
+crates/deductive/src/error.rs:
+crates/deductive/src/eval.rs:
+crates/deductive/src/incr.rs:
+crates/deductive/src/parse.rs:
+crates/deductive/src/pred.rs:
+crates/deductive/src/provenance.rs:
+crates/deductive/src/relation.rs:
+crates/deductive/src/repair.rs:
+crates/deductive/src/stratify.rs:
+crates/deductive/src/symbol.rs:
+crates/deductive/src/tuple.rs:
+crates/deductive/src/value.rs:

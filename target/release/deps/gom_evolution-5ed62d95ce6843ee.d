@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gom_evolution-5ed62d95ce6843ee.d: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/release/deps/libgom_evolution-5ed62d95ce6843ee.rlib: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/release/deps/libgom_evolution-5ed62d95ce6843ee.rmeta: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/baselines.rs:
+crates/evolution/src/complex.rs:
+crates/evolution/src/diff.rs:
+crates/evolution/src/macros.rs:
+crates/evolution/src/primitive.rs:
+crates/evolution/src/versioning.rs:

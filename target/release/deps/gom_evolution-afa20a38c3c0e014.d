@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gom_evolution-afa20a38c3c0e014.d: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/release/deps/libgom_evolution-afa20a38c3c0e014.rlib: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+/root/repo/target/release/deps/libgom_evolution-afa20a38c3c0e014.rmeta: crates/evolution/src/lib.rs crates/evolution/src/baselines.rs crates/evolution/src/complex.rs crates/evolution/src/diff.rs crates/evolution/src/macros.rs crates/evolution/src/primitive.rs crates/evolution/src/versioning.rs
+
+crates/evolution/src/lib.rs:
+crates/evolution/src/baselines.rs:
+crates/evolution/src/complex.rs:
+crates/evolution/src/diff.rs:
+crates/evolution/src/macros.rs:
+crates/evolution/src/primitive.rs:
+crates/evolution/src/versioning.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gom_lint-4430a1940d50fe68.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs
+
+/root/repo/target/release/deps/libgom_lint-4430a1940d50fe68.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs
+
+/root/repo/target/release/deps/libgom_lint-4430a1940d50fe68.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/json.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/depgraph.rs crates/lint/src/passes/perf.rs crates/lint/src/passes/safety.rs crates/lint/src/passes/schema.rs crates/lint/src/passes/strat.rs crates/lint/src/render.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/json.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/depgraph.rs:
+crates/lint/src/passes/perf.rs:
+crates/lint/src/passes/safety.rs:
+crates/lint/src/passes/schema.rs:
+crates/lint/src/passes/strat.rs:
+crates/lint/src/render.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gom_model-99a962c2836a5a8c.d: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+/root/repo/target/release/deps/libgom_model-99a962c2836a5a8c.rlib: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+/root/repo/target/release/deps/libgom_model-99a962c2836a5a8c.rmeta: crates/model/src/lib.rs crates/model/src/builtins.rs crates/model/src/catalog.rs crates/model/src/ids.rs crates/model/src/schema_base.rs
+
+crates/model/src/lib.rs:
+crates/model/src/builtins.rs:
+crates/model/src/catalog.rs:
+crates/model/src/ids.rs:
+crates/model/src/schema_base.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gom_runtime-6436b08c1fde6ada.d: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/release/deps/libgom_runtime-6436b08c1fde6ada.rlib: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/release/deps/libgom_runtime-6436b08c1fde6ada.rmeta: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/convert.rs:
+crates/runtime/src/object.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gom_runtime-f600ac945c1ff5ea.d: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/release/deps/libgom_runtime-f600ac945c1ff5ea.rlib: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+/root/repo/target/release/deps/libgom_runtime-f600ac945c1ff5ea.rmeta: crates/runtime/src/lib.rs crates/runtime/src/convert.rs crates/runtime/src/object.rs crates/runtime/src/runtime.rs crates/runtime/src/value.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/convert.rs:
+crates/runtime/src/object.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gomflex-540f3c4c79ff60b7.d: src/lib.rs
+
+/root/repo/target/release/deps/libgomflex-540f3c4c79ff60b7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgomflex-540f3c4c79ff60b7.rmeta: src/lib.rs
+
+src/lib.rs:

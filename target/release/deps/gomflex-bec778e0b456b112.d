@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gomflex-bec778e0b456b112.d: src/lib.rs
+
+/root/repo/target/release/deps/libgomflex-bec778e0b456b112.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgomflex-bec778e0b456b112.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gomsh-1a17f18e537fb6d7.d: src/bin/gomsh.rs
+
+/root/repo/target/release/deps/gomsh-1a17f18e537fb6d7: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

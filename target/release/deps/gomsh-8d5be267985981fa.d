@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gomsh-8d5be267985981fa.d: src/bin/gomsh.rs
+
+/root/repo/target/release/deps/gomsh-8d5be267985981fa: src/bin/gomsh.rs
+
+src/bin/gomsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-07f7916e217f158d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-07f7916e217f158d: examples/quickstart.rs
+
+examples/quickstart.rs:

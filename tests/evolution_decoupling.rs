@@ -54,10 +54,11 @@ fn immediate_checking_cannot_add_an_argument() {
     // deferredly visible through... the caller patch. To make the
     // impossibility crisp we delete the old code first (the classic
     // "declaration without code" prefix):
-    let refused = fixed.apply(&Primitive::DeleteCode {
-        decl: d_deposit,
-    });
-    assert!(refused.is_err(), "deleting code must be refused immediately");
+    let refused = fixed.apply(&Primitive::DeleteCode { decl: d_deposit });
+    assert!(
+        refused.is_err(),
+        "deleting code must be refused immediately"
+    );
     assert!(refused.unwrap_err().contains("decl_has_code"));
 
     // Likewise, introducing a brand-new operation declaration (step 1 of
@@ -123,7 +124,11 @@ fn sessions_make_the_same_change_routine() {
         .db
         .insert(
             cp,
-            vec![cid_deposit.constant(), gomflex::deductive::Const::Int(2), pname],
+            vec![
+                cid_deposit.constant(),
+                gomflex::deductive::Const::Int(2),
+                pname,
+            ],
         )
         .unwrap();
     let (cid_payday, _) = mgr.meta.code_of(d_payday).unwrap();

@@ -2,8 +2,8 @@
 //! type-deletion semantics side by side, and argument addition with
 //! call-site patching verified by actually *running* the patched methods.
 
-use gomflex::prelude::*;
 use gomflex::evolution::rename_type;
+use gomflex::prelude::*;
 use std::collections::BTreeMap;
 
 fn world() -> (SchemaManager, TypeId, TypeId, TypeId) {
@@ -77,8 +77,7 @@ fn five_deletion_semantics_matrix() {
         let (mut mgr, _, bird, _) = world();
         let tweety = mgr.create_object(bird).unwrap();
         mgr.begin_evolution().unwrap();
-        let report =
-            delete_type(&mut mgr, bird, DeleteTypeSemantics::CascadeInstances).unwrap();
+        let report = delete_type(&mut mgr, bird, DeleteTypeSemantics::CascadeInstances).unwrap();
         assert_eq!(report.instances_deleted, 1);
         assert!(mgr.runtime.objects.get(tweety).is_none());
         assert!(mgr.end_evolution().unwrap().is_consistent());
@@ -135,10 +134,7 @@ fn add_argument_end_to_end_with_execution() {
 
     // Before: payday deposits 100.
     let acct = mgr.create_object(account).unwrap();
-    assert_eq!(
-        mgr.call(acct, "payday", &[]).unwrap(),
-        Value::Float(100.0)
-    );
+    assert_eq!(mgr.call(acct, "payday", &[]).unwrap(), Value::Float(100.0));
 
     // The complex operation: deposit gains a `bonus` argument; the call
     // site inside payday must be patched.
@@ -166,10 +162,7 @@ fn add_argument_end_to_end_with_execution() {
     assert!(out.is_consistent(), "{:?}", out.violations());
 
     // After: the patched payday deposits 110 on top of the earlier 100.
-    assert_eq!(
-        mgr.call(acct, "payday", &[]).unwrap(),
-        Value::Float(210.0)
-    );
+    assert_eq!(mgr.call(acct, "payday", &[]).unwrap(), Value::Float(210.0));
 }
 
 #[test]
@@ -199,13 +192,7 @@ fn delete_operation_used_elsewhere_is_caught() {
         .find(|(_, n, _)| n == "helper")
         .unwrap();
     mgr.begin_evolution().unwrap();
-    gomflex::evolution::apply(
-        &mut mgr.meta,
-        &Primitive::DeleteDecl {
-            decl: d_helper,
-        },
-    )
-    .unwrap();
+    gomflex::evolution::apply(&mut mgr.meta, &Primitive::DeleteDecl { decl: d_helper }).unwrap();
     let out = mgr.end_evolution().unwrap();
     let names: Vec<&str> = out
         .violations()

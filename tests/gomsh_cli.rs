@@ -71,8 +71,8 @@ fn rollback_via_shell() {
     assert!(out.contains("session rolled back"), "{out}");
     // The final `check` prints a bare `consistent` line.
     assert!(
-        out.lines().any(|l| l.trim_end().ends_with("consistent")
-            && !l.contains("violation")),
+        out.lines()
+            .any(|l| l.trim_end().ends_with("consistent") && !l.contains("violation")),
         "{out}"
     );
 }

@@ -48,10 +48,7 @@ fn f2_attr_extension_rows() {
     );
     assert_eq!(
         mgr.meta.attrs_of(city),
-        vec![
-            ("name".into(), b.string),
-            ("noOfInhabitants".into(), b.int)
-        ]
+        vec![("name".into(), b.string), ("noOfInhabitants".into(), b.int)]
     );
     assert_eq!(
         mgr.meta.attrs_of(car),
@@ -126,7 +123,12 @@ fn t1_codereq_rows_match_paper() {
         (cid3.constant(), car.constant(), "location"),
     ];
     for (c, t, a) in expect {
-        let asym = mgr.meta.db.sym(a).map(gomflex::deductive::Const::Sym).unwrap();
+        let asym = mgr
+            .meta
+            .db
+            .sym(a)
+            .map(gomflex::deductive::Const::Sym)
+            .unwrap();
         assert!(
             rows.iter()
                 .any(|r| r.get(0) == c && r.get(1) == t && r.get(2) == asym),
@@ -167,10 +169,7 @@ fn t2_phrep_slot_rows() {
     // paper's own consistent-extension claim needs them).
     assert_eq!(
         mgr.meta.slots_of(cl_person),
-        vec![
-            ("age".into(), b.phrep_int),
-            ("name".into(), b.phrep_string)
-        ]
+        vec![("age".into(), b.phrep_int), ("name".into(), b.phrep_string)]
     );
     let city_slots = mgr.meta.slots_of(cl_city);
     assert!(city_slots.contains(&("name".into(), b.phrep_string)));
@@ -364,7 +363,10 @@ fn f3_company_hierarchy_and_namespaces() {
         h.children("CAD"),
         vec!["Geometry", "FEM", "Function", "Technology"]
     );
-    assert_eq!(h.absolute_path("BoundaryRep"), "/Company/CAD/Geometry/BoundaryRep");
+    assert_eq!(
+        h.absolute_path("BoundaryRep"),
+        "/Company/CAD/Geometry/BoundaryRep"
+    );
     // Renaming resolved the Cuboid conflict; hiding works.
     assert!(h.lookup_type("Geometry", "CSGCuboid").unwrap().is_some());
     assert!(h.lookup_type("Geometry", "Surface").unwrap().is_none());

@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest-tests")]
+// Gated: requires the external `proptest` crate (no offline mirror).
+// See the `proptest-tests` feature note in Cargo.toml.
+
 //! Property-based tests (proptest) on the core invariants of the system.
 
 use gomflex::prelude::*;

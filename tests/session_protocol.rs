@@ -76,7 +76,10 @@ fn deferred_checking_allows_temporarily_inconsistent_states() {
     let pname = mgr.meta.db.constant("y");
     mgr.meta
         .db
-        .insert(cp, vec![cid.constant(), gomflex::deductive::Const::Int(2), pname])
+        .insert(
+            cp,
+            vec![cid.constant(), gomflex::deductive::Const::Int(2), pname],
+        )
         .unwrap();
     let outcome = mgr.end_evolution().unwrap();
     assert!(outcome.is_consistent(), "{:?}", outcome.violations());
