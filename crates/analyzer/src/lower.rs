@@ -669,7 +669,7 @@ mod tests {
         let fuel = lowered[0].types[0].1;
         assert_eq!(m.type_name(fuel).as_deref(), Some("Fuel"));
         let sv = m.db.pred_id("SortVariant").unwrap();
-        assert_eq!(m.db.relation(sv).select(&[(0, fuel.constant())]).len(), 2);
+        assert_eq!(m.db.relation(sv).select(&[(0, fuel.constant())]).count(), 2);
     }
 
     #[test]

@@ -16,7 +16,6 @@ fn codeparams(m: &MetaModel, cid: CodeId) -> Vec<(i64, String)> {
     };
     m.db.relation(cp)
         .select(&[(0, cid.constant())])
-        .iter()
         .filter_map(|t| {
             Some((
                 t.get(1).as_int()?,
@@ -32,8 +31,8 @@ pub fn print_schema(m: &MetaModel, schema: SchemaId) -> String {
     let mut out = format!("schema {name} is\n");
     for t in m.types_of_schema(schema) {
         if let Some(p) = m.db.pred_id("SortVariant") {
-            let variants = m.db.relation(p).select(&[(0, t.constant())]);
-            if !variants.is_empty() {
+            let mut variants = m.db.relation(p).select(&[(0, t.constant())]);
+            if variants.next().is_some() {
                 out.push_str(&print_sort(m, t));
                 continue;
             }
@@ -55,7 +54,7 @@ pub fn print_schema(m: &MetaModel, schema: SchemaId) -> String {
 fn schema_name(m: &MetaModel, s: SchemaId) -> String {
     m.db.relation(m.cat.schema)
         .select(&[(0, s.constant())])
-        .first()
+        .next()
         .and_then(|t| t.get(1).as_sym())
         .map(|sym| m.db.resolve(sym).to_string())
         .unwrap_or_else(|| "?".to_string())
@@ -80,7 +79,6 @@ fn print_sort(m: &MetaModel, t: TypeId) -> String {
     let mut variants: Vec<String> =
         m.db.relation(p)
             .select(&[(0, t.constant())])
-            .iter()
             .filter_map(|r| r.get(1).as_sym())
             .map(|s| m.db.resolve(s).to_string())
             .collect();

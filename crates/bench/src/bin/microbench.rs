@@ -1,0 +1,281 @@
+//! Offline micro-benchmark harness for the deductive hot paths.
+//!
+//! Unlike the criterion benches (gated behind `bench-deps`, unavailable in
+//! offline builds), this binary has zero external dependencies and emits a
+//! machine-readable JSON report so the perf trajectory can be tracked in the
+//! repo (`BENCH_<date>.json`, see `scripts/bench.sh`).
+//!
+//! ```text
+//! cargo run --release -p gom-bench --bin microbench -- --out BENCH.json
+//! cargo run --release -p gom-bench --bin microbench -- --iters 21 fixpoint
+//! ```
+//!
+//! Covered paths (the engine's three hot loops):
+//! * `fixpoint_*`   — bottom-up semi-naive fixpoint (transitive closure),
+//! * `ees_check_*`  — full EES consistency check over the GOM catalog,
+//! * `dred_*`       — DRed incremental maintenance of a materialised IDB,
+//! * `query_*`      — ad-hoc conjunctive query against a materialised IDB.
+
+use gom_bench::{synth_manager, SplitMix64, SynthParams};
+use gom_deductive::{ChangeSet, Database, Tuple};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark: name, per-iteration closure returning the number
+/// of "work units" processed (derived facts, violations scanned, …).
+struct Bench<'a> {
+    name: &'static str,
+    run: Box<dyn FnMut() -> u64 + 'a>,
+    /// Work units per iteration (filled by the first run).
+    units: u64,
+}
+
+struct Report {
+    name: &'static str,
+    median_ns: u128,
+    min_ns: u128,
+    units: u64,
+}
+
+fn measure(b: &mut Bench, iters: usize) -> Report {
+    // Warmup: populate caches/indexes and record the unit count.
+    b.units = (b.run)();
+    (b.run)();
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box((b.run)());
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    Report {
+        name: b.name,
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        units: b.units,
+    }
+}
+
+fn chain_db(depth: usize) -> Database {
+    let mut db = Database::new();
+    db.load(
+        "base Edge(a, b).
+         derived Path(a, b).
+         Path(X, Y) :- Edge(X, Y).
+         Path(X, Z) :- Edge(X, Y), Path(Y, Z).",
+    )
+    .unwrap();
+    let e = db.pred_id("Edge").unwrap();
+    for i in 0..depth {
+        let a = db.constant(&format!("n{i}"));
+        let b = db.constant(&format!("n{}", i + 1));
+        db.insert(e, vec![a, b]).unwrap();
+    }
+    db
+}
+
+/// Sparse random digraph: `nodes` vertices, `edges` random edges.
+fn graph_db(nodes: usize, edges: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    db.load(
+        "base Edge(a, b).
+         derived Path(a, b).
+         Path(X, Y) :- Edge(X, Y).
+         Path(X, Z) :- Edge(X, Y), Path(Y, Z).",
+    )
+    .unwrap();
+    let e = db.pred_id("Edge").unwrap();
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..edges {
+        let a = gom_deductive::Const::Int(rng.below(nodes) as i64);
+        let b = gom_deductive::Const::Int(rng.below(nodes) as i64);
+        db.insert(e, vec![a, b]).unwrap();
+    }
+    db
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut iters = 15usize;
+    let mut filters: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--iters N");
+                i += 2;
+            }
+            f => {
+                filters.push(f.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let threads: usize = std::env::var("GOM_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // ---- fixpoint: transitive closure --------------------------------------
+    let mut chain = chain_db(128);
+    let chain_path = chain.pred_id("Path").unwrap();
+    let mut graph = graph_db(200, 420, 0xB0B);
+    let graph_path = graph.pred_id("Path").unwrap();
+
+    // ---- EES consistency check over the GOM catalog ------------------------
+    let (mut mgr, ts) = synth_manager(SynthParams {
+        types: 50,
+        ..Default::default()
+    });
+
+    // ---- DRed incremental maintenance --------------------------------------
+    let (mut dred_mgr, dred_ts) = synth_manager(SynthParams {
+        types: 50,
+        ..Default::default()
+    });
+    let mut mat = dred_mgr.meta.db.materialize().unwrap();
+    let t0 = dred_ts[0];
+    let int_ty = dred_mgr.meta.builtins.int;
+    let attr_name = dred_mgr.meta.db.constant("bench_new_attr");
+    let mut forward = ChangeSet::new();
+    forward.insert(
+        dred_mgr.meta.cat.attr,
+        Tuple::from(vec![t0.constant(), attr_name, int_ty.constant()]),
+    );
+    let mut backward = ChangeSet::new();
+    for op in forward.ops.iter().rev() {
+        backward.ops.push(op.inverse());
+    }
+
+    // ---- ad-hoc query ------------------------------------------------------
+    let mut qdb = chain_db(96);
+    let q_edge = qdb.pred_id("Edge").unwrap();
+    let q_path = qdb.pred_id("Path").unwrap();
+
+    let _ = ts;
+    let mut benches: Vec<Bench> = vec![
+        Bench {
+            name: "fixpoint_tc_chain128",
+            run: Box::new(move || {
+                chain.invalidate_caches();
+                chain.derived_facts(chain_path).unwrap().len() as u64
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "fixpoint_tc_graph200x420",
+            run: Box::new(move || {
+                graph.invalidate_caches();
+                graph.derived_facts(graph_path).unwrap().len() as u64
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "ees_check_synth50",
+            run: Box::new(move || {
+                mgr.meta.db.invalidate_caches();
+                let v = mgr.meta.db.check().unwrap();
+                black_box(v.len());
+                mgr.meta.db.fact_count() as u64
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "dred_attr_toggle_synth50",
+            run: Box::new(move || {
+                dred_mgr
+                    .meta
+                    .db
+                    .apply_incremental(&mut mat, &forward)
+                    .unwrap();
+                let v1 = dred_mgr.meta.db.violations_from(&mat).unwrap().len();
+                dred_mgr
+                    .meta
+                    .db
+                    .apply_incremental(&mut mat, &backward)
+                    .unwrap();
+                let v2 = dred_mgr.meta.db.violations_from(&mat).unwrap().len();
+                (v1 + v2) as u64 + 2
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "query_path_join96",
+            run: Box::new(move || {
+                use gom_deductive::ast::{Atom, Literal, Term, Var};
+                let v = |n: u32| Term::Var(Var(n));
+                let body = vec![
+                    Literal::Pos(Atom::new(q_path, vec![v(0), v(1)])),
+                    Literal::Pos(Atom::new(q_edge, vec![v(1), v(2)])),
+                ];
+                qdb.query(&body, &[Var(0), Var(2)]).unwrap().len() as u64
+            }),
+            units: 0,
+        },
+    ];
+
+    let mut reports: Vec<Report> = Vec::new();
+    for b in &mut benches {
+        if !filters.is_empty() && !filters.iter().any(|f| b.name.contains(f.as_str())) {
+            continue;
+        }
+        let r = measure(b, iters);
+        eprintln!(
+            "{:<28} median {:>12} ns   min {:>12} ns   {:>8} units   {:>12.0} units/s",
+            r.name,
+            r.median_ns,
+            r.min_ns,
+            r.units,
+            r.units as f64 / (r.median_ns as f64 / 1e9),
+        );
+        reports.push(r);
+    }
+
+    // Machine-readable JSON (serde-free, like gom-lint's renderer).
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"gom-bench/microbench/v1\",\n");
+    json.push_str(&format!("  \"unix_secs\": {unix_secs},\n"));
+    json.push_str(&format!("  \"eval_threads\": {threads},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let thr = r.units as f64 / (r.median_ns as f64 / 1e9);
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+             \"units_per_iter\": {}, \"throughput_per_s\": {:.1}}}{}\n",
+            json_escape(r.name),
+            r.median_ns,
+            r.min_ns,
+            r.units,
+            thr,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write report");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -47,8 +47,8 @@ fn type_label(m: &MetaModel, t: TypeId) -> String {
 }
 
 fn schema_label(m: &MetaModel, s: gom_model::SchemaId) -> Option<String> {
-    let rel = m.db.relation(m.cat.schema).select(&[(0, s.constant())]);
-    rel.first()
+    let mut rel = m.db.relation(m.cat.schema).select(&[(0, s.constant())]);
+    rel.next()
         .and_then(|t| t.get(1).as_sym())
         .map(|sym| m.db.resolve(sym).to_string())
 }
@@ -141,7 +141,7 @@ pub fn explain_op(m: &MetaModel, rt: &Runtime, op: &Op) -> String {
             let ty =
                 m.db.relation(m.cat.phrep)
                     .select(&[(0, clid.constant())])
-                    .first()
+                    .next()
                     .and_then(|r| r.get(1).as_sym())
                     .map(TypeId);
             let tyname = ty.map_or_else(|| "?".to_string(), |ty| type_label(m, ty));

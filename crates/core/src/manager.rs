@@ -242,7 +242,8 @@ impl SchemaManager {
                             .db
                             .relation(self.meta.cat.phrep)
                             .select(&[(0, clid.constant())]);
-                        rows.first()
+                        let mut rows = rows;
+                        rows.next()
                             .and_then(|r| r.get(1).as_sym())
                             .map(gom_model::TypeId)
                     };
@@ -283,7 +284,8 @@ impl SchemaManager {
                             .db
                             .relation(self.meta.cat.phrep)
                             .select(&[(0, clid.constant())]);
-                        rows.first()
+                        let mut rows = rows;
+                        rows.next()
                             .and_then(|r| r.get(1).as_sym())
                             .map(gom_model::TypeId)
                     };

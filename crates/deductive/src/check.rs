@@ -93,8 +93,8 @@ fn key_violations_for(
                 }
                 let bound: Vec<(usize, Const)> = key.iter().map(|&c| (c, t.get(c))).collect();
                 for other in rel.select(&bound) {
-                    if &other != t {
-                        report(t.clone(), other);
+                    if other != t {
+                        report(t.clone(), other.clone());
                     }
                 }
             }
@@ -160,10 +160,13 @@ impl Database {
         out
     }
 
+    /// Scan the violation predicates of the given compiled constraints.
+    /// With more than one eval thread, constraints are scanned in parallel;
+    /// per-constraint output order is deterministic (sorted extensions,
+    /// buffers concatenated in constraint order).
     fn collect_constraint_violations(&self, idb: &[Relation], indices: &[usize]) -> Vec<Violation> {
         let compiled = self.compiled.as_ref().expect("compiled");
-        let mut out = Vec::new();
-        for &ci in indices {
+        crate::eval::par_map(self.eval_threads(), indices, |&ci, out| {
             let cc = &compiled.constraints[ci];
             let src = &self.constraints[cc.source_idx];
             for tuple in idb[cc.viol.index()].sorted() {
@@ -180,20 +183,17 @@ impl Database {
                     source: ViolationSource::Constraint { idx: ci, tuple },
                 });
             }
-        }
-        out
+        })
     }
 
     /// Full consistency check: every constraint, every key.
     pub fn check(&mut self) -> Result<Vec<Violation>> {
         self.evaluate()?;
-        let idb_rels: Vec<Relation> = {
-            let idb = self.idb.as_ref().expect("evaluated");
-            idb.rels.clone()
-        };
+        let idb = self.idb.take().expect("evaluated");
         let all: Vec<usize> =
             (0..self.compiled.as_ref().expect("compiled").constraints.len()).collect();
-        let mut out = self.collect_constraint_violations(&idb_rels, &all);
+        let mut out = self.collect_constraint_violations(&idb.rels, &all);
+        self.idb = Some(idb);
         let keyed: Vec<PredId> = self
             .base_preds()
             .filter(|&p| self.pred_decl(p).key.is_some())
@@ -264,6 +264,8 @@ impl Database {
         let mut out = if affected.is_empty() {
             Vec::new()
         } else {
+            self.ensure_base_indexes();
+            let threads = self.eval_threads();
             let compiled = self.compiled.take().expect("compiled");
             // Restrict each stratum to rules whose head is needed.
             let restricted: Vec<Vec<usize>> = compiled
@@ -278,8 +280,9 @@ impl Database {
                 })
                 .collect();
             let mut rels: Vec<Relation> = vec![Relation::new(); self.pred_count()];
+            crate::eval::ensure_idb_indexes(self, &compiled, &mut rels);
             for stratum in &restricted {
-                crate::eval::eval_stratum_public(self, &mut rels, &compiled.rules, stratum);
+                crate::eval::eval_stratum_public(self, &mut rels, &compiled, stratum, threads);
             }
 
             {

@@ -19,21 +19,30 @@ use crate::ast::{Atom, CmpOp, Literal, Rule, Term, Var};
 use crate::constraint::{Constraint, Formula};
 use crate::db::Database;
 use crate::error::{Error, Result};
+use crate::plan::RulePlans;
 use crate::pred::{PredId, PredKind};
 use crate::stratify::{stratify, Stratification};
 use crate::symbol::{FxHashMap, FxHashSet};
 
 /// A fully compiled program: user rules plus constraint-generated rules,
-/// stratified, with per-constraint metadata.
+/// stratified, with per-constraint metadata and precomputed join plans.
 pub(crate) struct Compiled {
     /// All rules (user rules first, then constraint auxiliaries).
     pub rules: Vec<Rule>,
+    /// Execution plans, parallel to `rules`: literal order, bound-column
+    /// masks, and head templates resolved once, per semi-naive delta
+    /// position (see [`crate::plan`]).
+    pub plans: Vec<RulePlans>,
     /// Stratification of `rules`.
     pub strat: Stratification,
     /// Rule indices by head predicate.
     pub rules_by_head: FxHashMap<PredId, Vec<usize>>,
     /// Compiled constraints, parallel to `Database::constraints`.
     pub constraints: Vec<CompiledConstraint>,
+    /// Every `(predicate, sorted bound columns)` an execution plan scans
+    /// with; the evaluator builds these indexes up front so plan execution
+    /// always hits ready buckets.
+    pub index_masks: Vec<(PredId, Box<[usize]>)>,
 }
 
 /// Compiled form of one constraint.
@@ -601,11 +610,46 @@ impl Database {
         for cc in &mut ccs {
             cc.deps = base_dependencies(self, cc.viol, &rules, &rules_by_head);
         }
+        let plans: Vec<RulePlans> = rules.iter().map(RulePlans::compile).collect();
+        let mut mask_set: FxHashSet<(PredId, Box<[usize]>)> = FxHashSet::default();
+        // Masks probed only by round-0 full plans against a predicate of
+        // the rule's own stratum: that relation is empty when the probe
+        // runs (semi-naive round 0 starts the stratum from nothing), so an
+        // eager index would be pure per-insert maintenance cost during the
+        // fixpoint. Left unbuilt, the executor falls back to a filtered
+        // scan — over the same empty relation. A mask also demanded by any
+        // delta or derivability plan stays eager.
+        let mut full_only: FxHashSet<(PredId, Box<[usize]>)> = FxHashSet::default();
+        for (ri, rp) in plans.iter().enumerate() {
+            let head_stratum = strat.pred_stratum[rules[ri].head.pred.index()];
+            for (p, cols) in rp.full.masks() {
+                if strat.pred_stratum[p.index()] == head_stratum {
+                    full_only.insert((p, cols.into()));
+                } else {
+                    mask_set.insert((p, cols.into()));
+                }
+            }
+            for plan in rp
+                .deltas
+                .iter()
+                .map(|(_, p)| p)
+                .chain(rp.neg_deltas.iter().map(|(_, p)| p))
+                .chain(std::iter::once(&rp.derivable))
+            {
+                for (p, cols) in plan.masks() {
+                    mask_set.insert((p, cols.into()));
+                }
+            }
+        }
+        let mut index_masks: Vec<(PredId, Box<[usize]>)> = mask_set.into_iter().collect();
+        index_masks.sort();
         self.compiled = Some(Compiled {
             rules,
+            plans,
             strat,
             rules_by_head,
             constraints: ccs,
+            index_masks,
         });
         Ok(())
     }

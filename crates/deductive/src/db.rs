@@ -51,7 +51,21 @@ pub struct Database {
     pub(crate) aux_start: Option<usize>,
     pub(crate) compiled: Option<crate::compile::Compiled>,
     pub(crate) idb: Option<crate::eval::Idb>,
+    /// The last invalidated IDB, kept as spare capacity: the next
+    /// evaluation recycles its relations (slot arrays, index maps, tuple
+    /// buffers) instead of allocating from scratch.
+    pub(crate) spare_idb: Option<crate::eval::Idb>,
+    /// Final relation sizes of the last materialised IDB, used to pre-size
+    /// row storage and membership tables on re-evaluation: after an
+    /// invalidation the fixpoint usually converges to a similar extension,
+    /// so sizing up front removes all incremental growth and rehashing
+    /// from the hot insert path.
+    pub(crate) idb_size_hints: Vec<usize>,
     journal: Option<Vec<Op>>,
+    /// Worker threads for fixpoint evaluation and constraint checking.
+    /// `0` = unset: consult `GOM_EVAL_THREADS`, defaulting to 1 (the
+    /// reproducible single-threaded configuration).
+    eval_threads: usize,
 }
 
 impl Database {
@@ -218,7 +232,7 @@ impl Database {
         self.check_base_use(pred, &tuple)?;
         let added = self.rels[pred.index()].insert(tuple.clone());
         if added {
-            self.idb = None;
+            self.retire_idb();
             if let Some(j) = &mut self.journal {
                 j.push(Op::Insert(pred, tuple));
             }
@@ -231,12 +245,26 @@ impl Database {
         self.check_base_use(pred, tuple)?;
         let removed = self.rels[pred.index()].remove(tuple);
         if removed {
-            self.idb = None;
+            self.retire_idb();
             if let Some(j) = &mut self.journal {
                 j.push(Op::Delete(pred, tuple.clone()));
             }
         }
         Ok(removed)
+    }
+
+    /// Remove every fact of `pred` whose columns match all `(column, value)`
+    /// pairs in `bound`. Returns the number of facts removed. Each removal is
+    /// journalled exactly like [`Database::remove`].
+    pub fn remove_matching(&mut self, pred: PredId, bound: &[(usize, Const)]) -> Result<usize> {
+        let hits: Vec<Tuple> = self.relation(pred).select(bound).cloned().collect();
+        let mut n = 0;
+        for t in hits {
+            if self.remove(pred, &t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 
     /// Membership test on a base predicate's stored extension.
@@ -413,7 +441,7 @@ impl Database {
     /// Drop compiler-generated auxiliary predicates and cached state. Called
     /// automatically by every definition-level mutation.
     pub(crate) fn decompile(&mut self) {
-        self.idb = None;
+        self.retire_idb();
         self.compiled = None;
         if let Some(n) = self.aux_start.take() {
             for d in self.preds.drain(n..) {
@@ -473,8 +501,44 @@ impl Database {
                 }
             }
         }
-        self.idb = None;
+        self.retire_idb();
         Ok(())
+    }
+
+    /// Number of worker threads used within an evaluation stratum and for
+    /// constraint checks. Resolution order: [`Database::set_eval_threads`],
+    /// then the `GOM_EVAL_THREADS` environment variable, then 1. Results
+    /// are identical for every thread count (sorted round merges).
+    pub fn eval_threads(&self) -> usize {
+        if self.eval_threads > 0 {
+            return self.eval_threads;
+        }
+        std::env::var("GOM_EVAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Set the worker-thread count (clamped to at least 1), overriding
+    /// `GOM_EVAL_THREADS`.
+    pub fn set_eval_threads(&mut self, n: usize) {
+        self.eval_threads = n.max(1);
+    }
+
+    /// Build every base-predicate index the compiled plans scan with; the
+    /// indexes are maintained in place by subsequent `insert`/`remove`.
+    /// No-op when not compiled.
+    pub(crate) fn ensure_base_indexes(&mut self) {
+        let Some(compiled) = self.compiled.take() else {
+            return;
+        };
+        for (p, cols) in &compiled.index_masks {
+            if self.preds[p.index()].is_base() {
+                self.rels[p.index()].ensure_index(cols);
+            }
+        }
+        self.compiled = Some(compiled);
     }
 
     /// Drop the cached IDB materialisation so the next check/evaluation
@@ -482,7 +546,15 @@ impl Database {
     /// normal code never needs it (fact mutations invalidate
     /// automatically).
     pub fn invalidate_caches(&mut self) {
-        self.idb = None;
+        self.retire_idb();
+    }
+
+    /// Drop the IDB materialisation, parking it as spare capacity for the
+    /// next evaluation to recycle.
+    fn retire_idb(&mut self) {
+        if let Some(idb) = self.idb.take() {
+            self.spare_idb = Some(idb);
+        }
     }
 
     /// Total number of stored base facts.

@@ -1,12 +1,21 @@
-//! Bottom-up evaluation: semi-naive fixpoint per stratum, plus ad-hoc
-//! conjunctive queries.
+//! Bottom-up evaluation: semi-naive fixpoint per stratum over compiled
+//! join plans (see [`crate::plan`]), plus ad-hoc conjunctive queries.
+//!
+//! Plans are precomputed once per rule at compile time; each fixpoint round
+//! only resolves key constants and walks index buckets. Within a stratum,
+//! rule/delta activations are independent, so they can be evaluated across
+//! threads (scoped, no external dependencies): each worker fills a private
+//! fact buffer, and the buffers are merged, sorted, and deduplicated at the
+//! round barrier — insertion order (and therefore every downstream output)
+//! is identical for every thread count.
 
 use crate::ast::{Atom, Literal, Rule, Term, Var};
 use crate::compile::Compiled;
 use crate::db::Database;
 use crate::error::{Error, Result};
+use crate::plan::{order_body, Plan, RulePlans, ScanStep, Src, Step};
 use crate::pred::PredId;
-use crate::relation::Relation;
+use crate::relation::{IndexRef, Relation};
 use crate::symbol::FxHashSet;
 use crate::tuple::Tuple;
 use crate::value::Const;
@@ -26,55 +35,12 @@ fn resolve(t: Term, binding: &Binding) -> Option<Const> {
     }
 }
 
-/// Order body literals for left-to-right evaluation: cheap fully-bound
-/// filters (comparisons, negations) as early as possible, positive atoms by
-/// descending boundness. `first`, when given, pins a literal to the front
-/// (the semi-naive delta literal).
-pub(crate) fn order_body(body: &[Literal], var_count: usize, first: Option<usize>) -> Vec<usize> {
-    let mut order = Vec::with_capacity(body.len());
-    let mut bound = vec![false; var_count];
-    let mut remaining: Vec<usize> = (0..body.len()).collect();
-    let bind_lit = |lit: &Literal, bound: &mut Vec<bool>| {
-        for v in lit.vars() {
-            bound[v.index()] = true;
-        }
-    };
-    if let Some(f) = first {
-        order.push(f);
-        bind_lit(&body[f], &mut bound);
-        remaining.retain(|&i| i != f);
+#[inline]
+fn resolve_src(s: Src, binding: &Binding) -> Const {
+    match s {
+        Src::Const(c) => c,
+        Src::Var(v) => binding[v.index()].expect("plan: variable bound before use"),
     }
-    while !remaining.is_empty() {
-        // 1. any comparison or negation whose vars are all bound
-        if let Some(pos) = remaining.iter().position(|&i| match &body[i] {
-            Literal::Pos(_) => false,
-            lit => lit.vars().iter().all(|v| bound[v.index()]),
-        }) {
-            let i = remaining.remove(pos);
-            order.push(i);
-            continue;
-        }
-        // 2. the positive atom binding the most already-bound variables
-        let best = remaining
-            .iter()
-            .enumerate()
-            .filter(|(_, &i)| body[i].is_positive())
-            .max_by_key(|(_, &i)| body[i].vars().iter().filter(|v| bound[v.index()]).count())
-            .map(|(pos, _)| pos);
-        match best {
-            Some(pos) => {
-                let i = remaining.remove(pos);
-                bind_lit(&body[i], &mut bound);
-                order.push(i);
-            }
-            None => {
-                // Only unbound negations/comparisons left; safe rules never
-                // reach here, but take them in order to terminate.
-                order.append(&mut remaining);
-            }
-        }
-    }
-    order
 }
 
 /// Evaluation context giving access to base and derived relations. When
@@ -100,18 +66,572 @@ impl Store<'_> {
     }
 }
 
-/// Match one rule body (already ordered) against the store, calling `sink`
-/// for every complete binding. `delta` substitutes the relation used for the
-/// literal at body index `delta.0`. The sink returns `false` to abort the
-/// search; `match_body` propagates that as its own return value.
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+/// The substitute fact source for the delta literal of a semi-naive or
+/// DRed plan execution.
+///
+/// The fixpoint loop stages each round's new facts as **row ids** into the
+/// IDB relation they were just inserted into — no tuple clones, no hash
+/// bookkeeping ([`DeltaSrc::Ids`]). Incremental maintenance (DRed) owns
+/// materialised add/delete sets and passes them as whole relations
+/// ([`DeltaSrc::Rel`]).
+#[derive(Clone, Copy)]
+pub(crate) enum DeltaSrc<'a> {
+    /// Row ids into the relation `Store::rel` resolves for the delta
+    /// literal's predicate (valid: the fixpoint never removes rows).
+    Ids(&'a [u32]),
+    /// A standalone relation replacing the delta literal's extension.
+    Rel(&'a Relation),
+}
+
+/// Execute a compiled plan, calling `sink` for every complete binding.
+/// `delta` substitutes the fact source used for the scan whose original
+/// body index equals `delta.0`. The sink returns `false` to abort.
+pub(crate) fn exec_plan<'s>(
+    store: &'s Store<'s>,
+    plan: &Plan,
+    delta: Option<(usize, DeltaSrc<'s>)>,
+    binding: &mut Binding,
+    sink: &mut dyn FnMut(&Binding) -> bool,
+) -> bool {
+    // Resolve every keyed scan's index once up front: the inner probe loop
+    // (once per outer tuple of the join) then goes straight to the
+    // postings, skipping the per-call column-set map lookup.
+    let idx: Vec<Option<IndexRef<'s>>> = plan
+        .steps
+        .iter()
+        .map(|step| match step {
+            Step::Scan(sc) if !sc.index_cols.is_empty() => match delta {
+                Some((di, DeltaSrc::Rel(d))) if di == sc.lit => d.index_ref(&sc.index_cols),
+                // Id-list deltas are scanned, never bucket-probed.
+                Some((di, DeltaSrc::Ids(_))) if di == sc.lit => None,
+                _ => store.rel(sc.pred).index_ref(&sc.index_cols),
+            },
+            _ => None,
+        })
+        .collect();
+    exec_steps(store, &plan.steps, 0, delta, &idx, binding, sink)
+}
+
+fn exec_steps<'s>(
+    store: &'s Store<'s>,
+    steps: &[Step],
+    depth: usize,
+    delta: Option<(usize, DeltaSrc<'s>)>,
+    idx: &[Option<IndexRef<'s>>],
+    binding: &mut Binding,
+    sink: &mut dyn FnMut(&Binding) -> bool,
+) -> bool {
+    let Some(step) = steps.get(depth) else {
+        return sink(binding);
+    };
+    match step {
+        Step::Scan(sc) => {
+            let dsrc = match delta {
+                Some((di, d)) if di == sc.lit => Some(d),
+                _ => None,
+            };
+            if sc.index_cols.is_empty() {
+                match dsrc {
+                    Some(DeltaSrc::Ids(ids)) => {
+                        let rel = store.rel(sc.pred);
+                        let tuples = ids.iter().map(|&id| rel.row(id));
+                        scan_tuples(
+                            store,
+                            steps,
+                            depth,
+                            delta,
+                            idx,
+                            binding,
+                            sink,
+                            sc,
+                            tuples,
+                            &[],
+                        )
+                    }
+                    Some(DeltaSrc::Rel(d)) => scan_tuples(
+                        store,
+                        steps,
+                        depth,
+                        delta,
+                        idx,
+                        binding,
+                        sink,
+                        sc,
+                        d.iter(),
+                        &[],
+                    ),
+                    None => {
+                        let rel = store.rel(sc.pred);
+                        scan_tuples(
+                            store,
+                            steps,
+                            depth,
+                            delta,
+                            idx,
+                            binding,
+                            sink,
+                            sc,
+                            rel.iter(),
+                            &[],
+                        )
+                    }
+                }
+            } else {
+                // Resolve the key on the stack; keyed scans run once per
+                // candidate tuple of the outer loops, so a heap allocation
+                // here is measurable.
+                let mut kbuf = [Const::Int(0); 8];
+                let kvec: Vec<Const>;
+                let key: &[Const] = if sc.key.len() <= kbuf.len() {
+                    for (i, &s) in sc.key.iter().enumerate() {
+                        kbuf[i] = resolve_src(s, binding);
+                    }
+                    &kbuf[..sc.key.len()]
+                } else {
+                    kvec = sc.key.iter().map(|&s| resolve_src(s, binding)).collect();
+                    &kvec
+                };
+                match (dsrc, idx.get(depth).copied().flatten()) {
+                    // The bucket iterator verifies the key columns itself.
+                    (_, Some(ix)) => {
+                        let bucket = ix.bucket(&sc.index_cols, key);
+                        scan_tuples(
+                            store,
+                            steps,
+                            depth,
+                            delta,
+                            idx,
+                            binding,
+                            sink,
+                            sc,
+                            bucket,
+                            &[],
+                        )
+                    }
+                    // Id-list delta: filtered scan over the staged rows,
+                    // verifying the key columns per tuple.
+                    (Some(DeltaSrc::Ids(ids)), None) => {
+                        let rel = store.rel(sc.pred);
+                        let tuples = ids.iter().map(|&id| rel.row(id));
+                        scan_tuples(
+                            store, steps, depth, delta, idx, binding, sink, sc, tuples, key,
+                        )
+                    }
+                    // No index (delta / repair contexts): filtered scan.
+                    (Some(DeltaSrc::Rel(d)), None) => scan_tuples(
+                        store,
+                        steps,
+                        depth,
+                        delta,
+                        idx,
+                        binding,
+                        sink,
+                        sc,
+                        d.iter(),
+                        key,
+                    ),
+                    (None, None) => {
+                        let rel = store.rel(sc.pred);
+                        scan_tuples(
+                            store,
+                            steps,
+                            depth,
+                            delta,
+                            idx,
+                            binding,
+                            sink,
+                            sc,
+                            rel.iter(),
+                            key,
+                        )
+                    }
+                }
+            }
+        }
+        Step::Neg { pred, args } => {
+            let vals = args.iter().map(|&s| resolve_src(s, binding));
+            if !store.rel(*pred).contains_vals(vals) {
+                exec_steps(store, steps, depth + 1, delta, idx, binding, sink)
+            } else {
+                true
+            }
+        }
+        Step::Cmp { op, l, r } => {
+            if op.eval(resolve_src(*l, binding), resolve_src(*r, binding)) {
+                exec_steps(store, steps, depth + 1, delta, idx, binding, sink)
+            } else {
+                true
+            }
+        }
+    }
+}
+
+/// Drive one scan step over an iterator of candidate tuples. `verify_key`
+/// lists `(column → expected constant)` pairs to re-check per tuple (empty
+/// when the tuples come from a matching index bucket).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn match_body(
+fn scan_tuples<'a, 's>(
+    store: &'s Store<'s>,
+    steps: &[Step],
+    depth: usize,
+    delta: Option<(usize, DeltaSrc<'s>)>,
+    idx: &[Option<IndexRef<'s>>],
+    binding: &mut Binding,
+    sink: &mut dyn FnMut(&Binding) -> bool,
+    sc: &ScanStep,
+    tuples: impl Iterator<Item = &'a Tuple>,
+    verify_key: &[Const],
+) -> bool {
+    'tuples: for t in tuples {
+        if !verify_key.is_empty() {
+            for (i, &c) in sc.index_cols.iter().enumerate() {
+                if t.get(c) != verify_key[i] {
+                    continue 'tuples;
+                }
+            }
+        }
+        for &(c, v) in sc.bind_cols.iter() {
+            binding[v.index()] = Some(t.get(c));
+        }
+        let mut ok = true;
+        for &(c, v) in sc.check_cols.iter() {
+            if binding[v.index()] != Some(t.get(c)) {
+                ok = false;
+                break;
+            }
+        }
+        let keep_going = if ok {
+            exec_steps(store, steps, depth + 1, delta, idx, binding, sink)
+        } else {
+            true
+        };
+        for &(_, v) in sc.bind_cols.iter() {
+            binding[v.index()] = None;
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Instantiate a plan's head template under a complete binding.
+pub(crate) fn instantiate_head(head: &[Src], binding: &Binding) -> Tuple {
+    Tuple::from(
+        head.iter()
+            .map(|&s| resolve_src(s, binding))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A derived fact staged for the round flush. Heads of arity ≤ 2 (the
+/// overwhelmingly common case) stay inline, so a derivation allocates its
+/// stored tuple only once it is confirmed new — duplicate derivations,
+/// which dominate dense fixpoints, never touch the allocator.
+pub(crate) enum Staged {
+    Inline(PredId, u8, [Const; 2]),
+    Boxed(PredId, Tuple),
+}
+
+#[inline]
+fn stage_head(pred: PredId, head: &[Src], binding: &Binding) -> Staged {
+    if head.len() <= 2 {
+        let mut arr = [Const::Int(0); 2];
+        for (i, &s) in head.iter().enumerate() {
+            arr[i] = resolve_src(s, binding);
+        }
+        Staged::Inline(pred, head.len() as u8, arr)
+    } else {
+        Staged::Boxed(pred, instantiate_head(head, binding))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel work distribution
+// ---------------------------------------------------------------------------
+
+/// Run `f` over `items`, splitting across up to `threads` scoped threads.
+/// Each worker appends into a private buffer; buffers are concatenated in
+/// chunk order. Callers needing thread-count-independent output sort the
+/// result. With `threads <= 1` this runs inline with no thread overhead.
+pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut Vec<R>) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut buf = Vec::new();
+        for it in items {
+            f(it, &mut buf);
+        }
+        return buf;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    let mut out: Vec<R> = Vec::new();
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|ch| {
+                s.spawn(move || {
+                    let mut buf = Vec::new();
+                    for it in ch {
+                        f(it, &mut buf);
+                    }
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("evaluation worker panicked"));
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint
+// ---------------------------------------------------------------------------
+
+/// Merge a round's derived facts into `idb`/`delta`.
+///
+/// Probe-first: every derivation is checked against the membership table
+/// (re-derivations of known facts — the bulk of the traffic on dense
+/// inputs — cost one probe and nothing else), and only the genuinely new
+/// facts are sorted before insertion. Sorting that small set keeps
+/// insertion order — and thus all downstream iteration order — sorted per
+/// round and independent of thread count and work-chunk layout, and it
+/// keeps the row vector a concatenation of sorted runs, which the final
+/// [`Relation::sorted`] merge exploits. Each fact is hashed once; the
+/// probe and the insert share it.
+fn flush_round(facts: Vec<Staged>, idb: &mut [Relation], delta: &mut [Vec<u32>]) {
+    // The membership probe is latency-bound: each duplicate hit touches
+    // the slot line and then the stored row to verify equality. Hashing
+    // the whole batch up front lets us issue each slot fetch a dozen
+    // facts ahead of its probe, overlapping the misses.
+    const LOOKAHEAD: usize = 12;
+    let meta: Vec<(u32, u64)> = facts
+        .iter()
+        .map(|s| match s {
+            Staged::Inline(p, len, arr) => (
+                p.index() as u32,
+                Relation::fact_hash_vals(&arr[..*len as usize]),
+            ),
+            Staged::Boxed(p, t) => (p.index() as u32, Relation::fact_hash(t)),
+        })
+        .collect();
+    for (i, s) in facts.into_iter().enumerate() {
+        if let Some(&(lp, lh)) = meta.get(i + LOOKAHEAD) {
+            idb[lp as usize].prefetch_slot(lh);
+        }
+        let h = meta[i].1;
+        let (p, fresh) = match s {
+            Staged::Inline(p, len, arr) => (p, idb[p.index()].insert_vals(h, &arr[..len as usize])),
+            Staged::Boxed(p, t) => (p, idb[p.index()].insert_hashed(h, t)),
+        };
+        if let Some(id) = fresh {
+            delta[p.index()].push(id);
+        }
+    }
+}
+
+/// Evaluate one stratum to fixpoint, semi-naively, executing compiled
+/// plans. `plans` is parallel to `rules`.
+fn eval_stratum(
+    db: &Database,
+    idb: &mut Vec<Relation>,
+    rules: &[Rule],
+    plans: &[RulePlans],
+    rule_ixs: &[usize],
+    threads: usize,
+) {
+    let stratum_preds: FxHashSet<PredId> = rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
+    let mut delta: Vec<Vec<u32>> = vec![Vec::new(); idb.len()];
+    // Round 0: full evaluation of every rule against the stratum input.
+    let round0 = par_map(threads, rule_ixs, |&ri, buf| {
+        let rp = &plans[ri];
+        let store = Store {
+            db,
+            idb,
+            base_override: None,
+        };
+        let mut binding: Binding = vec![None; rp.full.var_count];
+        exec_plan(&store, &rp.full, None, &mut binding, &mut |b| {
+            buf.push(stage_head(rp.head_pred, &rp.head, b));
+            true
+        });
+    });
+    flush_round(round0, idb, &mut delta);
+    // Semi-naive iteration: one work item per (rule, delta literal).
+    loop {
+        let work: Vec<(usize, usize)> = rule_ixs
+            .iter()
+            .flat_map(|&ri| {
+                rules[ri]
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, lit)| {
+                        matches!(lit, Literal::Pos(a)
+                            if stratum_preds.contains(&a.pred)
+                                && !delta[a.pred.index()].is_empty())
+                    })
+                    .map(move |(li, _)| (ri, li))
+            })
+            .collect();
+        if work.is_empty() {
+            break;
+        }
+        let round = par_map(threads, &work, |&(ri, li), buf| {
+            let rp = &plans[ri];
+            let Literal::Pos(atom) = &rules[ri].body[li] else {
+                unreachable!("delta work items are positive literals");
+            };
+            let store = Store {
+                db,
+                idb,
+                base_override: None,
+            };
+            let plan = rp.delta_plan(li);
+            let mut binding: Binding = vec![None; plan.var_count];
+            exec_plan(
+                &store,
+                plan,
+                Some((li, DeltaSrc::Ids(&delta[atom.pred.index()]))),
+                &mut binding,
+                &mut |b| {
+                    buf.push(stage_head(rp.head_pred, &rp.head, b));
+                    true
+                },
+            );
+        });
+        for p in &stratum_preds {
+            delta[p.index()].clear();
+        }
+        flush_round(round, idb, &mut delta);
+    }
+}
+
+/// Evaluate one stratum into `idb` (crate-internal entry point used by the
+/// incremental checker).
+pub(crate) fn eval_stratum_public(
+    db: &Database,
+    idb: &mut Vec<Relation>,
+    compiled: &Compiled,
+    rule_ixs: &[usize],
+    threads: usize,
+) {
+    eval_stratum(db, idb, &compiled.rules, &compiled.plans, rule_ixs, threads);
+}
+
+/// Solve a body against the current EDB + a given IDB, with some variables
+/// preset, returning up to `limit` full bindings. Crate-internal helper for
+/// repair generation and provenance; compiles a one-off plan seeded with
+/// the preset variables.
+pub(crate) fn solve_body(
+    db: &Database,
+    idb: &[Relation],
+    body: &[Literal],
+    var_count: usize,
+    preset: &[(Var, Const)],
+    limit: usize,
+) -> Vec<Binding> {
+    let seed: Vec<Var> = preset.iter().map(|&(v, _)| v).collect();
+    let plan = Plan::compile(body, var_count, None, &seed);
+    let mut binding: Binding = vec![None; var_count];
+    for &(v, c) in preset {
+        binding[v.index()] = Some(c);
+    }
+    let store = Store {
+        db,
+        idb,
+        base_override: None,
+    };
+    let mut out: Vec<Binding> = Vec::new();
+    exec_plan(&store, &plan, None, &mut binding, &mut |b| {
+        out.push(b.clone());
+        out.len() < limit
+    });
+    out
+}
+
+pub(crate) fn instantiate(head: &Atom, binding: &Binding) -> Tuple {
+    Tuple::from(
+        head.args
+            .iter()
+            .map(|&t| resolve(t, binding).expect("safe rule: head fully bound"))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Ensure every derived-predicate index demanded by the compiled plans
+/// exists on `rels`. Base-predicate indexes are ensured separately on the
+/// live EDB (or its snapshots) by the callers owning them mutably.
+pub(crate) fn ensure_idb_indexes(db: &Database, compiled: &Compiled, rels: &mut [Relation]) {
+    for (p, cols) in &compiled.index_masks {
+        if !db.pred_decl(*p).is_base() {
+            rels[p.index()].ensure_index(cols);
+        }
+    }
+}
+
+pub(crate) fn eval_program(
+    db: &Database,
+    compiled: &Compiled,
+    threads: usize,
+    size_hints: &[usize],
+    spare: Option<Idb>,
+) -> Idb {
+    // Recycle the previously invalidated IDB when its shape still fits:
+    // slot arrays, index maps, and tuple buffers all carry over, so a
+    // re-evaluation allocates almost nothing.
+    let mut rels: Vec<Relation> = match spare {
+        Some(mut old) if old.rels.len() == db.pred_count() => {
+            for r in &mut old.rels {
+                r.recycle();
+            }
+            old.rels
+        }
+        _ => vec![Relation::new(); db.pred_count()],
+    };
+    for (r, &n) in rels.iter_mut().zip(size_hints) {
+        if n > 0 {
+            r.reserve(n);
+        }
+    }
+    ensure_idb_indexes(db, compiled, &mut rels);
+    for stratum in &compiled.strat.rule_strata {
+        eval_stratum(
+            db,
+            &mut rels,
+            &compiled.rules,
+            &compiled.plans,
+            stratum,
+            threads,
+        );
+    }
+    Idb { rels }
+}
+
+// ---------------------------------------------------------------------------
+// Naive tuple-at-a-time interpreter
+// ---------------------------------------------------------------------------
+// Kept as the differential-test oracle and the `datalog_eval` benchmark
+// ablation: no plans, no bucket fast path, strictly single-threaded.
+
+/// Match one rule body (already ordered) against the store, calling `sink`
+/// for every complete binding.
+fn match_body(
     store: &Store<'_>,
     body: &[Literal],
     order: &[usize],
     depth: usize,
     binding: &mut Binding,
-    delta: Option<(usize, &Relation)>,
     sink: &mut dyn FnMut(&Binding) -> bool,
 ) -> bool {
     if depth == order.len() {
@@ -120,10 +640,7 @@ pub(crate) fn match_body(
     let li = order[depth];
     match &body[li] {
         Literal::Pos(atom) => {
-            let rel = match delta {
-                Some((di, d)) if di == li => d,
-                _ => store.rel(atom.pred),
-            };
+            let rel = store.rel(atom.pred);
             let mut bound_cols: Vec<(usize, Const)> = Vec::new();
             for (j, &t) in atom.args.iter().enumerate() {
                 if let Some(c) = resolve(t, binding) {
@@ -158,7 +675,7 @@ pub(crate) fn match_body(
                         },
                     }
                 }
-                let keep_going = match_body(store, body, order, depth + 1, binding, delta, sink);
+                let keep_going = match_body(store, body, order, depth + 1, binding, sink);
                 for v in newly {
                     binding[v.index()] = None;
                 }
@@ -175,7 +692,7 @@ pub(crate) fn match_body(
                 .map(|&t| resolve(t, binding).expect("safe rule: negation fully bound"))
                 .collect();
             if !store.rel(atom.pred).contains(&Tuple::from(ground)) {
-                match_body(store, body, order, depth + 1, binding, delta, sink)
+                match_body(store, body, order, depth + 1, binding, sink)
             } else {
                 true
             }
@@ -184,7 +701,7 @@ pub(crate) fn match_body(
             let a = resolve(*l, binding).expect("safe rule: comparison fully bound");
             let b = resolve(*r, binding).expect("safe rule: comparison fully bound");
             if op.eval(a, b) {
-                match_body(store, body, order, depth + 1, binding, delta, sink)
+                match_body(store, body, order, depth + 1, binding, sink)
             } else {
                 true
             }
@@ -192,183 +709,8 @@ pub(crate) fn match_body(
     }
 }
 
-/// Evaluate one stratum into `idb` (crate-internal entry point used by the
-/// incremental checker).
-pub(crate) fn eval_stratum_public(
-    db: &Database,
-    idb: &mut Vec<Relation>,
-    rules: &[Rule],
-    rule_ixs: &[usize],
-) {
-    eval_stratum(db, idb, rules, rule_ixs);
-}
-
-/// Solve a body against the current EDB + a given IDB, with some variables
-/// preset, returning up to `limit` full bindings. Crate-internal helper for
-/// repair generation.
-pub(crate) fn solve_body(
-    db: &Database,
-    idb: &[Relation],
-    body: &[Literal],
-    var_count: usize,
-    preset: &[(Var, Const)],
-    limit: usize,
-) -> Vec<Binding> {
-    let mut binding: Binding = vec![None; var_count];
-    for &(v, c) in preset {
-        binding[v.index()] = Some(c);
-    }
-    // Ordering: treat preset vars as already bound by pretending the body has
-    // a virtual first literal; easiest is to order with boundness seeded.
-    let order = order_body_seeded(body, var_count, preset);
-    let store = Store {
-        db,
-        idb,
-        base_override: None,
-    };
-    let mut out: Vec<Binding> = Vec::new();
-    match_body(&store, body, &order, 0, &mut binding, None, &mut |b| {
-        out.push(b.clone());
-        out.len() < limit
-    });
-    out
-}
-
-/// Like [`order_body`] but with an initial set of bound variables.
-fn order_body_seeded(body: &[Literal], var_count: usize, preset: &[(Var, Const)]) -> Vec<usize> {
-    let mut order = Vec::with_capacity(body.len());
-    let mut bound = vec![false; var_count];
-    for &(v, _) in preset {
-        bound[v.index()] = true;
-    }
-    let mut remaining: Vec<usize> = (0..body.len()).collect();
-    while !remaining.is_empty() {
-        if let Some(pos) = remaining.iter().position(|&i| match &body[i] {
-            Literal::Pos(_) => false,
-            lit => lit.vars().iter().all(|v| bound[v.index()]),
-        }) {
-            let i = remaining.remove(pos);
-            order.push(i);
-            continue;
-        }
-        let best = remaining
-            .iter()
-            .enumerate()
-            .filter(|(_, &i)| body[i].is_positive())
-            .max_by_key(|(_, &i)| body[i].vars().iter().filter(|v| bound[v.index()]).count())
-            .map(|(pos, _)| pos);
-        match best {
-            Some(pos) => {
-                let i = remaining.remove(pos);
-                for v in body[i].vars() {
-                    bound[v.index()] = true;
-                }
-                order.push(i);
-            }
-            None => {
-                order.append(&mut remaining);
-            }
-        }
-    }
-    order
-}
-
-pub(crate) fn instantiate(head: &Atom, binding: &Binding) -> Tuple {
-    Tuple::from(
-        head.args
-            .iter()
-            .map(|&t| resolve(t, binding).expect("safe rule: head fully bound"))
-            .collect::<Vec<_>>(),
-    )
-}
-
-/// Evaluate one stratum to fixpoint, semi-naively.
-fn eval_stratum(db: &Database, idb: &mut Vec<Relation>, rules: &[Rule], rule_ixs: &[usize]) {
-    let stratum_preds: FxHashSet<PredId> = rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
-    // Round 0: full evaluation of every rule.
-    let mut delta: Vec<Relation> = vec![Relation::new(); idb.len()];
-    for &ri in rule_ixs {
-        let rule = &rules[ri];
-        let order = order_body(&rule.body, rule.var_count(), None);
-        let mut binding: Binding = vec![None; rule.var_count()];
-        let mut new_facts: Vec<Tuple> = Vec::new();
-        {
-            let store = Store {
-                db,
-                idb,
-                base_override: None,
-            };
-            match_body(
-                &store,
-                &rule.body,
-                &order,
-                0,
-                &mut binding,
-                None,
-                &mut |b| {
-                    new_facts.push(instantiate(&rule.head, b));
-                    true
-                },
-            );
-        }
-        let h = rule.head.pred.index();
-        for t in new_facts {
-            if idb[h].insert(t.clone()) {
-                delta[h].insert(t);
-            }
-        }
-    }
-    // Semi-naive iteration.
-    loop {
-        let has_delta = stratum_preds.iter().any(|p| !delta[p.index()].is_empty());
-        if !has_delta {
-            break;
-        }
-        let mut next_delta: Vec<(PredId, Tuple)> = Vec::new();
-        for &ri in rule_ixs {
-            let rule = &rules[ri];
-            for (li, lit) in rule.body.iter().enumerate() {
-                let Literal::Pos(atom) = lit else {
-                    continue;
-                };
-                if !stratum_preds.contains(&atom.pred) || delta[atom.pred.index()].is_empty() {
-                    continue;
-                }
-                let order = order_body(&rule.body, rule.var_count(), Some(li));
-                let mut binding: Binding = vec![None; rule.var_count()];
-                let store = Store {
-                    db,
-                    idb,
-                    base_override: None,
-                };
-                let d = &delta[atom.pred.index()];
-                match_body(
-                    &store,
-                    &rule.body,
-                    &order,
-                    0,
-                    &mut binding,
-                    Some((li, d)),
-                    &mut |b| {
-                        next_delta.push((rule.head.pred, instantiate(&rule.head, b)));
-                        true
-                    },
-                );
-            }
-        }
-        for p in &stratum_preds {
-            delta[p.index()].clear();
-        }
-        for (p, t) in next_delta {
-            if idb[p.index()].insert(t.clone()) {
-                delta[p.index()].insert(t);
-            }
-        }
-    }
-}
-
-/// Evaluate one stratum naively (re-deriving everything each round). Used
-/// only by the `datalog_eval` benchmark as the ablation baseline.
+/// Evaluate one stratum naively (re-deriving everything each round) with
+/// the tuple-at-a-time interpreter. Returns the number of rounds.
 fn eval_stratum_naive(
     db: &Database,
     idb: &mut Vec<Relation>,
@@ -381,25 +723,17 @@ fn eval_stratum_naive(
         let mut new_facts: Vec<(PredId, Tuple)> = Vec::new();
         for &ri in rule_ixs {
             let rule = &rules[ri];
-            let order = order_body(&rule.body, rule.var_count(), None);
+            let order = order_body(&rule.body, rule.var_count(), None, &[]);
             let mut binding: Binding = vec![None; rule.var_count()];
             let store = Store {
                 db,
                 idb,
                 base_override: None,
             };
-            match_body(
-                &store,
-                &rule.body,
-                &order,
-                0,
-                &mut binding,
-                None,
-                &mut |b| {
-                    new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
-                    true
-                },
-            );
+            match_body(&store, &rule.body, &order, 0, &mut binding, &mut |b| {
+                new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
+                true
+            });
         }
         let mut changed = false;
         for (p, t) in new_facts {
@@ -413,14 +747,6 @@ fn eval_stratum_naive(
     }
 }
 
-pub(crate) fn eval_program(db: &Database, compiled: &Compiled) -> Idb {
-    let mut rels: Vec<Relation> = vec![Relation::new(); db.pred_count()];
-    for stratum in &compiled.strat.rule_strata {
-        eval_stratum(db, &mut rels, &compiled.rules, stratum);
-    }
-    Idb { rels }
-}
-
 impl Database {
     /// Ensure rules/constraints are compiled and the IDB is materialised.
     pub fn evaluate(&mut self) -> Result<()> {
@@ -428,16 +754,21 @@ impl Database {
         if self.idb.is_some() {
             return Ok(());
         }
+        self.ensure_base_indexes();
+        let threads = self.eval_threads();
         let compiled = self.compiled.take().expect("just compiled");
-        let idb = eval_program(self, &compiled);
+        let hints = std::mem::take(&mut self.idb_size_hints);
+        let spare = self.spare_idb.take();
+        let idb = eval_program(self, &compiled, threads, &hints, spare);
         self.compiled = Some(compiled);
+        self.idb_size_hints = idb.rels.iter().map(|r| r.len()).collect();
         self.idb = Some(idb);
         Ok(())
     }
 
-    /// Evaluate the whole program with the naive (non-semi-naive) strategy,
-    /// returning the number of fixpoint rounds. Benchmark ablation only; the
-    /// result is not cached.
+    /// Evaluate the whole program with the naive (non-semi-naive, unplanned)
+    /// strategy, returning the number of fixpoint rounds. Benchmark ablation
+    /// only; the result is not cached.
     pub fn evaluate_naive_for_bench(&mut self) -> Result<usize> {
         self.ensure_compiled()?;
         let compiled = self.compiled.take().expect("just compiled");
@@ -448,6 +779,21 @@ impl Database {
         }
         self.compiled = Some(compiled);
         Ok(rounds)
+    }
+
+    /// Sorted facts of a derived predicate computed by the naive
+    /// tuple-at-a-time interpreter (no plans, no maintained indexes, no
+    /// threads). Differential-test oracle; not cached.
+    #[doc(hidden)]
+    pub fn reference_facts(&mut self, pred: PredId) -> Result<Vec<Tuple>> {
+        self.ensure_compiled()?;
+        let compiled = self.compiled.take().expect("just compiled");
+        let mut rels: Vec<Relation> = vec![Relation::new(); self.pred_count()];
+        for stratum in &compiled.strat.rule_strata {
+            eval_stratum_naive(self, &mut rels, &compiled.rules, stratum);
+        }
+        self.compiled = Some(compiled);
+        Ok(rels[pred.index()].sorted())
     }
 
     /// Sorted facts of a derived predicate (materialising if necessary).
@@ -469,7 +815,9 @@ impl Database {
     /// that satisfies all `body` literals, deduplicated, sorted.
     ///
     /// The body must be range-restricted: every variable in `out`, in a
-    /// negation, or in a comparison must occur in a positive literal.
+    /// negation, or in a comparison must occur in a positive literal. The
+    /// body is compiled to a plan and any indexes it wants are built (and
+    /// from then on maintained) before execution.
     pub fn query(&mut self, body: &[Literal], out: &[Var]) -> Result<Vec<Tuple>> {
         // Safety check.
         let mut positive: FxHashSet<Var> = FxHashSet::default();
@@ -514,16 +862,24 @@ impl Database {
             .map(|v| v.index() + 1)
             .max()
             .unwrap_or(0);
-        let order = order_body(body, var_count, None);
+        let plan = Plan::compile(body, var_count, None, &[]);
+        // Build the indexes the query plan wants; they stay maintained.
+        let mut idb = self.idb.take().expect("evaluated");
+        for (p, cols) in plan.masks() {
+            if self.pred_decl(p).is_base() {
+                self.rels[p.index()].ensure_index(cols);
+            } else {
+                idb.rels[p.index()].ensure_index(cols);
+            }
+        }
         let mut binding: Binding = vec![None; var_count];
-        let idb = self.idb.as_ref().expect("evaluated");
         let store = Store {
             db: self,
             idb: &idb.rels,
             base_override: None,
         };
         let mut results: FxHashSet<Tuple> = FxHashSet::default();
-        match_body(&store, body, &order, 0, &mut binding, None, &mut |b| {
+        exec_plan(&store, &plan, None, &mut binding, &mut |b| {
             results.insert(Tuple::from(
                 out.iter()
                     .map(|v| b[v.index()].expect("out var bound"))
@@ -531,6 +887,7 @@ impl Database {
             ));
             true
         });
+        self.idb = Some(idb);
         let mut v: Vec<Tuple> = results.into_iter().collect();
         v.sort();
         Ok(v)
@@ -602,6 +959,26 @@ mod tests {
         let rounds = db.evaluate_naive_for_bench().unwrap();
         assert!(rounds > 1);
         assert_eq!(semi.len(), db.derived_facts(path).unwrap().len());
+        assert_eq!(semi, db.reference_facts(path).unwrap());
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let build = || {
+            let (mut db, edge, _) = setup_path();
+            for i in 0..12 {
+                db.insert(edge, t2(i, i + 1)).unwrap();
+            }
+            db.insert(edge, t2(7, 2)).unwrap();
+            db.insert(edge, t2(11, 0)).unwrap();
+            db
+        };
+        let mut serial = build();
+        let path = serial.pred_id("Path").unwrap();
+        let expected = serial.derived_facts(path).unwrap();
+        let mut par = build();
+        par.set_eval_threads(4);
+        assert_eq!(par.derived_facts(path).unwrap(), expected);
     }
 
     #[test]

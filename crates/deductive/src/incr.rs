@@ -18,12 +18,13 @@
 //! test `incremental_equals_scratch` checks the result against from-scratch
 //! evaluation on random programs and mutation batches.
 
-use crate::ast::{Literal, Rule};
+use crate::ast::Literal;
 use crate::changes::ChangeSet;
 use crate::check::Violation;
 use crate::db::Database;
 use crate::error::Result;
-use crate::eval::{instantiate, match_body, order_body, Binding, Store};
+use crate::eval::{exec_plan, instantiate_head, Binding, DeltaSrc, Store};
+use crate::plan::RulePlans;
 use crate::pred::PredId;
 use crate::relation::Relation;
 use crate::symbol::FxHashSet;
@@ -77,9 +78,12 @@ impl Database {
                 return Ok(effective);
             }
         }
-        // Snapshots of the old state.
+        // Snapshots of the old state. Base indexes are ensured first so the
+        // clones carry them; in-place maintenance keeps the live EDB's
+        // indexes valid across `apply`.
+        self.ensure_base_indexes();
         let old_edb: Vec<Relation> = self.rels.clone();
-        let old_idb: Vec<Relation> = mat.rels.clone();
+        let mut old_idb: Vec<Relation> = mat.rels.clone();
         // Apply the base delta; compute net per-fact changes.
         let effective = self.apply(delta)?;
         let npred = self.pred_count();
@@ -105,6 +109,15 @@ impl Database {
         }
 
         let compiled = self.compiled.take().expect("compiled");
+        // Derived-side indexes on both the old snapshot and the maintained
+        // materialisation (no-ops when already present).
+        for (p, cols) in &compiled.index_masks {
+            if !self.pred_decl(*p).is_base() {
+                old_idb[p.index()].ensure_index(cols);
+                mat.rels[p.index()].ensure_index(cols);
+            }
+        }
+        let old_idb = old_idb;
         for stratum in &compiled.strat.rule_strata {
             let rules = &compiled.rules;
             let stratum_preds: FxHashSet<PredId> =
@@ -132,7 +145,7 @@ impl Database {
                         self,
                         &old_idb,
                         Some(&old_edb),
-                        rule,
+                        &compiled.plans[ri],
                         li,
                         &src_rel[src_pred.index()],
                         neg,
@@ -165,7 +178,7 @@ impl Database {
                             self,
                             &old_idb,
                             Some(&old_edb),
-                            rule,
+                            &compiled.plans[ri],
                             li,
                             &dr,
                             false,
@@ -226,7 +239,7 @@ impl Database {
                         self,
                         &mat.rels,
                         None,
-                        rule,
+                        &compiled.plans[ri],
                         li,
                         &src_rel[src_pred.index()],
                         neg,
@@ -255,11 +268,20 @@ impl Database {
                         if a.pred != ap {
                             continue;
                         }
-                        delta_join(self, &mat.rels, None, rule, li, &dr, false, &mut |h| {
-                            if !mat.rels[rule.head.pred.index()].contains(&h) {
-                                frontier.push((rule.head.pred, h));
-                            }
-                        });
+                        delta_join(
+                            self,
+                            &mat.rels,
+                            None,
+                            &compiled.plans[ri],
+                            li,
+                            &dr,
+                            false,
+                            &mut |h| {
+                                if !mat.rels[rule.head.pred.index()].contains(&h) {
+                                    frontier.push((rule.head.pred, h));
+                                }
+                            },
+                        );
                     }
                 }
             }
@@ -294,55 +316,48 @@ impl Database {
     }
 }
 
-/// Evaluate `rule` with literal `li` bound from `delta_rel`. When the
-/// literal is negative, it is treated as a generator over the delta facts
-/// (the classic DRed trick: an inserted fact falsifies, a deleted fact
-/// enables, the negation for exactly its own ground instance).
+/// Evaluate one rule with literal `li` bound from `delta_rel`, executing
+/// the rule's precompiled delta plan. When the literal is negative, the
+/// precompiled generator plan treats it as a positive scan over the delta
+/// facts (the classic DRed trick: an inserted fact falsifies, a deleted
+/// fact enables, the negation for exactly its own ground instance).
 #[allow(clippy::too_many_arguments)]
 fn delta_join(
     db: &Database,
     idb: &[Relation],
     base_override: Option<&[Relation]>,
-    rule: &Rule,
+    rp: &RulePlans,
     li: usize,
     delta_rel: &Relation,
     neg_as_generator: bool,
     sink: &mut dyn FnMut(Tuple),
 ) {
-    let body_storage;
-    let body: &[Literal] = if neg_as_generator {
-        let mut b = rule.body.clone();
-        let Literal::Neg(a) = &rule.body[li] else {
-            unreachable!("neg_as_generator only for negative literals");
-        };
-        b[li] = Literal::Pos(a.clone());
-        body_storage = b;
-        &body_storage
+    let plan = if neg_as_generator {
+        rp.neg_delta_plan(li)
     } else {
-        &rule.body
+        rp.delta_plan(li)
     };
-    let order = order_body(body, rule.var_count(), Some(li));
-    let mut binding: Binding = vec![None; rule.var_count()];
+    let mut binding: Binding = vec![None; plan.var_count];
     let store = Store {
         db,
         idb,
         base_override,
     };
-    match_body(
+    exec_plan(
         &store,
-        body,
-        &order,
-        0,
+        plan,
+        Some((li, DeltaSrc::Rel(delta_rel))),
         &mut binding,
-        Some((li, delta_rel)),
         &mut |b| {
-            sink(instantiate(&rule.head, b));
+            sink(instantiate_head(&rp.head, b));
             true
         },
     );
 }
 
-/// Is `t` derivable for `pred` by any rule against the given state?
+/// Is `t` derivable for `pred` by any rule against the given state? Runs
+/// each candidate rule's precompiled derivability plan (head variables
+/// pre-bound from `t`).
 fn derivable(
     db: &Database,
     idb: &[Relation],
@@ -356,7 +371,8 @@ fn derivable(
     };
     for &ri in rule_ixs {
         let rule = &compiled.rules[ri];
-        let mut preset: Vec<(crate::ast::Var, crate::value::Const)> = Vec::new();
+        let rp = &compiled.plans[ri];
+        let mut binding: Binding = vec![None; rule.var_count()];
         let mut ok = true;
         for (j, &term) in rule.head.args.iter().enumerate() {
             match term {
@@ -366,22 +382,29 @@ fn derivable(
                         break;
                     }
                 }
-                Term::Var(v) => {
-                    if let Some(&(_, prev)) = preset.iter().find(|&&(pv, _)| pv == v) {
-                        if prev != t.get(j) {
-                            ok = false;
-                            break;
-                        }
-                    } else {
-                        preset.push((v, t.get(j)));
+                Term::Var(v) => match binding[v.index()] {
+                    Some(prev) if prev != t.get(j) => {
+                        ok = false;
+                        break;
                     }
-                }
+                    _ => binding[v.index()] = Some(t.get(j)),
+                },
             }
         }
         if !ok {
             continue;
         }
-        if !crate::eval::solve_body(db, idb, &rule.body, rule.var_count(), &preset, 1).is_empty() {
+        let store = Store {
+            db,
+            idb,
+            base_override: None,
+        };
+        let mut found = false;
+        exec_plan(&store, &rp.derivable, None, &mut binding, &mut |_| {
+            found = true;
+            false
+        });
+        if found {
             return true;
         }
     }

@@ -52,6 +52,7 @@ mod error;
 mod eval;
 pub mod incr;
 pub mod parse;
+mod plan;
 pub mod pred;
 pub mod provenance;
 mod relation;
@@ -71,7 +72,7 @@ pub use incr::Materialized;
 pub use parse::{parse_program_lenient, LenientReport};
 pub use pred::{PredId, PredKind};
 pub use provenance::Derivation;
-pub use relation::Relation;
+pub use relation::{BucketIter, Matches, Relation};
 pub use repair::{Repair, RepairKind};
 pub use stratify::{stratify, Stratification};
 pub use symbol::{FxHashMap, FxHashSet, Interner, Symbol};

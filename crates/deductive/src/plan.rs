@@ -1,0 +1,389 @@
+//! Compiled join plans.
+//!
+//! Rule bodies used to be ordered on every evaluation (`order_body` ran
+//! inside the per-round fixpoint loop, once per rule per delta position),
+//! and every scanned tuple re-verified all bound columns. Plans move that
+//! work to compile time: per rule, one plan for full evaluation plus one
+//! per semi-naive delta position, each with the literal order resolved, the
+//! bound-column mask of every scan precomputed, and the head instantiation
+//! template ready. The evaluator then only resolves key constants from the
+//! current binding and walks index buckets (see [`crate::relation`]).
+
+use crate::ast::{CmpOp, Literal, Rule, Term, Var};
+use crate::pred::PredId;
+use crate::value::Const;
+
+/// Where a runtime value comes from: a literal constant or the current
+/// variable binding (which the plan guarantees is set at that point).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Src {
+    Const(Const),
+    Var(Var),
+}
+
+impl Src {
+    fn of(t: Term) -> Src {
+        match t {
+            Term::Const(c) => Src::Const(c),
+            Term::Var(v) => Src::Var(v),
+        }
+    }
+}
+
+/// A scan over one positive atom.
+#[derive(Clone, Debug)]
+pub(crate) struct ScanStep {
+    /// Index of the literal in the original body (for delta substitution).
+    pub lit: usize,
+    pub pred: PredId,
+    /// Sorted column positions bound before this scan starts (constants and
+    /// already-bound variables) — the index mask.
+    pub index_cols: Box<[usize]>,
+    /// Key sources, parallel to `index_cols`.
+    pub key: Box<[Src]>,
+    /// `(column, var)`: first occurrence of a variable unbound at scan
+    /// start; the scan binds it from the tuple.
+    pub bind_cols: Box<[(usize, Var)]>,
+    /// `(column, var)`: repeated occurrence within this atom of a variable
+    /// in `bind_cols`; checked for equality after binding.
+    pub check_cols: Box<[(usize, Var)]>,
+}
+
+/// One step of a compiled plan.
+#[derive(Clone, Debug)]
+pub(crate) enum Step {
+    Scan(ScanStep),
+    /// Stratified negation; fully ground at this point.
+    Neg {
+        pred: PredId,
+        args: Box<[Src]>,
+    },
+    /// Comparison; both sides ground at this point.
+    Cmp {
+        op: CmpOp,
+        l: Src,
+        r: Src,
+    },
+}
+
+/// A fully resolved execution plan for one rule body (or ad-hoc query).
+#[derive(Clone, Debug)]
+pub(crate) struct Plan {
+    pub steps: Vec<Step>,
+    pub var_count: usize,
+}
+
+/// All plans compiled for one rule.
+#[derive(Clone, Debug)]
+pub(crate) struct RulePlans {
+    pub head_pred: PredId,
+    /// Head instantiation template.
+    pub head: Box<[Src]>,
+    /// Full evaluation (round 0 / naive rounds).
+    pub full: Plan,
+    /// Semi-naive delta plans: one per positive body literal, pinned first.
+    pub deltas: Vec<(usize, Plan)>,
+    /// DRed generator plans: one per negative body literal, with that
+    /// literal flipped positive and pinned first.
+    pub neg_deltas: Vec<(usize, Plan)>,
+    /// Derivability-check plan: body evaluated with all head variables
+    /// pre-bound (DRed re-derive phase).
+    pub derivable: Plan,
+}
+
+/// Order body literals for left-to-right evaluation: cheap fully-bound
+/// filters (comparisons, negations) as early as possible, positive atoms by
+/// descending boundness. `first`, when given, pins a literal to the front
+/// (the semi-naive delta literal); `seed` marks variables bound before the
+/// body starts (pre-set bindings in repair / derivability search).
+pub(crate) fn order_body(
+    body: &[Literal],
+    var_count: usize,
+    first: Option<usize>,
+    seed: &[Var],
+) -> Vec<usize> {
+    let mut order = Vec::with_capacity(body.len());
+    let mut bound = vec![false; var_count];
+    for v in seed {
+        bound[v.index()] = true;
+    }
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let bind_lit = |lit: &Literal, bound: &mut Vec<bool>| {
+        for v in lit.vars() {
+            bound[v.index()] = true;
+        }
+    };
+    if let Some(f) = first {
+        order.push(f);
+        bind_lit(&body[f], &mut bound);
+        remaining.retain(|&i| i != f);
+    }
+    while !remaining.is_empty() {
+        // 1. any comparison or negation whose vars are all bound
+        if let Some(pos) = remaining.iter().position(|&i| match &body[i] {
+            Literal::Pos(_) => false,
+            lit => lit.vars().iter().all(|v| bound[v.index()]),
+        }) {
+            let i = remaining.remove(pos);
+            order.push(i);
+            continue;
+        }
+        // 2. the positive atom binding the most already-bound variables
+        // (ties broken by body position, so plans are stable)
+        let mut best: Option<(usize, usize)> = None;
+        for (pos, &i) in remaining.iter().enumerate() {
+            if !body[i].is_positive() {
+                continue;
+            }
+            let score = body[i].vars().iter().filter(|v| bound[v.index()]).count();
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((pos, score));
+            }
+        }
+        match best.map(|(pos, _)| pos) {
+            Some(pos) => {
+                let i = remaining.remove(pos);
+                bind_lit(&body[i], &mut bound);
+                order.push(i);
+            }
+            None => {
+                // Only unbound negations/comparisons left; safe rules never
+                // reach here, but take them in order to terminate.
+                order.append(&mut remaining);
+            }
+        }
+    }
+    order
+}
+
+impl Plan {
+    /// Compile a body into a plan. `first` pins a literal to the front;
+    /// `seed` lists variables bound before execution starts.
+    pub(crate) fn compile(
+        body: &[Literal],
+        var_count: usize,
+        first: Option<usize>,
+        seed: &[Var],
+    ) -> Plan {
+        let order = order_body(body, var_count, first, seed);
+        let mut bound = vec![false; var_count];
+        for v in seed {
+            bound[v.index()] = true;
+        }
+        let mut steps = Vec::with_capacity(order.len());
+        for &li in &order {
+            match &body[li] {
+                Literal::Pos(atom) => {
+                    steps.push(Step::Scan(scan_step(li, atom, &mut bound)));
+                }
+                Literal::Neg(atom) => {
+                    steps.push(Step::Neg {
+                        pred: atom.pred,
+                        args: atom.args.iter().map(|&t| Src::of(t)).collect(),
+                    });
+                }
+                Literal::Cmp(op, l, r) => {
+                    steps.push(Step::Cmp {
+                        op: *op,
+                        l: Src::of(*l),
+                        r: Src::of(*r),
+                    });
+                }
+            }
+        }
+        Plan { steps, var_count }
+    }
+
+    /// Every `(pred, index columns)` mask this plan scans with. The
+    /// evaluator ensures these indexes exist before execution.
+    pub(crate) fn masks(&self) -> impl Iterator<Item = (PredId, &[usize])> + '_ {
+        self.steps.iter().filter_map(|s| match s {
+            Step::Scan(sc) if !sc.index_cols.is_empty() => Some((sc.pred, sc.index_cols.as_ref())),
+            _ => None,
+        })
+    }
+}
+
+fn scan_step(li: usize, atom: &crate::ast::Atom, bound: &mut [bool]) -> ScanStep {
+    let mut keyed: Vec<(usize, Src)> = Vec::new();
+    let mut bind_cols: Vec<(usize, Var)> = Vec::new();
+    let mut check_cols: Vec<(usize, Var)> = Vec::new();
+    for (col, &t) in atom.args.iter().enumerate() {
+        match t {
+            Term::Const(c) => keyed.push((col, Src::Const(c))),
+            Term::Var(v) => {
+                if bound[v.index()] {
+                    keyed.push((col, Src::Var(v)));
+                } else if bind_cols.iter().any(|&(_, bv)| bv == v) {
+                    // repeated occurrence within this atom
+                    check_cols.push((col, v));
+                } else {
+                    bind_cols.push((col, v));
+                }
+            }
+        }
+    }
+    keyed.sort_unstable_by_key(|&(c, _)| c);
+    for &(_, v) in &bind_cols {
+        bound[v.index()] = true;
+    }
+    ScanStep {
+        lit: li,
+        pred: atom.pred,
+        index_cols: keyed.iter().map(|&(c, _)| c).collect(),
+        key: keyed.iter().map(|&(_, s)| s).collect(),
+        bind_cols: bind_cols.into(),
+        check_cols: check_cols.into(),
+    }
+}
+
+impl RulePlans {
+    /// Compile every plan variant for one rule.
+    pub(crate) fn compile(rule: &Rule) -> RulePlans {
+        let var_count = rule.var_count();
+        let full = Plan::compile(&rule.body, var_count, None, &[]);
+        let mut deltas = Vec::new();
+        let mut neg_deltas = Vec::new();
+        for (li, lit) in rule.body.iter().enumerate() {
+            match lit {
+                Literal::Pos(_) => {
+                    deltas.push((li, Plan::compile(&rule.body, var_count, Some(li), &[])));
+                }
+                Literal::Neg(a) => {
+                    // DRed generator: treat the negation as a positive scan
+                    // over the delta facts, pinned first.
+                    let mut body = rule.body.to_vec();
+                    body[li] = Literal::Pos(a.clone());
+                    neg_deltas.push((li, Plan::compile(&body, var_count, Some(li), &[])));
+                }
+                Literal::Cmp(..) => {}
+            }
+        }
+        // Derivability check: all head variables pre-bound.
+        let mut head_vars: Vec<Var> = Vec::new();
+        for &t in rule.head.args.iter() {
+            if let Term::Var(v) = t {
+                if !head_vars.contains(&v) {
+                    head_vars.push(v);
+                }
+            }
+        }
+        let derivable = Plan::compile(&rule.body, var_count, None, &head_vars);
+        RulePlans {
+            head_pred: rule.head.pred,
+            head: rule.head.args.iter().map(|&t| Src::of(t)).collect(),
+            full,
+            deltas,
+            neg_deltas,
+            derivable,
+        }
+    }
+
+    /// Every plan variant of this rule (for index-mask collection).
+    /// The delta plan for positive body literal `li`.
+    pub(crate) fn delta_plan(&self, li: usize) -> &Plan {
+        &self
+            .deltas
+            .iter()
+            .find(|(i, _)| *i == li)
+            .expect("delta plan exists for every positive literal")
+            .1
+    }
+
+    /// The generator plan for negative body literal `li`.
+    pub(crate) fn neg_delta_plan(&self, li: usize) -> &Plan {
+        &self
+            .neg_deltas
+            .iter()
+            .find(|(i, _)| *i == li)
+            .expect("generator plan exists for every negative literal")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+
+    fn v(n: u32) -> Term {
+        Term::Var(Var(n))
+    }
+
+    #[test]
+    fn order_pins_first_and_prefers_bound() {
+        // body: Edge(X,Y), Path(Y,Z) — pinning Path first must order Edge after.
+        let body = vec![
+            Literal::Pos(Atom::new(PredId(0), vec![v(0), v(1)])),
+            Literal::Pos(Atom::new(PredId(1), vec![v(1), v(2)])),
+        ];
+        assert_eq!(order_body(&body, 3, Some(1), &[]), vec![1, 0]);
+        assert_eq!(order_body(&body, 3, None, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn seed_counts_as_bound() {
+        // With Y seeded, the second atom is as bound as the first; filters
+        // with seeded vars come first.
+        let body = vec![
+            Literal::Pos(Atom::new(PredId(0), vec![v(0), v(1)])),
+            Literal::Cmp(CmpOp::Ge, v(1), Term::Const(Const::Int(0))),
+        ];
+        assert_eq!(order_body(&body, 2, None, &[Var(1)]), vec![1, 0]);
+    }
+
+    #[test]
+    fn scan_masks_reflect_boundness() {
+        // Edge(X,Y), Path(Y,Z): second scan has col 0 bound (var Y).
+        let body = vec![
+            Literal::Pos(Atom::new(PredId(0), vec![v(0), v(1)])),
+            Literal::Pos(Atom::new(PredId(1), vec![v(1), v(2)])),
+        ];
+        let plan = Plan::compile(&body, 3, None, &[]);
+        let Step::Scan(s0) = &plan.steps[0] else {
+            panic!()
+        };
+        let Step::Scan(s1) = &plan.steps[1] else {
+            panic!()
+        };
+        assert!(s0.index_cols.is_empty());
+        assert_eq!(s0.bind_cols.as_ref(), &[(0, Var(0)), (1, Var(1))]);
+        assert_eq!(s1.index_cols.as_ref(), &[0]);
+        assert_eq!(s1.bind_cols.as_ref(), &[(1, Var(2))]);
+    }
+
+    #[test]
+    fn repeated_var_in_atom_becomes_check() {
+        let body = vec![Literal::Pos(Atom::new(PredId(0), vec![v(0), v(0)]))];
+        let plan = Plan::compile(&body, 1, None, &[]);
+        let Step::Scan(s) = &plan.steps[0] else {
+            panic!()
+        };
+        assert_eq!(s.bind_cols.as_ref(), &[(0, Var(0))]);
+        assert_eq!(s.check_cols.as_ref(), &[(1, Var(0))]);
+    }
+
+    #[test]
+    fn rule_plans_cover_delta_positions() {
+        use crate::ast::Rule;
+        let rule = Rule::new(
+            Atom::new(PredId(2), vec![v(0), v(2)]),
+            vec![
+                Literal::Pos(Atom::new(PredId(0), vec![v(0), v(1)])),
+                Literal::Pos(Atom::new(PredId(1), vec![v(1), v(2)])),
+                Literal::Neg(Atom::new(PredId(3), vec![v(0)])),
+            ],
+        );
+        let plans = RulePlans::compile(&rule);
+        assert_eq!(plans.deltas.len(), 2);
+        assert_eq!(plans.neg_deltas.len(), 1);
+        assert_eq!(plans.delta_plan(1).steps.len(), 3);
+        // derivable plan: head vars X, Z seeded → the negation (over X) runs
+        // first as a fully-bound filter, then Edge scans keyed on col 0.
+        assert!(matches!(plans.derivable.steps[0], Step::Neg { .. }));
+        let Step::Scan(s) = &plans.derivable.steps[1] else {
+            panic!()
+        };
+        assert_eq!(s.index_cols.as_ref(), &[0]);
+    }
+}

@@ -1,35 +1,276 @@
-//! Fact storage for one predicate, with on-demand hash indexes.
+//! Fact storage for one predicate, with incrementally maintained hash
+//! indexes.
+//!
+//! Tuples are stored **once**, in an insertion-ordered row vector; the
+//! membership table and every index are postings lists mapping a 64-bit
+//! key hash to compact `u32` row ids. Indexes are created once (eagerly by
+//! the evaluator, which knows every bound-column mask from the compiled
+//! plans, see [`crate::compile`]) and afterwards **maintained in place** by
+//! `insert`/`remove`: an insert costs one hash-and-push per index, with no
+//! tuple clones and no per-key allocations — the fixpoint loop mutates
+//! derived relations every round, so this is the engine's hottest write
+//! path. Lookups return *borrowed* tuples and verify the key columns per
+//! candidate (hash collisions are possible, exact matches are not assumed).
+//!
+//! Iteration order is insertion order with removed rows skipped, so any
+//! deterministic insertion sequence yields deterministic scans — the
+//! parallel evaluator relies on this (see [`crate::eval`]).
 
-use crate::symbol::{FxHashMap, FxHashSet};
+use crate::symbol::FxHashMap;
 use crate::tuple::Tuple;
 use crate::value::Const;
-use std::cell::RefCell;
+use std::collections::hash_map::Entry;
 
-/// Lazily built index: bound column positions → (build generation, map from
-/// key constants to matching tuples).
-type IndexCache = FxHashMap<Box<[usize]>, (u64, FxHashMap<Box<[Const]>, Vec<Tuple>>)>;
+/// Ids of the rows whose key projection hashes to one value. Almost every
+/// hash has exactly one row (collisions and duplicate keys are rare for
+/// membership tables; index buckets are small), so the single-id case is
+/// stored inline — postings inserts then allocate nothing.
+#[derive(Debug, Clone)]
+enum Ids {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Ids {
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Ids::One(x) => std::slice::from_ref(x),
+            Ids::Many(v) => v,
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        match self {
+            Ids::One(x) => *self = Ids::Many(vec![*x, id]),
+            Ids::Many(v) => v.push(id),
+        }
+    }
+
+    fn remove_id(&mut self, id: u32) {
+        match self {
+            Ids::One(x) if *x == id => *self = Ids::Many(Vec::new()),
+            Ids::One(_) => {}
+            Ids::Many(v) => {
+                if let Some(pos) = v.iter().position(|&x| x == id) {
+                    v.swap_remove(pos);
+                }
+            }
+        }
+    }
+}
+
+/// Key hash → ids of the rows whose projection hashes to it.
+type Postings = FxHashMap<u64, Ids>;
+
+fn push_posting(map: &mut Postings, kh: u64, id: u32) {
+    match map.entry(kh) {
+        Entry::Occupied(mut e) => e.get_mut().push(id),
+        Entry::Vacant(e) => {
+            e.insert(Ids::One(id));
+        }
+    }
+}
+
+/// Slot id sentinel: empty slot.
+const EMPTY: u32 = u32::MAX;
+/// Slot id sentinel: tombstone left by a removal.
+const TOMB: u32 = u32::MAX - 1;
+
+/// The membership table: open addressing with linear probing over packed
+/// `(tuple hash, row id)` slots. Purpose-built for the fixpoint insert
+/// path, which probes this once per derived fact: slots are 16 bytes (a
+/// general-purpose map entry holding a postings value is 2-3x larger), a
+/// miss inserts in the same probe sequence, and growth moves plain pairs
+/// without touching tuples. Equality on hash hits is delegated to the
+/// caller, which owns the row storage.
+#[derive(Debug, Clone, Default)]
+struct RawTable {
+    slots: Vec<(u64, u32)>,
+    /// Live entries.
+    len: usize,
+    /// Occupied slots including tombstones (load-factor accounting).
+    used: usize,
+}
+
+impl RawTable {
+    /// Probe for an existing row with hash `h` (confirmed by `eq`); when
+    /// none matches, claim a slot for `id` and return `None`.
+    fn insert_or_get(&mut self, h: u64, id: u32, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        let mut free: Option<usize> = None;
+        loop {
+            let (sh, sid) = self.slots[i];
+            if sid == EMPTY {
+                let slot = free.unwrap_or(i);
+                if self.slots[slot].1 == EMPTY {
+                    self.used += 1;
+                }
+                self.slots[slot] = (h, id);
+                self.len += 1;
+                return None;
+            }
+            if sid == TOMB {
+                free.get_or_insert(i);
+            } else if sh == h && eq(sid) {
+                return Some(sid);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The row with hash `h` for which `eq` holds, if any.
+    fn find(&self, h: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let (sh, sid) = self.slots[i];
+            if sid == EMPTY {
+                return None;
+            }
+            if sid != TOMB && sh == h && eq(sid) {
+                return Some(sid);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Prefetch the first slot line a probe for `h` would read.
+    #[inline]
+    fn prefetch(&self, h: u64) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.slots.is_empty() {
+            let i = (h as usize) & (self.slots.len() - 1);
+            // SAFETY: `i` is in bounds; prefetch has no side effects.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    self.slots.as_ptr().add(i) as *const i8,
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = h;
+    }
+
+    /// Tombstone the slot holding (`h`, `id`).
+    fn remove(&mut self, h: u64, id: u32) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let (sh, sid) = self.slots[i];
+            if sid == EMPTY {
+                return;
+            }
+            if sid != TOMB && sh == h && sid == id {
+                self.slots[i].1 = TOMB;
+                self.len -= 1;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+        self.used = 0;
+    }
+
+    /// Empty the table while keeping the slot array allocated, for the
+    /// relation-recycling path.
+    fn reset(&mut self) {
+        self.slots.fill((0, EMPTY));
+        self.len = 0;
+        self.used = 0;
+    }
+
+    /// Pre-size the slot array for about `n` live entries, respecting the
+    /// 7/8 load factor. One rebuild now instead of log₂(n) doublings (and
+    /// their rehashes) spread across the insert path.
+    fn reserve(&mut self, n: usize) {
+        let needed = ((n * 8).div_ceil(7) + 1).next_power_of_two().max(16);
+        if needed > self.slots.len() {
+            self.rebuild(needed);
+        }
+    }
+
+    /// Double the slot array (min 16), dropping tombstones.
+    fn grow(&mut self) {
+        self.rebuild((self.slots.len() * 2).max(16));
+    }
+
+    /// Re-seat every live entry into a slot array of capacity `cap` (a
+    /// power of two, larger than the current one).
+    fn rebuild(&mut self, cap: usize) {
+        let old = std::mem::replace(&mut self.slots, vec![(0, EMPTY); cap]);
+        let mask = cap - 1;
+        for (sh, sid) in old {
+            if sid >= TOMB {
+                continue;
+            }
+            let mut i = (sh as usize) & mask;
+            while self.slots[i].1 != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (sh, sid);
+        }
+        self.used = self.len;
+    }
+}
+
+/// FxHash-style multiply-xor fold, one round per constant. Hand-rolled
+/// rather than going through the `Hasher` trait: the derived `Hash` for
+/// [`Const`] feeds discriminant and payload as separate hasher writes
+/// (two multiply rounds per constant), and this fold runs once per
+/// derivation in the fixpoint's membership probe — the engine's single
+/// hottest instruction sequence.
+#[inline]
+fn hash_vals(vals: impl Iterator<Item = Const>) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    // Arbitrary salt separating `Sym(x)` from `Int(x)` without a second
+    // round; collisions are harmless (buckets verify by value).
+    const SYM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h: u64 = 0;
+    for v in vals {
+        let x = match v {
+            Const::Sym(s) => s.index() as u64 ^ SYM_SALT,
+            Const::Int(i) => i as u64,
+        };
+        h = (h.rotate_left(5) ^ x).wrapping_mul(K);
+    }
+    h
+}
 
 /// The set of facts currently stored (or derived) for one predicate.
 ///
-/// Lookup under a partial binding is served by hash indexes keyed on the
-/// bound column positions; indexes are built lazily on first use and
-/// invalidated by any mutation (a generation counter makes staleness cheap to
-/// detect).
-#[derive(Default, Debug)]
+/// Cloning preserves the indexes, so snapshots taken by incremental
+/// maintenance (DRed) keep their lookup structures.
+#[derive(Default, Debug, Clone)]
 pub struct Relation {
-    facts: FxHashSet<Tuple>,
-    generation: u64,
-    indexes: RefCell<IndexCache>,
-}
-
-impl Clone for Relation {
-    fn clone(&self) -> Self {
-        Relation {
-            facts: self.facts.clone(),
-            generation: self.generation,
-            indexes: RefCell::new(IndexCache::default()),
-        }
-    }
+    /// Insertion-ordered rows; removal tombstones instead of shifting.
+    rows: Vec<Tuple>,
+    /// Liveness flag per row, parallel to `rows`.
+    live: Vec<bool>,
+    /// Number of tombstoned rows (compaction trigger).
+    dead: usize,
+    /// Full-tuple hash → row id, open-addressed (the membership table).
+    table: RawTable,
+    /// Sorted column positions → index postings, maintained on mutation.
+    indexes: FxHashMap<Box<[usize]>, Postings>,
+    /// Recycled tuple buffers from a [`Self::recycle`] reset, drawn on by
+    /// `insert_vals` instead of the allocator. A relation's tuples all
+    /// share one arity, so every parked buffer fits every future fact.
+    pool: Vec<Vec<Const>>,
 }
 
 impl Relation {
@@ -40,93 +281,405 @@ impl Relation {
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.rows.len() - self.dead
     }
 
     /// True when no facts are stored.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.len() == 0
+    }
+
+    fn find_id(&self, t: &Tuple) -> Option<u32> {
+        let h = hash_vals(t.iter());
+        self.table.find(h, |id| self.rows[id as usize] == *t)
+    }
+
+    /// Borrow a row by its id. Ids are only valid until the next removal
+    /// (compaction renumbers); the evaluator uses them within one fixpoint.
+    pub(crate) fn row(&self, id: u32) -> &Tuple {
+        &self.rows[id as usize]
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.facts.contains(t)
+        self.find_id(t).is_some()
     }
 
-    /// Insert a fact. Returns `true` when the fact was new.
+    /// Membership test on a sequence of constants, without materialising a
+    /// tuple (zero-allocation negation checks in the evaluator).
+    pub fn contains_vals<I>(&self, vals: I) -> bool
+    where
+        I: Iterator<Item = Const> + Clone,
+    {
+        let h = hash_vals(vals.clone());
+        self.table
+            .find(h, |id| self.rows[id as usize].iter().eq(vals.clone()))
+            .is_some()
+    }
+
+    /// Insert a fact. Returns `true` when the fact was new. All existing
+    /// indexes are updated in place.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        let added = self.facts.insert(t);
-        if added {
-            self.generation += 1;
-        }
-        added
+        self.insert_get_id(t).is_some()
     }
 
-    /// Remove a fact. Returns `true` when the fact was present.
+    /// Insert a fact, returning its row id when it was new (`None` for
+    /// duplicates). The evaluator stages row ids as its per-round deltas.
+    pub(crate) fn insert_get_id(&mut self, t: Tuple) -> Option<u32> {
+        let h = hash_vals(t.iter());
+        self.insert_hashed(h, t)
+    }
+
+    /// The membership hash of a tuple, reusable with
+    /// [`Self::insert_hashed`] so the evaluator's flush can batch-hash a
+    /// round of derivations and prefetch their probe slots ahead of the
+    /// inserts.
+    pub(crate) fn fact_hash(t: &Tuple) -> u64 {
+        hash_vals(t.iter())
+    }
+
+    /// Reset to empty while keeping every allocation: the slot array, the
+    /// index postings maps, row-vector capacity, and the row tuples
+    /// themselves, which are parked in the buffer pool for the next
+    /// inserts. Re-evaluation after a cache invalidation then runs nearly
+    /// allocation-free.
+    pub(crate) fn recycle(&mut self) {
+        self.table.reset();
+        for map in self.indexes.values_mut() {
+            map.clear();
+        }
+        self.pool.extend(self.rows.drain(..).map(Tuple::into_vec));
+        self.live.clear();
+        self.dead = 0;
+    }
+
+    /// Pre-size row storage and the membership table for about `n` facts.
+    /// Called by the evaluator with the previous fixpoint's relation sizes:
+    /// re-evaluation converges to a similar extension, so sizing up front
+    /// removes incremental growth and rehashing from the insert path.
+    pub fn reserve(&mut self, n: usize) {
+        self.rows.reserve(n.saturating_sub(self.rows.len()));
+        self.live.reserve(n.saturating_sub(self.live.len()));
+        self.table.reserve(n);
+    }
+
+    /// As [`Self::fact_hash`], over a constant slice that has not been
+    /// materialised into a tuple yet.
+    pub(crate) fn fact_hash_vals(vals: &[Const]) -> u64 {
+        hash_vals(vals.iter().copied())
+    }
+
+    /// Insert a fact given as a constant slice with its precomputed
+    /// [`Self::fact_hash_vals`]. The stored tuple is allocated only when
+    /// the fact is new — duplicate derivations cost one probe and nothing
+    /// else.
+    pub(crate) fn insert_vals(&mut self, h: u64, vals: &[Const]) -> Option<u32> {
+        let id = self.rows.len() as u32;
+        let rows = &self.rows;
+        if self
+            .table
+            .insert_or_get(h, id, |i| rows[i as usize].as_slice() == vals)
+            .is_some()
+        {
+            return None;
+        }
+        let t = match self.pool.pop() {
+            Some(mut buf) if buf.capacity() == vals.len() => {
+                buf.clear();
+                buf.extend_from_slice(vals);
+                Tuple::from(buf)
+            }
+            _ => Tuple::from(vals.to_vec()),
+        };
+        for (cols, map) in self.indexes.iter_mut() {
+            let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+            push_posting(map, kh, id);
+        }
+        self.rows.push(t);
+        self.live.push(true);
+        Some(id)
+    }
+
+    /// Hint the cache to load the membership slot that a probe for hash
+    /// `h` will touch first. Purely advisory; a no-op off x86-64.
+    #[inline]
+    pub(crate) fn prefetch_slot(&self, h: u64) {
+        self.table.prefetch(h);
+    }
+
+    /// As [`Self::insert_get_id`], with a precomputed [`Self::fact_hash`].
+    pub(crate) fn insert_hashed(&mut self, h: u64, t: Tuple) -> Option<u32> {
+        let id = self.rows.len() as u32;
+        let rows = &self.rows;
+        if self
+            .table
+            .insert_or_get(h, id, |i| rows[i as usize] == t)
+            .is_some()
+        {
+            return None;
+        }
+        for (cols, map) in self.indexes.iter_mut() {
+            let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+            push_posting(map, kh, id);
+        }
+        self.rows.push(t);
+        self.live.push(true);
+        Some(id)
+    }
+
+    /// Remove a fact. Returns `true` when the fact was present. All existing
+    /// indexes are updated in place.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let removed = self.facts.remove(t);
-        if removed {
-            self.generation += 1;
+        let Some(id) = self.find_id(t) else {
+            return false;
+        };
+        let h = hash_vals(t.iter());
+        self.table.remove(h, id);
+        for (cols, map) in self.indexes.iter_mut() {
+            let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+            if let Some(ids) = map.get_mut(&kh) {
+                ids.remove_id(id);
+            }
         }
-        removed
+        self.live[id as usize] = false;
+        self.dead += 1;
+        if self.dead > 32 && self.dead * 2 > self.rows.len() {
+            self.compact();
+        }
+        true
     }
 
-    /// Iterate over all facts (arbitrary order).
+    /// Drop tombstoned rows and rebuild the table and index postings.
+    fn compact(&mut self) {
+        let mut rows = Vec::with_capacity(self.len());
+        for (t, &alive) in self.rows.iter().zip(&self.live) {
+            if alive {
+                rows.push(t.clone());
+            }
+        }
+        self.rows = rows;
+        self.live = vec![true; self.rows.len()];
+        self.dead = 0;
+        self.table.clear();
+        for (id, t) in self.rows.iter().enumerate() {
+            let rows = &self.rows;
+            self.table
+                .insert_or_get(hash_vals(t.iter()), id as u32, |i| rows[i as usize] == *t);
+        }
+        for (cols, map) in self.indexes.iter_mut() {
+            map.clear();
+            for (id, t) in self.rows.iter().enumerate() {
+                let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+                push_posting(map, kh, id as u32);
+            }
+        }
+    }
+
+    /// Iterate over all facts in insertion order, borrowed.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.facts.iter()
+        self.rows
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(t, &alive)| alive.then_some(t))
     }
 
     /// All facts, sorted, for deterministic output.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.facts.iter().cloned().collect();
-        v.sort();
-        v
+        // Decorate-sort-undecorate: tuples order lexicographically, so an
+        // inline copy of the first two constants (`None` marks "past the
+        // end", which sorts first, matching slice order for short tuples)
+        // decides almost every comparison without dereferencing the heap
+        // tuple; ties on the prefix fall back to the full comparison.
+        let mut v: Vec<(Option<Const>, Option<Const>, &Tuple)> = self
+            .iter()
+            .map(|t| (t.iter().next(), t.iter().nth(1), t))
+            .collect();
+        v.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then_with(|| a.2.cmp(b.2)));
+        v.into_iter().map(|(_, _, t)| t.clone()).collect()
     }
 
-    /// All facts matching the given bound columns.
-    ///
-    /// `bound` pairs column positions with required constants. With an empty
-    /// binding this is a full scan; otherwise an index on those positions is
-    /// (re)used.
-    pub fn select(&self, bound: &[(usize, Const)]) -> Vec<Tuple> {
-        if bound.is_empty() {
-            return self.facts.iter().cloned().collect();
+    /// Build the index on the given column positions if it does not exist
+    /// yet (`cols` must be sorted and non-empty). The evaluator calls this
+    /// for every bound-column mask occurring in the compiled plans before
+    /// running them, so plan execution hits ready indexes.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        if self.indexes.contains_key(cols) {
+            return;
         }
-        let mut cols: Vec<usize> = bound.iter().map(|&(c, _)| c).collect();
-        cols.sort_unstable();
-        let key: Box<[Const]> = {
-            let mut pairs = bound.to_vec();
-            pairs.sort_unstable_by_key(|&(c, _)| c);
-            pairs.iter().map(|&(_, v)| v).collect()
-        };
-        let cols_box: Box<[usize]> = cols.into();
-        let mut indexes = self.indexes.borrow_mut();
-        let entry = indexes.get(&cols_box);
-        let stale = match entry {
-            Some((gen, _)) => *gen != self.generation,
-            None => true,
-        };
-        if stale {
-            let mut map: FxHashMap<Box<[Const]>, Vec<Tuple>> = FxHashMap::default();
-            for t in &self.facts {
-                let k: Box<[Const]> = cols_box.iter().map(|&c| t.get(c)).collect();
-                map.entry(k).or_default().push(t.clone());
+        let mut map = Postings::default();
+        for (id, (t, &alive)) in self.rows.iter().zip(&self.live).enumerate() {
+            if alive {
+                let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+                push_posting(&mut map, kh, id as u32);
             }
-            indexes.insert(cols_box.clone(), (self.generation, map));
         }
-        indexes
-            .get(&cols_box)
-            .and_then(|(_, m)| m.get(&key))
-            .cloned()
-            .unwrap_or_default()
+        self.indexes.insert(cols.into(), map);
     }
 
-    /// Drop all facts.
-    pub fn clear(&mut self) {
-        if !self.facts.is_empty() {
-            self.generation += 1;
+    /// Bucket lookup on an existing index: the tuples whose projection on
+    /// `cols` (sorted positions) equals `key`. Returns `None` when no index
+    /// on `cols` exists — callers fall back to a filtered scan. The
+    /// iterator verifies the key columns per candidate, so hash collisions
+    /// never surface.
+    #[inline]
+    pub fn bucket<'a>(&'a self, cols: &'a [usize], key: &'a [Const]) -> Option<BucketIter<'a>> {
+        Some(self.index_ref(cols)?.bucket(cols, key))
+    }
+
+    /// Resolve the index on `cols` once; repeated bucket probes through the
+    /// returned handle skip the per-call column-set lookup (the plan
+    /// executor probes once per outer tuple of a join).
+    #[inline]
+    pub fn index_ref(&self, cols: &[usize]) -> Option<IndexRef<'_>> {
+        Some(IndexRef {
+            rows: &self.rows,
+            map: self.indexes.get(cols)?,
+        })
+    }
+
+    /// All facts matching the given bound columns, borrowed.
+    ///
+    /// With an empty binding this iterates the whole fact set; with a bound
+    /// set matching an existing index it walks one postings list; otherwise
+    /// it falls back to a filtered scan (still zero-copy).
+    pub fn select(&self, bound: &[(usize, Const)]) -> Matches<'_> {
+        if bound.is_empty() {
+            return Matches(MatchesInner::All {
+                rows: self.rows.iter(),
+                live: self.live.iter(),
+            });
         }
-        self.facts.clear();
+        let mut pairs: Vec<(usize, Const)> = bound.to_vec();
+        pairs.sort_unstable_by_key(|&(c, _)| c);
+        let cols: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        if let Some(map) = self.indexes.get(cols.as_slice()) {
+            let kh = hash_vals(pairs.iter().map(|&(_, v)| v));
+            let ids = map.get(&kh).map(Ids::as_slice).unwrap_or(&[]);
+            return Matches(MatchesInner::Ids {
+                rows: &self.rows,
+                ids: ids.iter(),
+                bound: pairs,
+            });
+        }
+        Matches(MatchesInner::Filter {
+            rows: self.rows.iter(),
+            live: self.live.iter(),
+            bound: pairs,
+        })
+    }
+
+    /// Drop all facts (and index contents).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.live.clear();
+        self.dead = 0;
+        self.table.clear();
+        for map in self.indexes.values_mut() {
+            map.clear();
+        }
+    }
+}
+
+/// A resolved index on one relation (see [`Relation::index_ref`]).
+#[derive(Clone, Copy)]
+pub struct IndexRef<'a> {
+    rows: &'a [Tuple],
+    map: &'a Postings,
+}
+
+impl<'a> IndexRef<'a> {
+    /// As [`Relation::bucket`], with the column-set lookup already done.
+    #[inline]
+    pub fn bucket(self, cols: &'a [usize], key: &'a [Const]) -> BucketIter<'a> {
+        let ids = self
+            .map
+            .get(&hash_vals(key.iter().copied()))
+            .map(Ids::as_slice)
+            .unwrap_or(&[]);
+        BucketIter {
+            rows: self.rows,
+            ids: ids.iter(),
+            cols,
+            key,
+        }
+    }
+}
+
+/// Borrowed iterator over one index bucket (see [`Relation::bucket`]).
+pub struct BucketIter<'a> {
+    rows: &'a [Tuple],
+    ids: std::slice::Iter<'a, u32>,
+    cols: &'a [usize],
+    key: &'a [Const],
+}
+
+impl<'a> Iterator for BucketIter<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        for &id in self.ids.by_ref() {
+            let t = &self.rows[id as usize];
+            if self.cols.iter().zip(self.key).all(|(&c, &k)| t.get(c) == k) {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Borrowed iterator over the facts matching a [`Relation::select`] call.
+pub struct Matches<'a>(MatchesInner<'a>);
+
+enum MatchesInner<'a> {
+    All {
+        rows: std::slice::Iter<'a, Tuple>,
+        live: std::slice::Iter<'a, bool>,
+    },
+    Ids {
+        rows: &'a [Tuple],
+        ids: std::slice::Iter<'a, u32>,
+        bound: Vec<(usize, Const)>,
+    },
+    Filter {
+        rows: std::slice::Iter<'a, Tuple>,
+        live: std::slice::Iter<'a, bool>,
+        bound: Vec<(usize, Const)>,
+    },
+}
+
+impl<'a> Iterator for Matches<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        match &mut self.0 {
+            MatchesInner::All { rows, live } => {
+                for t in rows.by_ref() {
+                    let &alive = live.next().expect("live parallel to rows");
+                    if alive {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            MatchesInner::Ids { rows, ids, bound } => {
+                for &id in ids.by_ref() {
+                    let t = &rows[id as usize];
+                    if bound.iter().all(|&(c, v)| t.get(c) == v) {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            MatchesInner::Filter { rows, live, bound } => {
+                for t in rows.by_ref() {
+                    let &alive = live.next().expect("live parallel to rows");
+                    if alive && bound.iter().all(|&(c, v)| t.get(c) == v) {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+        }
     }
 }
 
@@ -138,12 +691,20 @@ mod tests {
         Tuple::from(xs.iter().map(|&x| Const::Int(x)).collect::<Vec<_>>())
     }
 
+    fn hits(r: &Relation, bound: &[(usize, Const)]) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = r.select(bound).cloned().collect();
+        v.sort();
+        v
+    }
+
     #[test]
     fn insert_remove_contains() {
         let mut r = Relation::new();
         assert!(r.insert(t(&[1, 2])));
         assert!(!r.insert(t(&[1, 2])));
         assert!(r.contains(&t(&[1, 2])));
+        assert!(r.contains_vals([Const::Int(1), Const::Int(2)].into_iter()));
+        assert!(!r.contains_vals([Const::Int(2), Const::Int(1)].into_iter()));
         assert!(r.remove(&t(&[1, 2])));
         assert!(!r.remove(&t(&[1, 2])));
         assert!(r.is_empty());
@@ -154,30 +715,71 @@ mod tests {
         let mut r = Relation::new();
         r.insert(t(&[1, 2]));
         r.insert(t(&[3, 4]));
-        assert_eq!(r.select(&[]).len(), 2);
+        assert_eq!(r.select(&[]).count(), 2);
     }
 
     #[test]
-    fn select_uses_bound_columns() {
+    fn select_uses_bound_columns_without_index() {
         let mut r = Relation::new();
         r.insert(t(&[1, 2]));
         r.insert(t(&[1, 3]));
         r.insert(t(&[2, 3]));
-        let hits = r.select(&[(0, Const::Int(1))]);
-        assert_eq!(hits.len(), 2);
-        let hits = r.select(&[(0, Const::Int(1)), (1, Const::Int(3))]);
-        assert_eq!(hits, vec![t(&[1, 3])]);
+        assert_eq!(r.select(&[(0, Const::Int(1))]).count(), 2);
+        assert_eq!(
+            hits(&r, &[(0, Const::Int(1)), (1, Const::Int(3))]),
+            vec![t(&[1, 3])]
+        );
     }
 
     #[test]
-    fn index_invalidated_after_mutation() {
+    fn index_maintained_across_mutations() {
         let mut r = Relation::new();
         r.insert(t(&[1, 2]));
-        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 1);
+        r.ensure_index(&[0]);
+        assert_eq!(r.select(&[(0, Const::Int(1))]).count(), 1);
         r.insert(t(&[1, 9]));
-        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 2);
+        assert_eq!(r.select(&[(0, Const::Int(1))]).count(), 2);
         r.remove(&t(&[1, 2]));
-        assert_eq!(r.select(&[(0, Const::Int(1))]).len(), 1);
+        assert_eq!(hits(&r, &[(0, Const::Int(1))]), vec![t(&[1, 9])]);
+        // bucket access agrees
+        assert_eq!(r.bucket(&[0], &[Const::Int(1)]).unwrap().count(), 1);
+        assert_eq!(r.bucket(&[0], &[Const::Int(7)]).unwrap().count(), 0);
+        assert!(r.bucket(&[1], &[Const::Int(9)]).is_none());
+    }
+
+    #[test]
+    fn clone_preserves_indexes() {
+        let mut r = Relation::new();
+        r.insert(t(&[1, 2]));
+        r.ensure_index(&[0]);
+        let mut c = r.clone();
+        c.insert(t(&[1, 5]));
+        assert_eq!(c.bucket(&[0], &[Const::Int(1)]).unwrap().count(), 2);
+        // original untouched
+        assert_eq!(r.bucket(&[0], &[Const::Int(1)]).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut r = Relation::new();
+        r.insert(t(&[1, 2, 3]));
+        r.insert(t(&[1, 2, 4]));
+        r.insert(t(&[1, 5, 3]));
+        r.ensure_index(&[0, 1]);
+        assert_eq!(
+            hits(&r, &[(1, Const::Int(2)), (0, Const::Int(1))]),
+            vec![t(&[1, 2, 3]), t(&[1, 2, 4])]
+        );
+    }
+
+    #[test]
+    fn clear_empties_indexes() {
+        let mut r = Relation::new();
+        r.insert(t(&[1]));
+        r.ensure_index(&[0]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.bucket(&[0], &[Const::Int(1)]).unwrap().count(), 0);
     }
 
     #[test]
@@ -187,5 +789,34 @@ mod tests {
         r.insert(t(&[1]));
         r.insert(t(&[2]));
         assert_eq!(r.sorted(), vec![t(&[1]), t(&[2]), t(&[3])]);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut r = Relation::new();
+        r.insert(t(&[3]));
+        r.insert(t(&[1]));
+        r.insert(t(&[2]));
+        r.remove(&t(&[1]));
+        let got: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(got, vec![t(&[3]), t(&[2])]);
+    }
+
+    #[test]
+    fn compaction_preserves_contents_and_indexes() {
+        let mut r = Relation::new();
+        r.ensure_index(&[0]);
+        for i in 0..100 {
+            r.insert(t(&[i, i + 1]));
+        }
+        for i in 0..80 {
+            r.remove(&t(&[i, i + 1]));
+        }
+        assert_eq!(r.len(), 20);
+        for i in 80..100 {
+            assert!(r.contains(&t(&[i, i + 1])));
+            assert_eq!(r.bucket(&[0], &[Const::Int(i)]).unwrap().count(), 1);
+        }
+        assert_eq!(r.bucket(&[0], &[Const::Int(5)]).unwrap().count(), 0);
     }
 }

@@ -26,6 +26,11 @@ impl Tuple {
         self.0[i]
     }
 
+    /// Recover the backing buffer (no copy; the allocation is reusable).
+    pub fn into_vec(self) -> Vec<Const> {
+        self.0.into_vec()
+    }
+
     /// All constants as a slice.
     #[inline]
     pub fn as_slice(&self) -> &[Const] {

@@ -390,8 +390,9 @@ pub fn cure_add_attr(
                     .db
                     .relation(mgr.meta.cat.schema)
                     .select(&[(0, old_schema.constant())]);
+                let mut rel = rel;
                 let sym = rel
-                    .first()
+                    .next()
                     .and_then(|t| t.get(1).as_sym())
                     .ok_or("schema has no name")?;
                 mgr.meta.db.resolve(sym).to_string()

@@ -63,31 +63,23 @@ type EvolResult<T> = Result<T, EvolError>;
 /// Replace the text of a code fragment and re-derive its `CodeReqDecl` /
 /// `CodeReqAttr` facts by re-analysis (parameter names are kept).
 pub fn replace_code_text(m: &mut MetaModel, cid: CodeId, new_text: &str) -> EvolResult<()> {
-    let rows = m.db.relation(m.cat.code).select(&[(0, cid.constant())]);
-    let Some(row) = rows.first() else {
+    let mut rows = m.db.relation(m.cat.code).select(&[(0, cid.constant())]);
+    let Some(row) = rows.next() else {
         return Err(EvolError::Blocked(vec![format!(
             "no code fragment `{}`",
             m.db.resolve(cid.sym())
         )]));
     };
+    let row = row.clone();
+    drop(rows);
     let decl = DeclId(row.get(2).as_sym().expect("decl column"));
     let (receiver, _, _) = m
         .decl_info(decl)
         .ok_or_else(|| EvolError::Blocked(vec!["code's declaration is gone".into()]))?;
     // Remove the old Code fact and dependency facts.
-    m.db.remove(m.cat.code, row)?;
-    for t in
-        m.db.relation(m.cat.codereq_attr)
-            .select(&[(0, cid.constant())])
-    {
-        m.db.remove(m.cat.codereq_attr, &t)?;
-    }
-    for t in
-        m.db.relation(m.cat.codereq_decl)
-            .select(&[(0, cid.constant())])
-    {
-        m.db.remove(m.cat.codereq_decl, &t)?;
-    }
+    m.db.remove(m.cat.code, &row)?;
+    m.db.remove_matching(m.cat.codereq_attr, &[(0, cid.constant())])?;
+    m.db.remove_matching(m.cat.codereq_decl, &[(0, cid.constant())])?;
     // Insert the new text under the same code id.
     let text_c = m.db.constant(new_text);
     m.db.insert(m.cat.code, vec![cid.constant(), text_c, decl.constant()])?;
@@ -119,7 +111,6 @@ pub fn code_params(m: &MetaModel, cid: CodeId) -> Vec<(i64, String)> {
     let mut rows: Vec<(i64, String)> =
         m.db.relation(cp)
             .select(&[(0, cid.constant())])
-            .iter()
             .filter_map(|t| {
                 Some((
                     t.get(1).as_int()?,
@@ -152,7 +143,6 @@ pub fn add_argument_plan(m: &MetaModel, decl: DeclId) -> Vec<CodeId> {
     let mut out: Vec<CodeId> =
         m.db.relation(m.cat.codereq_decl)
             .select(&[(1, decl.constant())])
-            .iter()
             .filter_map(|t| t.get(0).as_sym().map(CodeId))
             .collect();
     out.sort();
@@ -312,14 +302,15 @@ pub(crate) fn delete_decl_cascade_public(m: &mut MetaModel, decl: DeclId) {
 
 fn remove_decl_cascade(m: &mut MetaModel, decl: DeclId, report: &mut DeleteTypeReport) {
     let remove_all = |m: &mut MetaModel, pred, col, key: Const, report: &mut DeleteTypeReport| {
-        for t in m.db.relation(pred).select(&[(col, key)]) {
-            if m.db.remove(pred, &t).unwrap_or(false) {
-                report.facts_removed += 1;
-            }
-        }
+        report.facts_removed += m.db.remove_matching(pred, &[(col, key)]).unwrap_or(0);
     };
     // Code of the declaration (plus its dependency and parameter facts).
-    for code_row in m.db.relation(m.cat.code).select(&[(2, decl.constant())]) {
+    let code_rows: Vec<Tuple> =
+        m.db.relation(m.cat.code)
+            .select(&[(2, decl.constant())])
+            .cloned()
+            .collect();
+    for code_row in code_rows {
         let cid = code_row.get(0);
         remove_all(m, m.cat.codereq_attr, 0, cid, report);
         remove_all(m, m.cat.codereq_decl, 0, cid, report);
@@ -347,11 +338,9 @@ fn remove_own_definitions(m: &mut MetaModel, ty: TypeId, report: &mut DeleteType
         remove_decl_cascade(m, d, report);
     }
     // subtype edges where ty is the sub
-    for t in m.db.relation(m.cat.subtyp).select(&[(0, ty.constant())]) {
-        if m.db.remove(m.cat.subtyp, &t).unwrap_or(false) {
-            report.facts_removed += 1;
-        }
-    }
+    report.facts_removed +=
+        m.db.remove_matching(m.cat.subtyp, &[(0, ty.constant())])
+            .unwrap_or(0);
     // extension facts owned by the type
     for pname in ["SortVariant", "evolves_to_T", "FashionType"] {
         if let Some(p) = m.db.pred_id(pname) {
@@ -359,20 +348,16 @@ fn remove_own_definitions(m: &mut MetaModel, ty: TypeId, report: &mut DeleteType
                 if col >= m.db.pred_decl(p).arity {
                     continue;
                 }
-                for t in m.db.relation(p).select(&[(col, ty.constant())]) {
-                    if m.db.remove(p, &t).unwrap_or(false) {
-                        report.facts_removed += 1;
-                    }
-                }
+                report.facts_removed +=
+                    m.db.remove_matching(p, &[(col, ty.constant())])
+                        .unwrap_or(0);
             }
         }
     }
     // the Type fact itself
-    for t in m.db.relation(m.cat.ty).select(&[(0, ty.constant())]) {
-        if m.db.remove(m.cat.ty, &t).unwrap_or(false) {
-            report.facts_removed += 1;
-        }
-    }
+    report.facts_removed +=
+        m.db.remove_matching(m.cat.ty, &[(0, ty.constant())])
+            .unwrap_or(0);
 }
 
 /// Delete a type under the chosen semantics. Runs inside the caller's
@@ -429,7 +414,12 @@ pub fn delete_type(
             }
             let m = &mut mgr.meta;
             // Referencing attributes elsewhere.
-            for t in m.db.relation(m.cat.attr).select(&[(2, ty.constant())]) {
+            let hits: Vec<Tuple> =
+                m.db.relation(m.cat.attr)
+                    .select(&[(2, ty.constant())])
+                    .cloned()
+                    .collect();
+            for t in hits {
                 if m.db.remove(m.cat.attr, &t).unwrap_or(false) {
                     report.facts_removed += 1;
                 }
@@ -438,13 +428,11 @@ pub fn delete_type(
             let mut doomed: Vec<DeclId> =
                 m.db.relation(m.cat.decl)
                     .select(&[(3, ty.constant())])
-                    .iter()
                     .filter_map(|t| t.get(0).as_sym().map(DeclId))
                     .collect();
             doomed.extend(
                 m.db.relation(m.cat.argdecl)
                     .select(&[(2, ty.constant())])
-                    .iter()
                     .filter_map(|t| t.get(0).as_sym().map(DeclId)),
             );
             doomed.sort();
@@ -456,11 +444,9 @@ pub fn delete_type(
                 }
             }
             // Hierarchy edges above the type.
-            for t in m.db.relation(m.cat.subtyp).select(&[(1, ty.constant())]) {
-                if m.db.remove(m.cat.subtyp, &t).unwrap_or(false) {
-                    report.facts_removed += 1;
-                }
-            }
+            report.facts_removed +=
+                m.db.remove_matching(m.cat.subtyp, &[(1, ty.constant())])
+                    .unwrap_or(0);
             // Physical representation, if instance-free by now.
             if let Some(clid) = m.phrep_of(ty) {
                 for (attr, _) in m.slots_of(clid) {
@@ -476,11 +462,9 @@ pub fn delete_type(
         }
         DeleteTypeSemantics::Orphan => {
             let m = &mut mgr.meta;
-            for t in m.db.relation(m.cat.ty).select(&[(0, ty.constant())]) {
-                if m.db.remove(m.cat.ty, &t).unwrap_or(false) {
-                    report.facts_removed += 1;
-                }
-            }
+            report.facts_removed +=
+                m.db.remove_matching(m.cat.ty, &[(0, ty.constant())])
+                    .unwrap_or(0);
         }
     }
     Ok(report)
@@ -540,12 +524,13 @@ pub fn copy_type_into(
 /// Rename a type (same id, new user name).
 pub fn rename_type(mgr: &mut SchemaManager, ty: TypeId, new_name: &str) -> EvolResult<()> {
     let m = &mut mgr.meta;
-    let rows = m.db.relation(m.cat.ty).select(&[(0, ty.constant())]);
-    let Some(row) = rows.first() else {
+    let mut rows = m.db.relation(m.cat.ty).select(&[(0, ty.constant())]);
+    let Some(row) = rows.next().cloned() else {
         return Err(EvolError::Blocked(vec!["type does not exist".into()]));
     };
+    drop(rows);
     let schema = row.get(2);
-    m.db.remove(m.cat.ty, row)?;
+    m.db.remove(m.cat.ty, &row)?;
     let n = m.db.constant(new_name);
     m.db.insert(m.cat.ty, vec![ty.constant(), n, schema])?;
     Ok(())
@@ -810,11 +795,13 @@ mod tests {
         // `other.longi` still resolves to the original (the argument type
         // was copied verbatim and references Location@CarSchema).
         let (cid, _) = mgr.meta.code_of(d2).unwrap();
-        let rows = mgr
+        let rows: Vec<Tuple> = mgr
             .meta
             .db
             .relation(mgr.meta.cat.codereq_attr)
-            .select(&[(0, cid.constant())]);
+            .select(&[(0, cid.constant())])
+            .cloned()
+            .collect();
         assert!(rows.iter().any(|t| t.get(1) == loc2.constant()), "{rows:?}");
         assert!(rows.iter().any(|t| t.get(1) == loc.constant()), "{rows:?}");
     }

@@ -161,9 +161,7 @@ pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
         Primitive::AddSchema { name } => PrimitiveResult::Schema(m.new_schema(name)?),
         Primitive::AddType { schema, name } => PrimitiveResult::Type(m.new_type(*schema, name)?),
         Primitive::DeleteType { ty } => {
-            for t in m.db.relation(m.cat.ty).select(&[(0, ty.constant())]) {
-                m.db.remove(m.cat.ty, &t)?;
-            }
+            m.db.remove_matching(m.cat.ty, &[(0, ty.constant())])?;
             PrimitiveResult::Unit
         }
         Primitive::AddAttr { ty, name, domain } => {
@@ -196,9 +194,7 @@ pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
             PrimitiveResult::Decl(d)
         }
         Primitive::DeleteDecl { decl } => {
-            for t in m.db.relation(m.cat.decl).select(&[(0, decl.constant())]) {
-                m.db.remove(m.cat.decl, &t)?;
-            }
+            m.db.remove_matching(m.cat.decl, &[(0, decl.constant())])?;
             PrimitiveResult::Unit
         }
         Primitive::AddArgDecl { decl, pos, ty } => {
@@ -206,19 +202,15 @@ pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
             PrimitiveResult::Unit
         }
         Primitive::DeleteArgDecl { decl, pos } => {
-            for t in
-                m.db.relation(m.cat.argdecl)
-                    .select(&[(0, decl.constant()), (1, Const::Int(*pos))])
-            {
-                m.db.remove(m.cat.argdecl, &t)?;
-            }
+            m.db.remove_matching(
+                m.cat.argdecl,
+                &[(0, decl.constant()), (1, Const::Int(*pos))],
+            )?;
             PrimitiveResult::Unit
         }
         Primitive::AddCode { decl, text } => PrimitiveResult::Code(m.new_code(*decl, text)?),
         Primitive::DeleteCode { decl } => {
-            for t in m.db.relation(m.cat.code).select(&[(2, decl.constant())]) {
-                m.db.remove(m.cat.code, &t)?;
-            }
+            m.db.remove_matching(m.cat.code, &[(2, decl.constant())])?;
             PrimitiveResult::Unit
         }
         Primitive::AddRefinement { refining, refined } => {

@@ -103,7 +103,6 @@ pub fn schema_successors(mgr: &mut SchemaManager, s: SchemaId) -> DbResult<Vec<S
         .db
         .relation(p)
         .select(&[(0, s.constant())])
-        .iter()
         .filter_map(|t| t.get(1).as_sym().map(SchemaId))
         .collect())
 }

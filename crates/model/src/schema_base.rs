@@ -71,10 +71,12 @@ impl MetaModel {
         let Some(n) = self.db.sym(name) else {
             return Ok(false);
         };
-        let hits = self
+        let hits: Vec<Tuple> = self
             .db
             .relation(self.cat.attr)
-            .select(&[(0, ty.constant()), (1, Const::Sym(n))]);
+            .select(&[(0, ty.constant()), (1, Const::Sym(n))])
+            .cloned()
+            .collect();
         let mut removed = false;
         for t in hits {
             removed |= self.db.remove(self.cat.attr, &t)?;
@@ -165,10 +167,12 @@ impl MetaModel {
         let Some(a) = self.db.sym(attr) else {
             return Ok(false);
         };
-        let hits = self
+        let hits: Vec<Tuple> = self
             .db
             .relation(self.cat.slot)
-            .select(&[(0, clid.constant()), (1, Const::Sym(a))]);
+            .select(&[(0, clid.constant()), (1, Const::Sym(a))])
+            .cloned()
+            .collect();
         let mut removed = false;
         for t in hits {
             removed |= self.db.remove(self.cat.slot, &t)?;
@@ -188,7 +192,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.schema)
             .select(&[(1, Const::Sym(n))])
-            .first()
+            .next()
             .map(|t| SchemaId(self.sym_of(t.get(0))))
     }
 
@@ -198,7 +202,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.ty)
             .select(&[(1, Const::Sym(n)), (2, schema.constant())])
-            .first()
+            .next()
             .map(|t| TypeId(self.sym_of(t.get(0))))
     }
 
@@ -213,7 +217,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.ty)
             .select(&[(0, ty.constant())])
-            .first()
+            .next()
             .map(|t| self.db.resolve(self.sym_of(t.get(1))).to_string())
     }
 
@@ -222,7 +226,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.ty)
             .select(&[(0, ty.constant())])
-            .first()
+            .next()
             .map(|t| SchemaId(self.sym_of(t.get(2))))
     }
 
@@ -232,7 +236,6 @@ impl MetaModel {
             .db
             .relation(self.cat.ty)
             .select(&[(2, schema.constant())])
-            .iter()
             .map(|t| {
                 (
                     self.db.resolve(self.sym_of(t.get(1))).to_string(),
@@ -250,7 +253,6 @@ impl MetaModel {
             .db
             .relation(self.cat.attr)
             .select(&[(0, ty.constant())])
-            .iter()
             .map(|t| {
                 (
                     self.db.resolve(self.sym_of(t.get(1))).to_string(),
@@ -268,7 +270,6 @@ impl MetaModel {
             .db
             .relation(self.cat.subtyp)
             .select(&[(0, ty.constant())])
-            .iter()
             .map(|t| TypeId(self.sym_of(t.get(1))))
             .collect();
         v.sort();
@@ -281,7 +282,6 @@ impl MetaModel {
             .db
             .relation(self.cat.subtyp)
             .select(&[(1, ty.constant())])
-            .iter()
             .map(|t| TypeId(self.sym_of(t.get(0))))
             .collect();
         v.sort();
@@ -326,7 +326,6 @@ impl MetaModel {
             .db
             .relation(self.cat.decl)
             .select(&[(1, ty.constant())])
-            .iter()
             .map(|t| {
                 (
                     self.db.resolve(self.sym_of(t.get(2))).to_string(),
@@ -344,7 +343,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.decl)
             .select(&[(0, d.constant())])
-            .first()
+            .next()
             .map(|t| {
                 (
                     TypeId(self.sym_of(t.get(1))),
@@ -360,7 +359,6 @@ impl MetaModel {
             .db
             .relation(self.cat.argdecl)
             .select(&[(0, d.constant())])
-            .iter()
             .map(|t| {
                 (
                     t.get(1).as_int().expect("argno is an int"),
@@ -377,7 +375,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.code)
             .select(&[(2, d.constant())])
-            .first()
+            .next()
             .map(|t| {
                 (
                     CodeId(self.sym_of(t.get(0))),
@@ -391,7 +389,6 @@ impl MetaModel {
         self.db
             .relation(self.cat.declref)
             .select(&[(0, refining.constant())])
-            .iter()
             .map(|t| DeclId(self.sym_of(t.get(1))))
             .collect()
     }
@@ -401,7 +398,6 @@ impl MetaModel {
         self.db
             .relation(self.cat.declref)
             .select(&[(1, refined.constant())])
-            .iter()
             .map(|t| DeclId(self.sym_of(t.get(0))))
             .collect()
     }
@@ -414,7 +410,7 @@ impl MetaModel {
         self.db
             .relation(self.cat.phrep)
             .select(&[(1, ty.constant())])
-            .first()
+            .next()
             .map(|t| PhRepId(self.sym_of(t.get(0))))
     }
 
@@ -424,7 +420,6 @@ impl MetaModel {
             .db
             .relation(self.cat.slot)
             .select(&[(0, clid.constant())])
-            .iter()
             .map(|t| {
                 (
                     self.db.resolve(self.sym_of(t.get(1))).to_string(),

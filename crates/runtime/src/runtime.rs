@@ -244,10 +244,10 @@ impl Runtime {
     ) -> Option<String> {
         let p = m.db.pred_id("FashionAttr")?;
         let a = m.db.sym(attr)?;
-        let rows =
+        let mut rows =
             m.db.relation(p)
                 .select(&[(1, Const::Sym(a)), (2, from_ty.constant())]);
-        let row = rows.first()?;
+        let row = rows.next()?;
         let col = if read { 3 } else { 4 };
         let sym = row.get(col).as_sym()?;
         Some(m.db.resolve(sym).to_string())
@@ -348,7 +348,8 @@ impl Runtime {
         };
         // Bind parameters by their recorded names (CodeParam facts).
         if let Some(cp) = m.db.pred_id("CodeParam") {
-            let mut rows = m.db.relation(cp).select(&[(0, cid.constant())]);
+            let mut rows: Vec<&gom_deductive::Tuple> =
+                m.db.relation(cp).select(&[(0, cid.constant())]).collect();
             rows.sort_by_key(|r| r.get(1).as_int().unwrap_or(0));
             for (i, row) in rows.iter().enumerate() {
                 if let (Some(sym), Some(v)) = (row.get(2).as_sym(), args.get(i)) {
@@ -496,8 +497,8 @@ impl Runtime {
     fn enum_literal(&self, m: &MetaModel, name: &str) -> Option<Value> {
         let p = m.db.pred_id("SortVariant")?;
         let sym = m.db.sym(name)?;
-        let rows = m.db.relation(p).select(&[(1, Const::Sym(sym))]);
-        let row = rows.first()?;
+        let mut rows = m.db.relation(p).select(&[(1, Const::Sym(sym))]);
+        let row = rows.next()?;
         Some(Value::Enum {
             sort: TypeId(row.get(0).as_sym()?),
             variant: name.to_string(),

@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .and_then(|s| {
                     let rel = mgr.meta.db.relation(mgr.meta.cat.schema);
                     rel.select(&[(0, s.constant())])
-                        .first()
+                        .next()
                         .and_then(|t| t.get(1).as_sym())
                         .map(|sym| mgr.meta.db.resolve(sym).to_string())
                 })

@@ -92,10 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mgr.begin_evolution()?;
     let fattr = mgr.meta.db.pred_id("FashionAttr").unwrap();
     let name_sym = mgr.meta.db.constant("name");
-    let rows = mgr.meta.db.relation(fattr).select(&[(1, name_sym)]);
-    for row in rows {
-        mgr.meta.db.remove(fattr, &row)?;
-    }
+    mgr.meta.db.remove_matching(fattr, &[(1, name_sym)])?;
     let outcome = mgr.end_evolution()?;
     for v in outcome.violations() {
         println!("violation: {}", v.render(&mgr.meta.db));

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds the offline microbench harness and records a
+# machine-readable snapshot of the deductive-engine hot paths.
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH_<YYYY-MM-DD>.json
+#   scripts/bench.sh out.json        # explicit output file
+#   GOM_EVAL_THREADS=4 scripts/bench.sh out.json   # parallel evaluator
+#   BENCH_ITERS=31 scripts/bench.sh  # more samples per bench
+#
+# The JSON schema is gom-bench/microbench/v1: per bench, the name, median
+# and min wall-clock nanoseconds, work units per iteration, and derived
+# units/second throughput. Keep the committed BENCH_*.json files so the
+# perf trajectory is reviewable PR over PR.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%F).json}"
+iters="${BENCH_ITERS:-15}"
+
+cargo build --release -p gom-bench --bin microbench
+./target/release/microbench --iters "$iters" --out "$out"
+echo "benchmark snapshot written to $out"

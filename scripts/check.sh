@@ -23,6 +23,15 @@ cargo build --release
 step "cargo test -q"
 cargo test -q
 
+# The planned/parallel evaluator must agree with the naive reference
+# interpreter; run the differential suite in release so it exercises the
+# same codegen the benchmarks measure.
+step "differential test (planned vs naive, serial vs parallel)"
+cargo test -p gom-deductive --release --test planned_equivalence
+
+step "bench harness compiles"
+cargo bench --workspace --no-run
+
 if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy -D warnings"
   cargo clippy --all-targets -- -D warnings
