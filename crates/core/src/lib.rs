@@ -18,9 +18,11 @@
 #![warn(missing_docs)]
 
 pub mod consistency;
+pub mod durable;
 pub mod explain;
 pub mod manager;
 
 pub use consistency::{install, GOM_CONSTRAINTS, GOM_RULES, SINGLE_INHERITANCE_CONSTRAINT};
+pub use durable::{OpenError, RecoveryReport};
 pub use explain::{explain_op, ExplainedRepair};
 pub use manager::{EvolutionOutcome, SchemaManager};

@@ -62,6 +62,9 @@ pub struct SchemaManager {
     /// When set, [`Self::end_evolution`] refuses to commit a session whose
     /// schema base lints at this severity or worse.
     lint_gate: Option<Severity>,
+    /// The durable session journal, when opened via
+    /// [`SchemaManager::open`] (see [`crate::durable`]).
+    store: Option<gom_store::Journal>,
 }
 
 impl SchemaManager {
@@ -79,7 +82,20 @@ impl SchemaManager {
             runtime: Runtime::new(),
             lint_baseline,
             lint_gate: None,
+            store: None,
         })
+    }
+
+    pub(crate) fn set_store(&mut self, store: Option<gom_store::Journal>) {
+        self.store = store;
+    }
+
+    pub(crate) fn store_ref(&self) -> Option<&gom_store::Journal> {
+        self.store.as_ref()
+    }
+
+    pub(crate) fn store_mut(&mut self) -> Option<&mut gom_store::Journal> {
+        self.store.as_mut()
     }
 
     // ----- linting ---------------------------------------------------------
@@ -127,9 +143,18 @@ impl SchemaManager {
 
     // ----- session protocol ------------------------------------------------------
 
-    /// Step 1 — BES: begin an evolution session.
+    /// Step 1 — BES: begin an evolution session. With a durable store
+    /// attached, the `Bes` record is journaled immediately; if journaling
+    /// fails, the in-memory session is rolled back so memory and disk agree.
     pub fn begin_evolution(&mut self) -> DbResult<()> {
-        self.meta.db.begin_session()
+        self.meta.db.begin_session()?;
+        if let Some(j) = self.store.as_mut() {
+            if let Err(e) = j.append(&gom_store::Record::Bes) {
+                let _ = self.meta.db.rollback_session();
+                return Err(crate::durable::db_err(e));
+            }
+        }
+        Ok(())
     }
 
     /// Is a session active?
@@ -145,11 +170,33 @@ impl SchemaManager {
         let violations = self.meta.db.check_delta(&delta)?;
         if violations.is_empty() {
             self.check_lint_gate()?;
+            self.journal_commit()?;
             let delta = self.meta.db.commit_session()?;
             Ok(EvolutionOutcome::Consistent(delta))
         } else {
             Ok(EvolutionOutcome::Inconsistent(violations))
         }
+    }
+
+    /// Write-ahead commit: journal the session's delta and the `EesCommit`
+    /// boundary (with a durability barrier) *before* the in-memory commit.
+    /// On failure the session stays open and rollbackable.
+    fn journal_commit(&mut self) -> DbResult<()> {
+        let Some(j) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let delta = self.meta.db.session_delta()?;
+        for op in &delta.ops {
+            j.append(&gom_store::Record::Op(crate::durable::to_jop(
+                &self.meta.db,
+                op,
+            )))
+            .map_err(crate::durable::db_err)?;
+        }
+        j.append(&gom_store::Record::EesCommit)
+            .map_err(crate::durable::db_err)?;
+        j.boundary_sync().map_err(crate::durable::db_err)?;
+        Ok(())
     }
 
     /// Like [`Self::end_evolution`] but with a *full* (non-incremental)
@@ -158,6 +205,7 @@ impl SchemaManager {
         let violations = self.meta.db.check()?;
         if violations.is_empty() {
             self.check_lint_gate()?;
+            self.journal_commit()?;
             let delta = self.meta.db.commit_session()?;
             Ok(EvolutionOutcome::Consistent(delta))
         } else {
@@ -203,11 +251,25 @@ impl SchemaManager {
         default: gom_runtime::Value,
     ) -> DbResult<EvolutionOutcome> {
         use gom_deductive::Op;
+        // A repair generated elsewhere (or hand-built) may not have the
+        // column shapes this router expects; reject malformed tuples as
+        // errors instead of panicking mid-repair.
+        fn sym_col(
+            t: &gom_deductive::Tuple,
+            i: usize,
+            what: &str,
+        ) -> DbResult<gom_deductive::Symbol> {
+            t.get(i).as_sym().ok_or_else(|| {
+                DbError::SessionProtocol(format!(
+                    "malformed repair: {what} (column {i}) is not a symbol"
+                ))
+            })
+        }
         for op in &repair.changes.ops {
             let pred_name = self.meta.db.pred_name(op.pred()).to_string();
             match (pred_name.as_str(), op) {
                 ("PhRep", Op::Delete(_, t)) => {
-                    let ty = gom_model::TypeId(t.get(1).as_sym().expect("PhRep type column"));
+                    let ty = gom_model::TypeId(sym_col(t, 1, "PhRep type")?);
                     let oids = self.runtime.objects.oids();
                     for oid in oids {
                         if self.runtime.objects.get(oid).map(|o| o.ty) == Some(ty) {
@@ -228,11 +290,11 @@ impl SchemaManager {
                     }
                 }
                 ("Slot", Op::Insert(_, t)) => {
-                    let clid = gom_model::PhRepId(t.get(0).as_sym().expect("Slot phrep column"));
+                    let clid = gom_model::PhRepId(sym_col(t, 0, "Slot phrep")?);
                     let attr = self
                         .meta
                         .db
-                        .resolve(t.get(1).as_sym().expect("Slot attr column"))
+                        .resolve(sym_col(t, 1, "Slot attr")?)
                         .to_string();
                     // Resolve the type behind the representation and the
                     // attribute's domain, then run the conversion.
@@ -272,11 +334,11 @@ impl SchemaManager {
                     }
                 }
                 ("Slot", Op::Delete(_, t)) => {
-                    let clid = gom_model::PhRepId(t.get(0).as_sym().expect("Slot phrep column"));
+                    let clid = gom_model::PhRepId(sym_col(t, 0, "Slot phrep")?);
                     let attr = self
                         .meta
                         .db
-                        .resolve(t.get(1).as_sym().expect("Slot attr column"))
+                        .resolve(sym_col(t, 1, "Slot attr")?)
                         .to_string();
                     let ty = {
                         let rows = self
@@ -309,9 +371,17 @@ impl SchemaManager {
         self.end_evolution()
     }
 
-    /// Roll the whole session back (always-available repair).
+    /// Roll the whole session back (always-available repair). The journal
+    /// records `EesRollback`; even if that write is lost to a crash, the
+    /// dangling `Bes` is discarded at recovery — the same end state.
     pub fn rollback_evolution(&mut self) -> DbResult<()> {
-        self.meta.db.rollback_session()
+        self.meta.db.rollback_session()?;
+        if let Some(j) = self.store.as_mut() {
+            j.append(&gom_store::Record::EesRollback)
+                .map_err(crate::durable::db_err)?;
+            j.boundary_sync().map_err(crate::durable::db_err)?;
+        }
+        Ok(())
     }
 
     /// Full consistency check outside any session.

@@ -143,7 +143,7 @@ impl Database {
         &self,
         idb: &[Relation],
         indices: &[usize],
-    ) -> Vec<Violation> {
+    ) -> Result<Vec<Violation>> {
         self.collect_constraint_violations(idb, indices)
     }
 
@@ -164,7 +164,11 @@ impl Database {
     /// With more than one eval thread, constraints are scanned in parallel;
     /// per-constraint output order is deterministic (sorted extensions,
     /// buffers concatenated in constraint order).
-    fn collect_constraint_violations(&self, idb: &[Relation], indices: &[usize]) -> Vec<Violation> {
+    fn collect_constraint_violations(
+        &self,
+        idb: &[Relation],
+        indices: &[usize],
+    ) -> Result<Vec<Violation>> {
         let compiled = self.compiled.as_ref().expect("compiled");
         crate::eval::par_map(self.eval_threads(), indices, |&ci, out| {
             let cc = &compiled.constraints[ci];
@@ -192,8 +196,9 @@ impl Database {
         let idb = self.idb.take().expect("evaluated");
         let all: Vec<usize> =
             (0..self.compiled.as_ref().expect("compiled").constraints.len()).collect();
-        let mut out = self.collect_constraint_violations(&idb.rels, &all);
+        let collected = self.collect_constraint_violations(&idb.rels, &all);
         self.idb = Some(idb);
+        let mut out = collected?;
         let keyed: Vec<PredId> = self
             .base_preds()
             .filter(|&p| self.pred_decl(p).key.is_some())
@@ -281,14 +286,20 @@ impl Database {
                 .collect();
             let mut rels: Vec<Relation> = vec![Relation::new(); self.pred_count()];
             crate::eval::ensure_idb_indexes(self, &compiled, &mut rels);
+            let mut evaluated = Ok(());
             for stratum in &restricted {
-                crate::eval::eval_stratum_public(self, &mut rels, &compiled, stratum, threads);
+                evaluated =
+                    crate::eval::eval_stratum_public(self, &mut rels, &compiled, stratum, threads);
+                if evaluated.is_err() {
+                    break;
+                }
             }
 
-            {
-                self.compiled = Some(compiled);
-                self.collect_constraint_violations(&rels, &affected)
-            }
+            // Restore the compiled program before propagating any worker
+            // panic, so the database stays usable after the error.
+            self.compiled = Some(compiled);
+            evaluated?;
+            self.collect_constraint_violations(&rels, &affected)?
         };
 
         for &p in touched.iter().collect::<std::collections::BTreeSet<_>>() {

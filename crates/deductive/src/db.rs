@@ -66,6 +66,9 @@ pub struct Database {
     /// `0` = unset: consult `GOM_EVAL_THREADS`, defaulting to 1 (the
     /// reproducible single-threaded configuration).
     eval_threads: usize,
+    /// Test hook: when set, evaluation workers panic, exercising the
+    /// panic-containment path ([`Error::EvalPanic`]).
+    eval_failpoint: bool,
 }
 
 impl Database {
@@ -513,11 +516,36 @@ impl Database {
         if self.eval_threads > 0 {
             return self.eval_threads;
         }
-        std::env::var("GOM_EVAL_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
+        match std::env::var("GOM_EVAL_THREADS") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    // Reject 0 and garbage loudly (once), then fall back to
+                    // the reproducible single-threaded configuration.
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: ignoring invalid GOM_EVAL_THREADS value `{v}` \
+                             (expected an integer >= 1); using 1 thread"
+                        );
+                    });
+                    1
+                }
+            },
+            Err(_) => 1,
+        }
+    }
+
+    /// Test hook: make the next evaluation's workers panic (contained as
+    /// [`Error::EvalPanic`]). Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn set_eval_failpoint(&mut self, on: bool) {
+        self.eval_failpoint = on;
+    }
+
+    /// Is the evaluation failpoint armed? (Checked by the fixpoint workers.)
+    pub(crate) fn eval_failpoint(&self) -> bool {
+        self.eval_failpoint
     }
 
     /// Set the worker-thread count (clamped to at least 1), overriding
@@ -555,6 +583,45 @@ impl Database {
         if let Some(idb) = self.idb.take() {
             self.spare_idb = Some(idb);
         }
+    }
+
+    /// Interner-independent textual digest of the stored state: every base
+    /// fact plus the contents of every maintained base-relation index, with
+    /// symbols resolved to their strings (the interner only grows, so raw
+    /// symbol numbers would differ between a state and its re-creation).
+    /// Two databases with equal digests hold the same EDB *and* the same
+    /// index structures. Debug/test support; not a stable format.
+    #[doc(hidden)]
+    pub fn debug_state_digest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.dump_facts();
+        let mut preds: Vec<PredId> = self.base_preds().collect();
+        preds.sort_by_key(|&p| self.pred_name(p).to_string());
+        for p in preds {
+            for (cols, tuples) in self.rels[p.index()].index_dump() {
+                let _ = writeln!(out, "index {}{:?}:", self.pred_name(p), cols);
+                // Sort the *rendered* rows: ordering by raw symbol number
+                // would depend on interning history.
+                let mut rows: Vec<String> = tuples
+                    .iter()
+                    .map(|t| {
+                        let rendered: Vec<String> = t
+                            .iter()
+                            .map(|c| match c {
+                                Const::Int(n) => n.to_string(),
+                                Const::Sym(s) => self.resolve(s).to_string(),
+                            })
+                            .collect();
+                        format!("  ({})", rendered.join(", "))
+                    })
+                    .collect();
+                rows.sort();
+                for r in rows {
+                    let _ = writeln!(out, "{r}");
+                }
+            }
+        }
+        out
     }
 
     /// Total number of stored base facts.

@@ -51,6 +51,11 @@ pub enum Error {
     /// An evolution session operation was used out of protocol (e.g. nested
     /// `begin`, or `commit` without `begin`).
     SessionProtocol(String),
+    /// A fixpoint evaluation worker panicked. The panic is contained at the
+    /// worker boundary; the database keeps its base facts and any open
+    /// session stays open (and rollbackable), but derived facts from the
+    /// failed run are discarded.
+    EvalPanic(String),
     /// An error with a source position attached (1-based line/column).
     /// Wraps errors that carry no position of their own, so every load
     /// error can name where in the source text it happened.
@@ -131,6 +136,7 @@ impl fmt::Display for Error {
                 write!(f, "constraint `{name}` cannot be compiled: {msg}")
             }
             Error::SessionProtocol(msg) => write!(f, "session protocol violation: {msg}"),
+            Error::EvalPanic(msg) => write!(f, "evaluation worker panicked: {msg}"),
             Error::At { line, col, source } => write!(f, "at {line}:{col}: {source}"),
         }
     }

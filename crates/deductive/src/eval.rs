@@ -354,25 +354,44 @@ fn stage_head(pred: PredId, head: &[Src], binding: &Binding) -> Staged {
 // Parallel work distribution
 // ---------------------------------------------------------------------------
 
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Run `f` over `items`, splitting across up to `threads` scoped threads.
 /// Each worker appends into a private buffer; buffers are concatenated in
 /// chunk order. Callers needing thread-count-independent output sort the
 /// result. With `threads <= 1` this runs inline with no thread overhead.
-pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+///
+/// Panics inside `f` are contained at the worker boundary and surface as
+/// [`Error::EvalPanic`] — identically on the inline and threaded paths —
+/// so a panicking rule evaluation cannot take the process (or an open
+/// evolution session) down with it.
+pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T, &mut Vec<R>) + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     if threads <= 1 || items.len() <= 1 {
         let mut buf = Vec::new();
         for it in items {
-            f(it, &mut buf);
+            catch_unwind(AssertUnwindSafe(|| f(it, &mut buf)))
+                .map_err(|p| Error::EvalPanic(panic_message(p)))?;
         }
-        return buf;
+        return Ok(buf);
     }
     let chunk = items.len().div_ceil(threads.min(items.len()));
     let mut out: Vec<R> = Vec::new();
+    let mut failed: Option<Error> = None;
     std::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = items
@@ -388,10 +407,22 @@ where
             })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("evaluation worker panicked"));
+            match h.join() {
+                Ok(buf) => out.extend(buf),
+                Err(p) => {
+                    // Keep joining the remaining workers (scoped threads
+                    // must finish anyway); report the first panic.
+                    if failed.is_none() {
+                        failed = Some(Error::EvalPanic(panic_message(p)));
+                    }
+                }
+            }
         }
     });
-    out
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -449,11 +480,14 @@ fn eval_stratum(
     plans: &[RulePlans],
     rule_ixs: &[usize],
     threads: usize,
-) {
+) -> Result<()> {
     let stratum_preds: FxHashSet<PredId> = rule_ixs.iter().map(|&i| rules[i].head.pred).collect();
     let mut delta: Vec<Vec<u32>> = vec![Vec::new(); idb.len()];
     // Round 0: full evaluation of every rule against the stratum input.
     let round0 = par_map(threads, rule_ixs, |&ri, buf| {
+        if db.eval_failpoint() {
+            panic!("injected evaluation failpoint");
+        }
         let rp = &plans[ri];
         let store = Store {
             db,
@@ -465,7 +499,7 @@ fn eval_stratum(
             buf.push(stage_head(rp.head_pred, &rp.head, b));
             true
         });
-    });
+    })?;
     flush_round(round0, idb, &mut delta);
     // Semi-naive iteration: one work item per (rule, delta literal).
     loop {
@@ -509,12 +543,13 @@ fn eval_stratum(
                     true
                 },
             );
-        });
+        })?;
         for p in &stratum_preds {
             delta[p.index()].clear();
         }
         flush_round(round, idb, &mut delta);
     }
+    Ok(())
 }
 
 /// Evaluate one stratum into `idb` (crate-internal entry point used by the
@@ -525,8 +560,8 @@ pub(crate) fn eval_stratum_public(
     compiled: &Compiled,
     rule_ixs: &[usize],
     threads: usize,
-) {
-    eval_stratum(db, idb, &compiled.rules, &compiled.plans, rule_ixs, threads);
+) -> Result<()> {
+    eval_stratum(db, idb, &compiled.rules, &compiled.plans, rule_ixs, threads)
 }
 
 /// Solve a body against the current EDB + a given IDB, with some variables
@@ -586,7 +621,7 @@ pub(crate) fn eval_program(
     threads: usize,
     size_hints: &[usize],
     spare: Option<Idb>,
-) -> Idb {
+) -> Result<Idb> {
     // Recycle the previously invalidated IDB when its shape still fits:
     // slot arrays, index maps, and tuple buffers all carry over, so a
     // re-evaluation allocates almost nothing.
@@ -613,9 +648,9 @@ pub(crate) fn eval_program(
             &compiled.plans,
             stratum,
             threads,
-        );
+        )?;
     }
-    Idb { rels }
+    Ok(Idb { rels })
 }
 
 // ---------------------------------------------------------------------------
@@ -760,7 +795,12 @@ impl Database {
         let hints = std::mem::take(&mut self.idb_size_hints);
         let spare = self.spare_idb.take();
         let idb = eval_program(self, &compiled, threads, &hints, spare);
+        // Restore the compiled program before propagating any evaluation
+        // error: a contained worker panic must leave the database usable
+        // (base facts intact, open session still rollbackable) — only the
+        // derived facts of the failed run are discarded.
         self.compiled = Some(compiled);
+        let idb = idb?;
         self.idb_size_hints = idb.rels.iter().map(|r| r.len()).collect();
         self.idb = Some(idb);
         Ok(())

@@ -310,7 +310,7 @@ impl Database {
         let compiled = self.compiled.take().expect("compiled");
         let indices: Vec<usize> = (0..compiled.constraints.len()).collect();
         self.compiled = Some(compiled);
-        let mut out = self.collect_violations_public(&mat.rels, &indices);
+        let mut out = self.collect_violations_public(&mat.rels, &indices)?;
         out.extend(self.key_violations_public());
         Ok(out)
     }

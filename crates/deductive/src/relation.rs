@@ -498,6 +498,30 @@ impl Relation {
         v.into_iter().map(|(_, _, t)| t.clone()).collect()
     }
 
+    /// Deterministic dump of every maintained index: for each column set,
+    /// the live tuples reachable through its posting buckets, sorted.
+    /// Debug/test support for state-equality assertions (e.g. proving that
+    /// a session rollback restores the indexes, not just the rows).
+    #[doc(hidden)]
+    pub fn index_dump(&self) -> Vec<(Vec<usize>, Vec<Tuple>)> {
+        let mut out: Vec<(Vec<usize>, Vec<Tuple>)> = self
+            .indexes
+            .iter()
+            .map(|(cols, map)| {
+                let mut tuples: Vec<Tuple> = map
+                    .values()
+                    .flat_map(|ids| ids.as_slice().iter().copied())
+                    .filter(|&id| self.live[id as usize])
+                    .map(|id| self.rows[id as usize].clone())
+                    .collect();
+                tuples.sort_unstable();
+                (cols.to_vec(), tuples)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Build the index on the given column positions if it does not exist
     /// yet (`cols` must be sorted and non-empty). The evaluator calls this
     /// for every bound-column mask occurring in the compiled plans before

@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! Implemented locally because the crate set for this project is
+//! deliberately minimal; the algorithm is ~25 lines and the table is built
+//! at compile time.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (same parameters as zlib / PNG / Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let a = crc32(b"evolution session");
+        let mut data = b"evolution session".to_vec();
+        data[3] ^= 0x40;
+        assert_ne!(a, crc32(&data));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the journal store.
+
+use std::fmt;
+
+/// Errors raised by the journal store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error from the backing file (or a failpoint-injected crash).
+    Io(std::io::Error),
+    /// A structurally invalid byte sequence was found where recovery cannot
+    /// simply truncate (e.g. a record decodes but violates the session
+    /// grammar in the *committed* prefix).
+    Corrupt(&'static str),
+    /// The file does not start with the journal magic.
+    BadMagic,
+    /// A record was appended out of protocol (e.g. `Snapshot` mid-session).
+    Protocol(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "journal I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "journal corrupt: {msg}"),
+            StoreError::BadMagic => write!(f, "not a gom journal (bad magic)"),
+            StoreError::Protocol(msg) => write!(f, "journal protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;

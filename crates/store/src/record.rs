@@ -1,0 +1,378 @@
+//! Journal records and their wire format.
+//!
+//! Every record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc` is the CRC-32 of the payload. The payload starts with a
+//! one-byte tag. Identifiers are stored as UTF-8 strings — never as
+//! interner indexes — so a journal replays into a *fresh* process whose
+//! interner assigns different symbol numbers.
+//!
+//! Record sequence grammar (enforced by the recovery scan):
+//!
+//! ```text
+//! journal  := MAGIC (snapshot | session)*
+//! session  := Bes Op* (EesCommit | EesRollback)
+//! snapshot := Snapshot            -- only outside a session
+//! ```
+
+use crate::error::{StoreError, StoreResult};
+
+/// File magic: identifies a gom evolution-session journal, version 1.
+pub const MAGIC: &[u8; 8] = b"GOMJRNL1";
+
+/// Upper bound on a single record payload (defensive: a corrupt length
+/// field must not trigger a huge allocation).
+pub const MAX_RECORD: u32 = 1 << 26; // 64 MiB
+/// Upper bound on one string inside a record.
+const MAX_STR: u32 = 1 << 20; // 1 MiB
+
+/// A constant as stored in the journal: portable across processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JConst {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A symbol, stored by its string.
+    Sym(String),
+}
+
+/// One base-predicate update, addressed by predicate *name*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JOp {
+    /// `true` = insert (`+P(t)`), `false` = delete (`−P(t)`).
+    pub insert: bool,
+    /// Predicate name.
+    pub pred: String,
+    /// The fact tuple.
+    pub tuple: Vec<JConst>,
+}
+
+/// The full extension of one base predicate inside a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotPred {
+    /// Predicate name.
+    pub pred: String,
+    /// Declared arity (kept even when `rows` is empty).
+    pub arity: u16,
+    /// All stored facts, in deterministic (sorted) order.
+    pub rows: Vec<Vec<JConst>>,
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// Begin evolution session (the paper's BES).
+    Bes,
+    /// One primitive change of the session's delta.
+    Op(JOp),
+    /// End evolution session, committed (successful EES).
+    EesCommit,
+    /// End evolution session, rolled back (undo repair chosen).
+    EesRollback,
+    /// A full EDB snapshot; recovery replays from the latest one.
+    Snapshot(Vec<SnapshotPred>),
+}
+
+const TAG_BES: u8 = 1;
+const TAG_OP: u8 = 2;
+const TAG_EES_COMMIT: u8 = 3;
+const TAG_EES_ROLLBACK: u8 = 4;
+const TAG_SNAPSHOT: u8 = 5;
+
+const CONST_INT: u8 = 0;
+const CONST_SYM: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, n: u16) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_const(out: &mut Vec<u8>, c: &JConst) {
+    match c {
+        JConst::Int(n) => {
+            out.push(CONST_INT);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        JConst::Sym(s) => {
+            out.push(CONST_SYM);
+            put_str(out, s);
+        }
+    }
+}
+
+impl Record {
+    /// Encode the payload (without framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Bes => out.push(TAG_BES),
+            Record::EesCommit => out.push(TAG_EES_COMMIT),
+            Record::EesRollback => out.push(TAG_EES_ROLLBACK),
+            Record::Op(op) => {
+                out.push(TAG_OP);
+                out.push(u8::from(op.insert));
+                put_str(&mut out, &op.pred);
+                put_u16(&mut out, op.tuple.len() as u16);
+                for c in &op.tuple {
+                    put_const(&mut out, c);
+                }
+            }
+            Record::Snapshot(preds) => {
+                out.push(TAG_SNAPSHOT);
+                put_u32(&mut out, preds.len() as u32);
+                for sp in preds {
+                    put_str(&mut out, &sp.pred);
+                    put_u16(&mut out, sp.arity);
+                    put_u32(&mut out, sp.rows.len() as u32);
+                    for row in &sp.rows {
+                        for c in row {
+                            put_const(&mut out, c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Encode the record with its `[len][crc]` frame.
+    pub fn encode_framed(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut out, payload.len() as u32);
+        put_u32(&mut out, crate::crc32::crc32(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over a payload with bounds-checked reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StoreError::Corrupt("record payload truncated"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> StoreResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> StoreResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> StoreResult<i64> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    fn string(&mut self) -> StoreResult<String> {
+        let len = self.u32()?;
+        if len > MAX_STR {
+            return Err(StoreError::Corrupt("string length out of bounds"));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("string is not valid UTF-8"))
+    }
+
+    fn constant(&mut self) -> StoreResult<JConst> {
+        match self.u8()? {
+            CONST_INT => Ok(JConst::Int(self.i64()?)),
+            CONST_SYM => Ok(JConst::Sym(self.string()?)),
+            _ => Err(StoreError::Corrupt("unknown constant tag")),
+        }
+    }
+
+    fn done(&self) -> StoreResult<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt("trailing bytes in record payload"))
+        }
+    }
+}
+
+impl Record {
+    /// Decode a payload (framing already stripped and CRC verified).
+    pub fn decode_payload(payload: &[u8]) -> StoreResult<Record> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_BES => Record::Bes,
+            TAG_EES_COMMIT => Record::EesCommit,
+            TAG_EES_ROLLBACK => Record::EesRollback,
+            TAG_OP => {
+                let insert = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(StoreError::Corrupt("bad op direction")),
+                };
+                let pred = r.string()?;
+                let arity = r.u16()? as usize;
+                let mut tuple = Vec::with_capacity(arity.min(64));
+                for _ in 0..arity {
+                    tuple.push(r.constant()?);
+                }
+                Record::Op(JOp {
+                    insert,
+                    pred,
+                    tuple,
+                })
+            }
+            TAG_SNAPSHOT => {
+                let npreds = r.u32()? as usize;
+                let mut preds = Vec::with_capacity(npreds.min(1024));
+                for _ in 0..npreds {
+                    let pred = r.string()?;
+                    let arity = r.u16()?;
+                    let nrows = r.u32()? as usize;
+                    let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+                    for _ in 0..nrows {
+                        let mut row = Vec::with_capacity(arity as usize);
+                        for _ in 0..arity {
+                            row.push(r.constant()?);
+                        }
+                        rows.push(row);
+                    }
+                    preds.push(SnapshotPred { pred, arity, rows });
+                }
+                Record::Snapshot(preds)
+            }
+            _ => return Err(StoreError::Corrupt("unknown record tag")),
+        };
+        r.done()?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: Record) {
+        let payload = rec.encode_payload();
+        assert_eq!(Record::decode_payload(&payload).unwrap(), rec);
+    }
+
+    #[test]
+    fn all_record_kinds_roundtrip() {
+        roundtrip(Record::Bes);
+        roundtrip(Record::EesCommit);
+        roundtrip(Record::EesRollback);
+        roundtrip(Record::Op(JOp {
+            insert: true,
+            pred: "Attr".into(),
+            tuple: vec![
+                JConst::Sym("tid4".into()),
+                JConst::Sym("fuelType".into()),
+                JConst::Int(-7),
+            ],
+        }));
+        roundtrip(Record::Snapshot(vec![
+            SnapshotPred {
+                pred: "Type".into(),
+                arity: 3,
+                rows: vec![
+                    vec![
+                        JConst::Sym("tid1".into()),
+                        JConst::Sym("Car".into()),
+                        JConst::Sym("sid1".into()),
+                    ],
+                    vec![
+                        JConst::Sym("tid2".into()),
+                        JConst::Sym("Person".into()),
+                        JConst::Sym("sid1".into()),
+                    ],
+                ],
+            },
+            SnapshotPred {
+                pred: "Empty".into(),
+                arity: 2,
+                rows: vec![],
+            },
+        ]));
+    }
+
+    #[test]
+    fn unicode_and_empty_symbols_roundtrip() {
+        roundtrip(Record::Op(JOp {
+            insert: false,
+            pred: "P".into(),
+            tuple: vec![JConst::Sym("λ→'quote'".into()), JConst::Sym(String::new())],
+        }));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let full = Record::Op(JOp {
+            insert: true,
+            pred: "Attr".into(),
+            tuple: vec![JConst::Int(1)],
+        })
+        .encode_payload();
+        for cut in 0..full.len() {
+            assert!(Record::decode_payload(&full[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_tags_rejected() {
+        assert!(Record::decode_payload(&[0xFF]).is_err());
+        assert!(Record::decode_payload(&[]).is_err());
+        // Op with bad direction byte.
+        assert!(Record::decode_payload(&[TAG_OP, 9]).is_err());
+    }
+
+    #[test]
+    fn framed_record_has_len_and_crc() {
+        let framed = Record::Bes.encode_framed();
+        assert_eq!(framed.len(), 8 + 1);
+        let len = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]);
+        assert_eq!(len, 1);
+        let crc = u32::from_le_bytes([framed[4], framed[5], framed[6], framed[7]]);
+        assert_eq!(crc, crate::crc32::crc32(&framed[8..]));
+    }
+}

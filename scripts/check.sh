@@ -29,12 +29,24 @@ cargo test -q
 step "differential test (planned vs naive, serial vs parallel)"
 cargo test -p gom-deductive --release --test planned_equivalence
 
+# Crash recovery must land on a session boundary from any journal prefix,
+# partial write, or corrupted tail; run the sweep in release so the
+# boundary enumeration and random offsets cover the real codegen.
+step "fault-injection sweep (journal crash recovery)"
+cargo test --release --test recovery_fault_injection
+cargo test -p gom-deductive --release --test session_atomicity
+
 step "bench harness compiles"
 cargo bench --workspace --no-run
 
 if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy -D warnings"
   cargo clippy --all-targets -- -D warnings
+
+  # The durable store must not contain a single unwrap: recovery code runs
+  # on arbitrary bytes and has no business panicking.
+  step "cargo clippy -p gom-store -D clippy::unwrap_used"
+  cargo clippy -p gom-store -- -D warnings -D clippy::unwrap_used
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

@@ -8,6 +8,10 @@
 //! ```text
 //! cargo run --bin gomsh                # interactive (reads stdin)
 //! cargo run --bin gomsh script.gsh     # script mode
+//! cargo run --bin gomsh -- --store db.gomj [--sync never|commit|always]
+//!                                      # durable: recover committed
+//!                                      # sessions from the journal and
+//!                                      # keep journaling new ones
 //! cargo run --bin gomsh lint <file> [--json] [--deny error|warn|note]
 //!                                      # static analysis of a deductive
 //!                                      # program; nonzero exit on denial
@@ -31,6 +35,8 @@
 //! why <Pred> <arg…>           derivation tree for a fact
 //! dump <Pred>                 print a predicate's extension
 //! consistency <file>          feed extra rules/constraints to the CC
+//! checkpoint                  write a full EDB snapshot to the journal
+//! recover                     reopen the journal, proving the durable state
 //! install-versioning          install the §4.1 extension
 //! lint [deny <level>]         lint the schema base; optionally arm the
 //!                             commit gate (deny error|warn|note|off)
@@ -44,6 +50,34 @@ struct Shell {
     mgr: SchemaManager,
     last_violations: Vec<Violation>,
     last_repairs: Vec<gomflex::core::ExplainedRepair>,
+    /// Journal path when running durably (`--store`), for `recover`.
+    store_path: Option<String>,
+    sync: SyncPolicy,
+}
+
+fn print_recovery(report: &RecoveryReport) {
+    println!(
+        "store: {} session(s) replayed, {} rolled back, {} op(s){}",
+        report.sessions_replayed,
+        report.sessions_rolled_back,
+        report.ops_applied,
+        if report.snapshot_loaded {
+            " (from snapshot)"
+        } else {
+            ""
+        }
+    );
+    if report.recovered_from_crash() {
+        println!(
+            "store: crash recovery — discarded {} byte(s) of torn/in-flight tail{}",
+            report.truncated_bytes,
+            report
+                .torn
+                .as_deref()
+                .map(|t| format!(" ({t})"))
+                .unwrap_or_default()
+        );
+    }
 }
 
 fn main() {
@@ -51,19 +85,73 @@ fn main() {
     if args.first().map(String::as_str) == Some("lint") {
         std::process::exit(lint_main(&args[1..]));
     }
+    let mut store_path: Option<String> = None;
+    let mut sync = SyncPolicy::OnCommit;
+    let mut script: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                let Some(p) = it.next() else {
+                    eprintln!("gomsh: --store takes a journal path");
+                    std::process::exit(2);
+                };
+                store_path = Some(p.clone());
+            }
+            "--sync" => {
+                let Some(mode) = it.next().and_then(|m| SyncPolicy::parse(m)) else {
+                    eprintln!("gomsh: --sync takes never|commit|always");
+                    std::process::exit(2);
+                };
+                sync = mode;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("gomsh: unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            file => {
+                if script.replace(file.to_string()).is_some() {
+                    eprintln!("gomsh: at most one script file expected");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let mgr = match &store_path {
+        Some(p) => match SchemaManager::open(std::path::Path::new(p), sync) {
+            Ok((mgr, report)) => {
+                print_recovery(&report);
+                mgr
+            }
+            Err(e) => {
+                eprintln!("gomsh: cannot open store {p}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => match SchemaManager::new() {
+            Ok(mgr) => mgr,
+            Err(e) => {
+                eprintln!("gomsh: cannot initialise the schema manager: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
     let mut shell = Shell {
-        mgr: SchemaManager::new().expect("manager"),
+        mgr,
         last_violations: Vec::new(),
         last_repairs: Vec::new(),
+        store_path,
+        sync,
     };
-    let interactive = args.is_empty();
-    let reader: Box<dyn BufRead> = if let Some(path) = args.first() {
-        Box::new(std::io::BufReader::new(
-            std::fs::File::open(path).unwrap_or_else(|e| {
+    let interactive = script.is_none();
+    let reader: Box<dyn BufRead> = if let Some(path) = &script {
+        match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
                 eprintln!("gomsh: cannot open {path}: {e}");
                 std::process::exit(1);
-            }),
-        ))
+            }
+        }
     } else {
         Box::new(std::io::BufReader::new(std::io::stdin()))
     };
@@ -145,7 +233,47 @@ fn lint_main(args: &[String]) -> i32 {
     i32::from(report.denies(deny))
 }
 
+type CmdResult<T> = Result<T, Box<dyn std::error::Error>>;
+
 impl Shell {
+    /// Run a mutation as a durable micro-session when a store is attached
+    /// and no session is open: BES, mutate, EES. On violations the change
+    /// is rolled back and reported — a durable store only ever contains
+    /// consistent committed states. Without a store (or inside an open
+    /// session) the mutation runs directly, as before.
+    fn autocommit<T>(
+        &mut self,
+        f: impl FnOnce(&mut SchemaManager) -> CmdResult<T>,
+    ) -> CmdResult<T> {
+        if self.mgr.in_evolution() || !self.mgr.has_store() {
+            return f(&mut self.mgr);
+        }
+        self.mgr.begin_evolution()?;
+        let out = match f(&mut self.mgr) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = self.mgr.rollback_evolution();
+                return Err(e);
+            }
+        };
+        match self.mgr.end_evolution()? {
+            EvolutionOutcome::Consistent(_) => Ok(out),
+            EvolutionOutcome::Inconsistent(violations) => {
+                let rendered: Vec<String> = violations
+                    .iter()
+                    .map(|v| v.render(&self.mgr.meta.db))
+                    .collect();
+                self.mgr.rollback_evolution()?;
+                Err(format!(
+                    "rolled back — change is inconsistent outside a session: {} \
+                     (use `begin` to repair interactively)",
+                    rendered.join("; ")
+                )
+                .into())
+            }
+        }
+    }
+
     fn dispatch(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("");
@@ -155,7 +283,8 @@ impl Shell {
                 println!(
                     "commands: load begin end rollback add-attr del-attr del-type new set get call"
                 );
-                println!("          check lint repairs apply query why dump consistency install-versioning quit");
+                println!("          check lint repairs apply query why dump consistency checkpoint recover");
+                println!("          install-versioning quit");
             }
             "quit" | "exit" => return Ok(false),
             "load" => {
@@ -206,7 +335,7 @@ impl Shell {
                 };
                 let t = self.resolve_type(tref)?;
                 let d = self.resolve_type(dom)?;
-                self.mgr.meta.add_attr(t, name, d)?;
+                self.autocommit(|mgr| Ok(mgr.meta.add_attr(t, name, d)?))?;
                 println!("+Attr({tref}, {name}, {dom})");
             }
             "del-attr" => {
@@ -214,7 +343,7 @@ impl Shell {
                     return Err("usage: del-attr T@S <name>".into());
                 };
                 let t = self.resolve_type(tref)?;
-                let removed = self.mgr.meta.remove_attr(t, name)?;
+                let removed = self.autocommit(|mgr| Ok(mgr.meta.remove_attr(t, name)?))?;
                 println!(
                     "{}",
                     if removed {
@@ -237,7 +366,8 @@ impl Shell {
                     "orphan" => DeleteTypeSemantics::Orphan,
                     other => return Err(format!("unknown semantics `{other}`").into()),
                 };
-                let report = delete_type(&mut self.mgr, t, semantics).map_err(|e| e.to_string())?;
+                let report =
+                    self.autocommit(|mgr| delete_type(mgr, t, semantics).map_err(|e| e.into()))?;
                 println!(
                     "deleted: {} fact(s) removed, {} edge(s) reconnected, {} instance(s) deleted",
                     report.facts_removed, report.reconnected, report.instances_deleted
@@ -248,7 +378,8 @@ impl Shell {
                     return Err("usage: new T@S".into());
                 };
                 let t = self.resolve_type(tref)?;
-                let oid = self.mgr.create_object(t).map_err(|e| e.to_string())?;
+                let oid =
+                    self.autocommit(|mgr| mgr.create_object(t).map_err(|e| e.to_string().into()))?;
                 println!("{}", self.mgr.meta.db.resolve(oid.sym()));
             }
             "set" => {
@@ -257,9 +388,11 @@ impl Shell {
                 }
                 let oid = self.resolve_oid(rest[0])?;
                 let value = self.parse_value(&rest[2..].join(" "))?;
-                self.mgr
-                    .set_attr(oid, rest[1], value)
-                    .map_err(|e| e.to_string())?;
+                let attr = rest[1];
+                self.autocommit(|mgr| {
+                    mgr.set_attr(oid, attr, value).map_err(|e| e.to_string())?;
+                    Ok(())
+                })?;
                 println!("ok");
             }
             "get" => {
@@ -411,6 +544,23 @@ impl Shell {
                     self.mgr.meta.db.constraints().len()
                 );
             }
+            "checkpoint" => {
+                let pos = self.mgr.checkpoint()?;
+                println!("checkpoint written ({pos} byte(s) journaled)");
+            }
+            "recover" => {
+                let path = self
+                    .store_path
+                    .clone()
+                    .ok_or("no durable store attached (run with --store <path>)")?;
+                let (mgr, report) = SchemaManager::open(std::path::Path::new(&path), self.sync)
+                    .map_err(|e| e.to_string())?;
+                self.mgr = mgr;
+                self.last_violations.clear();
+                self.last_repairs.clear();
+                print_recovery(&report);
+                println!("recovered from {path} (volatile object heap reset)");
+            }
             "install-versioning" => {
                 install_versioning(&mut self.mgr)?;
                 println!("versioning + fashion extension installed");
@@ -464,7 +614,7 @@ impl Shell {
             "load-facts" => {
                 let path = rest.first().ok_or("usage: load-facts <file>")?;
                 let text = std::fs::read_to_string(path)?;
-                self.mgr.meta.db.load(&text)?;
+                self.autocommit(|mgr| Ok(mgr.meta.db.load(&text)?))?;
                 println!(
                     "loaded; {} base fact(s) total",
                     self.mgr.meta.db.fact_count()

@@ -49,6 +49,7 @@ pub use gom_evolution as evolution;
 pub use gom_lint as lint;
 pub use gom_model as model;
 pub use gom_runtime as runtime;
+pub use gom_store as store;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -56,7 +57,7 @@ pub mod prelude {
         CAR_SCHEMA_SRC, COMPANY_SCHEMA_SRC, NEW_CAR_SCHEMA_TYPES_SRC,
     };
     pub use gom_analyzer::lower::Analyzer;
-    pub use gom_core::{EvolutionOutcome, SchemaManager};
+    pub use gom_core::{EvolutionOutcome, OpenError, RecoveryReport, SchemaManager};
     pub use gom_deductive::{Database, Repair, RepairKind, Violation};
     pub use gom_evolution::{
         add_argument, add_argument_plan, copy_type_into, cure_add_attr, delete_type, fixed_check,
@@ -69,4 +70,5 @@ pub mod prelude {
     };
     pub use gom_model::{DeclId, MetaModel, Oid, SchemaId, TypeId};
     pub use gom_runtime::{Runtime, Value, ValueSource};
+    pub use gom_store::SyncPolicy;
 }
