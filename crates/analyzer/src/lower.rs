@@ -145,7 +145,11 @@ impl Analyzer {
         m: &mut MetaModel,
         src: &str,
     ) -> Result<Vec<LoweredSchema>, AnalyzeError> {
-        let items = parse_source(src)?;
+        let _sp = gom_obs::span("analyzer.lower");
+        let items = {
+            let _parse = gom_obs::span("analyzer.parse");
+            parse_source(src)?
+        };
         self.lower_items(m, items)
     }
 

@@ -35,12 +35,27 @@ struct Report {
     median_ns: u128,
     min_ns: u128,
     units: u64,
+    /// Tuples derived per iteration (obs counter, from an instrumented
+    /// warmup run; timed runs are uninstrumented).
+    derived: u64,
+    /// Index/scan probes per iteration (eval + dred + repair probes).
+    probes: u64,
 }
 
 fn measure(b: &mut Bench, iters: usize) -> Report {
     // Warmup: populate caches/indexes and record the unit count.
     b.units = (b.run)();
+    // Second warmup runs under gom-obs so the row can carry the engine's
+    // own derived-tuple and probe counts; the collector is switched off
+    // again before anything is timed.
+    gom_obs::set_enabled(true);
+    let before = gom_obs::snapshot();
     (b.run)();
+    let work = gom_obs::snapshot().since(&before);
+    gom_obs::set_enabled(false);
+    let derived = work.counter("eval.tuples.derived");
+    let probes =
+        work.counter("eval.probes") + work.counter("dred.probes") + work.counter("repair.probes");
     let mut samples: Vec<u128> = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
@@ -53,6 +68,8 @@ fn measure(b: &mut Bench, iters: usize) -> Report {
         median_ns: samples[samples.len() / 2],
         min_ns: samples[0],
         units: b.units,
+        derived,
+        probes,
     }
 }
 
@@ -234,12 +251,8 @@ fn main() {
         }
         let r = measure(b, iters);
         eprintln!(
-            "{:<28} median {:>12} ns   min {:>12} ns   {:>8} units   {:>12.0} units/s",
-            r.name,
-            r.median_ns,
-            r.min_ns,
-            r.units,
-            r.units as f64 / (r.median_ns as f64 / 1e9),
+            "{:<28} median {:>12} ns   min {:>12} ns   {:>8} units   {:>10} derived   {:>10} probes",
+            r.name, r.median_ns, r.min_ns, r.units, r.derived, r.probes,
         );
         reports.push(r);
     }
@@ -260,12 +273,15 @@ fn main() {
         let thr = r.units as f64 / (r.median_ns as f64 / 1e9);
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
-             \"units_per_iter\": {}, \"throughput_per_s\": {:.1}}}{}\n",
+             \"units_per_iter\": {}, \"throughput_per_s\": {:.1}, \
+             \"derived_per_iter\": {}, \"probes_per_iter\": {}}}{}\n",
             json_escape(r.name),
             r.median_ns,
             r.min_ns,
             r.units,
             thr,
+            r.derived,
+            r.probes,
             if i + 1 < reports.len() { "," } else { "" },
         ));
     }

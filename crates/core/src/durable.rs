@@ -49,6 +49,9 @@ pub struct RecoveryReport {
     /// Bytes truncated off the journal tail (torn records + in-flight
     /// session).
     pub truncated_bytes: u64,
+    /// Total journal bytes the recovery scan examined (durable prefix +
+    /// truncated tail).
+    pub bytes_scanned: u64,
     /// Why the recovery scan stopped early, when it did.
     pub torn: Option<String>,
 }
@@ -58,6 +61,22 @@ impl RecoveryReport {
     /// session) — the recovered state is still exactly a session boundary.
     pub fn recovered_from_crash(&self) -> bool {
         self.discarded_in_flight || self.torn.is_some() || self.truncated_bytes > 0
+    }
+
+    /// One-line recovery summary, e.g.
+    /// `recovery: 12 op(s) replayed (3 session(s)), 4821 bytes scanned, tail truncated: no`.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "recovery: {} op(s) replayed ({} session(s)), {} bytes scanned, tail truncated: {}",
+            self.ops_applied,
+            self.sessions_replayed,
+            self.bytes_scanned,
+            if self.truncated_bytes > 0 {
+                "yes"
+            } else {
+                "no"
+            }
+        )
     }
 }
 
@@ -227,6 +246,7 @@ impl SchemaManager {
     }
 
     fn from_journal(journal: Journal, replay: Replay) -> Result<(Self, RecoveryReport), OpenError> {
+        let _sp = gom_obs::span("session.recover");
         let mut mgr = SchemaManager::new().map_err(OpenError::Db)?;
         let mut report = RecoveryReport {
             snapshot_loaded: replay.snapshot.is_some(),
@@ -234,6 +254,7 @@ impl SchemaManager {
             sessions_rolled_back: replay.sessions_rolled_back,
             discarded_in_flight: replay.discarded_in_flight,
             truncated_bytes: replay.truncated_bytes,
+            bytes_scanned: replay.durable_len + replay.truncated_bytes,
             torn: replay.torn.clone(),
             ops_applied: 0,
         };
@@ -248,6 +269,24 @@ impl SchemaManager {
         // ordinary fixpoint over the recovered EDB.
         mgr.meta.db.evaluate().map_err(OpenError::Db)?;
         mgr.set_store(Some(journal));
+        gom_obs::event(
+            "journal.recovery",
+            &[
+                (
+                    "ops_replayed",
+                    gom_obs::Field::U64(report.ops_applied as u64),
+                ),
+                (
+                    "sessions_replayed",
+                    gom_obs::Field::U64(report.sessions_replayed as u64),
+                ),
+                ("bytes_scanned", gom_obs::Field::U64(report.bytes_scanned)),
+                (
+                    "tail_truncated",
+                    gom_obs::Field::Bool(report.truncated_bytes > 0),
+                ),
+            ],
+        );
         Ok((mgr, report))
     }
 
@@ -255,6 +294,7 @@ impl SchemaManager {
     /// Refused inside an evolution session (a snapshot is a session
     /// boundary). Returns the journal end offset.
     pub fn checkpoint(&mut self) -> DbResult<u64> {
+        let _sp = gom_obs::span("session.checkpoint");
         if self.in_evolution() {
             return Err(DbError::SessionProtocol(
                 "cannot checkpoint inside an evolution session".into(),

@@ -147,6 +147,7 @@ impl SchemaManager {
     /// attached, the `Bes` record is journaled immediately; if journaling
     /// fails, the in-memory session is rolled back so memory and disk agree.
     pub fn begin_evolution(&mut self) -> DbResult<()> {
+        let _sp = gom_obs::span("session.bes");
         self.meta.db.begin_session()?;
         if let Some(j) = self.store.as_mut() {
             if let Err(e) = j.append(&gom_store::Record::Bes) {
@@ -166,14 +167,20 @@ impl SchemaManager {
     /// session's delta. On success the session commits; on violations it
     /// stays open.
     pub fn end_evolution(&mut self) -> DbResult<EvolutionOutcome> {
+        let _sp = gom_obs::span("session.ees");
         let delta = self.meta.db.session_delta()?;
+        if gom_obs::enabled() {
+            gom_obs::counter_add("session.delta.ops", delta.ops.len() as u64);
+        }
         let violations = self.meta.db.check_delta(&delta)?;
         if violations.is_empty() {
             self.check_lint_gate()?;
             self.journal_commit()?;
             let delta = self.meta.db.commit_session()?;
+            gom_obs::counter_add("session.commits", 1);
             Ok(EvolutionOutcome::Consistent(delta))
         } else {
+            gom_obs::counter_add("session.inconsistent", 1);
             Ok(EvolutionOutcome::Inconsistent(violations))
         }
     }
@@ -185,6 +192,7 @@ impl SchemaManager {
         let Some(j) = self.store.as_mut() else {
             return Ok(());
         };
+        let _sp = gom_obs::span("session.journal_commit");
         let delta = self.meta.db.session_delta()?;
         for op in &delta.ops {
             j.append(&gom_store::Record::Op(crate::durable::to_jop(
@@ -250,6 +258,7 @@ impl SchemaManager {
         repair: &Repair,
         default: gom_runtime::Value,
     ) -> DbResult<EvolutionOutcome> {
+        let _sp = gom_obs::span("repair.execute");
         use gom_deductive::Op;
         // A repair generated elsewhere (or hand-built) may not have the
         // column shapes this router expects; reject malformed tuples as
@@ -375,6 +384,8 @@ impl SchemaManager {
     /// records `EesRollback`; even if that write is lost to a crash, the
     /// dangling `Bes` is discarded at recovery — the same end state.
     pub fn rollback_evolution(&mut self) -> DbResult<()> {
+        let _sp = gom_obs::span("session.rollback");
+        gom_obs::counter_add("session.rollbacks", 1);
         self.meta.db.rollback_session()?;
         if let Some(j) = self.store.as_mut() {
             j.append(&gom_store::Record::EesRollback)

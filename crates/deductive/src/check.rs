@@ -173,6 +173,8 @@ impl Database {
         crate::eval::par_map(self.eval_threads(), indices, |&ci, out| {
             let cc = &compiled.constraints[ci];
             let src = &self.constraints[cc.source_idx];
+            let t0 = gom_obs::enabled().then(std::time::Instant::now);
+            let before = out.len();
             for tuple in idb[cc.viol.index()].sorted() {
                 let witness = cc
                     .outer_vars
@@ -187,11 +189,19 @@ impl Database {
                     source: ViolationSource::Constraint { idx: ci, tuple },
                 });
             }
+            if let Some(t0) = t0 {
+                // Per-constraint timing runs inside the parallel scan, so
+                // the span boundary is not a scope: credit the measured
+                // duration explicitly.
+                gom_obs::record_span_dur(&format!("check.constraint:{}", src.name), t0.elapsed());
+                gom_obs::counter_add("check.violations", (out.len() - before) as u64);
+            }
         })
     }
 
     /// Full consistency check: every constraint, every key.
     pub fn check(&mut self) -> Result<Vec<Violation>> {
+        let _sp = gom_obs::span("check.full");
         self.evaluate()?;
         let idb = self.idb.take().expect("evaluated");
         let all: Vec<usize> =
@@ -203,8 +213,11 @@ impl Database {
             .base_preds()
             .filter(|&p| self.pred_decl(p).key.is_some())
             .collect();
-        for p in keyed {
-            out.extend(key_violations_for(self, p, None));
+        {
+            let _keys = gom_obs::span("check.keys");
+            for p in keyed {
+                out.extend(key_violations_for(self, p, None));
+            }
         }
         sort_violations(&mut out);
         Ok(out)
@@ -230,6 +243,7 @@ impl Database {
     /// constraints and re-checks only keys of touched predicates (and only
     /// around inserted tuples).
     pub fn check_delta(&mut self, delta: &ChangeSet) -> Result<Vec<Violation>> {
+        let _sp = gom_obs::span("check.delta");
         self.ensure_compiled()?;
         let touched: FxHashSet<PredId> = delta.touched_preds().into_iter().collect();
         // Affected constraints and the derived predicates they need.
@@ -265,6 +279,11 @@ impl Database {
             }
             (affected, needed)
         };
+        if gom_obs::enabled() {
+            let total = self.compiled.as_ref().expect("compiled").constraints.len();
+            gom_obs::counter_add("check.constraints.affected", affected.len() as u64);
+            gom_obs::counter_add("check.constraints.skipped", (total - affected.len()) as u64);
+        }
 
         let mut out = if affected.is_empty() {
             Vec::new()
@@ -302,6 +321,7 @@ impl Database {
             self.collect_constraint_violations(&rels, &affected)?
         };
 
+        let _keys = gom_obs::span("check.keys");
         for &p in touched.iter().collect::<std::collections::BTreeSet<_>>() {
             if self.pred_decl(p).key.is_none() {
                 continue;

@@ -51,6 +51,25 @@ pub(crate) struct Store<'a> {
     pub(crate) db: &'a Database,
     pub(crate) idb: &'a [Relation],
     pub(crate) base_override: Option<&'a [Relation]>,
+    /// Tuples touched by plan scans through this store. Counted
+    /// unconditionally (one register add per scan batch — cheaper than a
+    /// branch), read out into `gom-obs` only when collection is enabled.
+    pub(crate) probes: std::cell::Cell<u64>,
+}
+
+impl<'a> Store<'a> {
+    pub(crate) fn new(
+        db: &'a Database,
+        idb: &'a [Relation],
+        base_override: Option<&'a [Relation]>,
+    ) -> Self {
+        Store {
+            db,
+            idb,
+            base_override,
+            probes: std::cell::Cell::new(0),
+        }
+    }
 }
 
 impl Store<'_> {
@@ -286,7 +305,10 @@ fn scan_tuples<'a, 's>(
     tuples: impl Iterator<Item = &'a Tuple>,
     verify_key: &[Const],
 ) -> bool {
+    let mut scanned = 0u64;
+    let mut keep = true;
     'tuples: for t in tuples {
+        scanned += 1;
         if !verify_key.is_empty() {
             for (i, &c) in sc.index_cols.iter().enumerate() {
                 if t.get(c) != verify_key[i] {
@@ -313,10 +335,12 @@ fn scan_tuples<'a, 's>(
             binding[v.index()] = None;
         }
         if !keep_going {
-            return false;
+            keep = false;
+            break;
         }
     }
-    true
+    store.probes.set(store.probes.get() + scanned);
+    keep
 }
 
 /// Instantiate a plan's head template under a complete binding.
@@ -348,6 +372,21 @@ fn stage_head(pred: PredId, head: &[Src], binding: &Binding) -> Staged {
     } else {
         Staged::Boxed(pred, instantiate_head(head, binding))
     }
+}
+
+/// Publish one rule activation's derivation and probe counts into the
+/// observability aggregator. No-op (one relaxed load) when collection is
+/// off; the `format!` for the per-rule key only happens when it is on.
+#[inline]
+fn publish_rule_stats(db: &Database, head: PredId, ri: usize, derivations: u64, store: &Store) {
+    if !gom_obs::enabled() {
+        return;
+    }
+    gom_obs::counter_add("eval.probes", store.probes.get());
+    gom_obs::counter_add(
+        &format!("eval.rule.derivations:{}#{ri}", db.pred_name(head)),
+        derivations,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -382,10 +421,17 @@ where
 {
     use std::panic::{catch_unwind, AssertUnwindSafe};
     if threads <= 1 || items.len() <= 1 {
+        let t0 = gom_obs::enabled().then(std::time::Instant::now);
         let mut buf = Vec::new();
         for it in items {
             catch_unwind(AssertUnwindSafe(|| f(it, &mut buf)))
                 .map_err(|p| Error::EvalPanic(panic_message(p)))?;
+        }
+        if let Some(t0) = t0 {
+            gom_obs::record(
+                "eval.worker.busy_ns",
+                t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
         }
         return Ok(buf);
     }
@@ -398,9 +444,16 @@ where
             .chunks(chunk)
             .map(|ch| {
                 s.spawn(move || {
+                    let t0 = gom_obs::enabled().then(std::time::Instant::now);
                     let mut buf = Vec::new();
                     for it in ch {
                         f(it, &mut buf);
+                    }
+                    if let Some(t0) = t0 {
+                        gom_obs::record(
+                            "eval.worker.busy_ns",
+                            t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
                     }
                     buf
                 })
@@ -456,6 +509,8 @@ fn flush_round(facts: Vec<Staged>, idb: &mut [Relation], delta: &mut [Vec<u32>])
             Staged::Boxed(p, t) => (p.index() as u32, Relation::fact_hash(t)),
         })
         .collect();
+    let total = meta.len() as u64;
+    let mut fresh_count = 0u64;
     for (i, s) in facts.into_iter().enumerate() {
         if let Some(&(lp, lh)) = meta.get(i + LOOKAHEAD) {
             idb[lp as usize].prefetch_slot(lh);
@@ -466,8 +521,13 @@ fn flush_round(facts: Vec<Staged>, idb: &mut [Relation], delta: &mut [Vec<u32>])
             Staged::Boxed(p, t) => (p, idb[p.index()].insert_hashed(h, t)),
         };
         if let Some(id) = fresh {
+            fresh_count += 1;
             delta[p.index()].push(id);
         }
+    }
+    if gom_obs::enabled() {
+        gom_obs::counter_add("eval.tuples.derived", fresh_count);
+        gom_obs::counter_add("eval.tuples.deduped", total - fresh_count);
     }
 }
 
@@ -475,7 +535,7 @@ fn flush_round(facts: Vec<Staged>, idb: &mut [Relation], delta: &mut [Vec<u32>])
 /// plans. `plans` is parallel to `rules`.
 fn eval_stratum(
     db: &Database,
-    idb: &mut Vec<Relation>,
+    idb: &mut [Relation],
     rules: &[Rule],
     plans: &[RulePlans],
     rule_ixs: &[usize],
@@ -489,18 +549,17 @@ fn eval_stratum(
             panic!("injected evaluation failpoint");
         }
         let rp = &plans[ri];
-        let store = Store {
-            db,
-            idb,
-            base_override: None,
-        };
+        let store = Store::new(db, idb, None);
+        let before = buf.len();
         let mut binding: Binding = vec![None; rp.full.var_count];
         exec_plan(&store, &rp.full, None, &mut binding, &mut |b| {
             buf.push(stage_head(rp.head_pred, &rp.head, b));
             true
         });
+        publish_rule_stats(db, rp.head_pred, ri, (buf.len() - before) as u64, &store);
     })?;
     flush_round(round0, idb, &mut delta);
+    let mut rounds = 1u64;
     // Semi-naive iteration: one work item per (rule, delta literal).
     loop {
         let work: Vec<(usize, usize)> = rule_ixs
@@ -526,11 +585,8 @@ fn eval_stratum(
             let Literal::Pos(atom) = &rules[ri].body[li] else {
                 unreachable!("delta work items are positive literals");
             };
-            let store = Store {
-                db,
-                idb,
-                base_override: None,
-            };
+            let store = Store::new(db, idb, None);
+            let before = buf.len();
             let plan = rp.delta_plan(li);
             let mut binding: Binding = vec![None; plan.var_count];
             exec_plan(
@@ -543,12 +599,15 @@ fn eval_stratum(
                     true
                 },
             );
+            publish_rule_stats(db, rp.head_pred, ri, (buf.len() - before) as u64, &store);
         })?;
         for p in &stratum_preds {
             delta[p.index()].clear();
         }
         flush_round(round, idb, &mut delta);
+        rounds += 1;
     }
+    gom_obs::counter_add("eval.rounds", rounds);
     Ok(())
 }
 
@@ -556,7 +615,7 @@ fn eval_stratum(
 /// incremental checker).
 pub(crate) fn eval_stratum_public(
     db: &Database,
-    idb: &mut Vec<Relation>,
+    idb: &mut [Relation],
     compiled: &Compiled,
     rule_ixs: &[usize],
     threads: usize,
@@ -582,16 +641,15 @@ pub(crate) fn solve_body(
     for &(v, c) in preset {
         binding[v.index()] = Some(c);
     }
-    let store = Store {
-        db,
-        idb,
-        base_override: None,
-    };
+    let store = Store::new(db, idb, None);
     let mut out: Vec<Binding> = Vec::new();
     exec_plan(&store, &plan, None, &mut binding, &mut |b| {
         out.push(b.clone());
         out.len() < limit
     });
+    if gom_obs::enabled() {
+        gom_obs::counter_add("repair.probes", store.probes.get());
+    }
     out
 }
 
@@ -640,7 +698,10 @@ pub(crate) fn eval_program(
         }
     }
     ensure_idb_indexes(db, compiled, &mut rels);
-    for stratum in &compiled.strat.rule_strata {
+    let _fix = gom_obs::span("eval.fixpoint");
+    for (si, stratum) in compiled.strat.rule_strata.iter().enumerate() {
+        let _sp =
+            gom_obs::enabled().then(|| gom_obs::span_labeled("eval.stratum", &si.to_string()));
         eval_stratum(
             db,
             &mut rels,
@@ -748,7 +809,7 @@ fn match_body(
 /// the tuple-at-a-time interpreter. Returns the number of rounds.
 fn eval_stratum_naive(
     db: &Database,
-    idb: &mut Vec<Relation>,
+    idb: &mut [Relation],
     rules: &[Rule],
     rule_ixs: &[usize],
 ) -> usize {
@@ -760,11 +821,7 @@ fn eval_stratum_naive(
             let rule = &rules[ri];
             let order = order_body(&rule.body, rule.var_count(), None, &[]);
             let mut binding: Binding = vec![None; rule.var_count()];
-            let store = Store {
-                db,
-                idb,
-                base_override: None,
-            };
+            let store = Store::new(db, idb, None);
             match_body(&store, &rule.body, &order, 0, &mut binding, &mut |b| {
                 new_facts.push((rule.head.pred, instantiate(&rule.head, b)));
                 true
@@ -913,12 +970,9 @@ impl Database {
             }
         }
         let mut binding: Binding = vec![None; var_count];
-        let store = Store {
-            db: self,
-            idb: &idb.rels,
-            base_override: None,
-        };
+        let store = Store::new(self, &idb.rels, None);
         let mut results: FxHashSet<Tuple> = FxHashSet::default();
+        let _sp = gom_obs::span("eval.query");
         exec_plan(&store, &plan, None, &mut binding, &mut |b| {
             results.insert(Tuple::from(
                 out.iter()
@@ -927,6 +981,10 @@ impl Database {
             ));
             true
         });
+        if gom_obs::enabled() {
+            gom_obs::counter_add("eval.probes", store.probes.get());
+        }
+        drop(_sp);
         self.idb = Some(idb);
         let mut v: Vec<Tuple> = results.into_iter().collect();
         v.sort();

@@ -51,6 +51,7 @@ impl Materialized {
 impl Database {
     /// Materialise the current IDB for incremental maintenance.
     pub fn materialize(&mut self) -> Result<Materialized> {
+        let _sp = gom_obs::span("dred.materialize");
         self.evaluate()?;
         let rels = self.idb.as_ref().expect("evaluated").rels.clone();
         let compiled = self.compiled.as_ref().expect("compiled");
@@ -69,6 +70,7 @@ impl Database {
         mat: &mut Materialized,
         delta: &ChangeSet,
     ) -> Result<ChangeSet> {
+        let _sp = gom_obs::span("dred.apply");
         self.ensure_compiled()?;
         {
             let compiled = self.compiled.as_ref().expect("compiled");
@@ -198,9 +200,11 @@ impl Database {
             for (p, t) in &over {
                 mat.rels[p.index()].remove(t);
             }
+            gom_obs::counter_add("dred.overdeleted", over.len() as u64);
 
             // ----- phase 2: re-derive (new state) ------------------------------------
             let mut still_deleted = over;
+            let over_count = still_deleted.len();
             loop {
                 let mut rederived: Vec<usize> = Vec::new();
                 for (i, (p, t)) in still_deleted.iter().enumerate() {
@@ -216,6 +220,7 @@ impl Database {
                     mat.rels[p.index()].insert(t);
                 }
             }
+            gom_obs::counter_add("dred.rederived", (over_count - still_deleted.len()) as u64);
             for (p, t) in still_deleted {
                 del[p.index()].insert(t);
             }
@@ -255,6 +260,7 @@ impl Database {
                 if mat.rels[ap.index()].contains(&at) {
                     continue;
                 }
+                gom_obs::counter_add("dred.inserted", 1);
                 mat.rels[ap.index()].insert(at.clone());
                 add[ap.index()].insert(at.clone());
                 let mut dr = Relation::new();
@@ -306,6 +312,7 @@ impl Database {
 
     /// Violations computed from a materialised state (no re-evaluation).
     pub fn violations_from(&mut self, mat: &Materialized) -> Result<Vec<Violation>> {
+        let _sp = gom_obs::span("dred.check");
         self.ensure_compiled()?;
         let compiled = self.compiled.take().expect("compiled");
         let indices: Vec<usize> = (0..compiled.constraints.len()).collect();
@@ -338,11 +345,7 @@ fn delta_join(
         rp.delta_plan(li)
     };
     let mut binding: Binding = vec![None; plan.var_count];
-    let store = Store {
-        db,
-        idb,
-        base_override,
-    };
+    let store = Store::new(db, idb, base_override);
     exec_plan(
         &store,
         plan,
@@ -353,6 +356,9 @@ fn delta_join(
             true
         },
     );
+    if gom_obs::enabled() {
+        gom_obs::counter_add("dred.probes", store.probes.get());
+    }
 }
 
 /// Is `t` derivable for `pred` by any rule against the given state? Runs
@@ -394,16 +400,15 @@ fn derivable(
         if !ok {
             continue;
         }
-        let store = Store {
-            db,
-            idb,
-            base_override: None,
-        };
+        let store = Store::new(db, idb, None);
         let mut found = false;
         exec_plan(&store, &rp.derivable, None, &mut binding, &mut |_| {
             found = true;
             false
         });
+        if gom_obs::enabled() {
+            gom_obs::counter_add("dred.probes", store.probes.get());
+        }
         if found {
             return true;
         }

@@ -874,6 +874,7 @@ impl Database {
     /// Parse a program text (declarations, rules, constraints, ground
     /// facts) into this database. See [`parse_program`].
     pub fn load(&mut self, text: &str) -> Result<()> {
+        let _sp = gom_obs::span("load.program");
         parse_program(self, text)
     }
 

@@ -466,6 +466,7 @@ impl Database {
     /// repair is a superset of another). Rolling back the whole session is
     /// intentionally *not* in the list — the session layer always offers it.
     pub fn repairs(&mut self, violation: &Violation) -> Result<Vec<Repair>> {
+        let _sp = gom_obs::span("repair.generate");
         match &violation.source {
             ViolationSource::Key { pred, a, b } => {
                 let mut out = Vec::new();
@@ -476,6 +477,10 @@ impl Database {
                         changes: cs,
                         kind: RepairKind::ResolveKey,
                     });
+                }
+                if gom_obs::enabled() {
+                    gom_obs::counter_add("repair.candidates", out.len() as u64);
+                    gom_obs::counter_add("repair.kept", out.len() as u64);
                 }
                 Ok(out)
             }
@@ -563,7 +568,17 @@ impl Database {
 
                 let _ = gen;
                 self.idb = Some(idb);
-                Ok(minimise(candidates))
+                let generated = candidates.len();
+                let kept = minimise(candidates);
+                if gom_obs::enabled() {
+                    gom_obs::counter_add("repair.candidates", generated as u64);
+                    gom_obs::counter_add("repair.kept", kept.len() as u64);
+                    gom_obs::counter_add(
+                        "repair.pruned",
+                        (generated - kept.len().min(generated)) as u64,
+                    );
+                }
+                Ok(kept)
             }
         }
     }

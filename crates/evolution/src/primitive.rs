@@ -157,6 +157,7 @@ impl PrimitiveResult {
 /// Apply one primitive to the database model. Consistency is *not*
 /// checked.
 pub fn apply(m: &mut MetaModel, p: &Primitive) -> DbResult<PrimitiveResult> {
+    gom_obs::counter_add("evolution.primitives", 1);
     Ok(match p {
         Primitive::AddSchema { name } => PrimitiveResult::Schema(m.new_schema(name)?),
         Primitive::AddType { schema, name } => PrimitiveResult::Type(m.new_type(*schema, name)?),

@@ -1,0 +1,218 @@
+//! Fixed power-of-two bucket histogram.
+//!
+//! 65 buckets: bucket 0 holds exactly the value 0; bucket `i` (1..=64)
+//! holds values in `[2^(i-1), 2^i - 1]` (bucket 64 tops out at
+//! `u64::MAX`). No allocation after creation, O(1) record, and bucket
+//! subtraction supports windowed snapshots.
+
+/// Number of buckets (value 0 + one per bit position).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 → 0, i ≥ 1 → `2^(i-1)`).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A power-of-two bucket histogram with count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Approximate quantile `q` in [0, 1]: the inclusive lower bound of
+    /// the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Exact for the distribution's bucket, within a
+    /// factor of 2 of the true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(BUCKETS - 1)
+    }
+
+    /// Bucket-wise difference `self - earlier` for windowed snapshots.
+    /// min/max are kept from `self` (not recoverable for the window).
+    pub fn since(&self, earlier: &Hist) -> Hist {
+        let mut out = Hist {
+            buckets: [0; BUCKETS],
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        };
+        for i in 0..BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's lower bound must map back into that bucket, and
+        // lower_bound - 1 must map into the previous one.
+        for i in 1..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "below bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_zero_and_max() {
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates rather than wrapping.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_hist_reports_zeroes() {
+        let h = Hist::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_land_in_right_bucket() {
+        let mut h = Hist::default();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, lower bound 8
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, lower bound 512
+        }
+        assert_eq!(h.quantile(0.5), 8);
+        assert_eq!(h.quantile(0.9), 8);
+        assert_eq!(h.quantile(0.95), 512);
+        assert_eq!(h.quantile(1.0), 512);
+    }
+
+    #[test]
+    fn since_subtracts_bucketwise() {
+        let mut a = Hist::default();
+        a.record(5);
+        let snap = a.clone();
+        a.record(5);
+        a.record(100);
+        let d = a.since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.bucket(bucket_index(5)), 1);
+        assert_eq!(d.bucket(bucket_index(100)), 1);
+    }
+}

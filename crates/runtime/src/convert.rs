@@ -56,6 +56,7 @@ impl Runtime {
         domain: TypeId,
         mut source: ValueSource<'_>,
     ) -> RtResult<usize> {
+        let _sp = gom_obs::span("runtime.convert_add_slot");
         let mut converted = 0;
         for ty in affected_types(m, t) {
             let Some(clid) = m.phrep_of(ty) else {
@@ -95,6 +96,7 @@ impl Runtime {
         t: TypeId,
         attr: &str,
     ) -> RtResult<usize> {
+        let _sp = gom_obs::span("runtime.convert_remove_slot");
         let mut converted = 0;
         for ty in affected_types(m, t) {
             if let Some(clid) = m.phrep_of(ty) {

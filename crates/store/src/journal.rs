@@ -358,8 +358,13 @@ impl Journal {
         let framed = record.encode_framed();
         self.backend.append(&framed)?;
         self.pos += framed.len() as u64;
+        if gom_obs::enabled() {
+            gom_obs::counter_add("journal.appends", 1);
+            gom_obs::counter_add("journal.bytes", framed.len() as u64);
+        }
         if self.policy == SyncPolicy::Always {
             self.backend.sync()?;
+            gom_obs::counter_add("journal.fsyncs", 1);
         }
         Ok(self.pos)
     }
@@ -369,6 +374,7 @@ impl Journal {
     pub fn boundary_sync(&mut self) -> StoreResult<()> {
         if self.policy != SyncPolicy::Never {
             self.backend.sync()?;
+            gom_obs::counter_add("journal.fsyncs", 1);
         }
         Ok(())
     }

@@ -29,6 +29,34 @@ cargo test -q
 step "differential test (planned vs naive, serial vs parallel)"
 cargo test -p gom-deductive --release --test planned_equivalence
 
+# Observation must be pure: the instrumented engine (aggregation + live
+# JSONL trace sink) computes a bit-identical IDB, and a full evaluation
+# under tracing emits every span the taxonomy promises.
+step "differential test (instrumented vs uninstrumented eval)"
+cargo test -p gom-deductive --release --test obs_equivalence
+cargo test -p gom-deductive --release --test obs_tracing
+
+step "trace contains the required span names"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+{
+  echo "load scripts/car_schema.gom"
+  echo "begin"
+  echo "add-attr Car obsCheckAttr string"
+  echo "end"
+  echo "quit"
+} > "$trace_tmp/session.gsh"
+cargo run --release -q --bin gomsh -- \
+  --store "$trace_tmp/db.gomj" --trace "$trace_tmp/trace.jsonl" \
+  "$trace_tmp/session.gsh" > /dev/null
+for span in eval.fixpoint eval.stratum check.delta session.bes session.ees \
+            session.journal_commit analyzer.lower load.program; do
+  grep -q "\"name\":\"$span" "$trace_tmp/trace.jsonl" \
+    || { echo "MISSING span $span in trace"; exit 1; }
+done
+grep -q '"journal.appends"' "$trace_tmp/trace.jsonl" \
+  || { echo "MISSING journal counters in trace"; exit 1; }
+
 # Crash recovery must land on a session boundary from any journal prefix,
 # partial write, or corrupted tail; run the sweep in release so the
 # boundary enumeration and random offsets cover the real codegen.
@@ -47,6 +75,10 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   # on arbitrary bytes and has no business panicking.
   step "cargo clippy -p gom-store -D clippy::unwrap_used"
   cargo clippy -p gom-store -- -D warnings -D clippy::unwrap_used
+
+  # The observability layer sits on every hot path; it must never panic.
+  step "cargo clippy -p gom-obs -D clippy::unwrap_used"
+  cargo clippy -p gom-obs -- -D warnings -D clippy::unwrap_used
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

@@ -12,6 +12,9 @@
 //!                                      # durable: recover committed
 //!                                      # sessions from the journal and
 //!                                      # keep journaling new ones
+//! cargo run --bin gomsh -- --trace t.jsonl
+//!                                      # profile every command and export
+//!                                      # a JSONL trace on exit
 //! cargo run --bin gomsh lint <file> [--json] [--deny error|warn|note]
 //!                                      # static analysis of a deductive
 //!                                      # program; nonzero exit on denial
@@ -37,6 +40,10 @@
 //! consistency <file>          feed extra rules/constraints to the CC
 //! checkpoint                  write a full EDB snapshot to the journal
 //! recover                     reopen the journal, proving the durable state
+//! profile on|off              toggle the gom-obs collector
+//! stats [reset]               aggregate span/counter/histogram table
+//! end --timing (alias: ees)   commit with a per-constraint / per-stratum
+//!                             timing breakdown (profiles just the commit)
 //! install-versioning          install the §4.1 extension
 //! lint [deny <level>]         lint the schema base; optionally arm the
 //!                             commit gate (deny error|warn|note|off)
@@ -80,6 +87,39 @@ fn print_recovery(report: &RecoveryReport) {
     }
 }
 
+/// The `end --timing` report: the slice of an obs snapshot diff that
+/// explains where a commit spent its time — per-stratum fixpoint spans,
+/// per-constraint check spans, and the eval/check/journal counters.
+fn render_timing(diff: &gom_obs::Snapshot) -> String {
+    let mut keep = gom_obs::Snapshot::default();
+    for (k, s) in &diff.spans {
+        let relevant = k.starts_with("eval.stratum")
+            || k.starts_with("check.constraint:")
+            || matches!(
+                k.as_str(),
+                "eval.fixpoint"
+                    | "check.full"
+                    | "check.delta"
+                    | "check.keys"
+                    | "repair.generate"
+                    | "session.ees"
+                    | "session.journal_commit"
+            );
+        if relevant {
+            keep.spans.insert(k.clone(), s.clone());
+        }
+    }
+    for (k, v) in &diff.counters {
+        if k.starts_with("eval.") || k.starts_with("check.") || k.starts_with("journal.") {
+            keep.counters.insert(k.clone(), *v);
+        }
+    }
+    if keep.spans.is_empty() && keep.counters.is_empty() {
+        return "(no timing data recorded)\n".to_string();
+    }
+    gom_obs::render_table(&keep)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
@@ -88,6 +128,7 @@ fn main() {
     let mut store_path: Option<String> = None;
     let mut sync = SyncPolicy::OnCommit;
     let mut script: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -97,6 +138,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 store_path = Some(p.clone());
+            }
+            "--trace" => {
+                let Some(p) = it.next() else {
+                    eprintln!("gomsh: --trace takes an output path");
+                    std::process::exit(2);
+                };
+                trace_path = Some(p.clone());
             }
             "--sync" => {
                 let Some(mode) = it.next().and_then(|m| SyncPolicy::parse(m)) else {
@@ -116,6 +164,15 @@ fn main() {
                 }
             }
         }
+    }
+    // Attach the trace before opening the store so recovery spans are
+    // captured too.
+    if let Some(p) = &trace_path {
+        if let Err(e) = gom_obs::set_trace_path(std::path::Path::new(p)) {
+            eprintln!("gomsh: cannot open trace file {p}: {e}");
+            std::process::exit(1);
+        }
+        gom_obs::set_enabled(true);
     }
     let mgr = match &store_path {
         Some(p) => match SchemaManager::open(std::path::Path::new(p), sync) {
@@ -179,6 +236,11 @@ fn main() {
             Ok(false) => break,
             Err(e) => println!("error: {e}"),
         }
+    }
+    if let Some(p) = &trace_path {
+        gom_obs::flush_trace();
+        gom_obs::clear_trace();
+        eprintln!("trace written to {p}");
     }
 }
 
@@ -284,7 +346,7 @@ impl Shell {
                     "commands: load begin end rollback add-attr del-attr del-type new set get call"
                 );
                 println!("          check lint repairs apply query why dump consistency checkpoint recover");
-                println!("          install-versioning quit");
+                println!("          profile stats ees install-versioning quit");
             }
             "quit" | "exit" => return Ok(false),
             "load" => {
@@ -307,23 +369,41 @@ impl Shell {
                 self.mgr.begin_evolution()?;
                 println!("BES — evolution session open");
             }
-            "end" => match self.mgr.end_evolution()? {
-                EvolutionOutcome::Consistent(delta) => {
-                    println!("EES — consistent, committed ({} change(s))", delta.len());
-                    self.last_violations.clear();
-                }
-                EvolutionOutcome::Inconsistent(violations) => {
-                    println!(
-                        "EES — {} violation(s); session stays open:",
-                        violations.len()
-                    );
-                    for (i, v) in violations.iter().enumerate() {
-                        println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+            "end" | "ees" => {
+                let timing = rest.contains(&"--timing") || cmd == "ees";
+                let (was_on, before) = if timing {
+                    let was_on = gom_obs::enabled();
+                    gom_obs::set_enabled(true);
+                    (was_on, Some(gom_obs::snapshot()))
+                } else {
+                    (false, None)
+                };
+                let outcome = self.mgr.end_evolution();
+                if let Some(before) = before {
+                    let diff = gom_obs::snapshot().since(&before);
+                    if !was_on {
+                        gom_obs::set_enabled(false);
                     }
-                    println!("use `repairs <k>` / `apply <k> <m>` / `rollback`");
-                    self.last_violations = violations;
+                    print!("{}", render_timing(&diff));
                 }
-            },
+                match outcome? {
+                    EvolutionOutcome::Consistent(delta) => {
+                        println!("EES — consistent, committed ({} change(s))", delta.len());
+                        self.last_violations.clear();
+                    }
+                    EvolutionOutcome::Inconsistent(violations) => {
+                        println!(
+                            "EES — {} violation(s); session stays open:",
+                            violations.len()
+                        );
+                        for (i, v) in violations.iter().enumerate() {
+                            println!("  [{i}] {}", v.render(&self.mgr.meta.db));
+                        }
+                        println!("use `repairs <k>` / `apply <k> <m>` / `rollback`");
+                        self.last_violations = violations;
+                    }
+                }
+            }
             "rollback" => {
                 self.mgr.rollback_evolution()?;
                 self.last_violations.clear();
@@ -544,6 +624,32 @@ impl Shell {
                     self.mgr.meta.db.constraints().len()
                 );
             }
+            "profile" => match rest.first().copied() {
+                Some("on") => {
+                    gom_obs::set_enabled(true);
+                    println!("profiling on (see `stats`)");
+                }
+                Some("off") => {
+                    gom_obs::set_enabled(false);
+                    println!("profiling off");
+                }
+                _ => return Err("usage: profile on|off".into()),
+            },
+            "stats" => match rest.first().copied() {
+                Some("reset") => {
+                    gom_obs::reset();
+                    println!("stats reset");
+                }
+                None => {
+                    let table = gom_obs::render_table(&gom_obs::snapshot());
+                    if table.is_empty() {
+                        println!("no stats recorded (enable with `profile on` or --trace)");
+                    } else {
+                        print!("{table}");
+                    }
+                }
+                _ => return Err("usage: stats [reset]".into()),
+            },
             "checkpoint" => {
                 let pos = self.mgr.checkpoint()?;
                 println!("checkpoint written ({pos} byte(s) journaled)");
@@ -559,6 +665,7 @@ impl Shell {
                 self.last_violations.clear();
                 self.last_repairs.clear();
                 print_recovery(&report);
+                println!("{}", report.summary_line());
                 println!("recovered from {path} (volatile object heap reset)");
             }
             "install-versioning" => {

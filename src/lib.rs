@@ -18,6 +18,7 @@
 //! | [`core`] | the Consistency Control + session protocol (the contribution) |
 //! | [`evolution`] | primitive/complex evolution ops, versioning, baselines |
 //! | [`lint`] | gom-lint: multi-pass static analysis with structured diagnostics |
+//! | [`obs`] | gom-obs: spans, counters, histograms, JSONL tracing |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use gom_deductive as deductive;
 pub use gom_evolution as evolution;
 pub use gom_lint as lint;
 pub use gom_model as model;
+pub use gom_obs as obs;
 pub use gom_runtime as runtime;
 pub use gom_store as store;
 
