@@ -290,9 +290,13 @@ impl SchemaManager {
         Ok((mgr, report))
     }
 
-    /// Append a full EDB snapshot to the journal, bounding future replay.
-    /// Refused inside an evolution session (a snapshot is a session
-    /// boundary). Returns the journal end offset.
+    /// Rotate the journal down to a full EDB snapshot: the entire history
+    /// is replaced by one [`Record::Snapshot`] via a crash-safe
+    /// write-to-temp / fsync / atomic-rename sequence, so the journal file
+    /// size after a checkpoint is bounded by the snapshot itself rather
+    /// than growing with every session ever committed. Refused inside an
+    /// evolution session (a snapshot is a session boundary). Returns the
+    /// journal end offset.
     pub fn checkpoint(&mut self) -> DbResult<u64> {
         let _sp = gom_obs::span("session.checkpoint");
         if self.in_evolution() {
@@ -304,9 +308,7 @@ impl SchemaManager {
         let journal = self.store_mut().ok_or_else(|| {
             DbError::SessionProtocol("no durable store attached (open with --store)".into())
         })?;
-        let pos = journal.append(&Record::Snapshot(snap)).map_err(db_err)?;
-        journal.boundary_sync().map_err(db_err)?;
-        Ok(pos)
+        journal.rotate(&Record::Snapshot(snap)).map_err(db_err)
     }
 
     /// Is a durable store attached?

@@ -73,8 +73,16 @@ fn key_violations_for(
     };
     let rel = db.relation(pred);
     let mut out = Vec::new();
-    let mut report = |a: Tuple, b: Tuple| {
-        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    // Materialise a violation. This is the *only* place the key check
+    // clones tuples: a clean check borrows everything (asserted via the
+    // `check.keys.clones` counter).
+    let mut report = |a: &Tuple, b: &Tuple| {
+        let (a, b) = if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        gom_obs::counter_add("check.keys.clones", 2);
         out.push(Violation {
             constraint: format!("key({})", db.pred_name(pred)),
             message: Some(format!(
@@ -94,24 +102,38 @@ fn key_violations_for(
                 let bound: Vec<(usize, Const)> = key.iter().map(|&c| (c, t.get(c))).collect();
                 for other in rel.select(&bound) {
                     if other != t {
-                        report(t.clone(), other.clone());
+                        report(t, other);
                     }
                 }
             }
         }
         None => {
-            let mut groups: crate::symbol::FxHashMap<Tuple, Vec<Tuple>> =
-                crate::symbol::FxHashMap::default();
-            for t in rel.iter() {
-                groups.entry(t.project(&key)).or_default().push(t.clone());
+            // Group by *index* into the stored extension instead of cloning
+            // every tuple into per-key buckets: sort row indices by the key
+            // columns (full tuple order as tie-break), then report adjacent
+            // pairs inside each equal-key run. Two flat allocations total,
+            // zero per-tuple clones on the clean path.
+            fn key_of<'a>(key: &'a [usize], t: &'a Tuple) -> impl Iterator<Item = Const> + 'a {
+                key.iter().map(move |&c| t.get(c))
             }
-            for (_, mut g) in groups {
-                if g.len() > 1 {
-                    g.sort();
-                    for pair in g.windows(2) {
-                        report(pair[0].clone(), pair[1].clone());
-                    }
+            let rows: Vec<&Tuple> = rel.iter().collect();
+            let mut idx: Vec<u32> = (0..rows.len() as u32).collect();
+            idx.sort_unstable_by(|&i, &j| {
+                let (a, b) = (rows[i as usize], rows[j as usize]);
+                key_of(&key, a).cmp(key_of(&key, b)).then_with(|| a.cmp(b))
+            });
+            let mut s = 0;
+            while s < idx.len() {
+                let mut e = s + 1;
+                while e < idx.len()
+                    && key_of(&key, rows[idx[s] as usize]).eq(key_of(&key, rows[idx[e] as usize]))
+                {
+                    e += 1;
                 }
+                for w in s..e.saturating_sub(1) {
+                    report(rows[idx[w] as usize], rows[idx[w + 1] as usize]);
+                }
+                s = e;
             }
         }
     }

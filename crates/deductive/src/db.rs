@@ -585,6 +585,47 @@ impl Database {
         }
     }
 
+    /// Clone the definitional and extensional state into a fresh database
+    /// suitable for publication as a read snapshot: compiler-generated
+    /// auxiliary predicates, compiled plans, IDB caches, maintained
+    /// indexes, the evolution-session journal, and test failpoints are all
+    /// dropped. The clone re-derives everything it needs lazily on first
+    /// use, and — because index contents depend on query history — two
+    /// snapshots of the same facts always produce bit-identical
+    /// [`Database::debug_state_digest`] output.
+    pub fn snapshot_clone(&self) -> Database {
+        let n = self.aux_start.unwrap_or(self.preds.len());
+        let preds: Vec<PredDecl> = self.preds[..n].to_vec();
+        let by_name: FxHashMap<Symbol, PredId> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name, PredId(i as u32)))
+            .collect();
+        let rels: Vec<Relation> = self.rels[..n]
+            .iter()
+            .map(Relation::without_indexes)
+            .collect();
+        Database {
+            interner: self.interner.clone(),
+            preds,
+            by_name,
+            rels,
+            rules: self.rules.clone(),
+            constraints: self.constraints.clone(),
+            rule_info: self.rule_info.clone(),
+            constraint_info: self.constraint_info.clone(),
+            load_seq: self.load_seq,
+            aux_start: None,
+            compiled: None,
+            idb: None,
+            spare_idb: None,
+            idb_size_hints: Vec::new(),
+            journal: None,
+            eval_threads: self.eval_threads,
+            eval_failpoint: false,
+        }
+    }
+
     /// Interner-independent textual digest of the stored state: every base
     /// fact plus the contents of every maintained base-relation index, with
     /// symbols resolved to their strings (the interner only grows, so raw

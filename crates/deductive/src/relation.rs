@@ -483,6 +483,19 @@ impl Relation {
             .filter_map(|(t, &alive)| alive.then_some(t))
     }
 
+    /// Clone the live facts into a fresh relation with no indexes, no
+    /// tombstones, and no recycled buffers. Snapshot publication uses this:
+    /// index contents depend on query history, so an index-free copy gives
+    /// every snapshot of equal facts an identical state digest.
+    pub fn without_indexes(&self) -> Relation {
+        let mut out = Relation::new();
+        out.reserve(self.len());
+        for t in self.iter() {
+            out.insert(t.clone());
+        }
+        out
+    }
+
     /// All facts, sorted, for deterministic output.
     pub fn sorted(&self) -> Vec<Tuple> {
         // Decorate-sort-undecorate: tuples order lexicographically, so an

@@ -18,4 +18,4 @@ pub mod schema_base;
 pub use builtins::Builtins;
 pub use catalog::{Catalog, SCHEMA_BASE_DECLS};
 pub use ids::{CodeId, DeclId, IdGen, Oid, PhRepId, SchemaId, TypeId};
-pub use schema_base::MetaModel;
+pub use schema_base::{MetaModel, TypeRefError};

@@ -11,6 +11,26 @@ use crate::catalog::Catalog;
 use crate::ids::{CodeId, DeclId, IdGen, PhRepId, SchemaId, TypeId};
 use gom_deductive::{Const, Database, PredId, Result, Symbol, Tuple};
 
+/// A user-written type reference that does not resolve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeRefError {
+    /// No type, built-in, or at-notation match.
+    Unknown(String),
+    /// A bare name that exists in more than one schema.
+    Ambiguous(String),
+}
+
+impl std::fmt::Display for TypeRefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeRefError::Unknown(r) => write!(f, "unknown type `{r}` (use Name@Schema)"),
+            TypeRefError::Ambiguous(r) => write!(f, "ambiguous type `{r}` (use Name@Schema)"),
+        }
+    }
+}
+
+impl std::error::Error for TypeRefError {}
+
 /// The Database Model of the paper's architecture: schema base + object base
 /// model, with typed access.
 pub struct MetaModel {
@@ -180,6 +200,20 @@ impl MetaModel {
         Ok(removed)
     }
 
+    /// Clone the meta model for publication as a read snapshot: the
+    /// database is copied via [`Database::snapshot_clone`] (definitional +
+    /// extensional state only, no caches or indexes), and the catalog,
+    /// built-ins, and id generator are carried over so the clone resolves
+    /// the same predicates and never re-issues an already-used id.
+    pub fn snapshot_clone(&self) -> MetaModel {
+        MetaModel {
+            db: self.db.snapshot_clone(),
+            cat: self.cat,
+            builtins: self.builtins,
+            ids: self.ids.clone(),
+        }
+    }
+
     // ----- lookup ---------------------------------------------------------------
 
     fn sym_of(&self, c: Const) -> Symbol {
@@ -210,6 +244,39 @@ impl MetaModel {
     pub fn type_at(&self, at: &str) -> Option<TypeId> {
         let (ty, schema) = at.split_once('@')?;
         self.type_by_name(self.schema_by_name(schema)?, ty)
+    }
+
+    /// Resolve a user-written type reference: at-notation
+    /// `TypeName@SchemaName`, a built-in sort name, or a bare type name
+    /// that is unique across all schemas. Returns a typed error for
+    /// unknown and ambiguous references so callers (the shell, the
+    /// server) can report without panicking.
+    pub fn resolve_type_ref(&self, r: &str) -> std::result::Result<TypeId, TypeRefError> {
+        if let Some(t) = self.type_at(r) {
+            return Ok(t);
+        }
+        if let Some(t) = self.builtins.by_name(r) {
+            return Ok(t);
+        }
+        // A bare name resolves iff it is unique across schemas.
+        let sids: Vec<SchemaId> = self
+            .db
+            .relation(self.cat.schema)
+            .sorted()
+            .iter()
+            .filter_map(|t| t.get(0).as_sym().map(SchemaId))
+            .collect();
+        let mut hits = Vec::new();
+        for sid in sids {
+            if let Some(t) = self.type_by_name(sid, r) {
+                hits.push(t);
+            }
+        }
+        match hits.len() {
+            1 => Ok(hits[0]),
+            0 => Err(TypeRefError::Unknown(r.to_string())),
+            _ => Err(TypeRefError::Ambiguous(r.to_string())),
+        }
     }
 
     /// User name of a type.

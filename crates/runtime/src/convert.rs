@@ -117,6 +117,7 @@ impl Runtime {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gom_analyzer::lower::Analyzer;

@@ -84,9 +84,16 @@ impl ObjectBase {
         }
         if visiting.contains(&t) {
             // Recursive type (e.g. Person.spouse: Person): the phrep being
-            // created upstream will serve.
-            // A placeholder is created by the upstream frame.
-            return Ok(m.phrep_of(t).expect("upstream creates first"));
+            // created upstream will serve. If the upstream frame has not
+            // materialised it yet the cycle is malformed — surface that as
+            // a typed error instead of panicking mid-evolution.
+            return m.phrep_of(t).ok_or_else(|| {
+                gom_deductive::Error::SessionProtocol(format!(
+                    "recursive physical representation for `{}` is not yet \
+                     materialised (malformed type cycle)",
+                    m.type_name(t).unwrap_or_else(|| format!("{t:?}"))
+                ))
+            });
         }
         visiting.push(t);
         let clid = m.new_phrep(t)?;
@@ -166,6 +173,7 @@ impl ObjectBase {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -17,7 +17,7 @@ use gom_analyzer::ast::{BinOp, Block, Expr, Stmt};
 use gom_analyzer::parse_code_text;
 use gom_deductive::{Const, FxHashMap};
 use gom_model::{DeclId, MetaModel, Oid, TypeId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors raised by the Runtime System.
 #[derive(Debug)]
@@ -89,7 +89,7 @@ pub struct Runtime {
     /// The object base.
     pub objects: ObjectBase,
     /// Parsed-code cache keyed by the code text symbol.
-    code_cache: FxHashMap<gom_deductive::Symbol, Rc<Block>>,
+    code_cache: FxHashMap<gom_deductive::Symbol, Arc<Block>>,
 }
 
 enum Flow {
@@ -127,17 +127,17 @@ impl Runtime {
             .ok_or(RtError::NoSuchObject(oid))
     }
 
-    fn parse_code(&mut self, m: &MetaModel, text: &str) -> RtResult<Rc<Block>> {
+    fn parse_code(&mut self, m: &MetaModel, text: &str) -> RtResult<Arc<Block>> {
         if let Some(sym) = m.db.sym(text) {
             if let Some(b) = self.code_cache.get(&sym) {
-                return Ok(Rc::clone(b));
+                return Ok(Arc::clone(b));
             }
             let block =
-                Rc::new(parse_code_text(text).map_err(|e| RtError::BadCode(e.to_string()))?);
-            self.code_cache.insert(sym, Rc::clone(&block));
+                Arc::new(parse_code_text(text).map_err(|e| RtError::BadCode(e.to_string()))?);
+            self.code_cache.insert(sym, Arc::clone(&block));
             return Ok(block);
         }
-        Ok(Rc::new(
+        Ok(Arc::new(
             parse_code_text(text).map_err(|e| RtError::BadCode(e.to_string()))?,
         ))
     }
@@ -561,6 +561,7 @@ fn binop(op: BinOp, l: Value, r: Value) -> RtResult<Value> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gom_analyzer::car_schema::CAR_SCHEMA_SRC;

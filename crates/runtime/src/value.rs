@@ -81,6 +81,7 @@ impl std::fmt::Display for Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 #![cfg(feature = "proptest-tests")]
 // Gated: requires the external `proptest` crate (no offline mirror).
 // See the `proptest-tests` feature note in Cargo.toml.

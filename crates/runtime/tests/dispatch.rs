@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Runtime integration tests: deep refinement chains, dynamic binding from
 //! every level, masking with operations and arguments, and object-base
 //! lifecycle edge cases.

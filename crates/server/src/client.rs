@@ -1,0 +1,45 @@
+//! Minimal blocking gom-wire/v1 client.
+
+use crate::wire::{self, Reply, Request};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A connected gomd client. One request in flight at a time.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to a listening daemon.
+    pub fn connect(socket: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(Client { stream })
+    }
+
+    /// Connect, retrying until the socket accepts or `timeout` elapses —
+    /// for racing a freshly spawned daemon.
+    pub fn connect_within(socket: &Path, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(socket) {
+                Ok(stream) => return Ok(Client { stream }),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Send one request and block for its reply.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        match wire::read_frame(&mut self.stream)? {
+            Some(frame) => Reply::decode(&frame).map_err(io::Error::from),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )),
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! gomd — a concurrent schema service over the gomflex schema manager.
+//!
+//! The paper's evolution protocol (BES … EES, §3.5) is inherently
+//! single-writer: a session may hold the schema base inconsistent for as
+//! long as repairs take. gomd makes that safe to share: readers run
+//! against epoch-published immutable snapshots ([`snapshot`]), writers
+//! serialise through a FIFO lock with bounded waiting ([`session`]), and
+//! everything travels over a small length-prefixed protocol
+//! ([`wire`], gom-wire/v1) on a Unix socket ([`server`]).
+//!
+//! `gomsh --serve <sock>` hosts a daemon; `gomsh --connect <sock>` speaks
+//! to one with the familiar shell verbs.
+
+pub mod client;
+pub mod server;
+pub mod session;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{serve, Config, ServerHandle};
+pub use session::{Acquire, SessionLock};
+pub use snapshot::{ReaderCache, Snapshot, SnapshotCell};
+pub use wire::{ErrorKind, EvolutionOp, Reply, Request};

@@ -1,0 +1,530 @@
+//! gomd: the schema service proper.
+//!
+//! One process owns the [`SchemaManager`]; clients speak gom-wire/v1 over
+//! a Unix socket, one thread per connection. The concurrency contract:
+//!
+//! * **Reads are epoch-snapshot isolated.** `Query`/`Check`/`Lint`/
+//!   `Digest` run against the last *published* snapshot (see
+//!   [`crate::snapshot`]), never against the live manager — so an open
+//!   evolution session, however long, is invisible to readers.
+//! * **Writes are single-session.** `Bes` acquires the FIFO
+//!   [`SessionLock`] (bounded wait → typed `Busy`); the lock is held
+//!   across frames until `Ees` commits or `Rollback` abandons. A
+//!   consistent `Ees` publishes epoch N+1 *after* the journal commit, so
+//!   a recovered daemon republishes exactly the last committed epoch.
+//! * **Ops outside a session autocommit** as a BES/op/EES micro-session,
+//!   mirroring the `gomsh` convention.
+
+use crate::session::{Acquire, SessionLock};
+use crate::snapshot::{ReaderCache, Snapshot, SnapshotCell};
+use crate::wire::{self, ErrorKind, EvolutionOp, Reply, Request};
+use gom_core::{EvolutionOutcome, SchemaManager};
+use gom_evolution::{delete_type, DeleteTypeSemantics};
+use gom_store::SyncPolicy;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// How long a connection handler sleeps in `read` before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Accept-loop shutdown poll interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+pub struct Config {
+    /// Path of the Unix socket to listen on (created; removed on stop).
+    pub socket: PathBuf,
+    /// Optional journal path; when set the daemon is durable and recovers
+    /// to the last committed epoch on restart.
+    pub store: Option<PathBuf>,
+    /// Journal sync policy (ignored without `store`).
+    pub sync: SyncPolicy,
+    /// How long a `Bes` (or autocommit op) waits for the writer lock
+    /// before returning `Busy`.
+    pub session_timeout: Duration,
+}
+
+impl Config {
+    /// In-memory server on `socket` with a 2-second session timeout.
+    pub fn in_memory(socket: impl Into<PathBuf>) -> Config {
+        Config {
+            socket: socket.into(),
+            store: None,
+            sync: SyncPolicy::OnCommit,
+            session_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Shared {
+    mgr: Mutex<SchemaManager>,
+    cell: SnapshotCell,
+    lock: SessionLock,
+    shutdown: AtomicBool,
+    session_timeout: Duration,
+    /// Lint config captured at startup (carries the system-material
+    /// baseline so server-side lint matches `gomsh lint` output).
+    lint_cfg: gom_lint::LintConfig,
+}
+
+impl Shared {
+    fn mgr(&self) -> std::sync::MutexGuard<'_, SchemaManager> {
+        self.mgr.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Handle to a running server. Dropping it does *not* stop the daemon;
+/// call [`ServerHandle::stop`] (or send a `Shutdown` frame).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    socket: PathBuf,
+}
+
+impl ServerHandle {
+    /// The socket path the server is listening on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.socket
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Block until the server shuts down (via [`stop`](Self::stop) from
+    /// another thread or a `Shutdown` frame from a client).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+
+    /// Request shutdown and wait for the accept loop to exit.
+    pub fn stop(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+}
+
+/// Start a server for `config`: opens (and, with a store, recovers) the
+/// schema base, publishes the initial snapshot, binds the socket, and
+/// spawns the accept loop.
+pub fn serve(config: Config) -> io::Result<ServerHandle> {
+    let mgr = match &config.store {
+        Some(path) => {
+            let (mgr, report) = SchemaManager::open(path, config.sync)
+                .map_err(|e| io::Error::other(format!("journal open failed: {e}")))?;
+            gom_obs::event(
+                "server.recovered",
+                &[(
+                    "sessions",
+                    gom_obs::Field::U64(report.sessions_replayed as u64),
+                )],
+            );
+            mgr
+        }
+        None => SchemaManager::new()
+            .map_err(|e| io::Error::other(format!("schema base init failed: {e}")))?,
+    };
+
+    let initial = Snapshot::capture(0, &mgr.meta);
+    let lint_cfg = mgr.lint_config();
+    let shared = Arc::new(Shared {
+        mgr: Mutex::new(mgr),
+        cell: SnapshotCell::new(initial),
+        lock: SessionLock::new(),
+        shutdown: AtomicBool::new(false),
+        session_timeout: config.session_timeout,
+        lint_cfg,
+    });
+
+    // A previous unclean exit may have left the socket file behind.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+
+    let accept_shared = shared.clone();
+    let accept = std::thread::Builder::new()
+        .name("gomd-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        socket: config.socket,
+    })
+}
+
+fn accept_loop(listener: UnixListener, shared: Arc<Shared>) {
+    let next_id = AtomicU64::new(1);
+    let mut workers = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _sp = gom_obs::span("server.accept");
+                gom_obs::counter_add("server.connections", 1);
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = shared.clone();
+                let worker = std::thread::Builder::new()
+                    .name(format!("gomd-conn-{id}"))
+                    .spawn(move || {
+                        Connection::new(id, conn_shared).run(stream);
+                    });
+                match worker {
+                    Ok(h) => workers.push(h),
+                    Err(e) => gom_obs::event(
+                        "server.spawn_failed",
+                        &[("error", gom_obs::Field::Str(&e.to_string()))],
+                    ),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    // Connections poll the same flag; give them a bounded grace period.
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+struct Connection {
+    id: u64,
+    shared: Arc<Shared>,
+    cache: ReaderCache,
+}
+
+impl Connection {
+    fn new(id: u64, shared: Arc<Shared>) -> Connection {
+        Connection {
+            id,
+            shared,
+            cache: ReaderCache::new(),
+        }
+    }
+
+    fn run(mut self, mut stream: UnixStream) {
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let frame = match wire::read_frame(&mut stream) {
+                Ok(Some(f)) => f,
+                Ok(None) => break, // clean EOF at a frame boundary
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => break,
+            };
+            let reply = match Request::decode(&frame) {
+                Ok(req) => {
+                    let _sp = gom_obs::span_labeled("server.request", req.verb());
+                    gom_obs::counter_add("server.requests", 1);
+                    let start = std::time::Instant::now();
+                    let reply = self.dispatch(&req);
+                    if gom_obs::enabled() {
+                        gom_obs::record(
+                            &format!("server.request.ns:{}", req.verb()),
+                            start.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    reply
+                }
+                Err(e) => Reply::err(ErrorKind::Protocol, e.to_string()),
+            };
+            let shutdown_after = matches!(reply, Reply::Ok(ref s) if s == "shutting down");
+            if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+                break;
+            }
+            if shutdown_after {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        self.hangup();
+    }
+
+    /// A dropped connection must not wedge the daemon: abandon any open
+    /// session (rollback) and release the writer lock.
+    fn hangup(&self) {
+        if self.shared.lock.held_by(self.id) {
+            gom_obs::counter_add("server.session.abandoned", 1);
+            let mut mgr = self.shared.mgr();
+            if mgr.in_evolution() {
+                let _ = mgr.rollback_evolution();
+            }
+            drop(mgr);
+            self.shared.lock.release(self.id);
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Reply {
+        match req {
+            Request::Bes => self.bes(),
+            Request::Op(op) => self.op(op),
+            Request::Ees => self.ees(),
+            Request::Rollback => self.rollback(),
+            Request::Query(body) => self.query(body),
+            Request::Check => self.check(),
+            Request::Lint => self.lint(),
+            Request::Stats => Reply::Ok(gom_obs::render_table(&gom_obs::snapshot())),
+            Request::Digest => self.digest(),
+            Request::Shutdown => Reply::Ok("shutting down".into()),
+        }
+    }
+
+    fn acquire_writer(&self) -> Result<(), Reply> {
+        gom_obs::counter_add("server.session.acquires", 1);
+        match self
+            .shared
+            .lock
+            .acquire(self.id, self.shared.session_timeout)
+        {
+            Acquire::Granted => Ok(()),
+            Acquire::Busy { holder, waiters } => Err(Reply::err(
+                ErrorKind::Busy,
+                format!(
+                    "evolution session held by connection {holder} ({waiters} waiting); \
+                     retry or raise --session-timeout"
+                ),
+            )),
+        }
+    }
+
+    fn bes(&self) -> Reply {
+        if let Err(busy) = self.acquire_writer() {
+            return busy;
+        }
+        let mut mgr = self.shared.mgr();
+        if mgr.in_evolution() {
+            // Re-entrant BES from the lock holder: already open.
+            return Reply::Ok(format!(
+                "BES — session already open (epoch {})",
+                self.shared.cell.epoch()
+            ));
+        }
+        match mgr.begin_evolution() {
+            Ok(()) => Reply::Ok(format!(
+                "BES — evolution session open (epoch {})",
+                self.shared.cell.epoch()
+            )),
+            Err(e) => {
+                drop(mgr);
+                self.shared.lock.release(self.id);
+                Reply::err(ErrorKind::Internal, e.to_string())
+            }
+        }
+    }
+
+    fn op(&self, op: &EvolutionOp) -> Reply {
+        if self.shared.lock.held_by(self.id) {
+            let mut mgr = self.shared.mgr();
+            match apply_op(&mut mgr, op) {
+                Ok(msg) => Reply::Ok(msg),
+                Err(e) => Reply::err(ErrorKind::BadRequest, e),
+            }
+        } else {
+            // Autocommit micro-session: BES / op / EES, publishing on
+            // success — same convention as gomsh outside a session.
+            if let Err(busy) = self.acquire_writer() {
+                return busy;
+            }
+            let mut mgr = self.shared.mgr();
+            let reply = (|| {
+                mgr.begin_evolution()
+                    .map_err(|e| Reply::err(ErrorKind::Internal, e.to_string()))?;
+                let msg = match apply_op(&mut mgr, op) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        let _ = mgr.rollback_evolution();
+                        return Err(Reply::err(ErrorKind::BadRequest, e));
+                    }
+                };
+                match mgr.end_evolution() {
+                    Ok(EvolutionOutcome::Consistent(delta)) => {
+                        let epoch = self.shared.cell.epoch() + 1;
+                        self.shared
+                            .cell
+                            .publish(Snapshot::capture(epoch, &mgr.meta));
+                        Ok(Reply::Committed {
+                            epoch,
+                            changes: delta.len() as u64,
+                        })
+                    }
+                    Ok(EvolutionOutcome::Inconsistent(violations)) => {
+                        let rendered: Vec<String> =
+                            violations.iter().map(|v| v.render(&mgr.meta.db)).collect();
+                        let _ = mgr.rollback_evolution();
+                        let mut msg = format!("autocommit rejected ({msg}): ");
+                        msg.push_str(&rendered.join("; "));
+                        Err(Reply::err(ErrorKind::BadRequest, msg))
+                    }
+                    Err(e) => {
+                        let _ = mgr.rollback_evolution();
+                        Err(Reply::err(ErrorKind::Internal, e.to_string()))
+                    }
+                }
+            })();
+            drop(mgr);
+            self.shared.lock.release(self.id);
+            match reply {
+                Ok(r) | Err(r) => r,
+            }
+        }
+    }
+
+    fn ees(&self) -> Reply {
+        if !self.shared.lock.held_by(self.id) {
+            return Reply::err(ErrorKind::BadRequest, "no open session (send bes first)");
+        }
+        let mut mgr = self.shared.mgr();
+        match mgr.end_evolution() {
+            Ok(EvolutionOutcome::Consistent(delta)) => {
+                // Publish *after* the journal commit inside end_evolution:
+                // every published epoch is durable.
+                let epoch = self.shared.cell.epoch() + 1;
+                self.shared
+                    .cell
+                    .publish(Snapshot::capture(epoch, &mgr.meta));
+                drop(mgr);
+                self.shared.lock.release(self.id);
+                Reply::Committed {
+                    epoch,
+                    changes: delta.len() as u64,
+                }
+            }
+            Ok(EvolutionOutcome::Inconsistent(violations)) => {
+                // Paper §3.5: the session stays open for repairs; the
+                // writer lock stays with this connection.
+                let rendered = violations.iter().map(|v| v.render(&mgr.meta.db)).collect();
+                Reply::Violations(rendered)
+            }
+            Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
+        }
+    }
+
+    fn rollback(&self) -> Reply {
+        if !self.shared.lock.held_by(self.id) {
+            return Reply::err(ErrorKind::BadRequest, "no open session to roll back");
+        }
+        let mut mgr = self.shared.mgr();
+        let res = mgr.rollback_evolution();
+        drop(mgr);
+        self.shared.lock.release(self.id);
+        match res {
+            Ok(()) => Reply::Ok("session rolled back".into()),
+            Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
+        }
+    }
+
+    fn query(&mut self, body: &str) -> Reply {
+        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        match meta.db.query_text(body) {
+            Ok((names, rows)) => {
+                let interner = meta.db.interner();
+                let rendered: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|c| c.display(interner).to_string())
+                            .collect()
+                    })
+                    .collect();
+                Reply::Rows {
+                    names,
+                    rows: rendered,
+                }
+            }
+            Err(e) => Reply::err(ErrorKind::BadRequest, e.to_string()),
+        }
+    }
+
+    fn check(&mut self) -> Reply {
+        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        match meta.db.check() {
+            Ok(violations) => {
+                let rendered = violations.iter().map(|v| v.render(&meta.db)).collect();
+                Reply::Violations(rendered)
+            }
+            Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
+        }
+    }
+
+    fn lint(&mut self) -> Reply {
+        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        let report = gom_lint::lint_database(&mut meta.db, &self.shared.lint_cfg);
+        Reply::Ok(gom_lint::render_report(&report, None, "<schema base>"))
+    }
+
+    fn digest(&mut self) -> Reply {
+        let (epoch, digest, _) = self.cache.view(&self.shared.cell);
+        Reply::Ok(format!("epoch {epoch}\n{digest}"))
+    }
+}
+
+/// Apply one evolution op inside an already-open session. Returns a
+/// human-readable confirmation; errors are user-vocabulary strings.
+fn apply_op(mgr: &mut SchemaManager, op: &EvolutionOp) -> Result<String, String> {
+    match op {
+        EvolutionOp::Define(src) => {
+            let lowered = mgr
+                .analyzer
+                .lower_source(&mut mgr.meta, src)
+                .map_err(|e| e.to_string())?;
+            Ok(format!("lowered {} schema(s)", lowered.len()))
+        }
+        EvolutionOp::AddAttr { ty, name, domain } => {
+            let t = mgr.meta.resolve_type_ref(ty).map_err(|e| e.to_string())?;
+            let d = mgr
+                .meta
+                .resolve_type_ref(domain)
+                .map_err(|e| e.to_string())?;
+            mgr.meta.add_attr(t, name, d).map_err(|e| e.to_string())?;
+            Ok(format!("+Attr({ty}, {name}, {domain})"))
+        }
+        EvolutionOp::DelAttr { ty, name } => {
+            let t = mgr.meta.resolve_type_ref(ty).map_err(|e| e.to_string())?;
+            let removed = mgr.meta.remove_attr(t, name).map_err(|e| e.to_string())?;
+            Ok(if removed {
+                format!("-Attr({ty}, {name})")
+            } else {
+                "no such attribute".into()
+            })
+        }
+        EvolutionOp::DelType { ty, semantics } => {
+            let t = mgr.meta.resolve_type_ref(ty).map_err(|e| e.to_string())?;
+            let sem = parse_semantics(semantics)?;
+            let report = delete_type(mgr, t, sem).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "deleted: {} fact(s) removed, {} edge(s) reconnected, {} instance(s) deleted",
+                report.facts_removed, report.reconnected, report.instances_deleted
+            ))
+        }
+    }
+}
+
+fn parse_semantics(s: &str) -> Result<DeleteTypeSemantics, String> {
+    match s {
+        "restrict" => Ok(DeleteTypeSemantics::Restrict),
+        "reconnect" => Ok(DeleteTypeSemantics::Reconnect),
+        "cascade" => Ok(DeleteTypeSemantics::Cascade),
+        "cascade-objects" => Ok(DeleteTypeSemantics::CascadeInstances),
+        "orphan" => Ok(DeleteTypeSemantics::Orphan),
+        other => Err(format!(
+            "unknown delete semantics `{other}` \
+             (restrict|reconnect|cascade|cascade-objects|orphan)"
+        )),
+    }
+}

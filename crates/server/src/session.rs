@@ -1,0 +1,203 @@
+//! Single-writer evolution-session lock with FIFO admission.
+//!
+//! The paper's evolution protocol (§3.5) is single-writer: one open
+//! BES…EES session at a time. gomd enforces that with a lock that is held
+//! *across requests* (BES acquires, EES-commit/rollback releases), so the
+//! usual `MutexGuard` shape doesn't fit — the lock is owned by a
+//! connection id, not a stack frame.
+//!
+//! Waiters queue FIFO: a connection that asks first gets the lock first,
+//! and a bounded [`SessionLock::acquire`] timeout converts starvation into
+//! a typed `Busy` error the client can retry, instead of an indefinite
+//! hang.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct State {
+    /// Connection currently holding the writer lock, if any.
+    holder: Option<u64>,
+    /// Connections waiting, in arrival order.
+    queue: VecDeque<u64>,
+}
+
+/// Outcome of an acquisition attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// The caller now holds the writer lock.
+    Granted,
+    /// The timeout elapsed; `holder` is the connection that held the lock
+    /// when we gave up and `waiters` the queue depth left behind.
+    Busy { holder: u64, waiters: usize },
+}
+
+/// FIFO single-writer lock held by connection id across requests.
+#[derive(Default)]
+pub struct SessionLock {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SessionLock {
+    /// A fresh, unheld lock.
+    pub fn new() -> SessionLock {
+        SessionLock::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// True if `owner` currently holds the lock.
+    pub fn held_by(&self, owner: u64) -> bool {
+        self.lock().holder == Some(owner)
+    }
+
+    /// Current queue depth (waiters, excluding the holder).
+    pub fn waiters(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Try to acquire the lock for `owner`, waiting at most `timeout`.
+    ///
+    /// Re-acquisition by the current holder is a no-op grant. FIFO order
+    /// is strict: a waiter is granted only when it reaches the queue head
+    /// and the lock is free.
+    pub fn acquire(&self, owner: u64, timeout: Duration) -> Acquire {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        if st.holder == Some(owner) {
+            return Acquire::Granted;
+        }
+        if st.holder.is_none() && st.queue.is_empty() {
+            st.holder = Some(owner);
+            return Acquire::Granted;
+        }
+        st.queue.push_back(owner);
+        gom_obs::counter_add("server.session.queued", 1);
+        loop {
+            let granted = st.holder.is_none() && st.queue.front() == Some(&owner);
+            if granted {
+                st.queue.pop_front();
+                st.holder = Some(owner);
+                return Acquire::Granted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.queue.retain(|&w| w != owner);
+                let holder = st.holder.unwrap_or(0);
+                let waiters = st.queue.len();
+                // Our departure may unblock the new queue head (the lock
+                // could be free while we, mid-queue, timed out).
+                self.cv.notify_all();
+                gom_obs::counter_add("server.session.busy_timeouts", 1);
+                return Acquire::Busy { holder, waiters };
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Release the lock if `owner` holds it; wakes the queue head.
+    /// Returns whether a release actually happened.
+    pub fn release(&self, owner: u64) -> bool {
+        let mut st = self.lock();
+        if st.holder != Some(owner) {
+            return false;
+        }
+        st.holder = None;
+        drop(st);
+        self.cv.notify_all();
+        true
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const LONG: Duration = Duration::from_secs(5);
+    const SHORT: Duration = Duration::from_millis(30);
+
+    #[test]
+    fn grant_reacquire_release() {
+        let l = SessionLock::new();
+        assert_eq!(l.acquire(1, SHORT), Acquire::Granted);
+        assert!(l.held_by(1));
+        assert_eq!(l.acquire(1, SHORT), Acquire::Granted, "re-entrant grant");
+        assert!(l.release(1));
+        assert!(!l.release(1), "double release is a no-op");
+        assert!(!l.held_by(1));
+    }
+
+    #[test]
+    fn timeout_reports_holder_and_queue_depth() {
+        let l = SessionLock::new();
+        assert_eq!(l.acquire(7, LONG), Acquire::Granted);
+        match l.acquire(8, SHORT) {
+            Acquire::Busy { holder, waiters } => {
+                assert_eq!(holder, 7);
+                assert_eq!(waiters, 0);
+            }
+            Acquire::Granted => panic!("lock was held"),
+        }
+        // The timed-out waiter left no queue residue.
+        assert_eq!(l.waiters(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let l = Arc::new(SessionLock::new());
+        assert_eq!(l.acquire(0, LONG), Acquire::Granted);
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for id in 1..=3u64 {
+            let l = l.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                // Stagger arrivals so queue order is deterministic.
+                std::thread::sleep(Duration::from_millis(20 * id));
+                assert_eq!(l.acquire(id, LONG), Acquire::Granted);
+                order.lock().unwrap().push(id);
+                std::thread::sleep(Duration::from_millis(5));
+                l.release(id);
+            }));
+        }
+        // Let all three enqueue, then start the chain.
+        std::thread::sleep(Duration::from_millis(120));
+        l.release(0);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mid_queue_timeout_unblocks_head() {
+        let l = Arc::new(SessionLock::new());
+        assert_eq!(l.acquire(0, LONG), Acquire::Granted);
+        let head = {
+            let l = l.clone();
+            std::thread::spawn(move || l.acquire(1, LONG))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        // Second waiter with a short fuse behind the head.
+        let tail = {
+            let l = l.clone();
+            std::thread::spawn(move || l.acquire(2, SHORT))
+        };
+        let busy = tail.join().unwrap();
+        assert!(matches!(busy, Acquire::Busy { holder: 0, .. }));
+        l.release(0);
+        assert_eq!(head.join().unwrap(), Acquire::Granted);
+        assert!(l.held_by(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Epoch-based snapshot publication.
+//!
+//! The writer (the single evolution session) publishes an immutable
+//! [`Snapshot`] at every commit point; readers never see a mid-session
+//! state. Publication is an epoch bump: readers poll one atomic to learn
+//! that a newer snapshot exists, and only then take the (brief) slot lock
+//! to clone the `Arc`. A reader holding an old `Arc` keeps a fully
+//! consistent view for as long as it likes — snapshots are immutable and
+//! reference-counted, so an open session never blocks a reader and a
+//! reader never blocks the writer.
+//!
+//! Queries and checks need `&mut Database` (interning, fixpoint caches),
+//! so each connection materialises a *private* mutable clone of the shared
+//! snapshot via [`ReaderCache`], refreshed only when the epoch moves. The
+//! clone cost is paid once per epoch per connection, not per request.
+
+use gom_model::MetaModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An immutable, consistent view of the schema base at one epoch.
+pub struct Snapshot {
+    /// Monotonic publication counter (0 = the state at server start).
+    pub epoch: u64,
+    /// Index-free, cache-free clone of the meta model.
+    pub meta: MetaModel,
+    /// State digest captured at publication — interner-independent, so a
+    /// recovered daemon publishing the same logical state produces a
+    /// bit-identical digest.
+    pub digest: String,
+}
+
+impl Snapshot {
+    /// Capture the current state of `meta` as the snapshot for `epoch`.
+    pub fn capture(epoch: u64, meta: &MetaModel) -> Snapshot {
+        let meta = meta.snapshot_clone();
+        let digest = meta.db.debug_state_digest();
+        Snapshot {
+            epoch,
+            meta,
+            digest,
+        }
+    }
+}
+
+/// The publication point: one atomic epoch plus the current snapshot.
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slot: Mutex<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    /// Install the initial snapshot.
+    pub fn new(initial: Snapshot) -> SnapshotCell {
+        SnapshotCell {
+            epoch: AtomicU64::new(initial.epoch),
+            slot: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// The currently published epoch (cheap, lock-free).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publish a new snapshot. The slot is swapped before the epoch is
+    /// bumped, so a reader that observes the new epoch always loads the
+    /// new snapshot (a reader racing the swap may load the new snapshot
+    /// with the old epoch in hand — it simply refreshes once more later,
+    /// which is harmless because snapshots are immutable).
+    pub fn publish(&self, snapshot: Snapshot) {
+        let epoch = snapshot.epoch;
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        gom_obs::counter_add("server.epoch.publishes", 1);
+        gom_obs::event("epoch.publish", &[("epoch", gom_obs::Field::U64(epoch))]);
+    }
+
+    /// Clone the current snapshot handle (brief lock, never blocked by an
+    /// open session).
+    pub fn load(&self) -> Arc<Snapshot> {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// A connection-private mutable materialisation of the published snapshot.
+#[derive(Default)]
+pub struct ReaderCache {
+    cached: Option<(u64, String, MetaModel)>,
+}
+
+impl ReaderCache {
+    /// Fresh, empty cache.
+    pub fn new() -> ReaderCache {
+        ReaderCache::default()
+    }
+
+    /// The cached view of the current epoch, refreshing the private clone
+    /// if the cell has published a newer snapshot since the last call.
+    /// Returns `(epoch, digest, meta)` with `meta` privately mutable.
+    pub fn view(&mut self, cell: &SnapshotCell) -> (u64, &str, &mut MetaModel) {
+        let current = cell.epoch();
+        let stale = match &self.cached {
+            Some((epoch, _, _)) => *epoch != current,
+            None => true,
+        };
+        if stale {
+            let snap = cell.load();
+            gom_obs::counter_add("server.reader.refreshes", 1);
+            self.cached = Some((snap.epoch, snap.digest.clone(), snap.meta.snapshot_clone()));
+        }
+        match &mut self.cached {
+            Some((epoch, digest, meta)) => (*epoch, digest.as_str(), meta),
+            // Unreachable: the branch above always fills the cache.
+            None => unreachable!("reader cache refreshed above"),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn model_with(name: &str) -> MetaModel {
+        let mut m = MetaModel::new().expect("meta");
+        m.new_schema(name).expect("schema");
+        m
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_snapshot() {
+        let m0 = model_with("S0");
+        let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
+        assert_eq!(cell.epoch(), 0);
+        let d0 = cell.load().digest.clone();
+
+        let m1 = model_with("S1");
+        cell.publish(Snapshot::capture(1, &m1));
+        assert_eq!(cell.epoch(), 1);
+        assert_ne!(cell.load().digest, d0);
+    }
+
+    #[test]
+    fn reader_cache_refreshes_only_on_epoch_change() {
+        let m0 = model_with("S0");
+        let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
+        let mut cache = ReaderCache::new();
+        let (e0, d0, meta) = cache.view(&cell);
+        assert_eq!(e0, 0);
+        let d0 = d0.to_string();
+        // The private clone is queryable and mutations stay private.
+        meta.new_schema("ReaderLocal").expect("schema");
+        let (_, d_again, _) = cache.view(&cell);
+        assert_eq!(d_again, d0, "no republish, no refresh");
+
+        let m1 = model_with("S1");
+        cell.publish(Snapshot::capture(1, &m1));
+        let (e1, d1, meta1) = cache.view(&cell);
+        assert_eq!(e1, 1);
+        assert_ne!(d1, d0);
+        // The refresh replaced the private clone (reader-local edits gone).
+        assert!(meta1.schema_by_name("ReaderLocal").is_none());
+    }
+
+    #[test]
+    fn an_old_arc_stays_consistent_after_publication() {
+        let m0 = model_with("S0");
+        let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
+        let old = cell.load();
+        let m1 = model_with("S1");
+        cell.publish(Snapshot::capture(1, &m1));
+        assert_eq!(old.epoch, 0);
+        assert!(old.meta.schema_by_name("S0").is_some());
+        assert!(old.meta.schema_by_name("S1").is_none());
+    }
+
+    #[test]
+    fn digests_of_equal_states_are_bit_identical() {
+        // Two independently built models with the same logical content —
+        // e.g. a daemon and its post-recovery incarnation — must digest
+        // identically even though interning history differs.
+        let mut a = MetaModel::new().expect("meta");
+        let mut b = MetaModel::new().expect("meta");
+        // Different interning order in `b`.
+        b.db.intern("zzz_unrelated");
+        a.new_schema("S").expect("schema");
+        b.new_schema("S").expect("schema");
+        // IdGen draws the same fresh ids in both (deterministic), so the
+        // logical states coincide.
+        let sa = Snapshot::capture(0, &a);
+        let sb = Snapshot::capture(0, &b);
+        assert_eq!(sa.digest, sb.digest);
+    }
+}

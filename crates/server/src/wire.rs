@@ -1,0 +1,662 @@
+//! `gom-wire/v1` — the request/response protocol of the schema service.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc` is the CRC-32 of the payload and the payload starts with a
+//! one-byte tag. The framing is deliberately the same shape as the journal's
+//! (`gom-store`), but the two formats are independent: the wire carries
+//! *requests* in user vocabulary (type references as text, GOM source as
+//! text), never interner indexes or journal records, so client and server
+//! processes with different interning histories interoperate.
+//!
+//! The verb set mirrors the paper's session protocol plus the read-only
+//! service verbs: `Bes` / `Op` / `Ees` / `Rollback` drive an evolution
+//! session (single writer, FIFO queue), while `Query` / `Check` / `Lint` /
+//! `Digest` run lock-free against the published epoch snapshot. Every
+//! failure is a typed [`Reply::Error`]; a malformed or unlucky request can
+//! never take the daemon down.
+
+use std::io::{Read, Write};
+
+/// Protocol version, exchanged implicitly by the frame format tag space.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on one frame payload (defensive: a corrupt length field
+/// must not trigger a huge allocation).
+pub const MAX_FRAME: u32 = 1 << 24; // 16 MiB
+
+/// One evolution primitive carried by a [`Request::Op`] frame, in user
+/// vocabulary (`Name@Schema` type references, GOM source text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvolutionOp {
+    /// Parse and lower GOM source into the session (or autocommit).
+    Define(String),
+    /// Add attribute `name : domain` to `ty`.
+    AddAttr {
+        /// Type reference (`Name@Schema`, builtin, or unique bare name).
+        ty: String,
+        /// Attribute name.
+        name: String,
+        /// Domain type reference.
+        domain: String,
+    },
+    /// Delete attribute `name` from `ty`.
+    DelAttr {
+        /// Type reference.
+        ty: String,
+        /// Attribute name.
+        name: String,
+    },
+    /// Delete a type with the given semantics
+    /// (`restrict|reconnect|cascade|cascade-objects|orphan`).
+    DelType {
+        /// Type reference.
+        ty: String,
+        /// Deletion semantics keyword.
+        semantics: String,
+    },
+}
+
+/// A client request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Begin an evolution session (acquires the writer lock, FIFO).
+    Bes,
+    /// One evolution primitive — inside the session when the connection
+    /// holds the writer lock, as a durable autocommit micro-session
+    /// otherwise.
+    Op(EvolutionOp),
+    /// End the session: check; commit and publish a new epoch, or report
+    /// violations (session stays open).
+    Ees,
+    /// Roll the open session back and release the writer lock.
+    Rollback,
+    /// Datalog query against the published snapshot (lock-free).
+    Query(String),
+    /// Full consistency check against the published snapshot (lock-free).
+    Check,
+    /// Lint the published snapshot's schema base (lock-free).
+    Lint,
+    /// Service statistics: epoch, queue depth, obs table.
+    Stats,
+    /// The published snapshot's state digest (bit-identity testing).
+    Digest,
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// The verb name, as used for per-verb latency histograms.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Bes => "bes",
+            Request::Op(_) => "op",
+            Request::Ees => "ees",
+            Request::Rollback => "rollback",
+            Request::Query(_) => "query",
+            Request::Check => "check",
+            Request::Lint => "lint",
+            Request::Stats => "stats",
+            Request::Digest => "digest",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Why a request failed, as a machine-readable class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The writer lock could not be acquired before the timeout.
+    Busy,
+    /// The request violates the session protocol (e.g. `Ees` without a
+    /// session).
+    Protocol,
+    /// The request itself is invalid (unknown type, bad query syntax…).
+    BadRequest,
+    /// The server failed internally; the session (if any) is still open.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A server reply frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Success, with a human-readable confirmation.
+    Ok(String),
+    /// The session committed and a new epoch was published.
+    Committed {
+        /// The epoch the commit published.
+        epoch: u64,
+        /// Number of changes in the session's net delta.
+        changes: u64,
+    },
+    /// The check found violations; the session stays open.
+    Violations(Vec<String>),
+    /// Tabular query output.
+    Rows {
+        /// Column names.
+        names: Vec<String>,
+        /// Rows, rendered.
+        rows: Vec<Vec<String>>,
+    },
+    /// A typed failure. The connection stays usable.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Convenience constructor for error replies.
+    pub fn err(kind: ErrorKind, message: impl Into<String>) -> Reply {
+        Reply::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// A frame that could not be decoded.
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gom-wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+type WireResult<T> = Result<T, WireError>;
+
+fn corrupt(what: &str) -> WireError {
+    WireError(what.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE), bit-reflected — the same polynomial as the journal.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut head = [0u8; 8];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut head = [0u8; 8];
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "torn frame header",
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+    let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if len > MAX_FRAME {
+        return Err(WireError(format!("frame length {len} out of bounds")).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(corrupt("frame CRC mismatch").into());
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+const REQ_BES: u8 = 1;
+const REQ_OP: u8 = 2;
+const REQ_EES: u8 = 3;
+const REQ_ROLLBACK: u8 = 4;
+const REQ_QUERY: u8 = 5;
+const REQ_CHECK: u8 = 6;
+const REQ_LINT: u8 = 7;
+const REQ_STATS: u8 = 8;
+const REQ_DIGEST: u8 = 9;
+const REQ_SHUTDOWN: u8 = 10;
+
+const OP_DEFINE: u8 = 1;
+const OP_ADD_ATTR: u8 = 2;
+const OP_DEL_ATTR: u8 = 3;
+const OP_DEL_TYPE: u8 = 4;
+
+const REP_OK: u8 = 1;
+const REP_COMMITTED: u8 = 2;
+const REP_VIOLATIONS: u8 = 3;
+const REP_ROWS: u8 = 4;
+const REP_ERROR: u8 = 5;
+
+const ERR_BUSY: u8 = 1;
+const ERR_PROTOCOL: u8 = 2;
+const ERR_BAD_REQUEST: u8 = 3;
+const ERR_INTERNAL: u8 = 4;
+
+fn put_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
+    put_u32(out, items.len() as u32);
+    for s in items {
+        put_str(out, s);
+    }
+}
+
+/// Cursor over a payload with bounds-checked reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("payload truncated"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn string(&mut self) -> WireResult<String> {
+        let len = self.u32()?;
+        if len > MAX_FRAME {
+            return Err(corrupt("string length out of bounds"));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not valid UTF-8"))
+    }
+
+    fn str_list(&mut self) -> WireResult<Vec<String>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> WireResult<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes in payload"))
+        }
+    }
+}
+
+impl Request {
+    /// Encode the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Bes => out.push(REQ_BES),
+            Request::Ees => out.push(REQ_EES),
+            Request::Rollback => out.push(REQ_ROLLBACK),
+            Request::Check => out.push(REQ_CHECK),
+            Request::Lint => out.push(REQ_LINT),
+            Request::Stats => out.push(REQ_STATS),
+            Request::Digest => out.push(REQ_DIGEST),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Query(q) => {
+                out.push(REQ_QUERY);
+                put_str(&mut out, q);
+            }
+            Request::Op(op) => {
+                out.push(REQ_OP);
+                match op {
+                    EvolutionOp::Define(src) => {
+                        out.push(OP_DEFINE);
+                        put_str(&mut out, src);
+                    }
+                    EvolutionOp::AddAttr { ty, name, domain } => {
+                        out.push(OP_ADD_ATTR);
+                        put_str(&mut out, ty);
+                        put_str(&mut out, name);
+                        put_str(&mut out, domain);
+                    }
+                    EvolutionOp::DelAttr { ty, name } => {
+                        out.push(OP_DEL_ATTR);
+                        put_str(&mut out, ty);
+                        put_str(&mut out, name);
+                    }
+                    EvolutionOp::DelType { ty, semantics } => {
+                        out.push(OP_DEL_TYPE);
+                        put_str(&mut out, ty);
+                        put_str(&mut out, semantics);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a request payload.
+    pub fn decode(payload: &[u8]) -> WireResult<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            REQ_BES => Request::Bes,
+            REQ_EES => Request::Ees,
+            REQ_ROLLBACK => Request::Rollback,
+            REQ_CHECK => Request::Check,
+            REQ_LINT => Request::Lint,
+            REQ_STATS => Request::Stats,
+            REQ_DIGEST => Request::Digest,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_QUERY => Request::Query(r.string()?),
+            REQ_OP => {
+                let op = match r.u8()? {
+                    OP_DEFINE => EvolutionOp::Define(r.string()?),
+                    OP_ADD_ATTR => EvolutionOp::AddAttr {
+                        ty: r.string()?,
+                        name: r.string()?,
+                        domain: r.string()?,
+                    },
+                    OP_DEL_ATTR => EvolutionOp::DelAttr {
+                        ty: r.string()?,
+                        name: r.string()?,
+                    },
+                    OP_DEL_TYPE => EvolutionOp::DelType {
+                        ty: r.string()?,
+                        semantics: r.string()?,
+                    },
+                    _ => return Err(corrupt("unknown op tag")),
+                };
+                Request::Op(op)
+            }
+            _ => return Err(corrupt("unknown request tag")),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encode the reply payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Reply::Ok(msg) => {
+                out.push(REP_OK);
+                put_str(&mut out, msg);
+            }
+            Reply::Committed { epoch, changes } => {
+                out.push(REP_COMMITTED);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *changes);
+            }
+            Reply::Violations(v) => {
+                out.push(REP_VIOLATIONS);
+                put_str_list(&mut out, v);
+            }
+            Reply::Rows { names, rows } => {
+                out.push(REP_ROWS);
+                put_str_list(&mut out, names);
+                put_u32(&mut out, rows.len() as u32);
+                for row in rows {
+                    put_str_list(&mut out, row);
+                }
+            }
+            Reply::Error { kind, message } => {
+                out.push(REP_ERROR);
+                out.push(match kind {
+                    ErrorKind::Busy => ERR_BUSY,
+                    ErrorKind::Protocol => ERR_PROTOCOL,
+                    ErrorKind::BadRequest => ERR_BAD_REQUEST,
+                    ErrorKind::Internal => ERR_INTERNAL,
+                });
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a reply payload.
+    pub fn decode(payload: &[u8]) -> WireResult<Reply> {
+        let mut r = Reader::new(payload);
+        let rep = match r.u8()? {
+            REP_OK => Reply::Ok(r.string()?),
+            REP_COMMITTED => Reply::Committed {
+                epoch: r.u64()?,
+                changes: r.u64()?,
+            },
+            REP_VIOLATIONS => Reply::Violations(r.str_list()?),
+            REP_ROWS => {
+                let names = r.str_list()?;
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    rows.push(r.str_list()?);
+                }
+                Reply::Rows { names, rows }
+            }
+            REP_ERROR => {
+                let kind = match r.u8()? {
+                    ERR_BUSY => ErrorKind::Busy,
+                    ERR_PROTOCOL => ErrorKind::Protocol,
+                    ERR_BAD_REQUEST => ErrorKind::BadRequest,
+                    ERR_INTERNAL => ErrorKind::Internal,
+                    _ => return Err(corrupt("unknown error kind")),
+                };
+                Reply::Error {
+                    kind,
+                    message: r.string()?,
+                }
+            }
+            _ => return Err(corrupt("unknown reply tag")),
+        };
+        r.done()?;
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_rep(rep: Reply) {
+        assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_req(Request::Bes);
+        roundtrip_req(Request::Ees);
+        roundtrip_req(Request::Rollback);
+        roundtrip_req(Request::Check);
+        roundtrip_req(Request::Lint);
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Digest);
+        roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Query("Type(T, N, S)".into()));
+        roundtrip_req(Request::Op(EvolutionOp::Define(
+            "schema S is end schema S;".into(),
+        )));
+        roundtrip_req(Request::Op(EvolutionOp::AddAttr {
+            ty: "Car@CarSchema".into(),
+            name: "fuelType".into(),
+            domain: "string".into(),
+        }));
+        roundtrip_req(Request::Op(EvolutionOp::DelAttr {
+            ty: "Car@CarSchema".into(),
+            name: "λ-unicode".into(),
+        }));
+        roundtrip_req(Request::Op(EvolutionOp::DelType {
+            ty: "Truck".into(),
+            semantics: "cascade".into(),
+        }));
+    }
+
+    #[test]
+    fn all_replies_roundtrip() {
+        roundtrip_rep(Reply::Ok("BES".into()));
+        roundtrip_rep(Reply::Committed {
+            epoch: 42,
+            changes: 7,
+        });
+        roundtrip_rep(Reply::Violations(vec!["v1".into(), "v2".into()]));
+        roundtrip_rep(Reply::Rows {
+            names: vec!["T".into(), "N".into()],
+            rows: vec![
+                vec!["tid1".into(), "Car".into()],
+                vec![String::new(), "λ".into()],
+            ],
+        });
+        for kind in [
+            ErrorKind::Busy,
+            ErrorKind::Protocol,
+            ErrorKind::BadRequest,
+            ErrorKind::Internal,
+        ] {
+            roundtrip_rep(Reply::err(kind, "boom"));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let full = Request::Op(EvolutionOp::AddAttr {
+            ty: "Car@S".into(),
+            name: "a".into(),
+            domain: "int".into(),
+        })
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Request::decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+        let full = Reply::Rows {
+            names: vec!["X".into()],
+            rows: vec![vec!["1".into()]],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Reply::decode(&full[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let payload = Request::Query("Attr(T, N, D)".into()).encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let got = read_frame(&mut cursor).unwrap().expect("frame");
+        assert_eq!(got, payload);
+        // Clean EOF at a boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        // A flipped payload byte fails the CRC.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let mut cursor = std::io::Cursor::new(bad);
+        assert!(read_frame(&mut cursor).is_err());
+        // A torn header is an error, not a hang or a panic.
+        let mut cursor = std::io::Cursor::new(buf[..5].to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+        // An oversized length field is rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn verbs_are_stable() {
+        assert_eq!(Request::Bes.verb(), "bes");
+        assert_eq!(Request::Query(String::new()).verb(), "query");
+        assert_eq!(ErrorKind::Busy.name(), "busy");
+    }
+}

@@ -1,0 +1,423 @@
+//! Deterministic concurrency suite for gomd.
+//!
+//! Four properties, each proven at 1 and 4 reader threads:
+//!
+//! 1. Readers during an open evolution session see the pre-session epoch.
+//! 2. Readers after a committed EES see the new epoch.
+//! 3. A second writer times out with a typed `Busy` error.
+//! 4. A killed, journal-backed daemon recovers with a state digest
+//!    bit-identical to the last committed epoch.
+//!
+//! Determinism comes from *happens-before edges*, not sleeps: every
+//! assertion runs after an explicit reply from the server, so the tests
+//! are ordering-forced rather than timing-lucky.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gom_server::server::{serve, Config, ServerHandle};
+use gom_server::wire::{ErrorKind, EvolutionOp, Reply, Request};
+use gom_server::Client;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const CAR_SCHEMA: &str = "\
+schema CarSchema is
+  type Car is
+    [ maxspeed : float;
+      milage   : float; ]
+  end type Car;
+end schema CarSchema;
+";
+
+struct TestDirs {
+    root: PathBuf,
+}
+
+impl TestDirs {
+    fn new(tag: &str) -> TestDirs {
+        let root = std::env::temp_dir().join(format!("gomd_{}_{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        TestDirs { root }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Drop for TestDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn start_in_memory(socket: &std::path::Path) -> ServerHandle {
+    serve(Config::in_memory(socket)).expect("server start")
+}
+
+fn connect(socket: &std::path::Path) -> Client {
+    Client::connect_within(socket, Duration::from_secs(5)).expect("connect")
+}
+
+fn ok_text(reply: Reply) -> String {
+    match reply {
+        Reply::Ok(s) => s,
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn committed_epoch(reply: Reply) -> u64 {
+    match reply {
+        Reply::Committed { epoch, .. } => epoch,
+        other => panic!("expected Committed, got {other:?}"),
+    }
+}
+
+/// `Digest` → (epoch, digest-body).
+fn digest(client: &mut Client) -> (u64, String) {
+    let text = ok_text(client.request(&Request::Digest).unwrap());
+    let (header, body) = text.split_once('\n').expect("digest header");
+    let epoch = header
+        .strip_prefix("epoch ")
+        .expect("epoch prefix")
+        .parse()
+        .expect("epoch number");
+    (epoch, body.to_string())
+}
+
+fn reader_isolation_with(n_readers: usize) {
+    let dirs = TestDirs::new(&format!("iso{n_readers}"));
+    let sock = dirs.path("gomd.sock");
+    let server = start_in_memory(&sock);
+
+    // Baseline state at epoch 1: CarSchema committed.
+    let mut writer = connect(&sock);
+    let e1 = committed_epoch(
+        writer
+            .request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+    assert_eq!(e1, 1);
+    let pre: Vec<(u64, String)> = (0..n_readers)
+        .map(|_| digest(&mut connect(&sock)))
+        .collect();
+
+    // Open a session and mutate — do NOT commit yet.
+    ok_text(writer.request(&Request::Bes).unwrap());
+    ok_text(
+        writer
+            .request(&Request::Op(EvolutionOp::AddAttr {
+                ty: "Car@CarSchema".into(),
+                name: "fuelType".into(),
+                domain: "string".into(),
+            }))
+            .unwrap(),
+    );
+
+    // Property 1: N concurrent readers, each a fresh connection, all see
+    // the pre-session epoch and digest. The writer's reply to the op is
+    // the happens-before edge: the mutation is definitely applied in the
+    // live manager when these readers run.
+    let handles: Vec<_> = (0..n_readers)
+        .map(|_| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut r = connect(&sock);
+                let d = digest(&mut r);
+                // Snapshot queries also see pre-session state: no
+                // fuelType attribute fact yet.
+                let rows = match r.request(&Request::Query("Attr(T, N, D)".into())).unwrap() {
+                    Reply::Rows { rows, .. } => rows,
+                    other => panic!("expected rows, got {other:?}"),
+                };
+                let has_fuel = rows.iter().any(|row| row.iter().any(|c| c == "fuelType"));
+                (d, has_fuel)
+            })
+        })
+        .collect();
+    for (h, expected) in handles.into_iter().zip(&pre) {
+        let ((epoch, dig), has_fuel) = h.join().unwrap();
+        assert_eq!((epoch, &dig), (expected.0, &expected.1));
+        assert_eq!(epoch, 1, "mid-session reader pinned to pre-session epoch");
+        assert!(!has_fuel, "open session must be invisible to snapshots");
+    }
+
+    // Property 2: commit, then the same count of fresh readers see epoch 2
+    // and the new attribute.
+    let e2 = committed_epoch(writer.request(&Request::Ees).unwrap());
+    assert_eq!(e2, 2);
+    let handles: Vec<_> = (0..n_readers)
+        .map(|_| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut r = connect(&sock);
+                let d = digest(&mut r);
+                let rows = match r.request(&Request::Query("Attr(T, N, D)".into())).unwrap() {
+                    Reply::Rows { rows, .. } => rows,
+                    other => panic!("expected rows, got {other:?}"),
+                };
+                let has_fuel = rows.iter().any(|row| row.iter().any(|c| c == "fuelType"));
+                (d, has_fuel)
+            })
+        })
+        .collect();
+    for h in handles {
+        let ((epoch, dig), has_fuel) = h.join().unwrap();
+        assert_eq!(epoch, 2, "post-EES reader sees the committed epoch");
+        assert_ne!(dig, pre[0].1, "digest moved with the commit");
+        assert!(has_fuel, "committed change visible to snapshots");
+    }
+
+    server.stop();
+}
+
+#[test]
+fn readers_isolated_one_thread() {
+    reader_isolation_with(1);
+}
+
+#[test]
+fn readers_isolated_four_threads() {
+    reader_isolation_with(4);
+}
+
+fn writer_timeout_with(n_contenders: usize) {
+    let dirs = TestDirs::new(&format!("busy{n_contenders}"));
+    let sock = dirs.path("gomd.sock");
+    // Short timeout so the Busy path is fast and deterministic.
+    let mut cfg = Config::in_memory(&sock);
+    cfg.session_timeout = Duration::from_millis(50);
+    let server = serve(cfg).expect("server start");
+
+    let mut holder = connect(&sock);
+    ok_text(holder.request(&Request::Bes).unwrap());
+
+    // Property 3: every contender gets a typed Busy, not a hang and not a
+    // protocol error; the holder's session survives the contention.
+    let handles: Vec<_> = (0..n_contenders)
+        .map(|_| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut c = connect(&sock);
+                c.request(&Request::Bes).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        match h.join().unwrap() {
+            Reply::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Busy);
+                assert!(message.contains("session held"), "message: {message}");
+            }
+            other => panic!("expected Busy error, got {other:?}"),
+        }
+    }
+
+    // The holder still owns the session: an op and a rollback both work.
+    ok_text(
+        holder
+            .request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+    ok_text(holder.request(&Request::Rollback).unwrap());
+
+    // After release, a former contender can begin at once.
+    let mut late = connect(&sock);
+    ok_text(late.request(&Request::Bes).unwrap());
+    ok_text(late.request(&Request::Rollback).unwrap());
+
+    server.stop();
+}
+
+#[test]
+fn writer_timeout_one_contender() {
+    writer_timeout_with(1);
+}
+
+#[test]
+fn writer_timeout_four_contenders() {
+    writer_timeout_with(4);
+}
+
+fn kill_recover_with(n_readers: usize) {
+    let dirs = TestDirs::new(&format!("recover{n_readers}"));
+    let sock = dirs.path("gomd.sock");
+    let journal = dirs.path("schema.journal");
+
+    let mut cfg = Config::in_memory(&sock);
+    cfg.store = Some(journal.clone());
+    let server = serve(cfg).expect("server start");
+
+    let mut writer = connect(&sock);
+    committed_epoch(
+        writer
+            .request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+    committed_epoch(
+        writer
+            .request(&Request::Op(EvolutionOp::AddAttr {
+                ty: "Car@CarSchema".into(),
+                name: "fuelType".into(),
+                domain: "string".into(),
+            }))
+            .unwrap(),
+    );
+    // An uncommitted session on top: must NOT survive the kill.
+    ok_text(writer.request(&Request::Bes).unwrap());
+    ok_text(
+        writer
+            .request(&Request::Op(EvolutionOp::AddAttr {
+                ty: "Car@CarSchema".into(),
+                name: "doomed".into(),
+                domain: "int".into(),
+            }))
+            .unwrap(),
+    );
+
+    let committed_digest = digest(&mut connect(&sock));
+
+    // "Kill": tear the daemon down with the session still open. The
+    // journal's write-ahead property makes this equivalent to a crash at
+    // this point — the open session is a dangling Bes in the log.
+    drop(writer);
+    server.stop();
+
+    // Property 4: the recovered daemon republishes the last committed
+    // state; N readers all observe a digest bit-identical to the one
+    // captured before the kill.
+    let mut cfg = Config::in_memory(&sock);
+    cfg.store = Some(journal);
+    let server = serve(cfg).expect("server restart");
+    let handles: Vec<_> = (0..n_readers)
+        .map(|_| {
+            let sock = sock.clone();
+            std::thread::spawn(move || digest(&mut connect(&sock)))
+        })
+        .collect();
+    for h in handles {
+        let (epoch, dig) = h.join().unwrap();
+        assert_eq!(epoch, 0, "recovered daemon restarts its epoch counter");
+        assert_eq!(
+            dig, committed_digest.1,
+            "recovered digest must be bit-identical to the last committed epoch"
+        );
+    }
+
+    // The doomed session is gone: a fresh session sees no `doomed` attr
+    // and can commit cleanly.
+    let mut c = connect(&sock);
+    let rows = match c.request(&Request::Query("Attr(T, N, D)".into())).unwrap() {
+        Reply::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert!(rows.iter().any(|r| r.iter().any(|cell| cell == "fuelType")));
+    assert!(!rows.iter().any(|r| r.iter().any(|cell| cell == "doomed")));
+
+    server.stop();
+}
+
+#[test]
+fn kill_recover_one_reader() {
+    kill_recover_with(1);
+}
+
+#[test]
+fn kill_recover_four_readers() {
+    kill_recover_with(4);
+}
+
+/// Session abandonment: a connection that drops mid-session must not
+/// wedge the daemon — the lock is released and the session rolled back.
+#[test]
+fn dropped_connection_releases_the_session() {
+    let dirs = TestDirs::new("hangup");
+    let sock = dirs.path("gomd.sock");
+    let server = start_in_memory(&sock);
+
+    {
+        let mut doomed = connect(&sock);
+        ok_text(doomed.request(&Request::Bes).unwrap());
+        ok_text(
+            doomed
+                .request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+                .unwrap(),
+        );
+        // Dropped here without Ees or Rollback.
+    }
+
+    // A new writer can begin (the server noticed the hangup); the
+    // abandoned session's work is gone.
+    let mut w = connect(&sock);
+    ok_text(w.request(&Request::Bes).unwrap());
+    let rows = match w.request(&Request::Query("Schema(S, N)".into())).unwrap() {
+        Reply::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert!(
+        !rows
+            .iter()
+            .any(|r| r.iter().any(|cell| cell == "CarSchema")),
+        "abandoned session must be rolled back"
+    );
+    ok_text(w.request(&Request::Rollback).unwrap());
+    server.stop();
+}
+
+/// EES with violations keeps the session (and lock) open for repairs,
+/// while readers stay on the pre-session epoch throughout.
+#[test]
+fn inconsistent_ees_keeps_session_open() {
+    let dirs = TestDirs::new("violations");
+    let sock = dirs.path("gomd.sock");
+    let server = start_in_memory(&sock);
+
+    let mut w = connect(&sock);
+    committed_epoch(
+        w.request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+
+    ok_text(w.request(&Request::Bes).unwrap());
+    // Deleting Car under `restrict` semantics fails inside the op (the
+    // key constraint references it), so force an inconsistency instead:
+    // add an attribute whose domain is then deleted is complex — simplest
+    // deterministic violation: delete the type under `orphan`, leaving
+    // the key constraint's subject dangling.
+    let del = w
+        .request(&Request::Op(EvolutionOp::DelType {
+            ty: "Car@CarSchema".into(),
+            semantics: "orphan".into(),
+        }))
+        .unwrap();
+    assert!(matches!(del, Reply::Ok(_)), "got {del:?}");
+
+    match w.request(&Request::Ees).unwrap() {
+        Reply::Violations(v) => assert!(!v.is_empty(), "orphaned references must violate"),
+        other => panic!("expected Violations, got {other:?}"),
+    }
+
+    // Session is still open: a competing Bes is Busy, readers still at
+    // epoch 1.
+    let mut other = connect(&sock);
+    match other.request(&Request::Bes).unwrap() {
+        Reply::Error { kind, .. } => assert_eq!(kind, ErrorKind::Busy),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let (epoch, _) = digest(&mut connect(&sock));
+    assert_eq!(epoch, 1);
+
+    // Rollback clears it; the schema is intact.
+    ok_text(w.request(&Request::Rollback).unwrap());
+    let rows = match connect(&sock)
+        .request(&Request::Query("Type(T, N, S)".into()))
+        .unwrap()
+    {
+        Reply::Rows { rows, .. } => rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert!(rows.iter().any(|r| r.iter().any(|c| c == "Car")));
+
+    server.stop();
+}

@@ -69,6 +69,23 @@ impl<B: Backend> Backend for FailpointWriter<B> {
     fn read_all(&mut self) -> std::io::Result<Vec<u8>> {
         self.inner.read_all()
     }
+
+    /// Rotation is atomic at the medium level (tmp file + rename), so the
+    /// failure model is all-or-nothing: if the whole replacement fits in
+    /// the remaining budget it lands completely, otherwise the "crash"
+    /// happens before the rename and the inner stream is left untouched.
+    fn rotate(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if self.tripped {
+            return Err(Self::crash());
+        }
+        if (bytes.len() as u64) <= self.remaining {
+            self.remaining -= bytes.len() as u64;
+            return self.inner.rotate(bytes);
+        }
+        self.tripped = true;
+        self.remaining = 0;
+        Err(Self::crash())
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +108,21 @@ mod tests {
         assert!(fp.append(b"x").is_err());
         assert!(fp.sync().is_err());
         assert_eq!(mem.bytes(), b"abcde");
+    }
+
+    #[test]
+    fn rotate_is_all_or_nothing() {
+        let mem = MemBackend::new();
+        mem.set_bytes(b"old journal".to_vec());
+        // Budget one byte short of the replacement: nothing may change.
+        let mut fp = FailpointWriter::new(mem.clone(), 10);
+        assert!(fp.rotate(b"replacement").is_err());
+        assert!(fp.tripped());
+        assert_eq!(mem.bytes(), b"old journal");
+        // Budget exactly the replacement: it lands completely.
+        let mut fp = FailpointWriter::new(mem.clone(), 11);
+        fp.rotate(b"replacement").unwrap();
+        assert_eq!(mem.bytes(), b"replacement");
     }
 
     #[test]

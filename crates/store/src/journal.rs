@@ -47,22 +47,68 @@ pub trait Backend: Send {
     fn truncate(&mut self, len: u64) -> std::io::Result<()>;
     /// Read the entire current contents.
     fn read_all(&mut self) -> std::io::Result<Vec<u8>>;
+    /// Replace the entire stream with `bytes`, as atomically as the medium
+    /// allows, and leave the result durable. File backends write a fresh
+    /// file, fsync it, and rename it over the old journal; a crash at any
+    /// point leaves either the complete old stream or the complete new one,
+    /// never a mixture. The default (for simple media where replacement is
+    /// inherently atomic or atomicity is untestable) is
+    /// truncate-append-sync.
+    fn rotate(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.truncate(0)?;
+        self.append(bytes)?;
+        self.sync()
+    }
 }
 
 /// A journal stored in a real file.
 pub struct FileBackend {
     file: std::fs::File,
+    path: std::path::PathBuf,
 }
 
 impl FileBackend {
-    /// Open (or create) the journal file at `path`.
+    /// Open (or create) the journal file at `path`. A stale `<path>.tmp`
+    /// left behind by a crash mid-rotation (before the atomic rename) is
+    /// removed: the old journal is still complete, so the half-written
+    /// replacement is garbage.
     pub fn open(path: &Path) -> std::io::Result<FileBackend> {
+        let tmp = Self::tmp_path(path);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)?;
+        }
         let file = std::fs::OpenOptions::new()
             .read(true)
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(FileBackend { file })
+        Ok(FileBackend {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn tmp_path(path: &Path) -> std::path::PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    }
+
+    /// Fsync the journal's parent directory so a just-renamed file is
+    /// durable under the old name's entry. Best effort: some filesystems
+    /// refuse to fsync directories, which is not worth failing a rotation
+    /// over.
+    fn sync_dir(&self) {
+        if let Some(parent) = self.path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
     }
 }
 
@@ -86,6 +132,30 @@ impl Backend for FileBackend {
         self.file.read_to_end(&mut buf)?;
         self.file.seek(SeekFrom::End(0))?;
         Ok(buf)
+    }
+
+    /// Crash-safe file rotation: write the replacement to `<path>.tmp`,
+    /// fsync it, rename it over the journal (atomic on POSIX), fsync the
+    /// directory, and switch the open handle to the new file. A crash
+    /// before the rename leaves the old journal untouched (the stale tmp
+    /// is swept on the next open); a crash after it leaves the complete
+    /// new journal.
+    fn rotate(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = Self::tmp_path(&self.path);
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.sync_dir();
+        self.file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.file.seek(SeekFrom::End(0)).map(|_| ())
     }
 }
 
@@ -369,6 +439,26 @@ impl Journal {
         Ok(self.pos)
     }
 
+    /// Rotate the journal: replace the entire stream with a fresh image
+    /// holding just the magic and `record` (normally a
+    /// [`Record::Snapshot`]), so the file stops growing with history the
+    /// snapshot already subsumes. The replacement is crash-safe and always
+    /// durable on return, whatever the sync policy: a rotation that could
+    /// be half-lost would corrupt the *whole* journal, not just a tail.
+    /// Returns the new end offset.
+    pub fn rotate(&mut self, record: &Record) -> StoreResult<u64> {
+        let mut image = Vec::with_capacity(MAGIC.len() + 64);
+        image.extend_from_slice(MAGIC);
+        image.extend_from_slice(&record.encode_framed());
+        self.backend.rotate(&image)?;
+        self.pos = image.len() as u64;
+        if gom_obs::enabled() {
+            gom_obs::counter_add("journal.rotations", 1);
+            gom_obs::counter_add("journal.bytes", image.len() as u64);
+        }
+        Ok(self.pos)
+    }
+
     /// Durability barrier at a session boundary: syncs under
     /// [`SyncPolicy::OnCommit`] and [`SyncPolicy::Always`].
     pub fn boundary_sync(&mut self) -> StoreResult<()> {
@@ -467,6 +557,57 @@ mod tests {
         assert!(r.snapshot.is_some());
         assert_eq!(r.sessions_replayed, 1); // only the post-snapshot session
         assert_eq!(r.ops.len(), 1);
+    }
+
+    #[test]
+    fn rotate_replaces_history_with_one_record() {
+        let mem = MemBackend::new();
+        let (mut j, _) = Journal::open(Box::new(mem.clone()), SyncPolicy::OnCommit).unwrap();
+        write_session(&mut j, &[op(true, "P", &[1]), op(true, "P", &[2])], true);
+        write_session(&mut j, &[op(false, "P", &[1])], true);
+        let history_len = j.position();
+        let snap = Record::Snapshot(vec![SnapshotPred {
+            pred: "P".into(),
+            arity: 1,
+            rows: vec![vec![JConst::Int(2)]],
+        }]);
+        let pos = j.rotate(&snap).unwrap();
+        assert!(pos < history_len, "rotation must shrink the journal");
+        assert_eq!(mem.bytes().len() as u64, pos);
+        assert_eq!(pos, (MAGIC.len() + snap.encode_framed().len()) as u64);
+        let (_, r) = Journal::open(Box::new(mem.clone()), SyncPolicy::OnCommit).unwrap();
+        assert!(r.snapshot.is_some());
+        assert_eq!(r.sessions_replayed, 0);
+        assert!(r.ops.is_empty());
+        assert!(r.torn.is_none());
+    }
+
+    #[test]
+    fn file_backend_rotates_atomically_and_sweeps_stale_tmp() {
+        let dir = std::env::temp_dir().join(format!("gom_store_rot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.gom");
+        let tmp = dir.join("j.gom.tmp");
+
+        let backend = FileBackend::open(&path).unwrap();
+        let (mut j, _) = Journal::open(Box::new(backend), SyncPolicy::OnCommit).unwrap();
+        write_session(&mut j, &[op(true, "P", &[1])], true);
+        j.rotate(&Record::Snapshot(vec![])).unwrap();
+        assert!(!tmp.exists(), "rotation must not leave its tmp file");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), j.position());
+        // The rotated file keeps accepting appends.
+        write_session(&mut j, &[op(true, "P", &[2])], true);
+        drop(j);
+
+        // A stale tmp (crash before rename) is swept; the journal scans.
+        std::fs::write(&tmp, b"garbage").unwrap();
+        let backend = FileBackend::open(&path).unwrap();
+        assert!(!tmp.exists());
+        let (_, r) = Journal::open(Box::new(backend), SyncPolicy::OnCommit).unwrap();
+        assert!(r.snapshot.is_some());
+        assert_eq!(r.sessions_replayed, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -64,6 +64,42 @@ step "fault-injection sweep (journal crash recovery)"
 cargo test --release --test recovery_fault_injection
 cargo test -p gom-deductive --release --test session_atomicity
 
+# The daemon must survive a full client session over the wire, with every
+# request traced: spawn gomd on a temp socket, drive a scripted
+# BES/op/EES/query/stats session through gomsh --connect, and require
+# server.request spans in the obs trace.
+step "gomd server smoke test (release, scripted gomsh --connect session)"
+server_tmp="$(mktemp -d)"
+{
+  echo "begin"
+  echo "load scripts/car_schema.gom"
+  echo "end"
+  echo "add-attr Car@CarSchema smokeAttr string"
+  echo "query Attr(T, N, D)"
+  echo "check"
+  echo "digest"
+  echo "stats"
+  echo "shutdown"
+} > "$server_tmp/session.gsh"
+cargo run --release -q --bin gomsh -- \
+  --serve "$server_tmp/gomd.sock" --store "$server_tmp/db.gomj" \
+  --trace "$server_tmp/server-trace.jsonl" > "$server_tmp/server.log" 2>&1 &
+server_pid=$!
+cargo run --release -q --bin gomsh -- \
+  --connect "$server_tmp/gomd.sock" "$server_tmp/session.gsh" \
+  > "$server_tmp/client.log"
+wait "$server_pid"
+grep -q "EES — consistent, committed" "$server_tmp/client.log" \
+  || { echo "MISSING commit confirmation in client log"; cat "$server_tmp/client.log"; exit 1; }
+grep -q "smokeAttr" "$server_tmp/client.log" \
+  || { echo "MISSING autocommitted attribute in query output"; exit 1; }
+for span in "server.request:bes" "server.request:ees" "server.request:query" \
+            "server.request:stats" "epoch.publish"; do
+  grep -q "$span" "$server_tmp/server-trace.jsonl" \
+    || { echo "MISSING $span in server trace"; exit 1; }
+done
+rm -rf "$server_tmp"
+
 step "bench harness compiles"
 cargo bench --workspace --no-run
 
@@ -71,14 +107,15 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy -D warnings"
   cargo clippy --all-targets -- -D warnings
 
-  # The durable store must not contain a single unwrap: recovery code runs
-  # on arbitrary bytes and has no business panicking.
-  step "cargo clippy -p gom-store -D clippy::unwrap_used"
-  cargo clippy -p gom-store -- -D warnings -D clippy::unwrap_used
-
-  # The observability layer sits on every hot path; it must never panic.
-  step "cargo clippy -p gom-obs -D clippy::unwrap_used"
-  cargo clippy -p gom-obs -- -D warnings -D clippy::unwrap_used
+  # Panic-containment gate: gom-store (recovery runs on arbitrary bytes),
+  # gom-obs (on every hot path), gom-server (a panic takes down all
+  # sessions) and gom-runtime (executes user method code) all deny
+  # unwrap/expect via [lints.clippy] in their own Cargo.toml, so a plain
+  # per-package clippy run enforces it without leaking the deny into
+  # workspace dependencies.
+  step "cargo clippy unwrap/expect gate (store, obs, server, runtime)"
+  cargo clippy -p gom-store -p gom-obs -p gom-server -p gom-runtime \
+    --all-targets -- -D warnings
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

@@ -18,6 +18,13 @@
 //! cargo run --bin gomsh lint <file> [--json] [--deny error|warn|note]
 //!                                      # static analysis of a deductive
 //!                                      # program; nonzero exit on denial
+//! cargo run --bin gomsh -- --serve /tmp/gomd.sock [--store db.gomj]
+//!                                      # host gomd: a concurrent schema
+//!                                      # service on a Unix socket
+//! cargo run --bin gomsh -- --connect /tmp/gomd.sock
+//!                                      # remote shell against a daemon
+//!                                      # (--session-timeout <ms> bounds
+//!                                      # the wait for the writer lock)
 //! ```
 //!
 //! Commands:
@@ -120,6 +127,211 @@ fn render_timing(diff: &gom_obs::Snapshot) -> String {
     gom_obs::render_table(&keep)
 }
 
+/// `gomsh --serve <sock>`: host a gomd daemon on a Unix socket. Runs
+/// until a client sends `shutdown`. With `--store` the daemon is durable
+/// and recovers the last committed epoch on restart.
+fn serve_main(
+    sock: &str,
+    store_path: Option<String>,
+    sync: SyncPolicy,
+    session_timeout: std::time::Duration,
+) -> i32 {
+    let config = gomflex::server::Config {
+        socket: std::path::PathBuf::from(sock),
+        store: store_path.map(std::path::PathBuf::from),
+        sync,
+        session_timeout,
+    };
+    match gomflex::server::serve(config) {
+        Ok(handle) => {
+            println!("gomd listening on {sock} (epoch {})", handle.epoch());
+            handle.join();
+            if gom_obs::trace_attached() {
+                gom_obs::flush_trace();
+                gom_obs::clear_trace();
+            }
+            println!("gomd stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("gomsh: cannot serve on {sock}: {e}");
+            1
+        }
+    }
+}
+
+/// `gomsh --connect <sock>`: a remote shell speaking gom-wire/v1. The
+/// verbs mirror the local shell where they make sense on a shared
+/// service; object-level commands stay local-only.
+fn connect_main(sock: &str, script: Option<String>) -> i32 {
+    use gomflex::server::{Client, EvolutionOp, Reply, Request};
+    let mut client = match Client::connect_within(
+        std::path::Path::new(sock),
+        std::time::Duration::from_secs(5),
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gomsh: cannot connect to {sock}: {e}");
+            return 1;
+        }
+    };
+    let interactive = script.is_none();
+    let reader: Box<dyn BufRead> = if let Some(path) = &script {
+        match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("gomsh: cannot open {path}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    };
+    if interactive {
+        println!("gomsh — connected to gomd at {sock}");
+        println!("type `help` for commands");
+    }
+    let mut status = 0;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        if interactive {
+            // Scripts echo nothing; interactive mode shows the prompt line.
+        } else {
+            println!("> {line}");
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let (cmd, rest) = (words[0], &words[1..]);
+        let request = match cmd {
+            "quit" | "exit" => break,
+            "help" => {
+                println!(
+                    "remote commands:\n  \
+                     begin | end | rollback      session control (BES / EES / undo)\n  \
+                     load <file>                 send local GOM source into the session\n  \
+                     add-attr T@S <name> <dom>   primitive: add attribute\n  \
+                     del-attr T@S <name>         primitive: delete attribute\n  \
+                     del-type T@S <semantics>    restrict|reconnect|cascade|cascade-objects|orphan\n  \
+                     query <body>                datalog query against the published snapshot\n  \
+                     check                       consistency check of the published snapshot\n  \
+                     lint                        lint the published snapshot\n  \
+                     digest                      epoch + state digest of the published snapshot\n  \
+                     stats                       server-side obs table\n  \
+                     shutdown                    stop the daemon\n  \
+                     help | quit"
+                );
+                continue;
+            }
+            "begin" | "bes" => Request::Bes,
+            "end" | "ees" => Request::Ees,
+            "rollback" => Request::Rollback,
+            "load" => {
+                let Some(path) = rest.first() else {
+                    eprintln!("usage: load <file>");
+                    status = 1;
+                    continue;
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(src) => Request::Op(EvolutionOp::Define(src)),
+                    Err(e) => {
+                        eprintln!("gomsh: cannot read {path}: {e}");
+                        status = 1;
+                        continue;
+                    }
+                }
+            }
+            "add-attr" => {
+                let [ty, name, dom] = rest[..] else {
+                    eprintln!("usage: add-attr T@S <name> <domain>");
+                    status = 1;
+                    continue;
+                };
+                Request::Op(EvolutionOp::AddAttr {
+                    ty: ty.into(),
+                    name: name.into(),
+                    domain: dom.into(),
+                })
+            }
+            "del-attr" => {
+                let [ty, name] = rest[..] else {
+                    eprintln!("usage: del-attr T@S <name>");
+                    status = 1;
+                    continue;
+                };
+                Request::Op(EvolutionOp::DelAttr {
+                    ty: ty.into(),
+                    name: name.into(),
+                })
+            }
+            "del-type" => {
+                let [ty, sem] = rest[..] else {
+                    eprintln!("usage: del-type T@S <semantics>");
+                    status = 1;
+                    continue;
+                };
+                Request::Op(EvolutionOp::DelType {
+                    ty: ty.into(),
+                    semantics: sem.into(),
+                })
+            }
+            "query" => Request::Query(rest.join(" ")),
+            "check" => Request::Check,
+            "lint" => Request::Lint,
+            "digest" => Request::Digest,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => {
+                eprintln!("gomsh: unknown remote command `{other}` (try `help`)");
+                status = 1;
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        match client.request(&request) {
+            Ok(Reply::Ok(text)) => {
+                if text.is_empty() {
+                    println!("ok");
+                } else {
+                    println!("{text}");
+                }
+            }
+            Ok(Reply::Committed { epoch, changes }) => {
+                println!("EES — consistent, committed ({changes} change(s)) → epoch {epoch}");
+            }
+            Ok(Reply::Violations(v)) if v.is_empty() => println!("consistent"),
+            Ok(Reply::Violations(v)) => {
+                println!("{} violation(s); session stays open:", v.len());
+                for (i, line) in v.iter().enumerate() {
+                    println!("  [{i}] {line}");
+                }
+                println!("use `rollback` or repair locally and `end` again");
+            }
+            Ok(Reply::Rows { names, rows }) => {
+                println!("{}", names.join("\t"));
+                for row in &rows {
+                    println!("{}", row.join("\t"));
+                }
+                println!("({} row(s))", rows.len());
+            }
+            Ok(Reply::Error { kind, message }) => {
+                eprintln!("error ({}): {message}", kind.name());
+                status = 1;
+            }
+            Err(e) => {
+                eprintln!("gomsh: connection lost: {e}");
+                return 1;
+            }
+        }
+        if shutdown {
+            break;
+        }
+    }
+    status
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
@@ -129,9 +341,33 @@ fn main() {
     let mut sync = SyncPolicy::OnCommit;
     let mut script: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut serve_sock: Option<String> = None;
+    let mut connect_sock: Option<String> = None;
+    let mut session_timeout = std::time::Duration::from_secs(2);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--serve" => {
+                let Some(p) = it.next() else {
+                    eprintln!("gomsh: --serve takes a Unix socket path");
+                    std::process::exit(2);
+                };
+                serve_sock = Some(p.clone());
+            }
+            "--connect" => {
+                let Some(p) = it.next() else {
+                    eprintln!("gomsh: --connect takes a Unix socket path");
+                    std::process::exit(2);
+                };
+                connect_sock = Some(p.clone());
+            }
+            "--session-timeout" => {
+                let Some(ms) = it.next().and_then(|m| m.parse::<u64>().ok()) else {
+                    eprintln!("gomsh: --session-timeout takes milliseconds");
+                    std::process::exit(2);
+                };
+                session_timeout = std::time::Duration::from_millis(ms);
+            }
             "--store" => {
                 let Some(p) = it.next() else {
                     eprintln!("gomsh: --store takes a journal path");
@@ -173,6 +409,16 @@ fn main() {
             std::process::exit(1);
         }
         gom_obs::set_enabled(true);
+    }
+    if serve_sock.is_some() && connect_sock.is_some() {
+        eprintln!("gomsh: --serve and --connect are mutually exclusive");
+        std::process::exit(2);
+    }
+    if let Some(sock) = serve_sock {
+        std::process::exit(serve_main(&sock, store_path, sync, session_timeout));
+    }
+    if let Some(sock) = connect_sock {
+        std::process::exit(connect_main(&sock, script));
     }
     let mgr = match &store_path {
         Some(p) => match SchemaManager::open(std::path::Path::new(p), sync) {
@@ -733,30 +979,7 @@ impl Shell {
     }
 
     fn resolve_type(&mut self, r: &str) -> Result<TypeId, String> {
-        if let Some(t) = self.mgr.meta.type_at(r) {
-            return Ok(t);
-        }
-        if let Some(t) = self.mgr.meta.builtins.by_name(r) {
-            return Ok(t);
-        }
-        // unique unqualified name across schemas?
-        let mut hits = Vec::new();
-        let rel = self.mgr.meta.db.relation(self.mgr.meta.cat.schema);
-        let sids: Vec<SchemaId> = rel
-            .sorted()
-            .iter()
-            .filter_map(|t| t.get(0).as_sym().map(SchemaId))
-            .collect();
-        for sid in sids {
-            if let Some(t) = self.mgr.meta.type_by_name(sid, r) {
-                hits.push(t);
-            }
-        }
-        match hits.len() {
-            1 => Ok(hits[0]),
-            0 => Err(format!("unknown type `{r}` (use Name@Schema)")),
-            _ => Err(format!("ambiguous type `{r}` (use Name@Schema)")),
-        }
+        self.mgr.meta.resolve_type_ref(r).map_err(|e| e.to_string())
     }
 
     fn resolve_oid(&mut self, s: &str) -> Result<Oid, String> {

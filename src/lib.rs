@@ -19,6 +19,7 @@
 //! | [`evolution`] | primitive/complex evolution ops, versioning, baselines |
 //! | [`lint`] | gom-lint: multi-pass static analysis with structured diagnostics |
 //! | [`obs`] | gom-obs: spans, counters, histograms, JSONL tracing |
+//! | [`server`] | gomd: concurrent schema service (epoch snapshots, gom-wire/v1) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use gom_lint as lint;
 pub use gom_model as model;
 pub use gom_obs as obs;
 pub use gom_runtime as runtime;
+pub use gom_server as server;
 pub use gom_store as store;
 
 /// One-stop imports for applications.

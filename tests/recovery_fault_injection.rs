@@ -65,9 +65,6 @@ fn run_reference(mem: &MemBackend) -> Vec<Boundary> {
     mgr.define_schema(CAR_SCHEMA_SRC).expect("define");
     bounds.push(snap(&mgr, "define CarSchema"));
 
-    mgr.checkpoint().expect("checkpoint");
-    bounds.push(snap(&mgr, "checkpoint"));
-
     let sid = mgr.meta.schema_by_name("CarSchema").expect("schema");
     let car = mgr.meta.type_by_name(sid, "Car").expect("Car");
     let string = mgr.meta.builtins.string;
@@ -91,9 +88,6 @@ fn run_reference(mem: &MemBackend) -> Vec<Boundary> {
     let out = mgr.end_evolution().expect("ees");
     assert!(out.is_consistent(), "{:?}", out.violations());
     bounds.push(snap(&mgr, "add Truck"));
-
-    mgr.checkpoint().expect("final checkpoint");
-    bounds.push(snap(&mgr, "final checkpoint"));
     bounds
 }
 
@@ -103,7 +97,6 @@ fn run_reference(mem: &MemBackend) -> Vec<Boundary> {
 /// here may panic.
 fn run_workload_tolerant(mgr: &mut SchemaManager) {
     let _ = mgr.define_schema(CAR_SCHEMA_SRC);
-    let _ = mgr.checkpoint();
     let string = mgr.meta.builtins.string;
     if let Some(sid) = mgr.meta.schema_by_name("CarSchema") {
         if let Some(car) = mgr.meta.type_by_name(sid, "Car") {
@@ -123,7 +116,6 @@ fn run_workload_tolerant(mgr: &mut SchemaManager) {
             }
         }
     }
-    let _ = mgr.checkpoint();
 }
 
 /// End offsets of every framed record (walking the length prefixes), plus
@@ -361,4 +353,137 @@ fn corrupted_crc_is_truncated_never_replayed() {
     let (mgr2, r) = open_mem(&mem2);
     assert!(!r.recovered_from_crash());
     assert_eq!(mgr2.meta.db.dump_facts(), dump);
+}
+
+/// Checkpoint rotation is all-or-nothing: kill the writer at every byte
+/// budget across the rotation. A failed rotation leaves the old journal
+/// byte-identical (full history, full state); a completed one leaves
+/// exactly the snapshot image. Either way, reopening recovers the same
+/// logical state, and the post-checkpoint file is *smaller* than the
+/// history it replaced (the unbounded-growth bug).
+#[test]
+fn checkpoint_rotation_kill_sweep() {
+    let ref_mem = MemBackend::new();
+    let bounds = run_reference(&ref_mem);
+    let pre_bytes = ref_mem.bytes();
+    let final_dump = &bounds.last().expect("boundaries").dump;
+
+    // Clean rotation first, to learn the rotated image.
+    let rot_mem = MemBackend::new();
+    rot_mem.set_bytes(pre_bytes.clone());
+    let (mut mgr, _) = open_mem(&rot_mem);
+    let rotated_len = mgr.checkpoint().expect("checkpoint") as usize;
+    drop(mgr);
+    let rotated_bytes = rot_mem.bytes();
+    assert_eq!(rotated_bytes.len(), rotated_len);
+    assert!(
+        rotated_len < pre_bytes.len(),
+        "rotation must bound the journal by the snapshot size \
+         ({rotated_len} vs {} bytes of history)",
+        pre_bytes.len()
+    );
+    let (mgr2, r) = open_mem(&rot_mem);
+    assert!(r.snapshot_loaded);
+    assert_eq!(r.sessions_replayed, 0, "the snapshot absorbed all history");
+    assert_eq!(&mgr2.meta.db.dump_facts(), final_dump);
+    drop(mgr2);
+
+    // A second checkpoint must not grow the file: size is bounded by the
+    // snapshot, not by how many checkpoints ever ran.
+    let (mut mgr3, _) = open_mem(&rot_mem);
+    let len2 = mgr3.checkpoint().expect("re-checkpoint") as usize;
+    assert_eq!(len2, rotated_len);
+    drop(mgr3);
+
+    // Kill sweep: allow `extra` bytes through the failpoint, then crash.
+    // The rotation image is written atomically, so every budget below its
+    // size must fail without touching the old journal.
+    for extra in 0..=rotated_len {
+        let mem = MemBackend::new();
+        mem.set_bytes(pre_bytes.clone());
+        let fp = FailpointWriter::new(mem.clone(), extra as u64);
+        let (mut mgr, _) = SchemaManager::open_backend(Box::new(fp), SyncPolicy::OnCommit)
+            .expect("clean journal, open must succeed");
+        let res = mgr.checkpoint();
+        drop(mgr); // crash
+
+        let survived = mem.bytes();
+        if extra < rotated_len {
+            assert!(
+                res.is_err(),
+                "extra={extra}: rotation must report the crash"
+            );
+            assert_eq!(
+                survived, pre_bytes,
+                "extra={extra}: a failed rotation must leave the old journal untouched"
+            );
+        } else {
+            assert_eq!(res.expect("rotation fits the budget"), rotated_len as u64);
+            assert_eq!(
+                survived, rotated_bytes,
+                "extra={extra}: a completed rotation leaves exactly the snapshot image"
+            );
+        }
+        let (mgr, report) = open_mem(&mem);
+        assert_eq!(
+            &mgr.meta.db.dump_facts(),
+            final_dump,
+            "extra={extra}: the logical state survives either outcome"
+        );
+        assert!(!report.discarded_in_flight);
+    }
+
+    // Prefix sweep over the rotated image itself: a cut anywhere inside
+    // the snapshot record recovers to the empty (fresh) state, never to a
+    // half-applied snapshot.
+    let fresh_dump = &bounds[0].dump;
+    for cut in MAGIC.len()..rotated_len {
+        let mem = MemBackend::new();
+        mem.set_bytes(rotated_bytes[..cut].to_vec());
+        let (mgr, report) = open_mem(&mem);
+        assert_eq!(
+            &mgr.meta.db.dump_facts(),
+            fresh_dump,
+            "cut={cut}: torn snapshot must recover to the fresh state"
+        );
+        assert!(report.recovered_from_crash() || cut == MAGIC.len());
+    }
+}
+
+/// Rotation on a real file: crash *before* the atomic rename (modelled by
+/// a stale `<journal>.tmp` next to an intact journal) must be swept on the
+/// next open, with the old journal's state fully recovered.
+#[test]
+fn stale_rotation_tmp_is_swept_on_open() {
+    let dir = std::env::temp_dir().join(format!("gomflex_rot_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("journal.gom");
+    let tmp = dir.join("journal.gom.tmp");
+
+    let (mut mgr, _) = SchemaManager::open(&path, SyncPolicy::OnCommit).expect("open");
+    mgr.define_schema(CAR_SCHEMA_SRC).expect("define");
+    let dump = mgr.meta.db.dump_facts();
+    drop(mgr);
+
+    // A crash between writing the replacement and renaming it leaves a tmp
+    // file of arbitrary (possibly garbage) content beside the real journal.
+    std::fs::write(&tmp, b"half-written snapshot image").expect("write tmp");
+
+    let (mut mgr2, report) = SchemaManager::open(&path, SyncPolicy::OnCommit).expect("reopen");
+    assert!(!tmp.exists(), "stale rotation tmp must be removed on open");
+    assert_eq!(mgr2.meta.db.dump_facts(), dump);
+    assert_eq!(report.sessions_replayed, 1);
+
+    // And a real checkpoint on the file backend rotates in place.
+    let before = std::fs::metadata(&path).expect("stat").len();
+    let rotated = mgr2.checkpoint().expect("checkpoint");
+    assert_eq!(std::fs::metadata(&path).expect("stat").len(), rotated);
+    assert!(rotated < before);
+    assert!(!tmp.exists(), "rotation must not leave its tmp behind");
+    drop(mgr2);
+    let (mgr3, r) = SchemaManager::open(&path, SyncPolicy::OnCommit).expect("reopen 2");
+    assert!(r.snapshot_loaded);
+    assert_eq!(mgr3.meta.db.dump_facts(), dump);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
