@@ -16,8 +16,10 @@
 //! * `dred_*`       — DRed incremental maintenance of a materialised IDB,
 //! * `query_*`      — ad-hoc conjunctive query against a materialised IDB.
 
-use gom_bench::{synth_manager, SplitMix64, SynthParams};
+use gom_bench::{populate_objects, synth_manager, SplitMix64, SynthParams};
 use gom_deductive::{ChangeSet, Database, Tuple};
+use gomflex::core::SchemaManager;
+use gomflex::impact::{ImpactIndex, PlanConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -111,6 +113,36 @@ fn graph_db(nodes: usize, edges: usize, seed: u64) -> Database {
     db
 }
 
+/// A 500-type synthetic schema with an open evolution session holding a
+/// five-primitive migration delta (new slots on a live representation).
+/// Slot *inserts* provably cannot violate `slot_for_every_attr` — its Slot
+/// dependency is negative — so the polarity-aware footprint lets EES skip
+/// the inherited-attribute join that plain dependency selection reruns.
+fn synth500_session() -> (SchemaManager, ChangeSet) {
+    let (mut mgr, ts) = synth_manager(SynthParams {
+        types: 500,
+        ..Default::default()
+    });
+    populate_objects(&mut mgr, &ts, 1);
+    mgr.begin_evolution().expect("begin session");
+    let clid = mgr
+        .meta
+        .phrep_of(ts[0])
+        .expect("populated type has a PhRep");
+    let val = mgr
+        .meta
+        .builtins
+        .phrep_of(mgr.meta.builtins.int)
+        .expect("builtin PhRep");
+    for i in 0..5 {
+        mgr.meta
+            .add_slot(clid, &format!("mig{i}"), val)
+            .expect("add slot");
+    }
+    let delta = mgr.meta.db.session_delta().expect("session delta");
+    (mgr, delta)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -182,6 +214,13 @@ fn main() {
     let q_edge = qdb.pred_id("Edge").unwrap();
     let q_path = qdb.pred_id("Path").unwrap();
 
+    // ---- impact planner + footprint-gated EES over synth500 ----------------
+    let (mut pmgr, pdelta) = synth500_session();
+    let (mut fmgr, fdelta) = synth500_session();
+    let findex = ImpactIndex::build(&mut fmgr.meta.db).unwrap();
+    let ffp = findex.footprint(&fmgr.meta.db, &fdelta).constraints;
+    let (mut gmgr, gdelta) = synth500_session();
+
     let _ = ts;
     let mut benches: Vec<Bench> = vec![
         Bench {
@@ -226,6 +265,40 @@ fn main() {
                     .unwrap();
                 let v2 = dred_mgr.meta.db.violations_from(&mat).unwrap().len();
                 (v1 + v2) as u64 + 2
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "impact_plan_synth500",
+            run: Box::new(move || {
+                // Cold plan: rebuild the whole impact index (reflect the
+                // program into the meta-EDB, run the meta-fixpoint) and
+                // produce the full plan report for the open session.
+                let index = ImpactIndex::build(&mut pmgr.meta.db).unwrap();
+                let plan =
+                    gomflex::impact::plan(&pmgr.meta.db, &index, &pdelta, &PlanConfig::default());
+                black_box(plan.footprint.len() as u64 + plan.total_constraints as u64)
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "ees_footprint_synth500",
+            run: Box::new(move || {
+                fmgr.meta.db.invalidate_caches();
+                fmgr.meta
+                    .db
+                    .check_delta_filtered(&fdelta, &ffp)
+                    .unwrap()
+                    .len() as u64
+                    + 1
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "ees_full_synth500",
+            run: Box::new(move || {
+                gmgr.meta.db.invalidate_caches();
+                gmgr.meta.db.check_delta(&gdelta).unwrap().len() as u64 + 1
             }),
             units: 0,
         },

@@ -25,4 +25,5 @@ pub mod manager;
 pub use consistency::{install, GOM_CONSTRAINTS, GOM_RULES, SINGLE_INHERITANCE_CONSTRAINT};
 pub use durable::{OpenError, RecoveryReport};
 pub use explain::{explain_op, ExplainedRepair};
+pub use gom_impact::{ClassifiedOp, Footprint, ImpactIndex, PlanConfig, PlanReport};
 pub use manager::{EvolutionOutcome, SchemaManager};

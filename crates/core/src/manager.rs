@@ -16,7 +16,10 @@
 use crate::consistency;
 use crate::explain::{explain_repair, ExplainedRepair};
 use gom_analyzer::lower::{AnalyzeError, Analyzer, LoweredSchema};
-use gom_deductive::{ChangeSet, Error as DbError, Repair, Result as DbResult, Violation};
+use gom_deductive::{
+    ChangeSet, Error as DbError, FxHashSet, Repair, Result as DbResult, Violation,
+};
+use gom_impact::{ImpactIndex, PlanConfig, PlanReport};
 use gom_lint::{Baseline, LintConfig, LintReport, Severity};
 use gom_model::{MetaModel, Oid, TypeId};
 use gom_runtime::{RtResult, Runtime, Value};
@@ -65,6 +68,8 @@ pub struct SchemaManager {
     /// The durable session journal, when opened via
     /// [`SchemaManager::open`] (see [`crate::durable`]).
     store: Option<gom_store::Journal>,
+    /// Cached impact index; rebuilt when the definition fingerprint moves.
+    impact: Option<ImpactIndex>,
 }
 
 impl SchemaManager {
@@ -83,6 +88,7 @@ impl SchemaManager {
             lint_baseline,
             lint_gate: None,
             store: None,
+            impact: None,
         })
     }
 
@@ -141,6 +147,62 @@ impl SchemaManager {
         Ok(())
     }
 
+    // ----- impact analysis -------------------------------------------------
+
+    /// Build or reuse the cached impact index for the current definitions.
+    fn impact_index(&mut self) -> DbResult<&ImpactIndex> {
+        let fresh = self
+            .impact
+            .as_ref()
+            .is_some_and(|i| i.is_fresh(&self.meta.db));
+        if fresh {
+            gom_obs::counter_add("impact.index.hits", 1);
+        } else {
+            self.impact = Some(ImpactIndex::build(&mut self.meta.db)?);
+        }
+        match self.impact.as_ref() {
+            Some(i) => Ok(i),
+            None => Err(DbError::SessionProtocol("impact index unavailable".into())),
+        }
+    }
+
+    /// Pre-EES commit planner: the impact footprint, breaking/non-breaking
+    /// classification, and `L06xx` diagnostics for the currently open
+    /// session's net delta. Requires an open session (it plans the EES you
+    /// have not run yet).
+    pub fn plan(&mut self) -> DbResult<PlanReport> {
+        if !self.in_evolution() {
+            return Err(DbError::SessionProtocol(
+                "no open evolution session (plan runs between BES and EES)".into(),
+            ));
+        }
+        let delta = self.meta.db.session_delta()?;
+        self.impact_index()?;
+        let Some(index) = self.impact.as_ref() else {
+            return Err(DbError::SessionProtocol("impact index unavailable".into()));
+        };
+        Ok(gom_impact::plan(
+            &self.meta.db,
+            index,
+            &delta,
+            &PlanConfig::default(),
+        ))
+    }
+
+    /// The session's impact footprint, used to narrow EES delta-checking.
+    /// `None` when impact analysis fails for any reason — EES then falls
+    /// back to unfiltered delta checking, so planning can never block a
+    /// commit.
+    fn footprint_for(&mut self, delta: &ChangeSet) -> Option<FxHashSet<String>> {
+        self.impact_index().ok()?;
+        let index = self.impact.as_ref()?;
+        let fp = index.footprint(&self.meta.db, delta);
+        if gom_obs::enabled() {
+            gom_obs::counter_add("impact.footprint.size", fp.constraints.len() as u64);
+        }
+        Some(fp.constraints)
+    }
+
     // ----- session protocol ------------------------------------------------------
 
     /// Step 1 — BES: begin an evolution session. With a durable store
@@ -172,7 +234,14 @@ impl SchemaManager {
         if gom_obs::enabled() {
             gom_obs::counter_add("session.delta.ops", delta.ops.len() as u64);
         }
-        let violations = self.meta.db.check_delta(&delta)?;
+        // Footprint-narrowed delta check: constraints provably outside the
+        // session's impact set are skipped (sound given pre-session
+        // consistency; see gom-impact). Any impact failure falls back to
+        // the unfiltered check.
+        let violations = match self.footprint_for(&delta) {
+            Some(allowed) => self.meta.db.check_delta_filtered(&delta, &allowed)?,
+            None => self.meta.db.check_delta(&delta)?,
+        };
         if violations.is_empty() {
             self.check_lint_gate()?;
             self.journal_commit()?;

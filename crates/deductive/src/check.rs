@@ -265,16 +265,48 @@ impl Database {
     /// constraints and re-checks only keys of touched predicates (and only
     /// around inserted tuples).
     pub fn check_delta(&mut self, delta: &ChangeSet) -> Result<Vec<Violation>> {
+        self.check_delta_impl(delta, None)
+    }
+
+    /// Like [`Self::check_delta`], but additionally restricted to the
+    /// constraints named in `allowed` — typically an impact footprint
+    /// computed by static analysis. Constraints outside `allowed` are
+    /// skipped entirely (counted under `check.constraints.footprint_skipped`).
+    ///
+    /// Sound under the same precondition as `check_delta` itself: the
+    /// database was consistent when the session began, and `allowed` is a
+    /// superset of the constraints the delta can newly violate. Key checks
+    /// are never filtered.
+    pub fn check_delta_filtered(
+        &mut self,
+        delta: &ChangeSet,
+        allowed: &FxHashSet<String>,
+    ) -> Result<Vec<Violation>> {
+        self.check_delta_impl(delta, Some(allowed))
+    }
+
+    fn check_delta_impl(
+        &mut self,
+        delta: &ChangeSet,
+        allowed: Option<&FxHashSet<String>>,
+    ) -> Result<Vec<Violation>> {
         let _sp = gom_obs::span("check.delta");
         self.ensure_compiled()?;
         let touched: FxHashSet<PredId> = delta.touched_preds().into_iter().collect();
         // Affected constraints and the derived predicates they need.
+        let mut footprint_skipped = 0u64;
         let (affected, needed): (Vec<usize>, FxHashSet<PredId>) = {
             let compiled = self.compiled.as_ref().expect("compiled");
             let mut affected = Vec::new();
             let mut frontier: Vec<PredId> = Vec::new();
             for (i, cc) in compiled.constraints.iter().enumerate() {
                 if cc.deps.iter().any(|p| touched.contains(p)) {
+                    if let Some(allow) = allowed {
+                        if !allow.contains(&self.constraints[cc.source_idx].name) {
+                            footprint_skipped += 1;
+                            continue;
+                        }
+                    }
                     affected.push(i);
                     frontier.push(cc.viol);
                 }
@@ -305,6 +337,7 @@ impl Database {
             let total = self.compiled.as_ref().expect("compiled").constraints.len();
             gom_obs::counter_add("check.constraints.affected", affected.len() as u64);
             gom_obs::counter_add("check.constraints.skipped", (total - affected.len()) as u64);
+            gom_obs::counter_add("check.constraints.footprint_skipped", footprint_skipped);
         }
 
         let mut out = if affected.is_empty() {
@@ -457,6 +490,37 @@ mod tests {
         assert!(db.check_delta(&delta).unwrap().is_empty());
         // Full check still reports the stale Q violation.
         assert_eq!(db.check().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn filtered_check_skips_constraints_outside_the_footprint() {
+        let mut db = db_with(
+            "base P(x).\n\
+             base Q(x).\n\
+             constraint p_nonneg: forall X: P(X) -> X >= 0.\n\
+             constraint q_nonneg: forall X: Q(X) -> X >= 0.\n",
+        );
+        let p = db.pred_id("P").unwrap();
+        let q = db.pred_id("Q").unwrap();
+        let mut delta = ChangeSet::new();
+        delta.insert(p, Tuple::from(vec![Const::Int(-1)]));
+        delta.insert(q, Tuple::from(vec![Const::Int(-2)]));
+        db.apply(&delta).unwrap();
+        // Unfiltered: both constraints fire.
+        assert_eq!(db.check_delta(&delta).unwrap().len(), 2);
+        // A footprint naming only p_nonneg suppresses the q_nonneg check.
+        let allowed: FxHashSet<String> = ["p_nonneg".to_string()].into_iter().collect();
+        let v = db.check_delta_filtered(&delta, &allowed).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "p_nonneg");
+        // An all-inclusive footprint is identical to the unfiltered check.
+        let all: FxHashSet<String> = ["p_nonneg".to_string(), "q_nonneg".to_string()]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            format!("{:?}", db.check_delta_filtered(&delta, &all).unwrap()),
+            format!("{:?}", db.check_delta(&delta).unwrap())
+        );
     }
 
     #[test]

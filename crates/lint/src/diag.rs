@@ -144,14 +144,24 @@ impl LintReport {
         self.worst().is_some_and(|w| w >= level)
     }
 
-    /// Sort by (line, column, code) with span-less findings last.
+    /// Sort by (line, column, code, severity, message, …) with span-less
+    /// findings last, then drop exact duplicates. The full-field key makes
+    /// render and JSON output deterministic across runs and eval-thread
+    /// counts, so golden files and CI diffs are reproducible.
     pub fn sort(&mut self) {
-        self.diags.sort_by_key(|d| {
-            (
-                d.span.map_or((usize::MAX, usize::MAX), |s| (s.line, s.col)),
-                d.code,
-            )
+        fn pos(d: &Diagnostic) -> (usize, usize) {
+            d.span.map_or((usize::MAX, usize::MAX), |s| (s.line, s.col))
+        }
+        self.diags.sort_by(|a, b| {
+            pos(a)
+                .cmp(&pos(b))
+                .then_with(|| a.code.cmp(b.code))
+                .then_with(|| a.severity.cmp(&b.severity))
+                .then_with(|| a.message.cmp(&b.message))
+                .then_with(|| a.notes.cmp(&b.notes))
+                .then_with(|| a.fix.cmp(&b.fix))
         });
+        self.diags.dedup();
     }
 
     /// Extend with another pass's findings.
@@ -161,8 +171,24 @@ impl LintReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_is_total_and_dedups() {
+        let mut r = LintReport::default();
+        let d = Diagnostic::new("L0401", Severity::Warn, "dup").with_span(Some(Span::point(1, 1)));
+        r.diags.push(d.clone());
+        r.diags.push(
+            Diagnostic::new("L0401", Severity::Warn, "other").with_span(Some(Span::point(1, 1))),
+        );
+        r.diags.push(d);
+        r.sort();
+        assert_eq!(r.diags.len(), 2, "exact duplicate removed");
+        assert_eq!(r.diags[0].message, "dup");
+        assert_eq!(r.diags[1].message, "other");
+    }
 
     #[test]
     fn severity_orders_and_parses() {

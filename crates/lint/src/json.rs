@@ -292,7 +292,7 @@ fn diag_to_value(d: &Diagnostic) -> Value {
 /// The known codes, for interning `&'static str` codes on deserialization.
 const CODES: &[&str] = &[
     "L0001", "L0002", "L0101", "L0102", "L0103", "L0201", "L0301", "L0302", "L0303", "L0304",
-    "L0305", "L0401", "L0402", "L0403", "L0501", "L0502", "L0503",
+    "L0305", "L0401", "L0402", "L0403", "L0501", "L0502", "L0503", "L0601", "L0602", "L0603",
 ];
 
 fn diag_from_value(v: &Value) -> Result<Diagnostic, String> {
@@ -362,6 +362,7 @@ impl LintReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

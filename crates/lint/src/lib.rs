@@ -17,6 +17,7 @@
 //! | `L03xx` | dependency graph | `L0301` undefined derived pred, `L0302` arity mismatch, `L0303` unused pred, `L0304` unreachable rule, `L0305` never-firing constraint |
 //! | `L04xx` | performance      | `L0401` cartesian product, `L0402` non-linear recursion, `L0403` wide join |
 //! | `L05xx` | schema           | `L0501` dangling type ref, `L0502` shadowed attribute, `L0503` version-graph cycle |
+//! | `L06xx` | impact (emitted by `gom-impact`) | `L0601` breaking change without migration, `L0602` constraint unaffected by any primitive, `L0603` impact footprint exceeds threshold |
 //!
 //! ## Baselines
 //!

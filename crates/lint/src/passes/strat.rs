@@ -37,7 +37,7 @@ pub(crate) fn run(db: &Database, _cfg: &LintConfig, report: &mut LintReport) {
 
     for (_, path, ri) in best.into_iter().flatten() {
         // path = [v, …, u]; render the cycle as u -> not v -> … -> u.
-        let u = *path.last().expect("path is non-empty");
+        let Some(&u) = path.last() else { continue };
         let mut text = names[u].clone();
         for (i, &p) in path.iter().enumerate() {
             if i == 0 {

@@ -61,6 +61,7 @@ pub fn render_report(report: &LintReport, source: Option<&str>, origin: &str) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::diag::Span;

@@ -1,6 +1,8 @@
 //! One trigger and one non-trigger fixture per diagnostic code, plus a
 //! snapshot of the rendered output.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gom_deductive::ast::{Atom, Term, Var};
 use gom_deductive::{Constraint, Database, Formula};
 use gom_lint::{lint_source, render_report, LintConfig, LintReport, Severity};

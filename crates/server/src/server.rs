@@ -282,6 +282,21 @@ impl Connection {
             Request::Stats => Reply::Ok(gom_obs::render_table(&gom_obs::snapshot())),
             Request::Digest => self.digest(),
             Request::Shutdown => Reply::Ok("shutting down".into()),
+            Request::Plan => self.plan(),
+        }
+    }
+
+    /// Pre-EES commit plan for the open session. Requires the writer lock
+    /// (like `ees`): the plan inspects the live manager's session delta,
+    /// not the published snapshot.
+    fn plan(&self) -> Reply {
+        if !self.shared.lock.held_by(self.id) {
+            return Reply::err(ErrorKind::BadRequest, "no open session (send bes first)");
+        }
+        let mut mgr = self.shared.mgr();
+        match mgr.plan() {
+            Ok(report) => Reply::Ok(report.render()),
+            Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
         }
     }
 

@@ -87,6 +87,10 @@ pub enum Request {
     Digest,
     /// Ask the daemon to shut down gracefully.
     Shutdown,
+    /// Pre-EES commit plan for the open session: impact footprint,
+    /// breaking/non-breaking classification, `L06xx` diagnostics. Requires
+    /// the writer lock (inspects the live session delta).
+    Plan,
 }
 
 impl Request {
@@ -103,6 +107,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Digest => "digest",
             Request::Shutdown => "shutdown",
+            Request::Plan => "plan",
         }
     }
 }
@@ -271,6 +276,7 @@ const REQ_LINT: u8 = 7;
 const REQ_STATS: u8 = 8;
 const REQ_DIGEST: u8 = 9;
 const REQ_SHUTDOWN: u8 = 10;
+const REQ_PLAN: u8 = 11;
 
 const OP_DEFINE: u8 = 1;
 const OP_ADD_ATTR: u8 = 2;
@@ -386,6 +392,7 @@ impl Request {
             Request::Stats => out.push(REQ_STATS),
             Request::Digest => out.push(REQ_DIGEST),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Plan => out.push(REQ_PLAN),
             Request::Query(q) => {
                 out.push(REQ_QUERY);
                 put_str(&mut out, q);
@@ -431,6 +438,7 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_DIGEST => Request::Digest,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_PLAN => Request::Plan,
             REQ_QUERY => Request::Query(r.string()?),
             REQ_OP => {
                 let op = match r.u8()? {
@@ -561,6 +569,7 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Digest);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Plan);
         roundtrip_req(Request::Query("Type(T, N, S)".into()));
         roundtrip_req(Request::Op(EvolutionOp::Define(
             "schema S is end schema S;".into(),
@@ -616,6 +625,10 @@ mod tests {
         for cut in 0..full.len() {
             assert!(Request::decode(&full[..cut]).is_err(), "cut={cut}");
         }
+        // Plan is a bare tag: the only strict prefix is the empty payload.
+        let full = Request::Plan.encode();
+        assert_eq!(full.len(), 1);
+        assert!(Request::decode(&full[..0]).is_err());
         let full = Reply::Rows {
             names: vec!["X".into()],
             rows: vec![vec!["1".into()]],
@@ -657,6 +670,7 @@ mod tests {
     fn verbs_are_stable() {
         assert_eq!(Request::Bes.verb(), "bes");
         assert_eq!(Request::Query(String::new()).verb(), "query");
+        assert_eq!(Request::Plan.verb(), "plan");
         assert_eq!(ErrorKind::Busy.name(), "busy");
     }
 }

@@ -100,6 +100,69 @@ for span in "server.request:bes" "server.request:ees" "server.request:query" \
 done
 rm -rf "$server_tmp"
 
+# Pre-EES impact planning must work end to end in release: an open
+# session over the car schema gets a plan whose footprint names the
+# constraint EES will check, and the impact.plan span lands in the trace.
+step "impact planner smoke test (release, traced plan verb)"
+plan_tmp="$(mktemp -d)"
+{
+  echo "load scripts/car_schema.gom"
+  echo "new Car@CarSchema"
+  echo "begin"
+  echo "add-attr Car@CarSchema planAttr string"
+  echo "plan"
+  echo "rollback"
+  echo "quit"
+} > "$plan_tmp/session.gsh"
+cargo run --release -q --bin gomsh -- \
+  --store "$plan_tmp/db.gomj" --trace "$plan_tmp/trace.jsonl" \
+  "$plan_tmp/session.gsh" > "$plan_tmp/plan.log"
+grep -q "impact plan — 1 op(s)" "$plan_tmp/plan.log" \
+  || { echo "MISSING plan report in gomsh output"; cat "$plan_tmp/plan.log"; exit 1; }
+grep -q "slot_for_every_attr" "$plan_tmp/plan.log" \
+  || { echo "MISSING footprint constraint in plan report"; exit 1; }
+grep -q "warn\[L0601\]" "$plan_tmp/plan.log" \
+  || { echo "MISSING L0601 diagnostic in plan report"; exit 1; }
+for span in impact.plan impact.index.build; do
+  grep -q "\"name\":\"$span" "$plan_tmp/trace.jsonl" \
+    || { echo "MISSING span $span in plan trace"; exit 1; }
+done
+rm -rf "$plan_tmp"
+
+# The lint severity gate must actually gate: a clean program passes the
+# strictest gate, and a program with sub-error diagnostics fails once the
+# gate is lowered to their severity.
+step "gomsh lint --deny gate"
+lint_tmp="$(mktemp -d)"
+cat > "$lint_tmp/clean.cdl" <<'EOF'
+base E(x, y).
+derived Path(x, y).
+Path(X, Y) :- E(X, Y).
+Path(X, Z) :- E(X, Y), Path(Y, Z).
+constraint acyclic: forall X: !Path(X, X).
+E('a', 'b').
+EOF
+cargo run --release -q --bin gomsh -- \
+  lint "$lint_tmp/clean.cdl" --deny note > "$lint_tmp/clean.log" \
+  || { echo "clean program must pass --deny note"; cat "$lint_tmp/clean.log"; exit 1; }
+cat > "$lint_tmp/warny.cdl" <<'EOF'
+base N(x).
+derived Cart(x, y).
+Cart(X, Y) :- N(X), N(Y).
+EOF
+# Default gate (errors only): warnings do not fail the build...
+cargo run --release -q --bin gomsh -- \
+  lint "$lint_tmp/warny.cdl" > "$lint_tmp/warny_default.log" \
+  || { echo "warning-only program must pass the default gate"; exit 1; }
+# ...but an armed --deny warn gate turns them into a nonzero exit.
+if cargo run --release -q --bin gomsh -- \
+    lint "$lint_tmp/warny.cdl" --deny warn > "$lint_tmp/warny.log" 2>&1; then
+  echo "lint --deny warn must fail on a program with warnings"
+  cat "$lint_tmp/warny.log"
+  exit 1
+fi
+rm -rf "$lint_tmp"
+
 step "bench harness compiles"
 cargo bench --workspace --no-run
 
@@ -109,13 +172,14 @@ if command -v cargo-clippy >/dev/null 2>&1; then
 
   # Panic-containment gate: gom-store (recovery runs on arbitrary bytes),
   # gom-obs (on every hot path), gom-server (a panic takes down all
-  # sessions) and gom-runtime (executes user method code) all deny
-  # unwrap/expect via [lints.clippy] in their own Cargo.toml, so a plain
-  # per-package clippy run enforces it without leaking the deny into
-  # workspace dependencies.
-  step "cargo clippy unwrap/expect gate (store, obs, server, runtime)"
+  # sessions), gom-runtime (executes user method code), gom-lint (runs on
+  # arbitrary user programs) and gom-impact (runs inside EES; a panic would
+  # take an open session down) all deny unwrap/expect via [lints.clippy]
+  # in their own Cargo.toml, so a plain per-package clippy run enforces it
+  # without leaking the deny into workspace dependencies.
+  step "cargo clippy unwrap/expect gate (store, obs, server, runtime, lint, impact)"
   cargo clippy -p gom-store -p gom-obs -p gom-server -p gom-runtime \
-    --all-targets -- -D warnings
+    -p gom-lint -p gom-impact --all-targets -- -D warnings
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

@@ -54,6 +54,9 @@
 //! install-versioning          install the §4.1 extension
 //! lint [deny <level>]         lint the schema base; optionally arm the
 //!                             commit gate (deny error|warn|note|off)
+//! plan                        pre-EES commit plan for the open session:
+//!                             impact footprint, breaking-change
+//!                             classification, L06xx diagnostics
 //! help | quit
 //! ```
 
@@ -218,6 +221,7 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
                      query <body>                datalog query against the published snapshot\n  \
                      check                       consistency check of the published snapshot\n  \
                      lint                        lint the published snapshot\n  \
+                     plan                        pre-EES impact plan for the open session\n  \
                      digest                      epoch + state digest of the published snapshot\n  \
                      stats                       server-side obs table\n  \
                      shutdown                    stop the daemon\n  \
@@ -280,6 +284,7 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
             "query" => Request::Query(rest.join(" ")),
             "check" => Request::Check,
             "lint" => Request::Lint,
+            "plan" => Request::Plan,
             "digest" => Request::Digest,
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
@@ -591,7 +596,7 @@ impl Shell {
                 println!(
                     "commands: load begin end rollback add-attr del-attr del-type new set get call"
                 );
-                println!("          check lint repairs apply query why dump consistency checkpoint recover");
+                println!("          check lint plan repairs apply query why dump consistency checkpoint recover");
                 println!("          profile stats ees install-versioning quit");
             }
             "quit" | "exit" => return Ok(false),
@@ -614,6 +619,10 @@ impl Shell {
             "begin" => {
                 self.mgr.begin_evolution()?;
                 println!("BES — evolution session open");
+            }
+            "plan" => {
+                let report = self.mgr.plan().map_err(|e| e.to_string())?;
+                print!("{}", report.render());
             }
             "end" | "ees" => {
                 let timing = rest.contains(&"--timing") || cmd == "ees";

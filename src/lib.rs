@@ -18,6 +18,7 @@
 //! | [`core`] | the Consistency Control + session protocol (the contribution) |
 //! | [`evolution`] | primitive/complex evolution ops, versioning, baselines |
 //! | [`lint`] | gom-lint: multi-pass static analysis with structured diagnostics |
+//! | [`impact`] | gom-impact: meta-EDB reflection, impact footprints, pre-EES commit planning |
 //! | [`obs`] | gom-obs: spans, counters, histograms, JSONL tracing |
 //! | [`server`] | gomd: concurrent schema service (epoch snapshots, gom-wire/v1) |
 //!
@@ -48,6 +49,7 @@ pub use gom_analyzer as analyzer;
 pub use gom_core as core;
 pub use gom_deductive as deductive;
 pub use gom_evolution as evolution;
+pub use gom_impact as impact;
 pub use gom_lint as lint;
 pub use gom_model as model;
 pub use gom_obs as obs;
@@ -68,6 +70,7 @@ pub mod prelude {
         install_versioning, record_schema_evolution, record_type_evolution, CurePolicy,
         DeleteTypeSemantics, Primitive,
     };
+    pub use gom_impact::{ImpactIndex, PlanConfig, PlanReport};
     pub use gom_lint::{
         lint_database, lint_source, render_report, Baseline, Diagnostic, LintConfig, LintReport,
         Severity,

@@ -244,6 +244,28 @@ fn t3_exactly_three_repairs_each_of_which_works() {
     mgr.rollback_evolution().unwrap();
 }
 
+/// The planner sees the fuelType violation coming before EES runs: the
+/// impact footprint names `slot_for_every_attr`, the change is classified
+/// breaking-without-migration (L0601), and the violation EES then finds is
+/// inside the predicted footprint.
+#[test]
+fn t3_plan_predicts_the_fueltype_violation() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.create_object(car).unwrap();
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+    let plan = mgr.plan().unwrap();
+    assert!(plan.footprint.contains(&"slot_for_every_attr".to_string()));
+    assert!(plan.classes[0].breaking && !plan.classes[0].migrated);
+    assert!(plan.diagnostics.diags.iter().any(|d| d.code == "L0601"));
+    let out = mgr.end_evolution().unwrap();
+    assert_eq!(out.violations().len(), 1);
+    assert!(plan.footprint.contains(&out.violations()[0].constraint));
+    mgr.rollback_evolution().unwrap();
+}
+
 // ---------- T4: versioning + fashion -------------------------------------------------
 
 #[test]

@@ -1,0 +1,245 @@
+//! Golden tests for the pre-EES commit planner against the paper's car
+//! schema: footprint contents, breaking-change classification, `L06xx`
+//! diagnostics, and the rendered plan transcript.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gomflex::impact::{ImpactIndex, PlanConfig};
+use gomflex::prelude::*;
+
+fn car_manager() -> SchemaManager {
+    let mut mgr = SchemaManager::new().unwrap();
+    mgr.define_schema(CAR_SCHEMA_SRC).unwrap();
+    mgr
+}
+
+fn tid(mgr: &SchemaManager, name: &str) -> TypeId {
+    let s = mgr.meta.schema_by_name("CarSchema").unwrap();
+    mgr.meta.type_by_name(s, name).unwrap()
+}
+
+/// The paper's §3.5 scenario through the planner: adding `fuelType` to a
+/// `Car` that has live instances is breaking, carries no migration, and
+/// the footprint names exactly the constraint EES will then find violated.
+#[test]
+fn fueltype_plan_is_breaking_with_l0601_and_sound_footprint() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.create_object(car).unwrap();
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+
+    let plan = mgr.plan().unwrap();
+    assert_eq!(plan.ops, 1);
+    assert_eq!(plan.classes.len(), 1);
+    assert!(plan.classes[0].breaking);
+    assert!(!plan.classes[0].migrated);
+    assert_eq!(plan.classes[0].pred, "Attr");
+    assert!(
+        plan.footprint.contains(&"slot_for_every_attr".to_string()),
+        "footprint {:?}",
+        plan.footprint
+    );
+    assert!(
+        plan.diagnostics.diags.iter().any(|d| d.code == "L0601"),
+        "{:?}",
+        plan.diagnostics
+    );
+
+    let rendered = plan.render();
+    assert!(
+        rendered.contains("impact plan — 1 op(s) in the session delta"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("BREAKING (no migration)"), "{rendered}");
+    assert!(rendered.contains("- slot_for_every_attr"), "{rendered}");
+    assert!(rendered.contains("warn[L0601]"), "{rendered}");
+
+    // The plan's promise holds: the violation EES finds is in the footprint.
+    let out = mgr.end_evolution().unwrap();
+    assert!(!out.is_consistent());
+    for v in out.violations() {
+        assert!(
+            plan.footprint.contains(&v.constraint),
+            "EES violated {:?} outside the planned footprint {:?}",
+            v.constraint,
+            plan.footprint
+        );
+    }
+    mgr.rollback_evolution().unwrap();
+}
+
+/// Same primitive without live instances: non-breaking, clean diagnostics.
+#[test]
+fn fueltype_without_instances_is_non_breaking_and_clean() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+
+    let plan = mgr.plan().unwrap();
+    assert!(!plan.classes[0].breaking);
+    assert!(plan.diagnostics.is_clean(), "{:?}", plan.diagnostics);
+    let rendered = plan.render();
+    assert!(rendered.contains("— ok:"), "{rendered}");
+    assert!(rendered.contains("plan diagnostics: clean"), "{rendered}");
+
+    assert!(mgr.end_evolution().unwrap().is_consistent());
+}
+
+/// A breaking change that migrates representations in the same session is
+/// downgraded: no L0601, and the plan says so.
+#[test]
+fn migrated_breaking_change_has_no_l0601() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.create_object(car).unwrap();
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+    // Migrate by hand: give the existing representation the new slot.
+    let clid = mgr.meta.phrep_of(car).unwrap();
+    let phrep_string = mgr.meta.builtins.phrep_of(string).unwrap();
+    mgr.meta.add_slot(clid, "fuelType", phrep_string).unwrap();
+
+    let plan = mgr.plan().unwrap();
+    assert!(plan.classes.iter().any(|c| c.breaking && c.migrated));
+    assert!(
+        !plan.diagnostics.diags.iter().any(|d| d.code == "L0601"),
+        "{:?}",
+        plan.diagnostics
+    );
+    assert!(
+        plan.render().contains("BREAKING (migrated)"),
+        "{}",
+        plan.render()
+    );
+
+    assert!(mgr.end_evolution().unwrap().is_consistent());
+}
+
+/// `plan` is a session-scoped verb: outside BES..EES it must refuse.
+#[test]
+fn plan_outside_a_session_is_an_error() {
+    let mut mgr = car_manager();
+    assert!(mgr.plan().is_err());
+}
+
+/// L0603 fires when the footprint crosses the configured threshold; the
+/// car schema's single-primitive footprint is small, so force it with a
+/// zero threshold through the library API.
+#[test]
+fn l0603_fires_on_a_tight_threshold() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+    let delta = mgr.meta.db.session_delta().unwrap();
+    let index = ImpactIndex::build(&mut mgr.meta.db).unwrap();
+    let plan = gomflex::impact::plan(
+        &mgr.meta.db,
+        &index,
+        &delta,
+        &PlanConfig { max_footprint: 0 },
+    );
+    assert!(
+        plan.diagnostics.diags.iter().any(|d| d.code == "L0603"),
+        "{:?}",
+        plan.diagnostics
+    );
+    mgr.rollback_evolution().unwrap();
+}
+
+/// Every built-in consistency constraint of the car schema is reachable
+/// from some evolution primitive — L0602 stays quiet on the shipped rules.
+#[test]
+fn shipped_constraints_are_all_touchable() {
+    let mut mgr = car_manager();
+    let index = ImpactIndex::build(&mut mgr.meta.db).unwrap();
+    assert_eq!(
+        index.untouchable(),
+        &[] as &[String],
+        "untouchable constraints"
+    );
+}
+
+/// The full rendered plan for the fuelType session, golden. Identifiers
+/// are deterministic (the id allocator is seeded per manager), so the
+/// transcript is stable byte for byte.
+#[test]
+fn fueltype_plan_render_golden() {
+    let mut mgr = car_manager();
+    let car = tid(&mgr, "Car");
+    mgr.create_object(car).unwrap();
+    mgr.begin_evolution().unwrap();
+    let string = mgr.meta.builtins.string;
+    mgr.meta.add_attr(car, "fuelType", string).unwrap();
+    let rendered = mgr.plan().unwrap().render();
+    mgr.rollback_evolution().unwrap();
+
+    let golden = "\
+impact plan — 1 op(s) in the session delta
+  +Attr(tid4, fuelType, tid_string) — BREAKING (no migration): adds an attribute to a type with live instances; every object representation needs a new slot
+footprint: 4 of 31 constraint(s) reachable from this delta
+  - attr_domain_ref
+  - attr_type_ref
+  - inherited_attr_unique
+  - slot_for_every_attr
+EES can provably skip 27 constraint(s)
+";
+    assert!(
+        rendered.starts_with(golden),
+        "plan render drifted from golden:\n--- got ---\n{rendered}\n--- want prefix ---\n{golden}"
+    );
+    assert!(rendered.contains("warn[L0601]"), "{rendered}");
+}
+
+/// The planner through the shell: `plan` between `begin` and `end`.
+mod shell {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    fn run_script(script: &str) -> String {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gomsh"))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn gomsh");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("gomsh runs");
+        assert!(out.status.success(), "gomsh exited nonzero: {out:?}");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn plan_verb_via_shell() {
+        let dir = std::env::temp_dir().join("plan_golden_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("car_schema.gom");
+        std::fs::write(&path, gomflex::prelude::CAR_SCHEMA_SRC).unwrap();
+        let script = format!(
+            "load {}\n\
+             new Car@CarSchema\n\
+             begin\n\
+             add-attr Car@CarSchema fuelType string\n\
+             plan\n\
+             rollback\n\
+             quit\n",
+            path.display()
+        );
+        let out = run_script(&script);
+        assert!(out.contains("impact plan — 1 op(s)"), "{out}");
+        assert!(out.contains("BREAKING (no migration)"), "{out}");
+        assert!(out.contains("slot_for_every_attr"), "{out}");
+        assert!(out.contains("warn[L0601]"), "{out}");
+    }
+}
