@@ -143,6 +143,55 @@ fn synth500_session() -> (SchemaManager, ChangeSet) {
     (mgr, delta)
 }
 
+/// A manager for the maintained-commit rows: an `n`-type schema with a
+/// *constant* object population (instances on the first 50 types plus the
+/// session's target type), so the only thing that grows with `n` is catalog
+/// size. The session mutates the *last* type — a leaf of the synthetic
+/// hierarchy (later types only subtype earlier ones) — so its derived delta
+/// (inherited attributes, violation tuples) is constant-size too; mutating
+/// a near-root type would legitimately derive O(#descendants) facts, which
+/// is session-size, not schema-size. Each bench iteration opens a session,
+/// applies a fixed net-zero six-primitive delta (three attributes added and
+/// removed again) and commits through the maintained EES read — if that
+/// path is O(Δ), the row's median stays flat from synth500 to synth5000.
+fn maintained_commit_setup(n: usize) -> (SchemaManager, gom_model::TypeId) {
+    let (mut mgr, ts) = synth_manager(SynthParams {
+        types: n,
+        ..Default::default()
+    });
+    let leaf = *ts.last().expect("nonempty schema");
+    populate_objects(&mut mgr, &ts[..50], 1);
+    populate_objects(&mut mgr, &[leaf], 1);
+    (mgr, leaf)
+}
+
+/// One maintained-commit session: 3× add_attr + 3× remove_attr (net zero),
+/// committed via `end_evolution` (the maintained EES read). Panics on an
+/// inconsistent outcome — a net-zero session must always commit.
+fn maintained_commit_iter(mgr: &mut SchemaManager, t0: gom_model::TypeId) -> u64 {
+    mgr.begin_evolution().expect("begin session");
+    let int_ty = mgr.meta.builtins.int;
+    for i in 0..3 {
+        mgr.meta
+            .add_attr(t0, &format!("bm{i}"), int_ty)
+            .expect("add attr");
+    }
+    for i in 0..3 {
+        mgr.meta
+            .remove_attr(t0, &format!("bm{i}"))
+            .expect("remove attr");
+    }
+    match mgr.end_evolution().expect("ees") {
+        gomflex::core::EvolutionOutcome::Consistent(delta) => delta.len() as u64,
+        gomflex::core::EvolutionOutcome::Inconsistent(vs) => {
+            panic!(
+                "net-zero session must commit, got {} violation(s)",
+                vs.len()
+            )
+        }
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -220,6 +269,10 @@ fn main() {
     let findex = ImpactIndex::build(&mut fmgr.meta.db).unwrap();
     let ffp = findex.footprint(&fmgr.meta.db, &fdelta).constraints;
     let (mut gmgr, gdelta) = synth500_session();
+
+    // ---- maintained EES commit, flat-in-schema-size rows -------------------
+    let (mut m500, m500_t0) = maintained_commit_setup(500);
+    let (mut m5000, m5000_t0) = maintained_commit_setup(5000);
 
     let _ = ts;
     let mut benches: Vec<Bench> = vec![
@@ -300,6 +353,16 @@ fn main() {
                 gmgr.meta.db.invalidate_caches();
                 gmgr.meta.db.check_delta(&gdelta).unwrap().len() as u64 + 1
             }),
+            units: 0,
+        },
+        Bench {
+            name: "ees_check_synth500",
+            run: Box::new(move || maintained_commit_iter(&mut m500, m500_t0)),
+            units: 0,
+        },
+        Bench {
+            name: "ees_check_synth5000",
+            run: Box::new(move || maintained_commit_iter(&mut m5000, m5000_t0)),
             units: 0,
         },
         Bench {

@@ -217,6 +217,15 @@ impl SchemaManager {
                 return Err(crate::durable::db_err(e));
             }
         }
+        // Arm incremental violation maintenance: every primitive inside the
+        // session feeds its delta through DRed, so EES becomes a read of
+        // the maintained violation relations (O(Δ), flat in schema size).
+        // A no-op when already armed from a previous committed session.
+        // Failure to arm never blocks a session — EES falls back down the
+        // check ladder.
+        if self.meta.db.ensure_maintained().is_err() {
+            self.meta.db.discard_maintained();
+        }
         Ok(())
     }
 
@@ -234,13 +243,21 @@ impl SchemaManager {
         if gom_obs::enabled() {
             gom_obs::counter_add("session.delta.ops", delta.ops.len() as u64);
         }
-        // Footprint-narrowed delta check: constraints provably outside the
-        // session's impact set are skipped (sound given pre-session
-        // consistency; see gom-impact). Any impact failure falls back to
-        // the unfiltered check.
-        let violations = match self.footprint_for(&delta) {
-            Some(allowed) => self.meta.db.check_delta_filtered(&delta, &allowed)?,
-            None => self.meta.db.check_delta(&delta)?,
+        // Check ladder: maintained read → footprint-filtered delta check →
+        // full delta check. The maintained path is a read of violation
+        // relations DRed kept up to date per primitive (O(Δ)); if the
+        // maintained state was discarded mid-session for any reason, the
+        // fall-back re-derives exactly what the read would have returned
+        // (sound given pre-session consistency; see gom-impact).
+        let violations = match self.meta.db.check_maintained(&delta)? {
+            Some(vs) => vs,
+            None => {
+                gom_obs::counter_add("check.maintenance.fallbacks", 1);
+                match self.footprint_for(&delta) {
+                    Some(allowed) => self.meta.db.check_delta_filtered(&delta, &allowed)?,
+                    None => self.meta.db.check_delta(&delta)?,
+                }
+            }
         };
         if violations.is_empty() {
             self.check_lint_gate()?;

@@ -183,9 +183,11 @@ impl Database {
     }
 
     /// Scan the violation predicates of the given compiled constraints.
-    /// With more than one eval thread, constraints are scanned in parallel;
-    /// per-constraint output order is deterministic (sorted extensions,
-    /// buffers concatenated in constraint order).
+    /// With more than one eval thread, constraints are scanned in parallel.
+    /// Violations are collected in *stored* order — the per-tuple sort that
+    /// used to run here is gone; every public entry point applies one final
+    /// [`sort_violations`] instead (probe: `check.violations.sort_ns`), so
+    /// the rendered output stays deterministic for any thread count.
     fn collect_constraint_violations(
         &self,
         idb: &[Relation],
@@ -197,7 +199,7 @@ impl Database {
             let src = &self.constraints[cc.source_idx];
             let t0 = gom_obs::enabled().then(std::time::Instant::now);
             let before = out.len();
-            for tuple in idb[cc.viol.index()].sorted() {
+            for tuple in idb[cc.viol.index()].iter() {
                 let witness = cc
                     .outer_vars
                     .iter()
@@ -208,7 +210,10 @@ impl Database {
                     constraint: src.name.clone(),
                     message: src.message.clone(),
                     witness,
-                    source: ViolationSource::Constraint { idx: ci, tuple },
+                    source: ViolationSource::Constraint {
+                        idx: ci,
+                        tuple: tuple.clone(),
+                    },
                 });
             }
             if let Some(t0) = t0 {
@@ -376,7 +381,22 @@ impl Database {
             self.collect_constraint_violations(&rels, &affected)?
         };
 
+        out.extend(self.delta_key_violations(delta, &touched));
+        sort_violations(&mut out);
+        Ok(out)
+    }
+
+    /// Key checks restricted to the tuples a delta inserted into keyed
+    /// predicates (keys cannot be violated by deletions). Shared between
+    /// [`Self::check_delta`] and [`Self::check_maintained`] so the two
+    /// paths are key-identical by construction.
+    fn delta_key_violations(
+        &self,
+        delta: &ChangeSet,
+        touched: &FxHashSet<PredId>,
+    ) -> Vec<Violation> {
         let _keys = gom_obs::span("check.keys");
+        let mut out = Vec::new();
         for &p in touched.iter().collect::<std::collections::BTreeSet<_>>() {
             if self.pred_decl(p).key.is_none() {
                 continue;
@@ -391,17 +411,79 @@ impl Database {
                 .collect();
             out.extend(key_violations_for(self, p, Some(&inserted)));
         }
+        out
+    }
+
+    /// EES read from the maintained violation state: when a maintained
+    /// materialisation is armed ([`Database::ensure_maintained`]) the
+    /// violation relations of every constraint are already up to date, so
+    /// the commit check reduces to reading the relations of the
+    /// delta-affected constraints plus the (unfilterable) key checks —
+    /// O(Δ) in the session's change instead of O(schema). Returns
+    /// `Ok(None)` when no maintained state is armed or it went stale;
+    /// callers then fall back down the ladder (footprint-filtered, then
+    /// full delta check).
+    ///
+    /// Decision-equivalent to [`Database::check_delta`] by construction:
+    /// the identical affected-constraint selection reads the maintained
+    /// violation relations instead of re-deriving their cones, and the key
+    /// checks are shared code. The `tests/maintained_soundness.rs` sweep
+    /// asserts bit-identical reports across both paths and against full
+    /// [`Database::check`].
+    pub fn check_maintained(&mut self, delta: &ChangeSet) -> Result<Option<Vec<Violation>>> {
+        if self.maintained.is_none() {
+            return Ok(None);
+        }
+        let _sp = gom_obs::span("ees.maintained");
+        self.ensure_compiled()?;
+        let Some(mat) = self.maintained.take() else {
+            return Ok(None);
+        };
+        // `decompile()` discards the maintained state together with the
+        // program, so a fingerprint mismatch here means an invariant broke
+        // upstream: discard and let the caller fall back.
+        let rule_count = self.compiled.as_ref().map_or(0, |c| c.rules.len());
+        if !mat.fingerprint_matches(self.pred_count(), rule_count) {
+            gom_obs::counter_add("check.maintenance.discards", 1);
+            return Ok(None);
+        }
+        let touched: FxHashSet<PredId> = delta.touched_preds().into_iter().collect();
+        let affected: Vec<usize> = self.compiled.as_ref().map_or_else(Vec::new, |c| {
+            c.constraints
+                .iter()
+                .enumerate()
+                .filter(|(_, cc)| cc.deps.iter().any(|p| touched.contains(p)))
+                .map(|(i, _)| i)
+                .collect()
+        });
+        let collected = self.collect_violations_public(&mat.rels, &affected);
+        self.maintained = Some(mat);
+        let mut out = collected?;
+        out.extend(self.delta_key_violations(delta, &touched));
+        if gom_obs::enabled() {
+            gom_obs::counter_add("check.constraints.affected", affected.len() as u64);
+            gom_obs::counter_add("check.violations.maintained", out.len() as u64);
+        }
         sort_violations(&mut out);
-        Ok(out)
+        Ok(Some(out))
     }
 }
 
-fn sort_violations(v: &mut [Violation]) {
+/// Total order on violations (constraint name, then debug-rendered
+/// source). Applied once at every public check boundary — equal violation
+/// multisets therefore render as identical sequences, which the
+/// differential sweeps rely on. The `check.violations.sort_ns` probe
+/// measures what the single deferred sort costs.
+pub(crate) fn sort_violations(v: &mut [Violation]) {
+    let t0 = gom_obs::enabled().then(std::time::Instant::now);
     v.sort_by(|a, b| {
         a.constraint
             .cmp(&b.constraint)
             .then_with(|| format!("{:?}", a.source).cmp(&format!("{:?}", b.source)))
     });
+    if let Some(t0) = t0 {
+        gom_obs::counter_add("check.violations.sort_ns", t0.elapsed().as_nanos() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,13 @@ pub struct Database {
     /// from the hot insert path.
     pub(crate) idb_size_hints: Vec<usize>,
     journal: Option<Vec<Op>>,
+    /// Armed maintained materialisation: when `Some`, every base-fact
+    /// insert/remove feeds its delta through DRed so derived predicates —
+    /// including constraint violation relations — stay correct at all
+    /// times (see `incr.rs`). Discarded on definition change, session
+    /// rollback, or any maintenance irregularity; never cloned into
+    /// snapshots.
+    pub(crate) maintained: Option<crate::incr::Materialized>,
     /// Worker threads for fixpoint evaluation and constraint checking.
     /// `0` = unset: consult `GOM_EVAL_THREADS`, defaulting to 1 (the
     /// reproducible single-threaded configuration).
@@ -236,7 +243,12 @@ impl Database {
         let added = self.rels[pred.index()].insert(tuple.clone());
         if added {
             self.retire_idb();
-            if let Some(j) = &mut self.journal {
+            if self.maintained.is_some() {
+                if let Some(j) = &mut self.journal {
+                    j.push(Op::Insert(pred, tuple.clone()));
+                }
+                self.maintain_change(pred, tuple, true);
+            } else if let Some(j) = &mut self.journal {
                 j.push(Op::Insert(pred, tuple));
             }
         }
@@ -251,6 +263,9 @@ impl Database {
             self.retire_idb();
             if let Some(j) = &mut self.journal {
                 j.push(Op::Delete(pred, tuple.clone()));
+            }
+            if self.maintained.is_some() {
+                self.maintain_change(pred, tuple.clone(), false);
             }
         }
         Ok(removed)
@@ -446,6 +461,9 @@ impl Database {
     pub(crate) fn decompile(&mut self) {
         self.retire_idb();
         self.compiled = None;
+        // A maintained materialisation is only meaningful for the program
+        // it was built against.
+        self.maintained = None;
         if let Some(n) = self.aux_start.take() {
             for d in self.preds.drain(n..) {
                 self.by_name.remove(&d.name);
@@ -494,6 +512,10 @@ impl Database {
             .journal
             .take()
             .ok_or_else(|| Error::SessionProtocol("no active session".into()))?;
+        // The inverse ops below go straight to the relations (no
+        // journalling, no re-maintenance); the maintained state cannot
+        // follow and is discarded — the next session begin re-arms it.
+        self.maintained = None;
         for op in journal.iter().rev() {
             match op.inverse() {
                 Op::Insert(p, t) => {
@@ -621,6 +643,9 @@ impl Database {
             spare_idb: None,
             idb_size_hints: Vec::new(),
             journal: None,
+            // Maintained state stays with the writer session; snapshots
+            // re-derive lazily like every other cache.
+            maintained: None,
             eval_threads: self.eval_threads,
             eval_failpoint: false,
         }

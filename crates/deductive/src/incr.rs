@@ -14,26 +14,56 @@
 //! 3. **insert** — propagate insertions (and deletions through negation)
 //!    against the new state.
 //!
-//! Net per-predicate deltas flow upward through the strata. The property
-//! test `incremental_equals_scratch` checks the result against from-scratch
-//! evaluation on random programs and mutation batches.
+//! Net per-predicate deltas flow upward through the strata. Phase 1 needs
+//! the pre-change database, but cloning the EDB/IDB per application is
+//! O(database) — exactly the cost this module exists to avoid. Instead the
+//! old state is reconstructed *in place*: net-deleted facts are temporarily
+//! re-inserted and net-added facts temporarily removed, the over-deletion
+//! joins run, and the store flips back before re-derivation
+//! ([`Database::flip_restore`]). The flip only ever touches the Δ facts,
+//! so one application costs O(Δ · strata) regardless of database size.
+//!
+//! On top of `apply_incremental` (explicit [`Materialized`] handed to the
+//! caller) the database can *arm* an internal maintained state
+//! ([`Database::ensure_maintained`]): every subsequent base-fact insert or
+//! remove feeds its singleton delta through the same DRed core, so the
+//! violation relations of compiled constraints are correct at all times and
+//! an EES commit check becomes a read ([`Database::check_maintained`]).
+//!
+//! The property test `incremental_equals_scratch` checks the result against
+//! from-scratch evaluation on random programs and mutation batches; the
+//! `tests/maintained_soundness.rs` sweep does the same for the maintained
+//! session path against full [`Database::check`].
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::ast::Literal;
 use crate::changes::ChangeSet;
 use crate::check::Violation;
+use crate::compile::Compiled;
 use crate::db::Database;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::eval::{exec_plan, instantiate_head, Binding, DeltaSrc, Store};
 use crate::plan::RulePlans;
 use crate::pred::PredId;
 use crate::relation::Relation;
-use crate::symbol::FxHashSet;
+use crate::symbol::{FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
+
+/// Net per-predicate change relations. Only touched predicates carry an
+/// entry, so building one is O(Δ), not O(#preds).
+pub(crate) type DeltaMap = FxHashMap<PredId, Relation>;
+
+fn internal(msg: &str) -> Error {
+    Error::SessionProtocol(format!("internal: {msg}"))
+}
 
 /// A materialised IDB that can be maintained incrementally.
 pub struct Materialized {
     pub(crate) rels: Vec<Relation>,
     fingerprint: (usize, usize), // (pred_count, rule_count incl. aux)
+    /// Derived-side indexes ensured once per materialisation instead of per
+    /// application (the old per-call loop re-walked every index mask).
+    indexed: bool,
 }
 
 impl Materialized {
@@ -46,6 +76,11 @@ impl Materialized {
     pub fn contains(&self, pred: PredId, t: &Tuple) -> bool {
         self.rels[pred.index()].contains(t)
     }
+
+    /// Does this materialisation match the given definition fingerprint?
+    pub(crate) fn fingerprint_matches(&self, pred_count: usize, rule_count: usize) -> bool {
+        self.fingerprint == (pred_count, rule_count)
+    }
 }
 
 impl Database {
@@ -53,11 +88,18 @@ impl Database {
     pub fn materialize(&mut self) -> Result<Materialized> {
         let _sp = gom_obs::span("dred.materialize");
         self.evaluate()?;
-        let rels = self.idb.as_ref().expect("evaluated").rels.clone();
-        let compiled = self.compiled.as_ref().expect("compiled");
+        let rels = match self.idb.as_ref() {
+            Some(idb) => idb.rels.clone(),
+            None => return Err(internal("IDB missing after evaluation")),
+        };
+        let rule_count = match self.compiled.as_ref() {
+            Some(c) => c.rules.len(),
+            None => return Err(internal("program missing after evaluation")),
+        };
         Ok(Materialized {
             rels,
-            fingerprint: (self.pred_count(), compiled.rules.len()),
+            fingerprint: (self.pred_count(), rule_count),
+            indexed: false,
         })
     }
 
@@ -72,90 +114,249 @@ impl Database {
     ) -> Result<ChangeSet> {
         let _sp = gom_obs::span("dred.apply");
         self.ensure_compiled()?;
-        {
-            let compiled = self.compiled.as_ref().expect("compiled");
-            if mat.fingerprint != (self.pred_count(), compiled.rules.len()) {
-                let effective = self.apply(delta)?;
-                *mat = self.materialize()?;
-                return Ok(effective);
-            }
+        let rule_count = self.compiled.as_ref().map_or(0, |c| c.rules.len());
+        if mat.fingerprint != (self.pred_count(), rule_count) {
+            let effective = self.apply(delta)?;
+            *mat = self.materialize()?;
+            return Ok(effective);
         }
-        // Snapshots of the old state. Base indexes are ensured first so the
-        // clones carry them; in-place maintenance keeps the live EDB's
-        // indexes valid across `apply`.
+        // Net per-fact changes, observed around the apply: presence before
+        // vs after. No snapshot of the store is taken — the DRed core
+        // reconstructs the old state in place from these nets.
         self.ensure_base_indexes();
-        let old_edb: Vec<Relation> = self.rels.clone();
-        let mut old_idb: Vec<Relation> = mat.rels.clone();
-        // Apply the base delta; compute net per-fact changes.
-        let effective = self.apply(delta)?;
-        let npred = self.pred_count();
-        let mut del: Vec<Relation> = vec![Relation::new(); npred];
-        let mut add: Vec<Relation> = vec![Relation::new(); npred];
-        {
-            let mut touched: Vec<(PredId, Tuple)> = Vec::new();
-            for op in &effective.ops {
-                let entry = (op.pred(), op.tuple().clone());
-                if !touched.contains(&entry) {
-                    touched.push(entry);
-                }
-            }
-            for (p, t) in touched {
-                let was = old_edb[p.index()].contains(&t);
-                let is = self.contains(p, &t);
-                if was && !is {
-                    del[p.index()].insert(t);
-                } else if !was && is {
-                    add[p.index()].insert(t);
-                }
+        let mut touched: Vec<(PredId, Tuple)> = Vec::new();
+        for op in &delta.ops {
+            let entry = (op.pred(), op.tuple().clone());
+            if !touched.contains(&entry) {
+                touched.push(entry);
             }
         }
+        let was: Vec<bool> = touched.iter().map(|(p, t)| self.contains(*p, t)).collect();
+        let effective = self.apply(delta)?;
+        let mut del = DeltaMap::default();
+        let mut add = DeltaMap::default();
+        for ((p, t), was) in touched.into_iter().zip(was) {
+            let is = self.contains(p, &t);
+            if was && !is {
+                del.entry(p).or_default().insert(t);
+            } else if !was && is {
+                add.entry(p).or_default().insert(t);
+            }
+        }
+        let Some(compiled) = self.compiled.take() else {
+            return Err(internal("program missing after compilation"));
+        };
+        self.ensure_derived_indexes(&compiled, mat);
+        self.dred(mat, &compiled, del, add);
+        self.compiled = Some(compiled);
+        Ok(effective)
+    }
 
-        let compiled = self.compiled.take().expect("compiled");
-        // Derived-side indexes on both the old snapshot and the maintained
-        // materialisation (no-ops when already present).
+    /// Violations computed from a materialised state (no re-evaluation).
+    pub fn violations_from(&mut self, mat: &Materialized) -> Result<Vec<Violation>> {
+        let _sp = gom_obs::span("dred.check");
+        self.ensure_compiled()?;
+        let nconstraints = self.compiled.as_ref().map_or(0, |c| c.constraints.len());
+        let indices: Vec<usize> = (0..nconstraints).collect();
+        let mut out = self.collect_violations_public(&mat.rels, &indices)?;
+        out.extend(self.key_violations_public());
+        crate::check::sort_violations(&mut out);
+        Ok(out)
+    }
+
+    // ----- maintained session state --------------------------------------------
+
+    /// Arm (or refresh) the internal maintained materialisation. After this
+    /// every base-fact [`Database::insert`]/[`Database::remove`] feeds its
+    /// delta through DRed maintenance, keeping all derived predicates —
+    /// including compiled constraint violation relations — correct at all
+    /// times. A no-op when an up-to-date maintained state is already armed,
+    /// so re-arming at every session begin is cheap.
+    pub fn ensure_maintained(&mut self) -> Result<()> {
+        self.ensure_compiled()?;
+        let rule_count = self.compiled.as_ref().map_or(0, |c| c.rules.len());
+        let fp = (self.pred_count(), rule_count);
+        if self
+            .maintained
+            .as_ref()
+            .is_some_and(|m| m.fingerprint == fp)
+        {
+            return Ok(());
+        }
+        self.maintained = None;
+        self.ensure_base_indexes();
+        let mut mat = self.materialize()?;
+        if let Some(compiled) = self.compiled.take() {
+            self.ensure_derived_indexes(&compiled, &mut mat);
+            self.compiled = Some(compiled);
+        }
+        self.maintained = Some(mat);
+        Ok(())
+    }
+
+    /// Is a maintained materialisation currently armed?
+    pub fn maintenance_active(&self) -> bool {
+        self.maintained.is_some()
+    }
+
+    /// Drop the maintained materialisation (definition change, rollback, or
+    /// any maintenance irregularity). The next [`Database::ensure_maintained`]
+    /// rebuilds from scratch.
+    pub fn discard_maintained(&mut self) {
+        self.maintained = None;
+    }
+
+    /// All violations recorded by the maintained state, or `None` when no
+    /// maintained state is armed. Unlike [`Database::check_delta`] this sees
+    /// *every* violation, not just those reachable from a session delta.
+    pub fn maintained_violations(&mut self) -> Result<Option<Vec<Violation>>> {
+        let Some(mat) = self.maintained.take() else {
+            return Ok(None);
+        };
+        let out = self.violations_from(&mat);
+        self.maintained = Some(mat);
+        out.map(Some)
+    }
+
+    /// Feed one applied base-fact change through DRed maintenance. Called by
+    /// `insert`/`remove` *after* the store changed; a no-op when no
+    /// maintained state is armed. On any irregularity the maintained state
+    /// is discarded — EES then falls back down the check ladder; fact
+    /// mutation itself never fails because of maintenance.
+    pub(crate) fn maintain_change(&mut self, pred: PredId, tuple: Tuple, inserted: bool) {
+        let Some(mut mat) = self.maintained.take() else {
+            return;
+        };
+        let _sp = gom_obs::span("dred.maintain");
+        let Some(compiled) = self.compiled.take() else {
+            gom_obs::counter_add("check.maintenance.discards", 1);
+            return;
+        };
+        if mat.fingerprint != (self.pred_count(), compiled.rules.len()) {
+            gom_obs::counter_add("check.maintenance.discards", 1);
+            self.compiled = Some(compiled);
+            return;
+        }
+        self.ensure_derived_indexes(&compiled, &mut mat);
+        let mut del = DeltaMap::default();
+        let mut add = DeltaMap::default();
+        if inserted {
+            add.entry(pred).or_default().insert(tuple);
+        } else {
+            del.entry(pred).or_default().insert(tuple);
+        }
+        self.dred(&mut mat, &compiled, del, add);
+        self.compiled = Some(compiled);
+        self.maintained = Some(mat);
+    }
+
+    /// Ensure the derived-side indexes the compiled plans expect exist on
+    /// `mat` (once per materialisation, flagged by `mat.indexed`).
+    fn ensure_derived_indexes(&self, compiled: &Compiled, mat: &mut Materialized) {
+        if mat.indexed {
+            return;
+        }
         for (p, cols) in &compiled.index_masks {
             if !self.pred_decl(*p).is_base() {
-                old_idb[p.index()].ensure_index(cols);
                 mat.rels[p.index()].ensure_index(cols);
             }
         }
-        let old_idb = old_idb;
+        mat.indexed = true;
+    }
+
+    /// Flip the live store between the new state and the old (pre-delta)
+    /// state, in place: with `to_old` the net-deleted facts are re-inserted
+    /// and the net-added ones removed (base facts into the live EDB, derived
+    /// facts into `mat`); with `!to_old` the exact inverse. Phase 1 of DRed
+    /// must see the *old* database — including under every negated literal,
+    /// where a merely-superset state would silently skip over-deletions —
+    /// and this reconstructs it at O(Δ) cost instead of cloning.
+    fn flip_restore(
+        &mut self,
+        mat: &mut Materialized,
+        del: &DeltaMap,
+        add: &DeltaMap,
+        to_old: bool,
+    ) {
+        let (ins, rem) = if to_old { (del, add) } else { (add, del) };
+        for (p, r) in ins {
+            let target = if self.preds[p.index()].is_base() {
+                &mut self.rels[p.index()]
+            } else {
+                &mut mat.rels[p.index()]
+            };
+            for t in r.iter() {
+                target.insert(t.clone());
+            }
+        }
+        for (p, r) in rem {
+            let target = if self.preds[p.index()].is_base() {
+                &mut self.rels[p.index()]
+            } else {
+                &mut mat.rels[p.index()]
+            };
+            for t in r.iter() {
+                target.remove(t);
+            }
+        }
+    }
+
+    /// The DRed core: maintain `mat` for the net base changes `del`/`add`,
+    /// which must already be applied to the live store. Shared by
+    /// [`Database::apply_incremental`] (batch) and
+    /// [`Database::maintain_change`] (per-op, singleton delta). Infallible:
+    /// plan execution cannot error and no parallel evaluation is involved.
+    fn dred(
+        &mut self,
+        mat: &mut Materialized,
+        compiled: &Compiled,
+        mut del: DeltaMap,
+        mut add: DeltaMap,
+    ) {
+        if del.is_empty() && add.is_empty() {
+            return;
+        }
         for stratum in &compiled.strat.rule_strata {
             let rules = &compiled.rules;
             let stratum_preds: FxHashSet<PredId> =
                 stratum.iter().map(|&i| rules[i].head.pred).collect();
 
-            // ----- phase 1: over-delete (old state) ---------------------------------
+            // ----- phase 1: over-delete (old state, reconstructed in place) -----
+            // `del`/`add` hold base facts plus the nets of *lower* strata
+            // only — this stratum's heads are written in phases 2–3 — so the
+            // flip never touches a relation phase 1 derives into.
+            self.flip_restore(mat, &del, &add, true);
             let mut over: Vec<(PredId, Tuple)> = Vec::new();
-            let mut over_rel: Vec<Relation> = vec![Relation::new(); npred];
-            // round 0: deltas from base + lower strata
+            let mut over_set: FxHashSet<(PredId, Tuple)> = FxHashSet::default();
             let mut frontier: Vec<(PredId, Tuple)> = Vec::new();
             for &ri in stratum {
                 let rule = &rules[ri];
                 for (li, lit) in rule.body.iter().enumerate() {
-                    let (src_pred, src_rel, neg) = match lit {
-                        Literal::Pos(a) if !stratum_preds.contains(&a.pred) => {
-                            (a.pred, &del, false)
-                        }
-                        Literal::Neg(a) => (a.pred, &add, true),
+                    let (src_pred, neg) = match lit {
+                        Literal::Pos(a) if !stratum_preds.contains(&a.pred) => (a.pred, false),
+                        Literal::Neg(a) => (a.pred, true),
                         _ => continue,
                     };
-                    if src_rel[src_pred.index()].is_empty() {
+                    let src = if neg {
+                        add.get(&src_pred)
+                    } else {
+                        del.get(&src_pred)
+                    };
+                    let Some(src) = src.filter(|r| !r.is_empty()) else {
                         continue;
-                    }
+                    };
                     delta_join(
                         self,
-                        &old_idb,
-                        Some(&old_edb),
+                        &mat.rels,
+                        None,
                         &compiled.plans[ri],
                         li,
-                        &src_rel[src_pred.index()],
+                        src,
                         neg,
                         &mut |h| {
-                            if old_idb[rule.head.pred.index()].contains(&h)
-                                && !over_rel[rule.head.pred.index()].contains(&h)
+                            if mat.rels[rule.head.pred.index()].contains(&h)
+                                && over_set.insert((rule.head.pred, h.clone()))
                             {
-                                over_rel[rule.head.pred.index()].insert(h.clone());
                                 frontier.push((rule.head.pred, h));
                             }
                         },
@@ -178,17 +379,16 @@ impl Database {
                         }
                         delta_join(
                             self,
-                            &old_idb,
-                            Some(&old_edb),
+                            &mat.rels,
+                            None,
                             &compiled.plans[ri],
                             li,
                             &dr,
                             false,
                             &mut |h| {
-                                if old_idb[rule.head.pred.index()].contains(&h)
-                                    && !over_rel[rule.head.pred.index()].contains(&h)
+                                if mat.rels[rule.head.pred.index()].contains(&h)
+                                    && over_set.insert((rule.head.pred, h.clone()))
                                 {
-                                    over_rel[rule.head.pred.index()].insert(h.clone());
                                     frontier.push((rule.head.pred, h));
                                 }
                             },
@@ -196,7 +396,8 @@ impl Database {
                     }
                 }
             }
-            // remove over-deleted facts
+            // back to the new state, then take out the over-deleted facts
+            self.flip_restore(mat, &del, &add, false);
             for (p, t) in &over {
                 mat.rels[p.index()].remove(t);
             }
@@ -208,7 +409,7 @@ impl Database {
             loop {
                 let mut rederived: Vec<usize> = Vec::new();
                 for (i, (p, t)) in still_deleted.iter().enumerate() {
-                    if derivable(self, &mat.rels, &compiled, *p, t) {
+                    if derivable(self, &mat.rels, compiled, *p, t) {
                         rederived.push(i);
                     }
                 }
@@ -222,7 +423,7 @@ impl Database {
             }
             gom_obs::counter_add("dred.rederived", (over_count - still_deleted.len()) as u64);
             for (p, t) in still_deleted {
-                del[p.index()].insert(t);
+                del.entry(p).or_default().insert(t);
             }
 
             // ----- phase 3: insert (new state) -----------------------------------------
@@ -230,23 +431,26 @@ impl Database {
             for &ri in stratum {
                 let rule = &rules[ri];
                 for (li, lit) in rule.body.iter().enumerate() {
-                    let (src_pred, src_rel, neg) = match lit {
-                        Literal::Pos(a) if !stratum_preds.contains(&a.pred) => {
-                            (a.pred, &add, false)
-                        }
-                        Literal::Neg(a) => (a.pred, &del, true),
+                    let (src_pred, neg) = match lit {
+                        Literal::Pos(a) if !stratum_preds.contains(&a.pred) => (a.pred, false),
+                        Literal::Neg(a) => (a.pred, true),
                         _ => continue,
                     };
-                    if src_rel[src_pred.index()].is_empty() {
+                    let src = if neg {
+                        del.get(&src_pred)
+                    } else {
+                        add.get(&src_pred)
+                    };
+                    let Some(src) = src.filter(|r| !r.is_empty()) else {
                         continue;
-                    }
+                    };
                     delta_join(
                         self,
                         &mat.rels,
                         None,
                         &compiled.plans[ri],
                         li,
-                        &src_rel[src_pred.index()],
+                        src,
                         neg,
                         &mut |h| {
                             if !mat.rels[rule.head.pred.index()].contains(&h) {
@@ -262,7 +466,7 @@ impl Database {
                 }
                 gom_obs::counter_add("dred.inserted", 1);
                 mat.rels[ap.index()].insert(at.clone());
-                add[ap.index()].insert(at.clone());
+                add.entry(ap).or_default().insert(at.clone());
                 let mut dr = Relation::new();
                 dr.insert(at);
                 for &ri in stratum {
@@ -293,33 +497,25 @@ impl Database {
             }
             // ----- net bookkeeping for upper strata -------------------------------------
             for &p in &stratum_preds {
-                let both: Vec<Tuple> = del[p.index()]
-                    .iter()
-                    .filter(|t| add[p.index()].contains(t))
-                    .cloned()
-                    .collect();
-                for t in both {
-                    del[p.index()].remove(&t);
-                    add[p.index()].remove(&t);
+                let both: Vec<Tuple> = match (del.get(&p), add.get(&p)) {
+                    (Some(d), Some(a)) => d.iter().filter(|t| a.contains(t)).cloned().collect(),
+                    _ => continue,
+                };
+                if both.is_empty() {
+                    continue;
+                }
+                if let Some(d) = del.get_mut(&p) {
+                    for t in &both {
+                        d.remove(t);
+                    }
+                }
+                if let Some(a) = add.get_mut(&p) {
+                    for t in &both {
+                        a.remove(t);
+                    }
                 }
             }
         }
-        self.compiled = Some(compiled);
-        // The live cache, if any, is stale relative to mat semantics; keep
-        // them decoupled (mat is authoritative for its user).
-        Ok(effective)
-    }
-
-    /// Violations computed from a materialised state (no re-evaluation).
-    pub fn violations_from(&mut self, mat: &Materialized) -> Result<Vec<Violation>> {
-        let _sp = gom_obs::span("dred.check");
-        self.ensure_compiled()?;
-        let compiled = self.compiled.take().expect("compiled");
-        let indices: Vec<usize> = (0..compiled.constraints.len()).collect();
-        self.compiled = Some(compiled);
-        let mut out = self.collect_violations_public(&mat.rels, &indices)?;
-        out.extend(self.key_violations_public());
-        Ok(out)
     }
 }
 
@@ -417,6 +613,7 @@ fn derivable(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::value::Const;
@@ -513,6 +710,38 @@ mod tests {
     }
 
     #[test]
+    fn multiple_negations_in_one_batch_over_delete() {
+        // Regression guard for the in-place restore: with two negated
+        // literals falsified by the *same* batch, phase 1 must evaluate the
+        // other negation against the OLD state — a merely-new-state context
+        // would see it already falsified and never over-delete H(1).
+        let mut db = Database::new();
+        db.load(
+            "base A(x).
+             base Q(x).
+             base R(x).
+             derived H(x).
+             H(X) :- A(X), not Q(X), not R(X).",
+        )
+        .unwrap();
+        let a = db.pred_id("A").unwrap();
+        let q = db.pred_id("Q").unwrap();
+        let r = db.pred_id("R").unwrap();
+        let h = db.pred_id("H").unwrap();
+        let one = Tuple::from(vec![Const::Int(1)]);
+        db.insert(a, one.clone()).unwrap();
+        let mut mat = db.materialize().unwrap();
+        assert!(mat.contains(h, &one));
+        let mut cs = ChangeSet::new();
+        cs.insert(q, one.clone());
+        cs.insert(r, one.clone());
+        db.apply_incremental(&mut mat, &cs).unwrap();
+        assert!(!mat.contains(h, &one));
+        db.invalidate_caches();
+        assert_eq!(db.derived_facts(h).unwrap(), mat.facts_sorted(h));
+    }
+
+    #[test]
     fn rule_change_falls_back_to_rematerialise() {
         let (mut db, e, p) = tc_db();
         db.insert(e, t2(0, 1)).unwrap();
@@ -552,5 +781,41 @@ mod tests {
         cs.delete(sub, Tuple::from(vec![b, a]));
         db.apply_incremental(&mut mat, &cs).unwrap();
         assert!(db.violations_from(&mat).unwrap().is_empty());
+    }
+
+    #[test]
+    fn maintained_state_tracks_per_op_changes() {
+        let (mut db, e, p) = tc_db();
+        db.insert(e, t2(0, 1)).unwrap();
+        db.ensure_maintained().unwrap();
+        assert!(db.maintenance_active());
+        db.insert(e, t2(1, 2)).unwrap();
+        db.insert(e, t2(2, 3)).unwrap();
+        db.remove(e, &t2(0, 1)).unwrap();
+        let got: Vec<Tuple> = {
+            let mat = db.maintained.as_ref().unwrap();
+            mat.facts_sorted(p)
+        };
+        db.invalidate_caches();
+        assert_eq!(db.derived_facts(p).unwrap(), got);
+        // maintained survives invalidate_caches of the eval cache? No —
+        // invalidate_caches retires the IDB only; the maintained state is
+        // discarded on decompile, not on IDB retirement.
+        assert!(db.maintenance_active());
+    }
+
+    #[test]
+    fn maintained_state_discarded_on_definition_change() {
+        let (mut db, e, _p) = tc_db();
+        db.insert(e, t2(0, 1)).unwrap();
+        db.ensure_maintained().unwrap();
+        db.load("derived Loop(x). Loop(X) :- Path(X, X).").unwrap();
+        assert!(!db.maintenance_active());
+        // re-arming picks up the new program
+        db.ensure_maintained().unwrap();
+        db.insert(e, t2(1, 0)).unwrap();
+        let lp = db.pred_id("Loop").unwrap();
+        let got = db.maintained.as_ref().unwrap().facts_sorted(lp);
+        assert_eq!(got.len(), 2);
     }
 }

@@ -598,6 +598,37 @@ impl Relation {
                 bound: pairs,
             });
         }
+        // No exact index: walk the bucket of the largest index covering a
+        // *subset* of the bound columns and post-filter the rest (the `Ids`
+        // iterator re-checks every bound pair anyway). Meta-layer lookups
+        // often bind more columns than the plan-driven index masks cover —
+        // e.g. Attr by (type, name) with only a (type,) index present — and
+        // a bucket walk is O(bucket) where the filter scan is O(rows).
+        let mut best: Option<(&[usize], &Postings)> = None;
+        for (k, m) in &self.indexes {
+            let covered = k.iter().all(|c| cols.contains(c));
+            let better = best.is_none_or(|(bk, _)| {
+                k.len() > bk.len() || (k.len() == bk.len() && k.as_ref() < bk)
+            });
+            if covered && better {
+                best = Some((k, m));
+            }
+        }
+        if let Some((sub, map)) = best {
+            let kh = hash_vals(sub.iter().map(|&c| {
+                pairs
+                    .iter()
+                    .find(|&&(pc, _)| pc == c)
+                    .map(|&(_, v)| v)
+                    .expect("subset column is bound")
+            }));
+            let ids = map.get(&kh).map(Ids::as_slice).unwrap_or(&[]);
+            return Matches(MatchesInner::Ids {
+                rows: &self.rows,
+                ids: ids.iter(),
+                bound: pairs,
+            });
+        }
         Matches(MatchesInner::Filter {
             rows: self.rows.iter(),
             live: self.live.iter(),

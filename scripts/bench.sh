@@ -5,16 +5,29 @@
 # Usage:
 #   scripts/bench.sh                 # writes BENCH_<YYYY-MM-DD>.json
 #   scripts/bench.sh out.json        # explicit output file
+#   scripts/bench.sh --compare BENCH_old.json [out.json]
+#                                    # run, then fail if any bench present
+#                                    # in BOTH snapshots regressed >10%
 #   GOM_EVAL_THREADS=4 scripts/bench.sh out.json   # parallel evaluator
 #   BENCH_ITERS=31 scripts/bench.sh  # more samples per bench
 #
 # The JSON schema is gom-bench/microbench/v1: per bench, the name, median
 # and min wall-clock nanoseconds, work units per iteration, and derived
 # units/second throughput. Keep the committed BENCH_*.json files so the
-# perf trajectory is reviewable PR over PR.
+# perf trajectory is reviewable PR over PR. The --compare gate only looks
+# at rows shared by both files: brand-new benches can land freely, but a
+# pre-existing row whose median grows beyond 110% of the old snapshot
+# fails the run.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+compare_to=""
+if [ "${1:-}" = "--compare" ]; then
+  compare_to="${2:?usage: scripts/bench.sh --compare <old.json> [out.json]}"
+  [ -f "$compare_to" ] || { echo "no such baseline: $compare_to"; exit 1; }
+  shift 2
+fi
 
 out="${1:-BENCH_$(date +%F).json}"
 iters="${BENCH_ITERS:-15}"
@@ -22,3 +35,32 @@ iters="${BENCH_ITERS:-15}"
 cargo build --release -p gom-bench --bin microbench
 ./target/release/microbench --iters "$iters" --out "$out"
 echo "benchmark snapshot written to $out"
+
+if [ -n "$compare_to" ]; then
+  echo "comparing against $compare_to (fail on >10% median regression)"
+  # The v1 schema emits one bench per line; pull (name, median_ns) pairs.
+  medians() {
+    sed -n 's/.*"name": "\([^"]*\)", "median_ns": \([0-9]*\).*/\1 \2/p' "$1"
+  }
+  medians "$compare_to" > /tmp/bench_old.$$
+  medians "$out" > /tmp/bench_new.$$
+  awk -v old=/tmp/bench_old.$$ '
+    BEGIN {
+      while ((getline line < old) > 0) {
+        split(line, f, " "); base[f[1]] = f[2] + 0
+      }
+    }
+    {
+      name = $1; med = $2 + 0
+      if (!(name in base)) { printf "  NEW  %-28s %12d ns\n", name, med; next }
+      ratio = med / base[name]
+      verdict = ratio > 1.10 ? "REGRESSED" : "ok"
+      printf "  %-9s %-28s %12d -> %12d ns (%.2fx)\n", \
+             verdict, name, base[name], med, ratio
+      if (ratio > 1.10) bad++
+    }
+    END { if (bad > 0) { printf "%d bench(es) regressed >10%%\n", bad; exit 1 } }
+  ' /tmp/bench_new.$$ && status=0 || status=$?
+  rm -f /tmp/bench_old.$$ /tmp/bench_new.$$
+  exit $status
+fi

@@ -49,13 +49,27 @@ trap 'rm -rf "$trace_tmp"' EXIT
 cargo run --release -q --bin gomsh -- \
   --store "$trace_tmp/db.gomj" --trace "$trace_tmp/trace.jsonl" \
   "$trace_tmp/session.gsh" > /dev/null
-for span in eval.fixpoint eval.stratum check.delta session.bes session.ees \
+# A clean interactive session commits through the maintained EES path:
+# per-op dred.maintain spans while the session is open, one ees.maintained
+# read at commit — and never a full check.delta re-evaluation.
+for span in eval.fixpoint eval.stratum ees.maintained dred.maintain \
+            session.bes session.ees \
             session.journal_commit analyzer.lower load.program; do
   grep -q "\"name\":\"$span" "$trace_tmp/trace.jsonl" \
     || { echo "MISSING span $span in trace"; exit 1; }
 done
+if grep -q '"check.maintenance.fallbacks":[1-9]' "$trace_tmp/trace.jsonl"; then
+  echo "maintained EES fell back to delta checking on the clean path"
+  exit 1
+fi
 grep -q '"journal.appends"' "$trace_tmp/trace.jsonl" \
   || { echo "MISSING journal counters in trace"; exit 1; }
+
+# The maintained violation relations must agree bit-identically with full
+# checking across random sessions (incl. rollback/recommit and recovery
+# replay); run the differential sweep in release like the others.
+step "differential test (maintained vs full EES check)"
+cargo test --release --test maintained_soundness
 
 # Crash recovery must land on a session boundary from any journal prefix,
 # partial write, or corrupted tail; run the sweep in release so the
@@ -176,10 +190,13 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   # arbitrary user programs) and gom-impact (runs inside EES; a panic would
   # take an open session down) all deny unwrap/expect via [lints.clippy]
   # in their own Cargo.toml, so a plain per-package clippy run enforces it
-  # without leaking the deny into workspace dependencies.
-  step "cargo clippy unwrap/expect gate (store, obs, server, runtime, lint, impact)"
+  # without leaking the deny into workspace dependencies. The incremental
+  # maintenance module (gom-deductive/src/incr.rs) runs inside every armed
+  # session and carries the same deny in-source at module level, so it is
+  # enforced by any clippy run, including this one.
+  step "cargo clippy unwrap/expect gate (store, obs, server, runtime, lint, impact, deductive::incr)"
   cargo clippy -p gom-store -p gom-obs -p gom-server -p gom-runtime \
-    -p gom-lint -p gom-impact --all-targets -- -D warnings
+    -p gom-lint -p gom-impact -p gom-deductive --all-targets -- -D warnings
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

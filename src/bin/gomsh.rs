@@ -111,6 +111,7 @@ fn render_timing(diff: &gom_obs::Snapshot) -> String {
                     | "check.full"
                     | "check.delta"
                     | "check.keys"
+                    | "ees.maintained"
                     | "repair.generate"
                     | "session.ees"
                     | "session.journal_commit"
