@@ -14,25 +14,50 @@
 //!   a recovered daemon republishes exactly the last committed epoch.
 //! * **Ops outside a session autocommit** as a BES/op/EES micro-session,
 //!   mirroring the `gomsh` convention.
+//!
+//! The failure model (DESIGN.md §14) assumes hostile clients and
+//! networks:
+//!
+//! * **Session leases.** The writer must be heard from within the lease
+//!   interval (any frame renews; `Renew` for idle clients) or the reaper
+//!   thread rolls the abandoned session back and releases the lock —
+//!   `server.lease.expired` counts reaps, and the zombie's next session
+//!   frame gets a typed `LeaseExpired`.
+//! * **I/O deadlines.** A frame that starts arriving must complete
+//!   within the per-connection I/O deadline; a slow-loris partial frame
+//!   is answered with `Timeout` and a close (`server.timeouts`), never an
+//!   indefinite read loop. Writes carry the same deadline.
+//! * **Load shedding.** At the connection bound the accept loop sheds new
+//!   connections with a structured `Overloaded{active,max}` frame
+//!   (`server.shed`) instead of accepting-then-starving.
+//! * **Idempotent commits.** `Ees` may carry a client-chosen token; the
+//!   committed `(epoch, changes)` is remembered under it, so a retried
+//!   commit whose ack was lost replays the answer
+//!   (`server.commit.token_replays`) and is never applied twice.
 
 use crate::session::{Acquire, SessionLock};
 use crate::snapshot::{ReaderCache, Snapshot, SnapshotCell};
-use crate::wire::{self, ErrorKind, EvolutionOp, Reply, Request};
+use crate::wire::{self, ErrorKind, EvolutionOp, ReadEvent, Reply, Request};
 use gom_core::{EvolutionOutcome, SchemaManager};
 use gom_evolution::{delete_type, DeleteTypeSemantics};
 use gom_store::SyncPolicy;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
-/// How long a connection handler sleeps in `read` before re-checking the
-/// shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(100);
-/// Accept-loop shutdown poll interval.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Poll tick for blocked reads: how often a waiting connection re-checks
+/// the shutdown flag and its frame deadline. Prompt shutdown does not
+/// rely on this — `initiate_shutdown` shuts the registered streams down,
+/// which wakes blocked reads immediately.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How many committed `(token → epoch, changes)` entries the idempotent-
+/// commit cache retains (FIFO eviction).
+const TOKEN_CACHE_CAP: usize = 1024;
 
 /// Server configuration.
 pub struct Config {
@@ -46,18 +71,72 @@ pub struct Config {
     /// How long a `Bes` (or autocommit op) waits for the writer lock
     /// before returning `Busy`.
     pub session_timeout: Duration,
+    /// Session lease: the writer must send a frame (or `Renew`) at least
+    /// this often or the reaper rolls its session back.
+    pub lease: Duration,
+    /// Per-connection I/O deadline: a frame that starts arriving must
+    /// complete within this long (reads), and a reply write must finish
+    /// within it too.
+    pub io_deadline: Duration,
+    /// Connection bound: further connections are shed with a typed
+    /// `Overloaded` frame until an active one closes.
+    pub max_connections: usize,
+    /// Eval-thread override applied to the schema base (chaos testing
+    /// runs the same sweep at 1 and 4 threads).
+    pub eval_threads: Option<usize>,
 }
 
 impl Config {
-    /// In-memory server on `socket` with a 2-second session timeout.
+    /// In-memory server on `socket` with a 2-second session timeout, a
+    /// 30-second lease, a 10-second I/O deadline, and a 256-connection
+    /// bound.
     pub fn in_memory(socket: impl Into<PathBuf>) -> Config {
         Config {
             socket: socket.into(),
             store: None,
             sync: SyncPolicy::OnCommit,
             session_timeout: Duration::from_secs(2),
+            lease: Duration::from_secs(30),
+            io_deadline: Duration::from_secs(10),
+            max_connections: 256,
+            eval_threads: None,
         }
     }
+}
+
+/// Idempotent-commit memory: token → (epoch, changes), FIFO-bounded.
+#[derive(Default)]
+struct TokenCache {
+    map: HashMap<u64, (u64, u64)>,
+    order: VecDeque<u64>,
+}
+
+impl TokenCache {
+    fn get(&self, token: u64) -> Option<(u64, u64)> {
+        self.map.get(&token).copied()
+    }
+
+    fn insert(&mut self, token: u64, epoch: u64, changes: u64) {
+        if self.map.insert(token, (epoch, changes)).is_none() {
+            self.order.push_back(token);
+            if self.order.len() > TOKEN_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Always-on failure-model counters, independent of the gom-obs switch:
+/// `stats` must surface timeouts/sheds/reaps even when tracing is off.
+#[derive(Default)]
+struct Vitals {
+    timeouts: AtomicU64,
+    shed: AtomicU64,
+    lease_expired: AtomicU64,
+    lease_renews: AtomicU64,
+    token_replays: AtomicU64,
 }
 
 struct Shared {
@@ -66,6 +145,21 @@ struct Shared {
     lock: SessionLock,
     shutdown: AtomicBool,
     session_timeout: Duration,
+    lease: Duration,
+    io_deadline: Duration,
+    max_connections: usize,
+    socket: PathBuf,
+    /// Currently served connections (shed threshold).
+    active: AtomicU64,
+    /// Stream clones of live connections, shut down on stop so blocked
+    /// reads wake immediately instead of waiting out a poll tick.
+    conns: Mutex<Vec<(u64, UnixStream)>>,
+    /// Idempotent EES commit tokens.
+    tokens: Mutex<TokenCache>,
+    /// Reaper parking lot: notified on shutdown for a prompt exit.
+    wake_mx: Mutex<()>,
+    wake_cv: Condvar,
+    vitals: Vitals,
     /// Lint config captured at startup (carries the system-material
     /// baseline so server-side lint matches `gomsh lint` output).
     lint_cfg: gom_lint::LintConfig,
@@ -75,6 +169,45 @@ impl Shared {
     fn mgr(&self) -> std::sync::MutexGuard<'_, SchemaManager> {
         self.mgr.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flip the shutdown flag and wake every parked thread: the reaper
+    /// (condvar), blocked connection reads (stream shutdown), and the
+    /// blocking accept loop (a self-connection). Idempotent.
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.wake_cv.notify_all();
+        {
+            let conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            for (_, stream) in conns.iter() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        // Wake the accept loop: the dummy connection is dropped by the
+        // accept loop once it observes the flag.
+        let _ = UnixStream::connect(&self.socket);
+    }
+
+    fn register_conn(&self, id: u64, stream: &UnixStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push((id, clone));
+        }
+    }
+
+    fn deregister_conn(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(cid, _)| *cid != id);
+    }
 }
 
 /// Handle to a running server. Dropping it does *not* stop the daemon;
@@ -82,6 +215,7 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
+    reaper: Option<std::thread::JoinHandle<()>>,
     socket: PathBuf,
 }
 
@@ -102,21 +236,42 @@ impl ServerHandle {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.reaper.take() {
+            let _ = t.join();
+        }
         let _ = std::fs::remove_file(&self.socket);
     }
 
-    /// Request shutdown and wait for the accept loop to exit.
+    /// Request shutdown and wait for the accept loop to exit. Prompt:
+    /// every parked thread is woken explicitly rather than polled out.
     pub fn stop(self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.initiate_shutdown();
         self.join();
+    }
+}
+
+/// Pre-register the failure-model counters so `stats` and traces always
+/// carry them, even at zero (a no-op while collection is disabled).
+fn register_counters() {
+    for name in [
+        "server.connections",
+        "server.requests",
+        "server.timeouts",
+        "server.shed",
+        "server.lease.expired",
+        "server.lease.renews",
+        "server.session.abandoned",
+        "server.commit.token_replays",
+    ] {
+        gom_obs::counter_add(name, 0);
     }
 }
 
 /// Start a server for `config`: opens (and, with a store, recovers) the
 /// schema base, publishes the initial snapshot, binds the socket, and
-/// spawns the accept loop.
+/// spawns the accept and reaper loops.
 pub fn serve(config: Config) -> io::Result<ServerHandle> {
-    let mgr = match &config.store {
+    let mut mgr = match &config.store {
         Some(path) => {
             let (mgr, report) = SchemaManager::open(path, config.sync)
                 .map_err(|e| io::Error::other(format!("journal open failed: {e}")))?;
@@ -132,6 +287,10 @@ pub fn serve(config: Config) -> io::Result<ServerHandle> {
         None => SchemaManager::new()
             .map_err(|e| io::Error::other(format!("schema base init failed: {e}")))?,
     };
+    if let Some(threads) = config.eval_threads {
+        mgr.meta.db.set_eval_threads(threads);
+    }
+    register_counters();
 
     let initial = Snapshot::capture(0, &mgr.meta);
     let lint_cfg = mgr.lint_config();
@@ -141,35 +300,109 @@ pub fn serve(config: Config) -> io::Result<ServerHandle> {
         lock: SessionLock::new(),
         shutdown: AtomicBool::new(false),
         session_timeout: config.session_timeout,
+        lease: config.lease,
+        io_deadline: config.io_deadline,
+        max_connections: config.max_connections.max(1),
+        socket: config.socket.clone(),
+        active: AtomicU64::new(0),
+        conns: Mutex::new(Vec::new()),
+        tokens: Mutex::new(TokenCache::default()),
+        wake_mx: Mutex::new(()),
+        wake_cv: Condvar::new(),
+        vitals: Vitals::default(),
         lint_cfg,
     });
 
     // A previous unclean exit may have left the socket file behind.
     let _ = std::fs::remove_file(&config.socket);
     let listener = UnixListener::bind(&config.socket)?;
-    listener.set_nonblocking(true)?;
 
     let accept_shared = shared.clone();
     let accept = std::thread::Builder::new()
         .name("gomd-accept".into())
         .spawn(move || accept_loop(listener, accept_shared))?;
+    let reaper_shared = shared.clone();
+    let reaper = std::thread::Builder::new()
+        .name("gomd-reaper".into())
+        .spawn(move || reaper_loop(reaper_shared))?;
 
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
+        reaper: Some(reaper),
         socket: config.socket,
     })
+}
+
+/// The lease reaper: wakes every lease/4 (clamped), rolls back the
+/// session of a holder whose lease lapsed, and releases the lock so the
+/// FIFO queue advances. The manager mutex is held across the reap *and*
+/// the rollback, so the next writer — granted the lock the instant the
+/// reap lands — blocks on the manager until the abandoned session is
+/// fully rolled back.
+fn reaper_loop(shared: Arc<Shared>) {
+    let tick = (shared.lease / 4)
+        .max(Duration::from_millis(5))
+        .min(Duration::from_secs(1));
+    loop {
+        {
+            let guard = shared
+                .wake_mx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let _ = shared
+                .wake_cv
+                .wait_timeout(guard, tick)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if shared.stopping() {
+            break;
+        }
+        let Some(victim) = shared.lock.expired_holder(shared.lease) else {
+            continue;
+        };
+        // Order matters: manager mutex first (serialises with an in-flight
+        // request from the victim — its completion renews the lease and
+        // the re-check below backs off), then the atomic re-check + reap,
+        // then the rollback under the still-held manager mutex.
+        let mut mgr = shared.mgr();
+        if !shared.lock.reap_if_expired(victim, shared.lease) {
+            continue;
+        }
+        shared.vitals.lease_expired.fetch_add(1, Ordering::SeqCst);
+        gom_obs::counter_add("server.lease.expired", 1);
+        gom_obs::counter_add("server.session.abandoned", 1);
+        gom_obs::event(
+            "server.lease.expired",
+            &[("conn", gom_obs::Field::U64(victim))],
+        );
+        if mgr.in_evolution() {
+            let _ = mgr.rollback_evolution();
+        }
+    }
 }
 
 fn accept_loop(listener: UnixListener, shared: Arc<Shared>) {
     let next_id = AtomicU64::new(1);
     let mut workers = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if shared.stopping() {
+                    // The wake-up connection from initiate_shutdown (or a
+                    // straggler racing it): drop and exit.
+                    break;
+                }
                 let _sp = gom_obs::span("server.accept");
+                let active = shared.active.load(Ordering::SeqCst);
+                if active >= shared.max_connections as u64 {
+                    shed(stream, active, shared.max_connections as u64, &shared);
+                    continue;
+                }
                 gom_obs::counter_add("server.connections", 1);
                 let id = next_id.fetch_add(1, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.register_conn(id, &stream);
                 let conn_shared = shared.clone();
                 let worker = std::thread::Builder::new()
                     .name(format!("gomd-conn-{id}"))
@@ -178,22 +411,46 @@ fn accept_loop(listener: UnixListener, shared: Arc<Shared>) {
                     });
                 match worker {
                     Ok(h) => workers.push(h),
-                    Err(e) => gom_obs::event(
-                        "server.spawn_failed",
-                        &[("error", gom_obs::Field::Str(&e.to_string()))],
-                    ),
+                    Err(e) => {
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                        shared.deregister_conn(id);
+                        gom_obs::event(
+                            "server.spawn_failed",
+                            &[("error", gom_obs::Field::Str(&e.to_string()))],
+                        );
+                    }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.stopping() {
+                    break;
+                }
             }
-            Err(_) => break,
         }
     }
-    // Connections poll the same flag; give them a bounded grace period.
+    // Connections were woken by initiate_shutdown (stream shutdown) or
+    // notice the flag within one poll tick; join them all.
     for w in workers {
         let _ = w.join();
     }
+}
+
+/// Shed a connection at the bound: one structured `Overloaded` frame,
+/// written under a short deadline, then close.
+fn shed(stream: UnixStream, active: u64, max: u64, shared: &Shared) {
+    shared.vitals.shed.fetch_add(1, Ordering::SeqCst);
+    gom_obs::counter_add("server.shed", 1);
+    gom_obs::event(
+        "server.shed",
+        &[
+            ("active", gom_obs::Field::U64(active)),
+            ("max", gom_obs::Field::U64(max)),
+        ],
+    );
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let _ = wire::write_frame(&mut stream, &Reply::Overloaded { active, max }.encode());
 }
 
 struct Connection {
@@ -213,21 +470,48 @@ impl Connection {
 
     fn run(mut self, mut stream: UnixStream) {
         let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(self.shared.io_deadline));
         loop {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
+            if self.shared.stopping() {
                 break;
             }
-            let frame = match wire::read_frame(&mut stream) {
-                Ok(Some(f)) => f,
-                Ok(None) => break, // clean EOF at a frame boundary
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue
+            let shared = self.shared.clone();
+            let frame = match wire::read_frame_deadline(&mut stream, shared.io_deadline, || {
+                !shared.stopping()
+            }) {
+                Ok(ReadEvent::Frame(f)) => f,
+                Ok(ReadEvent::Closed) | Ok(ReadEvent::Aborted) => break,
+                Ok(ReadEvent::Stalled) => {
+                    // Slow-loris partial frame: typed Timeout, then close
+                    // (the stream is desynchronised mid-frame).
+                    self.shared.vitals.timeouts.fetch_add(1, Ordering::SeqCst);
+                    gom_obs::counter_add("server.timeouts", 1);
+                    let reply = Reply::err(
+                        ErrorKind::Timeout,
+                        format!(
+                            "partial frame stalled past the {}ms I/O deadline",
+                            self.shared.io_deadline.as_millis()
+                        ),
+                    );
+                    let _ = wire::write_frame(&mut stream, &reply.encode());
+                    break;
                 }
-                Err(_) => break,
+                Err(e) => {
+                    // Corruption (CRC, oversized length, torn header) or a
+                    // real I/O error: best-effort typed reply, then close.
+                    let reply = Reply::err(ErrorKind::Protocol, e.to_string());
+                    let _ = wire::write_frame(&mut stream, &reply.encode());
+                    break;
+                }
             };
+            // Any frame from the lock holder renews its lease.
+            if self.shared.lock.touch(self.id) {
+                self.shared
+                    .vitals
+                    .lease_renews
+                    .fetch_add(1, Ordering::SeqCst);
+                gom_obs::counter_add("server.lease.renews", 1);
+            }
             let reply = match Request::decode(&frame) {
                 Ok(req) => {
                     let _sp = gom_obs::span_labeled("server.request", req.verb());
@@ -245,11 +529,20 @@ impl Connection {
                 Err(e) => Reply::err(ErrorKind::Protocol, e.to_string()),
             };
             let shutdown_after = matches!(reply, Reply::Ok(ref s) if s == "shutting down");
-            if wire::write_frame(&mut stream, &reply.encode()).is_err() {
+            if let Err(e) = wire::write_frame(&mut stream, &reply.encode()) {
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) {
+                    // The peer stopped draining its socket: a write-side
+                    // slow loris. Count it and drop the connection.
+                    self.shared.vitals.timeouts.fetch_add(1, Ordering::SeqCst);
+                    gom_obs::counter_add("server.timeouts", 1);
+                }
                 break;
             }
             if shutdown_after {
-                self.shared.shutdown.store(true, Ordering::SeqCst);
+                self.shared.initiate_shutdown();
                 break;
             }
         }
@@ -257,7 +550,8 @@ impl Connection {
     }
 
     /// A dropped connection must not wedge the daemon: abandon any open
-    /// session (rollback) and release the writer lock.
+    /// session (rollback) and release the writer lock. Also clears any
+    /// undelivered lease-expiry notice and the connection registry entry.
     fn hangup(&self) {
         if self.shared.lock.held_by(self.id) {
             gom_obs::counter_add("server.session.abandoned", 1);
@@ -268,22 +562,85 @@ impl Connection {
             drop(mgr);
             self.shared.lock.release(self.id);
         }
+        self.shared.lock.take_expired(self.id);
+        self.shared.deregister_conn(self.id);
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The one-shot `LeaseExpired` notice for session verbs: if this
+    /// connection's session was reaped since its last session frame,
+    /// answer with the typed error (and clear the notice).
+    fn expired_notice(&self) -> Option<Reply> {
+        if self.shared.lock.take_expired(self.id) {
+            Some(Reply::err(
+                ErrorKind::LeaseExpired,
+                format!(
+                    "session lease ({}ms) expired: the session was rolled back and the \
+                     writer lock released; begin again with bes",
+                    self.shared.lease.as_millis()
+                ),
+            ))
+        } else {
+            None
+        }
     }
 
     fn dispatch(&mut self, req: &Request) -> Reply {
         match req {
             Request::Bes => self.bes(),
             Request::Op(op) => self.op(op),
-            Request::Ees => self.ees(),
+            Request::Ees { token } => self.ees(*token),
             Request::Rollback => self.rollback(),
+            Request::Renew => self.renew(),
             Request::Query(body) => self.query(body),
             Request::Check => self.check(),
             Request::Lint => self.lint(),
-            Request::Stats => Reply::Ok(gom_obs::render_table(&gom_obs::snapshot())),
+            Request::Stats => self.stats(),
             Request::Digest => self.digest(),
             Request::Shutdown => Reply::Ok("shutting down".into()),
             Request::Plan => self.plan(),
         }
+    }
+
+    /// Service statistics: a service header (epoch, connections, queue
+    /// depth, lease) on top of the obs table.
+    fn stats(&self) -> Reply {
+        let v = &self.shared.vitals;
+        let header = format!(
+            "epoch {} | conns {}/{} | writer waiters {} | lease {}ms io-deadline {}ms\n\
+             server.timeouts={} server.shed={} server.lease.expired={} \
+             server.lease.renews={} server.commit.token_replays={}\n",
+            self.shared.cell.epoch(),
+            self.shared.active.load(Ordering::SeqCst),
+            self.shared.max_connections,
+            self.shared.lock.waiters(),
+            self.shared.lease.as_millis(),
+            self.shared.io_deadline.as_millis(),
+            v.timeouts.load(Ordering::SeqCst),
+            v.shed.load(Ordering::SeqCst),
+            v.lease_expired.load(Ordering::SeqCst),
+            v.lease_renews.load(Ordering::SeqCst),
+            v.token_replays.load(Ordering::SeqCst),
+        );
+        Reply::Ok(format!(
+            "{header}{}",
+            gom_obs::render_table(&gom_obs::snapshot())
+        ))
+    }
+
+    /// Explicit lease renewal for an idle session holder.
+    fn renew(&self) -> Reply {
+        if self.shared.lock.held_by(self.id) {
+            // The run loop already touched the lease on frame receipt.
+            return Reply::Ok(format!(
+                "lease renewed ({}ms)",
+                self.shared.lease.as_millis()
+            ));
+        }
+        if let Some(expired) = self.expired_notice() {
+            return expired;
+        }
+        Reply::err(ErrorKind::BadRequest, "no open session to renew")
     }
 
     /// Pre-EES commit plan for the open session. Requires the writer lock
@@ -291,13 +648,20 @@ impl Connection {
     /// not the published snapshot.
     fn plan(&self) -> Reply {
         if !self.shared.lock.held_by(self.id) {
+            if let Some(expired) = self.expired_notice() {
+                return expired;
+            }
             return Reply::err(ErrorKind::BadRequest, "no open session (send bes first)");
         }
         let mut mgr = self.shared.mgr();
-        match mgr.plan() {
+        let reply = match mgr.plan() {
             Ok(report) => Reply::Ok(report.render()),
             Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
-        }
+        };
+        // A long plan still counts as liveness (the manager mutex is held,
+        // so the reaper's re-check is ordered after this touch).
+        self.shared.lock.touch(self.id);
+        reply
     }
 
     fn acquire_writer(&self) -> Result<(), Reply> {
@@ -319,6 +683,9 @@ impl Connection {
     }
 
     fn bes(&self) -> Reply {
+        if let Some(expired) = self.expired_notice() {
+            return expired;
+        }
         if let Err(busy) = self.acquire_writer() {
             return busy;
         }
@@ -346,62 +713,97 @@ impl Connection {
     fn op(&self, op: &EvolutionOp) -> Reply {
         if self.shared.lock.held_by(self.id) {
             let mut mgr = self.shared.mgr();
-            match apply_op(&mut mgr, op) {
+            let reply = match apply_op(&mut mgr, op) {
                 Ok(msg) => Reply::Ok(msg),
                 Err(e) => Reply::err(ErrorKind::BadRequest, e),
-            }
-        } else {
-            // Autocommit micro-session: BES / op / EES, publishing on
-            // success — same convention as gomsh outside a session.
-            if let Err(busy) = self.acquire_writer() {
-                return busy;
-            }
-            let mut mgr = self.shared.mgr();
-            let reply = (|| {
-                mgr.begin_evolution()
-                    .map_err(|e| Reply::err(ErrorKind::Internal, e.to_string()))?;
-                let msg = match apply_op(&mut mgr, op) {
-                    Ok(m) => m,
-                    Err(e) => {
-                        let _ = mgr.rollback_evolution();
-                        return Err(Reply::err(ErrorKind::BadRequest, e));
-                    }
-                };
-                match mgr.end_evolution() {
-                    Ok(EvolutionOutcome::Consistent(delta)) => {
-                        let epoch = self.shared.cell.epoch() + 1;
-                        self.shared
-                            .cell
-                            .publish(Snapshot::capture(epoch, &mgr.meta));
-                        Ok(Reply::Committed {
-                            epoch,
-                            changes: delta.len() as u64,
-                        })
-                    }
-                    Ok(EvolutionOutcome::Inconsistent(violations)) => {
-                        let rendered: Vec<String> =
-                            violations.iter().map(|v| v.render(&mgr.meta.db)).collect();
-                        let _ = mgr.rollback_evolution();
-                        let mut msg = format!("autocommit rejected ({msg}): ");
-                        msg.push_str(&rendered.join("; "));
-                        Err(Reply::err(ErrorKind::BadRequest, msg))
-                    }
-                    Err(e) => {
-                        let _ = mgr.rollback_evolution();
-                        Err(Reply::err(ErrorKind::Internal, e.to_string()))
-                    }
+            };
+            // Touch under the manager mutex: a single op longer than the
+            // lease interval must not lose the session to the reaper.
+            self.shared.lock.touch(self.id);
+            return reply;
+        }
+        // A reaped holder must learn its session is gone before an op is
+        // silently autocommitted out of the context it assumed.
+        if let Some(expired) = self.expired_notice() {
+            return expired;
+        }
+        // Autocommit micro-session: BES / op / EES, publishing on
+        // success — same convention as gomsh outside a session.
+        if let Err(busy) = self.acquire_writer() {
+            return busy;
+        }
+        let mut mgr = self.shared.mgr();
+        let reply = (|| {
+            mgr.begin_evolution()
+                .map_err(|e| Reply::err(ErrorKind::Internal, e.to_string()))?;
+            let msg = match apply_op(&mut mgr, op) {
+                Ok(m) => m,
+                Err(e) => {
+                    let _ = mgr.rollback_evolution();
+                    return Err(Reply::err(ErrorKind::BadRequest, e));
                 }
-            })();
-            drop(mgr);
-            self.shared.lock.release(self.id);
-            match reply {
-                Ok(r) | Err(r) => r,
+            };
+            match mgr.end_evolution() {
+                Ok(EvolutionOutcome::Consistent(delta)) => {
+                    let epoch = self.shared.cell.epoch() + 1;
+                    self.shared
+                        .cell
+                        .publish(Snapshot::capture(epoch, &mgr.meta));
+                    Ok(Reply::Committed {
+                        epoch,
+                        changes: delta.len() as u64,
+                        token: 0,
+                    })
+                }
+                Ok(EvolutionOutcome::Inconsistent(violations)) => {
+                    let rendered: Vec<String> =
+                        violations.iter().map(|v| v.render(&mgr.meta.db)).collect();
+                    let _ = mgr.rollback_evolution();
+                    let mut msg = format!("autocommit rejected ({msg}): ");
+                    msg.push_str(&rendered.join("; "));
+                    Err(Reply::err(ErrorKind::BadRequest, msg))
+                }
+                Err(e) => {
+                    let _ = mgr.rollback_evolution();
+                    Err(Reply::err(ErrorKind::Internal, e.to_string()))
+                }
             }
+        })();
+        drop(mgr);
+        self.shared.lock.release(self.id);
+        match reply {
+            Ok(r) | Err(r) => r,
         }
     }
 
-    fn ees(&self) -> Reply {
+    fn ees(&self, token: Option<u64>) -> Reply {
+        // Idempotent replay first: a retried commit whose ack was lost is
+        // answered from the cache — never applied twice — regardless of
+        // session or lease state.
+        if let Some(t) = token {
+            let cached = self
+                .shared
+                .tokens
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(t);
+            if let Some((epoch, changes)) = cached {
+                self.shared
+                    .vitals
+                    .token_replays
+                    .fetch_add(1, Ordering::SeqCst);
+                gom_obs::counter_add("server.commit.token_replays", 1);
+                return Reply::Committed {
+                    epoch,
+                    changes,
+                    token: t,
+                };
+            }
+        }
         if !self.shared.lock.held_by(self.id) {
+            if let Some(expired) = self.expired_notice() {
+                return expired;
+            }
             return Reply::err(ErrorKind::BadRequest, "no open session (send bes first)");
         }
         let mut mgr = self.shared.mgr();
@@ -413,25 +815,44 @@ impl Connection {
                 self.shared
                     .cell
                     .publish(Snapshot::capture(epoch, &mgr.meta));
+                let changes = delta.len() as u64;
+                // Record the token before releasing the lock: any retry is
+                // ordered behind the release (it must reconnect or re-queue)
+                // and therefore sees the cache entry.
+                if let Some(t) = token {
+                    self.shared
+                        .tokens
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(t, epoch, changes);
+                }
                 drop(mgr);
                 self.shared.lock.release(self.id);
                 Reply::Committed {
                     epoch,
-                    changes: delta.len() as u64,
+                    changes,
+                    token: token.unwrap_or(0),
                 }
             }
             Ok(EvolutionOutcome::Inconsistent(violations)) => {
                 // Paper §3.5: the session stays open for repairs; the
                 // writer lock stays with this connection.
                 let rendered = violations.iter().map(|v| v.render(&mgr.meta.db)).collect();
+                self.shared.lock.touch(self.id);
                 Reply::Violations(rendered)
             }
-            Err(e) => Reply::err(ErrorKind::Internal, e.to_string()),
+            Err(e) => {
+                self.shared.lock.touch(self.id);
+                Reply::err(ErrorKind::Internal, e.to_string())
+            }
         }
     }
 
     fn rollback(&self) -> Reply {
         if !self.shared.lock.held_by(self.id) {
+            if let Some(expired) = self.expired_notice() {
+                return expired;
+            }
             return Reply::err(ErrorKind::BadRequest, "no open session to roll back");
         }
         let mut mgr = self.shared.mgr();

@@ -10,8 +10,18 @@
 //! and a bounded [`SessionLock::acquire`] timeout converts starvation into
 //! a typed `Busy` error the client can retry, instead of an indefinite
 //! hang.
+//!
+//! The lock also carries the session **lease**: the holder must be heard
+//! from (any frame, or an explicit `Renew`) within the lease interval, or
+//! the server's reaper thread rolls the abandoned session back and takes
+//! the lock away ([`SessionLock::reap_if_expired`]). A SIGSTOP'd or
+//! silently-vanished client therefore can no longer wedge the daemon in a
+//! way only a TCP hangup could previously undo. The reaped connection id
+//! is remembered in an `expired` set so the zombie's next session frame
+//! gets a clean typed `LeaseExpired` instead of a protocol desync
+//! ([`SessionLock::take_expired`]).
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -19,8 +29,14 @@ use std::time::{Duration, Instant};
 struct State {
     /// Connection currently holding the writer lock, if any.
     holder: Option<u64>,
+    /// When the holder was last heard from (set on grant and on every
+    /// [`SessionLock::touch`]). `None` iff `holder` is `None`.
+    renewed_at: Option<Instant>,
     /// Connections waiting, in arrival order.
     queue: VecDeque<u64>,
+    /// Connections whose session the reaper rolled back, pending their
+    /// one-shot `LeaseExpired` notification.
+    expired: HashSet<u64>,
 }
 
 /// Outcome of an acquisition attempt.
@@ -69,10 +85,12 @@ impl SessionLock {
         let deadline = Instant::now() + timeout;
         let mut st = self.lock();
         if st.holder == Some(owner) {
+            st.renewed_at = Some(Instant::now());
             return Acquire::Granted;
         }
         if st.holder.is_none() && st.queue.is_empty() {
             st.holder = Some(owner);
+            st.renewed_at = Some(Instant::now());
             return Acquire::Granted;
         }
         st.queue.push_back(owner);
@@ -82,6 +100,7 @@ impl SessionLock {
             if granted {
                 st.queue.pop_front();
                 st.holder = Some(owner);
+                st.renewed_at = Some(Instant::now());
                 return Acquire::Granted;
             }
             let now = Instant::now();
@@ -111,9 +130,74 @@ impl SessionLock {
             return false;
         }
         st.holder = None;
+        st.renewed_at = None;
         drop(st);
         self.cv.notify_all();
         true
+    }
+
+    /// Renew the lease if `owner` holds the lock. Called on every frame
+    /// received from a connection (any frame renews) and again after a
+    /// session verb completes, so a single op that legitimately runs
+    /// longer than the lease interval still counts as liveness.
+    /// Returns whether a renewal happened.
+    pub fn touch(&self, owner: u64) -> bool {
+        let mut st = self.lock();
+        if st.holder == Some(owner) {
+            st.renewed_at = Some(Instant::now());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The holder whose lease has lapsed (no frame for longer than
+    /// `lease`), if any. A cheap peek for the reaper; the authoritative
+    /// re-check is [`reap_if_expired`](Self::reap_if_expired).
+    pub fn expired_holder(&self, lease: Duration) -> Option<u64> {
+        let st = self.lock();
+        match (st.holder, st.renewed_at) {
+            (Some(h), Some(t)) if t.elapsed() > lease => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Atomically re-verify that `owner` still holds the lock with a
+    /// lapsed lease, and if so take the lock away: the holder slot is
+    /// cleared, `owner` joins the expired set (its next session frame
+    /// gets `LeaseExpired`), and the queue head is woken.
+    ///
+    /// The caller (the reaper) must hold the manager mutex across this
+    /// call *and* the session rollback that follows, so the next writer —
+    /// who may win the lock the moment this returns — blocks on the
+    /// manager until the abandoned session is fully rolled back.
+    pub fn reap_if_expired(&self, owner: u64, lease: Duration) -> bool {
+        let mut st = self.lock();
+        let lapsed = matches!(
+            (st.holder, st.renewed_at),
+            (Some(h), Some(t)) if h == owner && t.elapsed() > lease
+        );
+        if !lapsed {
+            return false;
+        }
+        st.holder = None;
+        st.renewed_at = None;
+        st.expired.insert(owner);
+        drop(st);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Consume `owner`'s pending lease-expiry notification, if present.
+    /// The first session frame after a reap sees `true` (→ typed
+    /// `LeaseExpired`); later frames see a normal no-session state.
+    pub fn take_expired(&self, owner: u64) -> bool {
+        self.lock().expired.remove(&owner)
+    }
+
+    /// Lease age of the current holder (diagnostics).
+    pub fn lease_age(&self) -> Option<Duration> {
+        self.lock().renewed_at.map(|t| t.elapsed())
     }
 }
 
@@ -178,6 +262,51 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lease_touch_reap_and_expiry_notification() {
+        let l = SessionLock::new();
+        let lease = Duration::from_millis(40);
+        assert_eq!(l.acquire(1, SHORT), Acquire::Granted);
+        assert_eq!(l.expired_holder(lease), None, "fresh lease");
+
+        // Touching within the lease keeps the holder alive.
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(l.touch(1));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(l.expired_holder(lease), None, "renewed at lease/2 cadence");
+
+        // Silence past the lease: peek sees it, reap takes the lock.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(l.expired_holder(lease), Some(1));
+        assert!(l.reap_if_expired(1, lease));
+        assert!(!l.held_by(1));
+        // One-shot notification: first take is true, second false.
+        assert!(l.take_expired(1));
+        assert!(!l.take_expired(1));
+        // The lock is free for the next writer.
+        assert_eq!(l.acquire(2, SHORT), Acquire::Granted);
+        // Reaping a non-holder (or a renewed holder) is refused.
+        assert!(!l.reap_if_expired(1, lease));
+        assert!(!l.reap_if_expired(2, lease), "fresh lease must not reap");
+        // A non-holder cannot renew.
+        assert!(!l.touch(1));
+    }
+
+    #[test]
+    fn reap_wakes_a_fifo_waiter() {
+        let l = Arc::new(SessionLock::new());
+        let lease = Duration::from_millis(30);
+        assert_eq!(l.acquire(1, SHORT), Acquire::Granted);
+        let waiter = {
+            let l = l.clone();
+            std::thread::spawn(move || l.acquire(2, LONG))
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(l.reap_if_expired(1, lease));
+        assert_eq!(waiter.join().unwrap(), Acquire::Granted);
+        assert!(l.held_by(2));
     }
 
     #[test]

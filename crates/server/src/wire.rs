@@ -19,8 +19,20 @@
 //! `Digest` run lock-free against the published epoch snapshot. Every
 //! failure is a typed [`Reply::Error`]; a malformed or unlucky request can
 //! never take the daemon down.
+//!
+//! The failure model adds three hostile-world verbs and replies:
+//! `Renew` keeps an otherwise idle session's lease alive (any frame from
+//! the holder renews implicitly), `Ees` carries an optional client-chosen
+//! idempotency token echoed back in `Committed` (a retried commit whose
+//! ack was lost is answered from the server's dedup cache, never applied
+//! twice), and the server sheds excess connections with a structured
+//! [`Reply::Overloaded`] instead of accepting-then-starving. A partial
+//! frame that stalls past the per-connection I/O deadline is answered
+//! with a typed `Timeout` error; a session whose lease the reaper expired
+//! answers the zombie's next session frame with `LeaseExpired`.
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Protocol version, exchanged implicitly by the frame format tag space.
 pub const WIRE_VERSION: u32 = 1;
@@ -71,8 +83,14 @@ pub enum Request {
     /// otherwise.
     Op(EvolutionOp),
     /// End the session: check; commit and publish a new epoch, or report
-    /// violations (session stays open).
-    Ees,
+    /// violations (session stays open). `token`, when set, is a
+    /// client-chosen idempotency token: the server remembers the committed
+    /// `(epoch, changes)` under it, so a retried `Ees` whose ack was lost
+    /// is answered from the cache instead of being applied twice.
+    Ees {
+        /// Optional idempotent-commit token (echoed in `Committed`).
+        token: Option<u64>,
+    },
     /// Roll the open session back and release the writer lock.
     Rollback,
     /// Datalog query against the published snapshot (lock-free).
@@ -91,6 +109,11 @@ pub enum Request {
     /// breaking/non-breaking classification, `L06xx` diagnostics. Requires
     /// the writer lock (inspects the live session delta).
     Plan,
+    /// Renew the session lease without doing any work. Any frame from the
+    /// lock holder renews implicitly; `Renew` exists so an idle client
+    /// (e.g. one waiting on user input mid-session) can keep its lease
+    /// alive explicitly.
+    Renew,
 }
 
 impl Request {
@@ -99,7 +122,7 @@ impl Request {
         match self {
             Request::Bes => "bes",
             Request::Op(_) => "op",
-            Request::Ees => "ees",
+            Request::Ees { .. } => "ees",
             Request::Rollback => "rollback",
             Request::Query(_) => "query",
             Request::Check => "check",
@@ -108,6 +131,7 @@ impl Request {
             Request::Digest => "digest",
             Request::Shutdown => "shutdown",
             Request::Plan => "plan",
+            Request::Renew => "renew",
         }
     }
 }
@@ -124,6 +148,12 @@ pub enum ErrorKind {
     BadRequest,
     /// The server failed internally; the session (if any) is still open.
     Internal,
+    /// A partial frame stalled past the per-connection I/O deadline; the
+    /// server closed the connection after this reply.
+    Timeout,
+    /// The session lease expired and the reaper rolled the session back;
+    /// the lock was released. Start over with a fresh `Bes`.
+    LeaseExpired,
 }
 
 impl ErrorKind {
@@ -134,7 +164,19 @@ impl ErrorKind {
             ErrorKind::Protocol => "protocol",
             ErrorKind::BadRequest => "bad-request",
             ErrorKind::Internal => "internal",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::LeaseExpired => "lease-expired",
         }
+    }
+
+    /// Is a retry (with backoff) a sensible client reaction? `Busy` means
+    /// the writer lock is contended; `Timeout` and `LeaseExpired` mean the
+    /// client was too slow but the server state is clean again.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Busy | ErrorKind::Timeout | ErrorKind::LeaseExpired
+        )
     }
 }
 
@@ -149,6 +191,10 @@ pub enum Reply {
         epoch: u64,
         /// Number of changes in the session's net delta.
         changes: u64,
+        /// The idempotency token of the `Ees` that committed (0 when the
+        /// client sent none). A replayed duplicate-token commit echoes
+        /// the original epoch/changes under the same token.
+        token: u64,
     },
     /// The check found violations; the session stays open.
     Violations(Vec<String>),
@@ -159,12 +205,22 @@ pub enum Reply {
         /// Rows, rendered.
         rows: Vec<Vec<String>>,
     },
-    /// A typed failure. The connection stays usable.
+    /// A typed failure. The connection stays usable (except after
+    /// `Timeout`, which the server follows with a close).
     Error {
         /// Failure class.
         kind: ErrorKind,
         /// Human-readable description.
         message: String,
+    },
+    /// The server is at its connection bound and shed this connection
+    /// before reading any request; it closes the connection right after
+    /// this frame. Retry with backoff.
+    Overloaded {
+        /// Connections being served when this one was shed.
+        active: u64,
+        /// The configured connection bound.
+        max: u64,
     },
 }
 
@@ -262,6 +318,131 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Outcome of a deadline-aware frame read (see [`read_frame_deadline`]).
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A complete, CRC-verified frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// A frame started arriving but did not complete within the deadline
+    /// (a slow-loris partial frame). The stream is desynchronised; the
+    /// caller should reply `Timeout` and close.
+    Stalled,
+    /// No frame had started and `keep_waiting` returned false (shutdown).
+    Aborted,
+}
+
+/// Read one frame with a per-frame completion deadline.
+///
+/// The stream must have a short read timeout set (the poll tick): idle
+/// waiting for the *first* byte of a frame is unbounded — an interactive
+/// client may sit idle as long as it likes — but once any byte of a frame
+/// has arrived, the rest must arrive within `frame_deadline` or the read
+/// resolves to [`ReadEvent::Stalled`]. `keep_waiting` is consulted on
+/// every idle poll tick; returning false aborts the wait (shutdown).
+///
+/// Errors are protocol failures (torn header mid-stream, CRC mismatch,
+/// oversized length) or real I/O errors — never `WouldBlock`/`TimedOut`,
+/// which this loop absorbs.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    frame_deadline: Duration,
+    mut keep_waiting: impl FnMut() -> bool,
+) -> std::io::Result<ReadEvent> {
+    let mut head = [0u8; 8];
+    let mut got = 0usize;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut payload_len: Option<usize> = None;
+    let mut filled = 0usize;
+    let mut started: Option<Instant> = None;
+
+    loop {
+        let mut wait_outcome = |started: &Option<Instant>| -> Option<ReadEvent> {
+            match started {
+                Some(t0) if t0.elapsed() >= frame_deadline => Some(ReadEvent::Stalled),
+                Some(_) => None,
+                None if !keep_waiting() => Some(ReadEvent::Aborted),
+                None => None,
+            }
+        };
+        if payload_len.is_none() {
+            // Header phase.
+            match r.read(&mut head[got..]) {
+                Ok(0) => {
+                    if got == 0 {
+                        return Ok(ReadEvent::Closed);
+                    }
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ));
+                }
+                Ok(n) => {
+                    if started.is_none() {
+                        started = Some(Instant::now());
+                    }
+                    got += n;
+                    if got == head.len() {
+                        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+                        if len > MAX_FRAME {
+                            return Err(
+                                WireError(format!("frame length {len} out of bounds")).into()
+                            );
+                        }
+                        payload = vec![0u8; len as usize];
+                        payload_len = Some(len as usize);
+                        filled = 0;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if let Some(ev) = wait_outcome(&started) {
+                        return Ok(ev);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            continue;
+        }
+        // Payload phase (len may be 0: fall through to the CRC check).
+        let len = payload.len();
+        if filled < len {
+            match r.read(&mut payload[filled..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "torn frame payload",
+                    ));
+                }
+                Ok(n) => {
+                    filled += n;
+                    continue;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if let Some(ev) = wait_outcome(&started) {
+                        return Ok(ev);
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let crc = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+        if crc32(&payload) != crc {
+            return Err(corrupt("frame CRC mismatch").into());
+        }
+        return Ok(ReadEvent::Frame(payload));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Payload encoding
 // ---------------------------------------------------------------------------
@@ -277,6 +458,7 @@ const REQ_STATS: u8 = 8;
 const REQ_DIGEST: u8 = 9;
 const REQ_SHUTDOWN: u8 = 10;
 const REQ_PLAN: u8 = 11;
+const REQ_RENEW: u8 = 12;
 
 const OP_DEFINE: u8 = 1;
 const OP_ADD_ATTR: u8 = 2;
@@ -288,11 +470,14 @@ const REP_COMMITTED: u8 = 2;
 const REP_VIOLATIONS: u8 = 3;
 const REP_ROWS: u8 = 4;
 const REP_ERROR: u8 = 5;
+const REP_OVERLOADED: u8 = 6;
 
 const ERR_BUSY: u8 = 1;
 const ERR_PROTOCOL: u8 = 2;
 const ERR_BAD_REQUEST: u8 = 3;
 const ERR_INTERNAL: u8 = 4;
+const ERR_TIMEOUT: u8 = 5;
+const ERR_LEASE_EXPIRED: u8 = 6;
 
 fn put_u32(out: &mut Vec<u8>, n: u32) {
     out.extend_from_slice(&n.to_le_bytes());
@@ -385,7 +570,16 @@ impl Request {
         let mut out = Vec::new();
         match self {
             Request::Bes => out.push(REQ_BES),
-            Request::Ees => out.push(REQ_EES),
+            Request::Ees { token } => {
+                out.push(REQ_EES);
+                match token {
+                    Some(t) => {
+                        out.push(1);
+                        put_u64(&mut out, *t);
+                    }
+                    None => out.push(0),
+                }
+            }
             Request::Rollback => out.push(REQ_ROLLBACK),
             Request::Check => out.push(REQ_CHECK),
             Request::Lint => out.push(REQ_LINT),
@@ -393,6 +587,7 @@ impl Request {
             Request::Digest => out.push(REQ_DIGEST),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
             Request::Plan => out.push(REQ_PLAN),
+            Request::Renew => out.push(REQ_RENEW),
             Request::Query(q) => {
                 out.push(REQ_QUERY);
                 put_str(&mut out, q);
@@ -431,7 +626,14 @@ impl Request {
         let mut r = Reader::new(payload);
         let req = match r.u8()? {
             REQ_BES => Request::Bes,
-            REQ_EES => Request::Ees,
+            REQ_EES => {
+                let token = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u64()?),
+                    _ => return Err(corrupt("bad ees token flag")),
+                };
+                Request::Ees { token }
+            }
             REQ_ROLLBACK => Request::Rollback,
             REQ_CHECK => Request::Check,
             REQ_LINT => Request::Lint,
@@ -439,6 +641,7 @@ impl Request {
             REQ_DIGEST => Request::Digest,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_PLAN => Request::Plan,
+            REQ_RENEW => Request::Renew,
             REQ_QUERY => Request::Query(r.string()?),
             REQ_OP => {
                 let op = match r.u8()? {
@@ -476,10 +679,20 @@ impl Reply {
                 out.push(REP_OK);
                 put_str(&mut out, msg);
             }
-            Reply::Committed { epoch, changes } => {
+            Reply::Committed {
+                epoch,
+                changes,
+                token,
+            } => {
                 out.push(REP_COMMITTED);
                 put_u64(&mut out, *epoch);
                 put_u64(&mut out, *changes);
+                put_u64(&mut out, *token);
+            }
+            Reply::Overloaded { active, max } => {
+                out.push(REP_OVERLOADED);
+                put_u64(&mut out, *active);
+                put_u64(&mut out, *max);
             }
             Reply::Violations(v) => {
                 out.push(REP_VIOLATIONS);
@@ -500,6 +713,8 @@ impl Reply {
                     ErrorKind::Protocol => ERR_PROTOCOL,
                     ErrorKind::BadRequest => ERR_BAD_REQUEST,
                     ErrorKind::Internal => ERR_INTERNAL,
+                    ErrorKind::Timeout => ERR_TIMEOUT,
+                    ErrorKind::LeaseExpired => ERR_LEASE_EXPIRED,
                 });
                 put_str(&mut out, message);
             }
@@ -515,6 +730,11 @@ impl Reply {
             REP_COMMITTED => Reply::Committed {
                 epoch: r.u64()?,
                 changes: r.u64()?,
+                token: r.u64()?,
+            },
+            REP_OVERLOADED => Reply::Overloaded {
+                active: r.u64()?,
+                max: r.u64()?,
             },
             REP_VIOLATIONS => Reply::Violations(r.str_list()?),
             REP_ROWS => {
@@ -532,6 +752,8 @@ impl Reply {
                     ERR_PROTOCOL => ErrorKind::Protocol,
                     ERR_BAD_REQUEST => ErrorKind::BadRequest,
                     ERR_INTERNAL => ErrorKind::Internal,
+                    ERR_TIMEOUT => ErrorKind::Timeout,
+                    ERR_LEASE_EXPIRED => ErrorKind::LeaseExpired,
                     _ => return Err(corrupt("unknown error kind")),
                 };
                 Reply::Error {
@@ -559,83 +781,160 @@ mod tests {
         assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
     }
 
-    #[test]
-    fn all_requests_roundtrip() {
-        roundtrip_req(Request::Bes);
-        roundtrip_req(Request::Ees);
-        roundtrip_req(Request::Rollback);
-        roundtrip_req(Request::Check);
-        roundtrip_req(Request::Lint);
-        roundtrip_req(Request::Stats);
-        roundtrip_req(Request::Digest);
-        roundtrip_req(Request::Shutdown);
-        roundtrip_req(Request::Plan);
-        roundtrip_req(Request::Query("Type(T, N, S)".into()));
-        roundtrip_req(Request::Op(EvolutionOp::Define(
-            "schema S is end schema S;".into(),
-        )));
-        roundtrip_req(Request::Op(EvolutionOp::AddAttr {
-            ty: "Car@CarSchema".into(),
-            name: "fuelType".into(),
-            domain: "string".into(),
-        }));
-        roundtrip_req(Request::Op(EvolutionOp::DelAttr {
-            ty: "Car@CarSchema".into(),
-            name: "λ-unicode".into(),
-        }));
-        roundtrip_req(Request::Op(EvolutionOp::DelType {
-            ty: "Truck".into(),
-            semantics: "cascade".into(),
-        }));
+    /// Every request variant, including the failure-model verbs — the
+    /// exemplar set shared by the roundtrip, truncation, and mutation
+    /// sweeps.
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Bes,
+            Request::Ees { token: None },
+            Request::Ees {
+                token: Some(0xDEAD_BEEF_0BAD_F00D),
+            },
+            Request::Rollback,
+            Request::Check,
+            Request::Lint,
+            Request::Stats,
+            Request::Digest,
+            Request::Shutdown,
+            Request::Plan,
+            Request::Renew,
+            Request::Query("Type(T, N, S)".into()),
+            Request::Op(EvolutionOp::Define("schema S is end schema S;".into())),
+            Request::Op(EvolutionOp::AddAttr {
+                ty: "Car@CarSchema".into(),
+                name: "fuelType".into(),
+                domain: "string".into(),
+            }),
+            Request::Op(EvolutionOp::DelAttr {
+                ty: "Car@CarSchema".into(),
+                name: "λ-unicode".into(),
+            }),
+            Request::Op(EvolutionOp::DelType {
+                ty: "Truck".into(),
+                semantics: "cascade".into(),
+            }),
+        ]
     }
 
-    #[test]
-    fn all_replies_roundtrip() {
-        roundtrip_rep(Reply::Ok("BES".into()));
-        roundtrip_rep(Reply::Committed {
-            epoch: 42,
-            changes: 7,
-        });
-        roundtrip_rep(Reply::Violations(vec!["v1".into(), "v2".into()]));
-        roundtrip_rep(Reply::Rows {
-            names: vec!["T".into(), "N".into()],
-            rows: vec![
-                vec!["tid1".into(), "Car".into()],
-                vec![String::new(), "λ".into()],
-            ],
-        });
+    /// Every reply variant, including `Overloaded` and the new error kinds.
+    fn all_replies() -> Vec<Reply> {
+        let mut reps = vec![
+            Reply::Ok("BES".into()),
+            Reply::Committed {
+                epoch: 42,
+                changes: 7,
+                token: 0,
+            },
+            Reply::Committed {
+                epoch: 43,
+                changes: 1,
+                token: u64::MAX,
+            },
+            Reply::Overloaded {
+                active: 256,
+                max: 256,
+            },
+            Reply::Violations(vec!["v1".into(), "v2".into()]),
+            Reply::Rows {
+                names: vec!["T".into(), "N".into()],
+                rows: vec![
+                    vec!["tid1".into(), "Car".into()],
+                    vec![String::new(), "λ".into()],
+                ],
+            },
+        ];
         for kind in [
             ErrorKind::Busy,
             ErrorKind::Protocol,
             ErrorKind::BadRequest,
             ErrorKind::Internal,
+            ErrorKind::Timeout,
+            ErrorKind::LeaseExpired,
         ] {
-            roundtrip_rep(Reply::err(kind, "boom"));
+            reps.push(Reply::err(kind, "boom"));
+        }
+        reps
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        for req in all_requests() {
+            roundtrip_req(req);
         }
     }
 
     #[test]
-    fn truncated_payloads_error_not_panic() {
-        let full = Request::Op(EvolutionOp::AddAttr {
-            ty: "Car@S".into(),
-            name: "a".into(),
-            domain: "int".into(),
-        })
-        .encode();
-        for cut in 0..full.len() {
-            assert!(Request::decode(&full[..cut]).is_err(), "cut={cut}");
+    fn all_replies_roundtrip() {
+        for rep in all_replies() {
+            roundtrip_rep(rep);
         }
-        // Plan is a bare tag: the only strict prefix is the empty payload.
-        let full = Request::Plan.encode();
-        assert_eq!(full.len(), 1);
-        assert!(Request::decode(&full[..0]).is_err());
-        let full = Reply::Rows {
-            names: vec!["X".into()],
-            rows: vec![vec!["1".into()]],
+    }
+
+    /// Deterministic xorshift-style generator for the mutation sweep.
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
-        .encode();
-        for cut in 0..full.len() {
-            assert!(Reply::decode(&full[..cut]).is_err(), "cut={cut}");
+    }
+
+    /// Decoder never-panic property sweep: for every variant, (a) every
+    /// strict truncation is a typed error, never a panic, and (b) ≥64
+    /// seeded random single- and multi-byte mutations decode to either a
+    /// typed error or some other valid value — the decoder must survive
+    /// arbitrary bytes without panicking or over-allocating.
+    #[test]
+    fn decoder_survives_truncation_and_mutation() {
+        let mut rng = SplitMix64(0x0C0F_FEE0_5EED);
+        let mut sweep = |payload: Vec<u8>, decode: &dyn Fn(&[u8]) -> bool| {
+            // Truncation at every byte offset: strictly shorter payloads
+            // must be rejected (every variant encodes its exact length).
+            for cut in 0..payload.len() {
+                assert!(
+                    !decode(&payload[..cut]),
+                    "truncation at {cut}/{} decoded",
+                    payload.len()
+                );
+            }
+            // ≥64 random mutations: flip 1–4 bytes anywhere. The result
+            // may decode (a flipped byte inside string content is still a
+            // valid string) — the property is "returns, never panics".
+            for _ in 0..64 {
+                let mut bad = payload.clone();
+                if bad.is_empty() {
+                    continue;
+                }
+                let flips = 1 + (rng.next() as usize % 4);
+                for _ in 0..flips {
+                    let pos = rng.next() as usize % bad.len();
+                    bad[pos] ^= (rng.next() % 255 + 1) as u8;
+                }
+                let _ = decode(&bad);
+                // Random suffix extension must also never panic.
+                let extra = rng.next() as usize % 16;
+                for _ in 0..extra {
+                    bad.push(rng.next() as u8);
+                }
+                let _ = decode(&bad);
+            }
+        };
+        for req in all_requests() {
+            sweep(req.encode(), &|b| Request::decode(b).is_ok());
+        }
+        for rep in all_replies() {
+            sweep(rep.encode(), &|b| Reply::decode(b).is_ok());
+        }
+        // Pure noise payloads of every small length.
+        for len in 0..128usize {
+            let noise: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            let _ = Request::decode(&noise);
+            let _ = Reply::decode(&noise);
         }
     }
 
@@ -666,11 +965,116 @@ mod tests {
         assert!(read_frame(&mut cursor).is_err());
     }
 
+    /// A reader that yields its script of results one at a time, then
+    /// `WouldBlock` forever — models a socket with a read timeout.
+    struct ScriptedReader {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+    }
+
+    impl std::io::Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.next >= self.chunks.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "no more scripted bytes",
+                ));
+            }
+            let chunk = &self.chunks[self.next];
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.next += 1;
+            } else {
+                self.chunks[self.next] = chunk[n..].to_vec();
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn deadline_reader_reassembles_dribbled_frames() {
+        let payload = Request::Query("Attr(T, N, D)".into()).encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        // Dribble one byte per read with WouldBlock ticks in between.
+        let mut r = ScriptedReader {
+            chunks: framed.iter().map(|b| vec![*b]).collect(),
+            next: 0,
+        };
+        match read_frame_deadline(&mut r, Duration::from_secs(5), || true).unwrap() {
+            ReadEvent::Frame(got) => assert_eq!(got, payload),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_reader_stalls_a_slow_loris_partial_frame() {
+        let payload = Request::Bes.encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        // Only the first 5 bytes ever arrive: a partial header, then
+        // silence. The read must resolve to Stalled, not loop forever.
+        let mut r = ScriptedReader {
+            chunks: vec![framed[..5].to_vec()],
+            next: 0,
+        };
+        match read_frame_deadline(&mut r, Duration::from_millis(20), || true).unwrap() {
+            ReadEvent::Stalled => {}
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_reader_idles_then_aborts_on_shutdown() {
+        // No bytes at all: keep_waiting=false resolves to Aborted without
+        // any deadline involvement (idle connections may wait forever).
+        let mut r = ScriptedReader {
+            chunks: vec![],
+            next: 0,
+        };
+        let mut polls = 0;
+        let ev = read_frame_deadline(&mut r, Duration::from_secs(600), || {
+            polls += 1;
+            polls < 3
+        })
+        .unwrap();
+        assert!(matches!(ev, ReadEvent::Aborted), "got {ev:?}");
+    }
+
+    #[test]
+    fn deadline_reader_rejects_corruption_and_eof() {
+        let payload = Request::Check.encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        // CRC flip.
+        let mut bad = framed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        let mut r = ScriptedReader {
+            chunks: vec![bad],
+            next: 0,
+        };
+        assert!(read_frame_deadline(&mut r, Duration::from_secs(1), || true).is_err());
+        // Clean close at a boundary.
+        let mut r = std::io::Cursor::new(Vec::<u8>::new());
+        match read_frame_deadline(&mut r, Duration::from_secs(1), || true).unwrap() {
+            ReadEvent::Closed => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+    }
+
     #[test]
     fn verbs_are_stable() {
         assert_eq!(Request::Bes.verb(), "bes");
         assert_eq!(Request::Query(String::new()).verb(), "query");
         assert_eq!(Request::Plan.verb(), "plan");
+        assert_eq!(Request::Renew.verb(), "renew");
+        assert_eq!(Request::Ees { token: Some(1) }.verb(), "ees");
         assert_eq!(ErrorKind::Busy.name(), "busy");
+        assert_eq!(ErrorKind::Timeout.name(), "timeout");
+        assert_eq!(ErrorKind::LeaseExpired.name(), "lease-expired");
+        assert!(ErrorKind::Busy.retryable());
+        assert!(!ErrorKind::BadRequest.retryable());
     }
 }

@@ -145,7 +145,7 @@ fn reader_isolation_with(n_readers: usize) {
 
     // Property 2: commit, then the same count of fresh readers see epoch 2
     // and the new attribute.
-    let e2 = committed_epoch(writer.request(&Request::Ees).unwrap());
+    let e2 = committed_epoch(writer.request(&Request::Ees { token: None }).unwrap());
     assert_eq!(e2, 2);
     let handles: Vec<_> = (0..n_readers)
         .map(|_| {
@@ -393,7 +393,7 @@ fn inconsistent_ees_keeps_session_open() {
         .unwrap();
     assert!(matches!(del, Reply::Ok(_)), "got {del:?}");
 
-    match w.request(&Request::Ees).unwrap() {
+    match w.request(&Request::Ees { token: None }).unwrap() {
         Reply::Violations(v) => assert!(!v.is_empty(), "orphaned references must violate"),
         other => panic!("expected Violations, got {other:?}"),
     }

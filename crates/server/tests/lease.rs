@@ -1,0 +1,250 @@
+//! Lease-expiry semantics for gomd evolution sessions.
+//!
+//! Three contracts from the failure model (DESIGN.md §14):
+//!
+//! 1. A reaped session's rollback is *bit-identical* to an explicit
+//!    `rollback` — proven by committing an identical follow-up session on
+//!    a reaped server and a rolled-back twin and comparing state digests.
+//! 2. A holder that renews at lease/2 cadence (idle `Renew` frames) is
+//!    never reaped, and its eventual commit succeeds.
+//! 3. A silent holder is reaped within two lease intervals: a waiting
+//!    writer gets the lock and commits, and the zombie's next session
+//!    frame gets a clean typed `LeaseExpired` — not a protocol desync.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gom_server::server::{serve, Config, ServerHandle};
+use gom_server::wire::{ErrorKind, EvolutionOp, Reply, Request};
+use gom_server::Client;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const CAR_SCHEMA: &str = "\
+schema CarSchema is
+  type Car is
+    [ maxspeed : float;
+      milage   : float; ]
+  end type Car;
+end schema CarSchema;
+";
+
+struct TestDirs {
+    root: PathBuf,
+}
+
+impl TestDirs {
+    fn new(tag: &str) -> TestDirs {
+        let root = std::env::temp_dir().join(format!("gomd_lease_{}_{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        TestDirs { root }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Drop for TestDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn start_with_lease(socket: &std::path::Path, lease: Duration) -> ServerHandle {
+    let mut config = Config::in_memory(socket);
+    config.lease = lease;
+    serve(config).expect("server start")
+}
+
+fn connect(socket: &std::path::Path) -> Client {
+    Client::connect_within(socket, Duration::from_secs(5)).expect("connect")
+}
+
+fn ok_text(reply: Reply) -> String {
+    match reply {
+        Reply::Ok(s) => s,
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+fn committed_epoch(reply: Reply) -> u64 {
+    match reply {
+        Reply::Committed { epoch, .. } => epoch,
+        other => panic!("expected Committed, got {other:?}"),
+    }
+}
+
+fn err_kind(reply: Reply) -> ErrorKind {
+    match reply {
+        Reply::Error { kind, .. } => kind,
+        other => panic!("expected Error, got {other:?}"),
+    }
+}
+
+fn add_attr(name: &str) -> Request {
+    Request::Op(EvolutionOp::AddAttr {
+        ty: "Car@CarSchema".into(),
+        name: name.into(),
+        domain: "string".into(),
+    })
+}
+
+fn digest(client: &mut Client) -> String {
+    ok_text(client.request(&Request::Digest).unwrap())
+}
+
+/// Reaped-session rollback must leave the live manager in exactly the
+/// state an explicit rollback leaves it in. The published snapshot alone
+/// can't prove that (rollback publishes nothing), so both servers commit
+/// an identical follow-up session afterwards: the follow-up digest
+/// captures the live state, residue and all.
+#[test]
+fn reaped_rollback_is_bit_identical_to_explicit_rollback() {
+    let lease = Duration::from_millis(80);
+    let dirs = TestDirs::new("bitident");
+    let sock_a = dirs.path("reaped.sock");
+    let sock_b = dirs.path("rolled.sock");
+    let server_a = start_with_lease(&sock_a, lease);
+    let server_b = start_with_lease(&sock_b, lease);
+
+    // Server A: open the session, then go silent past the lease; the
+    // reaper takes it.
+    let mut a = connect(&sock_a);
+    assert_eq!(
+        committed_epoch(
+            a.request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+                .unwrap()
+        ),
+        1
+    );
+    ok_text(a.request(&Request::Bes).unwrap());
+    ok_text(a.request(&add_attr("doomedAttr")).unwrap());
+    std::thread::sleep(lease * 5 / 2);
+    assert_eq!(
+        err_kind(a.request(&Request::Ees { token: None }).unwrap()),
+        ErrorKind::LeaseExpired,
+        "zombie's next session frame gets the typed notice"
+    );
+    // The notice is one-shot: the frame after it sees plain no-session.
+    assert_eq!(
+        err_kind(a.request(&Request::Ees { token: None }).unwrap()),
+        ErrorKind::BadRequest
+    );
+
+    // Server B: the identical session, abandoned by explicit rollback
+    // (no idle gap, so B's lease never lapses).
+    let mut b = connect(&sock_b);
+    assert_eq!(
+        committed_epoch(
+            b.request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+                .unwrap()
+        ),
+        1
+    );
+    ok_text(b.request(&Request::Bes).unwrap());
+    ok_text(b.request(&add_attr("doomedAttr")).unwrap());
+    ok_text(b.request(&Request::Rollback).unwrap());
+
+    // Identical follow-up commit on both; digests must match bit-for-bit.
+    for c in [&mut a, &mut b] {
+        ok_text(c.request(&Request::Bes).unwrap());
+        ok_text(c.request(&add_attr("probeAttr")).unwrap());
+        assert_eq!(
+            committed_epoch(c.request(&Request::Ees { token: None }).unwrap()),
+            2
+        );
+    }
+    assert_eq!(
+        digest(&mut a),
+        digest(&mut b),
+        "reaped rollback diverged from explicit rollback"
+    );
+    server_a.stop();
+    server_b.stop();
+}
+
+/// A lease/2-cadence renewer is never reaped, even across many intervals,
+/// and `Renew` works for an idle holder with no op to send.
+#[test]
+fn renewing_at_half_lease_cadence_is_never_reaped() {
+    let lease = Duration::from_millis(100);
+    let dirs = TestDirs::new("renew");
+    let sock = dirs.path("gomd.sock");
+    let server = start_with_lease(&sock, lease);
+
+    let mut w = connect(&sock);
+    committed_epoch(
+        w.request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+    ok_text(w.request(&Request::Bes).unwrap());
+    ok_text(w.request(&add_attr("patientAttr")).unwrap());
+    // Six half-lease beats: 3× the lease in wall time, kept alive purely
+    // by Renew frames.
+    for _ in 0..6 {
+        std::thread::sleep(lease / 2);
+        let text = ok_text(w.request(&Request::Renew).unwrap());
+        assert!(text.contains("lease renewed"), "got {text}");
+    }
+    assert_eq!(
+        committed_epoch(w.request(&Request::Ees { token: None }).unwrap()),
+        2,
+        "renewed session must still commit"
+    );
+    // Renew outside a session is a typed BadRequest.
+    assert_eq!(
+        err_kind(w.request(&Request::Renew).unwrap()),
+        ErrorKind::BadRequest
+    );
+    server.stop();
+}
+
+/// Acceptance: a silent holder is reaped within two lease intervals and a
+/// waiting writer then commits successfully.
+#[test]
+fn silent_holder_is_reaped_and_waiting_writer_commits() {
+    let lease = Duration::from_millis(250);
+    let dirs = TestDirs::new("waiter");
+    let sock = dirs.path("gomd.sock");
+    let server = start_with_lease(&sock, lease);
+
+    let mut zombie = connect(&sock);
+    committed_epoch(
+        zombie
+            .request(&Request::Op(EvolutionOp::Define(CAR_SCHEMA.into())))
+            .unwrap(),
+    );
+    ok_text(zombie.request(&Request::Bes).unwrap());
+    ok_text(zombie.request(&add_attr("zombieAttr")).unwrap());
+    // zombie now goes silent (SIGSTOP-equivalent), still connected.
+
+    let start = Instant::now();
+    let mut writer = connect(&sock);
+    // Bes queues FIFO behind the zombie; the in_memory session timeout
+    // (2 s) comfortably covers the reap window.
+    ok_text(writer.request(&Request::Bes).unwrap());
+    let waited = start.elapsed();
+    assert!(
+        waited < lease * 2,
+        "waiter admitted in {waited:?}, over the 2-lease bound ({:?})",
+        lease * 2
+    );
+    ok_text(writer.request(&add_attr("winnerAttr")).unwrap());
+    assert_eq!(
+        committed_epoch(writer.request(&Request::Ees { token: None }).unwrap()),
+        2
+    );
+
+    // The zombie wakes up: clean typed LeaseExpired, then normal service.
+    assert_eq!(
+        err_kind(zombie.request(&Request::Ees { token: None }).unwrap()),
+        ErrorKind::LeaseExpired
+    );
+    let text = ok_text(zombie.request(&Request::Digest).unwrap());
+    assert!(
+        text.starts_with("epoch 2"),
+        "zombie connection still usable: {text}"
+    );
+    server.stop();
+}

@@ -114,6 +114,63 @@ for span in "server.request:bes" "server.request:ees" "server.request:query" \
 done
 rm -rf "$server_tmp"
 
+# Hostile clients and networks: the lease/deadline/shedding tests and the
+# seeded chaos-proxy sweep run in release (100 seeds per eval-thread
+# configuration → 200 faulted runs), asserting digest identity against an
+# unfaulted twin, exactly-once tokened commits, and clean recovery.
+step "chaos-proxy sweep + lease tests (release, 200 seeded runs)"
+cargo test -p gom-server --release --test lease
+GOM_CHAOS_SEEDS=100 cargo test -p gom-server --release --test chaos
+
+# A hostile-client smoke over the real binaries: a writer that goes silent
+# past its lease is reaped (typed `lease-expired` on its next commit), a
+# connection beyond --max-conns is shed, and both events land in the obs
+# trace and in the `stats` verb's vitals line.
+step "gomd hostile-client smoke (lease reap + load shedding)"
+hostile_tmp="$(mktemp -d)"
+printf 'begin\nload scripts/car_schema.gom\nend\nquit\n' > "$hostile_tmp/seed.gsh"
+{
+  echo "begin"
+  echo "add-attr Car@CarSchema zombieAttr string"
+  echo "sleep 900"
+  echo "end"
+  echo "stats"
+  echo "shutdown"
+} > "$hostile_tmp/zombie.gsh"
+echo "digest" > "$hostile_tmp/shed.gsh"
+cargo run --release -q --bin gomsh -- \
+  --serve "$hostile_tmp/gomd.sock" --trace "$hostile_tmp/server-trace.jsonl" \
+  --lease 300 --io-deadline 500 --max-conns 1 \
+  > "$hostile_tmp/server.log" 2>&1 &
+hostile_pid=$!
+for _ in $(seq 1 50); do [ -S "$hostile_tmp/gomd.sock" ] && break; sleep 0.1; done
+# Seed the schema so the zombie's add-attr resolves. Then the zombie
+# holds the single connection slot and goes silent past its 300 ms lease:
+# the reaper rolls it back, its own `end` must fail with a typed
+# lease-expired error, and a second client arriving mid-sleep is shed
+# (it retries with backoff and lands once the slot frees).
+cargo run --release -q --bin gomsh -- \
+  --connect "$hostile_tmp/gomd.sock" "$hostile_tmp/seed.gsh" > /dev/null
+cargo run --release -q --bin gomsh -- \
+  --connect "$hostile_tmp/gomd.sock" "$hostile_tmp/zombie.gsh" \
+  > "$hostile_tmp/zombie.log" 2>&1 &
+zombie_pid=$!
+sleep 0.4
+cargo run --release -q --bin gomsh -- \
+  --connect "$hostile_tmp/gomd.sock" "$hostile_tmp/shed.gsh" \
+  > "$hostile_tmp/shed.log" 2>&1 || true
+wait "$zombie_pid" || true
+wait "$hostile_pid"
+grep -q "lease-expired" "$hostile_tmp/zombie.log" \
+  || { echo "MISSING lease-expired error in zombie client log"; cat "$hostile_tmp/zombie.log"; exit 1; }
+grep -q "server.lease.expired=[1-9]" "$hostile_tmp/zombie.log" \
+  || { echo "MISSING lease vitals in stats output"; cat "$hostile_tmp/zombie.log"; exit 1; }
+grep -q '"server.lease.expired":[1-9]' "$hostile_tmp/server-trace.jsonl" \
+  || { echo "MISSING server.lease.expired counter in trace"; exit 1; }
+grep -q '"server.shed":[1-9]' "$hostile_tmp/server-trace.jsonl" \
+  || { echo "MISSING server.shed counter in trace"; exit 1; }
+rm -rf "$hostile_tmp"
+
 # Pre-EES impact planning must work end to end in release: an open
 # session over the car schema gets a plan whose footprint names the
 # constraint EES will check, and the impact.plan span lands in the trace.
@@ -186,7 +243,9 @@ if command -v cargo-clippy >/dev/null 2>&1; then
 
   # Panic-containment gate: gom-store (recovery runs on arbitrary bytes),
   # gom-obs (on every hot path), gom-server (a panic takes down all
-  # sessions), gom-runtime (executes user method code), gom-lint (runs on
+  # sessions; covers the wire codec, lease/session machinery, client retry
+  # layer, and the fault proxy), gom-runtime (executes user method code),
+  # gom-lint (runs on
   # arbitrary user programs) and gom-impact (runs inside EES; a panic would
   # take an open session down) all deny unwrap/expect via [lints.clippy]
   # in their own Cargo.toml, so a plain per-package clippy run enforces it

@@ -21,10 +21,16 @@
 //! cargo run --bin gomsh -- --serve /tmp/gomd.sock [--store db.gomj]
 //!                                      # host gomd: a concurrent schema
 //!                                      # service on a Unix socket
+//!                                      # (--lease <ms> writer lease,
+//!                                      # --io-deadline <ms> partial-frame
+//!                                      # deadline, --max-conns <n> load
+//!                                      # shedding bound)
 //! cargo run --bin gomsh -- --connect /tmp/gomd.sock
 //!                                      # remote shell against a daemon
 //!                                      # (--session-timeout <ms> bounds
-//!                                      # the wait for the writer lock)
+//!                                      # the wait for the writer lock;
+//!                                      # Busy/Overloaded are retried with
+//!                                      # jittered exponential backoff)
 //! ```
 //!
 //! Commands:
@@ -139,12 +145,19 @@ fn serve_main(
     store_path: Option<String>,
     sync: SyncPolicy,
     session_timeout: std::time::Duration,
+    lease: std::time::Duration,
+    io_deadline: std::time::Duration,
+    max_connections: usize,
 ) -> i32 {
     let config = gomflex::server::Config {
         socket: std::path::PathBuf::from(sock),
         store: store_path.map(std::path::PathBuf::from),
         sync,
         session_timeout,
+        lease,
+        io_deadline,
+        max_connections,
+        eval_threads: None,
     };
     match gomflex::server::serve(config) {
         Ok(handle) => {
@@ -168,7 +181,7 @@ fn serve_main(
 /// verbs mirror the local shell where they make sense on a shared
 /// service; object-level commands stay local-only.
 fn connect_main(sock: &str, script: Option<String>) -> i32 {
-    use gomflex::server::{Client, EvolutionOp, Reply, Request};
+    use gomflex::server::{Client, EvolutionOp, Reply, Request, RetryPolicy};
     let mut client = match Client::connect_within(
         std::path::Path::new(sock),
         std::time::Duration::from_secs(5),
@@ -178,6 +191,22 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
             eprintln!("gomsh: cannot connect to {sock}: {e}");
             return 1;
         }
+    };
+    // Busy/Overloaded rejections are retried with jittered exponential
+    // backoff; the seed folds in the pid so concurrent shells
+    // de-synchronise instead of thundering back together.
+    let policy = RetryPolicy {
+        seed: 0x67_6f_6d_73_68 ^ u64::from(std::process::id()),
+        ..RetryPolicy::default()
+    };
+    // Commit tokens for `end`: unique per process *and* per commit, so a
+    // retried EES whose ack was lost replays instead of re-applying.
+    let mut next_token: u64 = {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        (now ^ (u64::from(std::process::id()) << 32)) | 1
     };
     let interactive = script.is_none();
     let reader: Box<dyn BufRead> = if let Some(path) = &script {
@@ -215,6 +244,8 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
                 println!(
                     "remote commands:\n  \
                      begin | end | rollback      session control (BES / EES / undo)\n  \
+                     renew                       renew the session lease without mutating\n  \
+                     sleep <ms>                  local pause (lease/timeout experiments)\n  \
                      load <file>                 send local GOM source into the session\n  \
                      add-attr T@S <name> <dom>   primitive: add attribute\n  \
                      del-attr T@S <name>         primitive: delete attribute\n  \
@@ -231,8 +262,22 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
                 continue;
             }
             "begin" | "bes" => Request::Bes,
-            "end" | "ees" => Request::Ees,
+            "end" | "ees" => {
+                let token = next_token;
+                next_token = next_token.wrapping_add(2) | 1;
+                Request::Ees { token: Some(token) }
+            }
+            "renew" => Request::Renew,
             "rollback" => Request::Rollback,
+            "sleep" => {
+                let Some(ms) = rest.first().and_then(|m| m.parse::<u64>().ok()) else {
+                    eprintln!("usage: sleep <ms>");
+                    status = 1;
+                    continue;
+                };
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                continue;
+            }
             "load" => {
                 let Some(path) = rest.first() else {
                     eprintln!("usage: load <file>");
@@ -296,7 +341,7 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
             }
         };
         let shutdown = matches!(request, Request::Shutdown);
-        match client.request(&request) {
+        match client.request_retry(&request, &policy) {
             Ok(Reply::Ok(text)) => {
                 if text.is_empty() {
                     println!("ok");
@@ -304,8 +349,19 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
                     println!("{text}");
                 }
             }
-            Ok(Reply::Committed { epoch, changes }) => {
+            Ok(Reply::Committed {
+                epoch,
+                changes,
+                token: _,
+            }) => {
                 println!("EES — consistent, committed ({changes} change(s)) → epoch {epoch}");
+            }
+            Ok(Reply::Overloaded { active, max }) => {
+                eprintln!(
+                    "error (overloaded): server at capacity ({active}/{max} connections) — \
+                     retries exhausted, try again later"
+                );
+                status = 1;
             }
             Ok(Reply::Violations(v)) if v.is_empty() => println!("consistent"),
             Ok(Reply::Violations(v)) => {
@@ -350,6 +406,9 @@ fn main() {
     let mut serve_sock: Option<String> = None;
     let mut connect_sock: Option<String> = None;
     let mut session_timeout = std::time::Duration::from_secs(2);
+    let mut lease = std::time::Duration::from_millis(30_000);
+    let mut io_deadline = std::time::Duration::from_millis(10_000);
+    let mut max_connections: usize = 256;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -373,6 +432,27 @@ fn main() {
                     std::process::exit(2);
                 };
                 session_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--lease" => {
+                let Some(ms) = it.next().and_then(|m| m.parse::<u64>().ok()) else {
+                    eprintln!("gomsh: --lease takes milliseconds");
+                    std::process::exit(2);
+                };
+                lease = std::time::Duration::from_millis(ms);
+            }
+            "--io-deadline" => {
+                let Some(ms) = it.next().and_then(|m| m.parse::<u64>().ok()) else {
+                    eprintln!("gomsh: --io-deadline takes milliseconds");
+                    std::process::exit(2);
+                };
+                io_deadline = std::time::Duration::from_millis(ms);
+            }
+            "--max-conns" => {
+                let Some(n) = it.next().and_then(|m| m.parse::<usize>().ok()) else {
+                    eprintln!("gomsh: --max-conns takes a connection count");
+                    std::process::exit(2);
+                };
+                max_connections = n.max(1);
             }
             "--store" => {
                 let Some(p) = it.next() else {
@@ -421,7 +501,15 @@ fn main() {
         std::process::exit(2);
     }
     if let Some(sock) = serve_sock {
-        std::process::exit(serve_main(&sock, store_path, sync, session_timeout));
+        std::process::exit(serve_main(
+            &sock,
+            store_path,
+            sync,
+            session_timeout,
+            lease,
+            io_deadline,
+            max_connections,
+        ));
     }
     if let Some(sock) = connect_sock {
         std::process::exit(connect_main(&sock, script));
