@@ -114,6 +114,68 @@ impl Hist {
         bucket_lower_bound(BUCKETS - 1)
     }
 
+    /// Median: the inclusive lower bound of the bucket holding the 50th
+    /// percentile (see [`Hist::quantile`] for the error bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket lower bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket lower bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the mergeable
+    /// export format: two histograms recorded on different threads (or
+    /// machines) can be reconstructed and [`merge`](Hist::merge)d from
+    /// this sparse form alone, plus min/max.
+    pub fn sparse_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Add `count` observations into bucket `i` directly (reconstructing
+    /// a histogram from its sparse export). `sum` is credited with the
+    /// bucket's lower bound per observation — the same fidelity the
+    /// bucketing itself guarantees.
+    pub fn record_bucket(&mut self, i: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.buckets[i] += count;
+        self.count += count;
+        let lo = bucket_lower_bound(i);
+        self.sum = self.sum.saturating_add(lo.saturating_mul(count));
+        self.min = self.min.min(lo);
+        self.max = self.max.max(lo);
+    }
+
+    /// Merge another histogram into this one: bucket-wise addition,
+    /// count/sum accumulate, min/max combine. Merging is commutative and
+    /// associative (up to `sum` saturation), so per-thread histograms can
+    /// be folded in any order.
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket-wise difference `self - earlier` for windowed snapshots.
     /// min/max are kept from `self` (not recoverable for the window).
     pub fn since(&self, earlier: &Hist) -> Hist {
@@ -201,6 +263,97 @@ mod tests {
         assert_eq!(h.quantile(0.9), 8);
         assert_eq!(h.quantile(0.95), 512);
         assert_eq!(h.quantile(1.0), 512);
+    }
+
+    /// The promised error bound: a quantile is the inclusive lower bound
+    /// of the bucket holding the target observation, so for any recorded
+    /// value `v` the reported quantile `q` satisfies `q ≤ v ≤ 2q` (with
+    /// `q == v` exactly at 0, 1, and every power of two) — the error is
+    /// bounded by the bucket width.
+    #[test]
+    fn percentiles_are_bounded_by_bucket_width() {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            7,
+            8,
+            1023,
+            1024,
+            (1u64 << 63) - 1,
+            1u64 << 63,
+            u64::MAX,
+        ] {
+            let mut h = Hist::default();
+            h.record(v);
+            for q in [h.p50(), h.p95(), h.p99(), h.quantile(1.0)] {
+                assert!(q <= v, "quantile {q} above recorded {v}");
+                // q is the lower bound of v's bucket: v < 2q+2 covers the
+                // bucket-width bound including the v=0/v=1 edge buckets.
+                assert!(v <= q.saturating_mul(2).saturating_add(1), "{v} vs {q}");
+            }
+            // Exact at bucket boundaries (powers of two, 0, 1).
+            if v == 0 || v.is_power_of_two() {
+                assert_eq!(h.p99(), v, "boundary value must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Hist::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0, 3, 900]);
+        let b = mk(&[17, 17, u64::MAX]);
+        let c = mk(&[1, 1 << 40]);
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // The merge equals recording everything into one histogram.
+        let all = mk(&[0, 3, 900, 17, 17, u64::MAX, 1, 1 << 40]);
+        assert_eq!(ab_c, all);
+        // Merging an empty histogram is the identity (incl. min/max).
+        let mut a2 = a.clone();
+        a2.merge(&Hist::default());
+        assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn sparse_export_reconstructs_and_merges() {
+        let mut h = Hist::default();
+        for v in [5u64, 5, 300, 0] {
+            h.record(v);
+        }
+        let mut rebuilt = Hist::default();
+        for (i, c) in h.sparse_buckets() {
+            rebuilt.record_bucket(i, c);
+        }
+        assert_eq!(rebuilt.count(), h.count());
+        for i in 0..BUCKETS {
+            assert_eq!(rebuilt.bucket(i), h.bucket(i), "bucket {i}");
+        }
+        // Quantiles agree exactly: they only depend on bucket counts.
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(rebuilt.quantile(q), h.quantile(q));
+        }
     }
 
     #[test]

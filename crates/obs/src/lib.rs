@@ -130,7 +130,37 @@ pub fn record(name: &str, v: u64) {
     if !enabled() {
         return;
     }
+    record_always(name, v);
+}
+
+fn record_always(name: &str, v: u64) {
     with_agg(|a| a.hists.entry(name.to_string()).or_default().record(v));
+}
+
+// ---------------------------------------------------------------------------
+// Vitals — always-on probes
+// ---------------------------------------------------------------------------
+
+/// Add `n` to counter `name` **regardless of [`enabled`]** — the vitals
+/// path. The server's liveness counters (requests served, frames shed,
+/// leases expired) must be reportable from a production daemon that never
+/// turned profiling on; routing them through the same aggregator as the
+/// profiled counters means `gomsh stats`, the `Metrics` verb, and JSONL
+/// traces all read one source of truth instead of a parallel atomics
+/// struct. Keep vitals to rare events (per-request at most): each call
+/// takes the aggregator lock.
+#[inline]
+pub fn vital_add(name: &str, n: u64) {
+    counter_add_always(name, n);
+}
+
+/// Record `v` into histogram `name` regardless of [`enabled`] — the
+/// histogram counterpart of [`vital_add`], used for the server's per-verb
+/// latency vitals. Callers on a hot path should pass a pre-interned
+/// `&'static str` name so no per-call formatting happens.
+#[inline]
+pub fn vital_record(name: &str, v: u64) {
+    record_always(name, v);
 }
 
 /// Credit an externally measured duration to span `name` (aggregation
@@ -503,6 +533,61 @@ pub fn snapshot() -> Snapshot {
     })
 }
 
+/// Render a snapshot as one hand-rolled JSON object (schema
+/// `gom-obs/stats/v1`): counters as a flat map, span stats, and histograms
+/// with derived percentiles plus the sparse bucket export — enough to
+/// reconstruct and [`Hist::merge`] histograms across processes. Single
+/// line, serde-free, same style as the JSONL trace sink.
+pub fn snapshot_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"schema\":\"gom-obs/stats/v1\",\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (k, s)) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+            s.count, s.total_ns, s.max_ns
+        ));
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (k, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, k);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+        ));
+        for (j, (b, c)) in h.sparse_buckets().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{b},{c}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -570,6 +655,71 @@ mod tests {
         assert_eq!(d.counter("t.new"), 1);
         assert_eq!(d.hists["t.h"].count(), 1);
         assert!(!d.counters.contains_key("t.unchanged"));
+    }
+
+    #[test]
+    fn vitals_bypass_the_enabled_switch() {
+        let _g = lock();
+        set_enabled(false);
+        reset();
+        // Regular probes no-op while disabled…
+        counter_add("t.off", 1);
+        record("t.off.h", 9);
+        // …but vitals always land.
+        vital_add("t.vital", 2);
+        vital_add("t.vital", 3);
+        vital_record("t.vital.h", 40);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.off"), 0);
+        assert!(!snap.hists.contains_key("t.off.h"));
+        assert_eq!(snap.counter("t.vital"), 5);
+        assert_eq!(snap.hists["t.vital.h"].count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_and_complete() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        counter_add("t.\"quoted\"", 3);
+        record("t.lat", 100);
+        record("t.lat", 100);
+        record("t.lat", 5000);
+        record_span_dur("t.sp", Duration::from_micros(7));
+        let snap = snapshot();
+        set_enabled(false);
+        let json = snapshot_json(&snap);
+        assert!(
+            json.starts_with("{\"schema\":\"gom-obs/stats/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"t.\\\"quoted\\\"\":3"), "{json}");
+        assert!(
+            json.contains("\"t.sp\":{\"count\":1,\"total_ns\":7000"),
+            "{json}"
+        );
+        // Histogram block carries percentiles and the sparse buckets.
+        let h = &snap.hists["t.lat"];
+        assert!(
+            json.contains(&format!(
+                "\"p50\":{},\"p95\":{},\"p99\":{}",
+                h.p50(),
+                h.p95(),
+                h.p99()
+            )),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("[{},2]", bucket_index(100))),
+            "{json}"
+        );
+        // One line, balanced braces/brackets, no raw control chars.
+        assert!(!json.contains('\n'));
+        let bal = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(bal('{', '}') && bal('[', ']'), "{json}");
     }
 
     #[test]

@@ -57,11 +57,31 @@ impl RetryPolicy {
     }
 }
 
+/// Cumulative retry accounting for [`Client::request_retry_stats`] — the
+/// SLO harness folds these into its shed/busy columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// `Busy` replies retried in place.
+    pub busy_retries: u64,
+    /// `Overloaded` sheds retried after a reconnect.
+    pub overloaded_retries: u64,
+    /// `LeaseExpired` replies observed (not retried here — the caller
+    /// must re-`Bes` — but counted for the report).
+    pub lease_expired: u64,
+}
+
 /// A connected gomd client. One request in flight at a time.
+///
+/// Every frame carries a client-assigned request id (monotonically
+/// increasing per client, starting at 1) in the gom-wire request-id
+/// envelope; the server propagates it into its spans, trace events, and
+/// slow-request log, so a slow server-side request can be tied back to
+/// the exact client call that issued it.
 pub struct Client {
     stream: UnixStream,
     socket: PathBuf,
     io_timeout: Option<Duration>,
+    next_req_id: u64,
 }
 
 impl Client {
@@ -72,6 +92,7 @@ impl Client {
             stream,
             socket: socket.to_path_buf(),
             io_timeout: None,
+            next_req_id: 1,
         })
     }
 
@@ -89,6 +110,7 @@ impl Client {
                         stream,
                         socket: socket.to_path_buf(),
                         io_timeout: None,
+                        next_req_id: 1,
                     })
                 }
                 Err(e) if Instant::now() >= deadline => return Err(e),
@@ -128,9 +150,18 @@ impl Client {
         Ok(())
     }
 
-    /// Send one request and block for its reply.
+    /// The request id the next frame will carry.
+    pub fn next_req_id(&self) -> u64 {
+        self.next_req_id
+    }
+
+    /// Send one request and block for its reply. The frame carries this
+    /// client's next request id (ids keep increasing across retries and
+    /// reconnects, so every attempt is distinguishable server-side).
     pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
-        wire::write_frame(&mut self.stream, &req.encode())?;
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        wire::write_frame(&mut self.stream, &req.encode_with_id(req_id))?;
         match wire::read_frame(&mut self.stream)? {
             Some(frame) => Reply::decode(&frame).map_err(io::Error::from),
             None => Err(io::Error::new(
@@ -147,6 +178,20 @@ impl Client {
     /// `LeaseExpired`, which need a session-aware response — is returned
     /// to the caller as-is, as are I/O errors.
     pub fn request_retry(&mut self, req: &Request, policy: &RetryPolicy) -> io::Result<Reply> {
+        let mut stats = RetryStats::default();
+        self.request_retry_stats(req, policy, &mut stats)
+    }
+
+    /// [`Client::request_retry`] with retry accounting: every `Busy`
+    /// retry, `Overloaded` reconnect-retry, and observed `LeaseExpired`
+    /// is tallied into `stats` (cumulative across calls), so a load
+    /// driver can report contention alongside latency.
+    pub fn request_retry_stats(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+        stats: &mut RetryStats,
+    ) -> io::Result<Reply> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -154,13 +199,26 @@ impl Client {
             let out_of_attempts = attempt >= policy.attempts.max(1);
             match &reply {
                 Reply::Error { kind, .. } if *kind == ErrorKind::Busy && !out_of_attempts => {
+                    stats.busy_retries += 1;
                     std::thread::sleep(policy.delay(attempt));
                 }
                 Reply::Overloaded { .. } if !out_of_attempts => {
+                    stats.overloaded_retries += 1;
                     std::thread::sleep(policy.delay(attempt));
                     self.reconnect()?;
                 }
-                _ => return Ok(reply),
+                _ => {
+                    if matches!(
+                        &reply,
+                        Reply::Error {
+                            kind: ErrorKind::LeaseExpired,
+                            ..
+                        }
+                    ) {
+                        stats.lease_expired += 1;
+                    }
+                    return Ok(reply);
+                }
             }
         }
     }

@@ -25,9 +25,9 @@ pub mod session;
 pub mod snapshot;
 pub mod wire;
 
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, RetryPolicy, RetryStats};
 pub use fault::{FaultPlan, FaultProxy, FaultStats, SplitMix64};
-pub use server::{serve, Config, ServerHandle};
+pub use server::{serve, Config, ServerHandle, SlowEntry};
 pub use session::{Acquire, SessionLock};
 pub use snapshot::{ReaderCache, Snapshot, SnapshotCell};
 pub use wire::{ErrorKind, EvolutionOp, ReadEvent, Reply, Request};

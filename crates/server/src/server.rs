@@ -84,6 +84,10 @@ pub struct Config {
     /// Eval-thread override applied to the schema base (chaos testing
     /// runs the same sweep at 1 and 4 threads).
     pub eval_threads: Option<usize>,
+    /// Slow-request threshold in milliseconds: requests that take at
+    /// least this long land in the ring-buffer slow log (surfaced by
+    /// `Metrics` and `stats`). 0 logs every request.
+    pub slow_ms: u64,
 }
 
 impl Config {
@@ -100,6 +104,7 @@ impl Config {
             io_deadline: Duration::from_secs(10),
             max_connections: 256,
             eval_threads: None,
+            slow_ms: 250,
         }
     }
 }
@@ -128,15 +133,60 @@ impl TokenCache {
     }
 }
 
-/// Always-on failure-model counters, independent of the gom-obs switch:
-/// `stats` must surface timeouts/sheds/reaps even when tracing is off.
-#[derive(Default)]
-struct Vitals {
-    timeouts: AtomicU64,
-    shed: AtomicU64,
-    lease_expired: AtomicU64,
-    lease_renews: AtomicU64,
-    token_replays: AtomicU64,
+/// Slow-log capacity: the newest `SLOW_LOG_CAP` over-threshold requests
+/// are retained, oldest evicted first.
+const SLOW_LOG_CAP: usize = 128;
+
+/// One over-threshold request in the slow log.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Client-assigned request id (0 when the client sent none).
+    pub req_id: u64,
+    /// Server connection id that served the request.
+    pub conn: u64,
+    /// The request verb.
+    pub verb: &'static str,
+    /// Wall-clock service time in microseconds.
+    pub dur_us: u64,
+    /// Reply disposition (`ok`, `committed`, `violations`, `rows`, or an
+    /// error kind name).
+    pub status: &'static str,
+    /// Milliseconds since the server started.
+    pub t_ms: u64,
+}
+
+/// Per-verb latency histogram names, pre-interned so the per-request
+/// vitals path never formats a string. Unknown verbs (future dialects)
+/// share one bucket.
+fn verb_hist_name(verb: &str) -> &'static str {
+    match verb {
+        "bes" => "server.request.ns:bes",
+        "op" => "server.request.ns:op",
+        "ees" => "server.request.ns:ees",
+        "rollback" => "server.request.ns:rollback",
+        "query" => "server.request.ns:query",
+        "check" => "server.request.ns:check",
+        "lint" => "server.request.ns:lint",
+        "stats" => "server.request.ns:stats",
+        "digest" => "server.request.ns:digest",
+        "shutdown" => "server.request.ns:shutdown",
+        "plan" => "server.request.ns:plan",
+        "renew" => "server.request.ns:renew",
+        "metrics" => "server.request.ns:metrics",
+        _ => "server.request.ns:other",
+    }
+}
+
+/// Reply disposition for the slow log.
+fn reply_status(reply: &Reply) -> &'static str {
+    match reply {
+        Reply::Ok(_) => "ok",
+        Reply::Committed { .. } => "committed",
+        Reply::Violations(_) => "violations",
+        Reply::Rows { .. } => "rows",
+        Reply::Overloaded { .. } => "overloaded",
+        Reply::Error { kind, .. } => kind.name(),
+    }
 }
 
 struct Shared {
@@ -159,7 +209,10 @@ struct Shared {
     /// Reaper parking lot: notified on shutdown for a prompt exit.
     wake_mx: Mutex<()>,
     wake_cv: Condvar,
-    vitals: Vitals,
+    /// Ring buffer of over-threshold requests (see `Config::slow_ms`).
+    slow: Mutex<VecDeque<SlowEntry>>,
+    slow_ms: u64,
+    started: std::time::Instant,
     /// Lint config captured at startup (carries the system-material
     /// baseline so server-side lint matches `gomsh lint` output).
     lint_cfg: gom_lint::LintConfig,
@@ -208,6 +261,23 @@ impl Shared {
             .unwrap_or_else(PoisonError::into_inner)
             .retain(|(cid, _)| *cid != id);
     }
+
+    fn note_slow(&self, entry: SlowEntry) {
+        let mut slow = self.slow.lock().unwrap_or_else(PoisonError::into_inner);
+        if slow.len() >= SLOW_LOG_CAP {
+            slow.pop_front();
+        }
+        slow.push_back(entry);
+    }
+
+    fn slow_entries(&self) -> Vec<SlowEntry> {
+        self.slow
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
 }
 
 /// Handle to a running server. Dropping it does *not* stop the daemon;
@@ -250,8 +320,12 @@ impl ServerHandle {
     }
 }
 
-/// Pre-register the failure-model counters so `stats` and traces always
-/// carry them, even at zero (a no-op while collection is disabled).
+/// Pre-register the vitals counters so `stats`, `Metrics`, and traces
+/// always carry them, even at zero. These are the always-on failure-model
+/// counters: they aggregate through `gom_obs::vital_add` regardless of
+/// the obs switch, so a production daemon that never turned profiling on
+/// still answers `stats` with real numbers — one source of truth instead
+/// of a parallel atomics struct.
 fn register_counters() {
     for name in [
         "server.connections",
@@ -263,7 +337,7 @@ fn register_counters() {
         "server.session.abandoned",
         "server.commit.token_replays",
     ] {
-        gom_obs::counter_add(name, 0);
+        gom_obs::vital_add(name, 0);
     }
 }
 
@@ -309,7 +383,9 @@ pub fn serve(config: Config) -> io::Result<ServerHandle> {
         tokens: Mutex::new(TokenCache::default()),
         wake_mx: Mutex::new(()),
         wake_cv: Condvar::new(),
-        vitals: Vitals::default(),
+        slow: Mutex::new(VecDeque::new()),
+        slow_ms: config.slow_ms,
+        started: std::time::Instant::now(),
         lint_cfg,
     });
 
@@ -369,9 +445,8 @@ fn reaper_loop(shared: Arc<Shared>) {
         if !shared.lock.reap_if_expired(victim, shared.lease) {
             continue;
         }
-        shared.vitals.lease_expired.fetch_add(1, Ordering::SeqCst);
-        gom_obs::counter_add("server.lease.expired", 1);
-        gom_obs::counter_add("server.session.abandoned", 1);
+        gom_obs::vital_add("server.lease.expired", 1);
+        gom_obs::vital_add("server.session.abandoned", 1);
         gom_obs::event(
             "server.lease.expired",
             &[("conn", gom_obs::Field::U64(victim))],
@@ -396,10 +471,10 @@ fn accept_loop(listener: UnixListener, shared: Arc<Shared>) {
                 let _sp = gom_obs::span("server.accept");
                 let active = shared.active.load(Ordering::SeqCst);
                 if active >= shared.max_connections as u64 {
-                    shed(stream, active, shared.max_connections as u64, &shared);
+                    shed(stream, active, shared.max_connections as u64);
                     continue;
                 }
-                gom_obs::counter_add("server.connections", 1);
+                gom_obs::vital_add("server.connections", 1);
                 let id = next_id.fetch_add(1, Ordering::Relaxed);
                 shared.active.fetch_add(1, Ordering::SeqCst);
                 shared.register_conn(id, &stream);
@@ -438,9 +513,8 @@ fn accept_loop(listener: UnixListener, shared: Arc<Shared>) {
 
 /// Shed a connection at the bound: one structured `Overloaded` frame,
 /// written under a short deadline, then close.
-fn shed(stream: UnixStream, active: u64, max: u64, shared: &Shared) {
-    shared.vitals.shed.fetch_add(1, Ordering::SeqCst);
-    gom_obs::counter_add("server.shed", 1);
+fn shed(stream: UnixStream, active: u64, max: u64) {
+    gom_obs::vital_add("server.shed", 1);
     gom_obs::event(
         "server.shed",
         &[
@@ -484,8 +558,7 @@ impl Connection {
                 Ok(ReadEvent::Stalled) => {
                     // Slow-loris partial frame: typed Timeout, then close
                     // (the stream is desynchronised mid-frame).
-                    self.shared.vitals.timeouts.fetch_add(1, Ordering::SeqCst);
-                    gom_obs::counter_add("server.timeouts", 1);
+                    gom_obs::vital_add("server.timeouts", 1);
                     let reply = Reply::err(
                         ErrorKind::Timeout,
                         format!(
@@ -506,22 +579,38 @@ impl Connection {
             };
             // Any frame from the lock holder renews its lease.
             if self.shared.lock.touch(self.id) {
-                self.shared
-                    .vitals
-                    .lease_renews
-                    .fetch_add(1, Ordering::SeqCst);
-                gom_obs::counter_add("server.lease.renews", 1);
+                gom_obs::vital_add("server.lease.renews", 1);
             }
-            let reply = match Request::decode(&frame) {
-                Ok(req) => {
+            let reply = match Request::decode_with_id(&frame) {
+                Ok((req_id, req)) => {
                     let _sp = gom_obs::span_labeled("server.request", req.verb());
-                    gom_obs::counter_add("server.requests", 1);
+                    gom_obs::vital_add("server.requests", 1);
                     let start = std::time::Instant::now();
                     let reply = self.dispatch(&req);
-                    if gom_obs::enabled() {
-                        gom_obs::record(
-                            &format!("server.request.ns:{}", req.verb()),
-                            start.elapsed().as_nanos() as u64,
+                    let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    // Per-verb latency is a vital: always on, static name.
+                    gom_obs::vital_record(verb_hist_name(req.verb()), ns);
+                    if ns / 1_000_000 >= self.shared.slow_ms {
+                        self.shared.note_slow(SlowEntry {
+                            req_id,
+                            conn: self.id,
+                            verb: req.verb(),
+                            dur_us: ns / 1_000,
+                            status: reply_status(&reply),
+                            t_ms: self.shared.started.elapsed().as_millis() as u64,
+                        });
+                    }
+                    if req_id != 0 {
+                        // The client-assigned id lands in the trace next to
+                        // the span, tying server-side latency to the
+                        // client's own records.
+                        gom_obs::event(
+                            "server.request",
+                            &[
+                                ("req_id", gom_obs::Field::U64(req_id)),
+                                ("verb", gom_obs::Field::Str(req.verb())),
+                                ("conn", gom_obs::Field::U64(self.id)),
+                            ],
                         );
                     }
                     reply
@@ -536,8 +625,7 @@ impl Connection {
                 ) {
                     // The peer stopped draining its socket: a write-side
                     // slow loris. Count it and drop the connection.
-                    self.shared.vitals.timeouts.fetch_add(1, Ordering::SeqCst);
-                    gom_obs::counter_add("server.timeouts", 1);
+                    gom_obs::vital_add("server.timeouts", 1);
                 }
                 break;
             }
@@ -554,7 +642,7 @@ impl Connection {
     /// undelivered lease-expiry notice and the connection registry entry.
     fn hangup(&self) {
         if self.shared.lock.held_by(self.id) {
-            gom_obs::counter_add("server.session.abandoned", 1);
+            gom_obs::vital_add("server.session.abandoned", 1);
             let mut mgr = self.shared.mgr();
             if mgr.in_evolution() {
                 let _ = mgr.rollback_evolution();
@@ -599,13 +687,15 @@ impl Connection {
             Request::Digest => self.digest(),
             Request::Shutdown => Reply::Ok("shutting down".into()),
             Request::Plan => self.plan(),
+            Request::Metrics => self.metrics(),
         }
     }
 
     /// Service statistics: a service header (epoch, connections, queue
-    /// depth, lease) on top of the obs table.
+    /// depth, lease), the vitals counters (read from the same obs
+    /// aggregator the traces use), the slow log, and the obs table.
     fn stats(&self) -> Reply {
-        let v = &self.shared.vitals;
+        let snap = gom_obs::snapshot();
         let header = format!(
             "epoch {} | conns {}/{} | writer waiters {} | lease {}ms io-deadline {}ms\n\
              server.timeouts={} server.shed={} server.lease.expired={} \
@@ -616,16 +706,65 @@ impl Connection {
             self.shared.lock.waiters(),
             self.shared.lease.as_millis(),
             self.shared.io_deadline.as_millis(),
-            v.timeouts.load(Ordering::SeqCst),
-            v.shed.load(Ordering::SeqCst),
-            v.lease_expired.load(Ordering::SeqCst),
-            v.lease_renews.load(Ordering::SeqCst),
-            v.token_replays.load(Ordering::SeqCst),
+            snap.counter("server.timeouts"),
+            snap.counter("server.shed"),
+            snap.counter("server.lease.expired"),
+            snap.counter("server.lease.renews"),
+            snap.counter("server.commit.token_replays"),
         );
+        let slow = self.shared.slow_entries();
+        let mut slow_text = format!(
+            "slow requests (>= {}ms, newest {} of cap {}):\n",
+            self.shared.slow_ms,
+            slow.len(),
+            SLOW_LOG_CAP
+        );
+        for e in slow.iter().rev() {
+            slow_text.push_str(&format!(
+                "  t+{}ms conn {} req {} {} {}us -> {}\n",
+                e.t_ms, e.conn, e.req_id, e.verb, e.dur_us, e.status
+            ));
+        }
         Reply::Ok(format!(
-            "{header}{}",
-            gom_obs::render_table(&gom_obs::snapshot())
+            "{header}{slow_text}{}",
+            gom_obs::render_table(&snap)
         ))
+    }
+
+    /// Machine-readable telemetry: one `gomd/metrics/v1` JSON object with
+    /// the service header, the full obs snapshot (vitals counters and
+    /// per-verb latency histograms with percentiles), and the slow log.
+    fn metrics(&self) -> Reply {
+        let snap = gom_obs::snapshot();
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"schema\":\"gomd/metrics/v1\",\"epoch\":{},\"conns\":{},\"max_conns\":{},\
+             \"writer_waiters\":{},\"lease_ms\":{},\"io_deadline_ms\":{},\"slow_ms\":{},\
+             \"uptime_ms\":{},\"slow_log\":[",
+            self.shared.cell.epoch(),
+            self.shared.active.load(Ordering::SeqCst),
+            self.shared.max_connections,
+            self.shared.lock.waiters(),
+            self.shared.lease.as_millis(),
+            self.shared.io_deadline.as_millis(),
+            self.shared.slow_ms,
+            self.shared.started.elapsed().as_millis(),
+        ));
+        for (i, e) in self.shared.slow_entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // verb/status are static identifiers: safe without escaping.
+            out.push_str(&format!(
+                "{{\"req_id\":{},\"conn\":{},\"verb\":\"{}\",\"dur_us\":{},\
+                 \"status\":\"{}\",\"t_ms\":{}}}",
+                e.req_id, e.conn, e.verb, e.dur_us, e.status, e.t_ms
+            ));
+        }
+        out.push_str("],\"stats\":");
+        out.push_str(&gom_obs::snapshot_json(&snap));
+        out.push('}');
+        Reply::Ok(out)
     }
 
     /// Explicit lease renewal for an idle session holder.
@@ -788,11 +927,7 @@ impl Connection {
                 .unwrap_or_else(PoisonError::into_inner)
                 .get(t);
             if let Some((epoch, changes)) = cached {
-                self.shared
-                    .vitals
-                    .token_replays
-                    .fetch_add(1, Ordering::SeqCst);
-                gom_obs::counter_add("server.commit.token_replays", 1);
+                gom_obs::vital_add("server.commit.token_replays", 1);
                 return Reply::Committed {
                     epoch,
                     changes,

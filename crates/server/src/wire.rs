@@ -114,6 +114,10 @@ pub enum Request {
     /// (e.g. one waiting on user input mid-session) can keep its lease
     /// alive explicitly.
     Renew,
+    /// Telemetry snapshot: vitals counters, per-verb latency histograms
+    /// and the slow-request log, as one `gomd/metrics/v1` JSON payload
+    /// (machine-readable counterpart of `Stats`). Lock-free.
+    Metrics,
 }
 
 impl Request {
@@ -132,6 +136,7 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::Plan => "plan",
             Request::Renew => "renew",
+            Request::Metrics => "metrics",
         }
     }
 }
@@ -459,6 +464,12 @@ const REQ_DIGEST: u8 = 9;
 const REQ_SHUTDOWN: u8 = 10;
 const REQ_PLAN: u8 = 11;
 const REQ_RENEW: u8 = 12;
+const REQ_METRICS: u8 = 13;
+
+/// Tag opening a request-id envelope: `[0xE1][req_id: u64 LE][request]`.
+/// Far outside the verb tag space so a bare request can never be mistaken
+/// for an envelope (and vice versa).
+const REQ_ENVELOPE: u8 = 0xE1;
 
 const OP_DEFINE: u8 = 1;
 const OP_ADD_ATTR: u8 = 2;
@@ -588,6 +599,7 @@ impl Request {
             Request::Shutdown => out.push(REQ_SHUTDOWN),
             Request::Plan => out.push(REQ_PLAN),
             Request::Renew => out.push(REQ_RENEW),
+            Request::Metrics => out.push(REQ_METRICS),
             Request::Query(q) => {
                 out.push(REQ_QUERY);
                 put_str(&mut out, q);
@@ -642,6 +654,7 @@ impl Request {
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_PLAN => Request::Plan,
             REQ_RENEW => Request::Renew,
+            REQ_METRICS => Request::Metrics,
             REQ_QUERY => Request::Query(r.string()?),
             REQ_OP => {
                 let op = match r.u8()? {
@@ -667,6 +680,36 @@ impl Request {
         };
         r.done()?;
         Ok(req)
+    }
+
+    /// Encode the request wrapped in a request-id envelope
+    /// (`[0xE1][req_id u64][request payload]`). Id 0 means "unassigned"
+    /// and encodes as the bare request, so an id-less client and an
+    /// id-aware client emit byte-identical frames for id 0.
+    pub fn encode_with_id(&self, req_id: u64) -> Vec<u8> {
+        if req_id == 0 {
+            return self.encode();
+        }
+        let mut out = Vec::new();
+        out.push(REQ_ENVELOPE);
+        put_u64(&mut out, req_id);
+        out.extend_from_slice(&self.encode());
+        out
+    }
+
+    /// Decode a request payload that may or may not carry a request-id
+    /// envelope. Bare requests (old clients, id-less tools) decode with
+    /// id 0; enveloped requests yield the client-assigned id. The server
+    /// always decodes through this so both wire dialects interoperate.
+    pub fn decode_with_id(payload: &[u8]) -> WireResult<(u64, Request)> {
+        if payload.first() == Some(&REQ_ENVELOPE) {
+            let mut r = Reader::new(&payload[1..]);
+            let req_id = r.u64()?;
+            let req = Request::decode(&payload[1 + 8..])?;
+            Ok((req_id, req))
+        } else {
+            Ok((0, Request::decode(payload)?))
+        }
     }
 }
 
@@ -799,6 +842,7 @@ mod tests {
             Request::Shutdown,
             Request::Plan,
             Request::Renew,
+            Request::Metrics,
             Request::Query("Type(T, N, S)".into()),
             Request::Op(EvolutionOp::Define("schema S is end schema S;".into())),
             Request::Op(EvolutionOp::AddAttr {
@@ -926,6 +970,10 @@ mod tests {
         };
         for req in all_requests() {
             sweep(req.encode(), &|b| Request::decode(b).is_ok());
+            // The enveloped form must satisfy the same property.
+            sweep(req.encode_with_id(0x1D_2D3D), &|b| {
+                Request::decode_with_id(b).is_ok()
+            });
         }
         for rep in all_replies() {
             sweep(rep.encode(), &|b| Reply::decode(b).is_ok());
@@ -936,6 +984,31 @@ mod tests {
             let _ = Request::decode(&noise);
             let _ = Reply::decode(&noise);
         }
+    }
+
+    #[test]
+    fn request_id_envelope_roundtrips_and_interoperates() {
+        for req in all_requests() {
+            // Enveloped form carries the id through.
+            let (id, back) = Request::decode_with_id(&req.encode_with_id(77)).unwrap();
+            assert_eq!(id, 77);
+            assert_eq!(back, req);
+            // A bare request decodes with id 0 — old clients keep working.
+            let (id, back) = Request::decode_with_id(&req.encode()).unwrap();
+            assert_eq!(id, 0);
+            assert_eq!(back, req);
+            // Id 0 encodes as the bare form (no envelope overhead).
+            assert_eq!(req.encode_with_id(0), req.encode());
+            // And u64::MAX survives.
+            let (id, _) = Request::decode_with_id(&req.encode_with_id(u64::MAX)).unwrap();
+            assert_eq!(id, u64::MAX);
+        }
+        // An envelope with nothing inside is a typed error.
+        let mut bad = vec![0xE1u8];
+        bad.extend_from_slice(&7u64.to_le_bytes());
+        assert!(Request::decode_with_id(&bad).is_err());
+        // The plain decoder rejects the envelope tag (it is not a verb).
+        assert!(Request::decode(&Request::Bes.encode_with_id(9)).is_err());
     }
 
     #[test]
@@ -1070,6 +1143,7 @@ mod tests {
         assert_eq!(Request::Query(String::new()).verb(), "query");
         assert_eq!(Request::Plan.verb(), "plan");
         assert_eq!(Request::Renew.verb(), "renew");
+        assert_eq!(Request::Metrics.verb(), "metrics");
         assert_eq!(Request::Ees { token: Some(1) }.verb(), "ees");
         assert_eq!(ErrorKind::Busy.name(), "busy");
         assert_eq!(ErrorKind::Timeout.name(), "timeout");

@@ -1,0 +1,202 @@
+//! Wire-level telemetry suite for gomd.
+//!
+//! Proves the observability contract end to end over a real socket:
+//!
+//! 1. The `Metrics` verb returns a well-formed `gomd/metrics/v1` JSON
+//!    payload whose per-verb latency histograms grow with traffic.
+//! 2. Vitals (request counts, shed/lease counters, per-verb latency) are
+//!    recorded even when gom-obs profiling is switched off — the
+//!    always-on guarantee.
+//! 3. With `--slow-ms 0` every request lands in the slow-request ring
+//!    buffer, carrying the client-assigned request id, so a slow server
+//!    request can be tied back to the exact client call.
+//! 4. `Stats` (the human verb) surfaces the slow log too.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gom_server::server::{serve, Config, ServerHandle};
+use gom_server::wire::{Reply, Request};
+use gom_server::Client;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The tests share the process-global gom-obs aggregation tables (the
+/// in-process server records into them); serialize so counts don't bleed.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct TestDirs {
+    root: PathBuf,
+}
+
+impl TestDirs {
+    fn new(tag: &str) -> TestDirs {
+        let root = std::env::temp_dir().join(format!("gomd_{}_{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        TestDirs { root }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Drop for TestDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// An in-memory daemon that logs every request as slow (`slow_ms: 0`).
+fn start_logging_everything(socket: &std::path::Path) -> ServerHandle {
+    serve(Config {
+        slow_ms: 0,
+        ..Config::in_memory(socket)
+    })
+    .expect("server start")
+}
+
+fn connect(socket: &std::path::Path) -> Client {
+    Client::connect_within(socket, Duration::from_secs(5)).expect("connect")
+}
+
+fn metrics_json(client: &mut Client) -> String {
+    match client.request(&Request::Metrics).unwrap() {
+        Reply::Ok(json) => json,
+        other => panic!("expected Ok(json), got {other:?}"),
+    }
+}
+
+/// `"key":<u64>` extractor for the flat metrics payload.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+#[test]
+fn metrics_verb_reports_schema_vitals_and_growing_histograms() {
+    let _g = lock();
+    let dirs = TestDirs::new("telemetry_metrics");
+    let socket = dirs.path("gomd.sock");
+    let handle = start_logging_everything(&socket);
+    let mut client = connect(&socket);
+
+    // Profiling must be off: vitals are an always-on guarantee.
+    gom_obs::set_enabled(false);
+
+    let first = metrics_json(&mut client);
+    assert!(
+        first.starts_with("{\"schema\":\"gomd/metrics/v1\""),
+        "payload must self-identify: {first}"
+    );
+    assert!(first.contains("\"stats\":{\"schema\":\"gom-obs/stats/v1\""));
+    assert!(first.contains("\"slow_log\":["));
+    assert!(json_u64(&first, "max_conns").unwrap() > 0);
+    let requests_before = json_u64(&first, "server.requests").expect("server.requests vital");
+    let digest_count = |json: &str| {
+        let hist = json
+            .find("\"server.request.ns:digest\"")
+            .map(|at| &json[at..])
+            .unwrap_or("");
+        json_u64(hist, "count").unwrap_or(0)
+    };
+    let digests_before = digest_count(&first);
+
+    for _ in 0..5 {
+        let _ = client.request(&Request::Digest).unwrap();
+    }
+    let second = metrics_json(&mut client);
+    let requests_after = json_u64(&second, "server.requests").unwrap();
+    assert!(
+        requests_after >= requests_before + 5,
+        "request vital must grow with profiling off: {requests_before} -> {requests_after}"
+    );
+    assert!(
+        digest_count(&second) >= digests_before + 5,
+        "per-verb digest histogram must grow: {first}"
+    );
+    // Percentile fields come straight from the histogram export.
+    let hist_at = second.find("\"server.request.ns:digest\"").unwrap();
+    let hist = &second[hist_at..];
+    for field in ["\"p50\":", "\"p95\":", "\"p99\":", "\"buckets\":[["] {
+        assert!(hist.contains(field), "missing {field} in {hist}");
+    }
+
+    let _ = client.request(&Request::Shutdown);
+    handle.join();
+}
+
+#[test]
+fn slow_log_carries_client_request_ids() {
+    let _g = lock();
+    let dirs = TestDirs::new("telemetry_slowlog");
+    let socket = dirs.path("gomd.sock");
+    let handle = start_logging_everything(&socket);
+    let mut client = connect(&socket);
+
+    // Note the id the next request will carry, then issue it: with
+    // slow_ms = 0 the digest must land in the ring buffer under that id.
+    let digest_req_id = client.next_req_id();
+    let _ = client.request(&Request::Digest).unwrap();
+    let json = metrics_json(&mut client);
+
+    let slow_at = json.find("\"slow_log\":[").expect("slow_log section");
+    let slow = &json[slow_at..];
+    assert!(
+        slow.contains("\"verb\":\"digest\""),
+        "digest entry missing from slow log: {json}"
+    );
+    assert!(
+        slow.contains(&format!("\"req_id\":{digest_req_id},")),
+        "slow entry must carry the client-assigned id {digest_req_id}: {json}"
+    );
+    assert!(slow.contains("\"status\":\"ok\""));
+    assert!(slow.contains("\"dur_us\":"));
+
+    // The human-readable verb shows the same ring buffer.
+    let stats = match client.request(&Request::Stats).unwrap() {
+        Reply::Ok(text) => text,
+        other => panic!("expected Ok, got {other:?}"),
+    };
+    assert!(
+        stats.contains("slow requests"),
+        "stats must surface the slow log: {stats}"
+    );
+    assert!(stats.contains("digest"), "{stats}");
+
+    let _ = client.request(&Request::Shutdown);
+    handle.join();
+}
+
+#[test]
+fn default_threshold_keeps_fast_requests_out_of_the_slow_log() {
+    let _g = lock();
+    let dirs = TestDirs::new("telemetry_threshold");
+    let socket = dirs.path("gomd.sock");
+    // Default Config::in_memory threshold (250 ms): a digest is orders of
+    // magnitude faster, so the slow log must stay empty.
+    let handle = serve(Config::in_memory(&socket)).expect("server start");
+    let mut client = connect(&socket);
+    let _ = client.request(&Request::Digest).unwrap();
+    let json = metrics_json(&mut client);
+    assert!(
+        json.contains("\"slow_log\":[]"),
+        "sub-threshold requests must not be logged: {json}"
+    );
+    assert_eq!(json_u64(&json, "slow_ms"), Some(250));
+    let _ = client.request(&Request::Shutdown);
+    handle.join();
+}

@@ -171,6 +171,29 @@ grep -q '"server.shed":[1-9]' "$hostile_tmp/server-trace.jsonl" \
   || { echo "MISSING server.shed counter in trace"; exit 1; }
 rm -rf "$hostile_tmp"
 
+# The SLO load harness must drive a live daemon end to end: replay a
+# seeded 30-session Piccioni-mix trace from 4 writer + 4 reader clients
+# against an in-process gomd and emit a parseable gom-bench/slo/v1 report
+# with a nonzero EES p99 and no failed sessions. The op sequence is
+# seed-deterministic, so a hang or error here is reproducible verbatim.
+step "SLO load harness smoke (seeded 30-session trace, 4 writers + 4 readers)"
+slo_tmp="$(mktemp -d)"
+cargo build --release -p gom-bench --bin bench_slo
+./target/release/bench_slo --seed 7 --sessions 30 --writers 4 --readers 4 \
+  --out "$slo_tmp/slo.json" 2> "$slo_tmp/slo.log" \
+  || { echo "bench_slo failed"; cat "$slo_tmp/slo.log"; exit 1; }
+grep -q '"schema": "gom-bench/slo/v1"' "$slo_tmp/slo.json" \
+  || { echo "MISSING slo/v1 schema in report"; cat "$slo_tmp/slo.json"; exit 1; }
+grep -q '"verb": "ees", "count": [1-9]' "$slo_tmp/slo.json" \
+  || { echo "MISSING ees row in slo report"; cat "$slo_tmp/slo.json"; exit 1; }
+grep -q '"verb": "ees", [^}]*"p99_us": [1-9]' "$slo_tmp/slo.json" \
+  || { echo "EES p99 must be nonzero"; cat "$slo_tmp/slo.json"; exit 1; }
+grep -q '"commits": 30,' "$slo_tmp/slo.json" \
+  || { echo "all 30 sessions must commit"; cat "$slo_tmp/slo.json"; exit 1; }
+grep -q '"errors": 0,' "$slo_tmp/slo.json" \
+  || { echo "slo run must be error-free"; cat "$slo_tmp/slo.json"; exit 1; }
+rm -rf "$slo_tmp"
+
 # Pre-EES impact planning must work end to end in release: an open
 # session over the car schema gets a plan whose footprint names the
 # constraint EES will check, and the impact.plan span lands in the trace.
@@ -253,9 +276,9 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   # maintenance module (gom-deductive/src/incr.rs) runs inside every armed
   # session and carries the same deny in-source at module level, so it is
   # enforced by any clippy run, including this one.
-  step "cargo clippy unwrap/expect gate (store, obs, server, runtime, lint, impact, deductive::incr)"
+  step "cargo clippy unwrap/expect gate (store, obs, server, runtime, lint, impact, trace, deductive::incr)"
   cargo clippy -p gom-store -p gom-obs -p gom-server -p gom-runtime \
-    -p gom-lint -p gom-impact -p gom-deductive --all-targets -- -D warnings
+    -p gom-lint -p gom-impact -p gom-trace -p gom-deductive --all-targets -- -D warnings
 else
   step "cargo clippy (SKIPPED: clippy not installed)"
 fi

@@ -24,7 +24,8 @@
 //!                                      # (--lease <ms> writer lease,
 //!                                      # --io-deadline <ms> partial-frame
 //!                                      # deadline, --max-conns <n> load
-//!                                      # shedding bound)
+//!                                      # shedding bound, --slow-ms <ms>
+//!                                      # slow-request log threshold)
 //! cargo run --bin gomsh -- --connect /tmp/gomd.sock
 //!                                      # remote shell against a daemon
 //!                                      # (--session-timeout <ms> bounds
@@ -54,7 +55,7 @@
 //! checkpoint                  write a full EDB snapshot to the journal
 //! recover                     reopen the journal, proving the durable state
 //! profile on|off              toggle the gom-obs collector
-//! stats [reset]               aggregate span/counter/histogram table
+//! stats [reset|--json]        aggregate span/counter/histogram table
 //! end --timing (alias: ees)   commit with a per-constraint / per-stratum
 //!                             timing breakdown (profiles just the commit)
 //! install-versioning          install the §4.1 extension
@@ -140,25 +141,8 @@ fn render_timing(diff: &gom_obs::Snapshot) -> String {
 /// `gomsh --serve <sock>`: host a gomd daemon on a Unix socket. Runs
 /// until a client sends `shutdown`. With `--store` the daemon is durable
 /// and recovers the last committed epoch on restart.
-fn serve_main(
-    sock: &str,
-    store_path: Option<String>,
-    sync: SyncPolicy,
-    session_timeout: std::time::Duration,
-    lease: std::time::Duration,
-    io_deadline: std::time::Duration,
-    max_connections: usize,
-) -> i32 {
-    let config = gomflex::server::Config {
-        socket: std::path::PathBuf::from(sock),
-        store: store_path.map(std::path::PathBuf::from),
-        sync,
-        session_timeout,
-        lease,
-        io_deadline,
-        max_connections,
-        eval_threads: None,
-    };
+fn serve_main(config: gomflex::server::Config) -> i32 {
+    let sock = config.socket.display().to_string();
     match gomflex::server::serve(config) {
         Ok(handle) => {
             println!("gomd listening on {sock} (epoch {})", handle.epoch());
@@ -255,7 +239,8 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
                      lint                        lint the published snapshot\n  \
                      plan                        pre-EES impact plan for the open session\n  \
                      digest                      epoch + state digest of the published snapshot\n  \
-                     stats                       server-side obs table\n  \
+                     stats [--json]              server-side vitals, slow log, obs table\n  \
+                     metrics                     gomd/metrics/v1 JSON (alias: stats --json)\n  \
                      shutdown                    stop the daemon\n  \
                      help | quit"
                 );
@@ -332,7 +317,9 @@ fn connect_main(sock: &str, script: Option<String>) -> i32 {
             "lint" => Request::Lint,
             "plan" => Request::Plan,
             "digest" => Request::Digest,
+            "stats" if rest.contains(&"--json") => Request::Metrics,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => {
                 eprintln!("gomsh: unknown remote command `{other}` (try `help`)");
@@ -409,6 +396,7 @@ fn main() {
     let mut lease = std::time::Duration::from_millis(30_000);
     let mut io_deadline = std::time::Duration::from_millis(10_000);
     let mut max_connections: usize = 256;
+    let mut slow_ms: u64 = 250;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -453,6 +441,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 max_connections = n.max(1);
+            }
+            "--slow-ms" => {
+                let Some(ms) = it.next().and_then(|m| m.parse::<u64>().ok()) else {
+                    eprintln!("gomsh: --slow-ms takes milliseconds (0 logs every request)");
+                    std::process::exit(2);
+                };
+                slow_ms = ms;
             }
             "--store" => {
                 let Some(p) = it.next() else {
@@ -501,15 +496,17 @@ fn main() {
         std::process::exit(2);
     }
     if let Some(sock) = serve_sock {
-        std::process::exit(serve_main(
-            &sock,
-            store_path,
+        std::process::exit(serve_main(gomflex::server::Config {
+            socket: std::path::PathBuf::from(sock),
+            store: store_path.map(std::path::PathBuf::from),
             sync,
             session_timeout,
             lease,
             io_deadline,
             max_connections,
-        ));
+            eval_threads: None,
+            slow_ms,
+        }));
     }
     if let Some(sock) = connect_sock {
         std::process::exit(connect_main(&sock, script));
@@ -984,6 +981,9 @@ impl Shell {
                     gom_obs::reset();
                     println!("stats reset");
                 }
+                Some("--json") => {
+                    println!("{}", gom_obs::snapshot_json(&gom_obs::snapshot()));
+                }
                 None => {
                     let table = gom_obs::render_table(&gom_obs::snapshot());
                     if table.is_empty() {
@@ -992,7 +992,7 @@ impl Shell {
                         print!("{table}");
                     }
                 }
-                _ => return Err("usage: stats [reset]".into()),
+                _ => return Err("usage: stats [reset|--json]".into()),
             },
             "checkpoint" => {
                 let pos = self.mgr.checkpoint()?;
