@@ -14,10 +14,12 @@
 //! * `fixpoint_*`   — bottom-up semi-naive fixpoint (transitive closure),
 //! * `ees_check_*`  — full EES consistency check over the GOM catalog,
 //! * `dred_*`       — DRed incremental maintenance of a materialised IDB,
-//! * `query_*`      — ad-hoc conjunctive query against a materialised IDB.
+//! * `query_*`      — ad-hoc conjunctive query against a materialised IDB,
+//! * `snapshot_*`   — epoch snapshot publication (CoW page sharing).
 
 use gom_bench::{populate_objects, synth_manager, SplitMix64, SynthParams};
 use gom_deductive::{ChangeSet, Database, Tuple};
+use gom_server::Snapshot;
 use gomflex::core::SchemaManager;
 use gomflex::impact::{ImpactIndex, PlanConfig};
 use std::hint::black_box;
@@ -274,6 +276,11 @@ fn main() {
     let (mut m500, m500_t0) = maintained_commit_setup(500);
     let (mut m5000, m5000_t0) = maintained_commit_setup(5000);
 
+    // ---- epoch snapshot publication over synth5000 -------------------------
+    let (snap_mgr, _snap_ts) = maintained_commit_setup(5000);
+    let (deep_mgr, _deep_ts) = maintained_commit_setup(5000);
+    let mut snap_epoch = 0u64;
+
     let _ = ts;
     let mut benches: Vec<Bench> = vec![
         Bench {
@@ -363,6 +370,32 @@ fn main() {
         Bench {
             name: "ees_check_synth5000",
             run: Box::new(move || maintained_commit_iter(&mut m5000, m5000_t0)),
+            units: 0,
+        },
+        Bench {
+            name: "snapshot_publish_synth5000",
+            run: Box::new(move || {
+                // What every EES commit pays to publish a reader epoch:
+                // with CoW page sharing this is O(#relations + #chunks)
+                // Arc bumps, independent of the tuple count (units = facts
+                // made visible per publication).
+                snap_epoch += 1;
+                let snap = Snapshot::capture(snap_epoch, &snap_mgr.meta);
+                black_box(&snap);
+                snap_mgr.meta.db.fact_count() as u64
+            }),
+            units: 0,
+        },
+        Bench {
+            name: "snapshot_publish_deep_synth5000",
+            run: Box::new(move || {
+                // The pre-CoW publication path (deep per-tuple clone plus
+                // the eager digest it always computed), kept as a
+                // permanent contrast row for the CoW one above.
+                let deep = deep_mgr.meta.db.deep_snapshot_clone();
+                black_box(deep.debug_state_digest().len());
+                deep_mgr.meta.db.fact_count() as u64
+            }),
             units: 0,
         },
         Bench {

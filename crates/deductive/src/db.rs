@@ -580,6 +580,12 @@ impl Database {
     /// indexes are maintained in place by subsequent `insert`/`remove`.
     /// No-op when not compiled.
     pub(crate) fn ensure_base_indexes(&mut self) {
+        // Databases rehydrated from a CoW snapshot share start with stale
+        // membership tables; evaluation probes them on every negation
+        // check, so sync eagerly rather than scan-fallback per probe.
+        for r in &mut self.rels {
+            r.ensure_table();
+        }
         let Some(compiled) = self.compiled.take() else {
             return;
         };
@@ -589,6 +595,18 @@ impl Database {
             }
         }
         self.compiled = Some(compiled);
+    }
+
+    /// Make a database rehydrated from a [`Database::snapshot_clone`]
+    /// share fully probe-ready: membership tables and the interner lookup
+    /// map are rebuilt now (one pass, no tuple or string copies) instead
+    /// of lazily on first use. Reader connections call this once per
+    /// epoch refresh so interactive queries never hit a scan fallback.
+    pub fn prepare_reader(&mut self) {
+        for r in &mut self.rels {
+            r.ensure_table();
+        }
+        self.interner.ensure_lookup();
     }
 
     /// Drop the cached IDB materialisation so the next check/evaluation
@@ -607,13 +625,15 @@ impl Database {
         }
     }
 
-    /// Clone the definitional and extensional state into a fresh database
-    /// suitable for publication as a read snapshot: compiler-generated
-    /// auxiliary predicates, compiled plans, IDB caches, maintained
-    /// indexes, the evolution-session journal, and test failpoints are all
-    /// dropped. The clone re-derives everything it needs lazily on first
-    /// use, and — because index contents depend on query history — two
-    /// snapshots of the same facts always produce bit-identical
+    /// Share the definitional and extensional state into a fresh database
+    /// suitable for publication as a read snapshot: tuple pages and the
+    /// string table are `Arc`-shared copy-on-write (zero tuple copies,
+    /// O(#relations + #chunks) work), while compiler-generated auxiliary
+    /// predicates, compiled plans, IDB caches, maintained indexes, the
+    /// evolution-session journal, and test failpoints are all dropped. The
+    /// clone re-derives everything it needs lazily on first use, and —
+    /// because index contents depend on query history — two snapshots of
+    /// the same facts always produce bit-identical
     /// [`Database::debug_state_digest`] output.
     pub fn snapshot_clone(&self) -> Database {
         let n = self.aux_start.unwrap_or(self.preds.len());
@@ -623,12 +643,9 @@ impl Database {
             .enumerate()
             .map(|(i, d)| (d.name, PredId(i as u32)))
             .collect();
-        let rels: Vec<Relation> = self.rels[..n]
-            .iter()
-            .map(Relation::without_indexes)
-            .collect();
+        let rels: Vec<Relation> = self.rels[..n].iter().map(Relation::share).collect();
         Database {
-            interner: self.interner.clone(),
+            interner: self.interner.share(),
             preds,
             by_name,
             rels,
@@ -649,6 +666,19 @@ impl Database {
             eval_threads: self.eval_threads,
             eval_failpoint: false,
         }
+    }
+
+    /// The pre-CoW reference implementation of
+    /// [`Database::snapshot_clone`]: deep-copies every live tuple via
+    /// [`Relation::without_indexes`] instead of sharing pages. Kept as the
+    /// differential oracle for the CoW snapshot property tests (a share
+    /// must stay byte-identical to a deep clone taken at the same
+    /// instant); production publication always uses the shared path.
+    #[doc(hidden)]
+    pub fn deep_snapshot_clone(&self) -> Database {
+        let mut snap = self.snapshot_clone();
+        snap.rels = snap.rels.iter().map(Relation::without_indexes).collect();
+        snap
     }
 
     /// Interner-independent textual digest of the stored state: every base

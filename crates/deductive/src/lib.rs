@@ -57,6 +57,7 @@ pub mod pred;
 pub mod provenance;
 mod relation;
 mod repair;
+mod storage;
 mod stratify;
 pub mod symbol;
 pub mod tuple;
@@ -74,6 +75,7 @@ pub use pred::{PredId, PredKind};
 pub use provenance::Derivation;
 pub use relation::{BucketIter, Matches, Relation};
 pub use repair::{Repair, RepairKind};
+pub use storage::debug_tuple_copies;
 pub use stratify::{stratify, Stratification};
 pub use symbol::{FxHashMap, FxHashSet, Interner, Symbol};
 pub use tuple::Tuple;

@@ -1,21 +1,31 @@
 //! Fact storage for one predicate, with incrementally maintained hash
 //! indexes.
 //!
-//! Tuples are stored **once**, in an insertion-ordered row vector; the
-//! membership table and every index are postings lists mapping a 64-bit
-//! key hash to compact `u32` row ids. Indexes are created once (eagerly by
-//! the evaluator, which knows every bound-column mask from the compiled
-//! plans, see [`crate::compile`]) and afterwards **maintained in place** by
-//! `insert`/`remove`: an insert costs one hash-and-push per index, with no
-//! tuple clones and no per-key allocations — the fixpoint loop mutates
-//! derived relations every round, so this is the engine's hottest write
-//! path. Lookups return *borrowed* tuples and verify the key columns per
-//! candidate (hash collisions are possible, exact matches are not assumed).
+//! Tuples are stored **once**, in insertion-ordered copy-on-write chunks
+//! ([`crate::storage::ChunkStore`]); the membership table and every index
+//! are postings lists mapping a 64-bit key hash to compact `u32` row ids.
+//! Indexes are created once (eagerly by the evaluator, which knows every
+//! bound-column mask from the compiled plans, see [`crate::compile`]) and
+//! afterwards **maintained in place** by `insert`/`remove`: an insert
+//! costs one hash-and-push per index, with no tuple clones and no per-key
+//! allocations — the fixpoint loop mutates derived relations every round,
+//! so this is the engine's hottest write path. Lookups return *borrowed*
+//! tuples and verify the key columns per candidate (hash collisions are
+//! possible, exact matches are not assumed).
 //!
 //! Iteration order is insertion order with removed rows skipped, so any
 //! deterministic insertion sequence yields deterministic scans — the
 //! parallel evaluator relies on this (see [`crate::eval`]).
+//!
+//! Snapshot publication uses [`Relation::share`]: the chunk pages are
+//! `Arc`-bumped instead of copied, the membership table and indexes are
+//! dropped (index contents depend on query history; an index-free view
+//! gives every snapshot of equal facts an identical state digest), and the
+//! table is lazily rebuilt on the share's first mutation. Read-only probes
+//! on an unsynced share fall back to a live-row scan, so shares are always
+//! correct even before any rebuild.
 
+use crate::storage::{note_tuple_copies, ChunkStore, LiveRows, TupleStorage};
 use crate::symbol::FxHashMap;
 use crate::tuple::Tuple;
 use crate::value::Const;
@@ -117,6 +127,30 @@ impl RawTable {
                 free.get_or_insert(i);
             } else if sh == h && eq(sid) {
                 return Some(sid);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Claim a slot for a row known not to be present — no equality
+    /// probing, no duplicate check. Bulk loads of already-deduplicated rows
+    /// (table rebuilds after a share, `without_indexes`) use this to skip
+    /// the per-tuple comparison path entirely.
+    fn insert_new(&mut self, h: u64, id: u32) {
+        if (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let sid = self.slots[i].1;
+            if sid >= TOMB {
+                if sid == EMPTY {
+                    self.used += 1;
+                }
+                self.slots[i] = (h, id);
+                self.len += 1;
+                return;
             }
             i = (i + 1) & mask;
         }
@@ -253,24 +287,39 @@ fn hash_vals(vals: impl Iterator<Item = Const>) -> u64 {
 
 /// The set of facts currently stored (or derived) for one predicate.
 ///
-/// Cloning preserves the indexes, so snapshots taken by incremental
-/// maintenance (DRed) keep their lookup structures.
-#[derive(Default, Debug, Clone)]
+/// Cloning preserves the membership table and indexes while sharing the
+/// tuple pages copy-on-write, so snapshots taken by incremental
+/// maintenance (DRed) keep their lookup structures without copying a
+/// single tuple.
+#[derive(Default, Debug)]
 pub struct Relation {
-    /// Insertion-ordered rows; removal tombstones instead of shifting.
-    rows: Vec<Tuple>,
-    /// Liveness flag per row, parallel to `rows`.
-    live: Vec<bool>,
-    /// Number of tombstoned rows (compaction trigger).
-    dead: usize,
+    /// Insertion-ordered rows in CoW chunks; removal tombstones instead of
+    /// shifting.
+    store: ChunkStore,
     /// Full-tuple hash → row id, open-addressed (the membership table).
     table: RawTable,
+    /// Set when the table lags the store: [`Relation::share`] drops the
+    /// table to keep publication O(#chunks). Mutating entry points rebuild
+    /// it first; read-only probes fall back to a live-row scan.
+    table_stale: bool,
     /// Sorted column positions → index postings, maintained on mutation.
     indexes: FxHashMap<Box<[usize]>, Postings>,
     /// Recycled tuple buffers from a [`Self::recycle`] reset, drawn on by
     /// `insert_vals` instead of the allocator. A relation's tuples all
     /// share one arity, so every parked buffer fits every future fact.
     pool: Vec<Vec<Const>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            store: self.store.share(),
+            table: self.table.clone(),
+            table_stale: self.table_stale,
+            indexes: self.indexes.clone(),
+            pool: Vec::new(),
+        }
+    }
 }
 
 impl Relation {
@@ -281,7 +330,7 @@ impl Relation {
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.rows.len() - self.dead
+        self.store.len_rows() - self.store.dead()
     }
 
     /// True when no facts are stored.
@@ -290,14 +339,20 @@ impl Relation {
     }
 
     fn find_id(&self, t: &Tuple) -> Option<u32> {
+        if self.table_stale {
+            return self
+                .store
+                .live_rows()
+                .find_map(|(id, r)| (r == t).then_some(id));
+        }
         let h = hash_vals(t.iter());
-        self.table.find(h, |id| self.rows[id as usize] == *t)
+        self.table.find(h, |id| self.store.row(id) == t)
     }
 
     /// Borrow a row by its id. Ids are only valid until the next removal
     /// (compaction renumbers); the evaluator uses them within one fixpoint.
     pub(crate) fn row(&self, id: u32) -> &Tuple {
-        &self.rows[id as usize]
+        self.store.row(id)
     }
 
     /// Membership test.
@@ -311,10 +366,31 @@ impl Relation {
     where
         I: Iterator<Item = Const> + Clone,
     {
+        if self.table_stale {
+            return self
+                .store
+                .live_rows()
+                .any(|(_, r)| r.iter().eq(vals.clone()));
+        }
         let h = hash_vals(vals.clone());
         self.table
-            .find(h, |id| self.rows[id as usize].iter().eq(vals.clone()))
+            .find(h, |id| self.store.row(id).iter().eq(vals.clone()))
             .is_some()
+    }
+
+    /// Rebuild the membership table when it lags the store (after a
+    /// [`Self::share`]). Rows in the store are already deduplicated, so the
+    /// rebuild claims slots without equality probes. No-op when synced.
+    pub(crate) fn ensure_table(&mut self) {
+        if !self.table_stale {
+            return;
+        }
+        self.table.clear();
+        self.table.reserve(self.len());
+        for (id, t) in self.store.live_rows() {
+            self.table.insert_new(hash_vals(t.iter()), id);
+        }
+        self.table_stale = false;
     }
 
     /// Insert a fact. Returns `true` when the fact was new. All existing
@@ -339,18 +415,17 @@ impl Relation {
     }
 
     /// Reset to empty while keeping every allocation: the slot array, the
-    /// index postings maps, row-vector capacity, and the row tuples
-    /// themselves, which are parked in the buffer pool for the next
-    /// inserts. Re-evaluation after a cache invalidation then runs nearly
+    /// index postings maps, page shells, and the row tuples themselves,
+    /// which are parked in the buffer pool for the next inserts.
+    /// Re-evaluation after a cache invalidation then runs nearly
     /// allocation-free.
     pub(crate) fn recycle(&mut self) {
         self.table.reset();
+        self.table_stale = false;
         for map in self.indexes.values_mut() {
             map.clear();
         }
-        self.pool.extend(self.rows.drain(..).map(Tuple::into_vec));
-        self.live.clear();
-        self.dead = 0;
+        self.store.recycle_into(&mut self.pool);
     }
 
     /// Pre-size row storage and the membership table for about `n` facts.
@@ -358,8 +433,7 @@ impl Relation {
     /// re-evaluation converges to a similar extension, so sizing up front
     /// removes incremental growth and rehashing from the insert path.
     pub fn reserve(&mut self, n: usize) {
-        self.rows.reserve(n.saturating_sub(self.rows.len()));
-        self.live.reserve(n.saturating_sub(self.live.len()));
+        self.store.reserve(n);
         self.table.reserve(n);
     }
 
@@ -374,11 +448,12 @@ impl Relation {
     /// the fact is new — duplicate derivations cost one probe and nothing
     /// else.
     pub(crate) fn insert_vals(&mut self, h: u64, vals: &[Const]) -> Option<u32> {
-        let id = self.rows.len() as u32;
-        let rows = &self.rows;
+        self.ensure_table();
+        let id = self.store.len_rows() as u32;
+        let store = &self.store;
         if self
             .table
-            .insert_or_get(h, id, |i| rows[i as usize].as_slice() == vals)
+            .insert_or_get(h, id, |i| store.row(i).as_slice() == vals)
             .is_some()
         {
             return None;
@@ -395,8 +470,7 @@ impl Relation {
             let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
             push_posting(map, kh, id);
         }
-        self.rows.push(t);
-        self.live.push(true);
+        self.store.push(t);
         Some(id)
     }
 
@@ -409,11 +483,12 @@ impl Relation {
 
     /// As [`Self::insert_get_id`], with a precomputed [`Self::fact_hash`].
     pub(crate) fn insert_hashed(&mut self, h: u64, t: Tuple) -> Option<u32> {
-        let id = self.rows.len() as u32;
-        let rows = &self.rows;
+        self.ensure_table();
+        let id = self.store.len_rows() as u32;
+        let store = &self.store;
         if self
             .table
-            .insert_or_get(h, id, |i| rows[i as usize] == t)
+            .insert_or_get(h, id, |i| store.row(i) == &t)
             .is_some()
         {
             return None;
@@ -422,14 +497,16 @@ impl Relation {
             let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
             push_posting(map, kh, id);
         }
-        self.rows.push(t);
-        self.live.push(true);
+        self.store.push(t);
         Some(id)
     }
 
     /// Remove a fact. Returns `true` when the fact was present. All existing
-    /// indexes are updated in place.
+    /// indexes are updated in place. Tombstoning copies only the touched
+    /// liveness page when the store is shared with a snapshot — never the
+    /// tuples.
     pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.ensure_table();
         let Some(id) = self.find_id(t) else {
             return false;
         };
@@ -441,57 +518,69 @@ impl Relation {
                 ids.remove_id(id);
             }
         }
-        self.live[id as usize] = false;
-        self.dead += 1;
-        if self.dead > 32 && self.dead * 2 > self.rows.len() {
+        self.store.tombstone(id);
+        if self.store.dead() > 32 && self.store.dead() * 2 > self.store.len_rows() {
             self.compact();
         }
         true
     }
 
     /// Drop tombstoned rows and rebuild the table and index postings.
+    /// Uniquely-owned pages move their tuples; pages still referenced by a
+    /// snapshot are copied (the snapshot keeps its own view either way).
     fn compact(&mut self) {
-        let mut rows = Vec::with_capacity(self.len());
-        for (t, &alive) in self.rows.iter().zip(&self.live) {
-            if alive {
-                rows.push(t.clone());
-            }
-        }
-        self.rows = rows;
-        self.live = vec![true; self.rows.len()];
-        self.dead = 0;
+        self.store.compact(&mut self.pool);
         self.table.clear();
-        for (id, t) in self.rows.iter().enumerate() {
-            let rows = &self.rows;
-            self.table
-                .insert_or_get(hash_vals(t.iter()), id as u32, |i| rows[i as usize] == *t);
+        self.table.reserve(self.len());
+        for (id, t) in self.store.live_rows() {
+            self.table.insert_new(hash_vals(t.iter()), id);
         }
+        self.table_stale = false;
         for (cols, map) in self.indexes.iter_mut() {
             map.clear();
-            for (id, t) in self.rows.iter().enumerate() {
+            for (id, t) in self.store.live_rows() {
                 let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
-                push_posting(map, kh, id as u32);
+                push_posting(map, kh, id);
             }
         }
     }
 
     /// Iterate over all facts in insertion order, borrowed.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.rows
-            .iter()
-            .zip(&self.live)
-            .filter_map(|(t, &alive)| alive.then_some(t))
+        self.store.live_rows().map(|(_, t)| t)
     }
 
-    /// Clone the live facts into a fresh relation with no indexes, no
-    /// tombstones, and no recycled buffers. Snapshot publication uses this:
-    /// index contents depend on query history, so an index-free copy gives
-    /// every snapshot of equal facts an identical state digest.
+    /// Share this relation's pages into a new relation with no membership
+    /// table, no indexes, and no recycled buffers: O(#chunks) `Arc` bumps,
+    /// zero tuple copies. Snapshot publication uses this — index contents
+    /// depend on query history, so an index-free view gives every snapshot
+    /// of equal facts an identical state digest, and iteration order is
+    /// bit-identical to the source. The share rebuilds its membership
+    /// table lazily on first mutation.
+    pub(crate) fn share(&self) -> Relation {
+        Relation {
+            store: self.store.share(),
+            table: RawTable::default(),
+            // An empty store needs no rebuild; anything else syncs lazily.
+            table_stale: self.store.len_rows() > 0,
+            indexes: FxHashMap::default(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Deep-copy the live facts into a fresh relation with no indexes, no
+    /// tombstones, and no shared pages. Rows are already deduplicated, so
+    /// the bulk load claims membership slots without per-tuple equality
+    /// probes. Recovery replay and differential oracles use this; snapshot
+    /// publication shares pages via [`Self::share`] instead.
     pub fn without_indexes(&self) -> Relation {
         let mut out = Relation::new();
         out.reserve(self.len());
-        for t in self.iter() {
-            out.insert(t.clone());
+        for (_, t) in self.store.live_rows() {
+            let h = hash_vals(t.iter());
+            note_tuple_copies(1);
+            let id = out.store.push(t.clone());
+            out.table.insert_new(h, id);
         }
         out
     }
@@ -524,8 +613,8 @@ impl Relation {
                 let mut tuples: Vec<Tuple> = map
                     .values()
                     .flat_map(|ids| ids.as_slice().iter().copied())
-                    .filter(|&id| self.live[id as usize])
-                    .map(|id| self.rows[id as usize].clone())
+                    .filter(|&id| self.store.is_live(id))
+                    .map(|id| self.store.row(id).clone())
                     .collect();
                 tuples.sort_unstable();
                 (cols.to_vec(), tuples)
@@ -544,11 +633,9 @@ impl Relation {
             return;
         }
         let mut map = Postings::default();
-        for (id, (t, &alive)) in self.rows.iter().zip(&self.live).enumerate() {
-            if alive {
-                let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
-                push_posting(&mut map, kh, id as u32);
-            }
+        for (id, t) in self.store.live_rows() {
+            let kh = hash_vals(cols.iter().map(|&c| t.get(c)));
+            push_posting(&mut map, kh, id);
         }
         self.indexes.insert(cols.into(), map);
     }
@@ -569,7 +656,7 @@ impl Relation {
     #[inline]
     pub fn index_ref(&self, cols: &[usize]) -> Option<IndexRef<'_>> {
         Some(IndexRef {
-            rows: &self.rows,
+            store: &self.store,
             map: self.indexes.get(cols)?,
         })
     }
@@ -582,8 +669,7 @@ impl Relation {
     pub fn select(&self, bound: &[(usize, Const)]) -> Matches<'_> {
         if bound.is_empty() {
             return Matches(MatchesInner::All {
-                rows: self.rows.iter(),
-                live: self.live.iter(),
+                it: self.store.live_rows(),
             });
         }
         let mut pairs: Vec<(usize, Const)> = bound.to_vec();
@@ -593,7 +679,7 @@ impl Relation {
             let kh = hash_vals(pairs.iter().map(|&(_, v)| v));
             let ids = map.get(&kh).map(Ids::as_slice).unwrap_or(&[]);
             return Matches(MatchesInner::Ids {
-                rows: &self.rows,
+                store: &self.store,
                 ids: ids.iter(),
                 bound: pairs,
             });
@@ -624,24 +710,22 @@ impl Relation {
             }));
             let ids = map.get(&kh).map(Ids::as_slice).unwrap_or(&[]);
             return Matches(MatchesInner::Ids {
-                rows: &self.rows,
+                store: &self.store,
                 ids: ids.iter(),
                 bound: pairs,
             });
         }
         Matches(MatchesInner::Filter {
-            rows: self.rows.iter(),
-            live: self.live.iter(),
+            it: self.store.live_rows(),
             bound: pairs,
         })
     }
 
     /// Drop all facts (and index contents).
     pub fn clear(&mut self) {
-        self.rows.clear();
-        self.live.clear();
-        self.dead = 0;
+        self.store.clear();
         self.table.clear();
+        self.table_stale = false;
         for map in self.indexes.values_mut() {
             map.clear();
         }
@@ -651,7 +735,7 @@ impl Relation {
 /// A resolved index on one relation (see [`Relation::index_ref`]).
 #[derive(Clone, Copy)]
 pub struct IndexRef<'a> {
-    rows: &'a [Tuple],
+    store: &'a ChunkStore,
     map: &'a Postings,
 }
 
@@ -665,7 +749,7 @@ impl<'a> IndexRef<'a> {
             .map(Ids::as_slice)
             .unwrap_or(&[]);
         BucketIter {
-            rows: self.rows,
+            store: self.store,
             ids: ids.iter(),
             cols,
             key,
@@ -675,7 +759,7 @@ impl<'a> IndexRef<'a> {
 
 /// Borrowed iterator over one index bucket (see [`Relation::bucket`]).
 pub struct BucketIter<'a> {
-    rows: &'a [Tuple],
+    store: &'a ChunkStore,
     ids: std::slice::Iter<'a, u32>,
     cols: &'a [usize],
     key: &'a [Const],
@@ -686,7 +770,7 @@ impl<'a> Iterator for BucketIter<'a> {
 
     fn next(&mut self) -> Option<&'a Tuple> {
         for &id in self.ids.by_ref() {
-            let t = &self.rows[id as usize];
+            let t = self.store.row(id);
             if self.cols.iter().zip(self.key).all(|(&c, &k)| t.get(c) == k) {
                 return Some(t);
             }
@@ -700,17 +784,15 @@ pub struct Matches<'a>(MatchesInner<'a>);
 
 enum MatchesInner<'a> {
     All {
-        rows: std::slice::Iter<'a, Tuple>,
-        live: std::slice::Iter<'a, bool>,
+        it: LiveRows<'a>,
     },
     Ids {
-        rows: &'a [Tuple],
+        store: &'a ChunkStore,
         ids: std::slice::Iter<'a, u32>,
         bound: Vec<(usize, Const)>,
     },
     Filter {
-        rows: std::slice::Iter<'a, Tuple>,
-        live: std::slice::Iter<'a, bool>,
+        it: LiveRows<'a>,
         bound: Vec<(usize, Const)>,
     },
 }
@@ -720,28 +802,19 @@ impl<'a> Iterator for Matches<'a> {
 
     fn next(&mut self) -> Option<&'a Tuple> {
         match &mut self.0 {
-            MatchesInner::All { rows, live } => {
-                for t in rows.by_ref() {
-                    let &alive = live.next().expect("live parallel to rows");
-                    if alive {
-                        return Some(t);
-                    }
-                }
-                None
-            }
-            MatchesInner::Ids { rows, ids, bound } => {
+            MatchesInner::All { it } => it.next().map(|(_, t)| t),
+            MatchesInner::Ids { store, ids, bound } => {
                 for &id in ids.by_ref() {
-                    let t = &rows[id as usize];
+                    let t = store.row(id);
                     if bound.iter().all(|&(c, v)| t.get(c) == v) {
                         return Some(t);
                     }
                 }
                 None
             }
-            MatchesInner::Filter { rows, live, bound } => {
-                for t in rows.by_ref() {
-                    let &alive = live.next().expect("live parallel to rows");
-                    if alive && bound.iter().all(|&(c, v)| t.get(c) == v) {
+            MatchesInner::Filter { it, bound } => {
+                for (_, t) in it.by_ref() {
+                    if bound.iter().all(|&(c, v)| t.get(c) == v) {
                         return Some(t);
                     }
                 }
@@ -754,6 +827,7 @@ impl<'a> Iterator for Matches<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::debug_tuple_copies;
 
     fn t(xs: &[i64]) -> Tuple {
         Tuple::from(xs.iter().map(|&x| Const::Int(x)).collect::<Vec<_>>())
@@ -886,5 +960,90 @@ mod tests {
             assert_eq!(r.bucket(&[0], &[Const::Int(i)]).unwrap().count(), 1);
         }
         assert_eq!(r.bucket(&[0], &[Const::Int(5)]).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn share_is_copy_free_and_immutable() {
+        let mut r = Relation::new();
+        r.ensure_index(&[0]);
+        for i in 0..50 {
+            r.insert(t(&[i, i]));
+        }
+        let before = debug_tuple_copies();
+        let snap = r.share();
+        assert_eq!(debug_tuple_copies() - before, 0, "share copies no tuples");
+        assert!(snap.index_dump().is_empty(), "shares carry no indexes");
+
+        // Unsynced probes fall back to scans and stay correct.
+        assert!(snap.contains(&t(&[7, 7])));
+        assert!(!snap.contains(&t(&[7, 8])));
+        assert!(snap.contains_vals([Const::Int(3), Const::Int(3)].into_iter()));
+
+        // Writer mutations never leak into the share.
+        r.remove(&t(&[7, 7]));
+        r.insert(t(&[999, 999]));
+        assert!(snap.contains(&t(&[7, 7])));
+        assert!(!snap.contains(&t(&[999, 999])));
+        assert_eq!(snap.len(), 50);
+
+        // Iteration order of the share matches a deep clone's.
+        let deep: Vec<Tuple> = snap.without_indexes().iter().cloned().collect();
+        let shared: Vec<Tuple> = snap.iter().cloned().collect();
+        assert_eq!(deep, shared);
+    }
+
+    #[test]
+    fn share_survives_writer_compaction() {
+        let mut r = Relation::new();
+        for i in 0..200 {
+            r.insert(t(&[i]));
+        }
+        let snap = r.share();
+        let expect: Vec<Tuple> = snap.iter().cloned().collect();
+        // Force compaction in the writer (dead > 32 and dead*2 > rows).
+        for i in 0..150 {
+            r.remove(&t(&[i]));
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(snap.len(), 200);
+        let got: Vec<Tuple> = snap.iter().cloned().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn share_can_be_mutated_independently() {
+        let mut r = Relation::new();
+        for i in 0..10 {
+            r.insert(t(&[i]));
+        }
+        let mut snap = r.share();
+        // First mutation resyncs the membership table lazily.
+        assert!(!snap.insert(t(&[3])), "duplicate still detected");
+        assert!(snap.insert(t(&[77])));
+        assert!(snap.remove(&t(&[0])));
+        assert_eq!(snap.len(), 10);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(&t(&[0])));
+        assert!(!r.contains(&t(&[77])));
+    }
+
+    #[test]
+    fn without_indexes_matches_source() {
+        let mut r = Relation::new();
+        r.ensure_index(&[0]);
+        for i in 0..40 {
+            r.insert(t(&[i, i * 2]));
+        }
+        for i in 0..10 {
+            r.remove(&t(&[i, i * 2]));
+        }
+        let c = r.without_indexes();
+        assert_eq!(c.len(), 30);
+        assert_eq!(c.sorted(), r.sorted());
+        let a: Vec<Tuple> = r.iter().cloned().collect();
+        let b: Vec<Tuple> = c.iter().cloned().collect();
+        assert_eq!(a, b, "bulk load preserves iteration order");
+        assert!(c.contains(&t(&[20, 40])), "bulk-loaded table probes work");
+        assert!(!c.contains(&t(&[5, 10])));
     }
 }

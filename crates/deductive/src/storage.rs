@@ -1,0 +1,468 @@
+//! Chunked, copy-on-write tuple storage.
+//!
+//! Rows live in fixed-size chunks (pages) of [`CHUNK_LEN`] tuples, each
+//! behind an `Arc`. Liveness is tracked in parallel chunks of booleans,
+//! also `Arc`-shared. All chunks except the open tail hold exactly
+//! `CHUNK_LEN` rows, so a row id maps to its page with a shift and mask.
+//!
+//! The point of the layout is snapshot publication: [`ChunkStore::share`]
+//! produces a second store over the same pages in O(#chunks) `Arc` bumps —
+//! no tuple is copied. Mutation is copy-on-write via `Arc::make_mut`:
+//!
+//! * `push` touches only the open tail chunk (first write after a share
+//!   re-materialises at most one partial page),
+//! * `tombstone` copies only the touched *liveness* page (booleans), never
+//!   the tuples, so a writer removing facts under live snapshots stays
+//!   cheap,
+//! * frozen full pages are never written again until compaction rebuilds
+//!   the store densely packed.
+//!
+//! Row ids are insertion-ordered and stable until compaction, exactly like
+//! the previous flat-vector layout — iteration order, `sorted()` output
+//! and state digests of a shared store are bit-identical to a deep clone.
+//!
+//! The store sits behind the small [`TupleStorage`] trait; the in-memory
+//! chunked backend is the only implementation today, but the trait is the
+//! seam where a paged/mmap backend plugs in later (row access, liveness,
+//! append, tombstone, share — everything `Relation` needs).
+
+use crate::tuple::Tuple;
+use crate::value::Const;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// log2 of the chunk size: 1024 rows per page.
+pub(crate) const CHUNK_BITS: usize = 10;
+/// Rows per chunk (all chunks but the tail are exactly this long).
+pub(crate) const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: usize = CHUNK_LEN - 1;
+
+/// Process-wide count of tuple deep copies performed by the storage layer
+/// (chunk copy-on-write, compaction of shared pages, bulk loads). Snapshot
+/// publication must not move this counter — the CoW tests assert on it.
+static TUPLE_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the storage-layer tuple-copy counter. Debug/test
+/// support for proving that an operation (e.g. `snapshot_clone`) performed
+/// zero tuple copies; not part of the stable API.
+#[doc(hidden)]
+pub fn debug_tuple_copies() -> u64 {
+    TUPLE_COPIES.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn note_tuple_copies(n: usize) {
+    TUPLE_COPIES.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// One immutable page of tuples. Only the open tail chunk of a store is
+/// ever mutated (appends); a shared tail is re-materialised by
+/// `Arc::make_mut` through the counting [`Clone`] below.
+#[derive(Debug, Default)]
+pub(crate) struct Chunk {
+    rows: Vec<Tuple>,
+}
+
+impl Clone for Chunk {
+    fn clone(&self) -> Chunk {
+        note_tuple_copies(self.rows.len());
+        Chunk {
+            rows: self.rows.clone(),
+        }
+    }
+}
+
+/// Liveness page parallel to a [`Chunk`]: one flag per row. Pages are
+/// materialised lazily — `None` in the store means "every row live", so
+/// relations that never remove pay nothing per push. Tombstoning a row in
+/// a frozen page copies this page only — booleans, never tuples.
+#[derive(Debug, Default, Clone)]
+struct LiveMap {
+    live: Vec<bool>,
+}
+
+/// The storage operations `Relation` needs from a backend: stable
+/// insertion-ordered row ids, row access, liveness, append, tombstone, and
+/// an O(#chunks) `share`. The in-memory [`ChunkStore`] is the only backend
+/// today; a paged/mmap backend would implement the same surface.
+pub(crate) trait TupleStorage: Default {
+    /// Total rows including tombstones (the next append's id).
+    fn len_rows(&self) -> usize;
+    /// Tombstoned rows.
+    fn dead(&self) -> usize;
+    /// Borrow a row by id (valid for tombstoned rows too, until compaction).
+    fn row(&self, id: u32) -> &Tuple;
+    /// Is the row with this id live?
+    fn is_live(&self, id: u32) -> bool;
+    /// Append a row, returning its id (`len_rows` before the call).
+    fn push(&mut self, t: Tuple) -> u32;
+    /// Mark a row dead. The row stays addressable until compaction.
+    fn tombstone(&mut self, id: u32);
+    /// A second store over the same pages: O(#chunks) `Arc` bumps, zero
+    /// tuple copies. Writes to either store copy-on-write the touched page.
+    fn share(&self) -> Self;
+    /// Drop all rows (shared pages are released, not copied).
+    fn clear(&mut self);
+    /// Pre-size for about `n` total rows.
+    fn reserve(&mut self, n: usize);
+    /// Rebuild densely packed (drop tombstones, renumber ids in live
+    /// order). Buffers of uniquely-owned dead rows are parked in `pool`.
+    fn compact(&mut self, pool: &mut Vec<Vec<Const>>);
+    /// Empty the store, moving every uniquely-owned tuple buffer into
+    /// `pool` and parking page shells for reuse (the relation-recycling
+    /// path of the fixpoint evaluator).
+    fn recycle_into(&mut self, pool: &mut Vec<Vec<Const>>);
+}
+
+/// The in-memory chunked backend (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct ChunkStore {
+    chunks: Vec<Arc<Chunk>>,
+    /// Liveness pages parallel to `chunks`; `None` means all rows live.
+    lives: Vec<Option<Arc<LiveMap>>>,
+    /// Total rows including tombstones.
+    len: usize,
+    /// Tombstoned rows.
+    dead: usize,
+    /// Emptied page shells from `recycle_into`/`compact`, reused by `push`
+    /// so steady-state re-evaluation allocates no new pages.
+    spare_rows: Vec<Vec<Tuple>>,
+    spare_live: Vec<Vec<bool>>,
+}
+
+#[inline]
+fn split(id: u32) -> (usize, usize) {
+    let id = id as usize;
+    (id >> CHUNK_BITS, id & CHUNK_MASK)
+}
+
+impl ChunkStore {
+    /// Iterate `(id, tuple)` over live rows in insertion order.
+    #[inline]
+    pub(crate) fn live_rows(&self) -> LiveRows<'_> {
+        LiveRows {
+            chunks: &self.chunks,
+            lives: if self.dead > 0 { &self.lives } else { &[] },
+            next_ci: 0,
+            base: 0,
+            rows: &[],
+            live: None,
+            off: 0,
+        }
+    }
+
+    fn open_tail(&mut self) {
+        let mut rows = self.spare_rows.pop().unwrap_or_default();
+        rows.clear();
+        self.chunks.push(Arc::new(Chunk { rows }));
+        self.lives.push(None);
+    }
+
+    /// Materialise the liveness page for chunk `ci` (all-true) if absent,
+    /// returning a mutable handle (copy-on-write when shared).
+    fn live_page(&mut self, ci: usize) -> &mut LiveMap {
+        let rows = self.chunks[ci].rows.len();
+        let slot = &mut self.lives[ci];
+        if slot.is_none() {
+            let mut live = self.spare_live.pop().unwrap_or_default();
+            live.clear();
+            live.resize(rows, true);
+            *slot = Some(Arc::new(LiveMap { live }));
+        }
+        match slot {
+            Some(lm) => {
+                let lm = Arc::make_mut(lm);
+                // A stale recycled page (or a frozen page grown since the
+                // map was made) is topped up to the chunk length.
+                if lm.live.len() < rows {
+                    lm.live.resize(rows, true);
+                }
+                lm
+            }
+            None => unreachable!("liveness page was just materialised"),
+        }
+    }
+}
+
+impl TupleStorage for ChunkStore {
+    #[inline]
+    fn len_rows(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn dead(&self) -> usize {
+        self.dead
+    }
+
+    #[inline]
+    fn row(&self, id: u32) -> &Tuple {
+        let (ci, off) = split(id);
+        &self.chunks[ci].rows[off]
+    }
+
+    #[inline]
+    fn is_live(&self, id: u32) -> bool {
+        if self.dead == 0 {
+            return true;
+        }
+        let (ci, off) = split(id);
+        match &self.lives[ci] {
+            None => true,
+            Some(lm) => lm.live.get(off).copied().unwrap_or(true),
+        }
+    }
+
+    fn push(&mut self, t: Tuple) -> u32 {
+        if self.len & CHUNK_MASK == 0 {
+            self.open_tail();
+        }
+        let ci = self.chunks.len() - 1;
+        Arc::make_mut(&mut self.chunks[ci]).rows.push(t);
+        let id = self.len as u32;
+        self.len += 1;
+        id
+    }
+
+    fn tombstone(&mut self, id: u32) {
+        let (ci, off) = split(id);
+        let lm = self.live_page(ci);
+        if std::mem::replace(&mut lm.live[off], false) {
+            self.dead += 1;
+        }
+    }
+
+    fn share(&self) -> ChunkStore {
+        ChunkStore {
+            chunks: self.chunks.clone(),
+            lives: self.lives.clone(),
+            len: self.len,
+            dead: self.dead,
+            spare_rows: Vec::new(),
+            spare_live: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        // Reclaim uniquely-owned page shells; shared pages just drop.
+        for chunk in self.chunks.drain(..) {
+            if let Ok(mut c) = Arc::try_unwrap(chunk) {
+                c.rows.clear();
+                self.spare_rows.push(std::mem::take(&mut c.rows));
+            }
+        }
+        for lm in self.lives.drain(..).flatten() {
+            if let Ok(mut l) = Arc::try_unwrap(lm) {
+                l.live.clear();
+                self.spare_live.push(std::mem::take(&mut l.live));
+            }
+        }
+        self.len = 0;
+        self.dead = 0;
+    }
+
+    fn reserve(&mut self, n: usize) {
+        if n <= self.len {
+            return;
+        }
+        // Size the tail page for the rows that will land in it; later rows
+        // open fresh pages, which allocate on demand. Only uniquely-owned
+        // tails are touched — reserving is not worth a page copy.
+        if let Some(tail) = self.chunks.last_mut() {
+            if let Some(c) = Arc::get_mut(tail) {
+                let want = (c.rows.len() + (n - self.len)).min(CHUNK_LEN);
+                c.rows.reserve(want.saturating_sub(c.rows.len()));
+            }
+        }
+        let pages = n.div_ceil(CHUNK_LEN);
+        self.chunks.reserve(pages.saturating_sub(self.chunks.len()));
+        self.lives.reserve(pages.saturating_sub(self.lives.len()));
+    }
+
+    fn compact(&mut self, pool: &mut Vec<Vec<Const>>) {
+        let chunks = std::mem::take(&mut self.chunks);
+        let lives = std::mem::take(&mut self.lives);
+        self.len = 0;
+        self.dead = 0;
+        for (chunk, lm) in chunks.into_iter().zip(lives) {
+            let alive = |off: usize| match &lm {
+                None => true,
+                Some(l) => l.live.get(off).copied().unwrap_or(true),
+            };
+            match Arc::try_unwrap(chunk) {
+                // Uniquely owned: move live tuples, recycle dead buffers.
+                Ok(mut c) => {
+                    for (off, t) in c.rows.drain(..).enumerate() {
+                        if alive(off) {
+                            self.push(t);
+                        } else {
+                            pool.push(t.into_vec());
+                        }
+                    }
+                    c.rows.clear();
+                    self.spare_rows.push(std::mem::take(&mut c.rows));
+                }
+                // A snapshot still references this page: copy the live rows.
+                Err(shared) => {
+                    for (off, t) in shared.rows.iter().enumerate() {
+                        if alive(off) {
+                            note_tuple_copies(1);
+                            self.push(t.clone());
+                        }
+                    }
+                }
+            }
+            if let Some(lm) = lm {
+                if let Ok(mut l) = Arc::try_unwrap(lm) {
+                    l.live.clear();
+                    self.spare_live.push(std::mem::take(&mut l.live));
+                }
+            }
+        }
+    }
+
+    fn recycle_into(&mut self, pool: &mut Vec<Vec<Const>>) {
+        for chunk in self.chunks.drain(..) {
+            if let Ok(mut c) = Arc::try_unwrap(chunk) {
+                pool.extend(c.rows.drain(..).map(Tuple::into_vec));
+                self.spare_rows.push(std::mem::take(&mut c.rows));
+            }
+        }
+        for lm in self.lives.drain(..).flatten() {
+            if let Ok(mut l) = Arc::try_unwrap(lm) {
+                l.live.clear();
+                self.spare_live.push(std::mem::take(&mut l.live));
+            }
+        }
+        self.len = 0;
+        self.dead = 0;
+    }
+}
+
+/// Iterator over `(id, tuple)` pairs of live rows, in insertion order.
+/// Iterates one cached page slice at a time; a store with no tombstones
+/// (the common case) skips liveness checks entirely.
+pub(crate) struct LiveRows<'a> {
+    chunks: &'a [Arc<Chunk>],
+    /// Empty when the store has no tombstones — liveness is not consulted.
+    lives: &'a [Option<Arc<LiveMap>>],
+    /// Next chunk to load into the cached page fields below.
+    next_ci: usize,
+    /// Row id of the current page's first row.
+    base: u32,
+    rows: &'a [Tuple],
+    /// Liveness slice for the current page; `None` = all rows live.
+    live: Option<&'a [bool]>,
+    off: usize,
+}
+
+impl<'a> Iterator for LiveRows<'a> {
+    type Item = (u32, &'a Tuple);
+
+    fn next(&mut self) -> Option<(u32, &'a Tuple)> {
+        loop {
+            if self.off >= self.rows.len() {
+                let chunk = self.chunks.get(self.next_ci)?;
+                self.rows = &chunk.rows;
+                self.live = self
+                    .lives
+                    .get(self.next_ci)
+                    .and_then(|lm| lm.as_ref())
+                    .map(|lm| lm.live.as_slice());
+                self.base = (self.next_ci << CHUNK_BITS) as u32;
+                self.next_ci += 1;
+                self.off = 0;
+                continue;
+            }
+            let off = self.off;
+            self.off += 1;
+            let alive = match self.live {
+                None => true,
+                Some(l) => l.get(off).copied().unwrap_or(true),
+            };
+            if alive {
+                return Some((self.base | off as u32, &self.rows[off]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Tuple {
+        Tuple::from(vec![Const::Int(x)])
+    }
+
+    #[test]
+    fn push_and_row_across_chunk_boundary() {
+        let mut s = ChunkStore::default();
+        let n = CHUNK_LEN + 7;
+        for i in 0..n {
+            assert_eq!(s.push(t(i as i64)), i as u32);
+        }
+        assert_eq!(s.len_rows(), n);
+        assert_eq!(s.row((CHUNK_LEN - 1) as u32), &t((CHUNK_LEN - 1) as i64));
+        assert_eq!(s.row(CHUNK_LEN as u32), &t(CHUNK_LEN as i64));
+        assert_eq!(s.live_rows().count(), n);
+    }
+
+    #[test]
+    fn share_is_copy_free_and_isolated() {
+        let mut s = ChunkStore::default();
+        for i in 0..(CHUNK_LEN + 10) {
+            s.push(t(i as i64));
+        }
+        let before = debug_tuple_copies();
+        let shared = s.share();
+        assert_eq!(debug_tuple_copies() - before, 0, "share must not copy");
+
+        // Writer mutates: tombstone copies booleans only, push CoWs the
+        // partial tail page (bounded by one page of tuples).
+        s.tombstone(3);
+        assert!(shared.is_live(3), "snapshot unaffected by tombstone");
+        s.push(t(-1));
+        assert_eq!(shared.len_rows(), CHUNK_LEN + 10);
+        assert_eq!(s.len_rows(), CHUNK_LEN + 11);
+        let ids: Vec<u32> = shared.live_rows().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), CHUNK_LEN + 10);
+    }
+
+    #[test]
+    fn tombstone_never_copies_tuples() {
+        let mut s = ChunkStore::default();
+        for i in 0..(2 * CHUNK_LEN) {
+            s.push(t(i as i64));
+        }
+        let _snap = s.share();
+        let before = debug_tuple_copies();
+        s.tombstone(5); // frozen first page: CoWs the liveness map only
+        assert_eq!(debug_tuple_copies() - before, 0);
+        assert!(!s.is_live(5));
+        assert_eq!(s.dead(), 1);
+    }
+
+    #[test]
+    fn compact_renumbers_and_preserves_order() {
+        let mut s = ChunkStore::default();
+        for i in 0..10 {
+            s.push(t(i));
+        }
+        s.tombstone(0);
+        s.tombstone(4);
+        let mut pool = Vec::new();
+        s.compact(&mut pool);
+        assert_eq!(s.len_rows(), 8);
+        assert_eq!(s.dead(), 0);
+        assert_eq!(pool.len(), 2, "dead buffers recycled");
+        let got: Vec<i64> = s
+            .live_rows()
+            .map(|(_, t)| match t.get(0) {
+                Const::Int(n) => n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 6, 7, 8, 9]);
+    }
+}

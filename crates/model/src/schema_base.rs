@@ -200,11 +200,13 @@ impl MetaModel {
         Ok(removed)
     }
 
-    /// Clone the meta model for publication as a read snapshot: the
-    /// database is copied via [`Database::snapshot_clone`] (definitional +
-    /// extensional state only, no caches or indexes), and the catalog,
-    /// built-ins, and id generator are carried over so the clone resolves
-    /// the same predicates and never re-issues an already-used id.
+    /// Share the meta model for publication as a read snapshot: the
+    /// database is shared copy-on-write via [`Database::snapshot_clone`]
+    /// (definitional + extensional state only — tuple pages and the
+    /// string table are `Arc`-bumped, not copied; no caches or indexes),
+    /// and the catalog, built-ins, and id generator are carried over so
+    /// the clone resolves the same predicates and never re-issues an
+    /// already-used id.
     pub fn snapshot_clone(&self) -> MetaModel {
         MetaModel {
             db: self.db.snapshot_clone(),

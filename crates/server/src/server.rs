@@ -1001,7 +1001,7 @@ impl Connection {
     }
 
     fn query(&mut self, body: &str) -> Reply {
-        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        let (_, meta) = self.cache.view(&self.shared.cell);
         match meta.db.query_text(body) {
             Ok((names, rows)) => {
                 let interner = meta.db.interner();
@@ -1023,7 +1023,7 @@ impl Connection {
     }
 
     fn check(&mut self) -> Reply {
-        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        let (_, meta) = self.cache.view(&self.shared.cell);
         match meta.db.check() {
             Ok(violations) => {
                 let rendered = violations.iter().map(|v| v.render(&meta.db)).collect();
@@ -1034,14 +1034,16 @@ impl Connection {
     }
 
     fn lint(&mut self) -> Reply {
-        let (_, _, meta) = self.cache.view(&self.shared.cell);
+        let (_, meta) = self.cache.view(&self.shared.cell);
         let report = gom_lint::lint_database(&mut meta.db, &self.shared.lint_cfg);
         Reply::Ok(gom_lint::render_report(&report, None, "<schema base>"))
     }
 
     fn digest(&mut self) -> Reply {
-        let (epoch, digest, _) = self.cache.view(&self.shared.cell);
-        Reply::Ok(format!("epoch {epoch}\n{digest}"))
+        // Served straight from the shared Arc: no private clone is built
+        // (or refreshed) for digest-only connections.
+        let snap = self.cache.snapshot(&self.shared.cell);
+        Reply::Ok(format!("epoch {}\n{}", snap.epoch, snap.digest()))
     }
 }
 

@@ -9,37 +9,52 @@
 //! reference-counted, so an open session never blocks a reader and a
 //! reader never blocks the writer.
 //!
-//! Queries and checks need `&mut Database` (interning, fixpoint caches),
-//! so each connection materialises a *private* mutable clone of the shared
-//! snapshot via [`ReaderCache`], refreshed only when the epoch moves. The
-//! clone cost is paid once per epoch per connection, not per request.
+//! Capture cost is O(#relations) `Arc` bumps: the snapshot's meta model
+//! shares the writer's tuple pages copy-on-write
+//! (`Database::snapshot_clone`), and the state digest is computed lazily
+//! on first request ([`Snapshot::digest`]) — a commit that no client ever
+//! digests never pays for the sorted dump.
+//!
+//! Read-only verbs (digest/stats/metrics) are served straight from the
+//! shared `Arc<Snapshot>`. Queries and checks need `&mut Database`
+//! (interning, fixpoint caches), so each connection materialises a
+//! *private* mutable clone via [`ReaderCache::view`] — itself a CoW share,
+//! refreshed only when the epoch moves and only for connections that run
+//! mutable verbs.
 
 use gom_model::MetaModel;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// An immutable, consistent view of the schema base at one epoch.
 pub struct Snapshot {
     /// Monotonic publication counter (0 = the state at server start).
     pub epoch: u64,
-    /// Index-free, cache-free clone of the meta model.
+    /// Index-free, cache-free CoW share of the meta model.
     pub meta: MetaModel,
-    /// State digest captured at publication — interner-independent, so a
-    /// recovered daemon publishing the same logical state produces a
-    /// bit-identical digest.
-    pub digest: String,
+    /// Lazily computed state digest (see [`Snapshot::digest`]).
+    digest: OnceLock<String>,
 }
 
 impl Snapshot {
     /// Capture the current state of `meta` as the snapshot for `epoch`.
+    /// O(#relations) page shares; no tuple copies, no digest computation.
     pub fn capture(epoch: u64, meta: &MetaModel) -> Snapshot {
-        let meta = meta.snapshot_clone();
-        let digest = meta.db.debug_state_digest();
         Snapshot {
             epoch,
-            meta,
-            digest,
+            meta: meta.snapshot_clone(),
+            digest: OnceLock::new(),
         }
+    }
+
+    /// The state digest, computed on first request and cached for the
+    /// snapshot's lifetime. Interner-independent, so a recovered daemon
+    /// publishing the same logical state produces a bit-identical digest
+    /// — and lazy computation cannot change the bytes, because the
+    /// snapshot is immutable from capture on.
+    pub fn digest(&self) -> &str {
+        self.digest
+            .get_or_init(|| self.meta.db.debug_state_digest())
     }
 }
 
@@ -86,10 +101,13 @@ impl SnapshotCell {
     }
 }
 
-/// A connection-private mutable materialisation of the published snapshot.
+/// A connection's cached view of the published snapshot: the shared
+/// immutable `Arc` (all read-only verbs) plus, only for connections that
+/// run query/check/lint, a private mutable materialisation.
 #[derive(Default)]
 pub struct ReaderCache {
-    cached: Option<(u64, String, MetaModel)>,
+    shared: Option<Arc<Snapshot>>,
+    private: Option<(u64, MetaModel)>,
 }
 
 impl ReaderCache {
@@ -98,22 +116,44 @@ impl ReaderCache {
         ReaderCache::default()
     }
 
-    /// The cached view of the current epoch, refreshing the private clone
-    /// if the cell has published a newer snapshot since the last call.
-    /// Returns `(epoch, digest, meta)` with `meta` privately mutable.
-    pub fn view(&mut self, cell: &SnapshotCell) -> (u64, &str, &mut MetaModel) {
+    /// The shared immutable snapshot for the current epoch, refreshing
+    /// the `Arc` handle if the cell has published since the last call.
+    /// Serves digest/stats/metrics without ever building (or refreshing)
+    /// the private clone.
+    pub fn snapshot(&mut self, cell: &SnapshotCell) -> &Snapshot {
         let current = cell.epoch();
-        let stale = match &self.cached {
-            Some((epoch, _, _)) => *epoch != current,
-            None => true,
-        };
-        if stale {
-            let snap = cell.load();
-            gom_obs::counter_add("server.reader.refreshes", 1);
-            self.cached = Some((snap.epoch, snap.digest.clone(), snap.meta.snapshot_clone()));
+        if self.shared.as_ref().map(|s| s.epoch) != Some(current) {
+            self.shared = Some(cell.load());
         }
-        match &mut self.cached {
-            Some((epoch, digest, meta)) => (*epoch, digest.as_str(), meta),
+        match &self.shared {
+            Some(s) => s,
+            // Unreachable: the branch above always fills the handle.
+            None => unreachable!("shared handle refreshed above"),
+        }
+    }
+
+    /// The private mutable view of the current epoch, refreshed (as a CoW
+    /// share of the shared snapshot, then made probe-ready) only when the
+    /// cell has published a newer snapshot since the last call. Returns
+    /// `(epoch, meta)` with `meta` privately mutable; mutations stay
+    /// connection-local until the next epoch refresh discards them.
+    pub fn view(&mut self, cell: &SnapshotCell) -> (u64, &mut MetaModel) {
+        let current = cell.epoch();
+        let stale = !matches!(&self.private, Some((epoch, _)) if *epoch == current);
+        if stale {
+            self.snapshot(cell);
+            let snap = match &self.shared {
+                Some(s) => Arc::clone(s),
+                // Unreachable: `snapshot` above fills the handle.
+                None => unreachable!("shared handle refreshed above"),
+            };
+            gom_obs::counter_add("server.reader.refreshes", 1);
+            let mut meta = snap.meta.snapshot_clone();
+            meta.db.prepare_reader();
+            self.private = Some((snap.epoch, meta));
+        }
+        match &mut self.private {
+            Some((epoch, meta)) => (*epoch, meta),
             // Unreachable: the branch above always fills the cache.
             None => unreachable!("reader cache refreshed above"),
         }
@@ -136,12 +176,12 @@ mod tests {
         let m0 = model_with("S0");
         let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
         assert_eq!(cell.epoch(), 0);
-        let d0 = cell.load().digest.clone();
+        let d0 = cell.load().digest().to_string();
 
         let m1 = model_with("S1");
         cell.publish(Snapshot::capture(1, &m1));
         assert_eq!(cell.epoch(), 1);
-        assert_ne!(cell.load().digest, d0);
+        assert_ne!(cell.load().digest(), d0);
     }
 
     #[test]
@@ -149,21 +189,40 @@ mod tests {
         let m0 = model_with("S0");
         let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
         let mut cache = ReaderCache::new();
-        let (e0, d0, meta) = cache.view(&cell);
+        let (e0, meta) = cache.view(&cell);
         assert_eq!(e0, 0);
-        let d0 = d0.to_string();
         // The private clone is queryable and mutations stay private.
         meta.new_schema("ReaderLocal").expect("schema");
-        let (_, d_again, _) = cache.view(&cell);
-        assert_eq!(d_again, d0, "no republish, no refresh");
+        let (_, meta_again) = cache.view(&cell);
+        assert!(
+            meta_again.schema_by_name("ReaderLocal").is_some(),
+            "no republish, no refresh"
+        );
 
         let m1 = model_with("S1");
         cell.publish(Snapshot::capture(1, &m1));
-        let (e1, d1, meta1) = cache.view(&cell);
+        let (e1, meta1) = cache.view(&cell);
         assert_eq!(e1, 1);
-        assert_ne!(d1, d0);
         // The refresh replaced the private clone (reader-local edits gone).
         assert!(meta1.schema_by_name("ReaderLocal").is_none());
+        assert!(meta1.schema_by_name("S1").is_some());
+    }
+
+    #[test]
+    fn read_only_verbs_never_build_the_private_clone() {
+        let m0 = model_with("S0");
+        let cell = SnapshotCell::new(Snapshot::capture(0, &m0));
+        let mut cache = ReaderCache::new();
+        let d = cache.snapshot(&cell).digest().to_string();
+        assert!(!d.is_empty());
+        assert!(
+            cache.private.is_none(),
+            "digest served from the shared Arc only"
+        );
+        // The same shared handle is reused while the epoch stands still.
+        let first = Arc::as_ptr(cache.shared.as_ref().unwrap());
+        cache.snapshot(&cell);
+        assert_eq!(first, Arc::as_ptr(cache.shared.as_ref().unwrap()));
     }
 
     #[test]
@@ -193,6 +252,18 @@ mod tests {
         // logical states coincide.
         let sa = Snapshot::capture(0, &a);
         let sb = Snapshot::capture(0, &b);
-        assert_eq!(sa.digest, sb.digest);
+        assert_eq!(sa.digest(), sb.digest());
+    }
+
+    #[test]
+    fn digest_is_lazy_and_stable() {
+        let m = model_with("S0");
+        let snap = Snapshot::capture(3, &m);
+        assert!(snap.digest.get().is_none(), "not computed at capture");
+        let d1 = snap.digest().to_string();
+        let d2 = snap.digest().to_string();
+        assert_eq!(d1, d2);
+        // Matches an eager deep-clone digest of the same state.
+        assert_eq!(d1, m.snapshot_clone().db.debug_state_digest());
     }
 }

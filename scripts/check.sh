@@ -122,6 +122,33 @@ step "chaos-proxy sweep + lease tests (release, 200 seeded runs)"
 cargo test -p gom-server --release --test lease
 GOM_CHAOS_SEEDS=100 cargo test -p gom-server --release --test chaos
 
+# Snapshot publication must stay copy-on-write: capturing an epoch over a
+# populated synth5000 base may copy zero tuples (counter-verified), and
+# the publish cost must stay within 1.5x of the recorded microbench row
+# (the pre-CoW deep-clone path sat at ~7.5 ms vs ~23 µs shared, so any
+# slide back toward O(#tuples) publication blows through this gate).
+step "snapshot CoW gate (zero tuple copies + publish cost at synth5000)"
+GOM_COW_TYPES=5000 cargo test --release --test snapshot_cow
+snap_tmp="$(mktemp -d)"
+cargo build --release -p gom-bench --bin microbench
+./target/release/microbench --iters 9 --out "$snap_tmp/snap.json" \
+  snapshot_publish_synth5000 2> /dev/null
+baseline_file=$(grep -l '"name": "snapshot_publish_synth5000"' BENCH_*.json | sort | tail -1)
+row_median() {
+  grep -o "\"name\": \"snapshot_publish_synth5000\", \"median_ns\": [0-9]*" "$1" \
+    | grep -o '[0-9]*$'
+}
+recorded=$(row_median "$baseline_file")
+current=$(row_median "$snap_tmp/snap.json")
+echo "snapshot_publish_synth5000: ${current} ns (recorded ${recorded} ns in ${baseline_file})"
+awk -v cur="$current" -v rec="$recorded" 'BEGIN {
+  if (cur > rec * 1.5) {
+    printf "REGRESSION: snapshot publish %d ns exceeds 1.5x recorded %d ns\n", cur, rec
+    exit 1
+  }
+}'
+rm -rf "$snap_tmp"
+
 # A hostile-client smoke over the real binaries: a writer that goes silent
 # past its lease is reaped (typed `lease-expired` on its next commit), a
 # connection beyond --max-conns is shed, and both events land in the obs
